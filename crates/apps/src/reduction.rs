@@ -1,0 +1,292 @@
+//! The Fig. 10 coherent data-reduction pipeline.
+//!
+//! The offload engine "interacts with the raw coherence protocol packet
+//! interfaces, receiving refill requests from the CPU's L2 cache which it
+//! transforms into larger sequential burst reads from DRAM. The burst
+//! data is then fed to the data reduction module, which performs an RGB
+//! to luminance conversion and optionally quantizes to 4 bits per pixel,
+//! packing the result into a single cache line which is then returned to
+//! the CPU … The pipeline is thus invisible to the CPU beyond an increase
+//! in latency."
+//!
+//! [`ReductionEngine`] implements exactly that: given the index of a
+//! *logical* luminance cache line, it issues the corresponding RGBA burst
+//! to the FPGA memory controller, runs the real [`crate::vision`] kernels
+//! over the burst, and returns the packed 128-byte line plus timing. It
+//! also exports the per-mode [`WorkloadProfile`]s that drive the Fig. 11
+//! core-scaling model.
+
+use enzian_cache::WorkloadProfile;
+use enzian_mem::{Addr, MemoryController, Op};
+use enzian_sim::{Duration, Time};
+
+use crate::vision::{self, cost, Frame};
+
+/// How much reduction the engine applies per refill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ReductionMode {
+    /// No reduction: the CPU reads raw RGBA (32 bpp) and converts in
+    /// software. One 128-byte line holds 32 pixels.
+    None,
+    /// Hardware RGB2Y at 8 bpp: one line holds 128 pixels (a 512-byte
+    /// RGBA burst per refill).
+    Y8,
+    /// Hardware RGB2Y + 4-bit quantisation: one line holds 256 pixels
+    /// (a 1-KiB RGBA burst per refill).
+    Y4,
+}
+
+impl ReductionMode {
+    /// All modes in Fig. 11 order.
+    pub const ALL: [ReductionMode; 3] = [ReductionMode::None, ReductionMode::Y8, ReductionMode::Y4];
+
+    /// Pixels represented by one 128-byte logical line.
+    pub fn pixels_per_line(self) -> u64 {
+        match self {
+            ReductionMode::None => 32,
+            ReductionMode::Y8 => 128,
+            ReductionMode::Y4 => 256,
+        }
+    }
+
+    /// RGBA bytes the engine must burst-read per logical line.
+    pub fn burst_bytes(self) -> u64 {
+        self.pixels_per_line() * 4
+    }
+
+    /// Interconnect bytes the CPU fetches per pixel.
+    pub fn bytes_per_pixel(self) -> f64 {
+        128.0 / self.pixels_per_line() as f64
+    }
+
+    /// The figure legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReductionMode::None => "None",
+            ReductionMode::Y8 => "8bpp",
+            ReductionMode::Y4 => "4bpp",
+        }
+    }
+
+    /// The per-pixel CPU cost/stall profile of the full vision pipeline
+    /// (conversion where applicable, unpack, then blur) in this mode —
+    /// the input to [`enzian_cache::CoreTimingModel`] for Fig. 11 and
+    /// Table 1.
+    pub fn workload_profile(self) -> WorkloadProfile {
+        let (compute, stall_per_refill) = match self {
+            // Soft RGB2Y + blur; remote refill latency partially hidden.
+            ReductionMode::None => (cost::RGB2Y_CYCLES + cost::BLUR_CYCLES, 46.0),
+            // Blur only; fewer refills each hiding well behind compute.
+            ReductionMode::Y8 => (cost::BLUR_CYCLES + cost::UNPACK_8BPP_CYCLES, 25.8),
+            // Blur + nibble unpack; each refill now needs a 1 KiB DRAM
+            // burst behind it, so per-refill latency roughly doubles.
+            ReductionMode::Y4 => (cost::BLUR_CYCLES + cost::UNPACK_4BPP_CYCLES, 52.5),
+        };
+        WorkloadProfile {
+            compute_cycles_per_unit: compute,
+            remote_bytes_per_unit: self.bytes_per_pixel(),
+            refill_bytes: 128.0,
+            stall_cycles_per_refill: stall_per_refill,
+            instructions_per_unit: compute * 0.8,
+        }
+    }
+}
+
+/// One served refill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Refill {
+    /// The packed 128-byte response line.
+    pub line: [u8; 128],
+    /// When the line was ready to send back over ECI.
+    pub ready: Time,
+}
+
+/// The FPGA-side request-transform + reduction engine.
+#[derive(Debug)]
+pub struct ReductionEngine {
+    mode: ReductionMode,
+    memory: MemoryController,
+    frame_base: Addr,
+    frame_pixels: u64,
+    /// Engine pipeline clock.
+    clock: Duration,
+    refills: u64,
+}
+
+impl ReductionEngine {
+    /// Creates an engine in `mode` over an FPGA memory controller,
+    /// preloading `frame` at `frame_base` (the experiment preloads the
+    /// input video into FPGA-side DRAM).
+    pub fn new(
+        mode: ReductionMode,
+        mut memory: MemoryController,
+        frame_base: Addr,
+        frame: &Frame,
+    ) -> Self {
+        memory.store_mut().write(frame_base, &frame.rgba);
+        ReductionEngine {
+            mode,
+            memory,
+            frame_base,
+            frame_pixels: frame.pixels() as u64,
+            clock: Duration::from_hz(300_000_000),
+            refills: 0,
+        }
+    }
+
+    /// The engine's reduction mode.
+    pub fn mode(&self) -> ReductionMode {
+        self.mode
+    }
+
+    /// Number of refills served.
+    pub fn refills_served(&self) -> u64 {
+        self.refills
+    }
+
+    /// Logical lines the loaded frame spans in this mode.
+    pub fn logical_lines(&self) -> u64 {
+        self.frame_pixels.div_ceil(self.mode.pixels_per_line())
+    }
+
+    /// Serves an L2 refill for logical line `index`: burst-reads the
+    /// corresponding RGBA pixels, reduces them, and packs the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is beyond the loaded frame.
+    pub fn serve_refill(&mut self, now: Time, index: u64) -> Refill {
+        assert!(index < self.logical_lines(), "refill beyond frame");
+        self.refills += 1;
+        let burst = self.mode.burst_bytes();
+        let src = self.frame_base.offset(index * burst);
+
+        // Request transform: one refill -> one DRAM burst (Fig. 10's
+        // "ADDR xN" expansion), plus a few pipeline cycles.
+        let burst_done = self
+            .memory
+            .request(now + self.clock * 4, src, burst, Op::Read);
+
+        let mut rgba = vec![0u8; burst as usize];
+        self.memory.store().read(src, &mut rgba);
+
+        let mut line = [0u8; 128];
+        match self.mode {
+            ReductionMode::None => {
+                // Pass-through: the first 128 bytes of RGBA (32 pixels).
+                line.copy_from_slice(&rgba[..128]);
+            }
+            ReductionMode::Y8 => {
+                for (i, px) in rgba.chunks_exact(4).enumerate() {
+                    line[i] = vision::pixel_to_luma(px[0], px[1], px[2]);
+                }
+            }
+            ReductionMode::Y4 => {
+                let luma: Vec<u8> = rgba
+                    .chunks_exact(4)
+                    .map(|px| vision::pixel_to_luma(px[0], px[1], px[2]))
+                    .collect();
+                let packed = vision::quantize_4bpp(&luma);
+                line.copy_from_slice(&packed);
+            }
+        }
+        // The reduction datapath consumes the burst at line rate: one
+        // 64-byte beat per cycle behind the DRAM read.
+        let ready = burst_done + self.clock * burst.div_ceil(64);
+        Refill { line, ready }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enzian_mem::MemoryControllerConfig;
+
+    fn engine(mode: ReductionMode) -> (ReductionEngine, Frame) {
+        let frame = Frame::synthetic(11, 256, 64);
+        let mem = MemoryController::new(MemoryControllerConfig::enzian_fpga());
+        (ReductionEngine::new(mode, mem, Addr(0), &frame), frame)
+    }
+
+    #[test]
+    fn passthrough_returns_raw_rgba() {
+        let (mut e, frame) = engine(ReductionMode::None);
+        let r = e.serve_refill(Time::ZERO, 2);
+        assert_eq!(&r.line[..], &frame.rgba[256..256 + 128]);
+    }
+
+    #[test]
+    fn y8_matches_software_conversion() {
+        let (mut e, frame) = engine(ReductionMode::Y8);
+        let soft = vision::rgba_to_luma(&frame);
+        let r = e.serve_refill(Time::ZERO, 1);
+        assert_eq!(&r.line[..], &soft[128..256]);
+    }
+
+    #[test]
+    fn y4_matches_software_conversion_and_packing() {
+        let (mut e, frame) = engine(ReductionMode::Y4);
+        let soft = vision::quantize_4bpp(&vision::rgba_to_luma(&frame));
+        let r = e.serve_refill(Time::ZERO, 0);
+        assert_eq!(&r.line[..], &soft[..128]);
+    }
+
+    #[test]
+    fn higher_reduction_needs_larger_bursts_and_more_latency() {
+        let (mut none, _) = engine(ReductionMode::None);
+        let (mut y4, _) = engine(ReductionMode::Y4);
+        let r_none = none.serve_refill(Time::ZERO, 0);
+        let r_y4 = y4.serve_refill(Time::ZERO, 0);
+        assert!(
+            r_y4.ready > r_none.ready,
+            "1 KiB burst should take longer than 128 B"
+        );
+    }
+
+    #[test]
+    fn geometry_per_mode() {
+        assert_eq!(ReductionMode::None.pixels_per_line(), 32);
+        assert_eq!(ReductionMode::Y8.pixels_per_line(), 128);
+        assert_eq!(ReductionMode::Y4.pixels_per_line(), 256);
+        assert_eq!(ReductionMode::Y4.burst_bytes(), 1024);
+        assert_eq!(ReductionMode::None.bytes_per_pixel(), 4.0);
+        assert_eq!(ReductionMode::Y8.bytes_per_pixel(), 1.0);
+        assert_eq!(ReductionMode::Y4.bytes_per_pixel(), 0.5);
+    }
+
+    #[test]
+    fn workload_profiles_reproduce_paper_per_core_rates() {
+        // Fig. 11: baseline ~33 Mpx/s/core; +39% at 8bpp; +33% at 4bpp.
+        let cpu = enzian_cache::CoreTimingModel::thunderx1();
+        let rate = |m: ReductionMode| {
+            cpu.steady_state(&m.workload_profile(), 1, 20e9).units_per_sec / 1e6
+        };
+        let base = rate(ReductionMode::None);
+        let y8 = rate(ReductionMode::Y8);
+        let y4 = rate(ReductionMode::Y4);
+        assert!((31.0..35.0).contains(&base), "baseline {base:.1} Mpx/s");
+        let up8 = (y8 - base) / base * 100.0;
+        let up4 = (y4 - base) / base * 100.0;
+        assert!((35.0..43.0).contains(&up8), "8bpp uplift {up8:.1}%");
+        assert!((29.0..37.0).contains(&up4), "4bpp uplift {up4:.1}%");
+        // 4bpp is slightly *slower* than 8bpp (the paper's observation).
+        assert!(y4 < y8);
+    }
+
+    #[test]
+    fn frame_coverage() {
+        let (e, frame) = engine(ReductionMode::Y8);
+        assert_eq!(
+            e.logical_lines(),
+            frame.pixels() as u64 / ReductionMode::Y8.pixels_per_line()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond frame")]
+    fn out_of_range_refill_panics() {
+        let (mut e, _) = engine(ReductionMode::None);
+        let lines = e.logical_lines();
+        e.serve_refill(Time::ZERO, lines);
+    }
+}

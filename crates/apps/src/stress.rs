@@ -1,0 +1,172 @@
+//! The Fig. 12 staged diagnostic and stress-test schedule.
+//!
+//! The §5.5 experiment drives the machine through a scripted sequence —
+//! boot, BDK DRAM check, data/address bus tests, marching-rows and
+//! random-data memtests, CPU power-off, then an FPGA "power burn" that
+//! switches blocks of flip-flops in 1/24-area steps — while the BMC
+//! samples rail power every 20 ms. [`StressSchedule`] produces that
+//! timeline as data, which the Fig. 12 experiment replays against the
+//! power model.
+
+use enzian_sim::{Duration, Time};
+
+/// Number of area steps in the FPGA power burn (one per 1/24 of fabric).
+pub const BURN_STEPS: u32 = 24;
+
+/// One phase of the scripted workload.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum StressPhase {
+    /// Machine idle before CPU power-on (rails up, FPGA idle).
+    IdleBefore,
+    /// CPU released: BDK boot spike and settling.
+    CpuBoot,
+    /// BDK DRAM presence check.
+    DramCheck,
+    /// Data bus test.
+    DataBusTest,
+    /// Address bus test.
+    AddressBusTest,
+    /// Marching-rows memtest.
+    MemtestMarching,
+    /// Random-data memtest.
+    MemtestRandom,
+    /// CPU powered off again.
+    CpuOff,
+    /// FPGA power burn at `fraction` of fabric area.
+    FpgaBurn {
+        /// Toggling area fraction in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Final idle (everything quiescent).
+    IdleAfter,
+}
+
+/// A timed phase entry.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScheduledPhase {
+    /// Phase start.
+    pub from: Time,
+    /// Phase end (exclusive).
+    pub until: Time,
+    /// What runs during the window.
+    pub phase: StressPhase,
+}
+
+/// The complete scripted timeline.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StressSchedule {
+    phases: Vec<ScheduledPhase>,
+}
+
+impl StressSchedule {
+    /// Builds the paper's ~260 s timeline: boot and memtests in the
+    /// first ~100 s, CPU off, then the 24-step FPGA burn.
+    pub fn paper_timeline() -> Self {
+        let mut phases = Vec::new();
+        let mut t = Time::ZERO;
+        let mut push = |t: &mut Time, secs_x10: u64, phase: StressPhase| {
+            let until = *t + Duration::from_ms(secs_x10 * 100);
+            phases.push(ScheduledPhase {
+                from: *t,
+                until,
+                phase,
+            });
+            *t = until;
+        };
+        push(&mut t, 100, StressPhase::IdleBefore); // 10 s
+        push(&mut t, 60, StressPhase::CpuBoot); // 6 s
+        push(&mut t, 120, StressPhase::DramCheck); // 12 s
+        push(&mut t, 90, StressPhase::DataBusTest); // 9 s
+        push(&mut t, 90, StressPhase::AddressBusTest); // 9 s
+        push(&mut t, 320, StressPhase::MemtestMarching); // 32 s
+        push(&mut t, 380, StressPhase::MemtestRandom); // 38 s
+        push(&mut t, 60, StressPhase::CpuOff); // 6 s of settling
+        // 24 burn steps of 4 s each: 96 s.
+        for step in 1..=BURN_STEPS {
+            push(
+                &mut t,
+                40,
+                StressPhase::FpgaBurn {
+                    fraction: f64::from(step) / f64::from(BURN_STEPS),
+                },
+            );
+        }
+        push(&mut t, 100, StressPhase::IdleAfter); // 10 s
+        StressSchedule { phases }
+    }
+
+    /// The timeline's phases in order.
+    pub fn phases(&self) -> &[ScheduledPhase] {
+        &self.phases
+    }
+
+    /// Total duration.
+    pub fn total(&self) -> Duration {
+        self.phases
+            .last()
+            .map(|p| p.until.since(Time::ZERO))
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// The phase active at `at`, if any.
+    pub fn phase_at(&self, at: Time) -> Option<StressPhase> {
+        self.phases
+            .iter()
+            .find(|p| at >= p.from && at < p.until)
+            .map(|p| p.phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_is_contiguous_and_ordered() {
+        let s = StressSchedule::paper_timeline();
+        let phases = s.phases();
+        assert!(!phases.is_empty());
+        assert_eq!(phases[0].from, Time::ZERO);
+        for w in phases.windows(2) {
+            assert_eq!(w[0].until, w[1].from, "gap in timeline");
+            assert!(w[0].from < w[0].until);
+        }
+    }
+
+    #[test]
+    fn total_duration_matches_figure_scale() {
+        // Fig. 12's x-axis spans ~250-260 s.
+        let secs = StressSchedule::paper_timeline().total().as_secs_f64();
+        assert!((220.0..280.0).contains(&secs), "timeline {secs:.0} s");
+    }
+
+    #[test]
+    fn burn_has_24_increasing_steps() {
+        let s = StressSchedule::paper_timeline();
+        let fractions: Vec<f64> = s
+            .phases()
+            .iter()
+            .filter_map(|p| match p.phase {
+                StressPhase::FpgaBurn { fraction } => Some(fraction),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fractions.len(), BURN_STEPS as usize);
+        for w in fractions.windows(2) {
+            assert!(w[1] > w[0], "burn steps must increase");
+        }
+        assert!((fractions[0] - 1.0 / 24.0).abs() < 1e-12);
+        assert!((fractions.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_lookup() {
+        let s = StressSchedule::paper_timeline();
+        assert_eq!(s.phase_at(Time::ZERO), Some(StressPhase::IdleBefore));
+        let end = Time::ZERO + s.total();
+        assert_eq!(s.phase_at(end), None);
+        // Mid-timeline lands in some memtest or burn phase.
+        let mid = Time::ZERO + s.total() / 2;
+        assert!(s.phase_at(mid).is_some());
+    }
+}

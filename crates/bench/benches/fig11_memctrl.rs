@@ -1,0 +1,38 @@
+//! Fig. 11 bench: reduction-engine refills and the core-scaling sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enzian_apps::reduction::{ReductionEngine, ReductionMode};
+use enzian_apps::vision::Frame;
+use enzian_mem::{Addr, MemoryController, MemoryControllerConfig};
+use enzian_sim::Time;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_memctrl");
+    let frame = Frame::paper_sized(7);
+    for mode in ReductionMode::ALL {
+        g.throughput(Throughput::Elements(mode.pixels_per_line()));
+        g.bench_with_input(
+            BenchmarkId::new("serve_refill", mode.label()),
+            &mode,
+            |b, &mode| {
+                let mem = MemoryController::new(MemoryControllerConfig::enzian_fpga());
+                let mut engine = ReductionEngine::new(mode, mem, Addr(0), &frame);
+                let lines = engine.logical_lines();
+                let mut i = 0;
+                b.iter(|| {
+                    let r = engine.serve_refill(Time::ZERO, i % lines);
+                    i += 1;
+                    black_box(r.line[0])
+                });
+            },
+        );
+    }
+    g.bench_function("core_scaling_sweep", |b| {
+        b.iter(|| black_box(enzian_platform::experiments::fig11::run().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 12 bench: the full power-trace replay and its PMBus primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enzian_bmc::pmbus::PmbusNetwork;
+use enzian_bmc::rail::RailId;
+use enzian_sim::Time;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_power");
+    g.sample_size(10);
+    g.bench_function("full_trace_replay", |b| {
+        b.iter(|| {
+            let r = enzian_platform::experiments::fig12::run();
+            black_box(r.traces.len())
+        })
+    });
+    g.bench_function("pmbus_read_iout", |b| {
+        let mut net = PmbusNetwork::board();
+        net.enable(Time::ZERO, RailId::CpuVdd).unwrap();
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            let (amps, done) = net.read_iout(now, RailId::CpuVdd).unwrap();
+            now = done;
+            black_box(amps)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

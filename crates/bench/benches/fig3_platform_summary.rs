@@ -1,0 +1,16 @@
+//! Fig. 3 bench: regenerating the platform summary scatter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_platform_summary");
+    g.sample_size(10);
+    g.bench_function("run_all_points", |b| {
+        b.iter(|| black_box(enzian_platform::experiments::fig3::run()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

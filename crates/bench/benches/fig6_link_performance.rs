@@ -1,0 +1,34 @@
+//! Fig. 6 bench: ECI vs PCIe per-transfer operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enzian_mem::Addr;
+use enzian_platform::presets::PlatformPreset;
+use enzian_sim::Time;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_link_performance");
+    for size in [128u64, 2048, 16384] {
+        g.throughput(Throughput::Bytes(size));
+        g.bench_with_input(BenchmarkId::new("eci_read", size), &size, |b, &size| {
+            let mut sys = PlatformPreset::enzian_system(true);
+            let mut now = Time::ZERO;
+            b.iter(|| {
+                now = sys.fpga_read_burst(now, Addr(0), size / 128);
+                black_box(now)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("pcie_read", size), &size, |b, &size| {
+            let mut dma = PlatformPreset::AlveoU250.dma_engine();
+            let mut now = Time::ZERO;
+            b.iter(|| {
+                now = dma.host_to_card(now, size).completed;
+                black_box(now)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 7 bench: one TCP transfer per stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enzian_net::eth::{EthLink, EthLinkConfig};
+use enzian_net::tcp::{TcpEngine, TcpStackConfig};
+use enzian_net::Switch;
+use enzian_sim::Time;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_tcp");
+    let data = vec![0xABu8; 256 * 1024];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for (name, cfg) in [
+        ("fpga_stack", TcpStackConfig::fpga_coyote()),
+        ("kernel_stack", TcpStackConfig::linux_kernel()),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, data.len()), &data, |b, data| {
+            b.iter(|| {
+                let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+                let mut e = TcpEngine::new(cfg, cfg, Switch::tor());
+                black_box(e.transfer(&mut link, Time::ZERO, data))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

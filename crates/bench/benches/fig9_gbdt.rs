@@ -1,0 +1,28 @@
+//! Fig. 9 bench: GBDT batch scoring per platform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enzian_apps::gbdt::{Ensemble, GbdtAccelerator};
+use enzian_sim::Time;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_gbdt");
+    let ensemble = Ensemble::generate(42, 96, 6, 16);
+    let tuples = ensemble.generate_tuples(43, 4096);
+    g.throughput(Throughput::Elements(tuples.len() as u64));
+    for platform in enzian_platform::experiments::fig9::PLATFORMS {
+        let cfg = platform.gbdt_config(1).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("score_batch", platform.name()),
+            &tuples,
+            |b, tuples| {
+                let mut acc = GbdtAccelerator::new(ensemble.clone(), cfg);
+                b.iter(|| black_box(acc.score_batch(Time::ZERO, tuples).scores.len()));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

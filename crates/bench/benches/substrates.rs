@@ -1,0 +1,50 @@
+//! Substrate microbenchmarks: the building blocks every experiment uses.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use enzian_eci::wire::{decode_message, encode_message};
+use enzian_eci::message::{Message, MessageKind, TxnId};
+use enzian_mem::{Addr, CacheLine, MemoryController, MemoryControllerConfig, NodeId, Op};
+use enzian_sim::Time;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+
+    let msg = Message::new(
+        NodeId::Cpu,
+        NodeId::Fpga,
+        TxnId(7),
+        MessageKind::DataShared(CacheLine(42), Box::new([0xA5u8; 128])),
+    );
+    g.throughput(Throughput::Bytes(msg.wire_bytes()));
+    g.bench_function("wire_encode_data_msg", |b| {
+        b.iter(|| black_box(encode_message(&msg).len()))
+    });
+    let enc = encode_message(&msg);
+    g.bench_function("wire_decode_data_msg", |b| {
+        b.iter(|| black_box(decode_message(&enc).unwrap().1))
+    });
+
+    g.throughput(Throughput::Bytes(128));
+    g.bench_function("dram_line_read", |b| {
+        let mut mc = MemoryController::new(MemoryControllerConfig::enzian_cpu());
+        let mut now = Time::ZERO;
+        let mut addr = 0u64;
+        b.iter(|| {
+            now = mc.request(now, Addr(addr % (1 << 30)), 128, Op::Read);
+            addr += 128;
+            black_box(now)
+        })
+    });
+
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("power_sequence_solve", |b| {
+        let spec = enzian_bmc::sequence::PowerSpec::enzian();
+        let rails = enzian_bmc::rail::RailSpec::board_table();
+        b.iter(|| black_box(spec.solve(&rails).unwrap().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

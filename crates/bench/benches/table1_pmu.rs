@@ -1,0 +1,15 @@
+//! Table 1 bench: PMU derivation at 48 threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_pmu");
+    g.bench_function("pmu_counts_48_threads", |b| {
+        b.iter(|| black_box(enzian_platform::experiments::fig11::run_table1()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

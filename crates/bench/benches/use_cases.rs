@@ -1,0 +1,115 @@
+//! Benches for the §6 use-case modules: KV store, Farview push-down,
+//! cluster bridging, and runtime verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enzian_apps::kvs::{KvStore, KvStoreConfig};
+use enzian_apps::rtverify::{properties, Monitor, TraceEvent, EventKind};
+use enzian_mem::{Addr, MemoryController, MemoryControllerConfig};
+use enzian_net::eth::{EthLink, EthLinkConfig};
+use enzian_net::farview::{FarviewServer, Operator, Predicate};
+use enzian_platform::cluster::{BoardId, EnzianCluster};
+use enzian_sim::Time;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("use_cases");
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("kvs_get", |b| {
+        let mut kv = KvStore::new(
+            KvStoreConfig::large(),
+            MemoryController::new(MemoryControllerConfig::enzian_fpga()),
+        );
+        for i in 1..=10_000u64 {
+            kv.put(Time::ZERO, i, &i.to_le_bytes()).unwrap();
+        }
+        let mut i = 1u64;
+        b.iter(|| {
+            let out = kv.get(Time::ZERO, i % 10_000 + 1);
+            i += 1;
+            black_box(out.value.is_some())
+        });
+    });
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("farview_filter_scan_10k_rows", |b| {
+        const ROW: usize = 64;
+        let mut data = vec![0u8; 10_000 * ROW];
+        for i in 0..10_000u64 {
+            data[i as usize * ROW..i as usize * ROW + 8].copy_from_slice(&i.to_le_bytes());
+        }
+        let mut server = FarviewServer::new(
+            MemoryController::new(MemoryControllerConfig::enzian_fpga()),
+            Addr(0),
+            ROW,
+            &data,
+        );
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        b.iter(|| {
+            let r = server.scan(
+                &mut link,
+                Time::ZERO,
+                0,
+                10_000,
+                Operator::Filter {
+                    column_offset: 0,
+                    predicate: Predicate::Gt(9_990),
+                },
+            );
+            black_box(r.rows.len())
+        });
+    });
+
+    g.throughput(Throughput::Bytes(128));
+    g.bench_function("cluster_bridged_read", |b| {
+        let mut cluster = EnzianCluster::new(2, 64 << 20);
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            let (line, t) = cluster.read_line(BoardId(0), now, 64 << 20);
+            now = t;
+            black_box(line[0])
+        });
+    });
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("rtverify_step", |b| {
+        let mut monitor = Monitor::for_formula(&properties::irq_well_nested());
+        let ev = TraceEvent {
+            core: 0,
+            at: Time::ZERO,
+            kind: EventKind::ContextSwitch,
+        };
+        b.iter(|| black_box(monitor.step(&ev).is_none()));
+    });
+
+    for (name, config) in [
+        ("one_dimm_per_channel", MemoryControllerConfig::enzian_cpu()),
+        (
+            "half_channels",
+            MemoryControllerConfig {
+                channels: 2,
+                generation: enzian_mem::DdrGeneration::Ddr4_2133,
+            },
+        ),
+    ] {
+        // The "favor bandwidth over capacity" ablation: fewer channels
+        // (i.e. capacity-optimised configs) cost stream bandwidth.
+        g.throughput(Throughput::Bytes(1 << 20));
+        g.bench_with_input(BenchmarkId::new("dram_stream", name), &config, |b, cfg| {
+            let mut mc = MemoryController::new(*cfg);
+            b.iter(|| {
+                let mut done = Time::ZERO;
+                let mut a = 0u64;
+                while a < 1 << 20 {
+                    done = done.max(mc.request(Time::ZERO, Addr(a), 1024, enzian_mem::Op::Read));
+                    a += 1024;
+                }
+                black_box(done)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

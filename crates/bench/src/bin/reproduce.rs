@@ -1,0 +1,270 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|all]
+//! ```
+//!
+//! With no argument (or `all`), prints every series in order. Each
+//! section corresponds to one experiment driver in `enzian-platform`.
+
+use enzian_platform::experiments::{fig11, fig12, fig3, fig6, fig7, fig8, fig9};
+
+/// Writes `contents` to `<dir>/<name>.csv` when CSV export is enabled.
+fn export(dir: &Option<std::path::PathBuf>, name: &str, contents: String) {
+    if let Some(dir) = dir {
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("csv export to {} failed: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+fn csv_dir() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--csv" {
+            let dir = std::path::PathBuf::from(args.next().unwrap_or_else(|| ".".into()));
+            let _ = std::fs::create_dir_all(&dir);
+            return Some(dir);
+        }
+    }
+    None
+}
+
+fn run_fig3() {
+    let points = fig3::run();
+    println!("{}", fig3::render(&points));
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                p.bandwidth_gib.to_string(),
+                p.latency_us.to_string(),
+                p.measured.to_string(),
+            ]
+        })
+        .collect();
+    export(
+        &csv_dir(),
+        "fig3",
+        enzian_bench::to_csv(&["platform", "bw_gib", "latency_us", "measured"], &rows),
+    );
+}
+
+fn run_fig6() {
+    let rows = fig6::run();
+    println!("{}", fig6::render(&rows));
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.size.to_string(),
+                r.eci_rd_lat_us.to_string(),
+                r.eci_wr_lat_us.to_string(),
+                r.pcie_rd_lat_us.to_string(),
+                r.pcie_wr_lat_us.to_string(),
+                r.eci_rd_gib.to_string(),
+                r.eci_wr_gib.to_string(),
+                r.pcie_rd_gib.to_string(),
+                r.pcie_wr_gib.to_string(),
+            ]
+        })
+        .collect();
+    export(
+        &csv_dir(),
+        "fig6",
+        enzian_bench::to_csv(
+            &[
+                "size_b", "eci_rd_us", "eci_wr_us", "pcie_rd_us", "pcie_wr_us", "eci_rd_gib",
+                "eci_wr_gib", "pcie_rd_gib", "pcie_wr_gib",
+            ],
+            &csv,
+        ),
+    );
+    let (bw, lat) = fig6::ccpi_reference();
+    println!(
+        "Reference (2-socket ThunderX-1 CCPI, both links): {bw:.1} GiB/s, {lat:.0} ns\n"
+    );
+}
+
+fn run_fig7() {
+    let rows = fig7::run();
+    println!("{}", fig7::render(&rows));
+    println!("Flow scaling (2 MiB per flow):");
+    for (name, gbps) in fig7::run_multiflow() {
+        println!("  {name:<10} {gbps:>6.1} Gb/s");
+    }
+    println!();
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.size.to_string(),
+                r.enzian_lat_us.to_string(),
+                r.linux_lat_us.to_string(),
+                r.enzian_gbps.to_string(),
+                r.linux_gbps.to_string(),
+            ]
+        })
+        .collect();
+    export(
+        &csv_dir(),
+        "fig7",
+        enzian_bench::to_csv(
+            &["size_b", "enzian_lat_us", "linux_lat_us", "enzian_gbps", "linux_gbps"],
+            &csv,
+        ),
+    );
+}
+
+fn run_fig8() {
+    let rows = fig8::run();
+    println!("{}", fig8::render(&rows));
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.label().to_string(),
+                r.size.to_string(),
+                r.rd_lat_us.to_string(),
+                r.wr_lat_us.to_string(),
+                r.rd_gib.to_string(),
+                r.wr_gib.to_string(),
+            ]
+        })
+        .collect();
+    export(
+        &csv_dir(),
+        "fig8",
+        enzian_bench::to_csv(
+            &["config", "size_b", "rd_lat_us", "wr_lat_us", "rd_gib", "wr_gib"],
+            &csv,
+        ),
+    );
+}
+
+fn run_fig9() {
+    let rows = fig9::run();
+    println!("{}", fig9::render(&rows));
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.platform.name().to_string(),
+                r.engines.to_string(),
+                r.mtuples_per_sec.to_string(),
+            ]
+        })
+        .collect();
+    export(
+        &csv_dir(),
+        "fig9",
+        enzian_bench::to_csv(&["platform", "engines", "mtuples_per_sec"], &csv),
+    );
+}
+
+fn run_fig11() {
+    let rows = fig11::run();
+    let t1 = fig11::run_table1();
+    println!("{}", fig11::render(&rows, &t1));
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.label().to_string(),
+                r.cores.to_string(),
+                r.gpixels_per_sec.to_string(),
+                r.interconnect_gib.to_string(),
+            ]
+        })
+        .collect();
+    export(
+        &csv_dir(),
+        "fig11",
+        enzian_bench::to_csv(&["mode", "cores", "gpixels_per_sec", "interconnect_gib"], &csv),
+    );
+    let t1csv: Vec<Vec<String>> = t1
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.label().to_string(),
+                r.memory_stalls_per_cycle.to_string(),
+                r.cycles_per_l1_refill_k.to_string(),
+            ]
+        })
+        .collect();
+    export(
+        &csv_dir(),
+        "table1",
+        enzian_bench::to_csv(&["mode", "stalls_per_cycle", "cycles_per_l1_refill_k"], &t1csv),
+    );
+}
+
+fn run_table1() {
+    let rows = fig11::run();
+    let t1 = fig11::run_table1();
+    // render() prints both panels; table1 is the second.
+    let all = fig11::render(&rows, &t1);
+    if let Some(idx) = all.find("Table 1") {
+        println!("{}", &all[idx..]);
+    }
+}
+
+fn run_fig12() {
+    let result = fig12::run();
+    println!("{}", fig12::render(&result));
+    if let Some(dir) = csv_dir() {
+        use enzian_bmc::telemetry::TraceId;
+        let mut csv = Vec::new();
+        let n = result.traces[&TraceId::Cpu].len();
+        for i in 0..n {
+            let t = result.traces[&TraceId::Cpu].points()[i].0;
+            let mut row = vec![format!("{}", t.as_secs_f64())];
+            for id in TraceId::ALL {
+                row.push(result.traces[&id].points()[i].1.to_string());
+            }
+            csv.push(row);
+        }
+        export(
+            &Some(dir),
+            "fig12",
+            enzian_bench::to_csv(&["t_s", "fpga_w", "cpu_w", "dram0_w", "dram1_w"], &csv),
+        );
+    }
+}
+
+fn main() {
+    let arg = std::env::args()
+        .nth(1)
+        .filter(|a| a != "--csv")
+        .unwrap_or_else(|| "all".into());
+    match arg.as_str() {
+        "fig3" => run_fig3(),
+        "fig6" => run_fig6(),
+        "fig7" => run_fig7(),
+        "fig8" => run_fig8(),
+        "fig9" => run_fig9(),
+        "fig11" => run_fig11(),
+        "table1" => run_table1(),
+        "fig12" => run_fig12(),
+        "all" => {
+            run_fig3();
+            run_fig6();
+            run_fig7();
+            run_fig8();
+            run_fig9();
+            run_fig11();
+            run_fig12();
+        }
+        other => {
+            eprintln!(
+                "unknown experiment {other:?}; expected one of \
+                 fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The real content of this crate lives in `benches/` (one Criterion
+//! group per paper table/figure, plus ablations and substrate
+//! microbenchmarks) and in the [`reproduce`](../src/bin/reproduce.rs)
+//! binary, which regenerates every evaluation series as text and CSV.
+
+/// Writes rows as CSV (header + records) into a string.
+pub fn to_csv<R: AsRef<[String]>>(header: &[&str], rows: &[R]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.as_ref().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_shape() {
+        let rows = vec![vec!["1".to_string(), "2".to_string()]];
+        let s = to_csv(&["a", "b"], &rows);
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,375 @@
+//! The BMC boot sequencer.
+//!
+//! Paper §4.4: *"The BMC powers up and boots, and then turns on power and
+//! clock to the rest of the system including FPGA and the CPU, which is
+//! held in reset. It then loads the FPGA with an initial bitstream … It
+//! then takes the CPU out of reset. The CPU loads the BDK which, in turn,
+//! loads the ARM Trusted Firmware (ATF) and UEFI environment … From UEFI,
+//! the CPU can boot Linux."*
+//!
+//! [`BootSequencer`] drives that choreography against the PMBus network:
+//! it solves the declarative power spec, executes the enable schedule
+//! over the bus, verifies it online, and advances the boot state machine
+//! through firmware stages with realistic durations.
+
+use enzian_sim::{Duration, Time};
+
+use crate::pmbus::PmbusNetwork;
+use crate::rail::RailSpec;
+use crate::sequence::{PowerSpec, SequenceError, SequenceVerifier};
+
+/// Stages of the boot state machine, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum BootPhase {
+    /// BMC alive on standby power (PSU plugged).
+    BmcReady,
+    /// All rails enabled and power-good (`common_power_up()`).
+    RailsUp,
+    /// Initial bitstream loaded into the FPGA.
+    FpgaProgrammed,
+    /// CPU released from reset (`cpu_power_up()`).
+    CpuReleased,
+    /// BDK running; ECI link bring-up happens here.
+    BdkRunning,
+    /// ARM Trusted Firmware loaded.
+    AtfLoaded,
+    /// UEFI environment started.
+    UefiStarted,
+    /// Linux booted to user space.
+    LinuxBooted,
+}
+
+/// A timestamped phase transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BootEvent {
+    /// When the phase was entered.
+    pub at: Time,
+    /// The phase entered.
+    pub phase: BootPhase,
+}
+
+/// Errors during boot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BootError {
+    /// The power spec could not be solved or was violated.
+    Sequence(SequenceError),
+    /// A PMBus operation failed.
+    Pmbus(String),
+    /// Phases invoked out of order.
+    OutOfOrder {
+        /// Phase that was attempted.
+        attempted: BootPhase,
+        /// Phase the machine is actually in.
+        current: BootPhase,
+    },
+    /// A rail failed to reach power-good after its ramp (e.g. a latched
+    /// over-current fault).
+    RailNotGood(crate::rail::RailId),
+}
+
+impl From<SequenceError> for BootError {
+    fn from(e: SequenceError) -> Self {
+        BootError::Sequence(e)
+    }
+}
+
+impl std::fmt::Display for BootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootError::Sequence(e) => write!(f, "power sequencing: {e}"),
+            BootError::Pmbus(e) => write!(f, "pmbus: {e}"),
+            BootError::OutOfOrder { attempted, current } => {
+                write!(f, "cannot enter {attempted:?} from {current:?}")
+            }
+            BootError::RailNotGood(rail) => {
+                write!(f, "rail {rail} failed to reach power-good")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BootError {}
+
+/// Firmware-stage durations (tuned to the Fig. 12 timeline, where the
+/// window from CPU-on to the BDK DRAM check is a few seconds).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BootTimings {
+    /// BMC kernel + userspace bring-up on standby power.
+    pub bmc_boot: Duration,
+    /// Initial bitstream load over slave-serial/JTAG from the BMC.
+    pub fpga_program: Duration,
+    /// CPU reset release to BDK banner.
+    pub bdk_start: Duration,
+    /// BDK to ATF handoff.
+    pub atf: Duration,
+    /// ATF to UEFI prompt.
+    pub uefi: Duration,
+    /// UEFI to Linux login.
+    pub linux: Duration,
+}
+
+impl Default for BootTimings {
+    fn default() -> Self {
+        BootTimings {
+            bmc_boot: Duration::from_secs(25),
+            fpga_program: Duration::from_secs(8),
+            bdk_start: Duration::from_ms(2_500),
+            atf: Duration::from_ms(1_500),
+            uefi: Duration::from_secs(6),
+            linux: Duration::from_secs(35),
+        }
+    }
+}
+
+/// The boot state machine bound to a PMBus network.
+pub struct BootSequencer {
+    timings: BootTimings,
+    spec: PowerSpec,
+    rail_specs: Vec<RailSpec>,
+    phase: Option<BootPhase>,
+    events: Vec<BootEvent>,
+}
+
+impl std::fmt::Debug for BootSequencer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BootSequencer")
+            .field("phase", &self.phase)
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+impl BootSequencer {
+    /// Creates a sequencer with the Enzian power spec and default
+    /// firmware timings.
+    pub fn new() -> Self {
+        BootSequencer {
+            timings: BootTimings::default(),
+            spec: PowerSpec::enzian(),
+            rail_specs: RailSpec::board_table(),
+            phase: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// Overrides the firmware timings.
+    pub fn with_timings(mut self, timings: BootTimings) -> Self {
+        self.timings = timings;
+        self
+    }
+
+    /// The phase transitions so far.
+    pub fn events(&self) -> &[BootEvent] {
+        &self.events
+    }
+
+    /// The current phase, `None` before PSU plug-in.
+    pub fn phase(&self) -> Option<BootPhase> {
+        self.phase
+    }
+
+    fn enter(&mut self, phase: BootPhase, at: Time) {
+        self.phase = Some(phase);
+        self.events.push(BootEvent { at, phase });
+    }
+
+    fn expect_phase(&self, want: BootPhase, attempted: BootPhase) -> Result<(), BootError> {
+        if self.phase == Some(want) {
+            Ok(())
+        } else {
+            Err(BootError::OutOfOrder {
+                attempted,
+                current: self.phase.unwrap_or(BootPhase::BmcReady),
+            })
+        }
+    }
+
+    /// PSU plugged in at `now`: the BMC boots on standby power.
+    pub fn psu_plugged(&mut self, now: Time) -> Time {
+        let ready = now + self.timings.bmc_boot;
+        self.enter(BootPhase::BmcReady, ready);
+        ready
+    }
+
+    /// `common_power_up()`: solve the declarative spec, execute the
+    /// schedule over PMBus, verify it online. Returns completion time.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unsolvable spec, a PMBus error, or (by construction it
+    /// should not happen) a verifier violation.
+    pub fn common_power_up(&mut self, net: &mut PmbusNetwork, now: Time) -> Result<Time, BootError> {
+        self.expect_phase(BootPhase::BmcReady, BootPhase::RailsUp)?;
+        let schedule = self.spec.solve(&self.rail_specs)?;
+        let mut verifier = SequenceVerifier::new(self.spec.clone(), self.rail_specs.clone());
+        let mut done = now;
+        for step in &schedule {
+            // PMBus command latency may push us past the scheduled
+            // offset, which is always safe (later never violates).
+            let target = now + step.offset;
+            let at = target.max(done);
+            let completed = net
+                .enable(at, step.rail)
+                .map_err(|e| BootError::Pmbus(e.to_string()))?;
+            verifier.on_enable(step.rail, completed)?;
+            done = completed;
+        }
+        // Allow the slowest ramp to finish, then confirm every rail
+        // actually reached power-good — a latched fault (short circuit,
+        // over-current) must stop the boot here, not fry the CPU later
+        // (the §4.2 bring-up hazard).
+        let ramp_tail = self
+            .rail_specs
+            .iter()
+            .map(|s| s.ramp)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let up = done + ramp_tail;
+        for step in &schedule {
+            let reg = net.regulator(step.rail);
+            if !reg.borrow().power_good(up) {
+                return Err(BootError::RailNotGood(step.rail));
+            }
+        }
+        self.enter(BootPhase::RailsUp, up);
+        Ok(up)
+    }
+
+    /// Loads the initial FPGA bitstream (must precede CPU release so the
+    /// ECI link partner exists when the CPU's firmware probes it, §4.5).
+    ///
+    /// # Errors
+    ///
+    /// Fails if rails are not up.
+    pub fn program_fpga(&mut self, now: Time) -> Result<Time, BootError> {
+        self.expect_phase(BootPhase::RailsUp, BootPhase::FpgaProgrammed)?;
+        let done = now + self.timings.fpga_program;
+        self.enter(BootPhase::FpgaProgrammed, done);
+        Ok(done)
+    }
+
+    /// `cpu_power_up()`: releases the CPU from reset and runs the BDK.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the FPGA holds its initial bitstream.
+    pub fn cpu_power_up(&mut self, now: Time) -> Result<Time, BootError> {
+        self.expect_phase(BootPhase::FpgaProgrammed, BootPhase::CpuReleased)?;
+        self.enter(BootPhase::CpuReleased, now);
+        let bdk = now + self.timings.bdk_start;
+        self.enter(BootPhase::BdkRunning, bdk);
+        Ok(bdk)
+    }
+
+    /// Continues from the BDK through ATF and UEFI into Linux.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the BDK is running.
+    pub fn boot_linux(&mut self, now: Time) -> Result<Time, BootError> {
+        self.expect_phase(BootPhase::BdkRunning, BootPhase::AtfLoaded)?;
+        let atf = now + self.timings.atf;
+        self.enter(BootPhase::AtfLoaded, atf);
+        let uefi = atf + self.timings.uefi;
+        self.enter(BootPhase::UefiStarted, uefi);
+        let linux = uefi + self.timings.linux;
+        self.enter(BootPhase::LinuxBooted, linux);
+        Ok(linux)
+    }
+}
+
+impl Default for BootSequencer {
+    fn default() -> Self {
+        BootSequencer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rail::RailId;
+
+    #[test]
+    fn full_boot_reaches_linux_in_order() {
+        let mut net = PmbusNetwork::board();
+        let mut boot = BootSequencer::new();
+        let t0 = boot.psu_plugged(Time::ZERO);
+        let t1 = boot.common_power_up(&mut net, t0).expect("power up");
+        let t2 = boot.program_fpga(t1).expect("program");
+        let t3 = boot.cpu_power_up(t2).expect("cpu");
+        let t4 = boot.boot_linux(t3).expect("linux");
+        assert!(t0 < t1 && t1 < t2 && t2 < t3 && t3 < t4);
+
+        let phases: Vec<BootPhase> = boot.events().iter().map(|e| e.phase).collect();
+        assert_eq!(
+            phases,
+            vec![
+                BootPhase::BmcReady,
+                BootPhase::RailsUp,
+                BootPhase::FpgaProgrammed,
+                BootPhase::CpuReleased,
+                BootPhase::BdkRunning,
+                BootPhase::AtfLoaded,
+                BootPhase::UefiStarted,
+                BootPhase::LinuxBooted,
+            ]
+        );
+        // Every rail is actually up and in regulation.
+        for rail in RailId::ALL {
+            let reg = net.regulator(rail);
+            assert!(reg.borrow().power_good(t4), "{rail} not power-good");
+        }
+    }
+
+    #[test]
+    fn phases_cannot_be_skipped() {
+        let mut boot = BootSequencer::new();
+        boot.psu_plugged(Time::ZERO);
+        // Trying to power the CPU before rails are up.
+        let err = boot.cpu_power_up(Time::ZERO + Duration::from_secs(30)).unwrap_err();
+        assert!(matches!(err, BootError::OutOfOrder { .. }));
+        // And Linux before the BDK.
+        let err = boot.boot_linux(Time::ZERO + Duration::from_secs(30)).unwrap_err();
+        assert!(matches!(err, BootError::OutOfOrder { .. }));
+    }
+
+    #[test]
+    fn power_up_respects_sequence_over_real_bus_timing() {
+        // Each PMBus enable takes ~5 ms of bus+software time; the
+        // verifier confirms no rail was enabled before its dependencies
+        // even under that serialization.
+        let mut net = PmbusNetwork::board();
+        let mut boot = BootSequencer::new();
+        let t0 = boot.psu_plugged(Time::ZERO);
+        let t1 = boot.common_power_up(&mut net, t0).unwrap();
+        // 18 rails x ~5 ms: expect roughly 90+ ms of wall time.
+        let elapsed_ms = t1.since(t0).as_secs_f64() * 1e3;
+        assert!(elapsed_ms > 50.0, "power-up implausibly fast: {elapsed_ms} ms");
+    }
+
+    #[test]
+    fn faulted_rail_aborts_the_boot() {
+        // Inject a short on the CPU core rail: over-current latches a
+        // fault, and common_power_up must refuse to report RailsUp.
+        let mut net = PmbusNetwork::board();
+        net.regulator(RailId::CpuVdd).borrow_mut().set_load_amps(500.0);
+        let mut boot = BootSequencer::new();
+        let t0 = boot.psu_plugged(Time::ZERO);
+        match boot.common_power_up(&mut net, t0) {
+            Err(BootError::RailNotGood(rail)) => assert_eq!(rail, RailId::CpuVdd),
+            other => panic!("boot did not detect the fault: {other:?}"),
+        }
+        assert_eq!(boot.phase(), Some(BootPhase::BmcReady), "phase advanced past fault");
+    }
+
+    #[test]
+    fn bmc_boot_takes_configured_time() {
+        let mut boot = BootSequencer::new().with_timings(BootTimings {
+            bmc_boot: Duration::from_secs(10),
+            ..BootTimings::default()
+        });
+        let ready = boot.psu_plugged(Time::ZERO);
+        assert_eq!(ready, Time::ZERO + Duration::from_secs(10));
+    }
+}

@@ -1,0 +1,201 @@
+//! Thermal management: the fan control loop (§4.6).
+//!
+//! *"For thermal management, each socket has a large fanned heatsink with
+//! 4 additional ports for case fans."* The BMC closes the loop: it reads
+//! the die sensors and drives fan duty to keep the hottest component
+//! under its setpoint. [`FanController`] is a clamped
+//! proportional-integral controller over the [`SensorBank`] thermal
+//! models; higher airflow lowers the effective thermal resistance.
+
+use enzian_sim::{Duration, Time};
+
+use crate::sensors::{SensorBank, SensorSite};
+
+/// A fan bank with a duty-controlled airflow.
+#[derive(Debug, Clone)]
+pub struct FanBank {
+    /// Duty cycle in `[0.2, 1.0]` (fans never fully stop on this board).
+    duty: f64,
+    /// RPM at full duty.
+    max_rpm: u32,
+}
+
+impl FanBank {
+    /// Creates a bank idling at minimum duty.
+    pub fn new(max_rpm: u32) -> Self {
+        FanBank {
+            duty: 0.2,
+            max_rpm,
+        }
+    }
+
+    /// Current duty cycle.
+    pub fn duty(&self) -> f64 {
+        self.duty
+    }
+
+    /// Current RPM.
+    pub fn rpm(&self) -> u32 {
+        (self.max_rpm as f64 * self.duty) as u32
+    }
+
+    /// Sets the duty cycle, clamped to the operating range.
+    pub fn set_duty(&mut self, duty: f64) {
+        self.duty = duty.clamp(0.2, 1.0);
+    }
+
+    /// Thermal-resistance multiplier delivered at this duty: full airflow
+    /// roughly halves the die's thermal resistance vs minimum.
+    pub fn resistance_factor(&self) -> f64 {
+        1.2 - 0.7 * self.duty
+    }
+}
+
+/// The closed control loop.
+#[derive(Debug)]
+pub struct FanController {
+    setpoint_c: f64,
+    kp: f64,
+    ki: f64,
+    integral: f64,
+    cpu_fans: FanBank,
+    fpga_fans: FanBank,
+    steps: u64,
+}
+
+impl FanController {
+    /// Creates a controller holding the dies at `setpoint_c`.
+    pub fn new(setpoint_c: f64) -> Self {
+        FanController {
+            setpoint_c,
+            kp: 0.04,
+            ki: 0.004,
+            integral: 0.0,
+            cpu_fans: FanBank::new(9000),
+            fpga_fans: FanBank::new(9000),
+            steps: 0,
+        }
+    }
+
+    /// The configured setpoint.
+    pub fn setpoint_c(&self) -> f64 {
+        self.setpoint_c
+    }
+
+    /// The CPU socket fan bank.
+    pub fn cpu_fans(&self) -> &FanBank {
+        &self.cpu_fans
+    }
+
+    /// The FPGA socket fan bank.
+    pub fn fpga_fans(&self) -> &FanBank {
+        &self.fpga_fans
+    }
+
+    /// One control step at `now`: read the die sensors and adjust duty.
+    pub fn step(&mut self, sensors: &mut SensorBank, now: Time) {
+        self.steps += 1;
+        let cpu = sensors.sensor_mut(SensorSite::CpuDie).read_c(now);
+        let fpga = sensors.sensor_mut(SensorSite::FpgaDie).read_c(now);
+        let hottest = cpu.max(fpga);
+        let error = hottest - self.setpoint_c;
+        self.integral = (self.integral + error).clamp(-200.0, 200.0);
+        let duty = 0.2 + self.kp * error + self.ki * self.integral;
+        self.cpu_fans.set_duty(duty);
+        self.fpga_fans.set_duty(duty);
+    }
+
+    /// Runs the loop at 1 Hz over a window while `power_w` dissipates in
+    /// each die, applying the airflow back into the thermal model.
+    /// Returns the final hottest die temperature.
+    pub fn regulate(
+        &mut self,
+        sensors: &mut SensorBank,
+        from: Time,
+        until: Time,
+        cpu_power_w: f64,
+        fpga_power_w: f64,
+    ) -> f64 {
+        let mut t = from;
+        while t < until {
+            // Airflow changes the effective heater power seen by the
+            // first-order model (equivalent to scaling resistance).
+            let f_cpu = self.cpu_fans.resistance_factor();
+            let f_fpga = self.fpga_fans.resistance_factor();
+            sensors
+                .sensor_mut(SensorSite::CpuDie)
+                .set_power(t, cpu_power_w * f_cpu);
+            sensors
+                .sensor_mut(SensorSite::FpgaDie)
+                .set_power(t, fpga_power_w * f_fpga);
+            self.step(sensors, t);
+            t += Duration::from_secs(1);
+        }
+        let cpu = sensors.sensor_mut(SensorSite::CpuDie).read_c(until);
+        let fpga = sensors.sensor_mut(SensorSite::FpgaDie).read_c(until);
+        cpu.max(fpga)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fans_spin_up_under_load() {
+        let mut sensors = SensorBank::board(25.0);
+        let mut ctl = FanController::new(75.0);
+        let t0 = Time::ZERO;
+        let t1 = t0 + Duration::from_secs(120);
+        // Heavy load on both dies.
+        let final_temp = ctl.regulate(&mut sensors, t0, t1, 180.0, 170.0);
+        assert!(
+            ctl.cpu_fans().duty() > 0.5,
+            "fans stayed at {:.0}% under load",
+            ctl.cpu_fans().duty() * 100.0
+        );
+        // The loop holds the die in the neighbourhood of the setpoint.
+        assert!(
+            (60.0..90.0).contains(&final_temp),
+            "regulated temperature {final_temp:.1} C"
+        );
+    }
+
+    #[test]
+    fn fans_idle_when_cool() {
+        let mut sensors = SensorBank::board(25.0);
+        let mut ctl = FanController::new(75.0);
+        let t1 = Time::ZERO + Duration::from_secs(60);
+        ctl.regulate(&mut sensors, Time::ZERO, t1, 10.0, 10.0);
+        assert!(ctl.cpu_fans().duty() < 0.3);
+        assert!(ctl.cpu_fans().rpm() < 3000);
+    }
+
+    #[test]
+    fn full_airflow_beats_minimum_airflow() {
+        let mut hot = SensorBank::board(25.0);
+        let mut cool = SensorBank::board(25.0);
+        let mut min_fans = FanBank::new(9000);
+        min_fans.set_duty(0.0); // clamps to 0.2
+        let mut max_fans = FanBank::new(9000);
+        max_fans.set_duty(1.0);
+        let t1 = Time::ZERO + Duration::from_secs(200);
+        hot.sensor_mut(SensorSite::CpuDie)
+            .set_power(Time::ZERO, 150.0 * min_fans.resistance_factor());
+        cool.sensor_mut(SensorSite::CpuDie)
+            .set_power(Time::ZERO, 150.0 * max_fans.resistance_factor());
+        let t_hot = hot.sensor_mut(SensorSite::CpuDie).read_c(t1);
+        let t_cool = cool.sensor_mut(SensorSite::CpuDie).read_c(t1);
+        assert!(t_cool + 10.0 < t_hot, "airflow made no difference: {t_cool} vs {t_hot}");
+    }
+
+    #[test]
+    fn duty_is_clamped() {
+        let mut f = FanBank::new(9000);
+        f.set_duty(7.0);
+        assert_eq!(f.duty(), 1.0);
+        f.set_duty(-1.0);
+        assert_eq!(f.duty(), 0.2);
+        assert_eq!(f.rpm(), 1800);
+    }
+}

@@ -1,0 +1,216 @@
+//! The front/rear panel plumbing (§4.6): UART mux and JTAG chain.
+//!
+//! *"Enzian has a number of serial consoles or UARTs: two from the CPU
+//! SoC, one from the FPGA, and one from the BMC processor. Since our BMC
+//! is overengineered, we used the Zynq's FPGA to route all four to a
+//! serial-to-USB converter … Similarly, each of the primary components
+//! have a JTAG port … These are multiplexed … Because all daisy-chained
+//! JTAG devices must be powered for the chain to work, we also provide
+//! bypass and external pinouts."*
+
+use std::collections::VecDeque;
+
+/// The four serial consoles on the board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Console {
+    /// CPU SoC UART 0 (the BDK/Linux console of the artifact workflow).
+    Cpu0,
+    /// CPU SoC UART 1.
+    Cpu1,
+    /// The FPGA's UART.
+    Fpga,
+    /// The BMC's own console.
+    Bmc,
+}
+
+impl Console {
+    /// All consoles.
+    pub const ALL: [Console; 4] = [Console::Cpu0, Console::Cpu1, Console::Fpga, Console::Bmc];
+}
+
+/// The Zynq-routed UART-to-USB mux: all four consoles behind one USB
+/// type-B socket, selectable per read.
+#[derive(Debug, Default)]
+pub struct UartMux {
+    buffers: std::collections::BTreeMap<Console, VecDeque<u8>>,
+    selected: Option<Console>,
+}
+
+impl UartMux {
+    /// Creates the mux with empty console buffers.
+    pub fn new() -> Self {
+        let mut buffers = std::collections::BTreeMap::new();
+        for c in Console::ALL {
+            buffers.insert(c, VecDeque::new());
+        }
+        UartMux {
+            buffers,
+            selected: None,
+        }
+    }
+
+    /// A component emits bytes on its console.
+    pub fn emit(&mut self, console: Console, bytes: &[u8]) {
+        self.buffers
+            .get_mut(&console)
+            .expect("all consoles present")
+            .extend(bytes.iter().copied());
+    }
+
+    /// Selects which console the USB side sees (like the gateway's
+    /// `console zuestollXX-bmc` command).
+    pub fn select(&mut self, console: Console) {
+        self.selected = Some(console);
+    }
+
+    /// Currently selected console.
+    pub fn selected(&self) -> Option<Console> {
+        self.selected
+    }
+
+    /// Drains up to `max` bytes from the selected console.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no console is selected.
+    pub fn read_usb(&mut self, max: usize) -> Vec<u8> {
+        let console = self.selected.expect("no console selected");
+        let buf = self.buffers.get_mut(&console).expect("present");
+        let n = max.min(buf.len());
+        buf.drain(..n).collect()
+    }
+
+    /// Bytes pending on a console (visible without selecting it — the
+    /// Zynq buffers all four simultaneously).
+    pub fn pending(&self, console: Console) -> usize {
+        self.buffers[&console].len()
+    }
+}
+
+/// Devices on the JTAG chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum JtagDevice {
+    /// The ThunderX-1.
+    Cpu,
+    /// The XCVU9P.
+    Fpga,
+    /// The Zynq BMC module.
+    Bmc,
+}
+
+impl JtagDevice {
+    /// Chain order on the board.
+    pub const CHAIN: [JtagDevice; 3] = [JtagDevice::Cpu, JtagDevice::Fpga, JtagDevice::Bmc];
+}
+
+/// The JTAG chain with per-device power and bypass jumpers.
+#[derive(Debug, Default)]
+pub struct JtagChain {
+    powered: std::collections::BTreeSet<JtagDevice>,
+    bypassed: std::collections::BTreeSet<JtagDevice>,
+}
+
+impl JtagChain {
+    /// Creates the chain with everything unpowered and in-chain.
+    pub fn new() -> Self {
+        JtagChain::default()
+    }
+
+    /// Powers a device (rail up).
+    pub fn power(&mut self, dev: JtagDevice, on: bool) {
+        if on {
+            self.powered.insert(dev);
+        } else {
+            self.powered.remove(&dev);
+        }
+    }
+
+    /// Sets a bypass jumper, removing the device from the chain.
+    pub fn bypass(&mut self, dev: JtagDevice, bypassed: bool) {
+        if bypassed {
+            self.bypassed.insert(dev);
+        } else {
+            self.bypassed.remove(&dev);
+        }
+    }
+
+    /// Devices currently in the chain (not bypassed), in order.
+    pub fn in_chain(&self) -> Vec<JtagDevice> {
+        JtagDevice::CHAIN
+            .into_iter()
+            .filter(|d| !self.bypassed.contains(d))
+            .collect()
+    }
+
+    /// Whether the chain is usable: every in-chain device is powered.
+    /// "All daisy-chained JTAG devices must be powered for the chain to
+    /// work."
+    pub fn chain_works(&self) -> bool {
+        let chain = self.in_chain();
+        !chain.is_empty() && chain.iter().all(|d| self.powered.contains(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_consoles_behind_one_usb_port() {
+        let mut mux = UartMux::new();
+        mux.emit(Console::Cpu0, b"BDK>");
+        mux.emit(Console::Bmc, b"OpenBMC login:");
+        mux.emit(Console::Fpga, b"shell v1");
+
+        mux.select(Console::Bmc);
+        assert_eq!(mux.read_usb(64), b"OpenBMC login:");
+        // Other consoles kept their data meanwhile.
+        assert_eq!(mux.pending(Console::Cpu0), 4);
+        mux.select(Console::Cpu0);
+        assert_eq!(mux.read_usb(2), b"BD");
+        assert_eq!(mux.read_usb(64), b"K>");
+    }
+
+    #[test]
+    #[should_panic(expected = "no console selected")]
+    fn reading_without_selection_panics() {
+        let mut mux = UartMux::new();
+        mux.read_usb(1);
+    }
+
+    #[test]
+    fn jtag_chain_requires_all_devices_powered() {
+        let mut chain = JtagChain::new();
+        assert!(!chain.chain_works(), "unpowered chain cannot work");
+        chain.power(JtagDevice::Cpu, true);
+        chain.power(JtagDevice::Bmc, true);
+        // FPGA unpowered: the whole chain is dead.
+        assert!(!chain.chain_works());
+        chain.power(JtagDevice::Fpga, true);
+        assert!(chain.chain_works());
+    }
+
+    #[test]
+    fn bypass_jumper_rescues_a_dead_chain() {
+        // The §4.6 rationale: debug the BMC while the CPU rail is down by
+        // bypassing the unpowered device.
+        let mut chain = JtagChain::new();
+        chain.power(JtagDevice::Bmc, true);
+        chain.power(JtagDevice::Fpga, true);
+        assert!(!chain.chain_works(), "CPU unpowered");
+        chain.bypass(JtagDevice::Cpu, true);
+        assert!(chain.chain_works());
+        assert_eq!(chain.in_chain(), vec![JtagDevice::Fpga, JtagDevice::Bmc]);
+    }
+
+    #[test]
+    fn bypassing_everything_leaves_no_chain() {
+        let mut chain = JtagChain::new();
+        for d in JtagDevice::CHAIN {
+            chain.bypass(d, true);
+        }
+        assert!(!chain.chain_works());
+    }
+}

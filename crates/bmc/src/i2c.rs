@@ -1,0 +1,430 @@
+//! The I2C bus: a register-level model with an explicit transaction state
+//! machine.
+//!
+//! The Enzian firmware work produced "a verified, modular
+//! Inter-Integrated Circuit (I2C) stack" (paper §4.2, Humbel et
+//! al. \[27\]). In that spirit, this module separates the *protocol state
+//! machine* (which makes malformed sequences unrepresentable at runtime —
+//! every transition is checked) from the *devices* (which only see
+//! well-formed byte streams) and from *timing* (bit-level arithmetic on
+//! the configured bus speed).
+
+use std::collections::HashMap;
+
+use enzian_sim::{Duration, Time};
+
+/// Errors surfaced by the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum I2cError {
+    /// No device acknowledged the address.
+    AddressNak {
+        /// The 7-bit address that went unanswered.
+        addr: u8,
+    },
+    /// The device refused a data byte.
+    DataNak {
+        /// The 7-bit device address.
+        addr: u8,
+        /// Index of the refused byte within the write.
+        at_byte: usize,
+    },
+    /// A protocol-state-machine violation (driver bug).
+    Protocol(&'static str),
+    /// A 7-bit address above 0x77 or in the reserved low range.
+    InvalidAddress(u8),
+}
+
+impl std::fmt::Display for I2cError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            I2cError::AddressNak { addr } => write!(f, "address {addr:#04x} not acknowledged"),
+            I2cError::DataNak { addr, at_byte } => {
+                write!(f, "device {addr:#04x} NAKed data byte {at_byte}")
+            }
+            I2cError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            I2cError::InvalidAddress(a) => write!(f, "invalid 7-bit address {a:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for I2cError {}
+
+/// A slave device on the bus. Implementations see only well-formed
+/// sequences: `start`, then `write_byte`/`read_byte` in one direction per
+/// phase, then `stop`.
+pub trait I2cDevice {
+    /// A transaction phase begins in the given direction; return `false`
+    /// to NAK the address.
+    fn start(&mut self, reading: bool) -> bool;
+    /// Accept one written byte; return `false` to NAK it.
+    fn write_byte(&mut self, byte: u8) -> bool;
+    /// Produce one byte for the master.
+    fn read_byte(&mut self) -> u8;
+    /// The transaction ended.
+    fn stop(&mut self);
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BusPhase {
+    Idle,
+    Writing,
+    Reading,
+}
+
+/// The bus master with attached devices.
+///
+/// # Example
+///
+/// ```
+/// use enzian_bmc::i2c::{I2cBus, I2cDevice};
+/// use enzian_sim::Time;
+///
+/// struct Echo(Vec<u8>);
+/// impl I2cDevice for Echo {
+///     fn start(&mut self, _reading: bool) -> bool { true }
+///     fn write_byte(&mut self, b: u8) -> bool { self.0.push(b); true }
+///     fn read_byte(&mut self) -> u8 { self.0.pop().unwrap_or(0) }
+///     fn stop(&mut self) {}
+/// }
+///
+/// let mut bus = I2cBus::new(100_000);
+/// bus.attach(0x20, Box::new(Echo(Vec::new()))).unwrap();
+/// let (data, _t) = bus.write_read(Time::ZERO, 0x20, &[1, 2], 2).unwrap();
+/// assert_eq!(data, vec![2, 1]);
+/// ```
+pub struct I2cBus {
+    devices: HashMap<u8, Box<dyn I2cDevice>>,
+    bit_time: Duration,
+    busy_until: Time,
+    phase: BusPhase,
+    transactions: u64,
+    bytes_moved: u64,
+}
+
+impl std::fmt::Debug for I2cBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("I2cBus")
+            .field("devices", &self.devices.len())
+            .field("transactions", &self.transactions)
+            .finish()
+    }
+}
+
+fn check_addr(addr: u8) -> Result<(), I2cError> {
+    // 0x00-0x07 and 0x78-0x7F are reserved by the specification.
+    if (0x08..=0x77).contains(&addr) {
+        Ok(())
+    } else {
+        Err(I2cError::InvalidAddress(addr))
+    }
+}
+
+impl I2cBus {
+    /// Creates an empty bus at `speed_hz` (100 kHz standard mode on the
+    /// Enzian management plane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_hz` is zero.
+    pub fn new(speed_hz: u64) -> Self {
+        assert!(speed_hz > 0, "zero bus speed");
+        I2cBus {
+            devices: HashMap::new(),
+            bit_time: Duration::from_hz(speed_hz),
+            busy_until: Time::ZERO,
+            phase: BusPhase::Idle,
+            transactions: 0,
+            bytes_moved: 0,
+        }
+    }
+
+    /// Attaches a device at a 7-bit address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`I2cError::InvalidAddress`] for reserved addresses and
+    /// [`I2cError::Protocol`] when the address is already taken.
+    pub fn attach(&mut self, addr: u8, device: Box<dyn I2cDevice>) -> Result<(), I2cError> {
+        check_addr(addr)?;
+        if self.devices.contains_key(&addr) {
+            return Err(I2cError::Protocol("address already attached"));
+        }
+        self.devices.insert(addr, device);
+        Ok(())
+    }
+
+    /// Number of attached devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `(transactions, data bytes)` carried so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.transactions, self.bytes_moved)
+    }
+
+    /// One byte on the wire: 8 data bits + ACK.
+    fn byte_time(&self) -> Duration {
+        self.bit_time * 9
+    }
+
+    /// Performs a combined write-then-read transaction (the standard
+    /// register access pattern: START, addr+W, bytes, repeated-START,
+    /// addr+R, bytes, STOP). Pass an empty `write` for a pure read, or
+    /// `read_len == 0` for a pure write.
+    ///
+    /// Returns the bytes read and the bus-release time.
+    ///
+    /// # Errors
+    ///
+    /// Address or data NAKs abort the transaction with a STOP, as the
+    /// hardware does.
+    pub fn write_read(
+        &mut self,
+        now: Time,
+        addr: u8,
+        write: &[u8],
+        read_len: usize,
+    ) -> Result<(Vec<u8>, Time), I2cError> {
+        check_addr(addr)?;
+        if self.phase != BusPhase::Idle {
+            return Err(I2cError::Protocol("transaction while bus active"));
+        }
+        if write.is_empty() && read_len == 0 {
+            return Err(I2cError::Protocol("empty transaction"));
+        }
+        let mut t = self.busy_until.max(now);
+        // START condition.
+        t += self.bit_time;
+        self.transactions += 1;
+
+        let device_present = self.devices.contains_key(&addr);
+
+        if !write.is_empty() {
+            // Address + W.
+            t += self.byte_time();
+            let Some(dev) = self.devices.get_mut(&addr) else {
+                self.busy_until = t + self.bit_time; // STOP
+                return Err(I2cError::AddressNak { addr });
+            };
+            if !dev.start(false) {
+                self.busy_until = t + self.bit_time;
+                return Err(I2cError::AddressNak { addr });
+            }
+            self.phase = BusPhase::Writing;
+            for (i, &b) in write.iter().enumerate() {
+                t += self.byte_time();
+                self.bytes_moved += 1;
+                let dev = self.devices.get_mut(&addr).expect("checked above");
+                if !dev.write_byte(b) {
+                    dev.stop();
+                    self.phase = BusPhase::Idle;
+                    self.busy_until = t + self.bit_time;
+                    return Err(I2cError::DataNak { addr, at_byte: i });
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(read_len);
+        if read_len > 0 {
+            // (repeated) START + address + R.
+            t = t + self.bit_time + self.byte_time();
+            if !device_present {
+                self.phase = BusPhase::Idle;
+                self.busy_until = t + self.bit_time;
+                return Err(I2cError::AddressNak { addr });
+            }
+            let dev = self.devices.get_mut(&addr).expect("checked above");
+            if !dev.start(true) {
+                if self.phase == BusPhase::Writing {
+                    dev.stop();
+                }
+                self.phase = BusPhase::Idle;
+                self.busy_until = t + self.bit_time;
+                return Err(I2cError::AddressNak { addr });
+            }
+            self.phase = BusPhase::Reading;
+            for _ in 0..read_len {
+                t += self.byte_time();
+                self.bytes_moved += 1;
+                out.push(self.devices.get_mut(&addr).expect("checked").read_byte());
+            }
+        }
+
+        // STOP condition.
+        t += self.bit_time;
+        if let Some(dev) = self.devices.get_mut(&addr) {
+            dev.stop();
+        }
+        self.phase = BusPhase::Idle;
+        self.busy_until = t;
+        Ok((out, t))
+    }
+
+    /// Scans the address space, returning addresses that ACK a probe (the
+    /// classic `i2cdetect`).
+    pub fn scan(&mut self, now: Time) -> (Vec<u8>, Time) {
+        let mut found = Vec::new();
+        let mut t = now;
+        for addr in 0x08..=0x77u8 {
+            match self.write_read(t, addr, &[0x00], 0) {
+                Ok((_, done)) => {
+                    found.push(addr);
+                    t = done;
+                }
+                Err(_) => {
+                    t = self.busy_until;
+                }
+            }
+        }
+        (found, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A simple register-file device: first written byte selects the
+    /// register pointer; reads auto-increment.
+    struct RegFile {
+        regs: [u8; 256],
+        ptr: usize,
+        nak_writes: bool,
+    }
+
+    impl RegFile {
+        fn new() -> Self {
+            let mut regs = [0u8; 256];
+            for (i, r) in regs.iter_mut().enumerate() {
+                *r = i as u8 ^ 0x5A;
+            }
+            RegFile {
+                regs,
+                ptr: 0,
+                nak_writes: false,
+            }
+        }
+    }
+
+    impl I2cDevice for RegFile {
+        fn start(&mut self, _reading: bool) -> bool {
+            true
+        }
+        fn write_byte(&mut self, byte: u8) -> bool {
+            if self.nak_writes {
+                return false;
+            }
+            self.ptr = usize::from(byte);
+            true
+        }
+        fn read_byte(&mut self) -> u8 {
+            let v = self.regs[self.ptr];
+            self.ptr = (self.ptr + 1) % 256;
+            v
+        }
+        fn stop(&mut self) {}
+    }
+
+    fn bus_with_regfile() -> I2cBus {
+        let mut bus = I2cBus::new(100_000);
+        bus.attach(0x40, Box::new(RegFile::new())).unwrap();
+        bus
+    }
+
+    #[test]
+    fn register_read_roundtrip() {
+        let mut bus = bus_with_regfile();
+        let (data, t) = bus.write_read(Time::ZERO, 0x40, &[0x10], 2).unwrap();
+        assert_eq!(data, vec![0x10 ^ 0x5A, 0x11 ^ 0x5A]);
+        // Timing: START + (addr + 1 byte) + rSTART + addr + 2 bytes + STOP
+        // = 3 bit-times + 5 byte-times = 3*10us + 5*90us at 100 kHz.
+        let expect = Duration::from_hz(100_000) * (3 + 9 * 5);
+        assert_eq!(t.since(Time::ZERO), expect);
+    }
+
+    #[test]
+    fn missing_device_naks_address() {
+        let mut bus = bus_with_regfile();
+        let err = bus.write_read(Time::ZERO, 0x41, &[0], 1).unwrap_err();
+        assert_eq!(err, I2cError::AddressNak { addr: 0x41 });
+    }
+
+    #[test]
+    fn data_nak_reports_byte_index() {
+        let mut bus = I2cBus::new(100_000);
+        let mut dev = RegFile::new();
+        dev.nak_writes = true;
+        bus.attach(0x30, Box::new(dev)).unwrap();
+        let err = bus.write_read(Time::ZERO, 0x30, &[1, 2, 3], 0).unwrap_err();
+        assert_eq!(
+            err,
+            I2cError::DataNak {
+                addr: 0x30,
+                at_byte: 0
+            }
+        );
+    }
+
+    #[test]
+    fn reserved_addresses_rejected() {
+        let mut bus = I2cBus::new(100_000);
+        assert!(matches!(
+            bus.attach(0x03, Box::new(RegFile::new())),
+            Err(I2cError::InvalidAddress(0x03))
+        ));
+        assert!(matches!(
+            bus.attach(0x78, Box::new(RegFile::new())),
+            Err(I2cError::InvalidAddress(0x78))
+        ));
+        assert!(matches!(
+            bus.write_read(Time::ZERO, 0x00, &[0], 1),
+            Err(I2cError::InvalidAddress(0x00))
+        ));
+    }
+
+    #[test]
+    fn duplicate_attachment_rejected() {
+        let mut bus = bus_with_regfile();
+        let err = bus.attach(0x40, Box::new(RegFile::new())).unwrap_err();
+        assert!(matches!(err, I2cError::Protocol(_)));
+    }
+
+    #[test]
+    fn empty_transaction_is_a_protocol_error() {
+        let mut bus = bus_with_regfile();
+        assert!(matches!(
+            bus.write_read(Time::ZERO, 0x40, &[], 0),
+            Err(I2cError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn transactions_serialize_on_the_bus() {
+        let mut bus = bus_with_regfile();
+        let (_, t1) = bus.write_read(Time::ZERO, 0x40, &[0], 1).unwrap();
+        // Submitting "in the past" still queues behind the first.
+        let (_, t2) = bus.write_read(Time::ZERO, 0x40, &[0], 1).unwrap();
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn scan_finds_exactly_the_attached_devices() {
+        let mut bus = I2cBus::new(400_000);
+        bus.attach(0x20, Box::new(RegFile::new())).unwrap();
+        bus.attach(0x48, Box::new(RegFile::new())).unwrap();
+        bus.attach(0x77, Box::new(RegFile::new())).unwrap();
+        let (found, _) = bus.scan(Time::ZERO);
+        assert_eq!(found, vec![0x20, 0x48, 0x77]);
+    }
+
+    #[test]
+    fn pure_write_and_pure_read_work() {
+        let mut bus = bus_with_regfile();
+        let (out, _) = bus.write_read(Time::ZERO, 0x40, &[0x22], 0).unwrap();
+        assert!(out.is_empty());
+        // Pure read continues from the pointer set above.
+        let (out, _) = bus.write_read(Time::ZERO, 0x40, &[], 1).unwrap();
+        assert_eq!(out, vec![0x22 ^ 0x5A]);
+    }
+}

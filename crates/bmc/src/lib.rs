@@ -1,0 +1,46 @@
+//! The open Enzian baseboard management controller (BMC).
+//!
+//! Paper §4.2: *"Nearly all modern servers include hidden processors known
+//! as BMCs … The research community has paid very little attention to
+//! rigorously engineering hardware and software for BMCs in spite of the
+//! fact that the BMC has nearly complete control over the server."*
+//! Enzian's BMC is fully open and programmable; the authors wrote all the
+//! board firmware themselves, which produced two research lines this crate
+//! reproduces:
+//!
+//! * **Declarative power sequencing** ([`sequence`], after Schult et
+//!   al. \[60\]): powering requirements are *specified*, and a solver
+//!   generates a provably correct bring-up order, checked by a verifier.
+//! * **A modular, checkable I2C stack** ([`i2c`], [`smbus`], [`pmbus`],
+//!   after Humbel et al. \[27\]): a register-level bus model with a
+//!   transaction state machine, the SMBus protocol layer with PEC, and
+//!   the PMBus command set with LINEAR11/LINEAR16 data formats.
+//!
+//! On top sit the electrical models ([`rail`], [`power`]), the sensor
+//! bank and 20 ms telemetry service of §5.5 ([`sensors`], [`telemetry`]),
+//! the boot state machine of §4.4 ([`boot`]), and the §4.3 undervolt
+//! characterisation harness ([`margining`]).
+
+pub mod boot;
+pub mod fans;
+pub mod frontpanel;
+pub mod i2c;
+pub mod margining;
+pub mod pmbus;
+pub mod power;
+pub mod rail;
+pub mod sensors;
+pub mod sequence;
+pub mod smbus;
+pub mod telemetry;
+
+pub use boot::{BootEvent, BootPhase, BootSequencer};
+pub use i2c::{I2cBus, I2cDevice, I2cError};
+pub use fans::{FanBank, FanController};
+pub use frontpanel::{Console, JtagChain, UartMux};
+pub use margining::{DeviceVminModel, GuardbandReport, UndervoltStudy};
+pub use pmbus::{PmbusCommand, PmbusRegulator};
+pub use power::{BoardActivity, PowerModel};
+pub use rail::{RailId, RailSpec, Regulator};
+pub use sequence::{PowerSpec, SequenceError, SequenceStep, SequenceVerifier};
+pub use telemetry::TelemetryService;

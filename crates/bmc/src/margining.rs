@@ -1,0 +1,243 @@
+//! Undervolt characterisation (§4.3).
+//!
+//! *"The ability to independently monitor and control voltage regulators
+//! at fine granularity makes Enzian a worthy experimental platform for
+//! examining the undervolt behavior of FPGAs, CPUs, and DRAM."* (After
+//! Salami et al. \[59\] and Tovletoglou et al. \[71\].)
+//!
+//! [`UndervoltStudy`] sweeps one rail downward through VOUT_COMMAND while
+//! running a self-checking workload at each step, and reports the
+//! guardband: the margin between nominal and the first voltage at which
+//! errors appear. The device failure model is a deterministic critical
+//! voltage plus a noise band in which errors are probabilistic — the
+//! shape every published undervolt study observes (a safe region, a
+//! narrow critical band, then functional failure).
+
+use enzian_sim::{Duration, SimRng, Time};
+
+use crate::pmbus::PmbusNetwork;
+use crate::rail::RailId;
+use crate::smbus::SmbusError;
+
+/// Failure model of the device behind a rail.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeviceVminModel {
+    /// Voltage below which the device always fails.
+    pub crash_volts: f64,
+    /// Width of the critical band above `crash_volts` where errors are
+    /// probabilistic (silent data corruption regime).
+    pub critical_band_volts: f64,
+}
+
+impl DeviceVminModel {
+    /// A plausible XCVU9P at VCCINT 0.85 V nominal: crashes below
+    /// ~0.68 V with a ~40 mV corruption band (≈20 % guardband).
+    pub fn xcvu9p_vccint() -> Self {
+        DeviceVminModel {
+            crash_volts: 0.68,
+            critical_band_volts: 0.04,
+        }
+    }
+
+    /// Probability that a workload iteration at `volts` errors.
+    pub fn error_probability(&self, volts: f64) -> f64 {
+        if volts <= self.crash_volts {
+            1.0
+        } else if volts >= self.crash_volts + self.critical_band_volts {
+            0.0
+        } else {
+            // Linear ramp across the critical band.
+            1.0 - (volts - self.crash_volts) / self.critical_band_volts
+        }
+    }
+}
+
+/// One step of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepPoint {
+    /// Commanded voltage.
+    pub volts: f64,
+    /// Workload iterations run at this voltage.
+    pub iterations: u32,
+    /// Iterations that produced errors.
+    pub errors: u32,
+    /// Power drawn at this point, watts.
+    pub watts: f64,
+}
+
+/// The study result.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GuardbandReport {
+    /// Rail characterised.
+    pub rail: RailId,
+    /// Nominal voltage.
+    pub nominal_volts: f64,
+    /// Lowest error-free voltage observed.
+    pub vmin_safe: f64,
+    /// Guardband as a fraction of nominal.
+    pub guardband_fraction: f64,
+    /// Power saved at `vmin_safe` relative to nominal, fractional
+    /// (P ∝ V² at constant load current model).
+    pub power_saving_fraction: f64,
+    /// The raw sweep.
+    pub sweep: Vec<SweepPoint>,
+}
+
+/// Drives a sweep over one rail of a [`PmbusNetwork`].
+#[derive(Debug)]
+pub struct UndervoltStudy {
+    rail: RailId,
+    model: DeviceVminModel,
+    step_volts: f64,
+    iterations_per_step: u32,
+    rng: SimRng,
+}
+
+impl UndervoltStudy {
+    /// Creates a study of `rail` against `model`, stepping 10 mV with 50
+    /// workload iterations per step.
+    pub fn new(rail: RailId, model: DeviceVminModel, seed: u64) -> Self {
+        UndervoltStudy {
+            rail,
+            model,
+            step_volts: 0.01,
+            iterations_per_step: 50,
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// Runs the sweep: command nominal, then step down until the device
+    /// fails hard, running the self-checking workload at each step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PMBus failures.
+    pub fn run(&mut self, net: &mut PmbusNetwork, now: Time) -> Result<GuardbandReport, SmbusError> {
+        let nominal = net.regulator(self.rail).borrow().spec().nominal_volts;
+        let mut t = net.enable(now, self.rail)?;
+        t += Duration::from_ms(5);
+
+        let mut sweep = Vec::new();
+        let mut vmin_safe = nominal;
+        let mut volts = nominal;
+        loop {
+            t = net.set_vout(t, self.rail, volts)?;
+            t += Duration::from_ms(2);
+            let (actual, t2) = net.read_vout(t, self.rail)?;
+            t = t2;
+            // Workload: iterations error with the model's probability.
+            let mut errors = 0;
+            for _ in 0..self.iterations_per_step {
+                if self.rng.chance(self.model.error_probability(actual)) {
+                    errors += 1;
+                }
+                t += Duration::from_us(200); // workload runtime
+            }
+            let reg = net.regulator(self.rail);
+            let watts = reg.borrow().output_watts(t);
+            sweep.push(SweepPoint {
+                volts: actual,
+                iterations: self.iterations_per_step,
+                errors,
+                watts,
+            });
+            if errors == 0 {
+                vmin_safe = actual;
+            }
+            if actual <= self.model.crash_volts || errors == self.iterations_per_step {
+                break; // hard failure: stop the sweep
+            }
+            volts -= self.step_volts;
+        }
+
+        // Restore nominal before reporting.
+        let _ = net.set_vout(t, self.rail, nominal)?;
+        let guardband = (nominal - vmin_safe) / nominal;
+        let power_saving = 1.0 - (vmin_safe / nominal).powi(2);
+        Ok(GuardbandReport {
+            rail: self.rail,
+            nominal_volts: nominal,
+            vmin_safe,
+            guardband_fraction: guardband,
+            power_saving_fraction: power_saving,
+            sweep,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_study() -> GuardbandReport {
+        let mut net = PmbusNetwork::board();
+        net.regulator(RailId::FpgaVccint).borrow_mut().set_load_amps(60.0);
+        let mut study =
+            UndervoltStudy::new(RailId::FpgaVccint, DeviceVminModel::xcvu9p_vccint(), 7);
+        study.run(&mut net, Time::ZERO).expect("sweep completes")
+    }
+
+    #[test]
+    fn guardband_is_found_between_crash_and_nominal() {
+        let r = run_study();
+        assert!(r.vmin_safe < r.nominal_volts, "no undervolt headroom found");
+        assert!(
+            r.vmin_safe >= DeviceVminModel::xcvu9p_vccint().crash_volts,
+            "safe point below the crash voltage"
+        );
+        // XCVU9P model: ~0.72/0.85 -> ~15-20% guardband.
+        assert!(
+            (0.08..0.25).contains(&r.guardband_fraction),
+            "guardband {:.1}%",
+            r.guardband_fraction * 100.0
+        );
+        assert!(r.power_saving_fraction > 0.1, "undervolting should save >10% power");
+    }
+
+    #[test]
+    fn error_rate_is_monotone_in_the_sweep() {
+        let r = run_study();
+        // Errors never decrease as voltage drops (allowing sampling
+        // noise of one step).
+        let mut last_errors = 0u32;
+        for (i, p) in r.sweep.iter().enumerate() {
+            if p.errors + 5 < last_errors {
+                panic!("errors regressed at step {i}: {} -> {}", last_errors, p.errors);
+            }
+            last_errors = last_errors.max(p.errors);
+        }
+        // The sweep ends in hard failure.
+        let last = r.sweep.last().unwrap();
+        assert!(last.errors > 0);
+    }
+
+    #[test]
+    fn nominal_operation_is_error_free() {
+        let r = run_study();
+        let first = &r.sweep[0];
+        assert!((first.volts - r.nominal_volts).abs() < 0.005);
+        assert_eq!(first.errors, 0, "errors at nominal voltage");
+    }
+
+    #[test]
+    fn failure_model_shape() {
+        let m = DeviceVminModel::xcvu9p_vccint();
+        assert_eq!(m.error_probability(0.85), 0.0);
+        assert_eq!(m.error_probability(0.60), 1.0);
+        let mid = m.error_probability(m.crash_volts + m.critical_band_volts / 2.0);
+        assert!((mid - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_drops_quadratically_with_voltage() {
+        let r = run_study();
+        let first = &r.sweep[0];
+        let last_safe = r
+            .sweep
+            .iter()
+            .rfind(|p| p.errors == 0)
+            .expect("some safe point");
+        // With constant current, P ∝ V.
+        assert!(last_safe.watts < first.watts);
+    }
+}

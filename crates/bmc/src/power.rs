@@ -1,0 +1,221 @@
+//! Electrical load models for board activity phases.
+//!
+//! Fig. 12 plots per-rail power while the machine moves through a staged
+//! workload: boot, BDK DRAM check, bus tests, marching/random memtests,
+//! CPU power-off, and an FPGA "power burn" that switches blocks of
+//! flip-flops in 1/24-area steps. [`PowerModel`] translates a
+//! [`BoardActivity`] into per-rail current loads on the shared
+//! [`Regulator`](crate::rail::Regulator) models, which the PMBus sensors
+//! then report.
+
+use std::collections::BTreeMap;
+
+use crate::pmbus::{PmbusNetwork, SharedRegulator};
+use crate::rail::RailId;
+
+/// What the board is doing, as far as power draw is concerned.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum BoardActivity {
+    /// Rails up, CPU held in reset, FPGA blank.
+    PoweredIdle,
+    /// CPU released, BDK executing from on-chip RAM (power spike then
+    /// settling).
+    CpuBdkBoot,
+    /// BDK DRAM presence/size check.
+    DramCheck,
+    /// Data-bus walking-ones test.
+    DataBusTest,
+    /// Address-bus aliasing test.
+    AddressBusTest,
+    /// Marching-rows memtest (streaming, high DRAM activity).
+    MemtestMarching,
+    /// Random-data memtest (highest DRAM activity).
+    MemtestRandom,
+    /// CPU idling in the BDK prompt.
+    CpuIdle,
+    /// CPU powered off again.
+    CpuOff,
+    /// FPGA programmed with the stress bitstream but quiescent.
+    FpgaIdle,
+    /// FPGA power burn with `fraction` of the fabric toggling (the
+    /// experiment steps this in 1/24 increments).
+    FpgaBurn {
+        /// Fraction of the fabric area toggling every cycle, in [0, 1].
+        fraction: f64,
+    },
+    /// FPGA unprogrammed/off.
+    FpgaOff,
+}
+
+/// Per-rail current loads (amps) implied by CPU-side and FPGA-side
+/// activity, and the mapping to the four traces Fig. 12 plots.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    regulators: BTreeMap<RailId, SharedRegulator>,
+}
+
+impl PowerModel {
+    /// Binds the model to the network's regulators.
+    pub fn new(network: &PmbusNetwork) -> Self {
+        let regulators = network
+            .rails()
+            .map(|r| (r, network.regulator(r)))
+            .collect();
+        PowerModel { regulators }
+    }
+
+    fn set_amps(&self, rail: RailId, amps: f64) {
+        if let Some(r) = self.regulators.get(&rail) {
+            r.borrow_mut().set_load_amps(amps);
+        }
+    }
+
+    /// Applies a CPU-side activity's loads (CPU rails + CPU DRAM rails).
+    pub fn apply_cpu_activity(&self, activity: BoardActivity) {
+        use BoardActivity::*;
+        // (core amps @0.9 V, soc amps, io amps, per-DDR-pair amps @1.2 V)
+        let (core, soc, io, ddr) = match activity {
+            PoweredIdle => (4.0, 3.0, 1.0, 0.8),
+            CpuBdkBoot => (95.0, 22.0, 6.0, 2.0),
+            DramCheck => (48.0, 18.0, 8.0, 7.0),
+            DataBusTest => (52.0, 18.0, 9.0, 9.5),
+            AddressBusTest => (54.0, 18.0, 9.0, 10.5),
+            MemtestMarching => (62.0, 20.0, 10.0, 15.0),
+            MemtestRandom => (68.0, 21.0, 10.0, 17.5),
+            CpuIdle => (30.0, 14.0, 4.0, 4.5),
+            CpuOff => (0.0, 0.0, 0.0, 0.0),
+            FpgaIdle | FpgaBurn { .. } | FpgaOff => return,
+        };
+        self.set_amps(RailId::CpuVdd, core);
+        self.set_amps(RailId::CpuVddSoc, soc);
+        self.set_amps(RailId::CpuVddIo, io);
+        self.set_amps(RailId::CpuDdrVddq01, ddr);
+        self.set_amps(RailId::CpuDdrVddq23, ddr);
+        self.set_amps(RailId::CpuDdrVpp, ddr * 0.1);
+    }
+
+    /// Applies an FPGA-side activity's loads.
+    pub fn apply_fpga_activity(&self, activity: BoardActivity) {
+        use BoardActivity::*;
+        let (vccint, aux, bram) = match activity {
+            FpgaOff => (0.0, 0.0, 0.0),
+            FpgaIdle => (21.0, 4.0, 2.0),
+            FpgaBurn { fraction } => {
+                let f = fraction.clamp(0.0, 1.0);
+                // Static ~18 W plus up to ~160 W of dynamic switching on
+                // VCCINT at full area, tracking the 1/24 steps of §5.5.
+                (21.0 + 188.0 * f, 4.0 + 3.0 * f, 2.0 + 8.0 * f)
+            }
+            _ => return,
+        };
+        self.set_amps(RailId::FpgaVccint, vccint);
+        self.set_amps(RailId::FpgaVccaux, aux);
+        self.set_amps(RailId::FpgaVccbram, bram);
+    }
+
+    /// The Fig. 12 "FPGA" trace: all FPGA core-fabric rails, watts.
+    pub fn fpga_watts(&self, now: enzian_sim::Time) -> f64 {
+        [RailId::FpgaVccint, RailId::FpgaVccaux, RailId::FpgaVccbram]
+            .iter()
+            .map(|r| self.regulators[r].borrow().output_watts(now))
+            .sum()
+    }
+
+    /// The Fig. 12 "CPU" trace: CPU core + SoC + I/O rails, watts.
+    pub fn cpu_watts(&self, now: enzian_sim::Time) -> f64 {
+        [RailId::CpuVdd, RailId::CpuVddSoc, RailId::CpuVddIo]
+            .iter()
+            .map(|r| self.regulators[r].borrow().output_watts(now))
+            .sum()
+    }
+
+    /// The Fig. 12 "DRAM0" trace: CPU DDR channels 0/1, watts.
+    pub fn dram0_watts(&self, now: enzian_sim::Time) -> f64 {
+        self.regulators[&RailId::CpuDdrVddq01]
+            .borrow()
+            .output_watts(now)
+            + self.regulators[&RailId::CpuDdrVpp].borrow().output_watts(now) / 2.0
+    }
+
+    /// The Fig. 12 "DRAM1" trace: CPU DDR channels 2/3, watts.
+    pub fn dram1_watts(&self, now: enzian_sim::Time) -> f64 {
+        self.regulators[&RailId::CpuDdrVddq23]
+            .borrow()
+            .output_watts(now)
+            + self.regulators[&RailId::CpuDdrVpp].borrow().output_watts(now) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enzian_sim::{Duration, Time};
+
+    fn powered_network() -> (PmbusNetwork, PowerModel, Time) {
+        let mut net = PmbusNetwork::board();
+        let mut t = Time::ZERO;
+        let rails: Vec<RailId> = net.rails().collect();
+        for rail in rails {
+            t = net.enable(t, rail).unwrap();
+        }
+        let model = PowerModel::new(&net);
+        (net, model, t + Duration::from_ms(10))
+    }
+
+    #[test]
+    fn cpu_boot_spike_exceeds_steady_state() {
+        let (_net, model, t) = powered_network();
+        model.apply_cpu_activity(BoardActivity::CpuBdkBoot);
+        let spike = model.cpu_watts(t);
+        model.apply_cpu_activity(BoardActivity::CpuIdle);
+        let idle = model.cpu_watts(t);
+        assert!(spike > idle * 2.0, "spike {spike:.1} W vs idle {idle:.1} W");
+        assert!((60.0..120.0).contains(&spike), "spike {spike:.1} W");
+    }
+
+    #[test]
+    fn memtests_raise_dram_power_progressively() {
+        let (_net, model, t) = powered_network();
+        model.apply_cpu_activity(BoardActivity::DramCheck);
+        let check = model.dram0_watts(t);
+        model.apply_cpu_activity(BoardActivity::MemtestMarching);
+        let march = model.dram0_watts(t);
+        model.apply_cpu_activity(BoardActivity::MemtestRandom);
+        let random = model.dram0_watts(t);
+        assert!(check < march && march < random);
+    }
+
+    #[test]
+    fn fpga_burn_ramps_linearly_to_about_175_watts() {
+        let (_net, model, t) = powered_network();
+        model.apply_fpga_activity(BoardActivity::FpgaBurn { fraction: 0.0 });
+        let base = model.fpga_watts(t);
+        model.apply_fpga_activity(BoardActivity::FpgaBurn { fraction: 1.0 });
+        let full = model.fpga_watts(t);
+        assert!((15.0..30.0).contains(&base), "burn base {base:.1} W");
+        assert!((150.0..200.0).contains(&full), "burn full {full:.1} W");
+        // Halfway is about halfway.
+        model.apply_fpga_activity(BoardActivity::FpgaBurn { fraction: 0.5 });
+        let half = model.fpga_watts(t);
+        assert!((half - (base + full) / 2.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn cpu_off_kills_cpu_and_dram_power() {
+        let (_net, model, t) = powered_network();
+        model.apply_cpu_activity(BoardActivity::MemtestRandom);
+        assert!(model.cpu_watts(t) > 10.0);
+        model.apply_cpu_activity(BoardActivity::CpuOff);
+        assert_eq!(model.cpu_watts(t), 0.0);
+        assert_eq!(model.dram0_watts(t), 0.0);
+    }
+
+    #[test]
+    fn fpga_activity_does_not_touch_cpu_rails() {
+        let (_net, model, t) = powered_network();
+        model.apply_cpu_activity(BoardActivity::CpuIdle);
+        let before = model.cpu_watts(t);
+        model.apply_fpga_activity(BoardActivity::FpgaBurn { fraction: 1.0 });
+        assert_eq!(model.cpu_watts(t), before);
+    }
+}

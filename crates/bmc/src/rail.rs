@@ -1,0 +1,400 @@
+//! Voltage rails and regulators.
+//!
+//! Paper §4.3: *"Enzian has 25 discrete voltage regulators supplying 30
+//! voltage rails, each of which can be controlled and queried for some
+//! combination of voltage, current, and temperature."* [`RailSpec`]
+//! describes a rail electrically; [`Regulator`] is the stateful device the
+//! BMC switches on and off (over PMBus) and reads sensors from.
+
+use core::fmt;
+
+use enzian_sim::{Duration, Time};
+
+/// Identifies a voltage rail on the board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum RailId {
+    /// 12 V input from the CRPS supply.
+    Input12V,
+    /// 5 V standby (BMC always-on domain).
+    Standby5V,
+    /// 3.3 V system rail.
+    Sys3V3,
+    /// 1.8 V auxiliary rail.
+    Aux1V8,
+    /// ThunderX-1 core supply (0.9 V, >150 A capable).
+    CpuVdd,
+    /// ThunderX-1 SoC/uncore supply.
+    CpuVddSoc,
+    /// ThunderX-1 I/O supply.
+    CpuVddIo,
+    /// CPU-side DDR4 VDDQ, channels 0/1.
+    CpuDdrVddq01,
+    /// CPU-side DDR4 VDDQ, channels 2/3.
+    CpuDdrVddq23,
+    /// CPU-side DDR4 VPP (2.5 V pump).
+    CpuDdrVpp,
+    /// FPGA core supply (VCCINT, 0.85 V, high current).
+    FpgaVccint,
+    /// FPGA auxiliary supply (VCCAUX, 1.8 V).
+    FpgaVccaux,
+    /// FPGA block-RAM supply.
+    FpgaVccbram,
+    /// FPGA transceiver supplies (MGTAVCC).
+    FpgaMgtAvcc,
+    /// FPGA transceiver termination (MGTAVTT).
+    FpgaMgtAvtt,
+    /// FPGA-side DDR4 VDDQ.
+    FpgaDdrVddq,
+    /// FPGA-side DDR4 VPP.
+    FpgaDdrVpp,
+    /// Clock-distribution supply.
+    Clocks,
+}
+
+impl RailId {
+    /// All rails, in the board's documentation order.
+    pub const ALL: [RailId; 18] = [
+        RailId::Input12V,
+        RailId::Standby5V,
+        RailId::Sys3V3,
+        RailId::Aux1V8,
+        RailId::CpuVdd,
+        RailId::CpuVddSoc,
+        RailId::CpuVddIo,
+        RailId::CpuDdrVddq01,
+        RailId::CpuDdrVddq23,
+        RailId::CpuDdrVpp,
+        RailId::FpgaVccint,
+        RailId::FpgaVccaux,
+        RailId::FpgaVccbram,
+        RailId::FpgaMgtAvcc,
+        RailId::FpgaMgtAvtt,
+        RailId::FpgaDdrVddq,
+        RailId::FpgaDdrVpp,
+        RailId::Clocks,
+    ];
+
+    /// The rail's short schematic-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RailId::Input12V => "P12V_IN",
+            RailId::Standby5V => "P5V_STBY",
+            RailId::Sys3V3 => "P3V3_SYS",
+            RailId::Aux1V8 => "P1V8_AUX",
+            RailId::CpuVdd => "VDD_CORE_CPU",
+            RailId::CpuVddSoc => "VDD_SOC_CPU",
+            RailId::CpuVddIo => "VDD_IO_CPU",
+            RailId::CpuDdrVddq01 => "VDDQ_DDR_C01",
+            RailId::CpuDdrVddq23 => "VDDQ_DDR_C23",
+            RailId::CpuDdrVpp => "VPP_DDR_CPU",
+            RailId::FpgaVccint => "VCCINT_FPGA",
+            RailId::FpgaVccaux => "VCCAUX_FPGA",
+            RailId::FpgaVccbram => "VCCBRAM_FPGA",
+            RailId::FpgaMgtAvcc => "MGTAVCC_FPGA",
+            RailId::FpgaMgtAvtt => "MGTAVTT_FPGA",
+            RailId::FpgaDdrVddq => "VDDQ_DDR_FPGA",
+            RailId::FpgaDdrVpp => "VPP_DDR_FPGA",
+            RailId::Clocks => "P3V3_CLK",
+        }
+    }
+}
+
+impl fmt::Display for RailId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Electrical specification of a rail.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RailSpec {
+    /// Which rail this is.
+    pub id: RailId,
+    /// Nominal output voltage in volts.
+    pub nominal_volts: f64,
+    /// Maximum continuous current in amps.
+    pub max_amps: f64,
+    /// Soft-start ramp time from enable to regulation.
+    pub ramp: Duration,
+    /// Power-good threshold as a fraction of nominal (e.g. 0.9).
+    pub pgood_fraction: f64,
+}
+
+impl RailSpec {
+    /// The board's rail table (nominals from the component datasheets;
+    /// the CPU core rail is the >150 A line §4.2 warns about).
+    pub fn board_table() -> Vec<RailSpec> {
+        let mk = |id, v, a, ramp_us| RailSpec {
+            id,
+            nominal_volts: v,
+            max_amps: a,
+            ramp: Duration::from_us(ramp_us),
+            pgood_fraction: 0.9,
+        };
+        vec![
+            mk(RailId::Input12V, 12.0, 100.0, 2_000),
+            mk(RailId::Standby5V, 5.0, 4.0, 500),
+            mk(RailId::Sys3V3, 3.3, 20.0, 500),
+            mk(RailId::Aux1V8, 1.8, 10.0, 400),
+            mk(RailId::CpuVdd, 0.9, 160.0, 1_000),
+            mk(RailId::CpuVddSoc, 0.95, 40.0, 800),
+            mk(RailId::CpuVddIo, 1.2, 20.0, 600),
+            mk(RailId::CpuDdrVddq01, 1.2, 25.0, 600),
+            mk(RailId::CpuDdrVddq23, 1.2, 25.0, 600),
+            mk(RailId::CpuDdrVpp, 2.5, 4.0, 400),
+            mk(RailId::FpgaVccint, 0.85, 250.0, 1_200),
+            mk(RailId::FpgaVccaux, 1.8, 15.0, 600),
+            mk(RailId::FpgaVccbram, 0.9, 15.0, 600),
+            mk(RailId::FpgaMgtAvcc, 0.9, 20.0, 600),
+            mk(RailId::FpgaMgtAvtt, 1.2, 20.0, 600),
+            mk(RailId::FpgaDdrVddq, 1.2, 25.0, 600),
+            mk(RailId::FpgaDdrVpp, 2.5, 4.0, 400),
+            mk(RailId::Clocks, 3.3, 3.0, 300),
+        ]
+    }
+}
+
+/// A stateful regulator: enabled/disabled, ramping, with live voltage,
+/// current and temperature readings the PMBus layer serves.
+#[derive(Debug, Clone)]
+pub struct Regulator {
+    spec: RailSpec,
+    enabled_at: Option<Time>,
+    disabled: bool,
+    load_amps: f64,
+    ambient_c: f64,
+    faulted: bool,
+    /// VOUT_COMMAND override; `None` regulates at nominal.
+    commanded_volts: Option<f64>,
+}
+
+impl Regulator {
+    /// Creates a disabled regulator.
+    pub fn new(spec: RailSpec) -> Self {
+        Regulator {
+            spec,
+            enabled_at: None,
+            disabled: true,
+            load_amps: 0.0,
+            ambient_c: 30.0,
+            faulted: false,
+            commanded_volts: None,
+        }
+    }
+
+    /// Margins the output via VOUT_COMMAND (the undervolt/overvolt knob
+    /// of §4.3). The command is clamped to the regulator's trim range of
+    /// 50–110 % of nominal, as real parts do.
+    pub fn set_vout_command(&mut self, volts: f64) {
+        let lo = self.spec.nominal_volts * 0.5;
+        let hi = self.spec.nominal_volts * 1.1;
+        self.commanded_volts = Some(volts.clamp(lo, hi));
+    }
+
+    /// Clears any VOUT_COMMAND margin, returning to nominal regulation.
+    pub fn clear_vout_command(&mut self) {
+        self.commanded_volts = None;
+    }
+
+    /// The regulation target (commanded or nominal).
+    pub fn target_volts(&self) -> f64 {
+        self.commanded_volts.unwrap_or(self.spec.nominal_volts)
+    }
+
+    /// The rail specification.
+    pub fn spec(&self) -> &RailSpec {
+        &self.spec
+    }
+
+    /// Enables output at `now` (OPERATION on).
+    pub fn enable(&mut self, now: Time) {
+        if self.disabled && !self.faulted {
+            self.enabled_at = Some(now);
+            self.disabled = false;
+        }
+    }
+
+    /// Disables output (OPERATION off).
+    pub fn disable(&mut self) {
+        self.disabled = true;
+        self.enabled_at = None;
+    }
+
+    /// Whether the output is enabled.
+    pub fn is_enabled(&self) -> bool {
+        !self.disabled
+    }
+
+    /// Latches an over-current fault and shuts down.
+    pub fn fault(&mut self) {
+        self.faulted = true;
+        self.disable();
+    }
+
+    /// Whether the regulator latched a fault.
+    pub fn is_faulted(&self) -> bool {
+        self.faulted
+    }
+
+    /// Clears a latched fault (CLEAR_FAULTS).
+    pub fn clear_faults(&mut self) {
+        self.faulted = false;
+    }
+
+    /// Sets the electrical load on the rail.
+    ///
+    /// Loads beyond the rail's rating latch an over-current fault.
+    pub fn set_load_amps(&mut self, amps: f64) {
+        self.load_amps = amps.max(0.0);
+        if self.load_amps > self.spec.max_amps {
+            self.fault();
+        }
+    }
+
+    /// Current load in amps (zero when disabled).
+    pub fn read_amps(&self, now: Time) -> f64 {
+        if self.output_volts(now) > 0.0 {
+            self.load_amps
+        } else {
+            0.0
+        }
+    }
+
+    /// Output voltage at `now`, following the soft-start ramp.
+    pub fn output_volts(&self, now: Time) -> f64 {
+        let Some(t0) = self.enabled_at else {
+            return 0.0;
+        };
+        if self.disabled || self.faulted {
+            return 0.0;
+        }
+        let target = self.target_volts();
+        let elapsed = now.saturating_since(t0);
+        if elapsed >= self.spec.ramp {
+            target
+        } else {
+            target * elapsed.as_ps() as f64 / self.spec.ramp.as_ps() as f64
+        }
+    }
+
+    /// Whether the rail has reached its power-good threshold at `now`.
+    pub fn power_good(&self, now: Time) -> bool {
+        self.output_volts(now) >= self.spec.nominal_volts * self.spec.pgood_fraction
+    }
+
+    /// Device temperature in °C: ambient plus dissipation-driven rise.
+    pub fn read_temperature_c(&self, now: Time) -> f64 {
+        let watts = self.output_volts(now) * self.load_amps;
+        // ~0.25 °C per watt of conversion loss at ~92% efficiency.
+        self.ambient_c + watts * 0.08 * 0.25 / 0.92
+    }
+
+    /// Output power in watts at `now`.
+    pub fn output_watts(&self, now: Time) -> f64 {
+        self.output_volts(now) * self.read_amps(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_vdd() -> Regulator {
+        let spec = RailSpec::board_table()
+            .into_iter()
+            .find(|s| s.id == RailId::CpuVdd)
+            .unwrap();
+        Regulator::new(spec)
+    }
+
+    #[test]
+    fn board_table_covers_all_rails() {
+        let table = RailSpec::board_table();
+        assert_eq!(table.len(), RailId::ALL.len());
+        for id in RailId::ALL {
+            assert!(table.iter().any(|s| s.id == id), "{id} missing");
+        }
+        // Rail names are unique.
+        let mut names: Vec<_> = RailId::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), RailId::ALL.len());
+    }
+
+    #[test]
+    fn disabled_regulator_outputs_nothing() {
+        let r = cpu_vdd();
+        assert_eq!(r.output_volts(Time::ZERO), 0.0);
+        assert!(!r.power_good(Time::ZERO));
+    }
+
+    #[test]
+    fn soft_start_ramps_to_nominal() {
+        let mut r = cpu_vdd();
+        r.enable(Time::ZERO);
+        let half = Time::ZERO + r.spec().ramp / 2;
+        let v_half = r.output_volts(half);
+        assert!(v_half > 0.0 && v_half < r.spec().nominal_volts);
+        let after = Time::ZERO + r.spec().ramp * 2;
+        assert_eq!(r.output_volts(after), r.spec().nominal_volts);
+        assert!(r.power_good(after));
+        assert!(!r.power_good(Time::ZERO));
+    }
+
+    #[test]
+    fn overcurrent_latches_fault() {
+        let mut r = cpu_vdd();
+        r.enable(Time::ZERO);
+        r.set_load_amps(200.0); // beyond the 160 A rating
+        assert!(r.is_faulted());
+        assert_eq!(r.output_volts(Time::ZERO + Duration::from_ms(10)), 0.0);
+        // Enable is refused while faulted.
+        r.enable(Time::ZERO + Duration::from_ms(10));
+        assert!(!r.is_enabled());
+        r.clear_faults();
+        r.set_load_amps(100.0);
+        r.enable(Time::ZERO + Duration::from_ms(20));
+        assert!(r.is_enabled());
+    }
+
+    #[test]
+    fn vout_command_margins_the_output() {
+        let mut r = cpu_vdd();
+        r.enable(Time::ZERO);
+        let t = Time::ZERO + Duration::from_ms(10);
+        assert!((r.output_volts(t) - 0.9).abs() < 1e-12);
+        r.set_vout_command(0.81); // -10% undervolt
+        assert!((r.output_volts(t) - 0.81).abs() < 1e-12);
+        // Power-good tracks nominal, so a deep undervolt drops PGOOD.
+        r.set_vout_command(0.45); // clamps to 50% of nominal
+        assert!((r.output_volts(t) - 0.45).abs() < 1e-12);
+        assert!(!r.power_good(t));
+        r.clear_vout_command();
+        assert!((r.output_volts(t) - 0.9).abs() < 1e-12);
+        assert!(r.power_good(t));
+    }
+
+    #[test]
+    fn vout_command_clamps_to_trim_range() {
+        let mut r = cpu_vdd();
+        r.set_vout_command(5.0);
+        assert!((r.target_volts() - 0.9 * 1.1).abs() < 1e-12);
+        r.set_vout_command(0.0);
+        assert!((r.target_volts() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_and_temperature_track_load() {
+        let mut r = cpu_vdd();
+        r.enable(Time::ZERO);
+        let t = Time::ZERO + Duration::from_ms(10);
+        r.set_load_amps(100.0);
+        let p = r.output_watts(t);
+        assert!((p - 90.0).abs() < 1e-9, "0.9 V x 100 A = 90 W, got {p}");
+        let temp_loaded = r.read_temperature_c(t);
+        r.set_load_amps(1.0);
+        let temp_idle = r.read_temperature_c(t);
+        assert!(temp_loaded > temp_idle);
+    }
+}

@@ -1,0 +1,192 @@
+//! Board temperature sensors.
+//!
+//! Beyond the regulators' own temperature readings, the board carries "a
+//! dozen temperature sensors" (§5.5) — die sensors under each socket,
+//! inlet/outlet air, DIMM spots. Each is a first-order thermal model:
+//! temperature relaxes toward ambient plus a power-driven rise with a
+//! configurable time constant, so stress tests show realistic lag.
+
+use enzian_sim::{Duration, Time};
+
+/// Identifies a temperature sensor site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum SensorSite {
+    /// ThunderX-1 die sensor.
+    CpuDie,
+    /// XCVU9P die sensor.
+    FpgaDie,
+    /// Case air inlet.
+    Inlet,
+    /// Case air outlet.
+    Outlet,
+    /// CPU-side DIMM bank.
+    CpuDimms,
+    /// FPGA-side DIMM bank.
+    FpgaDimms,
+    /// Board centre (VRM cluster).
+    VrmCluster,
+}
+
+impl SensorSite {
+    /// All sensor sites.
+    pub const ALL: [SensorSite; 7] = [
+        SensorSite::CpuDie,
+        SensorSite::FpgaDie,
+        SensorSite::Inlet,
+        SensorSite::Outlet,
+        SensorSite::CpuDimms,
+        SensorSite::FpgaDimms,
+        SensorSite::VrmCluster,
+    ];
+}
+
+/// A first-order thermal node: `T(t) → ambient + power × resistance`
+/// with time constant `tau`.
+#[derive(Debug, Clone)]
+pub struct TempSensor {
+    site: SensorSite,
+    ambient_c: f64,
+    /// Thermal resistance in °C per watt.
+    resistance: f64,
+    tau: Duration,
+    temp_c: f64,
+    heater_watts: f64,
+    last_update: Time,
+}
+
+impl TempSensor {
+    /// Creates a sensor at ambient.
+    pub fn new(site: SensorSite, ambient_c: f64, resistance: f64, tau: Duration) -> Self {
+        TempSensor {
+            site,
+            ambient_c,
+            resistance,
+            tau,
+            temp_c: ambient_c,
+            heater_watts: 0.0,
+            last_update: Time::ZERO,
+        }
+    }
+
+    /// The sensor's site.
+    pub fn site(&self) -> SensorSite {
+        self.site
+    }
+
+    /// Updates the driving power at `now`, integrating the elapsed
+    /// interval first.
+    pub fn set_power(&mut self, now: Time, watts: f64) {
+        self.integrate(now);
+        self.heater_watts = watts.max(0.0);
+    }
+
+    fn integrate(&mut self, now: Time) {
+        let dt = now.saturating_since(self.last_update).as_secs_f64();
+        self.last_update = self.last_update.max(now);
+        if dt <= 0.0 {
+            return;
+        }
+        let target = self.ambient_c + self.heater_watts * self.resistance;
+        let alpha = 1.0 - (-dt / self.tau.as_secs_f64()).exp();
+        self.temp_c += (target - self.temp_c) * alpha;
+    }
+
+    /// Reads the temperature at `now`.
+    pub fn read_c(&mut self, now: Time) -> f64 {
+        self.integrate(now);
+        self.temp_c
+    }
+}
+
+/// The board's sensor bank with per-site thermal characteristics.
+#[derive(Debug, Clone)]
+pub struct SensorBank {
+    sensors: Vec<TempSensor>,
+}
+
+impl SensorBank {
+    /// Builds the standard board population at `ambient_c`.
+    pub fn board(ambient_c: f64) -> Self {
+        use SensorSite::*;
+        let mk = |site, res, tau_s| TempSensor::new(site, ambient_c, res, Duration::from_secs(tau_s));
+        SensorBank {
+            sensors: vec![
+                mk(CpuDie, 0.35, 8),
+                mk(FpgaDie, 0.40, 10),
+                mk(Inlet, 0.0, 30),
+                mk(Outlet, 0.05, 30),
+                mk(CpuDimms, 0.5, 20),
+                mk(FpgaDimms, 0.5, 20),
+                mk(VrmCluster, 0.15, 15),
+            ],
+        }
+    }
+
+    /// Mutable access to one site's sensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is not populated.
+    pub fn sensor_mut(&mut self, site: SensorSite) -> &mut TempSensor {
+        self.sensors
+            .iter_mut()
+            .find(|s| s.site() == site)
+            .expect("site populated")
+    }
+
+    /// Reads every sensor at `now`.
+    pub fn read_all(&mut self, now: Time) -> Vec<(SensorSite, f64)> {
+        self.sensors
+            .iter_mut()
+            .map(|s| (s.site(), s.read_c(now)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensor_relaxes_toward_target() {
+        let mut s = TempSensor::new(SensorSite::CpuDie, 30.0, 0.35, Duration::from_secs(8));
+        s.set_power(Time::ZERO, 100.0); // target 65 C
+        let after_tau = Time::ZERO + Duration::from_secs(8);
+        let t1 = s.read_c(after_tau);
+        // One time constant: ~63% of the way from 30 to 65.
+        assert!((t1 - (30.0 + 0.63 * 35.0)).abs() < 1.5, "t1 = {t1}");
+        let settled = s.read_c(Time::ZERO + Duration::from_secs(80));
+        assert!((settled - 65.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn cooling_after_power_removed() {
+        let mut s = TempSensor::new(SensorSite::FpgaDie, 30.0, 0.4, Duration::from_secs(10));
+        s.set_power(Time::ZERO, 150.0);
+        let hot = s.read_c(Time::ZERO + Duration::from_secs(100));
+        s.set_power(Time::ZERO + Duration::from_secs(100), 0.0);
+        let cooled = s.read_c(Time::ZERO + Duration::from_secs(200));
+        assert!(hot > 80.0 && cooled < 35.0, "hot {hot}, cooled {cooled}");
+    }
+
+    #[test]
+    fn bank_reads_all_sites() {
+        let mut bank = SensorBank::board(25.0);
+        let all = bank.read_all(Time::ZERO);
+        assert_eq!(all.len(), SensorSite::ALL.len());
+        for (_, t) in all {
+            assert!((t - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inlet_is_insensitive_to_power() {
+        let mut bank = SensorBank::board(25.0);
+        bank.sensor_mut(SensorSite::Inlet).set_power(Time::ZERO, 500.0);
+        let t = bank
+            .sensor_mut(SensorSite::Inlet)
+            .read_c(Time::ZERO + Duration::from_secs(100));
+        assert!((t - 25.0).abs() < 1e-9, "inlet moved to {t}");
+    }
+}

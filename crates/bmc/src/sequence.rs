@@ -1,0 +1,444 @@
+//! Declarative power sequencing.
+//!
+//! Paper §4.2: *"Given the precise thresholds and sequencing requirements
+//! of the system components, finding a correct sequence and configuration
+//! for the 25 regulators requires non-trivial engineering. To bring
+//! assurance to this process, we developed a technique of declarative
+//! power sequencing in which powering requirements are specified, and
+//! then a solver is used to generate a provably correct sequence."*
+//! (Schult et al. \[60\].)
+//!
+//! [`PowerSpec`] is the declarative requirement set: per rail, which other
+//! rails must have reached which fraction of nominal (plus settling
+//! margins) before it may be enabled. [`PowerSpec::solve`] produces a
+//! schedule; [`SequenceVerifier`] independently checks any executed
+//! sequence — including the solver's own output — against the spec, which
+//! is the "provably correct" loop closed at runtime.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use enzian_sim::{Duration, Time};
+
+use crate::rail::{RailId, RailSpec};
+
+/// One dependency: `on` must have ramped to `min_fraction` of nominal,
+/// plus `settle` of margin, before the dependent rail may enable.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Dependency {
+    /// The prerequisite rail.
+    pub on: RailId,
+    /// Required fraction of nominal output voltage (0, 1].
+    pub min_fraction: f64,
+    /// Additional settling time after the threshold is reached.
+    pub settle: Duration,
+}
+
+/// The declarative powering requirements for the whole board.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerSpec {
+    requirements: BTreeMap<RailId, Vec<Dependency>>,
+}
+
+/// One step of a solved schedule: enable `rail` at `offset` from the
+/// start of the sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SequenceStep {
+    /// The rail to enable.
+    pub rail: RailId,
+    /// Enable offset from sequence start.
+    pub offset: Duration,
+}
+
+/// Errors from solving or verifying.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SequenceError {
+    /// The dependency graph has a cycle through these rails.
+    Cycle(Vec<RailId>),
+    /// A dependency references a rail with no [`RailSpec`].
+    UnknownRail(RailId),
+    /// An executed sequence enabled `rail` before a dependency was ready.
+    Violation {
+        /// The rail enabled too early.
+        rail: RailId,
+        /// The unsatisfied dependency.
+        unmet: RailId,
+        /// When the rail was enabled.
+        enabled_at: Time,
+        /// Earliest legal enable instant.
+        earliest_legal: Time,
+    },
+    /// A rail was enabled that never appears in the spec.
+    UnspecifiedRail(RailId),
+}
+
+impl std::fmt::Display for SequenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SequenceError::Cycle(rails) => {
+                write!(f, "dependency cycle through {} rails", rails.len())
+            }
+            SequenceError::UnknownRail(r) => write!(f, "dependency on unknown rail {r}"),
+            SequenceError::Violation {
+                rail,
+                unmet,
+                enabled_at,
+                earliest_legal,
+            } => write!(
+                f,
+                "{rail} enabled at {enabled_at} before {unmet} was ready (earliest legal {earliest_legal})"
+            ),
+            SequenceError::UnspecifiedRail(r) => write!(f, "{r} enabled but not specified"),
+        }
+    }
+}
+
+impl std::error::Error for SequenceError {}
+
+impl PowerSpec {
+    /// An empty specification.
+    pub fn new() -> Self {
+        PowerSpec::default()
+    }
+
+    /// Declares `rail` with its dependencies (empty for root rails).
+    pub fn require(&mut self, rail: RailId, deps: Vec<Dependency>) -> &mut Self {
+        self.requirements.insert(rail, deps);
+        self
+    }
+
+    /// The rails in the specification.
+    pub fn rails(&self) -> impl Iterator<Item = RailId> + '_ {
+        self.requirements.keys().copied()
+    }
+
+    /// Dependencies of one rail, empty if it is a root.
+    pub fn deps_of(&self, rail: RailId) -> &[Dependency] {
+        self.requirements.get(&rail).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The Enzian board's requirements: DDR4 VPP before VDDQ (JESD79-4),
+    /// Xilinx VCCINT → VCCBRAM → VCCAUX ordering, SoC rail before the
+    /// 150 A core rail, transceiver AVCC before AVTT.
+    pub fn enzian() -> Self {
+        use RailId::*;
+        let dep = |on, min_fraction, settle_us| Dependency {
+            on,
+            min_fraction,
+            settle: Duration::from_us(settle_us),
+        };
+        let mut spec = PowerSpec::new();
+        spec.require(Input12V, vec![]);
+        spec.require(Standby5V, vec![dep(Input12V, 0.9, 100)]);
+        spec.require(Sys3V3, vec![dep(Input12V, 0.9, 100)]);
+        spec.require(Aux1V8, vec![dep(Sys3V3, 0.9, 100)]);
+        spec.require(Clocks, vec![dep(Sys3V3, 0.9, 200)]);
+        spec.require(CpuVddSoc, vec![dep(Aux1V8, 0.9, 100)]);
+        spec.require(CpuVdd, vec![dep(CpuVddSoc, 0.9, 200)]);
+        spec.require(CpuVddIo, vec![dep(CpuVdd, 0.9, 100)]);
+        spec.require(CpuDdrVpp, vec![dep(Aux1V8, 0.9, 100)]);
+        spec.require(CpuDdrVddq01, vec![dep(CpuDdrVpp, 0.95, 200)]);
+        spec.require(CpuDdrVddq23, vec![dep(CpuDdrVpp, 0.95, 200)]);
+        spec.require(FpgaVccint, vec![dep(Aux1V8, 0.9, 100)]);
+        spec.require(FpgaVccbram, vec![dep(FpgaVccint, 0.9, 100)]);
+        spec.require(FpgaVccaux, vec![dep(FpgaVccbram, 0.9, 100)]);
+        spec.require(FpgaMgtAvcc, vec![dep(FpgaVccint, 0.9, 100)]);
+        spec.require(
+            FpgaMgtAvtt,
+            vec![dep(FpgaMgtAvcc, 0.9, 100), dep(FpgaVccaux, 0.9, 100)],
+        );
+        spec.require(FpgaDdrVpp, vec![dep(FpgaVccaux, 0.9, 100)]);
+        spec.require(FpgaDdrVddq, vec![dep(FpgaDdrVpp, 0.95, 200)]);
+        spec
+    }
+
+    /// Solves for an enable schedule satisfying every requirement, given
+    /// the rails' electrical specs (for ramp times).
+    ///
+    /// The schedule is as-early-as-possible: each rail enables the moment
+    /// its last dependency reaches threshold plus settle margin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SequenceError::Cycle`] for cyclic requirements and
+    /// [`SequenceError::UnknownRail`] when a dependency's ramp time is
+    /// unknown.
+    pub fn solve(&self, specs: &[RailSpec]) -> Result<Vec<SequenceStep>, SequenceError> {
+        let ramp: BTreeMap<RailId, &RailSpec> = specs.iter().map(|s| (s.id, s)).collect();
+        for (&rail, deps) in &self.requirements {
+            if !ramp.contains_key(&rail) {
+                return Err(SequenceError::UnknownRail(rail));
+            }
+            for d in deps {
+                if !ramp.contains_key(&d.on) {
+                    return Err(SequenceError::UnknownRail(d.on));
+                }
+            }
+        }
+
+        // Kahn's algorithm over the dependency sets.
+        let mut remaining: BTreeMap<RailId, BTreeSet<RailId>> = self
+            .requirements
+            .iter()
+            .map(|(&r, deps)| (r, deps.iter().map(|d| d.on).collect()))
+            .collect();
+
+        let mut offsets: BTreeMap<RailId, Duration> = BTreeMap::new();
+        let mut schedule = Vec::new();
+        while !remaining.is_empty() {
+            let ready: Vec<RailId> = remaining
+                .iter()
+                .filter(|(_, deps)| deps.iter().all(|d| offsets.contains_key(d)))
+                .map(|(&r, _)| r)
+                .collect();
+            if ready.is_empty() {
+                return Err(SequenceError::Cycle(remaining.keys().copied().collect()));
+            }
+            for rail in ready {
+                remaining.remove(&rail);
+                let mut enable = Duration::ZERO;
+                for d in self.deps_of(rail) {
+                    let dep_enable = offsets[&d.on];
+                    let dep_ramp = ramp[&d.on].ramp;
+                    // Linear ramp: threshold reached at ramp * fraction.
+                    let frac_ps = (dep_ramp.as_ps() as f64 * d.min_fraction).ceil() as u64;
+                    let ready_at = dep_enable + Duration::from_ps(frac_ps) + d.settle;
+                    enable = enable.max(ready_at);
+                }
+                offsets.insert(rail, enable);
+                schedule.push(SequenceStep {
+                    rail,
+                    offset: enable,
+                });
+            }
+        }
+        schedule.sort_by_key(|s| (s.offset, s.rail));
+        Ok(schedule)
+    }
+
+    /// Verifies an executed enable sequence `(rail, enabled_at)` against
+    /// this specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SequenceError::Violation`] or
+    /// [`SequenceError::UnspecifiedRail`] found.
+    pub fn verify(
+        &self,
+        specs: &[RailSpec],
+        executed: &[(RailId, Time)],
+    ) -> Result<(), SequenceError> {
+        let ramp: BTreeMap<RailId, &RailSpec> = specs.iter().map(|s| (s.id, s)).collect();
+        let enabled: BTreeMap<RailId, Time> = executed.iter().copied().collect();
+        for &(rail, at) in executed {
+            if !self.requirements.contains_key(&rail) {
+                return Err(SequenceError::UnspecifiedRail(rail));
+            }
+            for d in self.deps_of(rail) {
+                let Some(&dep_at) = enabled.get(&d.on) else {
+                    return Err(SequenceError::Violation {
+                        rail,
+                        unmet: d.on,
+                        enabled_at: at,
+                        earliest_legal: Time::MAX,
+                    });
+                };
+                let dep_ramp = ramp
+                    .get(&d.on)
+                    .ok_or(SequenceError::UnknownRail(d.on))?
+                    .ramp;
+                let frac_ps = (dep_ramp.as_ps() as f64 * d.min_fraction).ceil() as u64;
+                let earliest = dep_at + Duration::from_ps(frac_ps) + d.settle;
+                if at < earliest {
+                    return Err(SequenceError::Violation {
+                        rail,
+                        unmet: d.on,
+                        enabled_at: at,
+                        earliest_legal: earliest,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An online verifier: feed enable events as they happen.
+#[derive(Debug, Clone)]
+pub struct SequenceVerifier {
+    spec: PowerSpec,
+    specs: Vec<RailSpec>,
+    executed: Vec<(RailId, Time)>,
+}
+
+impl SequenceVerifier {
+    /// Creates a verifier for `spec`.
+    pub fn new(spec: PowerSpec, specs: Vec<RailSpec>) -> Self {
+        SequenceVerifier {
+            spec,
+            specs,
+            executed: Vec::new(),
+        }
+    }
+
+    /// Records an enable event and immediately checks it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the spec violation, if any.
+    pub fn on_enable(&mut self, rail: RailId, at: Time) -> Result<(), SequenceError> {
+        self.executed.push((rail, at));
+        self.spec.verify(&self.specs, &self.executed)
+    }
+
+    /// The events observed so far.
+    pub fn executed(&self) -> &[(RailId, Time)] {
+        &self.executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<RailSpec> {
+        RailSpec::board_table()
+    }
+
+    #[test]
+    fn enzian_spec_solves() {
+        let schedule = PowerSpec::enzian().solve(&specs()).expect("solvable");
+        assert_eq!(schedule.len(), 18);
+        // The 12V input is first at offset zero.
+        assert_eq!(schedule[0].rail, RailId::Input12V);
+        assert_eq!(schedule[0].offset, Duration::ZERO);
+    }
+
+    #[test]
+    fn solved_schedule_passes_the_verifier() {
+        let spec = PowerSpec::enzian();
+        let schedule = spec.solve(&specs()).unwrap();
+        let executed: Vec<(RailId, Time)> = schedule
+            .iter()
+            .map(|s| (s.rail, Time::ZERO + s.offset))
+            .collect();
+        spec.verify(&specs(), &executed).expect("solver output verifies");
+    }
+
+    #[test]
+    fn ddr_vpp_precedes_vddq() {
+        // The JESD79-4 constraint the paper's regulators must respect.
+        let schedule = PowerSpec::enzian().solve(&specs()).unwrap();
+        let off = |r: RailId| schedule.iter().find(|s| s.rail == r).unwrap().offset;
+        assert!(off(RailId::CpuDdrVpp) < off(RailId::CpuDdrVddq01));
+        assert!(off(RailId::CpuDdrVpp) < off(RailId::CpuDdrVddq23));
+        assert!(off(RailId::FpgaDdrVpp) < off(RailId::FpgaDdrVddq));
+    }
+
+    #[test]
+    fn fpga_rail_ordering() {
+        let schedule = PowerSpec::enzian().solve(&specs()).unwrap();
+        let off = |r: RailId| schedule.iter().find(|s| s.rail == r).unwrap().offset;
+        assert!(off(RailId::FpgaVccint) < off(RailId::FpgaVccbram));
+        assert!(off(RailId::FpgaVccbram) < off(RailId::FpgaVccaux));
+        assert!(off(RailId::FpgaMgtAvcc) < off(RailId::FpgaMgtAvtt));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        use RailId::*;
+        let dep = |on| Dependency {
+            on,
+            min_fraction: 0.9,
+            settle: Duration::ZERO,
+        };
+        let mut spec = PowerSpec::new();
+        spec.require(Sys3V3, vec![dep(Aux1V8)]);
+        spec.require(Aux1V8, vec![dep(Sys3V3)]);
+        match spec.solve(&specs()) {
+            Err(SequenceError::Cycle(rails)) => assert_eq!(rails.len(), 2),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verifier_catches_early_enable() {
+        let spec = PowerSpec::enzian();
+        let schedule = spec.solve(&specs()).unwrap();
+        let mut executed: Vec<(RailId, Time)> = schedule
+            .iter()
+            .map(|s| (s.rail, Time::ZERO + s.offset))
+            .collect();
+        // Sabotage: enable the CPU core rail at t=0, before its SoC rail.
+        for e in &mut executed {
+            if e.0 == RailId::CpuVdd {
+                e.1 = Time::ZERO;
+            }
+        }
+        match spec.verify(&specs(), &executed) {
+            Err(SequenceError::Violation { rail, unmet, .. }) => {
+                assert_eq!(rail, RailId::CpuVdd);
+                assert_eq!(unmet, RailId::CpuVddSoc);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verifier_catches_missing_dependency() {
+        let spec = PowerSpec::enzian();
+        // Enable VDDQ without ever enabling VPP.
+        let executed = vec![
+            (RailId::Input12V, Time::ZERO),
+            (RailId::CpuDdrVddq01, Time::ZERO + Duration::from_ms(100)),
+        ];
+        assert!(matches!(
+            spec.verify(&specs(), &executed),
+            Err(SequenceError::Violation { .. })
+        ));
+    }
+
+    #[test]
+    fn online_verifier_flags_at_the_offending_event() {
+        let spec = PowerSpec::enzian();
+        let mut v = SequenceVerifier::new(spec, specs());
+        v.on_enable(RailId::Input12V, Time::ZERO).unwrap();
+        let t = Time::ZERO + Duration::from_ms(10);
+        v.on_enable(RailId::Sys3V3, t).unwrap();
+        // Aux1V8 too early: Sys3V3 ramp is 500 us + settle.
+        let too_early = t + Duration::from_us(10);
+        assert!(v.on_enable(RailId::Aux1V8, too_early).is_err());
+    }
+
+    #[test]
+    fn unknown_rail_in_dependency_rejected() {
+        let mut spec = PowerSpec::new();
+        spec.require(
+            RailId::Sys3V3,
+            vec![Dependency {
+                on: RailId::Input12V,
+                min_fraction: 0.9,
+                settle: Duration::ZERO,
+            }],
+        );
+        // Rail specs lacking Input12V.
+        let partial: Vec<RailSpec> = specs()
+            .into_iter()
+            .filter(|s| s.id != RailId::Input12V)
+            .collect();
+        assert_eq!(
+            spec.solve(&partial),
+            Err(SequenceError::UnknownRail(RailId::Input12V))
+        );
+    }
+
+    #[test]
+    fn unspecified_rail_rejected_by_verifier() {
+        let mut spec = PowerSpec::new();
+        spec.require(RailId::Input12V, vec![]);
+        let executed = vec![(RailId::Clocks, Time::ZERO)];
+        assert_eq!(
+            spec.verify(&specs(), &executed),
+            Err(SequenceError::UnspecifiedRail(RailId::Clocks))
+        );
+    }
+}

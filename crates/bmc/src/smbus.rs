@@ -1,0 +1,219 @@
+//! The SMBus protocol layer over I2C.
+//!
+//! SMBus structures raw I2C transfers into typed operations (read/write
+//! byte/word, block read) and adds the Packet Error Code (PEC): a CRC-8
+//! over the whole transaction including both address phases. The PMBus
+//! layer in [`crate::pmbus`] is built on these helpers.
+
+use enzian_sim::Time;
+
+use crate::i2c::{I2cBus, I2cError};
+
+/// CRC-8 with polynomial x⁸+x²+x+1 (0x07), initial value 0 — the SMBus
+/// PEC polynomial.
+pub fn pec_crc8(bytes: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &b in bytes {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Errors from SMBus-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmbusError {
+    /// The underlying I2C transaction failed.
+    Bus(I2cError),
+    /// The PEC check on received data failed.
+    BadPec {
+        /// CRC computed over the received transaction.
+        computed: u8,
+        /// PEC byte the device sent.
+        received: u8,
+    },
+}
+
+impl From<I2cError> for SmbusError {
+    fn from(e: I2cError) -> Self {
+        SmbusError::Bus(e)
+    }
+}
+
+impl std::fmt::Display for SmbusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmbusError::Bus(e) => write!(f, "i2c: {e}"),
+            SmbusError::BadPec { computed, received } => {
+                write!(f, "pec mismatch: computed {computed:#04x}, got {received:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmbusError {}
+
+/// SMBus *Write Byte* with PEC: `[cmd, value, pec]`.
+pub fn write_byte(
+    bus: &mut I2cBus,
+    now: Time,
+    addr: u8,
+    cmd: u8,
+    value: u8,
+) -> Result<Time, SmbusError> {
+    let pec = pec_crc8(&[addr << 1, cmd, value]);
+    let (_, t) = bus.write_read(now, addr, &[cmd, value, pec], 0)?;
+    Ok(t)
+}
+
+/// SMBus *Send Byte* with PEC: `[cmd, pec]` (used for e.g. CLEAR_FAULTS).
+pub fn send_byte(bus: &mut I2cBus, now: Time, addr: u8, cmd: u8) -> Result<Time, SmbusError> {
+    let pec = pec_crc8(&[addr << 1, cmd]);
+    let (_, t) = bus.write_read(now, addr, &[cmd, pec], 0)?;
+    Ok(t)
+}
+
+/// SMBus *Write Word* with PEC: `[cmd, lo, hi, pec]`.
+pub fn write_word(
+    bus: &mut I2cBus,
+    now: Time,
+    addr: u8,
+    cmd: u8,
+    value: u16,
+) -> Result<Time, SmbusError> {
+    let [lo, hi] = value.to_le_bytes();
+    let pec = pec_crc8(&[addr << 1, cmd, lo, hi]);
+    let (_, t) = bus.write_read(now, addr, &[cmd, lo, hi, pec], 0)?;
+    Ok(t)
+}
+
+/// SMBus *Read Byte* with PEC: write `[cmd]`, read `[value, pec]`.
+pub fn read_byte(bus: &mut I2cBus, now: Time, addr: u8, cmd: u8) -> Result<(u8, Time), SmbusError> {
+    let (data, t) = bus.write_read(now, addr, &[cmd], 2)?;
+    let computed = pec_crc8(&[addr << 1, cmd, (addr << 1) | 1, data[0]]);
+    if computed != data[1] {
+        return Err(SmbusError::BadPec {
+            computed,
+            received: data[1],
+        });
+    }
+    Ok((data[0], t))
+}
+
+/// SMBus *Read Word* with PEC: write `[cmd]`, read `[lo, hi, pec]`.
+pub fn read_word(bus: &mut I2cBus, now: Time, addr: u8, cmd: u8) -> Result<(u16, Time), SmbusError> {
+    let (data, t) = bus.write_read(now, addr, &[cmd], 3)?;
+    let computed = pec_crc8(&[addr << 1, cmd, (addr << 1) | 1, data[0], data[1]]);
+    if computed != data[2] {
+        return Err(SmbusError::BadPec {
+            computed,
+            received: data[2],
+        });
+    }
+    Ok((u16::from_le_bytes([data[0], data[1]]), t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::i2c::I2cDevice;
+
+    #[test]
+    fn pec_known_vectors() {
+        // CRC-8/SMBUS of "123456789" is 0xF4.
+        assert_eq!(pec_crc8(b"123456789"), 0xF4);
+        assert_eq!(pec_crc8(&[]), 0x00);
+    }
+
+    /// A device that serves one word register with correct PEC, or a
+    /// corrupted PEC when asked.
+    struct WordDev {
+        addr: u8,
+        word: u16,
+        corrupt_pec: bool,
+        cmd: u8,
+        buf: Vec<u8>,
+        written: Vec<u8>,
+    }
+
+    impl WordDev {
+        fn new(addr: u8, word: u16) -> Self {
+            WordDev {
+                addr,
+                word,
+                corrupt_pec: false,
+                cmd: 0,
+                buf: Vec::new(),
+                written: Vec::new(),
+            }
+        }
+    }
+
+    impl I2cDevice for WordDev {
+        fn start(&mut self, reading: bool) -> bool {
+            if reading {
+                let [lo, hi] = self.word.to_le_bytes();
+                let mut pec = pec_crc8(&[self.addr << 1, self.cmd, (self.addr << 1) | 1, lo, hi]);
+                if self.corrupt_pec {
+                    pec ^= 0xFF;
+                }
+                self.buf = vec![lo, hi, pec];
+                self.buf.reverse(); // pop from the back
+            }
+            true
+        }
+        fn write_byte(&mut self, byte: u8) -> bool {
+            if self.written.is_empty() {
+                self.cmd = byte;
+            }
+            self.written.push(byte);
+            true
+        }
+        fn read_byte(&mut self) -> u8 {
+            self.buf.pop().unwrap_or(0xFF)
+        }
+        fn stop(&mut self) {
+            self.written.clear();
+        }
+    }
+
+    #[test]
+    fn read_word_verifies_pec() {
+        let mut bus = I2cBus::new(100_000);
+        bus.attach(0x50, Box::new(WordDev::new(0x50, 0xBEEF))).unwrap();
+        let (w, _) = read_word(&mut bus, Time::ZERO, 0x50, 0x8B).unwrap();
+        assert_eq!(w, 0xBEEF);
+    }
+
+    #[test]
+    fn corrupted_pec_detected() {
+        let mut bus = I2cBus::new(100_000);
+        let mut dev = WordDev::new(0x50, 0x1234);
+        dev.corrupt_pec = true;
+        bus.attach(0x50, Box::new(dev)).unwrap();
+        let err = read_word(&mut bus, Time::ZERO, 0x50, 0x8B).unwrap_err();
+        assert!(matches!(err, SmbusError::BadPec { .. }));
+    }
+
+    #[test]
+    fn write_word_sends_pec_trailer() {
+        let mut bus = I2cBus::new(100_000);
+        bus.attach(0x50, Box::new(WordDev::new(0x50, 0))).unwrap();
+        // Just verify it completes and advances time.
+        let t = write_word(&mut bus, Time::ZERO, 0x50, 0x21, 0xCAFE).unwrap();
+        assert!(t > Time::ZERO);
+    }
+
+    #[test]
+    fn missing_device_propagates_as_bus_error() {
+        let mut bus = I2cBus::new(100_000);
+        let err = read_byte(&mut bus, Time::ZERO, 0x51, 0x00).unwrap_err();
+        assert!(matches!(err, SmbusError::Bus(I2cError::AddressNak { .. })));
+    }
+}

@@ -1,0 +1,183 @@
+//! The BMC telemetry service.
+//!
+//! §5.5: *"We used the BMC to monitor the primary power regulators for
+//! the CPU and FPGA cores and the CPU-side DRAM channels, sampling each
+//! every 20 ms and collecting the data using our dbus-based telemetry
+//! service."* [`TelemetryService`] samples a configured set of traces on
+//! a fixed period into [`TimeSeries`], which the Fig. 12 experiment plots
+//! directly.
+
+use std::collections::BTreeMap;
+
+use enzian_sim::stats::TimeSeries;
+use enzian_sim::{Duration, Time};
+
+/// Names of the four traces Fig. 12 plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum TraceId {
+    /// FPGA fabric power.
+    Fpga,
+    /// CPU package power.
+    Cpu,
+    /// CPU-side DRAM channels 0/1.
+    Dram0,
+    /// CPU-side DRAM channels 2/3.
+    Dram1,
+}
+
+impl TraceId {
+    /// All traces in plot order.
+    pub const ALL: [TraceId; 4] = [TraceId::Fpga, TraceId::Cpu, TraceId::Dram0, TraceId::Dram1];
+
+    /// Label as it appears in the figure legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceId::Fpga => "FPGA",
+            TraceId::Cpu => "CPU",
+            TraceId::Dram0 => "DRAM0",
+            TraceId::Dram1 => "DRAM1",
+        }
+    }
+}
+
+/// A periodic sampler over caller-provided probe functions.
+pub struct TelemetryService {
+    period: Duration,
+    series: BTreeMap<TraceId, TimeSeries>,
+    next_sample: Time,
+}
+
+impl std::fmt::Debug for TelemetryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryService")
+            .field("period", &self.period)
+            .field("traces", &self.series.len())
+            .finish()
+    }
+}
+
+impl TelemetryService {
+    /// Creates a sampler with the paper's 20 ms period.
+    pub fn new() -> Self {
+        Self::with_period(Duration::from_ms(20))
+    }
+
+    /// Creates a sampler with a custom period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn with_period(period: Duration) -> Self {
+        assert!(!period.is_zero(), "zero sampling period");
+        TelemetryService {
+            period,
+            series: TraceId::ALL
+                .iter()
+                .map(|&t| (t, TimeSeries::new()))
+                .collect(),
+            next_sample: Time::ZERO,
+        }
+    }
+
+    /// The sampling period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Samples all traces over `[from, until)` by calling `probe` at each
+    /// period boundary. `probe` returns the instantaneous watts for each
+    /// trace at the given instant.
+    pub fn run<F>(&mut self, from: Time, until: Time, mut probe: F)
+    where
+        F: FnMut(Time, TraceId) -> f64,
+    {
+        if self.next_sample < from {
+            self.next_sample = from;
+        }
+        while self.next_sample < until {
+            let t = self.next_sample;
+            for id in TraceId::ALL {
+                let w = probe(t, id);
+                self.series
+                    .get_mut(&id)
+                    .expect("all traces present")
+                    .push(t, w);
+            }
+            self.next_sample = t + self.period;
+        }
+    }
+
+    /// The collected series for one trace.
+    pub fn series(&self, id: TraceId) -> &TimeSeries {
+        &self.series[&id]
+    }
+
+    /// Consumes the service, returning all series.
+    pub fn into_series(self) -> BTreeMap<TraceId, TimeSeries> {
+        self.series
+    }
+}
+
+impl Default for TelemetryService {
+    fn default() -> Self {
+        TelemetryService::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_at_the_configured_period() {
+        let mut svc = TelemetryService::new();
+        svc.run(Time::ZERO, Time::ZERO + Duration::from_ms(200), |_, _| 42.0);
+        let s = svc.series(TraceId::Cpu);
+        assert_eq!(s.len(), 10); // 200 ms / 20 ms
+        let pts = s.points();
+        assert_eq!(pts[0].0, Time::ZERO);
+        assert_eq!(pts[1].0.since(pts[0].0), Duration::from_ms(20));
+    }
+
+    #[test]
+    fn resumes_without_duplicate_samples() {
+        let mut svc = TelemetryService::new();
+        svc.run(Time::ZERO, Time::ZERO + Duration::from_ms(100), |_, _| 1.0);
+        svc.run(
+            Time::ZERO + Duration::from_ms(100),
+            Time::ZERO + Duration::from_ms(200),
+            |_, _| 2.0,
+        );
+        let s = svc.series(TraceId::Fpga);
+        assert_eq!(s.len(), 10);
+        // Monotone timestamps with no repeats.
+        let pts = s.points();
+        for w in pts.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn probe_sees_per_trace_identity() {
+        let mut svc = TelemetryService::new();
+        svc.run(Time::ZERO, Time::ZERO + Duration::from_ms(40), |_, id| match id {
+            TraceId::Fpga => 10.0,
+            TraceId::Cpu => 20.0,
+            TraceId::Dram0 => 1.0,
+            TraceId::Dram1 => 2.0,
+        });
+        assert_eq!(svc.series(TraceId::Fpga).max_value(), Some(10.0));
+        assert_eq!(svc.series(TraceId::Cpu).max_value(), Some(20.0));
+        assert_eq!(svc.series(TraceId::Dram1).max_value(), Some(2.0));
+    }
+
+    #[test]
+    fn energy_integral_from_series() {
+        let mut svc = TelemetryService::new();
+        // 100 W for 1 s -> ~100 J.
+        svc.run(Time::ZERO, Time::ZERO + Duration::from_secs(1), |_, _| 100.0);
+        let j = svc.series(TraceId::Cpu).integral();
+        assert!((j - 98.0).abs() < 4.0, "integral {j}");
+    }
+}

@@ -1,0 +1,217 @@
+//! In-order core timing model.
+//!
+//! The ThunderX-1 trades single-thread performance for parallelism: 48
+//! mostly in-order cores at 2.0 GHz. For throughput workloads like the
+//! Fig. 11 vision pipeline, an in-order core's steady state is captured by
+//! a per-work-unit budget: compute cycles plus memory-stall cycles per
+//! remote refill, with aggregate throughput clipped by the shared
+//! interconnect. [`CoreTimingModel::steady_state`] evaluates that model
+//! and fills a [`Pmu`] with the counters Table 1 reports.
+
+use crate::pmu::Pmu;
+
+/// Per-work-unit cost profile of a workload running on the cores.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadProfile {
+    /// Pure compute cycles per unit (e.g. per pixel).
+    pub compute_cycles_per_unit: f64,
+    /// Bytes fetched across the interconnect per unit.
+    pub remote_bytes_per_unit: f64,
+    /// Size of one refill (the 128-byte ECI cache line).
+    pub refill_bytes: f64,
+    /// Pipeline stall cycles charged per refill (captures refill latency
+    /// net of what the in-order core's limited overlap can hide).
+    pub stall_cycles_per_refill: f64,
+    /// Retired instructions per unit (for IPC reporting).
+    pub instructions_per_unit: f64,
+}
+
+impl WorkloadProfile {
+    /// Remote refills (L1 refill events from beyond L2) per unit.
+    pub fn refills_per_unit(&self) -> f64 {
+        self.remote_bytes_per_unit / self.refill_bytes
+    }
+
+    /// Total cycles per unit when the interconnect is unsaturated.
+    pub fn cycles_per_unit_unbounded(&self) -> f64 {
+        self.compute_cycles_per_unit + self.stall_cycles_per_refill * self.refills_per_unit()
+    }
+}
+
+/// Steady-state result for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SteadyState {
+    /// Aggregate throughput, units per second.
+    pub units_per_sec: f64,
+    /// Interconnect traffic generated, bytes per second.
+    pub interconnect_bytes_per_sec: f64,
+    /// Whether the interconnect clipped throughput.
+    pub interconnect_bound: bool,
+    /// PMU counters accumulated over a one-second window across all
+    /// active cores.
+    pub pmu: Pmu,
+}
+
+/// The CPU-side timing model: core count and frequency.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoreTimingModel {
+    /// Core clock in hertz.
+    pub freq_hz: f64,
+    /// Number of cores present.
+    pub cores: u32,
+}
+
+impl CoreTimingModel {
+    /// The ThunderX-1: 48 cores at 2.0 GHz.
+    pub fn thunderx1() -> Self {
+        CoreTimingModel {
+            freq_hz: 2.0e9,
+            cores: 48,
+        }
+    }
+
+    /// Evaluates the steady state of `profile` on `active_cores` cores
+    /// with `interconnect_bytes_per_sec` of shared fetch bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_cores` is zero or exceeds the model's core count,
+    /// or if the profile is degenerate (non-positive cycle costs).
+    pub fn steady_state(
+        &self,
+        profile: &WorkloadProfile,
+        active_cores: u32,
+        interconnect_bytes_per_sec: f64,
+    ) -> SteadyState {
+        assert!(
+            active_cores >= 1 && active_cores <= self.cores,
+            "active cores {active_cores} out of range 1..={}",
+            self.cores
+        );
+        assert!(
+            profile.compute_cycles_per_unit > 0.0 && profile.refill_bytes > 0.0,
+            "degenerate workload profile"
+        );
+
+        let n = active_cores as f64;
+        let refills_per_unit = profile.refills_per_unit();
+        let cycles_unbounded = profile.cycles_per_unit_unbounded();
+
+        // Per-core rate if only latency stalls apply.
+        let r_latency = self.freq_hz / cycles_unbounded;
+        // Per-core rate ceiling imposed by shared interconnect bandwidth.
+        let r_bandwidth = if profile.remote_bytes_per_unit > 0.0 {
+            interconnect_bytes_per_sec / (n * profile.remote_bytes_per_unit)
+        } else {
+            f64::INFINITY
+        };
+
+        let interconnect_bound = r_bandwidth < r_latency;
+        let per_core_rate = r_latency.min(r_bandwidth);
+        let cycles_per_unit = self.freq_hz / per_core_rate;
+        // All cycles beyond compute are attributed to memory stalls
+        // (latency stalls plus any bandwidth-queueing stalls).
+        let stall_per_unit = cycles_per_unit - profile.compute_cycles_per_unit;
+
+        let units_per_sec = per_core_rate * n;
+        let mut pmu = Pmu::new();
+        // One-second window across all active cores.
+        pmu.add_cycles((self.freq_hz * n) as u64);
+        pmu.add_memory_stalls((stall_per_unit * units_per_sec) as u64);
+        pmu.add_l1_refills((refills_per_unit * units_per_sec) as u64);
+        pmu.add_l2_misses((refills_per_unit * units_per_sec) as u64);
+        pmu.add_instructions((profile.instructions_per_unit * units_per_sec) as u64);
+
+        SteadyState {
+            units_per_sec,
+            interconnect_bytes_per_sec: units_per_sec * profile.remote_bytes_per_unit,
+            interconnect_bound,
+            pmu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> WorkloadProfile {
+        WorkloadProfile {
+            compute_cycles_per_unit: 59.2,
+            remote_bytes_per_unit: 4.0,
+            refill_bytes: 128.0,
+            stall_cycles_per_refill: 46.0,
+            instructions_per_unit: 40.0,
+        }
+    }
+
+    #[test]
+    fn compute_bound_scales_linearly_with_cores() {
+        let cpu = CoreTimingModel::thunderx1();
+        let p = profile();
+        let bw = 20e9; // ample
+        let one = cpu.steady_state(&p, 1, bw);
+        let all = cpu.steady_state(&p, 48, bw);
+        assert!(!one.interconnect_bound);
+        assert!(!all.interconnect_bound);
+        let ratio = all.units_per_sec / one.units_per_sec;
+        assert!((ratio - 48.0).abs() < 1e-6, "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn baseline_profile_hits_paper_per_core_rate() {
+        // ~33 Mpixel/s/core at 2 GHz (Fig. 11 baseline).
+        let cpu = CoreTimingModel::thunderx1();
+        let s = cpu.steady_state(&profile(), 1, 20e9);
+        let mpx = s.units_per_sec / 1e6;
+        assert!((31.0..35.0).contains(&mpx), "per-core rate {mpx} Mpx/s");
+    }
+
+    #[test]
+    fn bandwidth_cap_clips_and_adds_stalls() {
+        let cpu = CoreTimingModel::thunderx1();
+        let p = profile();
+        let tight_bw = 1e9; // 1 GB/s shared
+        let s = cpu.steady_state(&p, 48, tight_bw);
+        assert!(s.interconnect_bound);
+        let expected = tight_bw / p.remote_bytes_per_unit;
+        assert!((s.units_per_sec - expected).abs() / expected < 1e-9);
+        // Stall fraction rises steeply when bandwidth-bound.
+        let unbound = cpu.steady_state(&p, 48, 1e12);
+        assert!(
+            s.pmu.memory_stalls_per_cycle() > unbound.pmu.memory_stalls_per_cycle() * 2.0
+        );
+    }
+
+    #[test]
+    fn pmu_window_is_consistent() {
+        let cpu = CoreTimingModel::thunderx1();
+        let p = profile();
+        let s = cpu.steady_state(&p, 48, 20e9);
+        // Cycles = 48 cores for 1 s at 2 GHz.
+        assert_eq!(s.pmu.cycles(), 96_000_000_000);
+        // Refills per second match bytes / line.
+        let expect_refills = s.interconnect_bytes_per_sec / 128.0;
+        let got = s.pmu.l1_refills() as f64;
+        assert!((got - expect_refills).abs() / expect_refills < 1e-6);
+    }
+
+    #[test]
+    fn zero_remote_bytes_never_interconnect_bound() {
+        let cpu = CoreTimingModel::thunderx1();
+        let p = WorkloadProfile {
+            remote_bytes_per_unit: 0.0,
+            ..profile()
+        };
+        let s = cpu.steady_state(&p, 48, 1.0);
+        assert!(!s.interconnect_bound);
+        assert_eq!(s.interconnect_bytes_per_sec, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_many_cores_panics() {
+        let cpu = CoreTimingModel::thunderx1();
+        cpu.steady_state(&profile(), 49, 1e9);
+    }
+}

@@ -1,0 +1,28 @@
+//! CPU cache substrate: the ThunderX-1's L2 cache, MOESI coherence states,
+//! PMU counters, and an in-order core timing model.
+//!
+//! The ThunderX-1 has 48 in-order ARMv8 cores sharing a 16 MiB, 16-way L2
+//! cache with 128-byte lines; the L2 is the coherence point that ECI talks
+//! to (paper §5.1 attributes ECI read-throughput limits to "the
+//! ThunderX-1's L2 cache subsystem, which handles all the transfers on the
+//! CPU side"). The crate provides:
+//!
+//! * [`moesi`] — the five-state MOESI line-state machine with legal
+//!   transition checking (shared vocabulary with the `enzian-eci`
+//!   directory);
+//! * [`l2`] — a set-associative cache model with LRU replacement,
+//!   write-back, and coherence probes;
+//! * [`pmu`] — the performance-monitoring counters from which Table 1 is
+//!   derived (memory stall cycles, L1 refills, cycles);
+//! * [`core`] — an in-order core timing model that converts a workload's
+//!   compute/memory profile into cycles and PMU counts.
+
+pub mod core;
+pub mod l2;
+pub mod moesi;
+pub mod pmu;
+
+pub use crate::core::{CoreTimingModel, WorkloadProfile};
+pub use l2::{AccessOutcome, Eviction, L2Cache, L2Config, ProbeOutcome};
+pub use moesi::LineState;
+pub use pmu::Pmu;

@@ -1,0 +1,240 @@
+//! The MOESI cache-line state machine.
+//!
+//! ECI is "a MOESI-based protocol with 128-byte cache lines" (paper §4.1).
+//! This module defines the five stable states and the legal transition
+//! relation, used both by the L2 model in this crate and by the
+//! `enzian-eci` directory controller; the generated assertion checkers in
+//! `enzian-eci::checker` are built on [`LineState::can_transition`].
+
+use core::fmt;
+
+/// Stable MOESI states of a cache line in one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum LineState {
+    /// Not present.
+    #[default]
+    Invalid,
+    /// Read-only, possibly replicated in other caches, memory up to date.
+    Shared,
+    /// Read-only in exactly this cache, memory up to date.
+    Exclusive,
+    /// Dirty but replicated: this cache must supply data and eventually
+    /// write back; other caches may hold it Shared.
+    Owned,
+    /// Dirty and exclusive.
+    Modified,
+}
+
+/// The event that drives a line-state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LineEvent {
+    /// Local load miss or hit.
+    LocalRead,
+    /// Local store.
+    LocalWrite,
+    /// A remote cache asked to read (we observed a snoop for sharing).
+    RemoteRead,
+    /// A remote cache asked for ownership (snoop invalidate).
+    RemoteWrite,
+    /// The line is evicted (capacity/conflict) or recalled.
+    Evict,
+}
+
+impl LineState {
+    /// Whether this cache may satisfy a load from the line.
+    pub fn is_readable(self) -> bool {
+        !matches!(self, LineState::Invalid)
+    }
+
+    /// Whether this cache may satisfy a store without a coherence action.
+    pub fn is_writable(self) -> bool {
+        matches!(self, LineState::Exclusive | LineState::Modified)
+    }
+
+    /// Whether the line holds data newer than memory.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, LineState::Owned | LineState::Modified)
+    }
+
+    /// Whether this cache is responsible for supplying data to snoops.
+    pub fn is_owner(self) -> bool {
+        matches!(
+            self,
+            LineState::Owned | LineState::Modified | LineState::Exclusive
+        )
+    }
+
+    /// The state after `event`, or `None` if the event is not meaningful
+    /// in this state (e.g. a remote snoop on an Invalid line).
+    pub fn after(self, event: LineEvent) -> Option<LineState> {
+        use LineEvent::*;
+        use LineState::*;
+        Some(match (self, event) {
+            // Local reads.
+            (Invalid, LocalRead) => Shared, // conservative: fill as Shared
+            (s, LocalRead) => s,
+            // Local writes always end Modified.
+            (_, LocalWrite) => Modified,
+            // Remote read: dirty data degrades to Owned, clean to Shared.
+            (Modified, RemoteRead) | (Owned, RemoteRead) => Owned,
+            (Exclusive, RemoteRead) | (Shared, RemoteRead) => Shared,
+            (Invalid, RemoteRead) => return None,
+            // Remote write invalidates.
+            (Invalid, RemoteWrite) => return None,
+            (_, RemoteWrite) => Invalid,
+            // Eviction.
+            (Invalid, Evict) => return None,
+            (_, Evict) => Invalid,
+        })
+    }
+
+    /// Whether a direct transition `self -> next` is legal under *some*
+    /// event. This is the relation the protocol checkers enforce.
+    ///
+    /// Beyond the events in [`LineState::after`], a fill from `Invalid`
+    /// may install `Exclusive` when the directory knows there are no
+    /// other sharers (the standard E-state optimisation).
+    pub fn can_transition(self, next: LineState) -> bool {
+        if self == next {
+            return true;
+        }
+        if self == LineState::Invalid && next == LineState::Exclusive {
+            return true;
+        }
+        use LineEvent::*;
+        [LocalRead, LocalWrite, RemoteRead, RemoteWrite, Evict]
+            .into_iter()
+            .any(|e| self.after(e) == Some(next))
+    }
+
+    /// All five states, for exhaustive checks.
+    pub const ALL: [LineState; 5] = [
+        LineState::Invalid,
+        LineState::Shared,
+        LineState::Exclusive,
+        LineState::Owned,
+        LineState::Modified,
+    ];
+}
+
+impl fmt::Display for LineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            LineState::Invalid => 'I',
+            LineState::Shared => 'S',
+            LineState::Exclusive => 'E',
+            LineState::Owned => 'O',
+            LineState::Modified => 'M',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Checks the global single-writer/multiple-reader invariant over the
+/// states one line holds in every cache of the system.
+///
+/// Returns `Err` with a description when violated. The invariants are:
+///
+/// 1. at most one cache in `Modified` or `Exclusive`, with every other
+///    cache `Invalid`;
+/// 2. at most one cache in `Owned`; the rest may be `Shared`.
+pub fn check_global_invariant(states: &[LineState]) -> Result<(), String> {
+    let m = states
+        .iter()
+        .filter(|s| matches!(s, LineState::Modified))
+        .count();
+    let e = states
+        .iter()
+        .filter(|s| matches!(s, LineState::Exclusive))
+        .count();
+    let o = states
+        .iter()
+        .filter(|s| matches!(s, LineState::Owned))
+        .count();
+    let s_count = states
+        .iter()
+        .filter(|s| matches!(s, LineState::Shared))
+        .count();
+
+    if m + e > 1 {
+        return Err(format!("multiple exclusive holders: {m} M, {e} E"));
+    }
+    if (m + e == 1) && (o + s_count > 0) {
+        return Err(format!(
+            "exclusive holder coexists with {o} O / {s_count} S copies"
+        ));
+    }
+    if o > 1 {
+        return Err(format!("{o} owners for one line"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::*;
+
+    #[test]
+    fn predicates() {
+        assert!(!Invalid.is_readable());
+        assert!(Shared.is_readable() && !Shared.is_writable());
+        assert!(Exclusive.is_writable() && !Exclusive.is_dirty());
+        assert!(Owned.is_dirty() && !Owned.is_writable());
+        assert!(Modified.is_writable() && Modified.is_dirty());
+    }
+
+    #[test]
+    fn local_write_always_yields_modified() {
+        for s in LineState::ALL {
+            assert_eq!(s.after(LineEvent::LocalWrite), Some(Modified));
+        }
+    }
+
+    #[test]
+    fn remote_read_preserves_dirtiness_via_owned() {
+        assert_eq!(Modified.after(LineEvent::RemoteRead), Some(Owned));
+        assert_eq!(Owned.after(LineEvent::RemoteRead), Some(Owned));
+        assert_eq!(Exclusive.after(LineEvent::RemoteRead), Some(Shared));
+    }
+
+    #[test]
+    fn snoops_on_invalid_are_meaningless() {
+        assert_eq!(Invalid.after(LineEvent::RemoteRead), None);
+        assert_eq!(Invalid.after(LineEvent::RemoteWrite), None);
+        assert_eq!(Invalid.after(LineEvent::Evict), None);
+    }
+
+    #[test]
+    fn transition_relation_is_reflexive() {
+        for s in LineState::ALL {
+            assert!(s.can_transition(s), "{s} -> {s} must be legal");
+        }
+    }
+
+    #[test]
+    fn illegal_jumps_rejected() {
+        // S cannot jump directly to E or O without an intervening miss.
+        assert!(!Shared.can_transition(Exclusive));
+        assert!(!Shared.can_transition(Owned));
+        assert!(!Invalid.can_transition(Owned));
+    }
+
+    #[test]
+    fn global_invariant_accepts_legal_mixes() {
+        assert!(check_global_invariant(&[Modified, Invalid, Invalid]).is_ok());
+        assert!(check_global_invariant(&[Owned, Shared, Shared]).is_ok());
+        assert!(check_global_invariant(&[Shared, Shared]).is_ok());
+        assert!(check_global_invariant(&[Exclusive]).is_ok());
+    }
+
+    #[test]
+    fn global_invariant_rejects_violations() {
+        assert!(check_global_invariant(&[Modified, Shared]).is_err());
+        assert!(check_global_invariant(&[Modified, Modified]).is_err());
+        assert!(check_global_invariant(&[Exclusive, Exclusive]).is_err());
+        assert!(check_global_invariant(&[Owned, Owned]).is_err());
+        assert!(check_global_invariant(&[Exclusive, Owned]).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Performance-monitoring unit counters.
+//!
+//! The Fig. 11 / Table 1 experiment collects "interconnect utilization,
+//! memory-dependent CPU stall cycles, and L1 refills" from the ThunderX-1
+//! PMU. [`Pmu`] is the accumulator for those counters, and exposes the two
+//! derived metrics Table 1 reports: memory stalls per cycle and cycles per
+//! L1 refill.
+
+/// An accumulator of PMU events for one measurement window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Pmu {
+    cycles: u64,
+    instructions: u64,
+    memory_stall_cycles: u64,
+    l1_refills: u64,
+    l2_misses: u64,
+}
+
+impl Pmu {
+    /// Creates a zeroed PMU.
+    pub fn new() -> Self {
+        Pmu::default()
+    }
+
+    /// Adds elapsed core cycles.
+    pub fn add_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
+    /// Adds retired instructions.
+    pub fn add_instructions(&mut self, n: u64) {
+        self.instructions += n;
+    }
+
+    /// Adds cycles the pipeline stalled waiting on memory.
+    pub fn add_memory_stalls(&mut self, n: u64) {
+        self.memory_stall_cycles += n;
+    }
+
+    /// Adds L1 data-cache refills.
+    pub fn add_l1_refills(&mut self, n: u64) {
+        self.l1_refills += n;
+    }
+
+    /// Adds L2 misses (refills from beyond the L2: DRAM or the remote
+    /// node over ECI).
+    pub fn add_l2_misses(&mut self, n: u64) {
+        self.l2_misses += n;
+    }
+
+    /// Total elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total retired instructions.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Total memory stall cycles.
+    pub fn memory_stall_cycles(&self) -> u64 {
+        self.memory_stall_cycles
+    }
+
+    /// Total L1 refills.
+    pub fn l1_refills(&self) -> u64 {
+        self.l1_refills
+    }
+
+    /// Total L2 misses.
+    pub fn l2_misses(&self) -> u64 {
+        self.l2_misses
+    }
+
+    /// Table 1, row 1: memory stalls per cycle. Zero when no cycles.
+    pub fn memory_stalls_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.memory_stall_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Table 1, row 2: cycles per L1 refill. `None` when no refills.
+    pub fn cycles_per_l1_refill(&self) -> Option<f64> {
+        (self.l1_refills > 0).then(|| self.cycles as f64 / self.l1_refills as f64)
+    }
+
+    /// Instructions per cycle. Zero when no cycles.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Merges another window into this one.
+    pub fn merge(&mut self, other: &Pmu) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.memory_stall_cycles += other.memory_stall_cycles;
+        self.l1_refills += other.l1_refills;
+        self.l2_misses += other.l2_misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut p = Pmu::new();
+        p.add_cycles(1000);
+        p.add_memory_stalls(25);
+        p.add_l1_refills(4);
+        p.add_instructions(800);
+        assert!((p.memory_stalls_per_cycle() - 0.025).abs() < 1e-12);
+        assert_eq!(p.cycles_per_l1_refill(), Some(250.0));
+        assert!((p.ipc() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pmu_is_safe() {
+        let p = Pmu::new();
+        assert_eq!(p.memory_stalls_per_cycle(), 0.0);
+        assert_eq!(p.cycles_per_l1_refill(), None);
+        assert_eq!(p.ipc(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = Pmu::new();
+        a.add_cycles(10);
+        a.add_l1_refills(1);
+        let mut b = Pmu::new();
+        b.add_cycles(30);
+        b.add_l1_refills(3);
+        b.add_memory_stalls(5);
+        a.merge(&b);
+        assert_eq!(a.cycles(), 40);
+        assert_eq!(a.l1_refills(), 4);
+        assert_eq!(a.memory_stall_cycles(), 5);
+    }
+}

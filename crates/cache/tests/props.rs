@@ -1,0 +1,83 @@
+//! Property tests for the cache substrate.
+
+use proptest::prelude::*;
+
+use enzian_cache::moesi::{check_global_invariant, LineEvent, LineState};
+use enzian_cache::{AccessOutcome, L2Cache, L2Config};
+use enzian_mem::CacheLine;
+
+proptest! {
+    /// Under any access sequence the cache never exceeds its capacity
+    /// and hit/miss accounting matches observed outcomes.
+    #[test]
+    fn l2_capacity_and_accounting(
+        ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)
+    ) {
+        let cfg = L2Config { capacity_bytes: 2048, ways: 4, line_bytes: 128 };
+        let mut l2 = L2Cache::new(cfg);
+        let cap_lines = (cfg.capacity_bytes / cfg.line_bytes) as usize;
+        let mut observed_hits = 0u64;
+        for &(line, write) in &ops {
+            let line = CacheLine(line);
+            let outcome = if write { l2.write(line) } else { l2.read(line) };
+            match outcome {
+                AccessOutcome::Hit => observed_hits += 1,
+                AccessOutcome::UpgradeMiss => {}
+                AccessOutcome::Miss(_) => {
+                    l2.fill(line, if write { LineState::Modified } else { LineState::Shared });
+                }
+            }
+            prop_assert!(l2.resident_lines() <= cap_lines);
+        }
+        let (hits, ..) = l2.stats();
+        prop_assert_eq!(hits, observed_hits);
+    }
+
+    /// Applying any legal event sequence to a line keeps every reached
+    /// state within the transition relation, and a two-cache system
+    /// driven by complementary events never violates the global
+    /// invariant.
+    #[test]
+    fn moesi_events_preserve_invariants(events in proptest::collection::vec(0u8..4, 1..100)) {
+        let mut a = LineState::Invalid;
+        let mut b = LineState::Invalid;
+        for &e in &events {
+            // Drive cache A; cache B observes the complementary event.
+            let (ev_a, ev_b) = match e {
+                0 => (LineEvent::LocalRead, LineEvent::RemoteRead),
+                1 => (LineEvent::LocalWrite, LineEvent::RemoteWrite),
+                2 => (LineEvent::RemoteRead, LineEvent::LocalRead),
+                _ => (LineEvent::RemoteWrite, LineEvent::LocalWrite),
+            };
+            let next_a = a.after(ev_a).unwrap_or(a);
+            let next_b = b.after(ev_b).unwrap_or(b);
+            prop_assert!(a.can_transition(next_a), "{a} -> {next_a}");
+            prop_assert!(b.can_transition(next_b), "{b} -> {next_b}");
+            a = next_a;
+            b = next_b;
+            prop_assert!(check_global_invariant(&[a, b]).is_ok(),
+                "violated with A={a}, B={b}");
+        }
+    }
+
+    /// A probe after any access sequence leaves the line unreadable
+    /// (write probe) or non-writable (read probe).
+    #[test]
+    fn probes_enforce_their_contract(fills in proptest::collection::vec(0u64..16, 1..40), for_write in any::<bool>()) {
+        let mut l2 = L2Cache::new(L2Config { capacity_bytes: 4096, ways: 2, line_bytes: 128 });
+        for &l in &fills {
+            let line = CacheLine(l);
+            if let AccessOutcome::Miss(_) = l2.write(line) {
+                l2.fill(line, LineState::Modified);
+            }
+        }
+        let victim = CacheLine(fills[0]);
+        l2.probe(victim, for_write);
+        let state = l2.state_of(victim);
+        if for_write {
+            prop_assert_eq!(state, LineState::Invalid);
+        } else {
+            prop_assert!(!state.is_writable(), "still writable: {}", state);
+        }
+    }
+}

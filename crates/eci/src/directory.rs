@@ -1,0 +1,227 @@
+//! The home-node directory.
+//!
+//! Each node is home for the lines in its half of the statically
+//! partitioned physical address space. The home's directory tracks what
+//! copy, if any, the *remote* node holds of each home line — in a
+//! two-node system this is a single compact state per line. Requests from
+//! the remote node and local accesses that conflict with a remote copy
+//! consult the directory to decide whether probes are needed.
+
+use std::collections::HashMap;
+
+use enzian_mem::CacheLine;
+
+/// The remote node's copy of a home line, as the home tracks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum RemoteCopy {
+    /// The remote node holds no copy.
+    #[default]
+    None,
+    /// The remote node holds a read-only (Shared) copy.
+    Shared,
+    /// The remote node owns the line (Exclusive/Modified/Owned); it may
+    /// be dirty there and the home must probe before serving others.
+    Owner,
+}
+
+/// Directory entry for one line (public for inspection in tests/tools).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct DirectoryEntry {
+    /// Remote copy state.
+    pub remote: RemoteCopy,
+}
+
+/// A home node's directory over its lines.
+///
+/// # Example
+///
+/// ```
+/// use enzian_eci::directory::{Directory, RemoteCopy};
+/// use enzian_mem::CacheLine;
+///
+/// let mut dir = Directory::new();
+/// let line = CacheLine(7);
+/// assert_eq!(dir.remote_copy(line), RemoteCopy::None);
+/// dir.grant_owner(line);
+/// assert!(dir.needs_probe_for_read(line));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<CacheLine, DirectoryEntry>,
+    grants: u64,
+    recalls: u64,
+}
+
+impl Directory {
+    /// Creates an empty directory (no remote copies).
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// The remote node's copy state for `line`.
+    pub fn remote_copy(&self, line: CacheLine) -> RemoteCopy {
+        self.entries.get(&line).map_or(RemoteCopy::None, |e| e.remote)
+    }
+
+    /// Records a Shared grant to the remote node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the remote already owns the line: the home must recall
+    /// ownership first, which is a protocol bug if skipped.
+    pub fn grant_shared(&mut self, line: CacheLine) {
+        let e = self.entries.entry(line).or_default();
+        assert!(
+            e.remote != RemoteCopy::Owner,
+            "shared grant while remote owns {line}"
+        );
+        e.remote = RemoteCopy::Shared;
+        self.grants += 1;
+    }
+
+    /// Records an ownership grant (Exclusive) to the remote node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the remote already holds any copy (must upgrade/recall
+    /// through the proper transitions).
+    pub fn grant_owner(&mut self, line: CacheLine) {
+        let e = self.entries.entry(line).or_default();
+        assert!(
+            e.remote == RemoteCopy::None || e.remote == RemoteCopy::Shared,
+            "owner grant in state {:?} for {line}",
+            e.remote
+        );
+        e.remote = RemoteCopy::Owner;
+        self.grants += 1;
+    }
+
+    /// Records that the remote copy was invalidated (probe, victim).
+    pub fn revoke(&mut self, line: CacheLine) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            if e.remote != RemoteCopy::None {
+                self.recalls += 1;
+            }
+            e.remote = RemoteCopy::None;
+        }
+    }
+
+    /// Records that the remote owner was downgraded to Shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the remote was not the owner.
+    pub fn downgrade(&mut self, line: CacheLine) {
+        let e = self.entries.entry(line).or_default();
+        assert!(
+            e.remote == RemoteCopy::Owner,
+            "downgrade of non-owner for {line}"
+        );
+        e.remote = RemoteCopy::Shared;
+        self.recalls += 1;
+    }
+
+    /// Whether a *local* or third-party read of `line` requires probing
+    /// the remote node (it might hold dirty data).
+    pub fn needs_probe_for_read(&self, line: CacheLine) -> bool {
+        self.remote_copy(line) == RemoteCopy::Owner
+    }
+
+    /// Whether a write to `line` requires probing/invalidating the remote.
+    pub fn needs_probe_for_write(&self, line: CacheLine) -> bool {
+        self.remote_copy(line) != RemoteCopy::None
+    }
+
+    /// Number of lines with an active remote copy.
+    pub fn active_remote_copies(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.remote != RemoteCopy::None)
+            .count()
+    }
+
+    /// `(grants, recalls)` issued over the directory's lifetime.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.grants, self.recalls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_state_is_no_copy() {
+        let d = Directory::new();
+        assert_eq!(d.remote_copy(CacheLine(1)), RemoteCopy::None);
+        assert!(!d.needs_probe_for_read(CacheLine(1)));
+        assert!(!d.needs_probe_for_write(CacheLine(1)));
+    }
+
+    #[test]
+    fn grant_and_revoke_lifecycle() {
+        let mut d = Directory::new();
+        let l = CacheLine(2);
+        d.grant_shared(l);
+        assert_eq!(d.remote_copy(l), RemoteCopy::Shared);
+        assert!(!d.needs_probe_for_read(l));
+        assert!(d.needs_probe_for_write(l));
+        d.revoke(l);
+        assert_eq!(d.remote_copy(l), RemoteCopy::None);
+        assert_eq!(d.stats(), (1, 1));
+    }
+
+    #[test]
+    fn ownership_requires_probes_for_reads() {
+        let mut d = Directory::new();
+        let l = CacheLine(3);
+        d.grant_owner(l);
+        assert!(d.needs_probe_for_read(l));
+        d.downgrade(l);
+        assert_eq!(d.remote_copy(l), RemoteCopy::Shared);
+        assert!(!d.needs_probe_for_read(l));
+    }
+
+    #[test]
+    fn shared_to_owner_upgrade_allowed() {
+        let mut d = Directory::new();
+        let l = CacheLine(4);
+        d.grant_shared(l);
+        d.grant_owner(l);
+        assert_eq!(d.remote_copy(l), RemoteCopy::Owner);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared grant while remote owns")]
+    fn shared_grant_over_owner_panics() {
+        let mut d = Directory::new();
+        let l = CacheLine(5);
+        d.grant_owner(l);
+        d.grant_shared(l);
+    }
+
+    #[test]
+    #[should_panic(expected = "downgrade of non-owner")]
+    fn downgrade_without_owner_panics() {
+        let mut d = Directory::new();
+        d.downgrade(CacheLine(6));
+    }
+
+    #[test]
+    fn active_copy_census() {
+        let mut d = Directory::new();
+        d.grant_shared(CacheLine(1));
+        d.grant_owner(CacheLine(2));
+        d.grant_shared(CacheLine(3));
+        d.revoke(CacheLine(3));
+        assert_eq!(d.active_remote_copies(), 2);
+    }
+
+    #[test]
+    fn revoke_of_absent_line_is_idempotent() {
+        let mut d = Directory::new();
+        d.revoke(CacheLine(9));
+        d.revoke(CacheLine(9));
+        assert_eq!(d.stats(), (0, 0));
+    }
+}

@@ -1,0 +1,49 @@
+//! The Enzian Coherence Interface (ECI).
+//!
+//! ECI is the paper's central technical contribution: the CPU's native
+//! inter-socket cache-coherence protocol, re-implemented on the FPGA so
+//! that the FPGA participates in the memory system as a first-class NUMA
+//! node instead of a PCIe peripheral. Quoting §4.1: *"Our implementation,
+//! the Enzian Coherence Interface (ECI), is a MOESI-based protocol with
+//! 128-byte cache lines … It also supports non-cached small I/O reads and
+//! writes, and inter-processor interrupts. The system's physical address
+//! space is statically partitioned between the CPU and FPGA."*
+//!
+//! This crate reproduces the protocol and its tooling:
+//!
+//! * [`message`] — the message set carried on ECI's virtual channels
+//!   (coherent requests/responses, probes, write-backs, I/O, IPIs);
+//! * [`wire`] — the paper's own on-wire serialization format for protocol
+//!   messages, used both for interoperability between tools and for
+//!   stored traces;
+//! * [`link`] — the physical layer: 24 × 10 Gb/s lanes in two 12-lane
+//!   links, with link training, lane/speed scaling (as the BDK allows),
+//!   per-VC credit flow control, and a load-balancing policy;
+//! * [`directory`] — the two-node MOESI directory (home agent state);
+//! * [`system`] — the full transaction-level protocol engine connecting
+//!   the CPU's L2, both nodes' DRAM, and the links — the component every
+//!   experiment drives;
+//! * [`checker`] — assertion checkers "generated from the specification":
+//!   they validate every observed transition and global invariant online;
+//! * [`decoder`] — the Wireshark-plugin analogue: decodes captured wire
+//!   traffic into human-readable trace records;
+//! * [`cosim`] — the co-simulation harness: framed endpoints speaking
+//!   the wire format over any byte transport, with a CPU-side home
+//!   personality for bringing up foreign FPGA-side simulators.
+
+pub mod checker;
+pub mod cosim;
+pub mod decoder;
+pub mod directory;
+pub mod link;
+pub mod message;
+pub mod system;
+pub mod wire;
+
+pub use checker::{CheckerError, ProtocolChecker};
+pub use cosim::{CosimEndpoint, CosimHome, Loopback};
+pub use directory::{Directory, DirectoryEntry};
+pub use link::{EciLinkConfig, EciLinks, LinkPolicy, LinkState, VirtualChannel};
+pub use message::{Message, MessageKind, TxnId};
+pub use system::{EciSystem, EciSystemConfig};
+pub use wire::{decode_message, encode_message, WireError};

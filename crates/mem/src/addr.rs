@@ -1,0 +1,252 @@
+//! Physical addresses, cache-line geometry, and the Enzian NUMA partition.
+//!
+//! The ThunderX-1 uses 128-byte cache lines, and ECI inherits that
+//! granularity: every coherent transfer moves one 128-byte line. The
+//! system's physical address space is *statically partitioned* between the
+//! CPU and the FPGA node (paper §4.1); [`MemoryMap`] captures that split
+//! and answers the home-node question the directory controller asks for
+//! every request.
+
+use core::fmt;
+
+/// Size of a ThunderX-1 / ECI cache line in bytes.
+pub const CACHE_LINE_BYTES: u64 = 128;
+
+/// A physical byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The containing cache line.
+    pub fn line(self) -> CacheLine {
+        CacheLine(self.0 / CACHE_LINE_BYTES)
+    }
+
+    /// Byte offset within the containing cache line.
+    pub fn line_offset(self) -> u64 {
+        self.0 % CACHE_LINE_BYTES
+    }
+
+    /// The address advanced by `bytes`.
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#012x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Addr {
+        Addr(v)
+    }
+}
+
+/// A cache-line index (physical address divided by the line size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct CacheLine(pub u64);
+
+impl CacheLine {
+    /// The first byte address of this line.
+    pub fn base(self) -> Addr {
+        Addr(self.0 * CACHE_LINE_BYTES)
+    }
+
+    /// The next line.
+    pub fn next(self) -> CacheLine {
+        CacheLine(self.0 + 1)
+    }
+}
+
+impl fmt::Display for CacheLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {:#x}", self.0)
+    }
+}
+
+/// Identifies one of the two NUMA nodes of an Enzian system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum NodeId {
+    /// Node 0: the 48-core ThunderX-1 CPU.
+    Cpu,
+    /// Node 1: the XCVU9P FPGA.
+    Fpga,
+}
+
+impl NodeId {
+    /// The other node.
+    pub fn peer(self) -> NodeId {
+        match self {
+            NodeId::Cpu => NodeId::Fpga,
+            NodeId::Fpga => NodeId::Cpu,
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Cpu => write!(f, "cpu"),
+            NodeId::Fpga => write!(f, "fpga"),
+        }
+    }
+}
+
+/// The static partition of the physical address space between the two
+/// nodes (paper §4.1: "the system's physical address space is statically
+/// partitioned between the CPU and FPGA").
+///
+/// # Example
+///
+/// ```
+/// use enzian_mem::{MemoryMap, Addr, NodeId};
+///
+/// let map = MemoryMap::enzian_default();
+/// assert_eq!(map.home_of(Addr(0x1000)), NodeId::Cpu);
+/// assert_eq!(map.home_of(map.fpga_base()), NodeId::Fpga);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MemoryMap {
+    cpu_bytes: u64,
+    fpga_base: u64,
+    fpga_bytes: u64,
+}
+
+impl MemoryMap {
+    /// Builds a partition with the CPU's DRAM at physical zero and the
+    /// FPGA's DRAM at `fpga_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the regions overlap or either size is zero.
+    pub fn new(cpu_bytes: u64, fpga_base: u64, fpga_bytes: u64) -> Self {
+        assert!(cpu_bytes > 0 && fpga_bytes > 0, "empty memory region");
+        assert!(
+            fpga_base >= cpu_bytes,
+            "FPGA region overlaps CPU region: base {fpga_base:#x} < cpu size {cpu_bytes:#x}"
+        );
+        assert!(
+            fpga_base.checked_add(fpga_bytes).is_some(),
+            "FPGA region overflows the address space"
+        );
+        MemoryMap {
+            cpu_bytes,
+            fpga_base,
+            fpga_bytes,
+        }
+    }
+
+    /// The shipping Enzian configuration: 128 GiB CPU DRAM at zero,
+    /// 512 GiB FPGA DRAM homed at the 1 TiB mark.
+    pub fn enzian_default() -> Self {
+        const GIB: u64 = 1 << 30;
+        MemoryMap::new(128 * GIB, 1024 * GIB, 512 * GIB)
+    }
+
+    /// Bytes of CPU-homed DRAM.
+    pub fn cpu_bytes(&self) -> u64 {
+        self.cpu_bytes
+    }
+
+    /// First physical address of the FPGA-homed region.
+    pub fn fpga_base(&self) -> Addr {
+        Addr(self.fpga_base)
+    }
+
+    /// Bytes of FPGA-homed DRAM.
+    pub fn fpga_bytes(&self) -> u64 {
+        self.fpga_bytes
+    }
+
+    /// The home node of a physical address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an address outside both regions (a bus error on real
+    /// hardware — always a bug in the caller here).
+    pub fn home_of(&self, addr: Addr) -> NodeId {
+        if addr.0 < self.cpu_bytes {
+            NodeId::Cpu
+        } else if addr.0 >= self.fpga_base && addr.0 - self.fpga_base < self.fpga_bytes {
+            NodeId::Fpga
+        } else {
+            panic!("physical address {addr} maps to no DRAM region");
+        }
+    }
+
+    /// Whether `addr` falls in either DRAM region.
+    pub fn is_mapped(&self, addr: Addr) -> bool {
+        addr.0 < self.cpu_bytes
+            || (addr.0 >= self.fpga_base && addr.0 - self.fpga_base < self.fpga_bytes)
+    }
+
+    /// Translates a physical address to a node-local DRAM offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is unmapped.
+    pub fn local_offset(&self, addr: Addr) -> (NodeId, u64) {
+        match self.home_of(addr) {
+            NodeId::Cpu => (NodeId::Cpu, addr.0),
+            NodeId::Fpga => (NodeId::Fpga, addr.0 - self.fpga_base),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_geometry() {
+        let a = Addr(0x1234);
+        assert_eq!(a.line(), CacheLine(0x1234 / 128));
+        assert_eq!(a.line_offset(), 0x1234 % 128);
+        assert_eq!(a.line().base().line_offset(), 0);
+        assert_eq!(CacheLine(5).next(), CacheLine(6));
+    }
+
+    #[test]
+    fn default_map_partitions() {
+        let m = MemoryMap::enzian_default();
+        assert_eq!(m.home_of(Addr(0)), NodeId::Cpu);
+        assert_eq!(m.home_of(Addr(m.cpu_bytes() - 1)), NodeId::Cpu);
+        assert_eq!(m.home_of(m.fpga_base()), NodeId::Fpga);
+        assert!(!m.is_mapped(Addr(m.cpu_bytes())));
+        let top = Addr(m.fpga_base().0 + m.fpga_bytes());
+        assert!(!m.is_mapped(top));
+    }
+
+    #[test]
+    fn local_offsets() {
+        let m = MemoryMap::enzian_default();
+        assert_eq!(m.local_offset(Addr(42)), (NodeId::Cpu, 42));
+        let f = m.fpga_base().offset(100);
+        assert_eq!(m.local_offset(f), (NodeId::Fpga, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "no DRAM region")]
+    fn unmapped_address_panics() {
+        let m = MemoryMap::enzian_default();
+        m.home_of(Addr(m.cpu_bytes()));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_regions_rejected() {
+        let _ = MemoryMap::new(1 << 30, 1 << 20, 1 << 30);
+    }
+
+    #[test]
+    fn node_peer_is_involutive() {
+        assert_eq!(NodeId::Cpu.peer(), NodeId::Fpga);
+        assert_eq!(NodeId::Fpga.peer().peer(), NodeId::Fpga);
+    }
+}

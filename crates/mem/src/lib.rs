@@ -1,0 +1,28 @@
+//! Memory substrate for the Enzian platform model.
+//!
+//! Enzian is a two-socket NUMA machine whose physical address space is
+//! statically partitioned between the ThunderX-1 CPU (128 GiB of DDR4-2133
+//! on four channels) and the XCVU9P FPGA (up to 1 TiB of DDR4-2400 on four
+//! channels). This crate provides:
+//!
+//! * [`addr`] — physical addresses, cache-line geometry (128-byte lines, as
+//!   used by the ThunderX-1 and hence ECI), and the static NUMA partition;
+//! * [`dram`] — a DDR4 device/channel timing model (row buffers, bank
+//!   groups, refresh) that yields realistic bandwidth/latency;
+//! * [`controller`] — a multi-channel memory controller with address
+//!   interleaving and FR-FCFS-style scheduling;
+//! * [`store`] — a sparse functional backing store so that data written
+//!   through the models actually reads back;
+//! * [`memtest`] — the BDK-style memory tests run during the Fig. 12 power
+//!   experiment (data-bus walk, address-bus test, marching rows, random).
+
+pub mod addr;
+pub mod controller;
+pub mod dram;
+pub mod memtest;
+pub mod store;
+
+pub use addr::{Addr, CacheLine, MemoryMap, NodeId, CACHE_LINE_BYTES};
+pub use controller::{MemoryController, MemoryControllerConfig, Op};
+pub use dram::{DdrGeneration, DramChannel, DramTiming};
+pub use store::Store;

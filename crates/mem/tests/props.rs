@@ -1,0 +1,65 @@
+//! Property tests for the memory substrate.
+
+use proptest::prelude::*;
+
+use enzian_mem::{Addr, DdrGeneration, DramChannel, MemoryController, MemoryControllerConfig, Op};
+use enzian_sim::Time;
+
+proptest! {
+    /// DRAM access completion is monotone in submission time, and always
+    /// after the submission.
+    #[test]
+    fn dram_time_is_causal(
+        accesses in proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000, any::<bool>()), 1..100)
+    ) {
+        let mut ch = DramChannel::new(DdrGeneration::Ddr4_2133);
+        for &(at_ns, addr, write) in &accesses {
+            let now = Time::from_ps(at_ns * 1000);
+            let done = ch.access(now, Addr(addr), 128, write);
+            prop_assert!(done > now, "completion not after submission");
+        }
+    }
+
+    /// Controller reads return exactly what was last written, for any
+    /// interleaving of line-aligned writes.
+    #[test]
+    fn controller_reads_last_write(
+        ops in proptest::collection::vec((0u64..64, any::<u8>()), 1..80)
+    ) {
+        let mut mc = MemoryController::new(MemoryControllerConfig::enzian_cpu());
+        let mut reference = [0u8; 64];
+        let mut t = Time::ZERO;
+        for &(line, fill) in &ops {
+            t = mc.write(t, Addr(line * 128), &[fill; 128]);
+            reference[line as usize] = fill;
+        }
+        for line in 0..64u64 {
+            let mut buf = [0u8; 128];
+            t = mc.read(t, Addr(line * 128), &mut buf);
+            prop_assert_eq!(buf, [reference[line as usize]; 128]);
+        }
+    }
+
+    /// Aggregate bandwidth never exceeds the pin rate for any request
+    /// pattern.
+    #[test]
+    fn bandwidth_never_exceeds_pins(
+        reqs in proptest::collection::vec((0u64..(1u64 << 24), 1u64..8192), 1..60)
+    ) {
+        let mut mc = MemoryController::new(MemoryControllerConfig::enzian_fpga());
+        let mut done = Time::ZERO;
+        let mut bytes = 0u64;
+        for &(addr, len) in &reqs {
+            done = done.max(mc.request(Time::ZERO, Addr(addr), len, Op::Read));
+            // Accounting is line-granular.
+            let first = addr / 128;
+            let last = (addr + len - 1) / 128;
+            bytes += (last - first + 1) * 128;
+        }
+        let secs = done.as_secs_f64();
+        prop_assert!(secs > 0.0);
+        let peak = mc.peak_bytes_per_sec() as f64;
+        prop_assert!(bytes as f64 / secs <= peak * 1.0001,
+            "achieved {} of peak {}", bytes as f64 / secs, peak);
+    }
+}

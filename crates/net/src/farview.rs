@@ -1,0 +1,413 @@
+//! Smart disaggregated memory with operator off-loading (§6 / Farview).
+//!
+//! *"We have recent work on smart disaggregated memory where the DRAM of
+//! the FPGA is made available as network attached memory … This
+//! disaggregated memory can be used, for example, as a database buffer
+//! cache with operator off-loading and push down directly to the
+//! memory."* (Korolija et al. \[37\].)
+//!
+//! [`FarviewServer`] exposes a table in FPGA DRAM over the network.
+//! Clients either fetch raw rows (plain disaggregated memory) or push an
+//! operator down: the FPGA scans rows at memory bandwidth and ships only
+//! qualifying rows or a scalar aggregate — trading abundant FPGA-side
+//! memory bandwidth for scarce network bandwidth.
+
+use enzian_mem::{Addr, MemoryController, Op};
+use enzian_sim::{Duration, Time};
+
+use crate::eth::EthLink;
+use crate::rdma::RDMA_HEADER;
+
+/// A pushed-down predicate over one `u64` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Predicate {
+    /// Column equals the literal.
+    Eq(u64),
+    /// Column strictly greater than the literal.
+    Gt(u64),
+    /// Column strictly less than the literal.
+    Lt(u64),
+}
+
+impl Predicate {
+    fn eval(&self, v: u64) -> bool {
+        match *self {
+            Predicate::Eq(x) => v == x,
+            Predicate::Gt(x) => v > x,
+            Predicate::Lt(x) => v < x,
+        }
+    }
+}
+
+/// A pushed-down aggregate over one `u64` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Aggregate {
+    /// Sum of the column (wrapping).
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Row count.
+    Count,
+}
+
+/// The operator a request pushes down, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Operator {
+    /// No push-down: ship raw rows (plain disaggregated memory).
+    None,
+    /// Filter on a column; ship only qualifying rows.
+    Filter {
+        /// Byte offset of the `u64` column within the row.
+        column_offset: usize,
+        /// The predicate.
+        predicate: Predicate,
+    },
+    /// Filter then aggregate another column; ship one scalar.
+    FilterAggregate {
+        /// Byte offset of the filter column.
+        filter_offset: usize,
+        /// The predicate.
+        predicate: Predicate,
+        /// Byte offset of the aggregated column.
+        agg_offset: usize,
+        /// The aggregate function.
+        aggregate: Aggregate,
+    },
+}
+
+/// The reply to a scan request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanResult {
+    /// Raw or filtered rows (empty for aggregates).
+    pub rows: Vec<Vec<u8>>,
+    /// The aggregate scalar, when one was pushed down.
+    pub scalar: Option<u64>,
+    /// Completion time at the client.
+    pub completed: Time,
+    /// Payload bytes that crossed the network.
+    pub network_bytes: u64,
+}
+
+/// A table served from FPGA DRAM.
+#[derive(Debug)]
+pub struct FarviewServer {
+    memory: MemoryController,
+    base: Addr,
+    row_bytes: usize,
+    rows: u64,
+    /// Scan engine rate: bytes per FPGA cycle (one 64-byte beat).
+    clock: Duration,
+}
+
+impl FarviewServer {
+    /// Creates a server over `memory`, loading `rows` of `row_bytes`
+    /// each from `data` at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly `rows * row_bytes` long or a row
+    /// is smaller than 8 bytes.
+    pub fn new(
+        mut memory: MemoryController,
+        base: Addr,
+        row_bytes: usize,
+        data: &[u8],
+    ) -> Self {
+        assert!(row_bytes >= 8, "rows must hold at least one u64 column");
+        assert!(
+            data.len().is_multiple_of(row_bytes),
+            "data length {} not a multiple of row size {row_bytes}",
+            data.len()
+        );
+        memory.store_mut().write(base, data);
+        FarviewServer {
+            memory,
+            base,
+            row_bytes,
+            rows: (data.len() / row_bytes) as u64,
+            clock: Duration::from_hz(300_000_000),
+        }
+    }
+
+    /// Rows in the table.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    fn column(&self, row: &[u8], offset: usize) -> u64 {
+        u64::from_le_bytes(row[offset..offset + 8].try_into().expect("column in row"))
+    }
+
+    /// Serves a scan of `[first_row, first_row + count)` with `op`
+    /// pushed down, shipping results back over `link` (server is side
+    /// b). `now` is the request arrival at the server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the table or a column offset does not
+    /// fit a row.
+    pub fn scan(
+        &mut self,
+        link: &mut EthLink,
+        now: Time,
+        first_row: u64,
+        count: u64,
+        op: Operator,
+    ) -> ScanResult {
+        assert!(first_row + count <= self.rows, "scan beyond table");
+        let bytes = count as usize * self.row_bytes;
+        let src = self.base.offset(first_row * self.row_bytes as u64);
+
+        // The scan engine streams the range from DRAM...
+        let dram_done = self.memory.request(now, src, bytes as u64, Op::Read);
+        let mut raw = vec![0u8; bytes];
+        self.memory.store().read(src, &mut raw);
+        // ...and evaluates the operator at one 64-byte beat per cycle.
+        let scan_done = dram_done + self.clock * (bytes as u64).div_ceil(64);
+
+        let mut rows = Vec::new();
+        let mut scalar: Option<u64> = None;
+        match op {
+            Operator::None => {
+                rows.extend(raw.chunks_exact(self.row_bytes).map(<[u8]>::to_vec));
+            }
+            Operator::Filter {
+                column_offset,
+                predicate,
+            } => {
+                assert!(column_offset + 8 <= self.row_bytes, "column beyond row");
+                for row in raw.chunks_exact(self.row_bytes) {
+                    if predicate.eval(self.column(row, column_offset)) {
+                        rows.push(row.to_vec());
+                    }
+                }
+            }
+            Operator::FilterAggregate {
+                filter_offset,
+                predicate,
+                agg_offset,
+                aggregate,
+            } => {
+                assert!(filter_offset + 8 <= self.row_bytes, "column beyond row");
+                assert!(agg_offset + 8 <= self.row_bytes, "column beyond row");
+                let mut acc: Option<u64> = None;
+                let mut n = 0u64;
+                for row in raw.chunks_exact(self.row_bytes) {
+                    if !predicate.eval(self.column(row, filter_offset)) {
+                        continue;
+                    }
+                    n += 1;
+                    let v = self.column(row, agg_offset);
+                    acc = Some(match (aggregate, acc) {
+                        (Aggregate::Sum, a) => a.unwrap_or(0).wrapping_add(v),
+                        (Aggregate::Min, Some(a)) => a.min(v),
+                        (Aggregate::Max, Some(a)) => a.max(v),
+                        (Aggregate::Min | Aggregate::Max, None) => v,
+                        (Aggregate::Count, _) => n,
+                    });
+                }
+                scalar = Some(match aggregate {
+                    Aggregate::Count => n,
+                    _ => acc.unwrap_or(0),
+                });
+            }
+        }
+
+        // Ship the result: qualifying rows (framed at 4 KiB) or one
+        // scalar reply.
+        let payload: u64 = match op {
+            Operator::FilterAggregate { .. } => 8,
+            _ => rows.iter().map(|r| r.len() as u64).sum(),
+        };
+        let mut completed = scan_done;
+        let mut remaining = payload.max(1);
+        while remaining > 0 {
+            let seg = remaining.min(4096);
+            completed = link.send_b_to_a(scan_done, seg + RDMA_HEADER);
+            remaining -= seg;
+        }
+        ScanResult {
+            rows,
+            scalar,
+            completed,
+            network_bytes: payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eth::EthLinkConfig;
+    use enzian_mem::MemoryControllerConfig;
+
+    /// Rows: [ key: u64 | amount: u64 | padding to 64 B ].
+    const ROW: usize = 64;
+
+    fn table(n: u64) -> Vec<u8> {
+        let mut data = Vec::with_capacity(n as usize * ROW);
+        for i in 0..n {
+            let mut row = [0u8; ROW];
+            row[..8].copy_from_slice(&i.to_le_bytes());
+            row[8..16].copy_from_slice(&(i * 10).to_le_bytes());
+            data.extend_from_slice(&row);
+        }
+        data
+    }
+
+    fn server(n: u64) -> FarviewServer {
+        FarviewServer::new(
+            MemoryController::new(MemoryControllerConfig::enzian_fpga()),
+            Addr(0),
+            ROW,
+            &table(n),
+        )
+    }
+
+    fn link() -> EthLink {
+        EthLink::new(EthLinkConfig::hundred_gig())
+    }
+
+    #[test]
+    fn raw_scan_ships_every_row() {
+        let mut s = server(100);
+        let mut l = link();
+        let r = s.scan(&mut l, Time::ZERO, 0, 100, Operator::None);
+        assert_eq!(r.rows.len(), 100);
+        assert_eq!(r.network_bytes, 100 * ROW as u64);
+        assert_eq!(u64::from_le_bytes(r.rows[42][..8].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn filter_pushdown_ships_only_matches() {
+        let mut s = server(1000);
+        let mut l = link();
+        let r = s.scan(
+            &mut l,
+            Time::ZERO,
+            0,
+            1000,
+            Operator::Filter {
+                column_offset: 0,
+                predicate: Predicate::Gt(989),
+            },
+        );
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.network_bytes, 10 * ROW as u64);
+        for row in &r.rows {
+            assert!(u64::from_le_bytes(row[..8].try_into().unwrap()) > 989);
+        }
+    }
+
+    #[test]
+    fn aggregates_compute_correctly() {
+        let mut s = server(100);
+        let mut l = link();
+        // sum(amount) where key < 10  = 10 * (0+1+..+9) = 450.
+        let sum = s
+            .scan(
+                &mut l,
+                Time::ZERO,
+                0,
+                100,
+                Operator::FilterAggregate {
+                    filter_offset: 0,
+                    predicate: Predicate::Lt(10),
+                    agg_offset: 8,
+                    aggregate: Aggregate::Sum,
+                },
+            )
+            .scalar
+            .unwrap();
+        assert_eq!(sum, 450);
+        let count = s
+            .scan(
+                &mut l,
+                Time::ZERO,
+                0,
+                100,
+                Operator::FilterAggregate {
+                    filter_offset: 0,
+                    predicate: Predicate::Eq(55),
+                    agg_offset: 8,
+                    aggregate: Aggregate::Count,
+                },
+            )
+            .scalar
+            .unwrap();
+        assert_eq!(count, 1);
+        let max = s
+            .scan(
+                &mut l,
+                Time::ZERO,
+                0,
+                100,
+                Operator::FilterAggregate {
+                    filter_offset: 0,
+                    predicate: Predicate::Lt(100),
+                    agg_offset: 8,
+                    aggregate: Aggregate::Max,
+                },
+            )
+            .scalar
+            .unwrap();
+        assert_eq!(max, 990);
+    }
+
+    #[test]
+    fn pushdown_saves_network_time_on_selective_queries() {
+        // A selective filter over a large range finishes far sooner at
+        // the client than shipping the whole range.
+        let n = 20_000u64;
+        let mut s = server(n);
+        let mut l = link();
+        let raw = s.scan(&mut l, Time::ZERO, 0, n, Operator::None);
+        let mut s = server(n);
+        let mut l = link();
+        let filtered = s.scan(
+            &mut l,
+            Time::ZERO,
+            0,
+            n,
+            Operator::Filter {
+                column_offset: 0,
+                predicate: Predicate::Gt(n - 20),
+            },
+        );
+        assert!(filtered.network_bytes < raw.network_bytes / 100);
+        assert!(
+            filtered.completed < raw.completed,
+            "push-down did not reduce completion time"
+        );
+    }
+
+    #[test]
+    fn aggregate_ships_eight_bytes_regardless_of_range() {
+        let mut s = server(5_000);
+        let mut l = link();
+        let r = s.scan(
+            &mut l,
+            Time::ZERO,
+            0,
+            5_000,
+            Operator::FilterAggregate {
+                filter_offset: 0,
+                predicate: Predicate::Gt(0),
+                agg_offset: 8,
+                aggregate: Aggregate::Sum,
+            },
+        );
+        assert_eq!(r.network_bytes, 8);
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond table")]
+    fn out_of_range_scan_panics() {
+        let mut s = server(10);
+        let mut l = link();
+        s.scan(&mut l, Time::ZERO, 5, 10, Operator::None);
+    }
+}

@@ -1,0 +1,544 @@
+//! A segment-level TCP engine, parameterised as either the FPGA
+//! single-pipeline stack or a kernel-style software stack.
+//!
+//! The engine does real protocol work: it segments the byte stream,
+//! computes and verifies the Internet checksum on every segment, enforces
+//! a sliding receive window with cumulative acknowledgements, and
+//! recovers from injected loss with go-back-N retransmission on timeout.
+//! Timing comes from the [`EthLink`] plus per-segment processing costs:
+//!
+//! * the **FPGA stack** processes 64 B per 300 MHz cycle in a single
+//!   pipeline shared by all flows — per-flow performance is independent
+//!   of flow count (paper §5.2: "its performance is independent of the
+//!   number of flows");
+//! * the **kernel stack** pays a fixed per-segment CPU cost (interrupt,
+//!   skb bookkeeping, copy), so a single flow tops out well below
+//!   100 Gb/s and ~4 flows are needed to saturate the link.
+
+use enzian_sim::{Duration, Time};
+
+use crate::eth::{EthLink, Switch};
+
+/// Which stack personality a config models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum StackKind {
+    /// The single-pipeline hardware stack (Sidler et al., as ported to
+    /// Enzian as a Coyote service).
+    FpgaPipeline,
+    /// A kernel software stack on a fast server core.
+    Kernel,
+}
+
+/// Cost/parameter set for one endpoint's stack.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TcpStackConfig {
+    /// Stack personality.
+    pub kind: StackKind,
+    /// Maximum segment payload (MTU minus headers).
+    pub mss: usize,
+    /// Receive window in bytes.
+    pub window: u64,
+    /// Fixed per-segment processing cost.
+    pub per_segment: Duration,
+    /// Additional processing cost per 64 bytes of payload.
+    pub per_64_bytes: Duration,
+    /// One-time per-transfer overhead (socket wakeup/syscall path for
+    /// the kernel stack; nil for hardware).
+    pub per_transfer: Duration,
+    /// Retransmission timeout.
+    pub rto: Duration,
+}
+
+impl TcpStackConfig {
+    /// The FPGA stack at a 2 KiB MTU on a 300 MHz shell clock.
+    pub fn fpga_coyote() -> Self {
+        TcpStackConfig {
+            kind: StackKind::FpgaPipeline,
+            mss: 2048,
+            window: 256 * 1024,
+            per_segment: Duration::from_ns(30),
+            per_64_bytes: Duration::from_ns(3), // 64 B/cycle at ~300 MHz
+            per_transfer: Duration::ZERO,
+            rto: Duration::from_us(500),
+        }
+    }
+
+    /// A Linux kernel stack on a Xeon Gold core at MTU 1500.
+    pub fn linux_kernel() -> Self {
+        TcpStackConfig {
+            kind: StackKind::Kernel,
+            mss: 1448,
+            window: 2 * 1024 * 1024,
+            per_segment: Duration::from_ns(430),
+            per_64_bytes: Duration::from_ps(400), // memcpy at ~160 GB/s
+            per_transfer: Duration::from_us(24),
+            rto: Duration::from_ms(2),
+        }
+    }
+
+    fn segment_cost(&self, bytes: usize) -> Duration {
+        self.per_segment + self.per_64_bytes * (bytes as u64).div_ceil(64)
+    }
+}
+
+/// The RFC 1071 Internet checksum over a byte slice.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    for chunk in data.chunks(2) {
+        let word = if chunk.len() == 2 {
+            u16::from_be_bytes([chunk[0], chunk[1]])
+        } else {
+            u16::from_be_bytes([chunk[0], 0])
+        };
+        sum += u32::from(word);
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Result of one simulated transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferOutcome {
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// When the sending application handed the data to the stack.
+    pub started: Time,
+    /// When the last payload byte was delivered to the receiving
+    /// application.
+    pub delivered: Time,
+    /// Segments retransmitted (after injected loss).
+    pub retransmissions: u64,
+    /// Segments sent in total.
+    pub segments: u64,
+}
+
+impl TransferOutcome {
+    /// One-way transfer latency (application to application).
+    pub fn latency(&self) -> Duration {
+        self.delivered.since(self.started)
+    }
+
+    /// Goodput in bits per second.
+    pub fn throughput_bits(&self) -> f64 {
+        let s = self.latency().as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / s
+        }
+    }
+}
+
+/// Fault injection: drop every n-th data segment exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LossPattern {
+    /// Drop each segment whose 1-based index is a multiple of this (first
+    /// transmission only). Zero disables loss.
+    pub drop_every: u64,
+}
+
+/// A unidirectional TCP transfer engine between endpoint `a` (sender)
+/// and `b` (receiver) over a shared [`EthLink`] and [`Switch`].
+#[derive(Debug)]
+pub struct TcpEngine {
+    tx: TcpStackConfig,
+    rx: TcpStackConfig,
+    switch: Switch,
+    loss: LossPattern,
+}
+
+impl TcpEngine {
+    /// Creates an engine between two stack personalities through a
+    /// top-of-rack switch.
+    pub fn new(tx: TcpStackConfig, rx: TcpStackConfig, switch: Switch) -> Self {
+        TcpEngine {
+            tx,
+            rx,
+            switch,
+            loss: LossPattern::default(),
+        }
+    }
+
+    /// Enables loss injection.
+    pub fn with_loss(mut self, loss: LossPattern) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Transfers `data` from a to b starting at `start`, verifying the
+    /// checksum on every segment and reassembling the stream in order.
+    ///
+    /// Returns the delivered bytes and the timing outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or a checksum ever fails to verify (a
+    /// model bug, since the link never corrupts).
+    pub fn transfer(
+        &mut self,
+        link: &mut EthLink,
+        start: Time,
+        data: &[u8],
+    ) -> (Vec<u8>, TransferOutcome) {
+        assert!(!data.is_empty(), "empty transfer");
+        let len = data.len() as u64;
+        let hop = self.switch.forwarding_latency();
+
+        let mut delivered = vec![0u8; data.len()];
+        // Sender state.
+        let mut acked: u64 = 0;
+        let mut sent: u64 = 0;
+        let mut tx_free = start + self.tx.per_transfer;
+        // Receiver state: next in-order byte expected (go-back-N discards
+        // anything else and re-acks this value).
+        let mut rcv_next: u64 = 0;
+        let mut rx_free = Time::ZERO;
+        let mut last_delivery = start;
+        let mut segments = 0u64;
+        let mut retransmissions = 0u64;
+        // In-flight acks: (arrival at sender, cumulative ack value).
+        let mut acks: std::collections::VecDeque<(Time, u64)> = std::collections::VecDeque::new();
+        // First-transmission drops already performed, by byte offset.
+        let mut dropped_at: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        // Pending RTO rewind: (fire time, rewind-to offset).
+        let mut retry_from: Option<(Time, u64)> = None;
+
+        while acked < len {
+            let window_open = sent - acked < self.tx.window && sent < len;
+            // Take an expired RTO rewind before anything else.
+            if let Some((at, seq)) = retry_from {
+                if at <= tx_free || (!window_open && acks.is_empty()) {
+                    sent = seq.min(sent);
+                    tx_free = tx_free.max(at);
+                    retry_from = None;
+                    retransmissions += 1;
+                    continue;
+                }
+            }
+            if window_open {
+                // Send the next segment.
+                let seg_len = usize::min(self.tx.mss, (len - sent) as usize);
+                let seq = sent;
+                let payload = &data[seq as usize..seq as usize + seg_len];
+                let checksum = internet_checksum(payload);
+                segments += 1;
+                let tx_done = tx_free + self.tx.segment_cost(seg_len);
+                tx_free = tx_done;
+                sent = seq + seg_len as u64;
+
+                let seg_number = seq / self.tx.mss as u64 + 1;
+                let drop = self.loss.drop_every > 0
+                    && seg_number.is_multiple_of(self.loss.drop_every)
+                    && dropped_at.insert(seq);
+                if drop {
+                    // The receiver never sees this one; arrange an RTO
+                    // rewind to it if none is already pending earlier.
+                    let rto_at = tx_done + self.tx.rto;
+                    retry_from = Some(match retry_from {
+                        Some((t, s)) if s < seq => (t, s),
+                        _ => (rto_at, seq),
+                    });
+                    continue;
+                }
+
+                let arrived = link.send_a_to_b(tx_done, seg_len as u64) + hop;
+                let rx_done = arrived.max(rx_free) + self.rx.segment_cost(seg_len);
+                rx_free = rx_done;
+
+                assert_eq!(internet_checksum(payload), checksum, "checksum mismatch");
+                if seq == rcv_next {
+                    // In order: deliver and advance.
+                    delivered[seq as usize..seq as usize + seg_len].copy_from_slice(payload);
+                    rcv_next = seq + seg_len as u64;
+                    last_delivery = last_delivery.max(rx_done);
+                }
+                // Out-of-order segments are discarded (go-back-N); either
+                // way a cumulative ack for rcv_next rides back.
+                let ack_arrival = link.send_b_to_a(rx_done, 64) + hop;
+                acks.push_back((ack_arrival, rcv_next));
+            } else {
+                // Window closed or data exhausted: consume the next ack.
+                match acks.pop_front() {
+                    Some((at, upto)) => {
+                        acked = acked.max(upto);
+                        tx_free = tx_free.max(at);
+                        // Everything up to `upto` is delivered; anything
+                        // beyond `sent` cannot regress below it.
+                        if acked > sent {
+                            sent = acked;
+                        }
+                    }
+                    None => {
+                        let (at, seq) = retry_from.take().expect("deadlock: no acks, no retry");
+                        sent = seq.min(sent);
+                        tx_free = tx_free.max(at);
+                        retransmissions += 1;
+                    }
+                }
+            }
+        }
+
+        assert_eq!(rcv_next, len, "receiver did not reach end of stream");
+        (
+            delivered,
+            TransferOutcome {
+                bytes: len,
+                started: start,
+                delivered: last_delivery,
+                retransmissions,
+                segments,
+            },
+        )
+    }
+
+    /// Simulates `flows` concurrent transfers (all a→b) sharing the link,
+    /// with true time interleaving: at each step the flow whose sender
+    /// pipeline frees earliest transmits next. Each flow gets its own
+    /// sender/receiver pipeline (its own core or connection state), as in
+    /// the iperf multi-flow comparison.
+    ///
+    /// Returns per-flow outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is empty, any flow is empty, or loss injection
+    /// is configured (single-flow only).
+    pub fn transfer_interleaved(
+        &mut self,
+        link: &mut EthLink,
+        start: Time,
+        flows: &[&[u8]],
+    ) -> Vec<TransferOutcome> {
+        assert!(!flows.is_empty(), "no flows");
+        assert!(
+            self.loss.drop_every == 0,
+            "loss injection unsupported for multi-flow"
+        );
+        struct Flow {
+            len: u64,
+            acked: u64,
+            sent: u64,
+            tx_free: Time,
+            rx_free: Time,
+            last_delivery: Time,
+            segments: u64,
+            acks: std::collections::VecDeque<(Time, u64)>,
+        }
+        let hop = self.switch.forwarding_latency();
+        let mut states: Vec<Flow> = flows
+            .iter()
+            .map(|d| {
+                assert!(!d.is_empty(), "empty flow");
+                Flow {
+                    len: d.len() as u64,
+                    acked: 0,
+                    sent: 0,
+                    tx_free: start + self.tx.per_transfer,
+                    rx_free: Time::ZERO,
+                    last_delivery: start,
+                    segments: 0,
+                    acks: std::collections::VecDeque::new(),
+                }
+            })
+            .collect();
+
+        loop {
+            // Pick the runnable flow with the earliest next-action time.
+            let mut best: Option<(usize, Time, bool)> = None; // (idx, at, is_send)
+            for (i, f) in states.iter().enumerate() {
+                if f.acked >= f.len {
+                    continue;
+                }
+                let can_send = f.sent < f.len && f.sent - f.acked < self.tx.window;
+                let candidate = if can_send {
+                    (f.tx_free, true)
+                } else {
+                    let at = f.acks.front().map(|&(t, _)| t).expect("flow deadlock");
+                    (at, false)
+                };
+                if best.is_none_or(|(_, t, _)| candidate.0 < t) {
+                    best = Some((i, candidate.0, candidate.1));
+                }
+            }
+            let Some((i, _, is_send)) = best else { break };
+            let f = &mut states[i];
+            if is_send {
+                let seg_len = usize::min(self.tx.mss, (f.len - f.sent) as usize);
+                let seq = f.sent;
+                let payload = &flows[i][seq as usize..seq as usize + seg_len];
+                let _ = internet_checksum(payload);
+                f.segments += 1;
+                let tx_done = f.tx_free + self.tx.segment_cost(seg_len);
+                f.tx_free = tx_done;
+                f.sent = seq + seg_len as u64;
+                let arrived = link.send_a_to_b(tx_done, seg_len as u64) + hop;
+                let rx_done = arrived.max(f.rx_free) + self.rx.segment_cost(seg_len);
+                f.rx_free = rx_done;
+                f.last_delivery = f.last_delivery.max(rx_done);
+                let ack_arrival = link.send_b_to_a(rx_done, 64) + hop;
+                f.acks.push_back((ack_arrival, f.sent));
+            } else {
+                let (at, upto) = f.acks.pop_front().expect("checked above");
+                f.acked = f.acked.max(upto);
+                f.tx_free = f.tx_free.max(at);
+            }
+        }
+
+        states
+            .into_iter()
+            .map(|f| TransferOutcome {
+                bytes: f.len,
+                started: start,
+                delivered: f.last_delivery,
+                retransmissions: 0,
+                segments: f.segments,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eth::EthLinkConfig;
+    use enzian_sim::SimRng;
+
+    fn payload(n: usize) -> Vec<u8> {
+        let mut rng = SimRng::seed_from(42);
+        let mut v = vec![0u8; n];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    fn fpga_engine() -> TcpEngine {
+        TcpEngine::new(
+            TcpStackConfig::fpga_coyote(),
+            TcpStackConfig::fpga_coyote(),
+            Switch::tor(),
+        )
+    }
+
+    fn kernel_engine() -> TcpEngine {
+        TcpEngine::new(
+            TcpStackConfig::linux_kernel(),
+            TcpStackConfig::linux_kernel(),
+            Switch::tor(),
+        )
+    }
+
+    #[test]
+    fn data_arrives_intact() {
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let data = payload(100_000);
+        let (out, r) = fpga_engine().transfer(&mut link, Time::ZERO, &data);
+        assert_eq!(out, data);
+        assert_eq!(r.bytes, 100_000);
+        assert_eq!(r.retransmissions, 0);
+    }
+
+    #[test]
+    fn fpga_stack_saturates_100g_with_one_flow() {
+        // Fig. 7: "Enzian can saturate a single 100 Gb/s TCP connection
+        // with an MTU as low as 2 KiB."
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let data = payload(4 << 20);
+        let (_, r) = fpga_engine().transfer(&mut link, Time::ZERO, &data);
+        let gbps = r.throughput_bits() / 1e9;
+        assert!(gbps > 90.0, "hardware stack reached only {gbps:.1} Gb/s");
+    }
+
+    #[test]
+    fn kernel_stack_single_flow_is_cpu_bound() {
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let data = payload(4 << 20);
+        let (_, r) = kernel_engine().transfer(&mut link, Time::ZERO, &data);
+        let gbps = r.throughput_bits() / 1e9;
+        assert!(
+            (15.0..45.0).contains(&gbps),
+            "kernel stack at {gbps:.1} Gb/s (expected ~25)"
+        );
+    }
+
+    #[test]
+    fn four_kernel_flows_approach_line_rate() {
+        // Paper: "4 flows are needed using the CPU to saturate the link."
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let per_flow = 2 << 20;
+        let data = payload(per_flow);
+        let flows = [&data[..], &data[..], &data[..], &data[..]];
+        let results =
+            kernel_engine().transfer_interleaved(&mut link, Time::ZERO, &flows);
+        let last = results.iter().map(|r| r.delivered).max().unwrap();
+        let total_bits = (4 * per_flow) as f64 * 8.0;
+        let gbps = total_bits / last.as_secs_f64() / 1e9;
+        assert!(gbps > 75.0, "4 kernel flows reached only {gbps:.1} Gb/s");
+
+        // And a single kernel flow cannot get there (the paper's point).
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let (_, single) = kernel_engine().transfer(&mut link, Time::ZERO, &data);
+        assert!(single.throughput_bits() / 1e9 < 45.0);
+    }
+
+    #[test]
+    fn latency_scales_with_size_for_kernel_stack() {
+        // The Fig. 7 latency panel: Linux latency grows steeply with
+        // transfer size; the hardware stack stays near wire time.
+        let sizes = [2 * 1024, 64 * 1024, 1024 * 1024];
+        let mut prev_ratio: f64 = 0.0;
+        for &s in &sizes {
+            let data = payload(s);
+            let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+            let (_, hw) = fpga_engine().transfer(&mut link, Time::ZERO, &data);
+            let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+            let (_, sw) = kernel_engine().transfer(&mut link, Time::ZERO, &data);
+            let ratio = sw.latency().as_ps() as f64 / hw.latency().as_ps() as f64;
+            assert!(ratio > 1.0, "kernel not slower at {s} B");
+            prev_ratio = prev_ratio.max(ratio);
+        }
+        assert!(prev_ratio > 2.0, "kernel/hw latency gap too small");
+    }
+
+    #[test]
+    fn loss_recovery_preserves_data() {
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let data = payload(256 * 1024);
+        let mut engine = fpga_engine().with_loss(LossPattern { drop_every: 17 });
+        let (out, r) = engine.transfer(&mut link, Time::ZERO, &data);
+        assert_eq!(out, data, "data corrupted by loss recovery");
+        assert!(r.retransmissions > 0, "no retransmissions recorded");
+
+        // A lossy transfer is strictly slower than a clean one.
+        let mut link2 = EthLink::new(EthLinkConfig::hundred_gig());
+        let (_, clean) = fpga_engine().transfer(&mut link2, Time::ZERO, &data);
+        assert!(r.latency() > clean.latency());
+    }
+
+    #[test]
+    fn checksum_known_values() {
+        // All zeros checksums to 0xFFFF; RFC 1071 example.
+        assert_eq!(internet_checksum(&[0, 0, 0, 0]), 0xFFFF);
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn flow_count_independence_of_hardware_stack() {
+        // Two concurrent hardware flows each keep roughly half the link —
+        // the pipeline itself is not the bottleneck.
+        let per_flow = 2 << 20;
+        let data = payload(per_flow);
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let flows = [&data[..], &data[..]];
+        let results = fpga_engine().transfer_interleaved(&mut link, Time::ZERO, &flows);
+        let last = results.iter().map(|r| r.delivered).max().unwrap();
+        let gbps = (2 * per_flow) as f64 * 8.0 / last.as_secs_f64() / 1e9;
+        assert!(gbps > 90.0, "two hardware flows reached only {gbps:.1} Gb/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty transfer")]
+    fn empty_transfer_panics() {
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        fpga_engine().transfer(&mut link, Time::ZERO, &[]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the network substrate.
+
+use proptest::prelude::*;
+
+use enzian_mem::{Addr, MemoryController, MemoryControllerConfig};
+use enzian_net::eth::{EthLink, EthLinkConfig};
+use enzian_net::farview::{Aggregate, FarviewServer, Operator, Predicate};
+use enzian_net::rdma::{RdmaBackend, RdmaEngine};
+use enzian_sim::{Duration, Time};
+
+proptest! {
+    /// Farview push-down results equal a naive host-side computation
+    /// over the same rows, for arbitrary tables and predicates.
+    #[test]
+    fn farview_matches_naive(
+        keys in proptest::collection::vec(0u64..100, 4..60),
+        pivot in 0u64..100,
+        which in 0u8..3,
+    ) {
+        const ROW: usize = 16; // [key u64 | value u64]
+        let mut data = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            data.extend_from_slice(&k.to_le_bytes());
+            data.extend_from_slice(&(i as u64).to_le_bytes());
+        }
+        let mut server = FarviewServer::new(
+            MemoryController::new(MemoryControllerConfig::enzian_fpga()),
+            Addr(0),
+            ROW,
+            &data,
+        );
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let predicate = match which {
+            0 => Predicate::Eq(pivot),
+            1 => Predicate::Gt(pivot),
+            _ => Predicate::Lt(pivot),
+        };
+        let eval = |k: u64| match predicate {
+            Predicate::Eq(x) => k == x,
+            Predicate::Gt(x) => k > x,
+            Predicate::Lt(x) => k < x,
+        };
+        // Filter push-down vs naive filter.
+        let r = server.scan(
+            &mut link,
+            Time::ZERO,
+            0,
+            keys.len() as u64,
+            Operator::Filter { column_offset: 0, predicate },
+        );
+        let naive: Vec<u64> = keys.iter().copied().filter(|&k| eval(k)).collect();
+        prop_assert_eq!(r.rows.len(), naive.len());
+        for (row, want) in r.rows.iter().zip(&naive) {
+            prop_assert_eq!(u64::from_le_bytes(row[..8].try_into().unwrap()), *want);
+        }
+        // Sum aggregate vs naive sum of the value column.
+        let r = server.scan(
+            &mut link,
+            Time::ZERO,
+            0,
+            keys.len() as u64,
+            Operator::FilterAggregate {
+                filter_offset: 0,
+                predicate,
+                agg_offset: 8,
+                aggregate: Aggregate::Sum,
+            },
+        );
+        let naive_sum: u64 = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| eval(k))
+            .map(|(i, _)| i as u64)
+            .fold(0u64, |a, v| a.wrapping_add(v));
+        prop_assert_eq!(r.scalar, Some(naive_sum));
+    }
+
+    /// RDMA reads return exactly what writes stored, at any size and
+    /// offset, over the local-DRAM backend.
+    #[test]
+    fn rdma_write_read_roundtrip(
+        offset in 0u64..10_000,
+        data in proptest::collection::vec(any::<u8>(), 1..5_000),
+    ) {
+        let mut engine = RdmaEngine::new(RdmaBackend::LocalDram {
+            memory: MemoryController::new(MemoryControllerConfig::enzian_fpga()),
+            pipeline: Duration::from_ns(120),
+        });
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let w = engine.write(&mut link, Time::ZERO, Addr(offset), &data);
+        let r = engine.read(&mut link, w.completed, Addr(offset), data.len() as u64);
+        prop_assert_eq!(r.data, data);
+        prop_assert!(r.completed > w.completed);
+    }
+}

@@ -1,0 +1,25 @@
+//! PCIe Gen3 interconnect and DMA-engine model.
+//!
+//! Every commercial platform Enzian is compared against in §5.1/§5.3
+//! attaches its FPGA over PCIe: the Alveo u250/u280 cards, Amazon F1, the
+//! Alpha Data boards. Their software model is GPU-like: set up a
+//! descriptor, ring a doorbell, and let an XDMA-style engine move data in
+//! Max-Payload-Size TLPs. That gives PCIe excellent *bulk* bandwidth but a
+//! microsecond-scale per-transfer setup cost — exactly the contrast
+//! Fig. 6 draws against ECI's cache-line transactions.
+//!
+//! * [`tlp`] — transaction-layer packet framing arithmetic;
+//! * [`link`] — the x16 Gen3 serial link (8 GT/s/lane, 128b/130b);
+//! * [`dma`] — the XDMA-style engine with doorbell/descriptor/writeback
+//!   costs and pipelined data movers;
+//! * [`mmio`] — the register path: posted writes vs non-posted reads.
+
+pub mod dma;
+pub mod link;
+pub mod mmio;
+pub mod tlp;
+
+pub use dma::{DmaCompletion, DmaEngine, DmaEngineConfig};
+pub use mmio::MmioWindow;
+pub use link::{PcieGen, PcieLink, PcieLinkConfig};
+pub use tlp::{tlp_count, wire_bytes_for_payload, TLP_OVERHEAD_BYTES};

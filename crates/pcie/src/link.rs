@@ -1,0 +1,167 @@
+//! The PCIe serial link.
+
+use enzian_sim::{Channel, ChannelConfig, Duration, Time};
+
+use crate::tlp::wire_bytes_for_payload;
+
+/// PCIe generations with their per-lane rates and line codings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PcieGen {
+    /// 8 GT/s per lane, 128b/130b coding (the Alveo/F1 attachment).
+    Gen3,
+    /// 16 GT/s per lane, 128b/130b coding.
+    Gen4,
+}
+
+impl PcieGen {
+    /// Raw per-lane rate in bits per second.
+    pub fn lane_bits_per_sec(self) -> u64 {
+        match self {
+            PcieGen::Gen3 => 8_000_000_000,
+            PcieGen::Gen4 => 16_000_000_000,
+        }
+    }
+
+    /// Line-coding efficiency.
+    pub fn coding_efficiency(self) -> f64 {
+        128.0 / 130.0
+    }
+}
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PcieLinkConfig {
+    /// Lane count (16 for the cards in the paper).
+    pub lanes: u8,
+    /// Generation.
+    pub gen: PcieGen,
+    /// Max payload size negotiated (256 B is typical for these hosts).
+    pub max_payload: u64,
+    /// One-way propagation (PHY + switch, if any).
+    pub propagation: Duration,
+}
+
+impl PcieLinkConfig {
+    /// x16 Gen3 with MPS 256 — the Alveo u250 attachment of Fig. 6.
+    pub fn x16_gen3() -> Self {
+        PcieLinkConfig {
+            lanes: 16,
+            gen: PcieGen::Gen3,
+            max_payload: 256,
+            propagation: Duration::from_ns(150),
+        }
+    }
+
+    /// Effective payload-agnostic line rate in bits per second.
+    pub fn raw_bits_per_sec(&self) -> u64 {
+        self.gen.lane_bits_per_sec() * u64::from(self.lanes)
+    }
+}
+
+/// A full-duplex PCIe link with TLP-aware timing.
+#[derive(Debug, Clone)]
+pub struct PcieLink {
+    config: PcieLinkConfig,
+    to_card: Channel,
+    to_host: Channel,
+}
+
+impl PcieLink {
+    /// Creates an idle, trained link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero lanes or zero MPS.
+    pub fn new(config: PcieLinkConfig) -> Self {
+        assert!(config.lanes > 0, "link needs lanes");
+        assert!(config.max_payload > 0, "zero MPS");
+        let ch = ChannelConfig {
+            bits_per_sec: config.raw_bits_per_sec(),
+            coding_efficiency: config.gen.coding_efficiency(),
+            propagation: config.propagation,
+            frame_overhead_bytes: 0,
+        };
+        PcieLink {
+            config,
+            to_card: Channel::new(ch),
+            to_host: Channel::new(ch),
+        }
+    }
+
+    /// The link parameters.
+    pub fn config(&self) -> &PcieLinkConfig {
+        &self.config
+    }
+
+    /// Moves `payload` bytes toward the card; returns last-byte arrival.
+    pub fn send_to_card(&mut self, now: Time, payload: u64) -> Time {
+        let wire = wire_bytes_for_payload(payload, self.config.max_payload);
+        self.to_card.send(now, wire).done
+    }
+
+    /// Moves `payload` bytes toward the host; returns last-byte arrival.
+    pub fn send_to_host(&mut self, now: Time, payload: u64) -> Time {
+        let wire = wire_bytes_for_payload(payload, self.config.max_payload);
+        self.to_host.send(now, wire).done
+    }
+
+    /// Total payload-carrying wire bytes moved toward the card.
+    pub fn bytes_to_card(&self) -> u64 {
+        self.to_card.bytes_carried()
+    }
+
+    /// Total payload-carrying wire bytes moved toward the host.
+    pub fn bytes_to_host(&self) -> u64 {
+        self.to_host.bytes_carried()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x16_gen3_peak_payload_bandwidth() {
+        // 16 lanes x 8 GT/s x 128/130 = 15.75 GB/s raw; with MPS-256 TLP
+        // efficiency (~90%) payload lands near 14 GB/s.
+        let mut link = PcieLink::new(PcieLinkConfig::x16_gen3());
+        let n = 10_000u64;
+        let mut done = Time::ZERO;
+        for _ in 0..n {
+            done = done.max(link.send_to_host(Time::ZERO, 4096));
+        }
+        let payload = n * 4096;
+        let gb_s = payload as f64 / done.as_secs_f64() / 1e9;
+        assert!((13.0..15.0).contains(&gb_s), "payload bandwidth {gb_s:.2} GB/s");
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut link = PcieLink::new(PcieLinkConfig::x16_gen3());
+        let a = link.send_to_card(Time::ZERO, 1 << 20);
+        let b = link.send_to_host(Time::ZERO, 64);
+        // The small host-bound message is not stuck behind the bulk
+        // card-bound transfer.
+        assert!(b < a);
+    }
+
+    #[test]
+    fn small_transfers_pay_proportionally_more() {
+        let mut link = PcieLink::new(PcieLinkConfig::x16_gen3());
+        let t64 = link.send_to_host(Time::ZERO, 64).since(Time::ZERO);
+        let mut link = PcieLink::new(PcieLinkConfig::x16_gen3());
+        let t256 = link.send_to_host(Time::ZERO, 256).since(Time::ZERO);
+        // 4x the payload costs well under 4x the time (shared overhead).
+        assert!(t256.as_ps() < t64.as_ps() * 4);
+    }
+
+    #[test]
+    fn gen4_is_twice_gen3() {
+        let g3 = PcieLinkConfig::x16_gen3();
+        let g4 = PcieLinkConfig {
+            gen: PcieGen::Gen4,
+            ..g3
+        };
+        assert_eq!(g4.raw_bits_per_sec(), 2 * g3.raw_bits_per_sec());
+    }
+}

@@ -1,0 +1,74 @@
+//! Transaction-layer packet (TLP) framing arithmetic.
+//!
+//! A memory-write TLP carries up to Max-Payload-Size (MPS) bytes of data
+//! behind a 12-byte 3DW header (or 16-byte 4DW for 64-bit addresses),
+//! 4 bytes of LCRC, and 2+4 bytes of physical framing/sequence — plus the
+//! ACK/FC DLLP tax. We fold all of that into a fixed per-TLP overhead.
+
+/// Per-TLP overhead on the wire: 16 B header (4DW) + 4 B LCRC +
+/// 6 B framing/sequence = 26 B, rounded up to cover DLLP tax.
+pub const TLP_OVERHEAD_BYTES: u64 = 28;
+
+/// Number of TLPs needed to move `bytes` at a given MPS.
+///
+/// # Panics
+///
+/// Panics if `mps` is zero.
+pub fn tlp_count(bytes: u64, mps: u64) -> u64 {
+    assert!(mps > 0, "zero max payload size");
+    bytes.div_ceil(mps).max(1)
+}
+
+/// Total wire bytes to move `bytes` of payload at a given MPS, including
+/// per-TLP overhead. Zero-byte transfers still cost one TLP (a zero-length
+/// read/flush).
+pub fn wire_bytes_for_payload(bytes: u64, mps: u64) -> u64 {
+    bytes + tlp_count(bytes, mps) * TLP_OVERHEAD_BYTES
+}
+
+/// Wire efficiency (payload / wire bytes) at a given transfer size.
+pub fn efficiency(bytes: u64, mps: u64) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    bytes as f64 / wire_bytes_for_payload(bytes, mps) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tlp_counts() {
+        assert_eq!(tlp_count(0, 256), 1);
+        assert_eq!(tlp_count(1, 256), 1);
+        assert_eq!(tlp_count(256, 256), 1);
+        assert_eq!(tlp_count(257, 256), 2);
+        assert_eq!(tlp_count(16384, 256), 64);
+    }
+
+    #[test]
+    fn wire_bytes_include_per_tlp_tax() {
+        assert_eq!(wire_bytes_for_payload(256, 256), 256 + 28);
+        assert_eq!(wire_bytes_for_payload(512, 256), 512 + 56);
+        assert_eq!(wire_bytes_for_payload(0, 256), 28);
+    }
+
+    #[test]
+    fn efficiency_improves_with_size_until_mps() {
+        let small = efficiency(64, 256);
+        let full = efficiency(256, 256);
+        let large = efficiency(16384, 256);
+        assert!(small < full);
+        // Beyond one MPS the efficiency is flat.
+        assert!((large - full).abs() < 1e-12);
+        // ~90% at MPS=256.
+        assert!((0.88..0.92).contains(&full), "efficiency {full}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero max payload")]
+    fn zero_mps_rejected() {
+        tlp_count(1, 0);
+    }
+}

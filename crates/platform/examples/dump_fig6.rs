@@ -1,0 +1,4 @@
+fn main() {
+    let rows = enzian_platform::experiments::fig6::run();
+    println!("{}", enzian_platform::experiments::fig6::render(&rows));
+}

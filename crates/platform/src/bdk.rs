@@ -1,0 +1,359 @@
+//! The Board Development Kit console (§4.4 / artifact A.5).
+//!
+//! *"The BDK is interesting in that it allows extensive configuration of
+//! the CPU and associated hardware. For example, the BDK is responsible
+//! for bringing up the ECI protocol, and can be used to limit bandwidth,
+//! number of lanes, or clock frequency to many parts of the system …
+//! This degree of control is also useful for 'scaling' the performance
+//! of some parts of the system, in order to simulate a platform with
+//! different performance characteristics."*
+//!
+//! [`BdkConsole`] is that command line: it operates on an [`EciSystem`]
+//! and a memory controller exactly like the serial console the artifact
+//! workflow drives (`eci lanes 4`, `memtest marching`, …), so the
+//! bring-up procedure can be scripted and tested.
+
+use enzian_eci::link::LinkState;
+use enzian_eci::{EciSystem, EciSystemConfig, LinkPolicy};
+use enzian_mem::memtest::{self, MemtestKind};
+use enzian_mem::Addr;
+use enzian_sim::{SimRng, Time};
+
+/// Errors from console commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BdkError {
+    /// The command was not recognised.
+    UnknownCommand(String),
+    /// The command's arguments were malformed.
+    BadArguments {
+        /// The command.
+        command: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A memtest failed verification.
+    MemtestFailed(MemtestKind),
+}
+
+impl std::fmt::Display for BdkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BdkError::UnknownCommand(c) => write!(f, "unknown command: {c}"),
+            BdkError::BadArguments { command, expected } => {
+                write!(f, "{command}: expected {expected}")
+            }
+            BdkError::MemtestFailed(k) => write!(f, "memtest {k:?} FAILED"),
+        }
+    }
+}
+
+impl std::error::Error for BdkError {}
+
+/// The BDK console attached to a system under bring-up.
+pub struct BdkConsole {
+    sys: EciSystem,
+    now: Time,
+    rng: SimRng,
+    log: Vec<String>,
+}
+
+impl std::fmt::Debug for BdkConsole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BdkConsole")
+            .field("now", &self.now)
+            .field("log_lines", &self.log.len())
+            .finish()
+    }
+}
+
+impl BdkConsole {
+    /// Attaches to a fresh system with both links still down (as at the
+    /// BDK boot-menu break point of the artifact workflow).
+    pub fn new() -> Self {
+        let cfg = EciSystemConfig::enzian();
+        let mut sys = EciSystem::new(cfg);
+        // The system constructor trains the links; the BDK starts with
+        // them down and brings them up explicitly.
+        *sys.links_mut() = enzian_eci::EciLinks::new(cfg.link, cfg.policy);
+        BdkConsole {
+            sys,
+            now: Time::ZERO,
+            rng: SimRng::seed_from(0xBD1C),
+            log: Vec::new(),
+        }
+    }
+
+    /// The console transcript.
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Current simulated time at the console.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The system under bring-up (e.g. to run traffic after `eci up`).
+    pub fn system(&mut self) -> &mut EciSystem {
+        &mut self.sys
+    }
+
+    fn say(&mut self, line: impl Into<String>) {
+        self.log.push(line.into());
+    }
+
+    /// Executes one console command line. Supported commands:
+    ///
+    /// ```text
+    /// eci up <lanes>        train both links at <lanes> lanes (1..=12)
+    /// eci status            print link states
+    /// eci policy <single0|single1|rr|addr>
+    /// memtest <dram-check|data-bus|address-bus|marching|random> <MiB>
+    /// peek <hex-addr>       read 8 bytes of CPU memory
+    /// poke <hex-addr> <hex> write 8 bytes of CPU memory
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Unknown commands, malformed arguments, and failed memtests.
+    pub fn exec(&mut self, line: &str) -> Result<(), BdkError> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["eci", "up", lanes] => {
+                let lanes: u8 = lanes.parse().map_err(|_| BdkError::BadArguments {
+                    command: "eci up".into(),
+                    expected: "a lane count 1..=12",
+                })?;
+                if !(1..=12).contains(&lanes) {
+                    return Err(BdkError::BadArguments {
+                        command: "eci up".into(),
+                        expected: "a lane count 1..=12",
+                    });
+                }
+                self.sys.links_mut().train(0, self.now, lanes);
+                self.sys.links_mut().train(1, self.now, lanes);
+                self.now += enzian_sim::Duration::from_ms(3);
+                self.sys.links_mut().poll(self.now);
+                self.say(format!("ECI: both links up at {lanes} lanes"));
+                Ok(())
+            }
+            ["eci", "status"] => {
+                for i in 0..2u8 {
+                    let state = self.sys.links().link_state(i);
+                    let text = match state {
+                        LinkState::Down => "DOWN".to_string(),
+                        LinkState::Training { .. } => "TRAINING".to_string(),
+                        LinkState::Up { lanes } => format!("UP ({lanes} lanes)"),
+                    };
+                    self.say(format!("link{i}: {text}"));
+                }
+                Ok(())
+            }
+            ["eci", "policy", p] => {
+                let policy = match *p {
+                    "single0" => LinkPolicy::Single(0),
+                    "single1" => LinkPolicy::Single(1),
+                    "rr" => LinkPolicy::RoundRobin,
+                    "addr" => LinkPolicy::ByAddress,
+                    _ => {
+                        return Err(BdkError::BadArguments {
+                            command: "eci policy".into(),
+                            expected: "single0|single1|rr|addr",
+                        })
+                    }
+                };
+                self.sys.links_mut().set_policy(policy);
+                self.say(format!("ECI: load-balancing policy {policy:?}"));
+                Ok(())
+            }
+            ["memtest", kind, mib] => {
+                let kind = match *kind {
+                    "dram-check" => MemtestKind::DramCheck,
+                    "data-bus" => MemtestKind::DataBus,
+                    "address-bus" => MemtestKind::AddressBus,
+                    "marching" => MemtestKind::MarchingRows,
+                    "random" => MemtestKind::RandomData,
+                    _ => {
+                        return Err(BdkError::BadArguments {
+                            command: "memtest".into(),
+                            expected: "dram-check|data-bus|address-bus|marching|random",
+                        })
+                    }
+                };
+                let mib: u64 = mib.parse().map_err(|_| BdkError::BadArguments {
+                    command: "memtest".into(),
+                    expected: "a span in MiB",
+                })?;
+                let report = memtest::run(
+                    kind,
+                    self.sys.cpu_mem(),
+                    self.now,
+                    Addr(0),
+                    mib.max(1) << 20,
+                    &mut self.rng,
+                );
+                self.now = report.finished_at;
+                if report.passed {
+                    self.say(format!(
+                        "memtest {kind:?}: PASS ({} accesses, t={})",
+                        report.accesses, self.now
+                    ));
+                    Ok(())
+                } else {
+                    self.say(format!("memtest {kind:?}: FAIL at {:?}", report.first_failure));
+                    Err(BdkError::MemtestFailed(kind))
+                }
+            }
+            ["peek", addr] => {
+                let addr = parse_hex(addr).ok_or(BdkError::BadArguments {
+                    command: "peek".into(),
+                    expected: "a hex address",
+                })?;
+                let v = self.sys.cpu_mem().store().read_u64(Addr(addr));
+                self.say(format!("{addr:#012x}: {v:#018x}"));
+                Ok(())
+            }
+            ["poke", addr, value] => {
+                let addr = parse_hex(addr).ok_or(BdkError::BadArguments {
+                    command: "poke".into(),
+                    expected: "a hex address",
+                })?;
+                let value = parse_hex(value).ok_or(BdkError::BadArguments {
+                    command: "poke".into(),
+                    expected: "a hex value",
+                })?;
+                self.sys.cpu_mem().store_mut().write_u64(Addr(addr), value);
+                self.say(format!("{addr:#012x} <- {value:#018x}"));
+                Ok(())
+            }
+            [] => Ok(()),
+            other => Err(BdkError::UnknownCommand(other.join(" "))),
+        }
+    }
+
+    /// Executes a script, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing command's error together with its line
+    /// number.
+    pub fn run_script(&mut self, script: &str) -> Result<(), (usize, BdkError)> {
+        for (i, line) in script.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            self.exec(line).map_err(|e| (i + 1, e))?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for BdkConsole {
+    fn default() -> Self {
+        BdkConsole::new()
+    }
+}
+
+fn parse_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.trim_start_matches("0x"), 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enzian_mem::NodeId;
+
+    #[test]
+    fn links_start_down_and_train_on_command() {
+        let mut bdk = BdkConsole::new();
+        bdk.exec("eci status").unwrap();
+        assert!(bdk.log().iter().any(|l| l.contains("DOWN")));
+        bdk.exec("eci up 12").unwrap();
+        bdk.exec("eci status").unwrap();
+        assert!(bdk.log().iter().any(|l| l.contains("UP (12 lanes)")));
+        // Traffic works after bring-up.
+        let now = bdk.now();
+        let (_, t) = bdk.system().fpga_read_line(now, Addr(0));
+        assert!(t > now);
+    }
+
+    #[test]
+    fn four_lane_debug_configuration() {
+        // "Early debugging of ECI was done with 4 lanes rather than the
+        // full 24."
+        let mut bdk = BdkConsole::new();
+        bdk.exec("eci up 4").unwrap();
+        assert!(matches!(
+            bdk.system().links().link_state(0),
+            LinkState::Up { lanes: 4 }
+        ));
+    }
+
+    #[test]
+    fn memtests_pass_and_advance_time() {
+        let mut bdk = BdkConsole::new();
+        let t0 = bdk.now();
+        bdk.exec("memtest dram-check 64").unwrap();
+        bdk.exec("memtest data-bus 1").unwrap();
+        bdk.exec("memtest marching 1").unwrap();
+        assert!(bdk.now() > t0);
+        assert!(bdk.log().iter().filter(|l| l.contains("PASS")).count() == 3);
+    }
+
+    #[test]
+    fn peek_poke_roundtrip() {
+        let mut bdk = BdkConsole::new();
+        bdk.exec("poke 0x1000 0xDEADBEEF").unwrap();
+        bdk.exec("peek 0x1000").unwrap();
+        assert!(bdk.log().last().unwrap().contains("0x00000000deadbeef"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut bdk = BdkConsole::new();
+        assert!(matches!(
+            bdk.exec("eci up 24"),
+            Err(BdkError::BadArguments { .. })
+        ));
+        assert!(matches!(
+            bdk.exec("frobnicate"),
+            Err(BdkError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            bdk.exec("memtest sideways 1"),
+            Err(BdkError::BadArguments { .. })
+        ));
+    }
+
+    #[test]
+    fn scripted_bringup_matches_artifact_workflow() {
+        let mut bdk = BdkConsole::new();
+        bdk.run_script(
+            "# Enzian quickstart bring-up
+             eci up 12
+             eci policy single0
+             memtest dram-check 16
+             memtest random 1
+             eci status",
+        )
+        .expect("script runs");
+        // The system is usable and the policy took effect.
+        assert_eq!(
+            bdk.system().links().policy(),
+            LinkPolicy::Single(0)
+        );
+        let now = bdk.now();
+        let t = bdk.system().io_write(now, NodeId::Cpu, Addr(0xF0), 4, 1);
+        assert!(t > now);
+    }
+
+    #[test]
+    fn script_errors_carry_line_numbers() {
+        let mut bdk = BdkConsole::new();
+        let err = bdk
+            .run_script("eci up 12\nbogus command\n")
+            .unwrap_err();
+        assert_eq!(err.0, 2);
+    }
+}

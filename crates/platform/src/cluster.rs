@@ -1,0 +1,302 @@
+//! Multi-board Enzian clusters with a coherence bridge (§6).
+//!
+//! *"One reason that Enzian has such large network bandwidth (480 Gb/s)
+//! is to enable, e.g., many boards to be connected together into a
+//! single, large multiprocessor (with or without cache coherence)"* and
+//! *"on Enzian [remote memory is accessible] by extending the cache
+//! coherency protocol via a 'bridge' implemented on the FPGA."*
+//!
+//! [`EnzianCluster`] connects N boards through their FPGA-side 100 Gb/s
+//! links. A *global* physical address space is striped across boards;
+//! each board's FPGA runs a bridge that forwards line requests for
+//! remote-board addresses over the fabric to the owning board, where
+//! they are served through that board's own coherent ECI system. Remote
+//! lines are not cached by the bridge (the safe baseline the paper's
+//! follow-on work starts from), so there is no cross-board coherence
+//! state to maintain — every access observes the owner's current value.
+
+use enzian_eci::{EciSystem, EciSystemConfig};
+use enzian_mem::Addr;
+use enzian_net::eth::{EthLink, EthLinkConfig};
+use enzian_sim::{Duration, Time};
+
+/// Identifies a board in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct BoardId(pub u8);
+
+/// A cluster of Enzian boards behind a full-mesh of 100G links.
+pub struct EnzianCluster {
+    boards: Vec<EciSystem>,
+    /// links[i][j] for i < j: the full-duplex link between boards i, j.
+    links: Vec<Vec<Option<EthLink>>>,
+    /// Bytes of CPU-homed memory each board contributes to the global
+    /// space.
+    slice_bytes: u64,
+    /// Bridge processing per forwarded request (FPGA pipeline).
+    bridge_latency: Duration,
+    remote_reads: u64,
+    remote_writes: u64,
+}
+
+impl std::fmt::Debug for EnzianCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnzianCluster")
+            .field("boards", &self.boards.len())
+            .field("slice_bytes", &self.slice_bytes)
+            .finish()
+    }
+}
+
+/// Header bytes of a bridge message on the fabric.
+const BRIDGE_HEADER: u64 = 24;
+
+impl EnzianCluster {
+    /// Builds an `n`-board cluster, each contributing `slice_bytes` of
+    /// CPU memory to the global space (board `i` owns global addresses
+    /// `[i * slice, (i+1) * slice)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for fewer than 2 boards or a slice exceeding a board's
+    /// CPU memory.
+    pub fn new(n: usize, slice_bytes: u64) -> Self {
+        assert!(n >= 2, "a cluster needs at least two boards");
+        let cfg = EciSystemConfig::enzian();
+        assert!(
+            slice_bytes <= cfg.map.cpu_bytes(),
+            "slice exceeds a board's CPU memory"
+        );
+        let boards = (0..n).map(|_| EciSystem::new(cfg)).collect();
+        let mut links = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for j in 0..n {
+                row.push((j > i).then(|| EthLink::new(EthLinkConfig::hundred_gig())));
+            }
+            links.push(row);
+        }
+        EnzianCluster {
+            boards,
+            links,
+            slice_bytes,
+            bridge_latency: Duration::from_ns(150),
+            remote_reads: 0,
+            remote_writes: 0,
+        }
+    }
+
+    /// Number of boards.
+    pub fn len(&self) -> usize {
+        self.boards.len()
+    }
+
+    /// `true` when the cluster has no boards (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.boards.is_empty()
+    }
+
+    /// Total global memory exposed, bytes.
+    pub fn global_bytes(&self) -> u64 {
+        self.slice_bytes * self.boards.len() as u64
+    }
+
+    /// The board owning a global address, and the local address there.
+    ///
+    /// # Panics
+    ///
+    /// Panics on addresses beyond the global space.
+    pub fn owner_of(&self, global: u64) -> (BoardId, Addr) {
+        assert!(global < self.global_bytes(), "address beyond global space");
+        let board = (global / self.slice_bytes) as u8;
+        (BoardId(board), Addr(global % self.slice_bytes))
+    }
+
+    /// Direct access to one board's coherent system (e.g. to run local
+    /// workloads or inspect checkers).
+    pub fn board(&mut self, id: BoardId) -> &mut EciSystem {
+        &mut self.boards[usize::from(id.0)]
+    }
+
+    /// `(remote reads, remote writes)` bridged so far.
+    pub fn bridge_stats(&self) -> (u64, u64) {
+        (self.remote_reads, self.remote_writes)
+    }
+
+    fn fabric_send(
+        &mut self,
+        from: BoardId,
+        to: BoardId,
+        now: Time,
+        payload: u64,
+    ) -> Time {
+        let (a, b) = (usize::from(from.0.min(to.0)), usize::from(from.0.max(to.0)));
+        let link = self.links[a][b].as_mut().expect("mesh link exists");
+        if usize::from(from.0) == a {
+            link.send_a_to_b(now, payload + BRIDGE_HEADER)
+        } else {
+            link.send_b_to_a(now, payload + BRIDGE_HEADER)
+        }
+    }
+
+    /// Reads one 128-byte line of the global space from `requester`'s
+    /// CPU. Local slices go through the board's own L2/ECI; remote
+    /// slices are bridged over the fabric and served coherently at the
+    /// owner.
+    pub fn read_line(
+        &mut self,
+        requester: BoardId,
+        now: Time,
+        global: u64,
+    ) -> ([u8; 128], Time) {
+        let (owner, local) = self.owner_of(global);
+        if owner == requester {
+            return self.boards[usize::from(owner.0)].cpu_read_line(now, local);
+        }
+        self.remote_reads += 1;
+        // Request crosses the fabric (header only)...
+        let arrived = self.fabric_send(requester, owner, now, 0) + self.bridge_latency;
+        // ...the owner's FPGA serves it through its own coherent system
+        // (so it observes any dirty data in the owner's L2)...
+        let (data, served) = self.boards[usize::from(owner.0)].fpga_read_line(arrived, local);
+        // ...and the line returns.
+        let done = self.fabric_send(owner, requester, served, 128) + self.bridge_latency;
+        (data, done)
+    }
+
+    /// Writes one line of the global space from `requester`'s CPU, with
+    /// the same local/remote split.
+    pub fn write_line(
+        &mut self,
+        requester: BoardId,
+        now: Time,
+        global: u64,
+        data: &[u8; 128],
+    ) -> Time {
+        let (owner, local) = self.owner_of(global);
+        if owner == requester {
+            return self.boards[usize::from(owner.0)].cpu_write_line(now, local, data);
+        }
+        self.remote_writes += 1;
+        let arrived = self.fabric_send(requester, owner, now, 128) + self.bridge_latency;
+        let committed = self.boards[usize::from(owner.0)].fpga_write_line(arrived, local, data);
+        // Ack back to the requester.
+        self.fabric_send(owner, requester, committed, 0) + self.bridge_latency
+    }
+
+    /// Asserts every board's protocol checker is clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the first violation found.
+    pub fn assert_all_clean(&self) {
+        for (i, b) in self.boards.iter().enumerate() {
+            assert!(
+                b.checker().violations().is_empty(),
+                "board {i}: {:?}",
+                b.checker().violations()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1 << 20;
+
+    fn cluster() -> EnzianCluster {
+        EnzianCluster::new(3, 64 * MIB)
+    }
+
+    #[test]
+    fn global_space_is_striped_across_boards() {
+        let c = cluster();
+        assert_eq!(c.global_bytes(), 192 * MIB);
+        assert_eq!(c.owner_of(0), (BoardId(0), Addr(0)));
+        assert_eq!(c.owner_of(64 * MIB), (BoardId(1), Addr(0)));
+        assert_eq!(c.owner_of(130 * MIB), (BoardId(2), Addr(2 * MIB)));
+    }
+
+    #[test]
+    fn remote_write_read_roundtrip() {
+        let mut c = cluster();
+        let mut line = [0u8; 128];
+        line[..7].copy_from_slice(b"bridged");
+        // Board 0 writes into board 2's slice; board 1 reads it.
+        let g = 2 * 64 * MIB + 4096;
+        let t = c.write_line(BoardId(0), Time::ZERO, g, &line);
+        let (read, _) = c.read_line(BoardId(1), t, g);
+        assert_eq!(read, line);
+        assert_eq!(c.bridge_stats(), (1, 1));
+        c.assert_all_clean();
+    }
+
+    #[test]
+    fn remote_reads_observe_owner_cached_dirty_data() {
+        // The owner's CPU dirties a line in its L2; a bridged read from
+        // another board must see it (served through the owner's ECI).
+        let mut c = cluster();
+        let g = 64 * MIB + 128; // board 1's slice
+        let mut line = [0u8; 128];
+        line[0] = 0xEE;
+        let t = {
+            let owner = c.board(BoardId(1));
+            owner.cpu_write_line(Time::ZERO, Addr(128), &line)
+        };
+        let (read, _) = c.read_line(BoardId(0), t, g);
+        assert_eq!(read[0], 0xEE);
+        c.assert_all_clean();
+    }
+
+    #[test]
+    fn local_access_is_much_faster_than_bridged() {
+        let mut c = cluster();
+        let t0 = Time::ZERO;
+        let (_, t_local) = c.read_line(BoardId(0), t0, 4096);
+        let local = t_local.since(t0);
+        let (_, t_remote) = c.read_line(BoardId(0), t_local, 64 * MIB + 4096);
+        let remote = t_remote.since(t_local);
+        assert!(
+            remote > local * 2,
+            "bridged read ({remote}) should cost well over a local one ({local})"
+        );
+        // But still microseconds, not milliseconds: this is the point of
+        // a native fabric bridge vs an RPC stack.
+        assert!(remote < Duration::from_us(10), "bridged read {remote}");
+    }
+
+    #[test]
+    fn all_pairs_can_communicate() {
+        let mut c = cluster();
+        let mut t = Time::ZERO;
+        for src in 0..3u8 {
+            for dst in 0..3u8 {
+                if src == dst {
+                    continue;
+                }
+                let g = u64::from(dst) * 64 * MIB + u64::from(src) * 1024;
+                let line = [src ^ dst; 128];
+                t = c.write_line(BoardId(src), t, g, &line);
+                let (read, t2) = c.read_line(BoardId(src), t, g);
+                assert_eq!(read, line);
+                t = t2;
+            }
+        }
+        c.assert_all_clean();
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond global space")]
+    fn out_of_space_address_panics() {
+        let mut c = cluster();
+        c.read_line(BoardId(0), Time::ZERO, 192 * MIB);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two boards")]
+    fn single_board_cluster_rejected() {
+        let _ = EnzianCluster::new(1, MIB);
+    }
+}

@@ -1,0 +1,152 @@
+//! Device-tree generation (§4.4).
+//!
+//! *"Enzian requires a special DeviceTree specification since, of the two
+//! NUMA nodes, only one actually has CPU cores and the other may or may
+//! not appear to have memory."* This module renders that DTS from a
+//! [`MachineConfig`]: node 0 carries the 48 cores and the CPU DRAM, node
+//! 1 carries no cores and — depending on the loaded shell — optionally
+//! exposes the FPGA-homed DRAM window.
+
+use crate::machine::MachineConfig;
+
+/// Options for the generated tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DeviceTreeOptions {
+    /// Whether the FPGA node exposes its DRAM to Linux (shell-dependent).
+    pub expose_fpga_memory: bool,
+    /// Number of CPU cores to declare (≤ 48).
+    pub cores: u32,
+}
+
+impl Default for DeviceTreeOptions {
+    fn default() -> Self {
+        DeviceTreeOptions {
+            expose_fpga_memory: true,
+            cores: 48,
+        }
+    }
+}
+
+/// Renders the DTS source for a machine configuration.
+///
+/// # Panics
+///
+/// Panics if `options.cores` is 0 or exceeds 48.
+pub fn render_dts(config: &MachineConfig, options: DeviceTreeOptions) -> String {
+    assert!(
+        (1..=48).contains(&options.cores),
+        "core count {} out of range",
+        options.cores
+    );
+    let map = &config.eci.map;
+    let mut out = String::new();
+    out.push_str("/dts-v1/;\n\n/ {\n");
+    out.push_str("\tmodel = \"ETH Zurich Enzian\";\n");
+    out.push_str("\tcompatible = \"ethz,enzian\", \"cavium,thunder-88xx\";\n");
+    out.push_str("\t#address-cells = <2>;\n\t#size-cells = <2>;\n\n");
+
+    // CPUs: all on NUMA node 0.
+    out.push_str("\tcpus {\n\t\t#address-cells = <2>;\n\t\t#size-cells = <0>;\n");
+    for core in 0..options.cores {
+        out.push_str(&format!(
+            "\t\tcpu@{core:x} {{\n\t\t\tdevice_type = \"cpu\";\n\t\t\tcompatible = \"cavium,thunder\", \"arm,armv8\";\n\t\t\treg = <0x0 {core:#x}>;\n\t\t\tnuma-node-id = <0>;\n\t\t}};\n"
+        ));
+    }
+    out.push_str("\t};\n\n");
+
+    // Node 0 memory: the CPU DRAM at physical zero.
+    let cpu_bytes = map.cpu_bytes();
+    out.push_str(&format!(
+        "\tmemory@0 {{\n\t\tdevice_type = \"memory\";\n\t\treg = <0x0 0x0 {:#x} {:#x}>;\n\t\tnuma-node-id = <0>;\n\t}};\n\n",
+        cpu_bytes >> 32,
+        cpu_bytes & 0xFFFF_FFFF
+    ));
+
+    // Node 1: the FPGA. No cpus; memory only when the shell exposes it.
+    if options.expose_fpga_memory {
+        let base = map.fpga_base().0;
+        let size = map.fpga_bytes();
+        out.push_str(&format!(
+            "\tmemory@{base:x} {{\n\t\tdevice_type = \"memory\";\n\t\treg = <{:#x} {:#x} {:#x} {:#x}>;\n\t\tnuma-node-id = <1>;\n\t}};\n\n",
+            base >> 32,
+            base & 0xFFFF_FFFF,
+            size >> 32,
+            size & 0xFFFF_FFFF
+        ));
+    }
+
+    // The distance map: asymmetric NUMA with a remote hop over ECI.
+    out.push_str(
+        "\tdistance-map {\n\t\tcompatible = \"numa-distance-map-v1\";\n\t\tdistance-matrix = <0 0 10>, <0 1 20>, <1 0 20>, <1 1 10>;\n\t};\n",
+    );
+    out.push_str("};\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dts(expose: bool) -> String {
+        render_dts(
+            &MachineConfig::enzian(),
+            DeviceTreeOptions {
+                expose_fpga_memory: expose,
+                cores: 48,
+            },
+        )
+    }
+
+    #[test]
+    fn declares_48_cores_all_on_node_0() {
+        let s = dts(true);
+        assert_eq!(s.matches("device_type = \"cpu\"").count(), 48);
+        assert_eq!(s.matches("numa-node-id = <0>").count(), 49); // 48 cpus + memory@0
+        // No CPU is ever placed on node 1.
+        for chunk in s.split("cpu@").skip(1) {
+            let node_line = chunk.lines().find(|l| l.contains("numa-node-id")).unwrap();
+            assert!(node_line.contains("<0>"), "cpu on wrong node: {node_line}");
+        }
+    }
+
+    #[test]
+    fn fpga_memory_is_optional() {
+        let with = dts(true);
+        let without = dts(false);
+        assert!(with.contains("numa-node-id = <1>"));
+        assert!(!without.contains("memory@10000000000"));
+        // Node 1 exists in the distance map either way.
+        assert!(without.contains("distance-matrix"));
+    }
+
+    #[test]
+    fn memory_regions_match_the_map() {
+        let s = dts(true);
+        // 128 GiB CPU memory: high cell 0x20, low 0x0.
+        assert!(s.contains("reg = <0x0 0x0 0x20 0x0>"), "{s}");
+        // FPGA base at 1 TiB: high cell 0x100.
+        assert!(s.contains("memory@10000000000"));
+        assert!(s.contains("reg = <0x100 0x0 0x80 0x0>"), "{s}");
+    }
+
+    #[test]
+    fn header_is_well_formed() {
+        let s = dts(true);
+        assert!(s.starts_with("/dts-v1/;"));
+        assert!(s.contains("compatible = \"ethz,enzian\""));
+        // Balanced braces.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_cores_rejected() {
+        render_dts(
+            &MachineConfig::enzian(),
+            DeviceTreeOptions {
+                expose_fpga_memory: true,
+                cores: 0,
+            },
+        );
+    }
+}

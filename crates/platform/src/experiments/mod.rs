@@ -1,0 +1,45 @@
+//! One driver per table/figure of the paper's evaluation (§5).
+//!
+//! Every driver returns serde-serializable rows plus a `render()` that
+//! prints the same series the paper plots. The drivers are also what the
+//! Criterion benches in `enzian-bench` call, and `EXPERIMENTS.md` records
+//! their output against the paper's values.
+
+pub mod fig11;
+pub mod fig12;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+/// Renders a simple aligned table from a header and rows of strings.
+pub(crate) fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}

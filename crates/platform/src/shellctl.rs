@@ -1,0 +1,289 @@
+//! CPU control of the FPGA shell over ECI I/O registers (§4.5).
+//!
+//! *"Our default environment is a port of the open-source Coyote shell.
+//! This allows the rest of the FPGA to be dynamically reconfigured by
+//! the CPU over ECI."* This module is that control path: the CPU writes
+//! a small command block into the shell's uncached I/O register window
+//! (carried by ECI's I/O virtual channel), and the shell executes slot
+//! loads and service grants, reporting status back through a readable
+//! register.
+//!
+//! Register map (8-byte registers in the FPGA's I/O window):
+//!
+//! ```text
+//! 0x00  CMD      command opcode (1 = load app, 2 = grant service)
+//! 0x08  ARG0     slot id
+//! 0x10  ARG1     bitstream bytes (load) / service id (grant)
+//! 0x18  DOORBELL writing 1 executes the command block
+//! 0x20  STATUS   0 = idle, 1 = busy, 2 = ok, 3 = error
+//! ```
+
+use enzian_eci::EciSystem;
+use enzian_mem::{Addr, NodeId};
+use enzian_shell::{AppImage, Service, Shell, SlotId};
+use enzian_sim::Time;
+
+/// The shell's register window base in the FPGA I/O space.
+pub const SHELL_REG_BASE: u64 = 0xF000_0000;
+
+const REG_CMD: u64 = SHELL_REG_BASE;
+const REG_ARG0: u64 = SHELL_REG_BASE + 0x08;
+const REG_ARG1: u64 = SHELL_REG_BASE + 0x10;
+const REG_DOORBELL: u64 = SHELL_REG_BASE + 0x18;
+const REG_STATUS: u64 = SHELL_REG_BASE + 0x20;
+
+/// STATUS register values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum ShellStatus {
+    /// No command executed yet.
+    Idle = 0,
+    /// A load is in progress.
+    Busy = 1,
+    /// Last command succeeded.
+    Ok = 2,
+    /// Last command failed.
+    Error = 3,
+}
+
+/// Commands the CPU can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShellCommand {
+    /// Load a partial bitstream of the given size into a slot.
+    LoadApp {
+        /// Target slot.
+        slot: SlotId,
+        /// Partial bitstream size, bytes.
+        bitstream_bytes: u64,
+    },
+    /// Grant a service to a slot's running application.
+    Grant {
+        /// Target slot.
+        slot: SlotId,
+        /// Service to grant.
+        service: Service,
+    },
+}
+
+fn service_id(s: Service) -> u64 {
+    match s {
+        Service::DramController => 1,
+        Service::TcpStack => 2,
+        Service::RdmaStack => 3,
+        Service::EciBridge => 4,
+    }
+}
+
+fn service_from_id(id: u64) -> Option<Service> {
+    Some(match id {
+        1 => Service::DramController,
+        2 => Service::TcpStack,
+        3 => Service::RdmaStack,
+        4 => Service::EciBridge,
+        _ => return None,
+    })
+}
+
+/// The FPGA-side controller: applies doorbell'd command blocks from the
+/// I/O window to a [`Shell`].
+#[derive(Debug)]
+pub struct ShellController {
+    shell: Shell,
+    /// Pending load completion, if a load is in flight.
+    load_ready: Option<Time>,
+    commands: u64,
+}
+
+impl ShellController {
+    /// Wraps a shell.
+    pub fn new(shell: Shell) -> Self {
+        ShellController {
+            shell,
+            load_ready: None,
+            commands: 0,
+        }
+    }
+
+    /// The wrapped shell.
+    pub fn shell_mut(&mut self) -> &mut Shell {
+        &mut self.shell
+    }
+
+    /// Commands executed.
+    pub fn commands_executed(&self) -> u64 {
+        self.commands
+    }
+
+    /// CPU-side helper: writes the command block and rings the doorbell
+    /// over ECI, then services it FPGA-side. Returns the final status
+    /// and the completion time at the CPU.
+    pub fn issue(
+        &mut self,
+        sys: &mut EciSystem,
+        now: Time,
+        cmd: ShellCommand,
+    ) -> (ShellStatus, Time) {
+        // CPU writes the block through uncached I/O over ECI.
+        let (op, arg0, arg1) = match cmd {
+            ShellCommand::LoadApp {
+                slot,
+                bitstream_bytes,
+            } => (1u64, u64::from(slot.0), bitstream_bytes),
+            ShellCommand::Grant { slot, service } => {
+                (2, u64::from(slot.0), service_id(service))
+            }
+        };
+        let t = sys.io_write(now, NodeId::Cpu, Addr(REG_CMD), 8, op);
+        let t = sys.io_write(t, NodeId::Cpu, Addr(REG_ARG0), 8, arg0);
+        let t = sys.io_write(t, NodeId::Cpu, Addr(REG_ARG1), 8, arg1);
+        let t = sys.io_write(t, NodeId::Cpu, Addr(REG_DOORBELL), 8, 1);
+
+        // FPGA side executes the block at doorbell time and posts the
+        // status into its own register window for the CPU to poll.
+        self.commands += 1;
+        let status = self.execute(sys, t);
+        sys.io_write_local(NodeId::Fpga, Addr(REG_STATUS), status as u64);
+
+        // CPU polls STATUS (one I/O read round trip).
+        let (raw, done) = sys.io_read(t, NodeId::Cpu, Addr(REG_STATUS), 8);
+        let final_status = match raw {
+            0 => ShellStatus::Idle,
+            1 => ShellStatus::Busy,
+            2 => ShellStatus::Ok,
+            _ => ShellStatus::Error,
+        };
+        (final_status, done)
+    }
+
+    fn execute(&mut self, sys: &mut EciSystem, now: Time) -> ShellStatus {
+        let op = sys.io_read_local(NodeId::Fpga, Addr(REG_CMD));
+        let arg0 = sys.io_read_local(NodeId::Fpga, Addr(REG_ARG0));
+        let arg1 = sys.io_read_local(NodeId::Fpga, Addr(REG_ARG1));
+        match op {
+            1 => {
+                let slot = SlotId(arg0 as u8);
+                let name = format!("app-slot{}", arg0);
+                match self.shell.load_app(now, slot, AppImage::new(name, arg1)) {
+                    Ok(ready) => {
+                        self.load_ready = Some(ready);
+                        ShellStatus::Ok
+                    }
+                    Err(_) => ShellStatus::Error,
+                }
+            }
+            2 => {
+                let slot = SlotId(arg0 as u8);
+                let Some(service) = service_from_id(arg1) else {
+                    return ShellStatus::Error;
+                };
+                // Grants require the app to be running: settle any
+                // pending load first.
+                let at = self.load_ready.unwrap_or(now).max(now);
+                match self.shell.grant(at, slot, service) {
+                    Ok(()) => ShellStatus::Ok,
+                    Err(_) => ShellStatus::Error,
+                }
+            }
+            _ => ShellStatus::Error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enzian_eci::EciSystemConfig;
+
+    fn setup() -> (ShellController, EciSystem) {
+        (
+            ShellController::new(Shell::new(2)),
+            EciSystem::new(EciSystemConfig::enzian()),
+        )
+    }
+
+    #[test]
+    fn cpu_loads_an_app_over_eci() {
+        let (mut ctl, mut sys) = setup();
+        let (status, t) = ctl.issue(
+            &mut sys,
+            Time::ZERO,
+            ShellCommand::LoadApp {
+                slot: SlotId(0),
+                bitstream_bytes: 8_000_000,
+            },
+        );
+        assert_eq!(status, ShellStatus::Ok);
+        assert!(t > Time::ZERO);
+        // The load takes configuration time; after it, the app runs.
+        let later = t + enzian_sim::Duration::from_ms(100);
+        assert!(ctl.shell_mut().is_running(later, SlotId(0)));
+        sys.checker().assert_clean();
+    }
+
+    #[test]
+    fn grant_after_load_through_registers() {
+        let (mut ctl, mut sys) = setup();
+        let (_, t) = ctl.issue(
+            &mut sys,
+            Time::ZERO,
+            ShellCommand::LoadApp {
+                slot: SlotId(1),
+                bitstream_bytes: 4_000_000,
+            },
+        );
+        let (status, _) = ctl.issue(
+            &mut sys,
+            t + enzian_sim::Duration::from_ms(50),
+            ShellCommand::Grant {
+                slot: SlotId(1),
+                service: Service::EciBridge,
+            },
+        );
+        assert_eq!(status, ShellStatus::Ok);
+        assert!(ctl.shell_mut().check_service(SlotId(1), Service::EciBridge).is_ok());
+    }
+
+    #[test]
+    fn bad_slot_reports_error_status() {
+        let (mut ctl, mut sys) = setup();
+        let (status, _) = ctl.issue(
+            &mut sys,
+            Time::ZERO,
+            ShellCommand::LoadApp {
+                slot: SlotId(9),
+                bitstream_bytes: 1,
+            },
+        );
+        assert_eq!(status, ShellStatus::Error);
+    }
+
+    #[test]
+    fn grant_without_running_app_errors() {
+        let (mut ctl, mut sys) = setup();
+        let (status, _) = ctl.issue(
+            &mut sys,
+            Time::ZERO,
+            ShellCommand::Grant {
+                slot: SlotId(0),
+                service: Service::TcpStack,
+            },
+        );
+        assert_eq!(status, ShellStatus::Error);
+    }
+
+    #[test]
+    fn commands_travel_on_the_io_vc() {
+        let (mut ctl, mut sys) = setup();
+        let before = sys.stats().io_ops;
+        ctl.issue(
+            &mut sys,
+            Time::ZERO,
+            ShellCommand::LoadApp {
+                slot: SlotId(0),
+                bitstream_bytes: 1_000,
+            },
+        );
+        // 4 writes + 1 status read from the CPU.
+        assert_eq!(sys.stats().io_ops, before + 5);
+    }
+}

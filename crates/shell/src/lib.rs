@@ -1,0 +1,24 @@
+//! The FPGA "shell": a port of Coyote to Enzian.
+//!
+//! Paper §4.5: *"Our default environment is a port of the open-source
+//! Coyote shell. This allows the rest of the FPGA to be dynamically
+//! reconfigured by the CPU over ECI. Moreover, it provides a kernel of
+//! basic functionality (memory protection, address translation, spatial
+//! and temporal multiplexing, and a standard execution environment) plus
+//! additional services (virtualized DRAM controllers, network stacks,
+//! etc.) to applications each running in a Virtual FPGA (vFPGA)."*
+//!
+//! * [`mmu`] — per-vFPGA address translation with a TLB and protection;
+//! * [`vfpga`] — vFPGA slots, partial reconfiguration, and temporal
+//!   scheduling;
+//! * [`shell`] — the shell proper: slot management plus the service
+//!   registry (the Enzian port swaps Coyote's PCIe DMA interface for ECI
+//!   and deals in cache lines).
+
+pub mod mmu;
+pub mod shell;
+pub mod vfpga;
+
+pub use mmu::{AccessKind, Mmu, MmuError, Permissions};
+pub use shell::{Service, Shell, ShellError};
+pub use vfpga::{AppImage, SlotId, SlotState, VFpgaSlot};

@@ -1,0 +1,325 @@
+//! Per-vFPGA address translation and memory protection.
+//!
+//! Coyote gives each vFPGA a private virtual address space over host and
+//! card memory. The Enzian port keeps the same structure: a software-
+//! managed page table (2 MiB pages, matching the hugepage mappings the
+//! real shell uses) with a small fully-associative TLB in front. A TLB
+//! hit translates in one shell cycle; a miss walks the table (a few
+//! hundred nanoseconds over ECI in practice).
+
+use std::collections::HashMap;
+
+use enzian_mem::Addr;
+use enzian_sim::{Duration, Time};
+
+/// Page size: 2 MiB hugepages.
+pub const PAGE_BYTES: u64 = 2 << 20;
+
+/// Access permissions of a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Permissions {
+    /// Loads permitted.
+    pub read: bool,
+    /// Stores permitted.
+    pub write: bool,
+}
+
+impl Permissions {
+    /// Read-only mapping.
+    pub const RO: Permissions = Permissions {
+        read: true,
+        write: false,
+    };
+    /// Read-write mapping.
+    pub const RW: Permissions = Permissions {
+        read: true,
+        write: true,
+    };
+}
+
+/// The kind of access being translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Translation errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmuError {
+    /// No mapping covers the virtual address.
+    NotMapped {
+        /// The faulting virtual address.
+        vaddr: u64,
+    },
+    /// The mapping exists but forbids this access.
+    ProtectionFault {
+        /// The faulting virtual address.
+        vaddr: u64,
+        /// The attempted access.
+        access: AccessKind,
+    },
+    /// A mapping request was not page-aligned.
+    Misaligned {
+        /// The offending address.
+        addr: u64,
+    },
+    /// The virtual range is already mapped.
+    AlreadyMapped {
+        /// The base of the conflicting page.
+        vaddr: u64,
+    },
+}
+
+impl std::fmt::Display for MmuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmuError::NotMapped { vaddr } => write!(f, "no mapping for {vaddr:#x}"),
+            MmuError::ProtectionFault { vaddr, access } => {
+                write!(f, "{access:?} not permitted at {vaddr:#x}")
+            }
+            MmuError::Misaligned { addr } => write!(f, "address {addr:#x} not page-aligned"),
+            MmuError::AlreadyMapped { vaddr } => write!(f, "page {vaddr:#x} already mapped"),
+        }
+    }
+}
+
+impl std::error::Error for MmuError {}
+
+#[derive(Debug, Clone, Copy)]
+struct PageEntry {
+    phys_base: u64,
+    perms: Permissions,
+}
+
+/// A successful translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The physical address.
+    pub paddr: Addr,
+    /// Whether the TLB hit.
+    pub tlb_hit: bool,
+    /// When the translation was available.
+    pub ready: Time,
+}
+
+/// The per-vFPGA MMU.
+#[derive(Debug)]
+pub struct Mmu {
+    table: HashMap<u64, PageEntry>,
+    tlb: Vec<(u64, PageEntry)>,
+    tlb_capacity: usize,
+    tlb_hit_time: Duration,
+    walk_time: Duration,
+    hits: u64,
+    misses: u64,
+    faults: u64,
+}
+
+impl Mmu {
+    /// Creates an MMU with a `tlb_capacity`-entry TLB (32 in the shell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tlb_capacity` is zero.
+    pub fn new(tlb_capacity: usize) -> Self {
+        assert!(tlb_capacity > 0, "zero TLB");
+        Mmu {
+            table: HashMap::new(),
+            tlb: Vec::with_capacity(tlb_capacity),
+            tlb_capacity,
+            tlb_hit_time: Duration::from_ns(4),
+            walk_time: Duration::from_ns(350),
+            hits: 0,
+            misses: 0,
+            faults: 0,
+        }
+    }
+
+    /// Maps `pages` pages from virtual `vaddr` to physical `paddr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on misaligned addresses or overlap with existing mappings.
+    pub fn map(
+        &mut self,
+        vaddr: u64,
+        paddr: Addr,
+        pages: u64,
+        perms: Permissions,
+    ) -> Result<(), MmuError> {
+        if !vaddr.is_multiple_of(PAGE_BYTES) {
+            return Err(MmuError::Misaligned { addr: vaddr });
+        }
+        if !paddr.0.is_multiple_of(PAGE_BYTES) {
+            return Err(MmuError::Misaligned { addr: paddr.0 });
+        }
+        for i in 0..pages {
+            let v = vaddr + i * PAGE_BYTES;
+            if self.table.contains_key(&v) {
+                return Err(MmuError::AlreadyMapped { vaddr: v });
+            }
+        }
+        for i in 0..pages {
+            let v = vaddr + i * PAGE_BYTES;
+            self.table.insert(
+                v,
+                PageEntry {
+                    phys_base: paddr.0 + i * PAGE_BYTES,
+                    perms,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Removes the mapping of `pages` pages at `vaddr` and shoots down
+    /// the TLB.
+    pub fn unmap(&mut self, vaddr: u64, pages: u64) {
+        for i in 0..pages {
+            let v = vaddr + i * PAGE_BYTES;
+            self.table.remove(&v);
+            self.tlb.retain(|&(tag, _)| tag != v);
+        }
+    }
+
+    /// Translates `vaddr` for `access` at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses or permission violations (counted).
+    pub fn translate(
+        &mut self,
+        now: Time,
+        vaddr: u64,
+        access: AccessKind,
+    ) -> Result<Translation, MmuError> {
+        let page = vaddr & !(PAGE_BYTES - 1);
+        let offset = vaddr & (PAGE_BYTES - 1);
+
+        let (entry, tlb_hit) =
+            if let Some(pos) = self.tlb.iter().position(|&(tag, _)| tag == page) {
+                // Move-to-front LRU.
+                let e = self.tlb.remove(pos);
+                self.tlb.insert(0, e);
+                self.hits += 1;
+                (e.1, true)
+            } else {
+                let Some(&e) = self.table.get(&page) else {
+                    self.faults += 1;
+                    return Err(MmuError::NotMapped { vaddr });
+                };
+                self.misses += 1;
+                if self.tlb.len() >= self.tlb_capacity {
+                    self.tlb.pop();
+                }
+                self.tlb.insert(0, (page, e));
+                (e, false)
+            };
+
+        let allowed = match access {
+            AccessKind::Read => entry.perms.read,
+            AccessKind::Write => entry.perms.write,
+        };
+        if !allowed {
+            self.faults += 1;
+            return Err(MmuError::ProtectionFault { vaddr, access });
+        }
+        let ready = now + if tlb_hit { self.tlb_hit_time } else { self.walk_time };
+        Ok(Translation {
+            paddr: Addr(entry.phys_base + offset),
+            tlb_hit,
+            ready,
+        })
+    }
+
+    /// `(tlb hits, tlb misses, faults)` so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.faults)
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_roundtrip() {
+        let mut m = Mmu::new(8);
+        m.map(0, Addr(0x4000_0000), 4, Permissions::RW).unwrap();
+        let t = m
+            .translate(Time::ZERO, 3 * PAGE_BYTES + 123, AccessKind::Read)
+            .unwrap();
+        assert_eq!(t.paddr, Addr(0x4000_0000 + 3 * PAGE_BYTES + 123));
+        assert!(!t.tlb_hit, "first access misses the TLB");
+        let t2 = m
+            .translate(t.ready, 3 * PAGE_BYTES + 200, AccessKind::Write)
+            .unwrap();
+        assert!(t2.tlb_hit, "second access hits the TLB");
+        assert!(t2.ready.since(t.ready) < t.ready.since(Time::ZERO));
+    }
+
+    #[test]
+    fn protection_is_enforced() {
+        let mut m = Mmu::new(8);
+        m.map(0, Addr(0), 1, Permissions::RO).unwrap();
+        assert!(m.translate(Time::ZERO, 64, AccessKind::Read).is_ok());
+        let err = m.translate(Time::ZERO, 64, AccessKind::Write).unwrap_err();
+        assert!(matches!(err, MmuError::ProtectionFault { .. }));
+        assert_eq!(m.stats().2, 1);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = Mmu::new(8);
+        let err = m.translate(Time::ZERO, 0x1234, AccessKind::Read).unwrap_err();
+        assert_eq!(err, MmuError::NotMapped { vaddr: 0x1234 });
+    }
+
+    #[test]
+    fn overlap_and_alignment_rejected() {
+        let mut m = Mmu::new(8);
+        m.map(0, Addr(0), 2, Permissions::RW).unwrap();
+        assert!(matches!(
+            m.map(PAGE_BYTES, Addr(0x8000_0000), 1, Permissions::RW),
+            Err(MmuError::AlreadyMapped { .. })
+        ));
+        assert!(matches!(
+            m.map(123, Addr(0), 1, Permissions::RW),
+            Err(MmuError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn unmap_shoots_down_tlb() {
+        let mut m = Mmu::new(8);
+        m.map(0, Addr(0), 1, Permissions::RW).unwrap();
+        m.translate(Time::ZERO, 0, AccessKind::Read).unwrap();
+        m.unmap(0, 1);
+        assert!(m.translate(Time::ZERO, 0, AccessKind::Read).is_err());
+        assert_eq!(m.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn tlb_capacity_evicts_lru() {
+        let mut m = Mmu::new(2);
+        m.map(0, Addr(0), 3, Permissions::RW).unwrap();
+        // Touch pages 0, 1 (fills TLB), then 2 (evicts 0), then 0 again.
+        for page in [0u64, 1, 2] {
+            m.translate(Time::ZERO, page * PAGE_BYTES, AccessKind::Read)
+                .unwrap();
+        }
+        let t = m.translate(Time::ZERO, 0, AccessKind::Read).unwrap();
+        assert!(!t.tlb_hit, "page 0 should have been evicted");
+        let (hits, misses, _) = m.stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 4);
+    }
+}

@@ -1,0 +1,264 @@
+//! The shell proper: slots + MMUs + the service registry.
+//!
+//! Each vFPGA gets an isolated MMU and a set of capability-checked
+//! services. The Enzian port's distinguishing feature is the `EciBridge`
+//! service: where Coyote's original Alveo platform moves data with PCIe
+//! DMA, the Enzian shell "deals in cache lines rather than PCIe
+//! transactions" (§4.5). The shell also exposes more Ethernet ports and
+//! DDR4 controllers than the Alveo original.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use enzian_sim::Time;
+
+use crate::mmu::Mmu;
+use crate::vfpga::{AppImage, SlotId, SlotState, VFpgaSlot};
+
+/// Services the shell can grant to a vFPGA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Service {
+    /// A virtualized FPGA-side DRAM controller channel.
+    DramController,
+    /// The 100G TCP stack.
+    TcpStack,
+    /// The RDMA (StRoM) stack.
+    RdmaStack,
+    /// Coherent host-memory access over ECI (Enzian-specific; replaces
+    /// Coyote's PCIe DMA service).
+    EciBridge,
+}
+
+/// Shell-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShellError {
+    /// The slot id does not exist.
+    NoSuchSlot(SlotId),
+    /// The slot has no running application.
+    SlotNotRunning(SlotId),
+    /// The vFPGA was not granted this service.
+    ServiceDenied {
+        /// The requesting slot.
+        slot: SlotId,
+        /// The denied service.
+        service: Service,
+    },
+}
+
+impl std::fmt::Display for ShellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShellError::NoSuchSlot(s) => write!(f, "no slot {s:?}"),
+            ShellError::SlotNotRunning(s) => write!(f, "slot {s:?} has no running app"),
+            ShellError::ServiceDenied { slot, service } => {
+                write!(f, "slot {slot:?} denied {service:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShellError {}
+
+/// The shell: static slots, per-slot MMUs, and service grants.
+#[derive(Debug)]
+pub struct Shell {
+    slots: Vec<VFpgaSlot>,
+    mmus: BTreeMap<SlotId, Mmu>,
+    grants: BTreeMap<SlotId, BTreeSet<Service>>,
+}
+
+impl Shell {
+    /// Creates a shell with `slot_count` vFPGA slots (the Enzian default
+    /// bitstreams carry 2–4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_count` is zero.
+    pub fn new(slot_count: u8) -> Self {
+        assert!(slot_count > 0, "shell needs at least one slot");
+        let slots: Vec<VFpgaSlot> = (0..slot_count).map(|i| VFpgaSlot::new(SlotId(i))).collect();
+        let mmus = slots.iter().map(|s| (s.id(), Mmu::new(32))).collect();
+        let grants = slots.iter().map(|s| (s.id(), BTreeSet::new())).collect();
+        Shell {
+            slots,
+            mmus,
+            grants,
+        }
+    }
+
+    /// Number of slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Loads `app` into `slot`, revoking its previous grants and
+    /// clearing its MMU (a fresh protection domain per application).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the slot does not exist.
+    pub fn load_app(&mut self, now: Time, slot: SlotId, app: AppImage) -> Result<Time, ShellError> {
+        let s = self
+            .slots
+            .iter_mut()
+            .find(|s| s.id() == slot)
+            .ok_or(ShellError::NoSuchSlot(slot))?;
+        let ready = s.load(now, app);
+        self.mmus.insert(slot, Mmu::new(32));
+        self.grants.insert(slot, BTreeSet::new());
+        Ok(ready)
+    }
+
+    /// Whether `slot` has a running application at `now`.
+    pub fn is_running(&mut self, now: Time, slot: SlotId) -> bool {
+        self.slots
+            .iter_mut()
+            .find(|s| s.id() == slot)
+            .map(|s| matches!(s.state_at(now), SlotState::Running { .. }))
+            .unwrap_or(false)
+    }
+
+    /// Grants a service to a slot's application.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the slot does not exist or has no running application.
+    pub fn grant(&mut self, now: Time, slot: SlotId, service: Service) -> Result<(), ShellError> {
+        if !self
+            .slots
+            .iter_mut()
+            .any(|s| s.id() == slot)
+        {
+            return Err(ShellError::NoSuchSlot(slot));
+        }
+        if !self.is_running(now, slot) {
+            return Err(ShellError::SlotNotRunning(slot));
+        }
+        self.grants
+            .get_mut(&slot)
+            .expect("grant table covers all slots")
+            .insert(service);
+        Ok(())
+    }
+
+    /// Checks a service capability for a slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShellError::ServiceDenied`] when not granted.
+    pub fn check_service(&self, slot: SlotId, service: Service) -> Result<(), ShellError> {
+        let granted = self
+            .grants
+            .get(&slot)
+            .ok_or(ShellError::NoSuchSlot(slot))?;
+        if granted.contains(&service) {
+            Ok(())
+        } else {
+            Err(ShellError::ServiceDenied { slot, service })
+        }
+    }
+
+    /// The MMU of a slot's protection domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot does not exist.
+    pub fn mmu_mut(&mut self, slot: SlotId) -> &mut Mmu {
+        self.mmus.get_mut(&slot).expect("slot exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmu::{AccessKind, Permissions};
+    use enzian_mem::Addr;
+    use enzian_sim::Duration;
+
+    fn running_shell() -> (Shell, Time) {
+        let mut shell = Shell::new(2);
+        let ready = shell
+            .load_app(Time::ZERO, SlotId(0), AppImage::new("tcp-echo", 8_000_000))
+            .unwrap();
+        (shell, ready)
+    }
+
+    #[test]
+    fn grants_are_capability_checked() {
+        let (mut shell, ready) = running_shell();
+        shell.grant(ready, SlotId(0), Service::TcpStack).unwrap();
+        assert!(shell.check_service(SlotId(0), Service::TcpStack).is_ok());
+        assert_eq!(
+            shell.check_service(SlotId(0), Service::EciBridge),
+            Err(ShellError::ServiceDenied {
+                slot: SlotId(0),
+                service: Service::EciBridge
+            })
+        );
+    }
+
+    #[test]
+    fn cannot_grant_before_app_runs() {
+        let mut shell = Shell::new(1);
+        let _ = shell
+            .load_app(Time::ZERO, SlotId(0), AppImage::new("x", 40_000_000))
+            .unwrap();
+        // Mid-load: app is not running yet.
+        let err = shell
+            .grant(Time::ZERO + Duration::from_ms(1), SlotId(0), Service::DramController)
+            .unwrap_err();
+        assert_eq!(err, ShellError::SlotNotRunning(SlotId(0)));
+    }
+
+    #[test]
+    fn reload_resets_protection_domain() {
+        let (mut shell, ready) = running_shell();
+        shell.grant(ready, SlotId(0), Service::RdmaStack).unwrap();
+        shell
+            .mmu_mut(SlotId(0))
+            .map(0, Addr(0), 1, Permissions::RW)
+            .unwrap();
+        // Reload: grants and mappings must be gone.
+        let ready2 = shell
+            .load_app(ready, SlotId(0), AppImage::new("next", 8_000_000))
+            .unwrap();
+        assert!(shell.check_service(SlotId(0), Service::RdmaStack).is_err());
+        assert!(shell
+            .mmu_mut(SlotId(0))
+            .translate(ready2, 0, AccessKind::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn slots_are_isolated() {
+        let (mut shell, ready) = running_shell();
+        let ready1 = shell
+            .load_app(ready, SlotId(1), AppImage::new("other", 8_000_000))
+            .unwrap();
+        shell.grant(ready1, SlotId(1), Service::EciBridge).unwrap();
+        // Slot 0 still lacks the service granted to slot 1.
+        assert!(shell.check_service(SlotId(0), Service::EciBridge).is_err());
+        // Separate MMUs.
+        shell
+            .mmu_mut(SlotId(1))
+            .map(0, Addr(0x4000_0000), 1, Permissions::RO)
+            .unwrap();
+        assert!(shell
+            .mmu_mut(SlotId(0))
+            .translate(ready1, 0, AccessKind::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_slot_errors() {
+        let (mut shell, ready) = running_shell();
+        assert_eq!(
+            shell.load_app(ready, SlotId(9), AppImage::new("x", 1)),
+            Err(ShellError::NoSuchSlot(SlotId(9)))
+        );
+        assert_eq!(
+            shell.grant(ready, SlotId(9), Service::TcpStack),
+            Err(ShellError::NoSuchSlot(SlotId(9)))
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Virtual FPGA slots and partial reconfiguration.
+//!
+//! The shell statically partitions the reconfigurable fabric into slots;
+//! each slot hosts one application at a time and can be reprogrammed over
+//! ECI while the others keep running (spatial multiplexing). Swapping an
+//! application in and out of a slot over time is temporal multiplexing;
+//! [`SlotScheduler`] implements the simple FIFO share Coyote provides.
+
+use enzian_sim::{Duration, Time};
+
+/// Identifies a slot in the shell's static partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SlotId(pub u8);
+
+/// An application's partial bitstream and resource footprint.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AppImage {
+    /// Human-readable name.
+    pub name: String,
+    /// Partial-bitstream size in bytes (drives reconfiguration time).
+    pub bitstream_bytes: u64,
+}
+
+impl AppImage {
+    /// Creates an image descriptor.
+    pub fn new(name: impl Into<String>, bitstream_bytes: u64) -> Self {
+        AppImage {
+            name: name.into(),
+            bitstream_bytes,
+        }
+    }
+}
+
+/// The state of one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotState {
+    /// No application loaded.
+    Empty,
+    /// Partial reconfiguration in progress until the instant.
+    Loading {
+        /// The application being loaded.
+        app: AppImage,
+        /// When reconfiguration completes.
+        until: Time,
+    },
+    /// An application is resident and runnable.
+    Running {
+        /// The resident application.
+        app: AppImage,
+    },
+}
+
+/// One slot of the static partition.
+#[derive(Debug)]
+pub struct VFpgaSlot {
+    id: SlotId,
+    state: SlotState,
+    /// ICAP-style configuration bandwidth, bytes/sec.
+    config_bytes_per_sec: u64,
+    loads: u64,
+}
+
+impl VFpgaSlot {
+    /// Creates an empty slot with the given configuration-port bandwidth
+    /// (the ICAP runs at ~400 MB/s).
+    pub fn new(id: SlotId) -> Self {
+        VFpgaSlot {
+            id,
+            state: SlotState::Empty,
+            config_bytes_per_sec: 400_000_000,
+            loads: 0,
+        }
+    }
+
+    /// The slot's id.
+    pub fn id(&self) -> SlotId {
+        self.id
+    }
+
+    /// The current state (after settling any finished load at `now`).
+    pub fn state_at(&mut self, now: Time) -> &SlotState {
+        if let SlotState::Loading { app, until } = &self.state {
+            if now >= *until {
+                self.state = SlotState::Running { app: app.clone() };
+            }
+        }
+        &self.state
+    }
+
+    /// Begins loading `app`, replacing whatever was resident. Returns
+    /// the completion time.
+    pub fn load(&mut self, now: Time, app: AppImage) -> Time {
+        let config_time =
+            Duration::serialization(app.bitstream_bytes, self.config_bytes_per_sec * 8);
+        let until = now + config_time;
+        self.loads += 1;
+        self.state = SlotState::Loading { app, until };
+        until
+    }
+
+    /// Unloads the slot.
+    pub fn unload(&mut self) {
+        self.state = SlotState::Empty;
+    }
+
+    /// Number of loads performed.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+}
+
+/// FIFO temporal multiplexing of applications over a set of slots.
+#[derive(Debug)]
+pub struct SlotScheduler {
+    queue: std::collections::VecDeque<AppImage>,
+    scheduled: Vec<(SlotId, AppImage, Time)>,
+}
+
+impl SlotScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        SlotScheduler {
+            queue: std::collections::VecDeque::new(),
+            scheduled: Vec::new(),
+        }
+    }
+
+    /// Enqueues an application for execution.
+    pub fn submit(&mut self, app: AppImage) {
+        self.queue.push_back(app);
+    }
+
+    /// Pending applications not yet placed.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Places queued applications into empty slots at `now`, starting
+    /// loads. Returns `(slot, app name, ready time)` for each placement.
+    pub fn place(&mut self, now: Time, slots: &mut [VFpgaSlot]) -> Vec<(SlotId, String, Time)> {
+        let mut placed = Vec::new();
+        for slot in slots.iter_mut() {
+            if self.queue.is_empty() {
+                break;
+            }
+            if matches!(slot.state_at(now), SlotState::Empty) {
+                let app = self.queue.pop_front().expect("checked non-empty");
+                let name = app.name.clone();
+                let ready = slot.load(now, app.clone());
+                self.scheduled.push((slot.id(), app, ready));
+                placed.push((slot.id(), name, ready));
+            }
+        }
+        placed
+    }
+
+    /// History of all placements.
+    pub fn history(&self) -> &[(SlotId, AppImage, Time)] {
+        &self.scheduled
+    }
+}
+
+impl Default for SlotScheduler {
+    fn default() -> Self {
+        SlotScheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_takes_configuration_time() {
+        let mut slot = VFpgaSlot::new(SlotId(0));
+        // 40 MB partial bitstream at 400 MB/s = 100 ms.
+        let done = slot.load(Time::ZERO, AppImage::new("gbdt", 40_000_000));
+        assert_eq!(done.since(Time::ZERO), Duration::from_ms(100));
+        assert!(matches!(
+            slot.state_at(Time::ZERO + Duration::from_ms(50)),
+            SlotState::Loading { .. }
+        ));
+        assert!(matches!(slot.state_at(done), SlotState::Running { .. }));
+    }
+
+    #[test]
+    fn reload_replaces_resident_app() {
+        let mut slot = VFpgaSlot::new(SlotId(1));
+        let t1 = slot.load(Time::ZERO, AppImage::new("a", 1_000_000));
+        slot.state_at(t1);
+        let t2 = slot.load(t1, AppImage::new("b", 1_000_000));
+        match slot.state_at(t2) {
+            SlotState::Running { app } => assert_eq!(app.name, "b"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(slot.loads(), 2);
+    }
+
+    #[test]
+    fn scheduler_fills_empty_slots_fifo() {
+        let mut slots = vec![VFpgaSlot::new(SlotId(0)), VFpgaSlot::new(SlotId(1))];
+        let mut sched = SlotScheduler::new();
+        for name in ["one", "two", "three"] {
+            sched.submit(AppImage::new(name, 4_000_000));
+        }
+        let placed = sched.place(Time::ZERO, &mut slots);
+        assert_eq!(placed.len(), 2);
+        assert_eq!(placed[0].1, "one");
+        assert_eq!(placed[1].1, "two");
+        assert_eq!(sched.pending(), 1);
+
+        // After the first app finishes and is unloaded, the third lands.
+        let ready = placed[0].2;
+        slots[0].unload();
+        let placed = sched.place(ready, &mut slots);
+        assert_eq!(placed.len(), 1);
+        assert_eq!(placed[0].1, "three");
+        assert_eq!(sched.pending(), 0);
+    }
+
+    #[test]
+    fn spatial_multiplexing_is_independent() {
+        // Loading slot 1 does not disturb slot 0's resident app.
+        let mut s0 = VFpgaSlot::new(SlotId(0));
+        let mut s1 = VFpgaSlot::new(SlotId(1));
+        let t = s0.load(Time::ZERO, AppImage::new("resident", 1_000_000));
+        s0.state_at(t);
+        s1.load(t, AppImage::new("newcomer", 8_000_000));
+        assert!(matches!(s0.state_at(t), SlotState::Running { .. }));
+    }
+}

@@ -1,0 +1,351 @@
+//! The discrete-event scheduler.
+//!
+//! [`Simulator`] owns a user-provided model `M` and a time-ordered queue of
+//! events. Each event is a closure that receives `&mut M` and a
+//! [`Scheduler`] through which it can enqueue further events. Ties in time
+//! are broken by insertion order, making runs fully deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{Duration, Time};
+
+/// Identifier of a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+type EventFn<M> = Box<dyn FnOnce(&mut M, &mut Scheduler<M>)>;
+
+struct QueueEntry {
+    at: Time,
+    seq: u64,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event-scheduling half of the simulator, passed to every event
+/// handler so that handlers can enqueue follow-up events.
+pub struct Scheduler<M> {
+    now: Time,
+    next_seq: u64,
+    queue: BinaryHeap<Reverse<QueueEntry>>,
+    handlers: Vec<(u64, Option<EventFn<M>>)>,
+    events_executed: u64,
+}
+
+impl<M> std::fmt::Debug for Scheduler<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("events_executed", &self.events_executed)
+            .finish()
+    }
+}
+
+impl<M> Scheduler<M> {
+    fn new() -> Self {
+        Scheduler {
+            now: Time::ZERO,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            handlers: Vec::new(),
+            events_executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.events_executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at<F>(&mut self, at: Time, f: F) -> EventId
+    where
+        F: FnOnce(&mut M, &mut Scheduler<M>) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule an event in the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(QueueEntry { at, seq }));
+        self.handlers.push((seq, Some(Box::new(f))));
+        EventId(seq)
+    }
+
+    /// Schedules `f` to run `after` from now.
+    pub fn schedule_in<F>(&mut self, after: Duration, f: F) -> EventId
+    where
+        F: FnOnce(&mut M, &mut Scheduler<M>) + 'static,
+    {
+        self.schedule_at(self.now + after, f)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event existed and had
+    /// not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if let Ok(idx) = self.handlers.binary_search_by_key(&id.0, |(seq, _)| *seq) {
+            return self.handlers[idx].1.take().is_some();
+        }
+        false
+    }
+
+    fn take_handler(&mut self, seq: u64) -> Option<EventFn<M>> {
+        let idx = self
+            .handlers
+            .binary_search_by_key(&seq, |(s, _)| *s)
+            .ok()?;
+        let h = self.handlers[idx].1.take();
+        // Compact the table by dropping the leading run of already-fired
+        // (None) handlers once it grows large, keeping memory proportional
+        // to live events. Only a None-prefix is safe to drop: later slots
+        // may hold pending handlers with smaller indices than `idx`.
+        if idx > 1024 {
+            let dead_prefix = self
+                .handlers
+                .iter()
+                .take_while(|(_, h)| h.is_none())
+                .count();
+            if dead_prefix > 1024 {
+                self.handlers.drain(..dead_prefix);
+            }
+        }
+        h
+    }
+}
+
+/// A discrete-event simulator over a model `M`.
+///
+/// # Example
+///
+/// ```
+/// use enzian_sim::{Simulator, Duration};
+///
+/// let mut sim = Simulator::new(Vec::<u64>::new());
+/// for i in 0..4 {
+///     sim.schedule_in(Duration::from_ns(i), move |log: &mut Vec<u64>, s| {
+///         log.push(s.now().as_ns());
+///     });
+/// }
+/// sim.run();
+/// assert_eq!(*sim.model(), vec![0, 1, 2, 3]);
+/// ```
+pub struct Simulator<M> {
+    model: M,
+    sched: Scheduler<M>,
+}
+
+impl<M: std::fmt::Debug> std::fmt::Debug for Simulator<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("model", &self.model)
+            .field("sched", &self.sched)
+            .finish()
+    }
+}
+
+impl<M> Simulator<M> {
+    /// Creates a simulator at time zero over `model`.
+    pub fn new(model: M) -> Self {
+        Simulator {
+            model,
+            sched: Scheduler::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.sched.now()
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model (e.g. to set up initial state).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulator, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedules an event at an absolute time. See [`Scheduler::schedule_at`].
+    pub fn schedule_at<F>(&mut self, at: Time, f: F) -> EventId
+    where
+        F: FnOnce(&mut M, &mut Scheduler<M>) + 'static,
+    {
+        self.sched.schedule_at(at, f)
+    }
+
+    /// Schedules an event relative to now. See [`Scheduler::schedule_in`].
+    pub fn schedule_in<F>(&mut self, after: Duration, f: F) -> EventId
+    where
+        F: FnOnce(&mut M, &mut Scheduler<M>) + 'static,
+    {
+        self.sched.schedule_in(after, f)
+    }
+
+    /// Cancels a pending event.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.sched.cancel(id)
+    }
+
+    /// Runs a single event if any is pending; returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(Reverse(entry)) = self.sched.queue.pop() else {
+                return false;
+            };
+            debug_assert!(entry.at >= self.sched.now, "event queue went backwards");
+            if let Some(handler) = self.sched.take_handler(entry.seq) {
+                self.sched.now = entry.at;
+                self.sched.events_executed += 1;
+                handler(&mut self.model, &mut self.sched);
+                return true;
+            }
+            // Cancelled event: skip without advancing time.
+        }
+    }
+
+    /// Runs until the event queue is empty; returns the number of events
+    /// executed.
+    pub fn run(&mut self) -> u64 {
+        let start = self.sched.events_executed;
+        while self.step() {}
+        self.sched.events_executed - start
+    }
+
+    /// Runs until the queue is empty or simulated time would exceed
+    /// `deadline`; events scheduled later stay queued.
+    pub fn run_until(&mut self, deadline: Time) -> u64 {
+        let start = self.sched.events_executed;
+        while let Some(Reverse(entry)) = self.sched.queue.peek() {
+            if entry.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.sched.now < deadline {
+            self.sched.now = deadline;
+        }
+        self.sched.events_executed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulator::new(Vec::new());
+        sim.schedule_in(Duration::from_ns(30), |v: &mut Vec<u32>, _| v.push(3));
+        sim.schedule_in(Duration::from_ns(10), |v: &mut Vec<u32>, _| v.push(1));
+        sim.schedule_in(Duration::from_ns(20), |v: &mut Vec<u32>, _| v.push(2));
+        assert_eq!(sim.run(), 3);
+        assert_eq!(*sim.model(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim = Simulator::new(Vec::new());
+        for i in 0..10u32 {
+            sim.schedule_in(Duration::from_ns(5), move |v: &mut Vec<u32>, _| v.push(i));
+        }
+        sim.run();
+        assert_eq!(*sim.model(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut sim = Simulator::new(0u64);
+        fn tick(count: &mut u64, s: &mut Scheduler<u64>) {
+            *count += 1;
+            if *count < 5 {
+                s.schedule_in(Duration::from_ns(1), tick);
+            }
+        }
+        sim.schedule_in(Duration::ZERO, tick);
+        sim.run();
+        assert_eq!(*sim.model(), 5);
+        assert_eq!(sim.now(), Time::ZERO + Duration::from_ns(4));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Simulator::new(0u64);
+        let id = sim.schedule_in(Duration::from_ns(1), |m: &mut u64, _| *m += 1);
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double cancel reports false");
+        sim.run();
+        assert_eq!(*sim.model(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulator::new(0u64);
+        sim.schedule_in(Duration::from_ns(10), |m: &mut u64, _| *m += 1);
+        sim.schedule_in(Duration::from_ns(100), |m: &mut u64, _| *m += 10);
+        sim.run_until(Time::ZERO + Duration::from_ns(50));
+        assert_eq!(*sim.model(), 1);
+        assert_eq!(sim.now(), Time::ZERO + Duration::from_ns(50));
+        sim.run();
+        assert_eq!(*sim.model(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulator::new(());
+        sim.schedule_in(Duration::from_ns(10), |_, s| {
+            s.schedule_at(Time::ZERO, |_, _| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn handler_table_compaction_preserves_pending_events() {
+        // Execute far more events than the compaction threshold while one
+        // far-future event stays pending, then check it still fires.
+        let mut sim = Simulator::new(0u64);
+        sim.schedule_in(Duration::from_ms(1), |m: &mut u64, _| *m += 1_000_000);
+        for i in 0..5000u64 {
+            sim.schedule_in(Duration::from_ns(i), |m: &mut u64, _| *m += 1);
+        }
+        sim.run();
+        assert_eq!(*sim.model(), 1_005_000);
+    }
+}

@@ -1,0 +1,376 @@
+//! Measurement collection: counters, summaries, histograms, time series.
+//!
+//! Every experiment in the paper reports one of three things: a mean rate
+//! (throughput), a latency distribution, or a sampled time series (the
+//! power traces in Fig. 12). This module provides small, allocation-light
+//! collectors for each.
+
+use crate::time::{Duration, Time};
+
+/// Running summary of a stream of `f64` samples: count, mean, min, max and
+/// variance (Welford's algorithm).
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Records a [`Duration`] sample in microseconds.
+    pub fn record_micros(&mut self, d: Duration) {
+        self.record(d.as_micros_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Population standard deviation; zero when fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A log₂-bucketed latency histogram over [`Duration`] samples.
+///
+/// Bucket `i` covers durations in `[2^i, 2^(i+1))` nanoseconds, with bucket
+/// 0 also absorbing sub-nanosecond samples.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    summary: Summary,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 64],
+            summary: Summary::new(),
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_ns();
+        let bucket = if ns <= 1 {
+            0
+        } else {
+            (63 - ns.leading_zeros()) as usize
+        };
+        self.buckets[bucket.min(63)] += 1;
+        self.summary.record(d.as_micros_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_micros(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// Approximate p-th percentile (0 < p <= 100) in microseconds, using
+    /// the geometric midpoint of the containing bucket. `None` when empty.
+    pub fn percentile_micros(&self, p: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let lo = (1u64 << i) as f64;
+                let mid_ns = lo * std::f64::consts::SQRT_2;
+                return Some(mid_ns / 1e3);
+            }
+        }
+        None
+    }
+
+    /// The underlying summary.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+}
+
+/// A time-stamped series of `f64` samples, e.g. a power rail trace.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(Time, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last recorded sample; a time series is
+    /// monotone by construction.
+    pub fn push(&mut self, at: Time, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(at >= last, "time series must be appended in time order");
+        }
+        self.points.push((at, value));
+    }
+
+    /// The recorded samples in time order.
+    pub fn points(&self) -> &[(Time, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest sample value, `None` when empty.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Mean of the sample values over a closed time window.
+    pub fn mean_in(&self, from: Time, to: Time) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for &(t, v) in &self.points {
+            if t >= from && t <= to {
+                sum += v;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Trapezoidal integral of the series over its full span. For a power
+    /// trace in watts over time this yields energy in joules.
+    pub fn integral(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let dt = w[1].0.since(w[0].0).as_secs_f64();
+                0.5 * (w[0].1 + w[1].1) * dt
+            })
+            .sum()
+    }
+}
+
+/// A throughput meter: counts units (bytes, tuples, pixels) over a
+/// simulated interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Meter {
+    units: u64,
+    first: Option<Time>,
+    last: Time,
+}
+
+impl Meter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Meter::default()
+    }
+
+    /// Records `units` completed at time `at`.
+    pub fn record(&mut self, at: Time, units: u64) {
+        self.first.get_or_insert(at);
+        self.last = self.last.max(at);
+        self.units += units;
+    }
+
+    /// Total units recorded.
+    pub fn units(&self) -> u64 {
+        self.units
+    }
+
+    /// Units per second over the window from the configured start (or the
+    /// first sample) to the last sample. Zero when fewer than 2 time points.
+    pub fn rate_from(&self, start: Time) -> f64 {
+        let span = self.last.saturating_since(start).as_secs_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.units as f64 / span
+        }
+    }
+
+    /// Units per second over the meter's own observed window.
+    pub fn rate(&self) -> f64 {
+        match self.first {
+            Some(first) => self.rate_from(first),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_merge_matches_bulk() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - whole.std_dev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_ns(i));
+        }
+        let p50 = h.percentile_micros(50.0).unwrap();
+        // Median of 1..=1000 ns is ~0.5 us; bucket resolution is 2x.
+        assert!(p50 > 0.2 && p50 < 1.1, "p50 = {p50}");
+        let p99 = h.percentile_micros(99.0).unwrap();
+        assert!(p99 >= p50);
+    }
+
+    #[test]
+    fn time_series_integral_is_energy() {
+        let mut ts = TimeSeries::new();
+        // 100 W for 2 seconds = 200 J.
+        ts.push(Time::ZERO, 100.0);
+        ts.push(Time::ZERO + Duration::from_secs(2), 100.0);
+        assert!((ts.integral() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn time_series_rejects_out_of_order() {
+        let mut ts = TimeSeries::new();
+        ts.push(Time::ZERO + Duration::from_ns(5), 1.0);
+        ts.push(Time::ZERO, 2.0);
+    }
+
+    #[test]
+    fn meter_rate() {
+        let mut m = Meter::new();
+        m.record(Time::ZERO, 0);
+        m.record(Time::ZERO + Duration::from_secs(1), 500);
+        m.record(Time::ZERO + Duration::from_secs(2), 500);
+        assert_eq!(m.units(), 1000);
+        assert!((m.rate() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_collectors_are_well_behaved() {
+        assert_eq!(Summary::new().mean(), 0.0);
+        assert_eq!(Summary::new().min(), None);
+        assert_eq!(LatencyHistogram::new().percentile_micros(50.0), None);
+        assert_eq!(TimeSeries::new().max_value(), None);
+        assert_eq!(Meter::new().rate(), 0.0);
+    }
+}

@@ -1,0 +1,337 @@
+//! Simulated time with picosecond resolution.
+//!
+//! All timing in the workspace is expressed in integer picoseconds, which is
+//! exact for every clock used by the platform (ECI lanes at 10 Gb/s have a
+//! 100 ps unit interval; the FPGA runs at 200–300 MHz; DDR4-2133 has a
+//! 468.75 ps half-cycle, rounded to the nearest picosecond). A `u64`
+//! picosecond counter wraps after ~213 days of simulated time, far beyond
+//! any experiment in the paper (the longest, Fig. 12, spans ~260 s).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant in simulated time, measured in picoseconds from the
+/// start of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Time(u64);
+
+/// A span of simulated time, measured in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The start of simulated time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as "never" by schedulers.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Raw picosecond count since simulation start.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds since simulation start (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since simulation start, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Microseconds since simulation start, as a float (for reporting only).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; simulated time never runs
+    /// backwards, so this indicates a scheduling bug.
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("Time::since: earlier instant is in the future"),
+        )
+    }
+
+    /// Saturating version of [`Time::since`], returning zero when `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable span.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Duration(ps)
+    }
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns * 1_000)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * 1_000_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Duration(ms * 1_000_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN, or too large to represent.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "Duration::from_secs_f64: invalid seconds value {secs}"
+        );
+        let ps = secs * 1e12;
+        assert!(ps <= u64::MAX as f64, "Duration::from_secs_f64: overflow");
+        Duration(ps.round() as u64)
+    }
+
+    /// The period of one cycle of a clock at `hz` hertz, rounded to the
+    /// nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    pub fn from_hz(hz: u64) -> Self {
+        assert!(hz > 0, "Duration::from_hz: zero frequency");
+        Duration((1_000_000_000_000 + hz / 2) / hz)
+    }
+
+    /// The time to move `bytes` bytes over a link of `bits_per_sec` raw
+    /// bandwidth, rounded to the nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_sec` is zero.
+    pub fn serialization(bytes: u64, bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "Duration::serialization: zero bandwidth");
+        let bits = bytes as u128 * 8;
+        let ps = (bits * 1_000_000_000_000 + bits_per_sec as u128 / 2) / bits_per_sec as u128;
+        Duration(u64::try_from(ps).expect("Duration::serialization: overflow"))
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Microseconds, as a float (for reporting only).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// `true` when this span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the duration by an integer count, saturating on overflow.
+    pub fn saturating_mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("Time + Duration overflow"))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0.checked_sub(rhs.0).expect("Time - Duration underflow"))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_add(rhs.0).expect("Duration overflow"))
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_sub(rhs.0).expect("Duration underflow"))
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.checked_mul(rhs).expect("Duration * u64 overflow"))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+fn fmt_ps(ps: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ps >= 1_000_000_000_000 {
+        write!(f, "{:.3}s", ps as f64 / 1e12)
+    } else if ps >= 1_000_000_000 {
+        write!(f, "{:.3}ms", ps as f64 / 1e9)
+    } else if ps >= 1_000_000 {
+        write!(f, "{:.3}us", ps as f64 / 1e6)
+    } else if ps >= 1_000 {
+        write!(f, "{:.3}ns", ps as f64 / 1e3)
+    } else {
+        write!(f, "{ps}ps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(Duration::from_ns(1).as_ps(), 1_000);
+        assert_eq!(Duration::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(Duration::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(Duration::from_secs(1).as_ps(), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn clock_period_rounds_to_nearest() {
+        // 300 MHz -> 3333.33 ps, rounds to 3333.
+        assert_eq!(Duration::from_hz(300_000_000).as_ps(), 3_333);
+        // 2 GHz -> exactly 500 ps.
+        assert_eq!(Duration::from_hz(2_000_000_000).as_ps(), 500);
+    }
+
+    #[test]
+    fn serialization_time_rounds_up() {
+        // 128 bytes over 10 Gb/s = 102.4 ns -> 102400 ps exactly.
+        let d = Duration::serialization(128, 10_000_000_000);
+        assert_eq!(d.as_ps(), 102_400);
+        // 1 byte over 3 bits/s: 8/3 s, rounds up.
+        let d = Duration::serialization(1, 3);
+        assert_eq!(d.as_ps(), 2_666_666_666_667);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::ZERO + Duration::from_ns(10);
+        assert_eq!(t.as_ns(), 10);
+        assert_eq!(t.since(Time::ZERO), Duration::from_ns(10));
+        assert_eq!(Time::ZERO.saturating_since(t), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn since_panics_when_reversed() {
+        let t = Time::ZERO + Duration::from_ns(1);
+        let _ = Time::ZERO.since(t);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Duration::from_ps(500).to_string(), "500ps");
+        assert_eq!(Duration::from_ns(1).to_string(), "1.000ns");
+        assert_eq!(Duration::from_us(2).to_string(), "2.000us");
+        assert_eq!(Duration::from_ms(3).to_string(), "3.000ms");
+        assert_eq!(Duration::from_secs(4).to_string(), "4.000s");
+    }
+
+    #[test]
+    fn duration_sum_and_scaling() {
+        let total: Duration = (1..=4).map(Duration::from_ns).sum();
+        assert_eq!(total, Duration::from_ns(10));
+        assert_eq!(Duration::from_ns(10) * 3, Duration::from_ns(30));
+        assert_eq!(Duration::from_ns(30) / 3, Duration::from_ns(10));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the simulation kernel.
+
+use proptest::prelude::*;
+
+use enzian_sim::stats::Summary;
+use enzian_sim::{Channel, ChannelConfig, Duration, SimRng, Simulator, Time};
+
+proptest! {
+    /// Channel bookings never overlap and never start before submission;
+    /// total occupancy never exceeds wall-clock capacity.
+    #[test]
+    fn channel_conservation(
+        sends in proptest::collection::vec((0u64..1_000_000u64, 1u64..4096), 1..200)
+    ) {
+        let cfg = ChannelConfig::raw(10_000_000_000, Duration::from_ns(10));
+        let mut ch = Channel::new(cfg);
+        let mut total_ser = 0u64;
+        let mut latest = 0u64;
+        for &(at_ns, bytes) in &sends {
+            let now = Time::ZERO + Duration::from_ns(at_ns);
+            let t = ch.send(now, bytes);
+            prop_assert!(t.start >= now, "transfer started before submission");
+            prop_assert!(t.done > t.start);
+            total_ser += cfg.serialization_time(bytes).as_ps();
+            latest = latest.max(t.done.as_ps());
+        }
+        // All serialization fits in [0, latest]: the wire is never
+        // oversubscribed.
+        prop_assert!(total_ser <= latest);
+        prop_assert_eq!(ch.transfers(), sends.len() as u64);
+    }
+
+    /// Events fire in nondecreasing time order regardless of insertion
+    /// order.
+    #[test]
+    fn simulator_fires_in_time_order(delays in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Simulator::new(Vec::<u64>::new());
+        for &d in &delays {
+            sim.schedule_in(Duration::from_ns(d), move |log: &mut Vec<u64>, s| {
+                log.push(s.now().as_ns());
+            });
+        }
+        sim.run();
+        let log = sim.model();
+        prop_assert_eq!(log.len(), delays.len());
+        for w in log.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        let mut sorted = delays.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(log, &sorted);
+    }
+
+    /// Welford summary agrees with the naive two-pass computation.
+    #[test]
+    fn summary_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.std_dev() - var.sqrt()).abs() <= 1e-5 * var.sqrt().max(1.0));
+    }
+
+    /// RNG bounds hold for arbitrary ranges.
+    #[test]
+    fn rng_range_is_inclusive(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+        let mut rng = SimRng::seed_from(seed);
+        let hi = lo + span;
+        for _ in 0..50 {
+            let v = rng.range(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+
+    /// Serialization time scales linearly: twice the bytes never takes
+    /// less than twice minus rounding.
+    #[test]
+    fn serialization_scales(bytes in 1u64..1_000_000, bps in 1_000u64..1_000_000_000_000) {
+        let one = Duration::serialization(bytes, bps).as_ps();
+        let two = Duration::serialization(bytes * 2, bps).as_ps();
+        prop_assert!(two >= 2 * one - 1);
+        prop_assert!(two <= 2 * one + 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! The accelerator scenario (§5.3, Fig. 9): offload gradient-boosted
+//! decision-tree inference and compare platforms.
+//!
+//! ```text
+//! cargo run --example gbdt_offload
+//! ```
+
+use enzian::apps::gbdt::{Ensemble, GbdtAccelerator};
+use enzian::platform::experiments::fig9;
+use enzian::shell::{AppImage, Service, Shell, SlotId};
+use enzian::sim::Time;
+
+fn main() {
+    // ---- Deploy into a vFPGA through the shell ------------------------
+    let mut shell = Shell::new(2);
+    let ready = shell
+        .load_app(Time::ZERO, SlotId(0), AppImage::new("gbdt-scoring", 34_000_000))
+        .expect("slot exists");
+    shell.grant(ready, SlotId(0), Service::EciBridge).expect("grant");
+    shell.grant(ready, SlotId(0), Service::DramController).expect("grant");
+    println!(
+        "Partial bitstream loaded into vFPGA slot 0 in {:.0} ms; services granted.",
+        ready.as_secs_f64() * 1e3
+    );
+
+    // ---- Score a real ensemble -----------------------------------------
+    let ensemble = Ensemble::generate(42, 96, 6, 16);
+    let tuples = ensemble.generate_tuples(43, 50_000);
+    let reference = ensemble.score_batch(&tuples);
+
+    println!(
+        "\nEnsemble: {} trees, depth 6, {} features; {} tuples.\n",
+        ensemble.num_trees(),
+        ensemble.num_features(),
+        tuples.len()
+    );
+    println!("{:<28} {:>8}  {:>10}", "platform", "engines", "Mtuples/s");
+    for platform in fig9::PLATFORMS {
+        for engines in [1u32, 2] {
+            let cfg = platform.gbdt_config(engines).expect("fig9 platform");
+            let mut acc = GbdtAccelerator::new(ensemble.clone(), cfg);
+            let result = acc.score_batch(ready, &tuples);
+            assert_eq!(result.scores, reference, "accelerator diverged");
+            let tput = tuples.len() as f64 / result.done.since(ready).as_secs_f64() / 1e6;
+            println!("{:<28} {:>8}  {:>10.1}", platform.name(), engines, tput);
+        }
+    }
+    println!("\nAll platform results are bit-identical to software inference.");
+}

@@ -1,0 +1,66 @@
+//! Smart-NIC scenario (§5.2): terminate a 100 Gb/s TCP flow in the FPGA
+//! and serve one-sided RDMA against coherent host memory.
+//!
+//! ```text
+//! cargo run --example smart_nic
+//! ```
+
+use enzian::eci::{EciSystem, EciSystemConfig};
+use enzian::mem::Addr;
+use enzian::net::eth::{EthLink, EthLinkConfig};
+use enzian::net::rdma::{RdmaBackend, RdmaEngine};
+use enzian::net::tcp::{TcpEngine, TcpStackConfig};
+use enzian::net::Switch;
+use enzian::sim::{SimRng, Time};
+
+fn main() {
+    // ---- FPGA TCP stack vs the kernel stack, one flow each -----------
+    let mut rng = SimRng::seed_from(2022);
+    let mut data = vec![0u8; 1 << 20];
+    rng.fill_bytes(&mut data);
+
+    for (name, cfg) in [
+        ("FPGA single-pipeline stack", TcpStackConfig::fpga_coyote()),
+        ("Linux kernel stack", TcpStackConfig::linux_kernel()),
+    ] {
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let mut engine = TcpEngine::new(cfg, cfg, Switch::tor());
+        let (delivered, outcome) = engine.transfer(&mut link, Time::ZERO, &data);
+        assert_eq!(delivered, data, "stream corrupted");
+        println!(
+            "{name}: 1 MiB in {:>8.1} us  ->  {:>5.1} Gb/s ({} segments)",
+            outcome.latency().as_micros_f64(),
+            outcome.throughput_bits() / 1e9,
+            outcome.segments,
+        );
+    }
+
+    // ---- RDMA into coherent host memory over ECI ---------------------
+    let mut sys = EciSystem::new(EciSystemConfig::enzian());
+    // The CPU populates a buffer (and caches part of it).
+    let msg = b"served from coherent host memory over ECI";
+    let mut line = [0u8; 128];
+    line[..msg.len()].copy_from_slice(msg);
+    let t = sys.cpu_write_line(Time::ZERO, Addr(0x4000), &line);
+
+    let mut rdma = RdmaEngine::new(RdmaBackend::HostViaEci(Box::new(sys)));
+    let mut wire = EthLink::new(EthLinkConfig::hundred_gig());
+    let out = rdma.read(&mut wire, t, Addr(0x4000), 128);
+    assert_eq!(&out.data[..msg.len()], msg);
+    println!(
+        "\nRDMA READ of a CPU-cached line: {:.2} us end to end (coherent, no flushes).",
+        out.latency_from(t).as_micros_f64()
+    );
+
+    // Remote write, then verify the CPU sees it without invalidation
+    // dances: the protocol handled the L2 copy.
+    let new = [0x77u8; 128];
+    let out = rdma.write(&mut wire, out.completed, Addr(0x4000), &new);
+    if let RdmaBackend::HostViaEci(sys) = rdma.backend() {
+        sys.checker().assert_clean();
+    }
+    println!(
+        "RDMA WRITE acked in {:.2} us; protocol checker clean.",
+        out.latency_from(t).as_micros_f64()
+    );
+}

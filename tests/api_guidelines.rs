@@ -1,0 +1,65 @@
+//! API-guideline conformance checks (C-SEND-SYNC, C-DEBUG): the types
+//! users will move across threads stay `Send`/`Sync`, and public types
+//! render a non-empty `Debug`.
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn core_model_types_are_send() {
+    // Everything a user would run on a worker thread.
+    assert_send::<enzian::eci::EciSystem>();
+    assert_send::<enzian::eci::message::Message>();
+    assert_send::<enzian::eci::checker::ProtocolChecker>();
+    assert_send::<enzian::mem::MemoryController>();
+    assert_send::<enzian::mem::Store>();
+    assert_send::<enzian::cache::L2Cache>();
+    assert_send::<enzian::pcie::DmaEngine>();
+    assert_send::<enzian::net::EthLink>();
+    assert_send::<enzian::net::TcpEngine>();
+    assert_send::<enzian::apps::Ensemble>();
+    assert_send::<enzian::apps::KvStore>();
+    assert_send::<enzian::platform::EnzianCluster>();
+    assert_send::<enzian::sim::SimRng>();
+}
+
+#[test]
+fn value_types_are_sync() {
+    assert_sync::<enzian::sim::Time>();
+    assert_sync::<enzian::sim::Duration>();
+    assert_sync::<enzian::mem::Addr>();
+    assert_sync::<enzian::cache::LineState>();
+    assert_sync::<enzian::bmc::RailId>();
+    assert_sync::<enzian::eci::message::TxnId>();
+}
+
+#[test]
+fn debug_is_never_empty() {
+    // A sample across crates; Debug must produce useful text.
+    let samples: Vec<String> = vec![
+        format!("{:?}", enzian::sim::Time::ZERO),
+        format!("{:?}", enzian::mem::Addr(0)),
+        format!("{:?}", enzian::cache::LineState::Invalid),
+        format!("{:?}", enzian::bmc::RailId::CpuVdd),
+        format!("{:?}", enzian::eci::EciSystemConfig::enzian()),
+        format!("{:?}", enzian::net::tcp::TcpStackConfig::fpga_coyote()),
+        format!("{:?}", enzian::apps::reduction::ReductionMode::Y8),
+    ];
+    for s in samples {
+        assert!(!s.is_empty(), "empty Debug representation");
+    }
+}
+
+#[test]
+fn errors_implement_std_error() {
+    fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<enzian::eci::WireError>();
+    assert_error::<enzian::bmc::i2c::I2cError>();
+    assert_error::<enzian::bmc::smbus::SmbusError>();
+    assert_error::<enzian::bmc::SequenceError>();
+    assert_error::<enzian::bmc::boot::BootError>();
+    assert_error::<enzian::shell::MmuError>();
+    assert_error::<enzian::shell::ShellError>();
+    assert_error::<enzian::apps::kvs::KvError>();
+    assert_error::<enzian::platform::bdk::BdkError>();
+}

@@ -1,0 +1,103 @@
+//! Full-machine integration: boot through the BMC, then drive the
+//! coherent memory system, shell, I/O and interrupts end to end.
+
+use enzian::bmc::boot::BootPhase;
+use enzian::eci::link::LinkState;
+use enzian::mem::{Addr, NodeId};
+use enzian::shell::{AppImage, Service, SlotId};
+use enzian::sim::Time;
+use enzian::{EnzianMachine, MachineConfig};
+
+#[test]
+fn boot_then_full_coherent_workout() {
+    let mut m = EnzianMachine::new(MachineConfig::enzian());
+    let linux = m.boot_to_linux(Time::ZERO).expect("boot");
+
+    // Boot ordering: FPGA bitstream strictly before CPU release (§4.5).
+    let phases: Vec<BootPhase> = m.boot_events().iter().map(|e| e.phase).collect();
+    let pos = |p| phases.iter().position(|&x| x == p).unwrap();
+    assert!(pos(BootPhase::RailsUp) < pos(BootPhase::FpgaProgrammed));
+    assert!(pos(BootPhase::FpgaProgrammed) < pos(BootPhase::CpuReleased));
+    assert!(pos(BootPhase::BdkRunning) < pos(BootPhase::LinuxBooted));
+
+    // ECI links are up after the BDK.
+    assert!(matches!(m.eci().links().link_state(0), LinkState::Up { lanes: 12 }));
+    assert!(matches!(m.eci().links().link_state(1), LinkState::Up { lanes: 12 }));
+
+    // A mixed coherent workload with data verification.
+    let eci = m.eci();
+    let mut t = linux;
+    for i in 0..64u64 {
+        let mut line = [0u8; 128];
+        line[0] = i as u8;
+        line[127] = !(i as u8);
+        let addr = Addr(0x100_000 + i * 128);
+        t = eci.fpga_write_line(t, addr, &line);
+        let (read, t2) = eci.cpu_read_line(t, addr);
+        assert_eq!(read, line, "line {i} mismatch");
+        t = t2;
+    }
+    // CPU writes to FPGA-homed memory read back over the same path.
+    let fpga_base = eci.config().map.fpga_base();
+    for i in 0..64u64 {
+        let mut line = [0u8; 128];
+        line[1] = i as u8;
+        let addr = fpga_base.offset(i * 128);
+        t = eci.cpu_write_line(t, addr, &line);
+        let (read, t2) = eci.cpu_read_line(t, addr);
+        assert_eq!(read, line);
+        t = t2;
+    }
+    eci.checker().assert_clean();
+
+    // Uncached I/O and interrupts.
+    let t2 = eci.io_write(t, NodeId::Cpu, Addr(0xB000), 8, 0x1122_3344_5566_7788);
+    let (v, t3) = eci.io_read(t2, NodeId::Cpu, Addr(0xB000), 8);
+    assert_eq!(v, 0x1122_3344_5566_7788);
+    eci.ipi(t3, NodeId::Fpga, 11);
+    assert_eq!(eci.take_interrupts(NodeId::Cpu), vec![11]);
+
+    // Shell: load an application and grant it the ECI bridge.
+    let ready = m
+        .shell()
+        .load_app(t3, SlotId(0), AppImage::new("workload", 12_000_000))
+        .expect("load");
+    m.shell().grant(ready, SlotId(0), Service::EciBridge).expect("grant");
+    assert!(m.shell().check_service(SlotId(0), Service::EciBridge).is_ok());
+}
+
+#[test]
+fn power_rails_good_after_boot_and_sequence_verified() {
+    use enzian::bmc::rail::RailId;
+    let mut m = EnzianMachine::new(MachineConfig::enzian());
+    let linux = m.boot_to_linux(Time::ZERO).expect("boot");
+    for rail in RailId::ALL {
+        let reg = m.pmbus().regulator(rail);
+        assert!(reg.borrow().power_good(linux), "{rail} not in regulation");
+        assert!(!reg.borrow().is_faulted(), "{rail} faulted during boot");
+    }
+}
+
+#[test]
+fn remote_reads_scale_like_numa_refills() {
+    // The §5.4 access pattern: the CPU streams FPGA-homed lines; misses
+    // traverse ECI, repeats hit the L2.
+    let mut m = EnzianMachine::new(MachineConfig::enzian());
+    let linux = m.boot_to_linux(Time::ZERO).expect("boot");
+    let eci = m.eci();
+    let base = eci.config().map.fpga_base();
+
+    let mut t = linux;
+    let (_, t_first) = eci.cpu_read_line(t, base);
+    let first = t_first.since(t);
+    t = t_first;
+    let (_, t_second) = eci.cpu_read_line(t, base);
+    let second = t_second.since(t);
+    assert!(
+        second.as_ps() * 4 < first.as_ps(),
+        "L2 hit ({second}) not much faster than remote refill ({first})"
+    );
+    let (hits, ..) = eci.l2().stats();
+    assert!(hits >= 1);
+    eci.checker().assert_clean();
+}

@@ -1,0 +1,101 @@
+//! Cross-crate functional equivalence: every offloaded computation must
+//! be bit-identical to its software reference.
+
+use enzian::apps::gbdt::{AcceleratorConfig, Ensemble, GbdtAccelerator};
+use enzian::apps::reduction::{ReductionEngine, ReductionMode};
+use enzian::apps::vision::{self, Frame};
+use enzian::mem::{Addr, MemoryController, MemoryControllerConfig};
+use enzian::platform::presets::PlatformPreset;
+use enzian::sim::Time;
+
+fn full_offloaded_plane(mode: ReductionMode, frame: &Frame) -> (Vec<u8>, Time) {
+    let mem = MemoryController::new(MemoryControllerConfig::enzian_fpga());
+    let mut engine = ReductionEngine::new(mode, mem, Addr(0), frame);
+    let mut out = Vec::new();
+    let mut t = Time::ZERO;
+    for i in 0..engine.logical_lines() {
+        let r = engine.serve_refill(t, i);
+        out.extend_from_slice(&r.line);
+        t = r.ready;
+    }
+    (out, t)
+}
+
+#[test]
+fn y8_pipeline_end_to_end_equivalence() {
+    let frame = Frame::synthetic(5, 512, 288);
+    // Software path: soft RGB2Y then blur.
+    let soft_luma = vision::rgba_to_luma(&frame);
+    let soft_final = vision::blur3x3(&soft_luma, frame.width, frame.height);
+
+    // Offloaded path: hardware RGB2Y via refills, then the same blur.
+    let (mut hw_luma, _) = full_offloaded_plane(ReductionMode::Y8, &frame);
+    hw_luma.truncate(soft_luma.len());
+    assert_eq!(hw_luma, soft_luma);
+    let hw_final = vision::blur3x3(&hw_luma, frame.width, frame.height);
+    assert_eq!(hw_final, soft_final, "the swap must change nothing");
+}
+
+#[test]
+fn y4_pipeline_quantizes_exactly_like_software() {
+    let frame = Frame::synthetic(6, 256, 128);
+    let soft = vision::quantize_4bpp(&vision::rgba_to_luma(&frame));
+    let (mut hw, _) = full_offloaded_plane(ReductionMode::Y4, &frame);
+    hw.truncate(soft.len());
+    assert_eq!(hw, soft);
+}
+
+#[test]
+fn passthrough_mode_returns_raw_frame() {
+    let frame = Frame::synthetic(7, 128, 64);
+    let (mut hw, _) = full_offloaded_plane(ReductionMode::None, &frame);
+    hw.truncate(frame.rgba.len());
+    assert_eq!(hw, frame.rgba);
+}
+
+#[test]
+fn gbdt_identical_across_all_platforms() {
+    let ensemble = Ensemble::generate(9, 48, 5, 12);
+    let tuples = ensemble.generate_tuples(10, 5_000);
+    let reference = ensemble.score_batch(&tuples);
+    for platform in enzian::platform::experiments::fig9::PLATFORMS {
+        for engines in [1, 2] {
+            let cfg: AcceleratorConfig = platform.gbdt_config(engines).unwrap();
+            let mut acc = GbdtAccelerator::new(ensemble.clone(), cfg);
+            let out = acc.score_batch(Time::ZERO, &tuples);
+            assert_eq!(out.scores, reference, "{} diverged", platform.name());
+        }
+    }
+}
+
+#[test]
+fn higher_reduction_is_not_slower_per_pixel_at_the_engine() {
+    // Engine-side: serving 256 pixels from one Y4 refill must cost less
+    // than serving them as 8 None refills (that is the whole point).
+    let frame = Frame::synthetic(8, 512, 256);
+    let (_, t_none) = full_offloaded_plane(ReductionMode::None, &frame);
+    let (_, t_y4) = full_offloaded_plane(ReductionMode::Y4, &frame);
+    assert!(
+        t_y4 < t_none,
+        "Y4 engine time {t_y4} not below None {t_none} for the same pixels"
+    );
+}
+
+#[test]
+fn platform_preset_fig9_ordering_matches_clocks() {
+    // Throughput ordering must follow the achievable clock ordering.
+    let ensemble = Ensemble::generate(11, 32, 5, 8);
+    let tuples = ensemble.generate_tuples(12, 20_000);
+    let mut last = 0.0;
+    for p in [
+        PlatformPreset::AmazonF1,
+        PlatformPreset::BroadwellArria,
+        PlatformPreset::Vcu118,
+        PlatformPreset::Enzian,
+    ] {
+        let mut acc = GbdtAccelerator::new(ensemble.clone(), p.gbdt_config(1).unwrap());
+        let tput = acc.measure_throughput(Time::ZERO, &tuples);
+        assert!(tput > last, "{} out of order", p.name());
+        last = tput;
+    }
+}

@@ -1,0 +1,259 @@
+//! Cross-crate property-based tests (proptest).
+//!
+//! These check the invariants DESIGN.md calls out: coherent memory always
+//! agrees with a reference model and keeps the protocol checker clean,
+//! the wire codec round-trips every message, TCP delivers arbitrary data
+//! intact under arbitrary loss, and the power-sequencing solver's output
+//! always satisfies the declarative spec it was solved from.
+
+use proptest::prelude::*;
+
+use enzian::bmc::rail::{RailId, RailSpec};
+use enzian::bmc::sequence::{Dependency, PowerSpec};
+use enzian::eci::message::{Message, MessageKind, TxnId};
+use enzian::eci::wire::{decode_message, encode_message};
+use enzian::eci::{EciSystem, EciSystemConfig};
+use enzian::mem::{Addr, CacheLine, NodeId, Store};
+use enzian::net::eth::{EthLink, EthLinkConfig};
+use enzian::net::tcp::{LossPattern, TcpEngine, TcpStackConfig};
+use enzian::net::Switch;
+use enzian::sim::{Duration, Time};
+
+// ---------------------------------------------------------------------
+// Coherent memory vs a reference model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CoherentOp {
+    FpgaWrite { slot: u8, fill: u8 },
+    FpgaRead { slot: u8 },
+    CpuWrite { slot: u8, fill: u8 },
+    CpuRead { slot: u8 },
+    CpuWriteRemote { slot: u8, fill: u8 },
+    CpuReadRemote { slot: u8 },
+}
+
+fn coherent_op() -> impl Strategy<Value = CoherentOp> {
+    prop_oneof![
+        (0u8..8, any::<u8>()).prop_map(|(slot, fill)| CoherentOp::FpgaWrite { slot, fill }),
+        (0u8..8).prop_map(|slot| CoherentOp::FpgaRead { slot }),
+        (0u8..8, any::<u8>()).prop_map(|(slot, fill)| CoherentOp::CpuWrite { slot, fill }),
+        (0u8..8).prop_map(|slot| CoherentOp::CpuRead { slot }),
+        (0u8..8, any::<u8>()).prop_map(|(slot, fill)| CoherentOp::CpuWriteRemote { slot, fill }),
+        (0u8..8).prop_map(|slot| CoherentOp::CpuReadRemote { slot }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn coherent_memory_agrees_with_reference(ops in proptest::collection::vec(coherent_op(), 1..60)) {
+        let mut sys = EciSystem::new(EciSystemConfig::enzian());
+        let fpga_base = sys.config().map.fpga_base();
+        // Reference: last written fill byte per slot (None = zeros).
+        let mut host_ref = [0u8; 8];
+        let mut remote_ref = [0u8; 8];
+        let mut t = Time::ZERO;
+        for op in &ops {
+            match *op {
+                CoherentOp::FpgaWrite { slot, fill } => {
+                    host_ref[slot as usize] = fill;
+                    t = sys.fpga_write_line(t, Addr(u64::from(slot) * 128), &[fill; 128]);
+                }
+                CoherentOp::CpuWrite { slot, fill } => {
+                    host_ref[slot as usize] = fill;
+                    t = sys.cpu_write_line(t, Addr(u64::from(slot) * 128), &[fill; 128]);
+                }
+                CoherentOp::FpgaRead { slot } => {
+                    let (data, t2) = sys.fpga_read_line(t, Addr(u64::from(slot) * 128));
+                    prop_assert_eq!(data, [host_ref[slot as usize]; 128]);
+                    t = t2;
+                }
+                CoherentOp::CpuRead { slot } => {
+                    let (data, t2) = sys.cpu_read_line(t, Addr(u64::from(slot) * 128));
+                    prop_assert_eq!(data, [host_ref[slot as usize]; 128]);
+                    t = t2;
+                }
+                CoherentOp::CpuWriteRemote { slot, fill } => {
+                    remote_ref[slot as usize] = fill;
+                    t = sys.cpu_write_line(t, fpga_base.offset(u64::from(slot) * 128), &[fill; 128]);
+                }
+                CoherentOp::CpuReadRemote { slot } => {
+                    let (data, t2) =
+                        sys.cpu_read_line(t, fpga_base.offset(u64::from(slot) * 128));
+                    prop_assert_eq!(data, [remote_ref[slot as usize]; 128]);
+                    t = t2;
+                }
+            }
+        }
+        prop_assert!(sys.checker().violations().is_empty(),
+            "checker: {:?}", sys.checker().violations());
+        // Time always advances.
+        prop_assert!(t >= Time::ZERO);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codec round trip
+// ---------------------------------------------------------------------
+
+fn arb_line_payload() -> impl Strategy<Value = Box<[u8; 128]>> {
+    proptest::collection::vec(any::<u8>(), 128)
+        .prop_map(|v| Box::new(<[u8; 128]>::try_from(v.as_slice()).expect("len 128")))
+}
+
+fn arb_kind() -> impl Strategy<Value = MessageKind> {
+    let line = any::<u64>().prop_map(CacheLine);
+    prop_oneof![
+        line.clone().prop_map(MessageKind::ReadShared),
+        line.clone().prop_map(MessageKind::ReadExclusive),
+        line.clone().prop_map(MessageKind::Upgrade),
+        line.clone().prop_map(MessageKind::ReadOnce),
+        (line.clone(), arb_line_payload()).prop_map(|(l, d)| MessageKind::WriteLine(l, d)),
+        line.clone().prop_map(MessageKind::ProbeShared),
+        line.clone().prop_map(MessageKind::ProbeInvalidate),
+        (line.clone(), arb_line_payload()).prop_map(|(l, d)| MessageKind::DataShared(l, d)),
+        (line.clone(), arb_line_payload()).prop_map(|(l, d)| MessageKind::DataExclusive(l, d)),
+        line.clone().prop_map(MessageKind::Ack),
+        (line.clone(), arb_line_payload()).prop_map(|(l, d)| MessageKind::ProbeAckData(l, d)),
+        line.clone().prop_map(MessageKind::ProbeAck),
+        (line.clone(), arb_line_payload()).prop_map(|(l, d)| MessageKind::VictimDirty(l, d)),
+        line.prop_map(MessageKind::VictimClean),
+        (any::<u64>(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])
+            .prop_map(|(a, size)| MessageKind::IoRead { addr: Addr(a), size }),
+        (any::<u64>(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)], any::<u64>())
+            .prop_map(|(a, size, data)| MessageKind::IoWrite { addr: Addr(a), size, data }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(a, data)| MessageKind::IoData { addr: Addr(a), data }),
+        any::<u64>().prop_map(|a| MessageKind::IoAck { addr: Addr(a) }),
+        any::<u8>().prop_map(|vector| MessageKind::Ipi { vector }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wire_codec_roundtrip(kind in arb_kind(), txn in any::<u32>(), to_cpu in any::<bool>()) {
+        let (src, dst) = if to_cpu {
+            (NodeId::Fpga, NodeId::Cpu)
+        } else {
+            (NodeId::Cpu, NodeId::Fpga)
+        };
+        // IoWrite's payload is masked to its size on decode; normalise.
+        let kind = match kind {
+            MessageKind::IoWrite { addr, size, data } => {
+                let mask = if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+                MessageKind::IoWrite { addr, size, data: data & mask }
+            }
+            k => k,
+        };
+        let msg = Message::new(src, dst, TxnId(txn), kind);
+        let enc = encode_message(&msg);
+        let (dec, used) = decode_message(&enc).expect("well-formed frame");
+        prop_assert_eq!(used, enc.len());
+        prop_assert_eq!(dec, msg);
+    }
+
+    #[test]
+    fn wire_decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Arbitrary bytes must decode or error, never panic.
+        let _ = decode_message(&noise);
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP integrity under arbitrary data and loss
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tcp_delivers_arbitrary_data_intact(
+        data in proptest::collection::vec(any::<u8>(), 1..40_000),
+        drop_every in 0u64..12,
+        kernel in any::<bool>(),
+    ) {
+        let cfg = if kernel {
+            TcpStackConfig::linux_kernel()
+        } else {
+            TcpStackConfig::fpga_coyote()
+        };
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let mut engine = TcpEngine::new(cfg, cfg, Switch::tor())
+            .with_loss(LossPattern { drop_every: if drop_every < 2 { 0 } else { drop_every } });
+        let (out, r) = engine.transfer(&mut link, Time::ZERO, &data);
+        prop_assert_eq!(out, data);
+        prop_assert!(r.delivered > Time::ZERO);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Power-sequencing solver correctness
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solver_output_always_verifies(
+        edges in proptest::collection::vec((1usize..18, 0usize..18, 0.5f64..1.0, 0u64..500), 0..40)
+    ) {
+        // Random acyclic spec: rail i may only depend on rails j < i.
+        let rails = RailSpec::board_table();
+        let ids: Vec<RailId> = rails.iter().map(|r| r.id).collect();
+        let mut spec = PowerSpec::new();
+        for &id in &ids {
+            spec.require(id, vec![]);
+        }
+        for (hi, lo, frac, settle_us) in edges {
+            let lo = lo % hi.max(1);
+            if hi >= ids.len() { continue; }
+            let mut deps: Vec<Dependency> = spec.deps_of(ids[hi]).to_vec();
+            deps.push(Dependency {
+                on: ids[lo],
+                min_fraction: frac,
+                settle: Duration::from_us(settle_us),
+            });
+            spec.require(ids[hi], deps);
+        }
+        let schedule = spec.solve(&rails).expect("acyclic specs always solve");
+        prop_assert_eq!(schedule.len(), ids.len());
+        let executed: Vec<(RailId, Time)> = schedule
+            .iter()
+            .map(|s| (s.rail, Time::ZERO + s.offset))
+            .collect();
+        prop_assert!(spec.verify(&rails, &executed).is_ok());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sparse store vs reference map
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn store_matches_reference(
+        writes in proptest::collection::vec((0u64..100_000, proptest::collection::vec(any::<u8>(), 1..300)), 1..40)
+    ) {
+        let mut store = Store::new();
+        let mut reference = std::collections::HashMap::<u64, u8>::new();
+        for (addr, data) in &writes {
+            store.write(Addr(*addr), data);
+            for (i, &b) in data.iter().enumerate() {
+                reference.insert(addr + i as u64, b);
+            }
+        }
+        // Read back a window covering everything written.
+        for (addr, data) in &writes {
+            let mut buf = vec![0u8; data.len()];
+            store.read(Addr(*addr), &mut buf);
+            for (i, got) in buf.iter().enumerate() {
+                let want = reference.get(&(addr + i as u64)).copied().unwrap_or(0);
+                prop_assert_eq!(*got, want);
+            }
+        }
+    }
+}
