@@ -1,0 +1,36 @@
+# Mirrors .github/workflows/ci.yml so `make ci` reproduces the pipeline
+# locally. Individual stages are exposed as their own targets.
+
+CARGO ?= cargo
+
+.PHONY: ci fmt fmt-check clippy build test bench-smoke clean
+
+ci: fmt-check clippy build test bench-smoke
+
+fmt:
+	$(CARGO) fmt --all
+
+fmt-check:
+	$(CARGO) fmt --all --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+build:
+	$(CARGO) build --release --workspace
+
+test:
+	$(CARGO) test -q --workspace
+
+# Fastest closed-form experiment; checks that the machine-readable bench
+# output exists and is deterministic across same-seed reruns.
+bench-smoke: build
+	rm -rf target/bench-smoke
+	mkdir -p target/bench-smoke/a target/bench-smoke/b
+	target/release/reproduce fig11 --bench-dir target/bench-smoke/a > /dev/null
+	target/release/reproduce fig11 --bench-dir target/bench-smoke/b > /dev/null
+	cmp target/bench-smoke/a/BENCH_fig11.json target/bench-smoke/b/BENCH_fig11.json
+	@echo "bench smoke OK: deterministic BENCH_fig11.json"
+
+clean:
+	$(CARGO) clean

@@ -18,7 +18,7 @@ use enzian_sim::{Duration, SimRng, Time};
 /// A feature vector scored by the ensemble.
 pub type Tuple = Vec<f32>;
 
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Split {
         feature: u16,
@@ -30,7 +30,7 @@ enum Node {
 }
 
 /// One regression tree with array-packed nodes.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tree {
     nodes: Vec<Node>,
 }
@@ -102,7 +102,7 @@ impl Tree {
 }
 
 /// A boosted ensemble: the sum of its trees' scores.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ensemble {
     trees: Vec<Tree>,
     features: u16,
@@ -164,7 +164,7 @@ impl Ensemble {
 }
 
 /// Platform-specific accelerator parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AcceleratorConfig {
     /// Achieved fabric clock for this design on this platform.
     pub clock_hz: u64,
@@ -324,7 +324,10 @@ mod tests {
         let t_enzian = enzian.measure_throughput(Time::ZERO, &tuples);
         let t_f1 = f1.measure_throughput(Time::ZERO, &tuples);
         let ratio = t_enzian / t_f1;
-        assert!((1.9..2.1).contains(&ratio), "clock scaling ratio {ratio:.2}");
+        assert!(
+            (1.9..2.1).contains(&ratio),
+            "clock scaling ratio {ratio:.2}"
+        );
         // Enzian lands at ~48 Mtuples/s (Fig. 9).
         assert!(
             (45e6..50e6).contains(&t_enzian),
@@ -363,7 +366,11 @@ mod tests {
         );
         let tput = starved.measure_throughput(Time::ZERO, &tuples);
         // 68 B/tuple at 0.5 GB/s: ~7.3 Mt/s, far below the pipeline's 48.
-        assert!(tput < 10e6, "transfer-starved throughput {:.1} Mt/s", tput / 1e6);
+        assert!(
+            tput < 10e6,
+            "transfer-starved throughput {:.1} Mt/s",
+            tput / 1e6
+        );
     }
 
     #[test]

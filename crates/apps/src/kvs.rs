@@ -25,7 +25,7 @@ const SLOTS_PER_BUCKET: usize = 4;
 pub const MAX_VALUE_BYTES: usize = SLOT_BYTES - 8 - 1;
 
 /// Static store configuration.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KvStoreConfig {
     /// Number of 128-byte buckets (power of two).
     pub buckets: u64,
@@ -152,7 +152,9 @@ impl KvStore {
     }
 
     fn bucket_addr(&self, bucket: u64) -> Addr {
-        self.config.base.offset((bucket & (self.config.buckets - 1)) * 128)
+        self.config
+            .base
+            .offset((bucket & (self.config.buckets - 1)) * 128)
     }
 
     fn buckets_of(&self, key: u64) -> (u64, u64) {
@@ -333,7 +335,10 @@ impl KvStore {
                 }
             }
         }
-        KvOutcome { value: false, done: t }
+        KvOutcome {
+            value: false,
+            done: t,
+        }
     }
 }
 
@@ -344,7 +349,10 @@ mod tests {
     use enzian_sim::SimRng;
 
     fn store(cfg: KvStoreConfig) -> KvStore {
-        KvStore::new(cfg, MemoryController::new(MemoryControllerConfig::enzian_fpga()))
+        KvStore::new(
+            cfg,
+            MemoryController::new(MemoryControllerConfig::enzian_fpga()),
+        )
     }
 
     #[test]

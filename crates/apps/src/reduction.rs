@@ -23,7 +23,7 @@ use enzian_sim::{Duration, Time};
 use crate::vision::{self, cost, Frame};
 
 /// How much reduction the engine applies per refill.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReductionMode {
     /// No reduction: the CPU reads raw RGBA (32 bpp) and converts in
     /// software. One 128-byte line holds 32 pixels.
@@ -259,7 +259,9 @@ mod tests {
         // Fig. 11: baseline ~33 Mpx/s/core; +39% at 8bpp; +33% at 4bpp.
         let cpu = enzian_cache::CoreTimingModel::thunderx1();
         let rate = |m: ReductionMode| {
-            cpu.steady_state(&m.workload_profile(), 1, 20e9).units_per_sec / 1e6
+            cpu.steady_state(&m.workload_profile(), 1, 20e9)
+                .units_per_sec
+                / 1e6
         };
         let base = rate(ReductionMode::None);
         let y8 = rate(ReductionMode::Y8);

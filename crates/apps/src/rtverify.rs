@@ -27,7 +27,7 @@
 use enzian_sim::Time;
 
 /// One event from a core's program trace unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Originating core (0..48).
     pub core: u8,
@@ -38,7 +38,7 @@ pub struct TraceEvent {
 }
 
 /// Trace-event kinds (a practical subset of an ETM-style stream).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// Kernel entered an interrupt handler.
     IrqEnter,
@@ -57,7 +57,7 @@ pub enum EventKind {
 }
 
 /// An atomic predicate over a single trace event.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Atom {
     /// Matches an exact event kind.
     Is(EventKind),
@@ -81,7 +81,7 @@ impl Atom {
 }
 
 /// Past-time LTL formulas (safety fragment; constant-space monitors).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Formula {
     /// An atomic predicate on the current event.
     Atom(Atom),
@@ -254,19 +254,31 @@ impl Monitor {
                 Node::And(a, b) => self.values[*a] && self.values[*b],
                 Node::Or(a, b) => self.values[*a] || self.values[*b],
                 Node::Yesterday(x) => {
-                    let prev = if self.events_seen == 0 { false } else { self.regs[i] };
+                    let prev = if self.events_seen == 0 {
+                        false
+                    } else {
+                        self.regs[i]
+                    };
                     self.regs[i] = self.values[*x];
                     let _ = x;
                     prev
                 }
                 Node::Historically(x) => {
-                    let acc = if self.events_seen == 0 { true } else { self.regs[i] };
+                    let acc = if self.events_seen == 0 {
+                        true
+                    } else {
+                        self.regs[i]
+                    };
                     let now = acc && self.values[*x];
                     self.regs[i] = now;
                     now
                 }
                 Node::Once(x) => {
-                    let acc = if self.events_seen == 0 { false } else { self.regs[i] };
+                    let acc = if self.events_seen == 0 {
+                        false
+                    } else {
+                        self.regs[i]
+                    };
                     let now = acc || self.values[*x];
                     self.regs[i] = now;
                     now
@@ -346,9 +358,9 @@ pub mod properties {
     pub fn lock_discipline(lock: u16) -> Formula {
         Formula::implies(
             Formula::Atom(Atom::Is(EventKind::LockRelease(lock))),
-            Formula::Yesterday(Box::new(Formula::Once(Box::new(Formula::Atom(
-                Atom::Is(EventKind::LockAcquire(lock)),
-            ))))),
+            Formula::Yesterday(Box::new(Formula::Once(Box::new(Formula::Atom(Atom::Is(
+                EventKind::LockAcquire(lock),
+            )))))),
         )
     }
 
@@ -443,7 +455,9 @@ mod tests {
             .enumerate()
             .map(|(i, &k)| ev(i as u64, k))
             .collect();
-        assert!(Monitor::for_formula(&no_switch_under_lock()).run(&good).is_empty());
+        assert!(Monitor::for_formula(&no_switch_under_lock())
+            .run(&good)
+            .is_empty());
         let mut m = Monitor::for_formula(&no_switch_under_lock());
         let v = m.run(&bad);
         assert_eq!(v.len(), 1);
@@ -481,7 +495,14 @@ mod tests {
         // φ S ψ with φ = ¬IrqExit, ψ = IrqEnter over a concrete trace,
         // cross-checked against a reference fold.
         use EventKind::*;
-        let kinds = [IrqEnter, ContextSwitch, IrqExit, ContextSwitch, IrqEnter, ContextSwitch];
+        let kinds = [
+            IrqEnter,
+            ContextSwitch,
+            IrqExit,
+            ContextSwitch,
+            IrqEnter,
+            ContextSwitch,
+        ];
         let f = Formula::Since(
             Box::new(Formula::Not(Box::new(Formula::Atom(Atom::Is(IrqExit))))),
             Box::new(Formula::Atom(Atom::Is(IrqEnter))),
@@ -501,8 +522,7 @@ mod tests {
     #[test]
     fn monitoring_costs_zero_cpu_cycles() {
         let mut m = Monitor::for_formula(&irq_well_nested());
-        let trace: Vec<TraceEvent> =
-            (0..1000).map(|i| ev(i, EventKind::ContextSwitch)).collect();
+        let trace: Vec<TraceEvent> = (0..1000).map(|i| ev(i, EventKind::ContextSwitch)).collect();
         m.run(&trace);
         // All cycles land on the FPGA; the trace source pays nothing.
         assert_eq!(m.fpga_cycles_consumed(), 1000);

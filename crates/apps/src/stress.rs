@@ -14,7 +14,7 @@ use enzian_sim::{Duration, Time};
 pub const BURN_STEPS: u32 = 24;
 
 /// One phase of the scripted workload.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StressPhase {
     /// Machine idle before CPU power-on (rails up, FPGA idle).
     IdleBefore,
@@ -42,7 +42,7 @@ pub enum StressPhase {
 }
 
 /// A timed phase entry.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScheduledPhase {
     /// Phase start.
     pub from: Time,
@@ -53,7 +53,7 @@ pub struct ScheduledPhase {
 }
 
 /// The complete scripted timeline.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StressSchedule {
     phases: Vec<ScheduledPhase>,
 }
@@ -81,7 +81,7 @@ impl StressSchedule {
         push(&mut t, 320, StressPhase::MemtestMarching); // 32 s
         push(&mut t, 380, StressPhase::MemtestRandom); // 38 s
         push(&mut t, 60, StressPhase::CpuOff); // 6 s of settling
-        // 24 burn steps of 4 s each: 96 s.
+                                               // 24 burn steps of 4 s each: 96 s.
         for step in 1..=BURN_STEPS {
             push(
                 &mut t,

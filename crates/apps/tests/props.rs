@@ -1,10 +1,9 @@
-//! Property tests for the workloads.
-
-use proptest::prelude::*;
+//! Randomized invariant tests for the workloads, driven by the
+//! deterministic [`SimRng`] so every failure reproduces exactly.
 
 use enzian_apps::rtverify::{compile, Atom, EventKind, Formula, Monitor, TraceEvent};
 use enzian_apps::vision;
-use enzian_sim::Time;
+use enzian_sim::{SimRng, Time};
 
 /// Reference (exponential-time) semantics of past-time LTL over a trace
 /// prefix ending at position `i`.
@@ -31,93 +30,108 @@ fn reference_eval(f: &Formula, trace: &[TraceEvent], i: usize) -> bool {
     }
 }
 
-fn arb_event() -> impl Strategy<Value = EventKind> {
-    prop_oneof![
-        Just(EventKind::IrqEnter),
-        Just(EventKind::IrqExit),
-        (0u16..3).prop_map(EventKind::LockAcquire),
-        (0u16..3).prop_map(EventKind::LockRelease),
-        Just(EventKind::ContextSwitch),
-    ]
-}
-
-fn arb_formula(depth: u32) -> BoxedStrategy<Formula> {
-    let atom = prop_oneof![
-        arb_event().prop_map(|k| Formula::Atom(Atom::Is(k))),
-        Just(Formula::Atom(Atom::AnyAcquire)),
-        Just(Formula::Atom(Atom::AnyRelease)),
-    ];
-    if depth == 0 {
-        return atom.boxed();
+fn random_event(rng: &mut SimRng) -> EventKind {
+    match rng.next_below(5) {
+        0 => EventKind::IrqEnter,
+        1 => EventKind::IrqExit,
+        2 => EventKind::LockAcquire(rng.next_below(3) as u16),
+        3 => EventKind::LockRelease(rng.next_below(3) as u16),
+        _ => EventKind::ContextSwitch,
     }
-    let sub = arb_formula(depth - 1);
-    prop_oneof![
-        atom,
-        sub.clone().prop_map(|f| Formula::Not(Box::new(f))),
-        (sub.clone(), sub.clone()).prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
-        (sub.clone(), sub.clone()).prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
-        sub.clone().prop_map(|f| Formula::Yesterday(Box::new(f))),
-        sub.clone().prop_map(|f| Formula::Historically(Box::new(f))),
-        sub.clone().prop_map(|f| Formula::Once(Box::new(f))),
-        (sub.clone(), sub).prop_map(|(a, b)| Formula::Since(Box::new(a), Box::new(b))),
-    ]
-    .boxed()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_atom(rng: &mut SimRng) -> Formula {
+    match rng.next_below(3) {
+        0 => Formula::Atom(Atom::Is(random_event(rng))),
+        1 => Formula::Atom(Atom::AnyAcquire),
+        _ => Formula::Atom(Atom::AnyRelease),
+    }
+}
 
-    /// The compiled constant-space monitor computes exactly the reference
-    /// past-time LTL semantics, for arbitrary formulas and traces.
-    #[test]
-    fn monitor_matches_reference_semantics(
-        formula in arb_formula(3),
-        kinds in proptest::collection::vec(arb_event(), 1..24),
-    ) {
-        let trace: Vec<TraceEvent> = kinds
-            .iter()
-            .enumerate()
-            .map(|(i, &kind)| TraceEvent {
+fn random_formula(rng: &mut SimRng, depth: u32) -> Formula {
+    if depth == 0 {
+        return random_atom(rng);
+    }
+    match rng.next_below(8) {
+        0 => random_atom(rng),
+        1 => Formula::Not(Box::new(random_formula(rng, depth - 1))),
+        2 => Formula::And(
+            Box::new(random_formula(rng, depth - 1)),
+            Box::new(random_formula(rng, depth - 1)),
+        ),
+        3 => Formula::Or(
+            Box::new(random_formula(rng, depth - 1)),
+            Box::new(random_formula(rng, depth - 1)),
+        ),
+        4 => Formula::Yesterday(Box::new(random_formula(rng, depth - 1))),
+        5 => Formula::Historically(Box::new(random_formula(rng, depth - 1))),
+        6 => Formula::Once(Box::new(random_formula(rng, depth - 1))),
+        _ => Formula::Since(
+            Box::new(random_formula(rng, depth - 1)),
+            Box::new(random_formula(rng, depth - 1)),
+        ),
+    }
+}
+
+/// The compiled constant-space monitor computes exactly the reference
+/// past-time LTL semantics, for arbitrary formulas and traces.
+#[test]
+fn monitor_matches_reference_semantics() {
+    let mut rng = SimRng::seed_from(0xA55_0001);
+    for _case in 0..64 {
+        let formula = random_formula(&mut rng, 3);
+        let n = rng.range(1, 23) as usize;
+        let trace: Vec<TraceEvent> = (0..n)
+            .map(|i| TraceEvent {
                 core: 0,
                 at: Time::from_ps(i as u64 * 1000),
-                kind,
+                kind: random_event(&mut rng),
             })
             .collect();
         let mut monitor = Monitor::new(compile(&formula));
         for i in 0..trace.len() {
             let violated = monitor.step(&trace[i]).is_some();
             let expected = reference_eval(&formula, &trace, i);
-            prop_assert_eq!(!violated, expected, "event {} of {:?}", i, trace[i].kind);
+            assert_eq!(!violated, expected, "event {} of {:?}", i, trace[i].kind);
         }
     }
+}
 
-    /// Quantise/dequantise round-trips within one nibble for arbitrary
-    /// luminance planes, and packing halves the size.
-    #[test]
-    fn quantisation_bounds(luma in proptest::collection::vec(any::<u8>(), 1..500)) {
+/// Quantise/dequantise round-trips within one nibble for arbitrary
+/// luminance planes, and packing halves the size.
+#[test]
+fn quantisation_bounds() {
+    let mut rng = SimRng::seed_from(0xA55_0002);
+    for _case in 0..64 {
+        let n = rng.range(1, 499) as usize;
+        let mut luma = vec![0u8; n];
+        rng.fill_bytes(&mut luma);
         let packed = vision::quantize_4bpp(&luma);
-        prop_assert_eq!(packed.len(), luma.len().div_ceil(2));
+        assert_eq!(packed.len(), luma.len().div_ceil(2));
         let back = vision::dequantize_4bpp(&packed, luma.len());
-        prop_assert_eq!(back.len(), luma.len());
+        assert_eq!(back.len(), luma.len());
         for (orig, rec) in luma.iter().zip(&back) {
-            prop_assert!((i16::from(*orig) - i16::from(*rec)).unsigned_abs() <= 16);
+            assert!((i16::from(*orig) - i16::from(*rec)).unsigned_abs() <= 16);
         }
     }
+}
 
-    /// The blur never brightens beyond the plane's maximum or darkens
-    /// below its minimum (a convex-combination filter).
-    #[test]
-    fn blur_is_bounded_by_extremes(
-        w in 1usize..24, h in 1usize..24,
-        seed in any::<u64>(),
-    ) {
+/// The blur never brightens beyond the plane's maximum or darkens
+/// below its minimum (a convex-combination filter).
+#[test]
+fn blur_is_bounded_by_extremes() {
+    let mut rng = SimRng::seed_from(0xA55_0003);
+    for _case in 0..64 {
+        let w = rng.range(1, 23) as usize;
+        let h = rng.range(1, 23) as usize;
+        let seed = rng.next_u64();
         let frame = vision::Frame::synthetic(seed, w, h);
         let luma = vision::rgba_to_luma(&frame);
         let lo = *luma.iter().min().unwrap();
         let hi = *luma.iter().max().unwrap();
         let out = vision::blur3x3(&luma, w, h);
         for &px in &out {
-            prop_assert!(px >= lo.saturating_sub(1) && px <= hi);
+            assert!(px >= lo.saturating_sub(1) && px <= hi);
         }
     }
 }

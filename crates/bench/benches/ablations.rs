@@ -1,7 +1,7 @@
 //! Ablation benches for the DESIGN.md design choices:
 //! link policy, lane count, and response-data credits.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enzian_bench::harness::{BenchmarkId, Criterion, Throughput};
 use enzian_eci::{EciSystem, EciSystemConfig, LinkPolicy};
 use enzian_mem::Addr;
 use enzian_net::eth::{EthLink, EthLinkConfig};
@@ -20,16 +20,20 @@ fn bench(c: &mut Criterion) {
         ("round_robin", LinkPolicy::RoundRobin),
         ("by_address", LinkPolicy::ByAddress),
     ] {
-        g.bench_with_input(BenchmarkId::new("link_policy", name), &policy, |b, &policy| {
-            let mut cfg = EciSystemConfig::enzian();
-            cfg.policy = policy;
-            let mut sys = EciSystem::new(cfg);
-            let mut now = Time::ZERO;
-            b.iter(|| {
-                now = sys.fpga_read_burst(now, Addr(0), lines);
-                black_box(now)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("link_policy", name),
+            &policy,
+            |b, &policy| {
+                let mut cfg = EciSystemConfig::enzian();
+                cfg.policy = policy;
+                let mut sys = EciSystem::new(cfg);
+                let mut now = Time::ZERO;
+                b.iter(|| {
+                    now = sys.fpga_read_burst(now, Addr(0), lines);
+                    black_box(now)
+                });
+            },
+        );
     }
 
     for credits in [2u32, 5, 16] {
@@ -68,5 +72,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Fig. 11 bench: reduction-engine refills and the core-scaling sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use enzian_apps::reduction::{ReductionEngine, ReductionMode};
 use enzian_apps::vision::Frame;
+use enzian_bench::harness::{BenchmarkId, Criterion, Throughput};
 use enzian_mem::{Addr, MemoryController, MemoryControllerConfig};
 use enzian_sim::Time;
 use std::hint::black_box;
@@ -34,5 +34,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

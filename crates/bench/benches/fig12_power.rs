@@ -1,6 +1,6 @@
 //! Fig. 12 bench: the full power-trace replay and its PMBus primitives.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use enzian_bench::harness::Criterion;
 use enzian_bmc::pmbus::PmbusNetwork;
 use enzian_bmc::rail::RailId;
 use enzian_sim::Time;
@@ -28,5 +28,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

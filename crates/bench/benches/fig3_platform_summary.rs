@@ -1,6 +1,6 @@
 //! Fig. 3 bench: regenerating the platform summary scatter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use enzian_bench::harness::Criterion;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -12,5 +12,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

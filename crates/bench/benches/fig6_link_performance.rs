@@ -1,6 +1,6 @@
 //! Fig. 6 bench: ECI vs PCIe per-transfer operations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enzian_bench::harness::{BenchmarkId, Criterion, Throughput};
 use enzian_mem::Addr;
 use enzian_platform::presets::PlatformPreset;
 use enzian_sim::Time;
@@ -30,5 +30,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Fig. 7 bench: one TCP transfer per stack.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enzian_bench::harness::{BenchmarkId, Criterion, Throughput};
 use enzian_net::eth::{EthLink, EthLinkConfig};
 use enzian_net::tcp::{TcpEngine, TcpStackConfig};
 use enzian_net::Switch;
@@ -26,5 +26,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

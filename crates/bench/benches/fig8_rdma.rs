@@ -1,10 +1,10 @@
 //! Fig. 8 bench: RDMA reads per back-end.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enzian_bench::harness::{BenchmarkId, Criterion, Throughput};
 use enzian_eci::{EciSystem, EciSystemConfig};
 use enzian_mem::{Addr, MemoryController, MemoryControllerConfig};
-use enzian_net::rdma::{RdmaBackend, RdmaEngine};
 use enzian_net::eth::{EthLink, EthLinkConfig};
+use enzian_net::rdma::{RdmaBackend, RdmaEngine};
 use enzian_sim::{Duration, Time};
 use std::hint::black_box;
 
@@ -13,34 +13,42 @@ fn bench(c: &mut Criterion) {
     let size = 4096u64;
     g.throughput(Throughput::Bytes(size));
 
-    g.bench_with_input(BenchmarkId::new("enzian_dram_read", size), &size, |b, &size| {
-        let mut e = RdmaEngine::new(RdmaBackend::LocalDram {
-            memory: MemoryController::new(MemoryControllerConfig::enzian_fpga()),
-            pipeline: Duration::from_ns(120),
-        });
-        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
-        let mut now = Time::ZERO;
-        b.iter(|| {
-            let out = e.read(&mut link, now, Addr(0), size);
-            now = out.completed;
-            black_box(out.bytes)
-        });
-    });
+    g.bench_with_input(
+        BenchmarkId::new("enzian_dram_read", size),
+        &size,
+        |b, &size| {
+            let mut e = RdmaEngine::new(RdmaBackend::LocalDram {
+                memory: MemoryController::new(MemoryControllerConfig::enzian_fpga()),
+                pipeline: Duration::from_ns(120),
+            });
+            let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+            let mut now = Time::ZERO;
+            b.iter(|| {
+                let out = e.read(&mut link, now, Addr(0), size);
+                now = out.completed;
+                black_box(out.bytes)
+            });
+        },
+    );
 
-    g.bench_with_input(BenchmarkId::new("enzian_host_read", size), &size, |b, &size| {
-        let mut e = RdmaEngine::new(RdmaBackend::HostViaEci(Box::new(EciSystem::new(
-            EciSystemConfig::enzian(),
-        ))));
-        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
-        let mut now = Time::ZERO;
-        b.iter(|| {
-            let out = e.read(&mut link, now, Addr(0), size);
-            now = out.completed;
-            black_box(out.bytes)
-        });
-    });
+    g.bench_with_input(
+        BenchmarkId::new("enzian_host_read", size),
+        &size,
+        |b, &size| {
+            let mut e = RdmaEngine::new(RdmaBackend::HostViaEci(Box::new(EciSystem::new(
+                EciSystemConfig::enzian(),
+            ))));
+            let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+            let mut now = Time::ZERO;
+            b.iter(|| {
+                let out = e.read(&mut link, now, Addr(0), size);
+                now = out.completed;
+                black_box(out.bytes)
+            });
+        },
+    );
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Fig. 9 bench: GBDT batch scoring per platform.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use enzian_apps::gbdt::{Ensemble, GbdtAccelerator};
+use enzian_bench::harness::{BenchmarkId, Criterion, Throughput};
 use enzian_sim::Time;
 use std::hint::black_box;
 
@@ -24,5 +24,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Substrate microbenchmarks: the building blocks every experiment uses.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use enzian_eci::wire::{decode_message, encode_message};
+use enzian_bench::harness::{Criterion, Throughput};
 use enzian_eci::message::{Message, MessageKind, TxnId};
+use enzian_eci::wire::{decode_message, encode_message};
 use enzian_mem::{Addr, CacheLine, MemoryController, MemoryControllerConfig, NodeId, Op};
 use enzian_sim::Time;
 use std::hint::black_box;
@@ -46,5 +46,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Table 1 bench: PMU derivation at 48 threads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use enzian_bench::harness::Criterion;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -11,5 +11,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Benches for the §6 use-case modules: KV store, Farview push-down,
 //! cluster bridging, and runtime verification.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use enzian_apps::kvs::{KvStore, KvStoreConfig};
-use enzian_apps::rtverify::{properties, Monitor, TraceEvent, EventKind};
+use enzian_apps::rtverify::{properties, EventKind, Monitor, TraceEvent};
+use enzian_bench::harness::{BenchmarkId, Criterion, Throughput};
 use enzian_mem::{Addr, MemoryController, MemoryControllerConfig};
 use enzian_net::eth::{EthLink, EthLinkConfig};
 use enzian_net::farview::{FarviewServer, Operator, Predicate};
@@ -111,5 +111,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

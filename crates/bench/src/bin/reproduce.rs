@@ -2,12 +2,77 @@
 //!
 //! ```text
 //! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|all]
+//!           [--csv [dir]] [--bench-dir dir] [--no-bench]
 //! ```
 //!
 //! With no argument (or `all`), prints every series in order. Each
-//! section corresponds to one experiment driver in `enzian-platform`.
+//! section corresponds to one experiment driver in `enzian-platform` and
+//! runs with a shared telemetry registry; after each figure the registry
+//! snapshot is written as `BENCH_<figure>.json` (schema documented in
+//! `docs/BENCH_SCHEMA.md`). The JSON carries only simulated quantities,
+//! so same-seed runs produce byte-identical files; wall-clock timings go
+//! to stderr only.
 
 use enzian_platform::experiments::{fig11, fig12, fig3, fig6, fig7, fig8, fig9};
+use enzian_sim::MetricsRegistry;
+
+/// Parsed command-line options.
+struct Opts {
+    /// Experiment selector (`all` by default).
+    experiment: String,
+    /// CSV export directory, when `--csv` was given.
+    csv: Option<std::path::PathBuf>,
+    /// Directory for `BENCH_<figure>.json`; `None` disables the export.
+    bench: Option<std::path::PathBuf>,
+}
+
+/// Valid experiment selectors.
+const EXPERIMENTS: [&str; 9] = [
+    "fig3", "fig6", "fig7", "fig8", "fig9", "fig11", "table1", "fig12", "all",
+];
+
+fn parse_opts() -> Opts {
+    let mut experiment = None;
+    let mut csv = None;
+    let mut bench = Some(std::path::PathBuf::from("."));
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--csv" => {
+                // Optional directory operand, defaulting to ".".
+                let dir = match args.peek() {
+                    Some(next)
+                        if !next.starts_with("--") && !EXPERIMENTS.contains(&next.as_str()) =>
+                    {
+                        args.next().unwrap()
+                    }
+                    _ => ".".into(),
+                };
+                let dir = std::path::PathBuf::from(dir);
+                let _ = std::fs::create_dir_all(&dir);
+                csv = Some(dir);
+            }
+            "--bench-dir" => {
+                let dir = std::path::PathBuf::from(args.next().unwrap_or_else(|| ".".into()));
+                let _ = std::fs::create_dir_all(&dir);
+                bench = Some(dir);
+            }
+            "--no-bench" => bench = None,
+            other => {
+                if experiment.is_none() {
+                    experiment = Some(other.to_string());
+                } else {
+                    eprintln!("ignoring extra argument {other:?}");
+                }
+            }
+        }
+    }
+    Opts {
+        experiment: experiment.unwrap_or_else(|| "all".into()),
+        csv,
+        bench,
+    }
+}
 
 /// Writes `contents` to `<dir>/<name>.csv` when CSV export is enabled.
 fn export(dir: &Option<std::path::PathBuf>, name: &str, contents: String) {
@@ -21,20 +86,24 @@ fn export(dir: &Option<std::path::PathBuf>, name: &str, contents: String) {
     }
 }
 
-fn csv_dir() -> Option<std::path::PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--csv" {
-            let dir = std::path::PathBuf::from(args.next().unwrap_or_else(|| ".".into()));
-            let _ = std::fs::create_dir_all(&dir);
-            return Some(dir);
+/// Writes the registry snapshot as `BENCH_<figure>.json` and reports the
+/// figure's wall-clock cost (stderr only: the JSON stays deterministic).
+fn finish(opts: &Opts, figure: &str, reg: &MetricsRegistry, started: std::time::Instant) {
+    if let Some(dir) = &opts.bench {
+        let path = dir.join(format!("BENCH_{figure}.json"));
+        if let Err(e) = std::fs::write(&path, enzian_bench::bench_json(figure, reg)) {
+            eprintln!("bench export to {} failed: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
         }
     }
-    None
+    eprintln!("{figure}: {} ms wall clock", started.elapsed().as_millis());
 }
 
-fn run_fig3() {
-    let points = fig3::run();
+fn run_fig3(opts: &Opts) {
+    let started = std::time::Instant::now();
+    let mut reg = MetricsRegistry::new();
+    let points = fig3::run_instrumented(&mut reg);
     println!("{}", fig3::render(&points));
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -48,14 +117,17 @@ fn run_fig3() {
         })
         .collect();
     export(
-        &csv_dir(),
+        &opts.csv,
         "fig3",
         enzian_bench::to_csv(&["platform", "bw_gib", "latency_us", "measured"], &rows),
     );
+    finish(opts, "fig3", &reg, started);
 }
 
-fn run_fig6() {
-    let rows = fig6::run();
+fn run_fig6(opts: &Opts) {
+    let started = std::time::Instant::now();
+    let mut reg = MetricsRegistry::new();
+    let rows = fig6::run_instrumented(&mut reg);
     println!("{}", fig6::render(&rows));
     let csv: Vec<Vec<String>> = rows
         .iter()
@@ -74,24 +146,32 @@ fn run_fig6() {
         })
         .collect();
     export(
-        &csv_dir(),
+        &opts.csv,
         "fig6",
         enzian_bench::to_csv(
             &[
-                "size_b", "eci_rd_us", "eci_wr_us", "pcie_rd_us", "pcie_wr_us", "eci_rd_gib",
-                "eci_wr_gib", "pcie_rd_gib", "pcie_wr_gib",
+                "size_b",
+                "eci_rd_us",
+                "eci_wr_us",
+                "pcie_rd_us",
+                "pcie_wr_us",
+                "eci_rd_gib",
+                "eci_wr_gib",
+                "pcie_rd_gib",
+                "pcie_wr_gib",
             ],
             &csv,
         ),
     );
     let (bw, lat) = fig6::ccpi_reference();
-    println!(
-        "Reference (2-socket ThunderX-1 CCPI, both links): {bw:.1} GiB/s, {lat:.0} ns\n"
-    );
+    println!("Reference (2-socket ThunderX-1 CCPI, both links): {bw:.1} GiB/s, {lat:.0} ns\n");
+    finish(opts, "fig6", &reg, started);
 }
 
-fn run_fig7() {
-    let rows = fig7::run();
+fn run_fig7(opts: &Opts) {
+    let started = std::time::Instant::now();
+    let mut reg = MetricsRegistry::new();
+    let rows = fig7::run_instrumented(&mut reg);
     println!("{}", fig7::render(&rows));
     println!("Flow scaling (2 MiB per flow):");
     for (name, gbps) in fig7::run_multiflow() {
@@ -111,17 +191,26 @@ fn run_fig7() {
         })
         .collect();
     export(
-        &csv_dir(),
+        &opts.csv,
         "fig7",
         enzian_bench::to_csv(
-            &["size_b", "enzian_lat_us", "linux_lat_us", "enzian_gbps", "linux_gbps"],
+            &[
+                "size_b",
+                "enzian_lat_us",
+                "linux_lat_us",
+                "enzian_gbps",
+                "linux_gbps",
+            ],
             &csv,
         ),
     );
+    finish(opts, "fig7", &reg, started);
 }
 
-fn run_fig8() {
-    let rows = fig8::run();
+fn run_fig8(opts: &Opts) {
+    let started = std::time::Instant::now();
+    let mut reg = MetricsRegistry::new();
+    let rows = fig8::run_instrumented(&mut reg);
     println!("{}", fig8::render(&rows));
     let csv: Vec<Vec<String>> = rows
         .iter()
@@ -137,17 +226,27 @@ fn run_fig8() {
         })
         .collect();
     export(
-        &csv_dir(),
+        &opts.csv,
         "fig8",
         enzian_bench::to_csv(
-            &["config", "size_b", "rd_lat_us", "wr_lat_us", "rd_gib", "wr_gib"],
+            &[
+                "config",
+                "size_b",
+                "rd_lat_us",
+                "wr_lat_us",
+                "rd_gib",
+                "wr_gib",
+            ],
             &csv,
         ),
     );
+    finish(opts, "fig8", &reg, started);
 }
 
-fn run_fig9() {
-    let rows = fig9::run();
+fn run_fig9(opts: &Opts) {
+    let started = std::time::Instant::now();
+    let mut reg = MetricsRegistry::new();
+    let rows = fig9::run_instrumented(&mut reg);
     println!("{}", fig9::render(&rows));
     let csv: Vec<Vec<String>> = rows
         .iter()
@@ -160,14 +259,17 @@ fn run_fig9() {
         })
         .collect();
     export(
-        &csv_dir(),
+        &opts.csv,
         "fig9",
         enzian_bench::to_csv(&["platform", "engines", "mtuples_per_sec"], &csv),
     );
+    finish(opts, "fig9", &reg, started);
 }
 
-fn run_fig11() {
-    let rows = fig11::run();
+fn run_fig11(opts: &Opts) {
+    let started = std::time::Instant::now();
+    let mut reg = MetricsRegistry::new();
+    let rows = fig11::run_instrumented(&mut reg);
     let t1 = fig11::run_table1();
     println!("{}", fig11::render(&rows, &t1));
     let csv: Vec<Vec<String>> = rows
@@ -182,9 +284,12 @@ fn run_fig11() {
         })
         .collect();
     export(
-        &csv_dir(),
+        &opts.csv,
         "fig11",
-        enzian_bench::to_csv(&["mode", "cores", "gpixels_per_sec", "interconnect_gib"], &csv),
+        enzian_bench::to_csv(
+            &["mode", "cores", "gpixels_per_sec", "interconnect_gib"],
+            &csv,
+        ),
     );
     let t1csv: Vec<Vec<String>> = t1
         .iter()
@@ -197,10 +302,14 @@ fn run_fig11() {
         })
         .collect();
     export(
-        &csv_dir(),
+        &opts.csv,
         "table1",
-        enzian_bench::to_csv(&["mode", "stalls_per_cycle", "cycles_per_l1_refill_k"], &t1csv),
+        enzian_bench::to_csv(
+            &["mode", "stalls_per_cycle", "cycles_per_l1_refill_k"],
+            &t1csv,
+        ),
     );
+    finish(opts, "fig11", &reg, started);
 }
 
 fn run_table1() {
@@ -213,10 +322,12 @@ fn run_table1() {
     }
 }
 
-fn run_fig12() {
-    let result = fig12::run();
+fn run_fig12(opts: &Opts) {
+    let started = std::time::Instant::now();
+    let mut reg = MetricsRegistry::new();
+    let result = fig12::run_instrumented(&mut reg);
     println!("{}", fig12::render(&result));
-    if let Some(dir) = csv_dir() {
+    if opts.csv.is_some() {
         use enzian_bmc::telemetry::TraceId;
         let mut csv = Vec::new();
         let n = result.traces[&TraceId::Cpu].len();
@@ -229,35 +340,33 @@ fn run_fig12() {
             csv.push(row);
         }
         export(
-            &Some(dir),
+            &opts.csv,
             "fig12",
             enzian_bench::to_csv(&["t_s", "fpga_w", "cpu_w", "dram0_w", "dram1_w"], &csv),
         );
     }
+    finish(opts, "fig12", &reg, started);
 }
 
 fn main() {
-    let arg = std::env::args()
-        .nth(1)
-        .filter(|a| a != "--csv")
-        .unwrap_or_else(|| "all".into());
-    match arg.as_str() {
-        "fig3" => run_fig3(),
-        "fig6" => run_fig6(),
-        "fig7" => run_fig7(),
-        "fig8" => run_fig8(),
-        "fig9" => run_fig9(),
-        "fig11" => run_fig11(),
+    let opts = parse_opts();
+    match opts.experiment.as_str() {
+        "fig3" => run_fig3(&opts),
+        "fig6" => run_fig6(&opts),
+        "fig7" => run_fig7(&opts),
+        "fig8" => run_fig8(&opts),
+        "fig9" => run_fig9(&opts),
+        "fig11" => run_fig11(&opts),
         "table1" => run_table1(),
-        "fig12" => run_fig12(),
+        "fig12" => run_fig12(&opts),
         "all" => {
-            run_fig3();
-            run_fig6();
-            run_fig7();
-            run_fig8();
-            run_fig9();
-            run_fig11();
-            run_fig12();
+            run_fig3(&opts);
+            run_fig6(&opts);
+            run_fig7(&opts);
+            run_fig8(&opts);
+            run_fig9(&opts);
+            run_fig11(&opts);
+            run_fig12(&opts);
         }
         other => {
             eprintln!(

@@ -1,0 +1,211 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! Drop-in for the subset of the Criterion API the `benches/` files use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `iter`), so the workspace builds with no external
+//! crates. Each benchmark warms up briefly, then runs timed batches until
+//! a fixed measurement budget is spent, and reports the per-iteration
+//! mean plus derived throughput on stdout.
+//!
+//! Honors `ENZIAN_BENCH_FAST=1` to shrink the budget (used by the CI
+//! smoke job so `cargo bench` stays fast).
+
+use std::fmt::Display;
+use std::hint::black_box as bb;
+use std::time::{Duration as WallDuration, Instant};
+
+/// Measurement driver handed to each `bench_*` closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: WallDuration,
+    budget: WallDuration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: a few untimed iterations so lazy init is off the clock.
+        for _ in 0..3 {
+            bb(f());
+        }
+        let mut batch = 1u64;
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                bb(f());
+            }
+            self.elapsed += t0.elapsed();
+            self.iters_done += batch;
+            // Grow batches so timer overhead amortises away.
+            batch = (batch * 2).min(1 << 20);
+        }
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters_done == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters_done as f64
+    }
+}
+
+/// Units processed per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Top-level harness state; one per `criterion_group!` runner.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            throughput: None,
+            budget: default_budget(),
+        }
+    }
+}
+
+fn default_budget() -> WallDuration {
+    if std::env::var_os("ENZIAN_BENCH_FAST").is_some() {
+        WallDuration::from_millis(5)
+    } else {
+        WallDuration::from_millis(100)
+    }
+}
+
+/// A group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    budget: WallDuration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-per-iteration used to derive throughput for
+    /// subsequent benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for Criterion compatibility; the harness sizes runs by
+    /// time budget rather than sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: WallDuration::ZERO,
+            budget: self.budget,
+        };
+        f(&mut b);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Runs one benchmark closure over an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: WallDuration::ZERO,
+            budget: self.budget,
+        };
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, b: &Bencher) {
+        let ns = b.ns_per_iter();
+        let mut line = format!("  {label}: {ns:.1} ns/iter ({} iters)", b.iters_done);
+        if ns > 0.0 {
+            match self.throughput {
+                Some(Throughput::Bytes(n)) => {
+                    let gib = n as f64 / ns * 1e9 / (1u64 << 30) as f64;
+                    line.push_str(&format!(", {gib:.3} GiB/s"));
+                }
+                Some(Throughput::Elements(n)) => {
+                    let meps = n as f64 / ns * 1e9 / 1e6;
+                    line.push_str(&format!(", {meps:.3} Melem/s"));
+                }
+                None => {}
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Declares a benchmark group runner, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};

@@ -1,0 +1,55 @@
+//! End-to-end checks of the experiment-driver -> telemetry-registry ->
+//! `BENCH_<figure>.json` pipeline.
+
+use enzian_bench::bench_json;
+use enzian_platform::experiments::{fig11, fig3};
+use enzian_sim::MetricsRegistry;
+
+#[test]
+fn fig11_bench_json_is_byte_identical_across_runs() {
+    let run = || {
+        let mut reg = MetricsRegistry::new();
+        fig11::run_instrumented(&mut reg);
+        bench_json("fig11", &reg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same-seed runs must render identical JSON");
+    assert!(a.contains("\"figure\": \"fig11\""));
+    assert!(a.contains("\"schema\": 1"));
+    // The PMU counters flow from the shared registry, per mode.
+    assert!(a.contains("\"fig11.pmu.none.cycles\""));
+    assert!(a.contains("\"fig11.pmu.8bpp.memory_stalls_per_cycle\""));
+    assert!(a.contains("\"fig11.4bpp.gpixels_per_sec\""));
+}
+
+#[test]
+fn fig3_registry_carries_component_counters_and_trace() {
+    let mut reg = MetricsRegistry::new();
+    let points = fig3::run_instrumented(&mut reg);
+    assert_eq!(points.len(), 8);
+
+    // ECI link counters exported by the measured systems.
+    assert!(reg.counter("fig3.eci.one_link.link.messages") > 0);
+    assert!(reg.counter("fig3.eci.full.link.messages") > 0);
+    // BENCH header counters are set by the driver.
+    assert!(reg.counter("fig3.sim_time_ps") > 0);
+    assert!(reg.counter("fig3.events_executed") > 0);
+    assert_eq!(reg.counter("fig3.measured_points"), 3);
+    // One trace event per point.
+    assert_eq!(reg.trace().len(), points.len());
+
+    let json = bench_json("fig3", &reg);
+    assert!(json.contains("\"fig3.enzian_dram.bandwidth_gib\""));
+    assert!(json.contains("\"fig3.enzian_1_eci_link.latency_us\""));
+    assert!(json.contains("\"retained\": 8"));
+}
+
+#[test]
+fn instrumented_and_plain_runs_agree() {
+    // run() delegates to run_instrumented(); the rows must be identical.
+    let mut reg = MetricsRegistry::new();
+    let instrumented = fig11::run_instrumented(&mut reg);
+    let plain = fig11::run();
+    assert_eq!(instrumented, plain);
+}

@@ -20,7 +20,6 @@ use crate::sequence::{PowerSpec, SequenceError, SequenceVerifier};
 
 /// Stages of the boot state machine, in order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum BootPhase {
     /// BMC alive on standby power (PSU plugged).
     BmcReady,
@@ -41,7 +40,7 @@ pub enum BootPhase {
 }
 
 /// A timestamped phase transition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BootEvent {
     /// When the phase was entered.
     pub at: Time,
@@ -93,7 +92,7 @@ impl std::error::Error for BootError {}
 
 /// Firmware-stage durations (tuned to the Fig. 12 timeline, where the
 /// window from CPU-on to the BDK DRAM check is a few seconds).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BootTimings {
     /// BMC kernel + userspace bring-up on standby power.
     pub bmc_boot: Duration,
@@ -199,7 +198,11 @@ impl BootSequencer {
     ///
     /// Fails on an unsolvable spec, a PMBus error, or (by construction it
     /// should not happen) a verifier violation.
-    pub fn common_power_up(&mut self, net: &mut PmbusNetwork, now: Time) -> Result<Time, BootError> {
+    pub fn common_power_up(
+        &mut self,
+        net: &mut PmbusNetwork,
+        now: Time,
+    ) -> Result<Time, BootError> {
         self.expect_phase(BootPhase::BmcReady, BootPhase::RailsUp)?;
         let schedule = self.spec.solve(&self.rail_specs)?;
         let mut verifier = SequenceVerifier::new(self.spec.clone(), self.rail_specs.clone());
@@ -327,10 +330,14 @@ mod tests {
         let mut boot = BootSequencer::new();
         boot.psu_plugged(Time::ZERO);
         // Trying to power the CPU before rails are up.
-        let err = boot.cpu_power_up(Time::ZERO + Duration::from_secs(30)).unwrap_err();
+        let err = boot
+            .cpu_power_up(Time::ZERO + Duration::from_secs(30))
+            .unwrap_err();
         assert!(matches!(err, BootError::OutOfOrder { .. }));
         // And Linux before the BDK.
-        let err = boot.boot_linux(Time::ZERO + Duration::from_secs(30)).unwrap_err();
+        let err = boot
+            .boot_linux(Time::ZERO + Duration::from_secs(30))
+            .unwrap_err();
         assert!(matches!(err, BootError::OutOfOrder { .. }));
     }
 
@@ -345,7 +352,10 @@ mod tests {
         let t1 = boot.common_power_up(&mut net, t0).unwrap();
         // 18 rails x ~5 ms: expect roughly 90+ ms of wall time.
         let elapsed_ms = t1.since(t0).as_secs_f64() * 1e3;
-        assert!(elapsed_ms > 50.0, "power-up implausibly fast: {elapsed_ms} ms");
+        assert!(
+            elapsed_ms > 50.0,
+            "power-up implausibly fast: {elapsed_ms} ms"
+        );
     }
 
     #[test]
@@ -353,14 +363,20 @@ mod tests {
         // Inject a short on the CPU core rail: over-current latches a
         // fault, and common_power_up must refuse to report RailsUp.
         let mut net = PmbusNetwork::board();
-        net.regulator(RailId::CpuVdd).borrow_mut().set_load_amps(500.0);
+        net.regulator(RailId::CpuVdd)
+            .borrow_mut()
+            .set_load_amps(500.0);
         let mut boot = BootSequencer::new();
         let t0 = boot.psu_plugged(Time::ZERO);
         match boot.common_power_up(&mut net, t0) {
             Err(BootError::RailNotGood(rail)) => assert_eq!(rail, RailId::CpuVdd),
             other => panic!("boot did not detect the fault: {other:?}"),
         }
-        assert_eq!(boot.phase(), Some(BootPhase::BmcReady), "phase advanced past fault");
+        assert_eq!(
+            boot.phase(),
+            Some(BootPhase::BmcReady),
+            "phase advanced past fault"
+        );
     }
 
     #[test]

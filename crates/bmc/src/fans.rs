@@ -23,10 +23,7 @@ pub struct FanBank {
 impl FanBank {
     /// Creates a bank idling at minimum duty.
     pub fn new(max_rpm: u32) -> Self {
-        FanBank {
-            duty: 0.2,
-            max_rpm,
-        }
+        FanBank { duty: 0.2, max_rpm }
     }
 
     /// Current duty cycle.
@@ -186,7 +183,10 @@ mod tests {
             .set_power(Time::ZERO, 150.0 * max_fans.resistance_factor());
         let t_hot = hot.sensor_mut(SensorSite::CpuDie).read_c(t1);
         let t_cool = cool.sensor_mut(SensorSite::CpuDie).read_c(t1);
-        assert!(t_cool + 10.0 < t_hot, "airflow made no difference: {t_cool} vs {t_hot}");
+        assert!(
+            t_cool + 10.0 < t_hot,
+            "airflow made no difference: {t_cool} vs {t_hot}"
+        );
     }
 
     #[test]

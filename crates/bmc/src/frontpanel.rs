@@ -12,7 +12,6 @@ use std::collections::VecDeque;
 
 /// The four serial consoles on the board.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum Console {
     /// CPU SoC UART 0 (the BDK/Linux console of the artifact workflow).
     Cpu0,
@@ -90,7 +89,6 @@ impl UartMux {
 
 /// Devices on the JTAG chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum JtagDevice {
     /// The ThunderX-1.
     Cpu,

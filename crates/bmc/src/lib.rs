@@ -35,9 +35,9 @@ pub mod smbus;
 pub mod telemetry;
 
 pub use boot::{BootEvent, BootPhase, BootSequencer};
-pub use i2c::{I2cBus, I2cDevice, I2cError};
 pub use fans::{FanBank, FanController};
 pub use frontpanel::{Console, JtagChain, UartMux};
+pub use i2c::{I2cBus, I2cDevice, I2cError};
 pub use margining::{DeviceVminModel, GuardbandReport, UndervoltStudy};
 pub use pmbus::{PmbusCommand, PmbusRegulator};
 pub use power::{BoardActivity, PowerModel};

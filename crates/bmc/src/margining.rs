@@ -20,7 +20,7 @@ use crate::rail::RailId;
 use crate::smbus::SmbusError;
 
 /// Failure model of the device behind a rail.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceVminModel {
     /// Voltage below which the device always fails.
     pub crash_volts: f64,
@@ -53,7 +53,7 @@ impl DeviceVminModel {
 }
 
 /// One step of the sweep.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// Commanded voltage.
     pub volts: f64,
@@ -66,7 +66,7 @@ pub struct SweepPoint {
 }
 
 /// The study result.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GuardbandReport {
     /// Rail characterised.
     pub rail: RailId,
@@ -112,7 +112,11 @@ impl UndervoltStudy {
     /// # Errors
     ///
     /// Propagates PMBus failures.
-    pub fn run(&mut self, net: &mut PmbusNetwork, now: Time) -> Result<GuardbandReport, SmbusError> {
+    pub fn run(
+        &mut self,
+        net: &mut PmbusNetwork,
+        now: Time,
+    ) -> Result<GuardbandReport, SmbusError> {
         let nominal = net.regulator(self.rail).borrow().spec().nominal_volts;
         let mut t = net.enable(now, self.rail)?;
         t += Duration::from_ms(5);
@@ -171,7 +175,9 @@ mod tests {
 
     fn run_study() -> GuardbandReport {
         let mut net = PmbusNetwork::board();
-        net.regulator(RailId::FpgaVccint).borrow_mut().set_load_amps(60.0);
+        net.regulator(RailId::FpgaVccint)
+            .borrow_mut()
+            .set_load_amps(60.0);
         let mut study =
             UndervoltStudy::new(RailId::FpgaVccint, DeviceVminModel::xcvu9p_vccint(), 7);
         study.run(&mut net, Time::ZERO).expect("sweep completes")
@@ -191,7 +197,10 @@ mod tests {
             "guardband {:.1}%",
             r.guardband_fraction * 100.0
         );
-        assert!(r.power_saving_fraction > 0.1, "undervolting should save >10% power");
+        assert!(
+            r.power_saving_fraction > 0.1,
+            "undervolting should save >10% power"
+        );
     }
 
     #[test]
@@ -202,7 +211,10 @@ mod tests {
         let mut last_errors = 0u32;
         for (i, p) in r.sweep.iter().enumerate() {
             if p.errors + 5 < last_errors {
-                panic!("errors regressed at step {i}: {} -> {}", last_errors, p.errors);
+                panic!(
+                    "errors regressed at step {i}: {} -> {}",
+                    last_errors, p.errors
+                );
             }
             last_errors = last_errors.max(p.errors);
         }

@@ -22,7 +22,7 @@ use crate::rail::{RailId, RailSpec, Regulator};
 use crate::smbus::{self, pec_crc8, SmbusError};
 
 /// PMBus commands implemented by the board's regulators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum PmbusCommand {
     /// Output on/off control (write byte: 0x80 on, 0x00 off).
@@ -254,7 +254,11 @@ impl PmbusNetwork {
             let shared: SharedRegulator = Rc::new(RefCell::new(Regulator::new(spec)));
             bus.attach(
                 addr,
-                Box::new(PmbusRegulator::new(addr, Rc::clone(&shared), Rc::clone(&clock))),
+                Box::new(PmbusRegulator::new(
+                    addr,
+                    Rc::clone(&shared),
+                    Rc::clone(&clock),
+                )),
             )
             .expect("board address plan is collision-free");
             regulators.insert(spec.id, shared);
@@ -324,11 +328,7 @@ impl PmbusNetwork {
     }
 
     /// Reads a rail's temperature (READ_TEMPERATURE_1, LINEAR11).
-    pub fn read_temperature(
-        &mut self,
-        now: Time,
-        rail: RailId,
-    ) -> Result<(f64, Time), SmbusError> {
+    pub fn read_temperature(&mut self, now: Time, rail: RailId) -> Result<(f64, Time), SmbusError> {
         let t = self.op_start(now);
         let addr = self.addr(rail);
         let (raw, done) =
@@ -437,7 +437,9 @@ mod tests {
     fn current_tracks_injected_load() {
         let mut net = PmbusNetwork::board();
         net.enable(Time::ZERO, RailId::CpuVdd).unwrap();
-        net.regulator(RailId::CpuVdd).borrow_mut().set_load_amps(42.0);
+        net.regulator(RailId::CpuVdd)
+            .borrow_mut()
+            .set_load_amps(42.0);
         let t = Time::ZERO + Duration::from_ms(20);
         let (amps, _) = net.read_iout(t, RailId::CpuVdd).unwrap();
         assert!((amps - 42.0).abs() < 0.5, "read {amps} A");
@@ -449,8 +451,12 @@ mod tests {
     fn vout_command_over_the_bus_margins_the_rail() {
         let mut net = PmbusNetwork::board();
         let t = net.enable(Time::ZERO, RailId::FpgaVccint).unwrap();
-        let t = net.set_vout(t + Duration::from_ms(5), RailId::FpgaVccint, 0.78).unwrap();
-        let (v, _) = net.read_vout(t + Duration::from_ms(5), RailId::FpgaVccint).unwrap();
+        let t = net
+            .set_vout(t + Duration::from_ms(5), RailId::FpgaVccint, 0.78)
+            .unwrap();
+        let (v, _) = net
+            .read_vout(t + Duration::from_ms(5), RailId::FpgaVccint)
+            .unwrap();
         assert!((v - 0.78).abs() < 0.002, "margined VOUT reads {v} V");
     }
 
@@ -470,7 +476,9 @@ mod tests {
         net.enable(Time::ZERO, RailId::FpgaVccint).unwrap();
         let t = Time::ZERO + Duration::from_ms(20);
         let (cold, t2) = net.read_temperature(t, RailId::FpgaVccint).unwrap();
-        net.regulator(RailId::FpgaVccint).borrow_mut().set_load_amps(100.0);
+        net.regulator(RailId::FpgaVccint)
+            .borrow_mut()
+            .set_load_amps(100.0);
         let (hot, _) = net.read_temperature(t2, RailId::FpgaVccint).unwrap();
         assert!(hot > cold, "temperature did not rise: {cold} -> {hot}");
     }

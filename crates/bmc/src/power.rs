@@ -14,7 +14,7 @@ use crate::pmbus::{PmbusNetwork, SharedRegulator};
 use crate::rail::RailId;
 
 /// What the board is doing, as far as power draw is concerned.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BoardActivity {
     /// Rails up, CPU held in reset, FPGA blank.
     PoweredIdle,
@@ -57,10 +57,7 @@ pub struct PowerModel {
 impl PowerModel {
     /// Binds the model to the network's regulators.
     pub fn new(network: &PmbusNetwork) -> Self {
-        let regulators = network
-            .rails()
-            .map(|r| (r, network.regulator(r)))
-            .collect();
+        let regulators = network.rails().map(|r| (r, network.regulator(r))).collect();
         PowerModel { regulators }
     }
 
@@ -134,7 +131,10 @@ impl PowerModel {
         self.regulators[&RailId::CpuDdrVddq01]
             .borrow()
             .output_watts(now)
-            + self.regulators[&RailId::CpuDdrVpp].borrow().output_watts(now) / 2.0
+            + self.regulators[&RailId::CpuDdrVpp]
+                .borrow()
+                .output_watts(now)
+                / 2.0
     }
 
     /// The Fig. 12 "DRAM1" trace: CPU DDR channels 2/3, watts.
@@ -142,7 +142,10 @@ impl PowerModel {
         self.regulators[&RailId::CpuDdrVddq23]
             .borrow()
             .output_watts(now)
-            + self.regulators[&RailId::CpuDdrVpp].borrow().output_watts(now) / 2.0
+            + self.regulators[&RailId::CpuDdrVpp]
+                .borrow()
+                .output_watts(now)
+                / 2.0
     }
 }
 

@@ -12,7 +12,6 @@ use enzian_sim::{Duration, Time};
 
 /// Identifies a voltage rail on the board.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum RailId {
     /// 12 V input from the CRPS supply.
     Input12V,
@@ -107,7 +106,7 @@ impl fmt::Display for RailId {
 }
 
 /// Electrical specification of a rail.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RailSpec {
     /// Which rail this is.
     pub id: RailId,

@@ -10,7 +10,6 @@ use enzian_sim::{Duration, Time};
 
 /// Identifies a temperature sensor site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum SensorSite {
     /// ThunderX-1 die sensor.
     CpuDie,
@@ -109,7 +108,8 @@ impl SensorBank {
     /// Builds the standard board population at `ambient_c`.
     pub fn board(ambient_c: f64) -> Self {
         use SensorSite::*;
-        let mk = |site, res, tau_s| TempSensor::new(site, ambient_c, res, Duration::from_secs(tau_s));
+        let mk =
+            |site, res, tau_s| TempSensor::new(site, ambient_c, res, Duration::from_secs(tau_s));
         SensorBank {
             sensors: vec![
                 mk(CpuDie, 0.35, 8),
@@ -183,7 +183,8 @@ mod tests {
     #[test]
     fn inlet_is_insensitive_to_power() {
         let mut bank = SensorBank::board(25.0);
-        bank.sensor_mut(SensorSite::Inlet).set_power(Time::ZERO, 500.0);
+        bank.sensor_mut(SensorSite::Inlet)
+            .set_power(Time::ZERO, 500.0);
         let t = bank
             .sensor_mut(SensorSite::Inlet)
             .read_c(Time::ZERO + Duration::from_secs(100));

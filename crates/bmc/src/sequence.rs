@@ -23,7 +23,7 @@ use crate::rail::{RailId, RailSpec};
 
 /// One dependency: `on` must have ramped to `min_fraction` of nominal,
 /// plus `settle` of margin, before the dependent rail may enable.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Dependency {
     /// The prerequisite rail.
     pub on: RailId,
@@ -34,14 +34,14 @@ pub struct Dependency {
 }
 
 /// The declarative powering requirements for the whole board.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PowerSpec {
     requirements: BTreeMap<RailId, Vec<Dependency>>,
 }
 
 /// One step of a solved schedule: enable `rail` at `offset` from the
 /// start of the sequence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SequenceStep {
     /// The rail to enable.
     pub rail: RailId,
@@ -321,7 +321,8 @@ mod tests {
             .iter()
             .map(|s| (s.rail, Time::ZERO + s.offset))
             .collect();
-        spec.verify(&specs(), &executed).expect("solver output verifies");
+        spec.verify(&specs(), &executed)
+            .expect("solver output verifies");
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl std::fmt::Display for SmbusError {
         match self {
             SmbusError::Bus(e) => write!(f, "i2c: {e}"),
             SmbusError::BadPec { computed, received } => {
-                write!(f, "pec mismatch: computed {computed:#04x}, got {received:#04x}")
+                write!(
+                    f,
+                    "pec mismatch: computed {computed:#04x}, got {received:#04x}"
+                )
             }
         }
     }
@@ -107,7 +110,12 @@ pub fn read_byte(bus: &mut I2cBus, now: Time, addr: u8, cmd: u8) -> Result<(u8, 
 }
 
 /// SMBus *Read Word* with PEC: write `[cmd]`, read `[lo, hi, pec]`.
-pub fn read_word(bus: &mut I2cBus, now: Time, addr: u8, cmd: u8) -> Result<(u16, Time), SmbusError> {
+pub fn read_word(
+    bus: &mut I2cBus,
+    now: Time,
+    addr: u8,
+    cmd: u8,
+) -> Result<(u16, Time), SmbusError> {
     let (data, t) = bus.write_read(now, addr, &[cmd], 3)?;
     let computed = pec_crc8(&[addr << 1, cmd, (addr << 1) | 1, data[0], data[1]]);
     if computed != data[2] {
@@ -186,7 +194,8 @@ mod tests {
     #[test]
     fn read_word_verifies_pec() {
         let mut bus = I2cBus::new(100_000);
-        bus.attach(0x50, Box::new(WordDev::new(0x50, 0xBEEF))).unwrap();
+        bus.attach(0x50, Box::new(WordDev::new(0x50, 0xBEEF)))
+            .unwrap();
         let (w, _) = read_word(&mut bus, Time::ZERO, 0x50, 0x8B).unwrap();
         assert_eq!(w, 0xBEEF);
     }

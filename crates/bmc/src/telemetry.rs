@@ -14,7 +14,6 @@ use enzian_sim::{Duration, Time};
 
 /// Names of the four traces Fig. 12 plots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum TraceId {
     /// FPGA fabric power.
     Fpga,
@@ -161,12 +160,16 @@ mod tests {
     #[test]
     fn probe_sees_per_trace_identity() {
         let mut svc = TelemetryService::new();
-        svc.run(Time::ZERO, Time::ZERO + Duration::from_ms(40), |_, id| match id {
-            TraceId::Fpga => 10.0,
-            TraceId::Cpu => 20.0,
-            TraceId::Dram0 => 1.0,
-            TraceId::Dram1 => 2.0,
-        });
+        svc.run(
+            Time::ZERO,
+            Time::ZERO + Duration::from_ms(40),
+            |_, id| match id {
+                TraceId::Fpga => 10.0,
+                TraceId::Cpu => 20.0,
+                TraceId::Dram0 => 1.0,
+                TraceId::Dram1 => 2.0,
+            },
+        );
         assert_eq!(svc.series(TraceId::Fpga).max_value(), Some(10.0));
         assert_eq!(svc.series(TraceId::Cpu).max_value(), Some(20.0));
         assert_eq!(svc.series(TraceId::Dram1).max_value(), Some(2.0));
@@ -176,7 +179,9 @@ mod tests {
     fn energy_integral_from_series() {
         let mut svc = TelemetryService::new();
         // 100 W for 1 s -> ~100 J.
-        svc.run(Time::ZERO, Time::ZERO + Duration::from_secs(1), |_, _| 100.0);
+        svc.run(Time::ZERO, Time::ZERO + Duration::from_secs(1), |_, _| {
+            100.0
+        });
         let j = svc.series(TraceId::Cpu).integral();
         assert!((j - 98.0).abs() < 4.0, "integral {j}");
     }

@@ -1,43 +1,60 @@
-//! Property tests for the BMC stack.
-
-use proptest::prelude::*;
+//! Randomized invariant tests for the BMC stack, driven by the
+//! deterministic [`SimRng`] so every failure reproduces exactly.
 
 use enzian_bmc::pmbus::{linear11_decode, linear11_encode, linear16_decode, linear16_encode};
 use enzian_bmc::rail::{RailId, RailSpec, Regulator};
 use enzian_bmc::smbus::pec_crc8;
-use enzian_sim::{Duration, Time};
+use enzian_sim::{Duration, SimRng, Time};
 
-proptest! {
-    /// LINEAR16 round-trips any representable voltage within half an LSB.
-    #[test]
-    fn linear16_roundtrip(volts in 0.0f64..15.0) {
+/// LINEAR16 round-trips any representable voltage within half an LSB.
+#[test]
+fn linear16_roundtrip() {
+    let mut rng = SimRng::seed_from(0xB3C_0001);
+    for _case in 0..1024 {
+        let volts = rng.next_f64() * 15.0;
         let dec = linear16_decode(linear16_encode(volts));
-        prop_assert!((dec - volts).abs() <= 1.0 / 4096.0, "{volts} -> {dec}");
+        assert!((dec - volts).abs() <= 1.0 / 4096.0, "{volts} -> {dec}");
     }
+}
 
-    /// LINEAR11 round-trips within 0.1% + epsilon across nine decades.
-    #[test]
-    fn linear11_roundtrip(mantissa in 1.0f64..1000.0, exp in -4i32..4) {
+/// LINEAR11 round-trips within 0.1% + epsilon across nine decades.
+#[test]
+fn linear11_roundtrip() {
+    let mut rng = SimRng::seed_from(0xB3C_0002);
+    for _case in 0..1024 {
+        let mantissa = 1.0 + rng.next_f64() * 999.0;
+        let exp = rng.range(0, 7) as i32 - 4;
         let value = mantissa * 10f64.powi(exp);
         let dec = linear11_decode(linear11_encode(value));
         let tol = (value.abs() * 0.002).max(1e-3);
-        prop_assert!((dec - value).abs() <= tol, "{value} -> {dec}");
+        assert!((dec - value).abs() <= tol, "{value} -> {dec}");
     }
+}
 
-    /// Appending the PEC to a buffer makes the extended buffer checksum
-    /// to zero (the receiver's validation identity).
-    #[test]
-    fn pec_self_check(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+/// Appending the PEC to a buffer makes the extended buffer checksum
+/// to zero (the receiver's validation identity).
+#[test]
+fn pec_self_check() {
+    let mut rng = SimRng::seed_from(0xB3C_0003);
+    for _case in 0..256 {
+        let n = rng.next_below(64) as usize;
+        let mut data = vec![0u8; n];
+        rng.fill_bytes(&mut data);
         let pec = pec_crc8(&data);
         let mut with = data.clone();
         with.push(pec);
-        prop_assert_eq!(pec_crc8(&with), 0);
+        assert_eq!(pec_crc8(&with), 0);
     }
+}
 
-    /// A regulator's output is always within [0, 1.1 x nominal] and is
-    /// monotone during the ramp, for any command/enable pattern.
-    #[test]
-    fn regulator_output_bounded(cmd in 0.0f64..20.0, probe_us in 0u64..5_000) {
+/// A regulator's output is always within [0, 1.1 x nominal] and is
+/// monotone during the ramp, for any command/enable pattern.
+#[test]
+fn regulator_output_bounded() {
+    let mut rng = SimRng::seed_from(0xB3C_0004);
+    for _case in 0..256 {
+        let cmd = rng.next_f64() * 20.0;
+        let probe_us = rng.next_below(5_000);
         let spec = RailSpec::board_table()
             .into_iter()
             .find(|s| s.id == RailId::FpgaVccint)
@@ -49,7 +66,7 @@ proptest! {
         let t2 = t1 + Duration::from_us(100);
         let v1 = r.output_volts(t1);
         let v2 = r.output_volts(t2);
-        prop_assert!(v1 >= 0.0 && v1 <= spec.nominal_volts * 1.1 + 1e-9);
-        prop_assert!(v2 + 1e-12 >= v1, "ramp not monotone: {v1} -> {v2}");
+        assert!(v1 >= 0.0 && v1 <= spec.nominal_volts * 1.1 + 1e-9);
+        assert!(v2 + 1e-12 >= v1, "ramp not monotone: {v1} -> {v2}");
     }
 }

@@ -11,7 +11,7 @@
 use crate::pmu::Pmu;
 
 /// Per-work-unit cost profile of a workload running on the cores.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadProfile {
     /// Pure compute cycles per unit (e.g. per pixel).
     pub compute_cycles_per_unit: f64,
@@ -39,7 +39,7 @@ impl WorkloadProfile {
 }
 
 /// Steady-state result for one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SteadyState {
     /// Aggregate throughput, units per second.
     pub units_per_sec: f64,
@@ -53,7 +53,7 @@ pub struct SteadyState {
 }
 
 /// The CPU-side timing model: core count and frequency.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreTimingModel {
     /// Core clock in hertz.
     pub freq_hz: f64,
@@ -178,9 +178,7 @@ mod tests {
         assert!((s.units_per_sec - expected).abs() / expected < 1e-9);
         // Stall fraction rises steeply when bandwidth-bound.
         let unbound = cpu.steady_state(&p, 48, 1e12);
-        assert!(
-            s.pmu.memory_stalls_per_cycle() > unbound.pmu.memory_stalls_per_cycle() * 2.0
-        );
+        assert!(s.pmu.memory_stalls_per_cycle() > unbound.pmu.memory_stalls_per_cycle() * 2.0);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use enzian_mem::CacheLine;
 use crate::moesi::{LineEvent, LineState};
 
 /// Static cache geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct L2Config {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -418,8 +418,8 @@ mod tests {
     #[test]
     fn capacity_working_set_thrashes() {
         let mut l2 = tiny(); // 8 lines capacity
-        // Working set of 16 lines in a loop: every access misses after
-        // warmup because of LRU.
+                             // Working set of 16 lines in a loop: every access misses after
+                             // warmup because of LRU.
         for round in 0..3 {
             for i in 0..16u64 {
                 let line = CacheLine(i);

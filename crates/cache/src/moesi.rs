@@ -10,7 +10,6 @@ use core::fmt;
 
 /// Stable MOESI states of a cache line in one cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum LineState {
     /// Not present.
     #[default]
@@ -27,7 +26,7 @@ pub enum LineState {
 }
 
 /// The event that drives a line-state transition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LineEvent {
     /// Local load miss or hit.
     LocalRead,

@@ -7,7 +7,7 @@
 //! L1 refill.
 
 /// An accumulator of PMU events for one measurement window.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Pmu {
     cycles: u64,
     instructions: u64,
@@ -104,6 +104,28 @@ impl Pmu {
         self.l1_refills += other.l1_refills;
         self.l2_misses += other.l2_misses;
     }
+
+    /// Publishes the raw counters and derived rates into `reg` under
+    /// `prefix`.
+    pub fn export_metrics(&self, reg: &mut enzian_sim::MetricsRegistry, prefix: &str) {
+        reg.counter_set(&format!("{prefix}.cycles"), self.cycles);
+        reg.counter_set(&format!("{prefix}.instructions"), self.instructions);
+        reg.counter_set(
+            &format!("{prefix}.memory_stall_cycles"),
+            self.memory_stall_cycles,
+        );
+        reg.counter_set(&format!("{prefix}.l1_refills"), self.l1_refills);
+        reg.counter_set(&format!("{prefix}.l2_misses"), self.l2_misses);
+        reg.gauge_set(
+            &format!("{prefix}.memory_stalls_per_cycle"),
+            self.memory_stalls_per_cycle(),
+        );
+        reg.gauge_set(&format!("{prefix}.ipc"), self.ipc());
+        reg.gauge_set(
+            &format!("{prefix}.cycles_per_l1_refill"),
+            self.cycles_per_l1_refill().unwrap_or(0.0),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +150,19 @@ mod tests {
         assert_eq!(p.memory_stalls_per_cycle(), 0.0);
         assert_eq!(p.cycles_per_l1_refill(), None);
         assert_eq!(p.ipc(), 0.0);
+    }
+
+    #[test]
+    fn export_publishes_raw_and_derived() {
+        let mut p = Pmu::new();
+        p.add_cycles(1000);
+        p.add_memory_stalls(250);
+        p.add_l1_refills(10);
+        let mut reg = enzian_sim::MetricsRegistry::new();
+        p.export_metrics(&mut reg, "cpu.pmu");
+        assert_eq!(reg.counter("cpu.pmu.cycles"), 1000);
+        assert_eq!(reg.gauge("cpu.pmu.memory_stalls_per_cycle"), Some(0.25));
+        assert_eq!(reg.gauge("cpu.pmu.cycles_per_l1_refill"), Some(100.0));
     }
 
     #[test]

@@ -1,49 +1,64 @@
-//! Property tests for the cache substrate.
-
-use proptest::prelude::*;
+//! Randomized invariant tests for the cache substrate, driven by the
+//! deterministic [`SimRng`] so every failure reproduces exactly.
 
 use enzian_cache::moesi::{check_global_invariant, LineEvent, LineState};
 use enzian_cache::{AccessOutcome, L2Cache, L2Config};
 use enzian_mem::CacheLine;
+use enzian_sim::SimRng;
 
-proptest! {
-    /// Under any access sequence the cache never exceeds its capacity
-    /// and hit/miss accounting matches observed outcomes.
-    #[test]
-    fn l2_capacity_and_accounting(
-        ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)
-    ) {
-        let cfg = L2Config { capacity_bytes: 2048, ways: 4, line_bytes: 128 };
+/// Under any access sequence the cache never exceeds its capacity
+/// and hit/miss accounting matches observed outcomes.
+#[test]
+fn l2_capacity_and_accounting() {
+    let mut rng = SimRng::seed_from(0xCAC_0001);
+    for _case in 0..32 {
+        let n = rng.range(1, 299) as usize;
+        let cfg = L2Config {
+            capacity_bytes: 2048,
+            ways: 4,
+            line_bytes: 128,
+        };
         let mut l2 = L2Cache::new(cfg);
         let cap_lines = (cfg.capacity_bytes / cfg.line_bytes) as usize;
         let mut observed_hits = 0u64;
-        for &(line, write) in &ops {
-            let line = CacheLine(line);
+        for _ in 0..n {
+            let line = CacheLine(rng.next_below(64));
+            let write = rng.chance(0.5);
             let outcome = if write { l2.write(line) } else { l2.read(line) };
             match outcome {
                 AccessOutcome::Hit => observed_hits += 1,
                 AccessOutcome::UpgradeMiss => {}
                 AccessOutcome::Miss(_) => {
-                    l2.fill(line, if write { LineState::Modified } else { LineState::Shared });
+                    l2.fill(
+                        line,
+                        if write {
+                            LineState::Modified
+                        } else {
+                            LineState::Shared
+                        },
+                    );
                 }
             }
-            prop_assert!(l2.resident_lines() <= cap_lines);
+            assert!(l2.resident_lines() <= cap_lines);
         }
         let (hits, ..) = l2.stats();
-        prop_assert_eq!(hits, observed_hits);
+        assert_eq!(hits, observed_hits);
     }
+}
 
-    /// Applying any legal event sequence to a line keeps every reached
-    /// state within the transition relation, and a two-cache system
-    /// driven by complementary events never violates the global
-    /// invariant.
-    #[test]
-    fn moesi_events_preserve_invariants(events in proptest::collection::vec(0u8..4, 1..100)) {
+/// Applying any legal event sequence to a line keeps every reached
+/// state within the transition relation, and a two-cache system
+/// driven by complementary events never violates the global invariant.
+#[test]
+fn moesi_events_preserve_invariants() {
+    let mut rng = SimRng::seed_from(0xCAC_0002);
+    for _case in 0..64 {
+        let n = rng.range(1, 99) as usize;
         let mut a = LineState::Invalid;
         let mut b = LineState::Invalid;
-        for &e in &events {
+        for _ in 0..n {
             // Drive cache A; cache B observes the complementary event.
-            let (ev_a, ev_b) = match e {
+            let (ev_a, ev_b) = match rng.next_below(4) {
                 0 => (LineEvent::LocalRead, LineEvent::RemoteRead),
                 1 => (LineEvent::LocalWrite, LineEvent::RemoteWrite),
                 2 => (LineEvent::RemoteRead, LineEvent::LocalRead),
@@ -51,20 +66,32 @@ proptest! {
             };
             let next_a = a.after(ev_a).unwrap_or(a);
             let next_b = b.after(ev_b).unwrap_or(b);
-            prop_assert!(a.can_transition(next_a), "{a} -> {next_a}");
-            prop_assert!(b.can_transition(next_b), "{b} -> {next_b}");
+            assert!(a.can_transition(next_a), "{a} -> {next_a}");
+            assert!(b.can_transition(next_b), "{b} -> {next_b}");
             a = next_a;
             b = next_b;
-            prop_assert!(check_global_invariant(&[a, b]).is_ok(),
-                "violated with A={a}, B={b}");
+            assert!(
+                check_global_invariant(&[a, b]).is_ok(),
+                "violated with A={a}, B={b}"
+            );
         }
     }
+}
 
-    /// A probe after any access sequence leaves the line unreadable
-    /// (write probe) or non-writable (read probe).
-    #[test]
-    fn probes_enforce_their_contract(fills in proptest::collection::vec(0u64..16, 1..40), for_write in any::<bool>()) {
-        let mut l2 = L2Cache::new(L2Config { capacity_bytes: 4096, ways: 2, line_bytes: 128 });
+/// A probe after any access sequence leaves the line unreadable
+/// (write probe) or non-writable (read probe).
+#[test]
+fn probes_enforce_their_contract() {
+    let mut rng = SimRng::seed_from(0xCAC_0003);
+    for _case in 0..64 {
+        let n = rng.range(1, 39) as usize;
+        let fills: Vec<u64> = (0..n).map(|_| rng.next_below(16)).collect();
+        let for_write = rng.chance(0.5);
+        let mut l2 = L2Cache::new(L2Config {
+            capacity_bytes: 4096,
+            ways: 2,
+            line_bytes: 128,
+        });
         for &l in &fills {
             let line = CacheLine(l);
             if let AccessOutcome::Miss(_) = l2.write(line) {
@@ -75,9 +102,9 @@ proptest! {
         l2.probe(victim, for_write);
         let state = l2.state_of(victim);
         if for_write {
-            prop_assert_eq!(state, LineState::Invalid);
+            assert_eq!(state, LineState::Invalid);
         } else {
-            prop_assert!(!state.is_writable(), "still writable: {}", state);
+            assert!(!state.is_writable(), "still writable: {}", state);
         }
     }
 }

@@ -59,7 +59,12 @@ pub enum CheckerError {
 impl std::fmt::Display for CheckerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CheckerError::IllegalTransition { node, line, from, to } => {
+            CheckerError::IllegalTransition {
+                node,
+                line,
+                from,
+                to,
+            } => {
                 write!(f, "illegal transition on {node} for {line}: {from} -> {to}")
             }
             CheckerError::InvariantViolation { line, detail } => {
@@ -127,7 +132,12 @@ impl ProtocolChecker {
     ) -> Result<(), CheckerError> {
         self.transitions_checked += 1;
         if !from.can_transition(to) {
-            let e = CheckerError::IllegalTransition { node, line, from, to };
+            let e = CheckerError::IllegalTransition {
+                node,
+                line,
+                from,
+                to,
+            };
             self.violations.push(e.clone());
             return Err(e);
         }
@@ -147,8 +157,13 @@ impl ProtocolChecker {
         use MessageKind::*;
         match &msg.kind {
             // Requests open a transaction.
-            ReadShared(_) | ReadExclusive(_) | Upgrade(_) | ReadOnce(_) | WriteLine(..)
-            | IoRead { .. } | IoWrite { .. } => {
+            ReadShared(_)
+            | ReadExclusive(_)
+            | Upgrade(_)
+            | ReadOnce(_)
+            | WriteLine(..)
+            | IoRead { .. }
+            | IoWrite { .. } => {
                 if self
                     .outstanding
                     .insert(msg.txn, msg.kind.mnemonic())
@@ -172,8 +187,13 @@ impl ProtocolChecker {
             }
             // Probes and their acks pair within the home transaction;
             // victims and IPIs are fire-and-forget.
-            ProbeShared(_) | ProbeInvalidate(_) | ProbeAckData(..) | ProbeAck(_)
-            | VictimDirty(..) | VictimClean(_) | Ipi { .. } => {}
+            ProbeShared(_)
+            | ProbeInvalidate(_)
+            | ProbeAckData(..)
+            | ProbeAck(_)
+            | VictimDirty(..)
+            | VictimClean(_)
+            | Ipi { .. } => {}
         }
         Ok(())
     }

@@ -155,7 +155,10 @@ impl Loopback {
                 shared: std::rc::Rc::clone(&shared),
                 is_a: true,
             },
-            LoopbackSide { shared, is_a: false },
+            LoopbackSide {
+                shared,
+                is_a: false,
+            },
         )
     }
 }

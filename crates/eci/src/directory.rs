@@ -10,9 +10,10 @@
 use std::collections::HashMap;
 
 use enzian_mem::CacheLine;
+use enzian_sim::telemetry::MetricsRegistry;
 
 /// The remote node's copy of a home line, as the home tracks it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RemoteCopy {
     /// The remote node holds no copy.
     #[default]
@@ -25,7 +26,7 @@ pub enum RemoteCopy {
 }
 
 /// Directory entry for one line (public for inspection in tests/tools).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DirectoryEntry {
     /// Remote copy state.
     pub remote: RemoteCopy,
@@ -60,7 +61,9 @@ impl Directory {
 
     /// The remote node's copy state for `line`.
     pub fn remote_copy(&self, line: CacheLine) -> RemoteCopy {
-        self.entries.get(&line).map_or(RemoteCopy::None, |e| e.remote)
+        self.entries
+            .get(&line)
+            .map_or(RemoteCopy::None, |e| e.remote)
     }
 
     /// Records a Shared grant to the remote node.
@@ -143,6 +146,16 @@ impl Directory {
     /// `(grants, recalls)` issued over the directory's lifetime.
     pub fn stats(&self) -> (u64, u64) {
         (self.grants, self.recalls)
+    }
+
+    /// Publishes the directory's counters into `reg` under `prefix`.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter_set(&format!("{prefix}.grants"), self.grants);
+        reg.counter_set(&format!("{prefix}.recalls"), self.recalls);
+        reg.counter_set(
+            &format!("{prefix}.active_remote_copies"),
+            self.active_remote_copies() as u64,
+        );
     }
 }
 

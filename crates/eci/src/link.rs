@@ -17,13 +17,14 @@
 //!   address) matching the boot-time configuration knob.
 
 use enzian_mem::NodeId;
+use enzian_sim::telemetry::MetricsRegistry;
 use enzian_sim::{Channel, ChannelConfig, Duration, Time};
 
 use crate::message::Message;
 
 /// ECI virtual channels. The ordering matters for deadlock freedom:
 /// responses must always drain independently of requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum VirtualChannel {
     /// Coherent requests from a requester to a home.
@@ -52,10 +53,21 @@ impl VirtualChannel {
     pub fn index(self) -> usize {
         self as usize
     }
+
+    /// Lower-case channel name, used in metric paths.
+    pub fn name(self) -> &'static str {
+        match self {
+            VirtualChannel::Request => "request",
+            VirtualChannel::Forward => "forward",
+            VirtualChannel::Response => "response",
+            VirtualChannel::Eviction => "eviction",
+            VirtualChannel::Io => "io",
+        }
+    }
 }
 
 /// Operational state of one 12-lane link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkState {
     /// Powered but not trained; cannot carry traffic.
     Down,
@@ -72,7 +84,7 @@ pub enum LinkState {
 }
 
 /// How the requester spreads transactions over the two links.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkPolicy {
     /// All traffic on one link (the Fig. 6 experiment's configuration).
     Single(u8),
@@ -83,7 +95,7 @@ pub enum LinkPolicy {
 }
 
 /// Static link-layer configuration.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EciLinkConfig {
     /// Lanes per link as built (12 on Enzian).
     pub lanes_per_link: u8,
@@ -228,6 +240,12 @@ pub struct EciLinks {
     pending_lanes: [u8; 2],
     messages_sent: u64,
     bytes_sent: u64,
+    trainings: u64,
+    fallbacks: u64,
+    vc_messages: [u64; 5],
+    vc_bytes: [u64; 5],
+    vc_credit_stalls: [u64; 5],
+    vc_credit_stall_ps: [u64; 5],
 }
 
 impl EciLinks {
@@ -259,6 +277,12 @@ impl EciLinks {
             pending_lanes: [config.lanes_per_link; 2],
             messages_sent: 0,
             bytes_sent: 0,
+            trainings: 0,
+            fallbacks: 0,
+            vc_messages: [0; 5],
+            vc_bytes: [0; 5],
+            vc_credit_stalls: [0; 5],
+            vc_credit_stall_ps: [0; 5],
         }
     }
 
@@ -320,6 +344,7 @@ impl EciLinks {
         link.to_fpga = DirectionState::new(&self.config, lanes);
         // Record the target width for completion.
         self.pending_lanes[usize::from(i)] = lanes;
+        self.trainings += 1;
     }
 
     /// Advances link state machines to `now` (training completion).
@@ -373,6 +398,7 @@ impl EciLinks {
         let mut idx = self.pick_link(msg);
         if !matches!(self.links[usize::from(idx)].state, LinkState::Up { .. }) {
             idx ^= 1;
+            self.fallbacks += 1;
         }
         assert!(
             matches!(self.links[usize::from(idx)].state, LinkState::Up { .. }),
@@ -391,6 +417,12 @@ impl EciLinks {
         dir.credits[vc].commit(t.done + credit_return);
         self.messages_sent += 1;
         self.bytes_sent += bytes;
+        self.vc_messages[vc] += 1;
+        self.vc_bytes[vc] += bytes;
+        if may_start > now {
+            self.vc_credit_stalls[vc] += 1;
+            self.vc_credit_stall_ps[vc] += may_start.since(now).as_ps();
+        }
         SendOutcome {
             link: idx,
             start: t.start,
@@ -406,6 +438,34 @@ impl EciLinks {
     /// Total wire bytes sent across both links.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    /// `(stall count, total stall picoseconds)` accumulated by sends on
+    /// `vc` waiting for receiver buffer credits.
+    pub fn credit_stalls(&self, vc: VirtualChannel) -> (u64, u64) {
+        let i = vc.index();
+        (self.vc_credit_stalls[i], self.vc_credit_stall_ps[i])
+    }
+
+    /// Publishes the link layer's counters into `reg` under `prefix`:
+    /// totals, training/fallback events, and per-virtual-channel message,
+    /// byte and credit-stall counts (`prefix.vc.<name>.*`).
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter_set(&format!("{prefix}.messages"), self.messages_sent);
+        reg.counter_set(&format!("{prefix}.bytes"), self.bytes_sent);
+        reg.counter_set(&format!("{prefix}.trainings"), self.trainings);
+        reg.counter_set(&format!("{prefix}.fallbacks"), self.fallbacks);
+        for vc in VirtualChannel::ALL {
+            let i = vc.index();
+            let base = format!("{prefix}.vc.{}", vc.name());
+            reg.counter_set(&format!("{base}.messages"), self.vc_messages[i]);
+            reg.counter_set(&format!("{base}.bytes"), self.vc_bytes[i]);
+            reg.counter_set(&format!("{base}.credit_stalls"), self.vc_credit_stalls[i]);
+            reg.counter_set(
+                &format!("{base}.credit_stall_ps"),
+                self.vc_credit_stall_ps[i],
+            );
+        }
     }
 }
 
@@ -466,7 +526,11 @@ mod tests {
         let n = 2_000u64;
         let (mut t1, mut t2) = (Time::ZERO, Time::ZERO);
         for i in 0..n {
-            t1 = t1.max(single.send(Time::ZERO, &data_to_fpga(i as u32, i)).delivered);
+            t1 = t1.max(
+                single
+                    .send(Time::ZERO, &data_to_fpga(i as u32, i))
+                    .delivered,
+            );
             t2 = t2.max(dual.send(Time::ZERO, &data_to_fpga(i as u32, i)).delivered);
         }
         let speedup = t1.as_ps() as f64 / t2.as_ps() as f64;
@@ -557,7 +621,10 @@ mod tests {
         let ratio = d4.since(t0).as_ps() as f64 / d12.since(t0).as_ps() as f64;
         // Wire serialization scales 3x, but credit pacing (which does not
         // scale with lanes) compresses the observed ratio.
-        assert!((1.8..3.5).contains(&ratio), "4-lane slowdown {ratio:.2} (expect 2-3x)");
+        assert!(
+            (1.8..3.5).contains(&ratio),
+            "4-lane slowdown {ratio:.2} (expect 2-3x)"
+        );
     }
 
     #[test]
@@ -575,6 +642,29 @@ mod tests {
         // Link 0 still down; send must use link 1.
         let out = l.send(Time::ZERO + Duration::from_ms(3), &msg_to_cpu(1, 1));
         assert_eq!(out.link, 1);
+    }
+
+    #[test]
+    fn telemetry_reports_credit_stalls() {
+        let cfg = EciLinkConfig {
+            credits_per_vc: 2,
+            response_data_credits: 2,
+            credit_return: Duration::from_us(10),
+            ..EciLinkConfig::enzian()
+        };
+        let mut l = EciLinks::new_trained(cfg, LinkPolicy::Single(0));
+        for i in 0..4 {
+            let _ = l.send(Time::ZERO, &msg_to_cpu(i, u64::from(i)));
+        }
+        let (stalls, stall_ps) = l.credit_stalls(VirtualChannel::Request);
+        assert!(stalls >= 2, "burst of 4 over 2 credits must stall");
+        assert!(stall_ps > 0);
+        let mut reg = MetricsRegistry::new();
+        l.export_metrics(&mut reg, "eci.link");
+        assert_eq!(reg.counter("eci.link.vc.request.credit_stalls"), stalls);
+        assert_eq!(reg.counter("eci.link.vc.request.credit_stall_ps"), stall_ps);
+        assert_eq!(reg.counter("eci.link.messages"), 4);
+        assert_eq!(reg.counter("eci.link.vc.response.messages"), 0);
     }
 
     #[test]

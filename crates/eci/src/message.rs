@@ -14,7 +14,6 @@ use crate::link::VirtualChannel;
 
 /// A transaction identifier, unique per outstanding request at its issuer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct TxnId(pub u32);
 
 impl fmt::Display for TxnId {
@@ -160,11 +159,20 @@ impl MessageKind {
     pub fn line(&self) -> Option<CacheLine> {
         use MessageKind::*;
         match self {
-            ReadShared(l) | ReadExclusive(l) | Upgrade(l) | ReadOnce(l) | WriteLine(l, _)
-            | ProbeShared(l) | ProbeInvalidate(l) | DataShared(l, _) | DataExclusive(l, _)
-            | Ack(l) | ProbeAckData(l, _) | ProbeAck(l) | VictimDirty(l, _) | VictimClean(l) => {
-                Some(*l)
-            }
+            ReadShared(l)
+            | ReadExclusive(l)
+            | Upgrade(l)
+            | ReadOnce(l)
+            | WriteLine(l, _)
+            | ProbeShared(l)
+            | ProbeInvalidate(l)
+            | DataShared(l, _)
+            | DataExclusive(l, _)
+            | Ack(l)
+            | ProbeAckData(l, _)
+            | ProbeAck(l)
+            | VictimDirty(l, _)
+            | VictimClean(l) => Some(*l),
             IoRead { .. } | IoWrite { .. } | IoData { .. } | IoAck { .. } | Ipi { .. } => None,
         }
     }
@@ -354,12 +362,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "own node")]
     fn self_addressed_message_rejected() {
-        let _ = Message::new(
-            NodeId::Cpu,
-            NodeId::Cpu,
-            TxnId(0),
-            MessageKind::Ack(line()),
-        );
+        let _ = Message::new(NodeId::Cpu, NodeId::Cpu, TxnId(0), MessageKind::Ack(line()));
     }
 
     #[test]

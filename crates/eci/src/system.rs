@@ -104,7 +104,7 @@ impl EciSystemConfig {
 }
 
 /// Aggregate operation counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EciSystemStats {
     /// FPGA-initiated uncached line reads of host memory.
     pub fpga_reads: u64,
@@ -221,6 +221,29 @@ impl EciSystem {
         &self.stats
     }
 
+    /// Publishes the whole system's counters into `reg` under `prefix`:
+    /// operation totals, the link layer (including per-VC credit stalls)
+    /// under `prefix.link`, and both home directories.
+    pub fn export_metrics(&self, reg: &mut enzian_sim::MetricsRegistry, prefix: &str) {
+        reg.counter_set(&format!("{prefix}.fpga_reads"), self.stats.fpga_reads);
+        reg.counter_set(&format!("{prefix}.fpga_writes"), self.stats.fpga_writes);
+        reg.counter_set(&format!("{prefix}.cpu_reads"), self.stats.cpu_reads);
+        reg.counter_set(&format!("{prefix}.cpu_writes"), self.stats.cpu_writes);
+        reg.counter_set(&format!("{prefix}.probes"), self.stats.probes);
+        reg.counter_set(&format!("{prefix}.victims"), self.stats.victims);
+        reg.counter_set(&format!("{prefix}.io_ops"), self.stats.io_ops);
+        reg.counter_set(&format!("{prefix}.ipis"), self.stats.ipis);
+        reg.counter_set(
+            &format!("{prefix}.checker_violations"),
+            self.checker.violations().len() as u64,
+        );
+        self.links.export_metrics(reg, &format!("{prefix}.link"));
+        self.dir_cpu
+            .export_metrics(reg, &format!("{prefix}.dir.cpu"));
+        self.dir_fpga
+            .export_metrics(reg, &format!("{prefix}.dir.fpga"));
+    }
+
     fn fpga_delay(&self) -> Duration {
         Duration::from_hz(self.cfg.fpga_clock_hz) * u64::from(self.cfg.fpga_pipeline_cycles)
     }
@@ -245,7 +268,9 @@ impl EciSystem {
     }
 
     fn fpga_transition(&mut self, line: enzian_mem::CacheLine, from: LineState, to: LineState) {
-        let _ = self.checker.observe_transition(NodeId::Fpga, line, from, to);
+        let _ = self
+            .checker
+            .observe_transition(NodeId::Fpga, line, from, to);
     }
 
     // ---------------------------------------------------------------
@@ -283,7 +308,8 @@ impl EciSystem {
         let data_ready = if self.l2.state_of(line).is_readable() {
             lookup_done + self.cfg.l2_hit_latency
         } else {
-            self.cpu_mem.request(lookup_done, line.base(), 128, Op::Read)
+            self.cpu_mem
+                .request(lookup_done, line.base(), 128, Op::Read)
         };
         let data = self.cpu_mem.store().read_line(addr);
 
@@ -408,13 +434,18 @@ impl EciSystem {
             self.l2_transition(
                 line,
                 was,
-                if was.is_dirty() { LineState::Owned } else { LineState::Shared },
+                if was.is_dirty() {
+                    LineState::Owned
+                } else {
+                    LineState::Shared
+                },
             );
         }
         let data_ready = if self.l2.state_of(line).is_readable() {
             lookup_done + self.cfg.l2_hit_latency
         } else {
-            self.cpu_mem.request(lookup_done, line.base(), 128, Op::Read)
+            self.cpu_mem
+                .request(lookup_done, line.base(), 128, Op::Read)
         };
 
         let data = self.cpu_mem.store().read_line(addr);
@@ -432,7 +463,10 @@ impl EciSystem {
         } else {
             MessageKind::DataShared(line, Box::new(data))
         };
-        let delivered = self.emit(data_ready, &Message::new(NodeId::Cpu, NodeId::Fpga, txn, kind));
+        let delivered = self.emit(
+            data_ready,
+            &Message::new(NodeId::Cpu, NodeId::Fpga, txn, kind),
+        );
         (data, delivered + self.fpga_delay())
     }
 
@@ -476,12 +510,7 @@ impl EciSystem {
 
     /// FPGA releases a previously acquired line, writing back `dirty`
     /// data if it modified it. Returns completion time.
-    pub fn fpga_release_line(
-        &mut self,
-        now: Time,
-        addr: Addr,
-        dirty: Option<&[u8; 128]>,
-    ) -> Time {
+    pub fn fpga_release_line(&mut self, now: Time, addr: Addr, dirty: Option<&[u8; 128]>) -> Time {
         let line = addr.line();
         let txn = self.txn();
         let issue = now + self.fpga_delay();
@@ -621,7 +650,10 @@ impl EciSystem {
         } else {
             MessageKind::DataShared(line, Box::new(data))
         };
-        let delivered = self.emit(data_ready, &Message::new(NodeId::Fpga, NodeId::Cpu, txn, kind));
+        let delivered = self.emit(
+            data_ready,
+            &Message::new(NodeId::Fpga, NodeId::Cpu, txn, kind),
+        );
 
         let state = if for_write {
             LineState::Modified
@@ -642,9 +674,7 @@ impl EciSystem {
                 NodeId::Cpu => {
                     if ev.state.is_dirty() {
                         // Local write-back; data is already in the store.
-                        let _ = self
-                            .cpu_mem
-                            .request(now, ev.line.base(), 128, Op::Write);
+                        let _ = self.cpu_mem.request(now, ev.line.base(), 128, Op::Write);
                     }
                 }
                 NodeId::Fpga => {
@@ -691,13 +721,20 @@ impl EciSystem {
         };
         if for_write {
             self.dir_cpu.revoke(line);
-            let from = if was_owner { LineState::Modified } else { LineState::Shared };
+            let from = if was_owner {
+                LineState::Modified
+            } else {
+                LineState::Shared
+            };
             self.fpga_transition(line, from, LineState::Invalid);
         } else if was_owner {
             self.dir_cpu.downgrade(line);
             self.fpga_transition(line, LineState::Modified, LineState::Owned);
         }
-        self.emit(service, &Message::new(NodeId::Fpga, NodeId::Cpu, txn, ack_kind))
+        self.emit(
+            service,
+            &Message::new(NodeId::Fpga, NodeId::Cpu, txn, ack_kind),
+        )
     }
 
     /// Invalidates remote sharers before a CPU upgrade completes.
@@ -715,11 +752,16 @@ impl EciSystem {
             // message promotes us to owner there.
             NodeId::Fpga => {
                 let txn = self.txn();
-                let delivered =
-                    self.emit(now, &Message::new(NodeId::Cpu, NodeId::Fpga, txn, MessageKind::Upgrade(line)));
+                let delivered = self.emit(
+                    now,
+                    &Message::new(NodeId::Cpu, NodeId::Fpga, txn, MessageKind::Upgrade(line)),
+                );
                 let service = delivered + self.fpga_delay();
                 self.dir_fpga.grant_owner(line);
-                self.emit(service, &Message::new(NodeId::Fpga, NodeId::Cpu, txn, MessageKind::Ack(line)))
+                self.emit(
+                    service,
+                    &Message::new(NodeId::Fpga, NodeId::Cpu, txn, MessageKind::Ack(line)),
+                )
             }
         }
     }
@@ -747,13 +789,29 @@ impl EciSystem {
         let to = from.peer();
         let delivered = self.emit(
             now,
-            &Message::new(from, to, txn, MessageKind::IoWrite { addr: reg, size, data }),
+            &Message::new(
+                from,
+                to,
+                txn,
+                MessageKind::IoWrite {
+                    addr: reg,
+                    size,
+                    data,
+                },
+            ),
         );
-        let mask = if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+        let mask = if size == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (size * 8)) - 1
+        };
         let regs = &mut self.io_regs[Self::node_index(to)];
         let slot = regs.entry(reg.0).or_insert(0);
         *slot = (*slot & !mask) | (data & mask);
-        self.emit(delivered, &Message::new(to, from, txn, MessageKind::IoAck { addr: reg }))
+        self.emit(
+            delivered,
+            &Message::new(to, from, txn, MessageKind::IoAck { addr: reg }),
+        )
     }
 
     /// Reads an I/O register on the peer of `from`. Returns the value and
@@ -768,11 +826,23 @@ impl EciSystem {
             &Message::new(from, to, txn, MessageKind::IoRead { addr: reg, size }),
         );
         let raw = *self.io_regs[Self::node_index(to)].get(&reg.0).unwrap_or(&0);
-        let mask = if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+        let mask = if size == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (size * 8)) - 1
+        };
         let value = raw & mask;
         let done = self.emit(
             delivered,
-            &Message::new(to, from, txn, MessageKind::IoData { addr: reg, data: value }),
+            &Message::new(
+                to,
+                from,
+                txn,
+                MessageKind::IoData {
+                    addr: reg,
+                    data: value,
+                },
+            ),
         );
         (value, done)
     }
@@ -780,7 +850,9 @@ impl EciSystem {
     /// Reads an I/O register locally (no link traversal), e.g. the FPGA
     /// shell reading its own CSRs.
     pub fn io_read_local(&self, node: NodeId, reg: Addr) -> u64 {
-        *self.io_regs[Self::node_index(node)].get(&reg.0).unwrap_or(&0)
+        *self.io_regs[Self::node_index(node)]
+            .get(&reg.0)
+            .unwrap_or(&0)
     }
 
     /// Writes an I/O register locally (no link traversal), e.g. the FPGA
@@ -794,7 +866,10 @@ impl EciSystem {
         self.stats.ipis += 1;
         let txn = self.txn();
         let to = from.peer();
-        let delivered = self.emit(now, &Message::new(from, to, txn, MessageKind::Ipi { vector }));
+        let delivered = self.emit(
+            now,
+            &Message::new(from, to, txn, MessageKind::Ipi { vector }),
+        );
         self.pending_ipis[Self::node_index(to)].push(vector);
         delivered
     }
@@ -1026,7 +1101,10 @@ mod tests {
         let lines = 16_384u64;
         let done = sys.fpga_read_burst(Time::ZERO, Addr(0), lines);
         let gib = (lines * 128) as f64 / done.as_secs_f64() / (1u64 << 30) as f64;
-        assert!((17.0..23.0).contains(&gib), "silicon bandwidth {gib:.1} GiB/s");
+        assert!(
+            (17.0..23.0).contains(&gib),
+            "silicon bandwidth {gib:.1} GiB/s"
+        );
     }
 
     #[test]

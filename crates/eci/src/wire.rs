@@ -26,7 +26,6 @@
 //! 24+n    4     CRC-32 (IEEE) over bytes [0, 24+n) (LE)
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use enzian_mem::{Addr, CacheLine, NodeId};
 
 use crate::message::{Message, MessageKind, TxnId, HEADER_BYTES};
@@ -88,7 +87,10 @@ impl std::fmt::Display for WireError {
                 write!(f, "opcode {opcode:#04x} with invalid payload length {len}")
             }
             WireError::BadCrc { computed, found } => {
-                write!(f, "crc mismatch: computed {computed:#010x}, found {found:#010x}")
+                write!(
+                    f,
+                    "crc mismatch: computed {computed:#010x}, found {found:#010x}"
+                )
             }
             WireError::SelfAddressed => write!(f, "source and destination nodes are equal"),
             WireError::BadIoSize(s) => write!(f, "invalid i/o access size {s}"),
@@ -170,7 +172,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, entry) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -184,13 +190,16 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 /// Encodes a message into a framed byte buffer.
-pub fn encode_message(msg: &Message) -> Bytes {
+pub fn encode_message(msg: &Message) -> Vec<u8> {
     use MessageKind::*;
 
     let (addr_field, aux, payload): (u64, u8, &[u8]) = match &msg.kind {
         ReadShared(l) | ReadExclusive(l) | Upgrade(l) | ReadOnce(l) | ProbeShared(l)
         | ProbeInvalidate(l) | Ack(l) | ProbeAck(l) | VictimClean(l) => (l.0, 0, &[]),
-        WriteLine(l, d) | DataShared(l, d) | DataExclusive(l, d) | ProbeAckData(l, d)
+        WriteLine(l, d)
+        | DataShared(l, d)
+        | DataExclusive(l, d)
+        | ProbeAckData(l, d)
         | VictimDirty(l, d) => (l.0, 0, &d[..]),
         IoRead { addr, size } => (addr.0, *size, &[]),
         IoWrite { addr, size, data } => {
@@ -208,23 +217,23 @@ pub fn encode_message(msg: &Message) -> Bytes {
         payload
     };
 
-    let mut buf = BytesMut::with_capacity(HEADER_BYTES as usize + payload.len() + 4);
-    buf.put_u8(MAGIC);
-    buf.put_u8(VERSION);
-    buf.put_u8(msg.virtual_channel() as u8);
-    buf.put_u8(kind_opcode(&msg.kind));
-    buf.put_u8(node_byte(msg.src));
-    buf.put_u8(node_byte(msg.dst));
-    buf.put_u16_le(payload.len() as u16);
-    buf.put_u64_le(addr_field);
-    buf.put_u32_le(msg.txn.0);
-    buf.put_u8(aux);
-    buf.put_bytes(0, 3);
+    let mut buf = Vec::with_capacity(HEADER_BYTES as usize + payload.len() + 4);
+    buf.push(MAGIC);
+    buf.push(VERSION);
+    buf.push(msg.virtual_channel() as u8);
+    buf.push(kind_opcode(&msg.kind));
+    buf.push(node_byte(msg.src));
+    buf.push(node_byte(msg.dst));
+    buf.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+    buf.extend_from_slice(&addr_field.to_le_bytes());
+    buf.extend_from_slice(&msg.txn.0.to_le_bytes());
+    buf.push(aux);
+    buf.extend_from_slice(&[0; 3]);
     debug_assert_eq!(buf.len() as u64, HEADER_BYTES);
-    buf.put_slice(payload);
+    buf.extend_from_slice(payload);
     let crc = crc32(&buf);
-    buf.put_u32_le(crc);
-    buf.freeze()
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
 }
 
 fn take_line_payload(payload: &[u8], op: u8, len: u16) -> Result<Box<[u8; 128]>, WireError> {
@@ -249,27 +258,25 @@ pub fn decode_message(buf: &[u8]) -> Result<(Message, usize), WireError> {
             have: buf.len(),
         });
     }
-    let mut b = buf;
-    let magic = b.get_u8();
+    let magic = buf[0];
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    let version = b.get_u8();
+    let version = buf[1];
     if version != VERSION {
         return Err(WireError::BadVersion(version));
     }
-    let _vc = b.get_u8();
-    let op = b.get_u8();
-    let src = byte_node(b.get_u8())?;
-    let dst = byte_node(b.get_u8())?;
+    let _vc = buf[2];
+    let op = buf[3];
+    let src = byte_node(buf[4])?;
+    let dst = byte_node(buf[5])?;
     if src == dst {
         return Err(WireError::SelfAddressed);
     }
-    let len = b.get_u16_le();
-    let addr_field = b.get_u64_le();
-    let txn = TxnId(b.get_u32_le());
-    let aux = b.get_u8();
-    b.advance(3);
+    let len = u16::from_le_bytes(buf[6..8].try_into().expect("2 bytes"));
+    let addr_field = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let txn = TxnId(u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")));
+    let aux = buf[20];
 
     let total = header + usize::from(len) + 4;
     if buf.len() < total {
@@ -280,7 +287,9 @@ pub fn decode_message(buf: &[u8]) -> Result<(Message, usize), WireError> {
     }
     let payload = &buf[header..header + usize::from(len)];
     let found_crc = u32::from_le_bytes(
-        buf[header + usize::from(len)..total].try_into().expect("4 bytes"),
+        buf[header + usize::from(len)..total]
+            .try_into()
+            .expect("4 bytes"),
     );
     let computed = crc32(&buf[..header + usize::from(len)]);
     if computed != found_crc {
@@ -408,17 +417,42 @@ mod tests {
         let d = Box::new(data);
         let line = CacheLine(0x1234_5678_9ABC);
         vec![
-            Message::new(NodeId::Fpga, NodeId::Cpu, TxnId(1), MessageKind::ReadShared(line)),
-            Message::new(NodeId::Fpga, NodeId::Cpu, TxnId(2), MessageKind::ReadExclusive(line)),
-            Message::new(NodeId::Cpu, NodeId::Fpga, TxnId(3), MessageKind::Upgrade(line)),
-            Message::new(NodeId::Fpga, NodeId::Cpu, TxnId(4), MessageKind::ReadOnce(line)),
+            Message::new(
+                NodeId::Fpga,
+                NodeId::Cpu,
+                TxnId(1),
+                MessageKind::ReadShared(line),
+            ),
+            Message::new(
+                NodeId::Fpga,
+                NodeId::Cpu,
+                TxnId(2),
+                MessageKind::ReadExclusive(line),
+            ),
+            Message::new(
+                NodeId::Cpu,
+                NodeId::Fpga,
+                TxnId(3),
+                MessageKind::Upgrade(line),
+            ),
+            Message::new(
+                NodeId::Fpga,
+                NodeId::Cpu,
+                TxnId(4),
+                MessageKind::ReadOnce(line),
+            ),
             Message::new(
                 NodeId::Fpga,
                 NodeId::Cpu,
                 TxnId(5),
                 MessageKind::WriteLine(line, d.clone()),
             ),
-            Message::new(NodeId::Cpu, NodeId::Fpga, TxnId(6), MessageKind::ProbeShared(line)),
+            Message::new(
+                NodeId::Cpu,
+                NodeId::Fpga,
+                TxnId(6),
+                MessageKind::ProbeShared(line),
+            ),
             Message::new(
                 NodeId::Cpu,
                 NodeId::Fpga,
@@ -444,14 +478,24 @@ mod tests {
                 TxnId(11),
                 MessageKind::ProbeAckData(line, d.clone()),
             ),
-            Message::new(NodeId::Fpga, NodeId::Cpu, TxnId(12), MessageKind::ProbeAck(line)),
+            Message::new(
+                NodeId::Fpga,
+                NodeId::Cpu,
+                TxnId(12),
+                MessageKind::ProbeAck(line),
+            ),
             Message::new(
                 NodeId::Cpu,
                 NodeId::Fpga,
                 TxnId(13),
                 MessageKind::VictimDirty(line, d),
             ),
-            Message::new(NodeId::Cpu, NodeId::Fpga, TxnId(14), MessageKind::VictimClean(line)),
+            Message::new(
+                NodeId::Cpu,
+                NodeId::Fpga,
+                TxnId(14),
+                MessageKind::VictimClean(line),
+            ),
             Message::new(
                 NodeId::Cpu,
                 NodeId::Fpga,
@@ -486,7 +530,12 @@ mod tests {
                 TxnId(18),
                 MessageKind::IoAck { addr: Addr(0x108) },
             ),
-            Message::new(NodeId::Cpu, NodeId::Fpga, TxnId(19), MessageKind::Ipi { vector: 5 }),
+            Message::new(
+                NodeId::Cpu,
+                NodeId::Fpga,
+                TxnId(19),
+                MessageKind::Ipi { vector: 5 },
+            ),
         ]
     }
 
@@ -494,9 +543,8 @@ mod tests {
     fn every_kind_round_trips() {
         for msg in sample_messages() {
             let enc = encode_message(&msg);
-            let (dec, used) = decode_message(&enc).unwrap_or_else(|e| {
-                panic!("decode of {} failed: {e}", msg.kind.mnemonic())
-            });
+            let (dec, used) = decode_message(&enc)
+                .unwrap_or_else(|e| panic!("decode of {} failed: {e}", msg.kind.mnemonic()));
             assert_eq!(used, enc.len());
             assert_eq!(dec, msg);
         }
@@ -573,7 +621,7 @@ mod tests {
         );
         let mut enc = encode_message(&msg).to_vec();
         enc[20] = 3; // aux = invalid size
-        // Re-seal the CRC so only the size check can fail.
+                     // Re-seal the CRC so only the size check can fail.
         let n = enc.len();
         let crc = crc32(&enc[..n - 4]);
         enc[n - 4..].copy_from_slice(&crc.to_le_bytes());

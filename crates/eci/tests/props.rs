@@ -1,89 +1,112 @@
-//! Property tests for the ECI protocol layer.
-
-use proptest::prelude::*;
+//! Randomized invariant tests for the ECI protocol layer, driven by the
+//! deterministic [`SimRng`] so every failure reproduces exactly.
 
 use enzian_eci::link::{EciLinkConfig, EciLinks, LinkPolicy};
 use enzian_eci::message::{Message, MessageKind, TxnId};
 use enzian_eci::wire::{crc32, decode_message, encode_message};
 use enzian_eci::{EciSystem, EciSystemConfig};
 use enzian_mem::{Addr, CacheLine, NodeId};
-use enzian_sim::Time;
+use enzian_sim::{SimRng, Time};
 
-proptest! {
-    /// Flipping any single bit of an encoded frame is detected (by the
-    /// CRC or an earlier structural check) — never silently accepted as
-    /// a different message.
-    #[test]
-    fn single_bit_flips_never_alias(line in any::<u64>(), txn in any::<u32>(), bit in 0usize..(28 * 8)) {
+/// Flipping any single bit of an encoded frame is detected (by the
+/// CRC or an earlier structural check) — never silently accepted as
+/// a different message.
+#[test]
+fn single_bit_flips_never_alias() {
+    let mut rng = SimRng::seed_from(0xEC1_0001);
+    for _case in 0..256 {
         let msg = Message::new(
             NodeId::Fpga,
             NodeId::Cpu,
-            TxnId(txn),
-            MessageKind::ReadOnce(CacheLine(line)),
+            TxnId(rng.next_u64() as u32),
+            MessageKind::ReadOnce(CacheLine(rng.next_u64())),
         );
         let enc = encode_message(&msg);
-        prop_assume!(bit < enc.len() * 8);
-        let mut bad = enc.to_vec();
+        let bit = rng.next_below(enc.len() as u64 * 8) as usize;
+        let mut bad = enc.clone();
         bad[bit / 8] ^= 1 << (bit % 8);
         match decode_message(&bad) {
             Err(_) => {} // detected
-            Ok((decoded, _)) => prop_assert_eq!(decoded, msg, "silent corruption"),
+            Ok((decoded, _)) => assert_eq!(decoded, msg, "silent corruption"),
         }
     }
+}
 
-    /// CRC32 is linear in the sense that equal buffers produce equal
-    /// checksums and differing buffers (same length) rarely collide —
-    /// here we only require difference detection for single-byte edits.
-    #[test]
-    fn crc_detects_single_byte_edits(data in proptest::collection::vec(any::<u8>(), 1..128), idx in 0usize..128, delta in 1u8..=255) {
-        let idx = idx % data.len();
+/// CRC32 detects any single-byte edit of a buffer.
+#[test]
+fn crc_detects_single_byte_edits() {
+    let mut rng = SimRng::seed_from(0xEC1_0002);
+    for _case in 0..256 {
+        let n = rng.range(1, 127) as usize;
+        let mut data = vec![0u8; n];
+        rng.fill_bytes(&mut data);
+        let idx = rng.next_below(n as u64) as usize;
+        let delta = rng.range(1, 255) as u8;
         let mut edited = data.clone();
         edited[idx] = edited[idx].wrapping_add(delta);
-        prop_assert_ne!(crc32(&data), crc32(&edited));
+        assert_ne!(crc32(&data), crc32(&edited));
     }
+}
 
-    /// For any traffic mix, the links' byte accounting equals the sum of
-    /// the messages' link sizes, and every delivery is causal.
-    #[test]
-    fn link_accounting_is_exact(kinds in proptest::collection::vec(0u8..4, 1..100)) {
+/// For any traffic mix, the links' byte accounting equals the sum of
+/// the messages' link sizes, and every delivery is causal.
+#[test]
+fn link_accounting_is_exact() {
+    let mut rng = SimRng::seed_from(0xEC1_0003);
+    for _case in 0..16 {
+        let n = rng.range(1, 99) as usize;
         let mut links = EciLinks::new_trained(EciLinkConfig::enzian(), LinkPolicy::RoundRobin);
         let mut expect = 0u64;
-        for (i, &k) in kinds.iter().enumerate() {
+        for i in 0..n {
             let line = CacheLine(i as u64);
-            let (src, dst, kind) = match k {
+            let (src, dst, kind) = match rng.next_below(4) {
                 0 => (NodeId::Fpga, NodeId::Cpu, MessageKind::ReadOnce(line)),
-                1 => (NodeId::Cpu, NodeId::Fpga, MessageKind::DataShared(line, Box::new([0; 128]))),
-                2 => (NodeId::Fpga, NodeId::Cpu, MessageKind::WriteLine(line, Box::new([0; 128]))),
+                1 => (
+                    NodeId::Cpu,
+                    NodeId::Fpga,
+                    MessageKind::DataShared(line, Box::new([0; 128])),
+                ),
+                2 => (
+                    NodeId::Fpga,
+                    NodeId::Cpu,
+                    MessageKind::WriteLine(line, Box::new([0; 128])),
+                ),
                 _ => (NodeId::Cpu, NodeId::Fpga, MessageKind::Ack(line)),
             };
             let msg = Message::new(src, dst, TxnId(i as u32), kind);
             expect += msg.link_bytes();
             let out = links.send(Time::ZERO, &msg);
-            prop_assert!(out.delivered > out.start);
+            assert!(out.delivered > out.start);
         }
-        prop_assert_eq!(links.bytes_sent(), expect);
-        prop_assert_eq!(links.messages_sent(), kinds.len() as u64);
+        assert_eq!(links.bytes_sent(), expect);
+        assert_eq!(links.messages_sent(), n as u64);
     }
+}
 
-    /// Any interleaving of FPGA reads/writes over distinct lines keeps
-    /// per-line read-your-writes semantics and a clean checker.
-    #[test]
-    fn fpga_traffic_read_your_writes(ops in proptest::collection::vec((0u64..6, any::<u8>(), any::<bool>()), 1..50)) {
+/// Any interleaving of FPGA reads/writes over distinct lines keeps
+/// per-line read-your-writes semantics and a clean checker.
+#[test]
+fn fpga_traffic_read_your_writes() {
+    let mut rng = SimRng::seed_from(0xEC1_0004);
+    for _case in 0..16 {
+        let n = rng.range(1, 49) as usize;
         let mut sys = EciSystem::new(EciSystemConfig::enzian());
         let mut last = [0u8; 6];
         let mut t = Time::ZERO;
-        for &(slot, fill, write) in &ops {
+        for _ in 0..n {
+            let slot = rng.next_below(6);
+            let fill = rng.next_u64() as u8;
             let addr = Addr(slot * 128);
-            if write {
+            if rng.chance(0.5) {
                 last[slot as usize] = fill;
                 t = sys.fpga_write_line(t, addr, &[fill; 128]);
             } else {
                 let (data, t2) = sys.fpga_read_line(t, addr);
-                prop_assert_eq!(data[0], last[slot as usize]);
+                assert_eq!(data[0], last[slot as usize]);
                 t = t2;
             }
         }
-        prop_assert!(sys.checker().violations().is_empty());
+        assert!(sys.checker().violations().is_empty());
     }
 }
 

@@ -14,7 +14,6 @@ pub const CACHE_LINE_BYTES: u64 = 128;
 
 /// A physical byte address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -48,7 +47,6 @@ impl From<u64> for Addr {
 
 /// A cache-line index (physical address divided by the line size).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct CacheLine(pub u64);
 
 impl CacheLine {
@@ -71,7 +69,6 @@ impl fmt::Display for CacheLine {
 
 /// Identifies one of the two NUMA nodes of an Enzian system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum NodeId {
     /// Node 0: the 48-core ThunderX-1 CPU.
     Cpu,
@@ -111,7 +108,7 @@ impl fmt::Display for NodeId {
 /// assert_eq!(map.home_of(Addr(0x1000)), NodeId::Cpu);
 /// assert_eq!(map.home_of(map.fpga_base()), NodeId::Fpga);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryMap {
     cpu_bytes: u64,
     fpga_base: u64,

@@ -14,7 +14,7 @@ use crate::dram::{DdrGeneration, DramChannel};
 use crate::store::Store;
 
 /// Whether a request reads or writes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Read from DRAM.
     Read,
@@ -23,7 +23,7 @@ pub enum Op {
 }
 
 /// Static configuration of a controller.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryControllerConfig {
     /// Number of DDR4 channels (4 on both Enzian nodes).
     pub channels: usize,
@@ -166,7 +166,11 @@ impl MemoryController {
 
     /// Mean row-buffer hit rate across channels; `None` before any access.
     pub fn row_hit_rate(&self) -> Option<f64> {
-        let rates: Vec<f64> = self.channels.iter().filter_map(|c| c.row_hit_rate()).collect();
+        let rates: Vec<f64> = self
+            .channels
+            .iter()
+            .filter_map(|c| c.row_hit_rate())
+            .collect();
         if rates.is_empty() {
             None
         } else {

@@ -18,7 +18,7 @@ use enzian_sim::{Duration, Time};
 use crate::addr::Addr;
 
 /// DDR4 speed bins used on Enzian.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DdrGeneration {
     /// DDR4-2133 (CPU side, 4 channels, 128 GiB total).
     Ddr4_2133,
@@ -27,7 +27,7 @@ pub enum DdrGeneration {
 }
 
 /// JEDEC-style timing parameters for a speed bin.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramTiming {
     /// Data-rate transfers per second (e.g. 2 133 000 000 for DDR4-2133).
     pub transfers_per_sec: u64,
@@ -149,7 +149,10 @@ impl DramChannel {
         let row_index = addr.0 / ROW_BYTES;
         // Banks interleave on row index so sequential rows hit different
         // banks (matching typical controller mappings).
-        ((row_index % BANKS as u64) as usize, row_index / BANKS as u64)
+        (
+            (row_index % BANKS as u64) as usize,
+            row_index / BANKS as u64,
+        )
     }
 
     /// Issues an access of `bytes` at `addr` starting no earlier than

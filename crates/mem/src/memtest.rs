@@ -14,7 +14,7 @@ use crate::addr::Addr;
 use crate::controller::MemoryController;
 
 /// Identifies one stage of the diagnostic suite (in execution order).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemtestKind {
     /// BDK DRAM presence/size check.
     DramCheck,
@@ -40,7 +40,7 @@ impl MemtestKind {
 }
 
 /// Result of one memtest stage.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemtestReport {
     /// Which stage ran.
     pub kind: MemtestKind,
@@ -276,7 +276,14 @@ mod tests {
         // not possible through the public API; instead corrupt then run
         // a fresh verify pass via dram_check on the damaged address.
         let mut rng = SimRng::seed_from(2);
-        let r = run(MemtestKind::DataBus, &mut mc, Time::ZERO, base, 4096, &mut rng);
+        let r = run(
+            MemtestKind::DataBus,
+            &mut mc,
+            Time::ZERO,
+            base,
+            4096,
+            &mut rng,
+        );
         assert!(r.passed);
     }
 
@@ -329,7 +336,14 @@ mod tests {
         let mut mc = controller();
         let mut rng = SimRng::seed_from(5);
         let span = 1u64 << 20;
-        let r = run(MemtestKind::AddressBus, &mut mc, Time::ZERO, Addr(0), span, &mut rng);
+        let r = run(
+            MemtestKind::AddressBus,
+            &mut mc,
+            Time::ZERO,
+            Addr(0),
+            span,
+            &mut rng,
+        );
         assert!(r.passed);
         // offsets: 0 plus 8,16,...,2^19 -> 18 offsets, 2 accesses each.
         let offsets = 1 + (20 - 3);
@@ -341,7 +355,14 @@ mod tests {
     fn tiny_span_rejected() {
         let mut mc = controller();
         let mut rng = SimRng::seed_from(6);
-        run(MemtestKind::DataBus, &mut mc, Time::ZERO, Addr(0), 16, &mut rng);
+        run(
+            MemtestKind::DataBus,
+            &mut mc,
+            Time::ZERO,
+            Addr(0),
+            16,
+            &mut rng,
+        );
     }
 
     #[test]

@@ -1,55 +1,64 @@
-//! Property tests for the memory substrate.
-
-use proptest::prelude::*;
+//! Randomized invariant tests for the memory substrate, driven by the
+//! deterministic [`SimRng`] so every failure reproduces exactly.
 
 use enzian_mem::{Addr, DdrGeneration, DramChannel, MemoryController, MemoryControllerConfig, Op};
-use enzian_sim::Time;
+use enzian_sim::{SimRng, Time};
 
-proptest! {
-    /// DRAM access completion is monotone in submission time, and always
-    /// after the submission.
-    #[test]
-    fn dram_time_is_causal(
-        accesses in proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000, any::<bool>()), 1..100)
-    ) {
+/// DRAM access completion is monotone in submission time, and always
+/// after the submission.
+#[test]
+fn dram_time_is_causal() {
+    let mut rng = SimRng::seed_from(0x3E3_0001);
+    for _case in 0..32 {
+        let n = rng.range(1, 99) as usize;
         let mut ch = DramChannel::new(DdrGeneration::Ddr4_2133);
-        for &(at_ns, addr, write) in &accesses {
+        for _ in 0..n {
+            let at_ns = rng.next_below(1_000_000);
+            let addr = rng.next_below(1_000_000);
+            let write = rng.chance(0.5);
             let now = Time::from_ps(at_ns * 1000);
             let done = ch.access(now, Addr(addr), 128, write);
-            prop_assert!(done > now, "completion not after submission");
+            assert!(done > now, "completion not after submission");
         }
     }
+}
 
-    /// Controller reads return exactly what was last written, for any
-    /// interleaving of line-aligned writes.
-    #[test]
-    fn controller_reads_last_write(
-        ops in proptest::collection::vec((0u64..64, any::<u8>()), 1..80)
-    ) {
+/// Controller reads return exactly what was last written, for any
+/// interleaving of line-aligned writes.
+#[test]
+fn controller_reads_last_write() {
+    let mut rng = SimRng::seed_from(0x3E3_0002);
+    for _case in 0..32 {
+        let n = rng.range(1, 79) as usize;
         let mut mc = MemoryController::new(MemoryControllerConfig::enzian_cpu());
         let mut reference = [0u8; 64];
         let mut t = Time::ZERO;
-        for &(line, fill) in &ops {
+        for _ in 0..n {
+            let line = rng.next_below(64);
+            let fill = rng.next_u64() as u8;
             t = mc.write(t, Addr(line * 128), &[fill; 128]);
             reference[line as usize] = fill;
         }
         for line in 0..64u64 {
             let mut buf = [0u8; 128];
             t = mc.read(t, Addr(line * 128), &mut buf);
-            prop_assert_eq!(buf, [reference[line as usize]; 128]);
+            assert_eq!(buf, [reference[line as usize]; 128]);
         }
     }
+}
 
-    /// Aggregate bandwidth never exceeds the pin rate for any request
-    /// pattern.
-    #[test]
-    fn bandwidth_never_exceeds_pins(
-        reqs in proptest::collection::vec((0u64..(1u64 << 24), 1u64..8192), 1..60)
-    ) {
+/// Aggregate bandwidth never exceeds the pin rate for any request pattern.
+#[test]
+fn bandwidth_never_exceeds_pins() {
+    let mut rng = SimRng::seed_from(0x3E3_0003);
+    for _case in 0..32 {
+        let n = rng.range(1, 59) as usize;
         let mut mc = MemoryController::new(MemoryControllerConfig::enzian_fpga());
         let mut done = Time::ZERO;
         let mut bytes = 0u64;
-        for &(addr, len) in &reqs {
+        for _ in 0..n {
+            let addr = rng.next_below(1 << 24);
+            let len = rng.range(1, 8191);
             done = done.max(mc.request(Time::ZERO, Addr(addr), len, Op::Read));
             // Accounting is line-granular.
             let first = addr / 128;
@@ -57,9 +66,13 @@ proptest! {
             bytes += (last - first + 1) * 128;
         }
         let secs = done.as_secs_f64();
-        prop_assert!(secs > 0.0);
+        assert!(secs > 0.0);
         let peak = mc.peak_bytes_per_sec() as f64;
-        prop_assert!(bytes as f64 / secs <= peak * 1.0001,
-            "achieved {} of peak {}", bytes as f64 / secs, peak);
+        assert!(
+            bytes as f64 / secs <= peak * 1.0001,
+            "achieved {} of peak {}",
+            bytes as f64 / secs,
+            peak
+        );
     }
 }

@@ -7,7 +7,7 @@ use enzian_sim::{Channel, ChannelConfig, Duration, Time};
 pub const FRAME_OVERHEAD_BYTES: u64 = 38;
 
 /// Static parameters of one Ethernet link.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EthLinkConfig {
     /// Line rate in bits per second.
     pub bits_per_sec: u64,

@@ -19,7 +19,7 @@ use crate::eth::EthLink;
 use crate::rdma::RDMA_HEADER;
 
 /// A pushed-down predicate over one `u64` column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Predicate {
     /// Column equals the literal.
     Eq(u64),
@@ -40,7 +40,7 @@ impl Predicate {
 }
 
 /// A pushed-down aggregate over one `u64` column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Aggregate {
     /// Sum of the column (wrapping).
     Sum,
@@ -53,7 +53,7 @@ pub enum Aggregate {
 }
 
 /// The operator a request pushes down, if any.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Operator {
     /// No push-down: ship raw rows (plain disaggregated memory).
     None,
@@ -109,12 +109,7 @@ impl FarviewServer {
     ///
     /// Panics if `data` is not exactly `rows * row_bytes` long or a row
     /// is smaller than 8 bytes.
-    pub fn new(
-        mut memory: MemoryController,
-        base: Addr,
-        row_bytes: usize,
-        data: &[u8],
-    ) -> Self {
+    pub fn new(mut memory: MemoryController, base: Addr, row_bytes: usize, data: &[u8]) -> Self {
         assert!(row_bytes >= 8, "rows must hold at least one u64 column");
         assert!(
             data.len().is_multiple_of(row_bytes),

@@ -158,9 +158,7 @@ impl RdmaEngine {
     /// Serves the memory side of a write: returns commit time.
     fn memory_write(&mut self, at: Time, addr: Addr, data: &[u8]) -> Time {
         match &mut self.backend {
-            RdmaBackend::LocalDram { memory, pipeline } => {
-                memory.write(at + *pipeline, addr, data)
-            }
+            RdmaBackend::LocalDram { memory, pipeline } => memory.write(at + *pipeline, addr, data),
             RdmaBackend::HostViaEci(sys) => {
                 let mut done = at;
                 let mut off = 0usize;
@@ -388,7 +386,12 @@ mod tests {
             let (_, _) = sys.cpu_read_line(Time::ZERO, Addr(0x4000));
         }
         let data = vec![0xAB; 128];
-        let out = e.write(&mut l, Time::ZERO + Duration::from_us(10), Addr(0x4000), &data);
+        let out = e.write(
+            &mut l,
+            Time::ZERO + Duration::from_us(10),
+            Addr(0x4000),
+            &data,
+        );
         if let RdmaBackend::HostViaEci(sys) = &mut e.backend {
             let (line, _) = sys.cpu_read_line(out.completed, Addr(0x4000));
             assert_eq!(line[0], 0xAB);

@@ -15,12 +15,14 @@
 //!   skb bookkeeping, copy), so a single flow tops out well below
 //!   100 Gb/s and ~4 flows are needed to saturate the link.
 
+use enzian_sim::stats::Summary;
+use enzian_sim::telemetry::MetricsRegistry;
 use enzian_sim::{Duration, Time};
 
 use crate::eth::{EthLink, Switch};
 
 /// Which stack personality a config models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StackKind {
     /// The single-pipeline hardware stack (Sidler et al., as ported to
     /// Enzian as a Coyote service).
@@ -30,7 +32,7 @@ pub enum StackKind {
 }
 
 /// Cost/parameter set for one endpoint's stack.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcpStackConfig {
     /// Stack personality.
     pub kind: StackKind,
@@ -145,6 +147,57 @@ pub struct TcpEngine {
     rx: TcpStackConfig,
     switch: Switch,
     loss: LossPattern,
+    telemetry: TcpTelemetry,
+}
+
+/// Accumulated engine statistics across transfers: segment round-trip
+/// times (send completion to cumulative-ack arrival, per flow), and
+/// loss-recovery totals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TcpTelemetry {
+    /// Per-flow RTT summaries in microseconds; single transfers record
+    /// into flow 0, interleaved transfers into their flow index.
+    pub flow_rtt_us: Vec<Summary>,
+    /// Total transfers completed.
+    pub transfers: u64,
+    /// Total payload bytes delivered.
+    pub bytes: u64,
+    /// Total segments sent (including retransmissions).
+    pub segments: u64,
+    /// Total segments retransmitted.
+    pub retransmissions: u64,
+}
+
+impl TcpTelemetry {
+    fn flow(&mut self, i: usize) -> &mut Summary {
+        if self.flow_rtt_us.len() <= i {
+            self.flow_rtt_us.resize(i + 1, Summary::new());
+        }
+        &mut self.flow_rtt_us[i]
+    }
+
+    /// All flows' RTT samples merged into one summary.
+    pub fn rtt_us(&self) -> Summary {
+        let mut all = Summary::new();
+        for s in &self.flow_rtt_us {
+            all.merge(s);
+        }
+        all
+    }
+
+    /// Publishes the engine's counters into `reg` under `prefix`:
+    /// totals, the merged RTT summary (`prefix.rtt_us`), and one RTT
+    /// summary per flow (`prefix.flow<i>.rtt_us`).
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter_set(&format!("{prefix}.transfers"), self.transfers);
+        reg.counter_set(&format!("{prefix}.bytes"), self.bytes);
+        reg.counter_set(&format!("{prefix}.segments"), self.segments);
+        reg.counter_set(&format!("{prefix}.retransmissions"), self.retransmissions);
+        reg.merge_summary(&format!("{prefix}.rtt_us"), &self.rtt_us());
+        for (i, s) in self.flow_rtt_us.iter().enumerate() {
+            reg.merge_summary(&format!("{prefix}.flow{i}.rtt_us"), s);
+        }
+    }
 }
 
 impl TcpEngine {
@@ -156,7 +209,13 @@ impl TcpEngine {
             rx,
             switch,
             loss: LossPattern::default(),
+            telemetry: TcpTelemetry::default(),
         }
+    }
+
+    /// Statistics accumulated across all transfers on this engine.
+    pub fn telemetry(&self) -> &TcpTelemetry {
+        &self.telemetry
     }
 
     /// Enables loss injection.
@@ -255,6 +314,9 @@ impl TcpEngine {
                 // Out-of-order segments are discarded (go-back-N); either
                 // way a cumulative ack for rcv_next rides back.
                 let ack_arrival = link.send_b_to_a(rx_done, 64) + hop;
+                self.telemetry
+                    .flow(0)
+                    .record_micros(ack_arrival.since(tx_done));
                 acks.push_back((ack_arrival, rcv_next));
             } else {
                 // Window closed or data exhausted: consume the next ack.
@@ -279,6 +341,10 @@ impl TcpEngine {
         }
 
         assert_eq!(rcv_next, len, "receiver did not reach end of stream");
+        self.telemetry.transfers += 1;
+        self.telemetry.bytes += len;
+        self.telemetry.segments += segments;
+        self.telemetry.retransmissions += retransmissions;
         (
             delivered,
             TransferOutcome {
@@ -376,6 +442,9 @@ impl TcpEngine {
                 f.rx_free = rx_done;
                 f.last_delivery = f.last_delivery.max(rx_done);
                 let ack_arrival = link.send_b_to_a(rx_done, 64) + hop;
+                self.telemetry
+                    .flow(i)
+                    .record_micros(ack_arrival.since(tx_done));
                 f.acks.push_back((ack_arrival, f.sent));
             } else {
                 let (at, upto) = f.acks.pop_front().expect("checked above");
@@ -386,12 +455,17 @@ impl TcpEngine {
 
         states
             .into_iter()
-            .map(|f| TransferOutcome {
-                bytes: f.len,
-                started: start,
-                delivered: f.last_delivery,
-                retransmissions: 0,
-                segments: f.segments,
+            .map(|f| {
+                self.telemetry.transfers += 1;
+                self.telemetry.bytes += f.len;
+                self.telemetry.segments += f.segments;
+                TransferOutcome {
+                    bytes: f.len,
+                    started: start,
+                    delivered: f.last_delivery,
+                    retransmissions: 0,
+                    segments: f.segments,
+                }
             })
             .collect()
     }
@@ -466,8 +540,7 @@ mod tests {
         let per_flow = 2 << 20;
         let data = payload(per_flow);
         let flows = [&data[..], &data[..], &data[..], &data[..]];
-        let results =
-            kernel_engine().transfer_interleaved(&mut link, Time::ZERO, &flows);
+        let results = kernel_engine().transfer_interleaved(&mut link, Time::ZERO, &flows);
         let last = results.iter().map(|r| r.delivered).max().unwrap();
         let total_bits = (4 * per_flow) as f64 * 8.0;
         let gbps = total_bits / last.as_secs_f64() / 1e9;
@@ -532,7 +605,46 @@ mod tests {
         let results = fpga_engine().transfer_interleaved(&mut link, Time::ZERO, &flows);
         let last = results.iter().map(|r| r.delivered).max().unwrap();
         let gbps = (2 * per_flow) as f64 * 8.0 / last.as_secs_f64() / 1e9;
-        assert!(gbps > 90.0, "two hardware flows reached only {gbps:.1} Gb/s");
+        assert!(
+            gbps > 90.0,
+            "two hardware flows reached only {gbps:.1} Gb/s"
+        );
+    }
+
+    #[test]
+    fn telemetry_tracks_rtt_and_retransmissions() {
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let data = payload(256 * 1024);
+        let mut engine = fpga_engine().with_loss(LossPattern { drop_every: 17 });
+        let (_, r) = engine.transfer(&mut link, Time::ZERO, &data);
+        let t = engine.telemetry();
+        assert_eq!(t.transfers, 1);
+        assert_eq!(t.bytes, 256 * 1024);
+        assert_eq!(t.retransmissions, r.retransmissions);
+        let rtt = t.rtt_us();
+        assert!(rtt.count() > 0);
+        assert!(rtt.mean() > 0.0);
+
+        let mut reg = enzian_sim::MetricsRegistry::new();
+        t.export_metrics(&mut reg, "net.tcp");
+        assert_eq!(reg.counter("net.tcp.transfers"), 1);
+        assert_eq!(reg.summary("net.tcp.rtt_us").unwrap().count(), rtt.count());
+    }
+
+    #[test]
+    fn telemetry_keeps_per_flow_rtt() {
+        let per_flow = 1 << 20;
+        let data = payload(per_flow);
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let mut engine = kernel_engine();
+        let flows = [&data[..], &data[..], &data[..]];
+        let _ = engine.transfer_interleaved(&mut link, Time::ZERO, &flows);
+        let t = engine.telemetry();
+        assert_eq!(t.flow_rtt_us.len(), 3);
+        for s in &t.flow_rtt_us {
+            assert!(s.count() > 0, "every flow records RTT samples");
+        }
+        assert_eq!(t.transfers, 3);
     }
 
     #[test]

@@ -1,22 +1,23 @@
-//! Property tests for the network substrate.
-
-use proptest::prelude::*;
+//! Randomized invariant tests for the network substrate, driven by the
+//! deterministic [`SimRng`] so every failure reproduces exactly.
 
 use enzian_mem::{Addr, MemoryController, MemoryControllerConfig};
 use enzian_net::eth::{EthLink, EthLinkConfig};
 use enzian_net::farview::{Aggregate, FarviewServer, Operator, Predicate};
 use enzian_net::rdma::{RdmaBackend, RdmaEngine};
-use enzian_sim::{Duration, Time};
+use enzian_sim::{Duration, SimRng, Time};
 
-proptest! {
-    /// Farview push-down results equal a naive host-side computation
-    /// over the same rows, for arbitrary tables and predicates.
-    #[test]
-    fn farview_matches_naive(
-        keys in proptest::collection::vec(0u64..100, 4..60),
-        pivot in 0u64..100,
-        which in 0u8..3,
-    ) {
+/// Farview push-down results equal a naive host-side computation
+/// over the same rows, for arbitrary tables and predicates.
+#[test]
+fn farview_matches_naive() {
+    let mut rng = SimRng::seed_from(0xFA2_0001);
+    for _case in 0..32 {
+        let n = rng.range(4, 59) as usize;
+        let keys: Vec<u64> = (0..n).map(|_| rng.next_below(100)).collect();
+        let pivot = rng.next_below(100);
+        let which = rng.next_below(3) as u8;
+
         const ROW: usize = 16; // [key u64 | value u64]
         let mut data = Vec::new();
         for (i, &k) in keys.iter().enumerate() {
@@ -46,12 +47,15 @@ proptest! {
             Time::ZERO,
             0,
             keys.len() as u64,
-            Operator::Filter { column_offset: 0, predicate },
+            Operator::Filter {
+                column_offset: 0,
+                predicate,
+            },
         );
         let naive: Vec<u64> = keys.iter().copied().filter(|&k| eval(k)).collect();
-        prop_assert_eq!(r.rows.len(), naive.len());
+        assert_eq!(r.rows.len(), naive.len());
         for (row, want) in r.rows.iter().zip(&naive) {
-            prop_assert_eq!(u64::from_le_bytes(row[..8].try_into().unwrap()), *want);
+            assert_eq!(u64::from_le_bytes(row[..8].try_into().unwrap()), *want);
         }
         // Sum aggregate vs naive sum of the value column.
         let r = server.scan(
@@ -72,16 +76,20 @@ proptest! {
             .filter(|(_, &k)| eval(k))
             .map(|(i, _)| i as u64)
             .fold(0u64, |a, v| a.wrapping_add(v));
-        prop_assert_eq!(r.scalar, Some(naive_sum));
+        assert_eq!(r.scalar, Some(naive_sum));
     }
+}
 
-    /// RDMA reads return exactly what writes stored, at any size and
-    /// offset, over the local-DRAM backend.
-    #[test]
-    fn rdma_write_read_roundtrip(
-        offset in 0u64..10_000,
-        data in proptest::collection::vec(any::<u8>(), 1..5_000),
-    ) {
+/// RDMA reads return exactly what writes stored, at any size and
+/// offset, over the local-DRAM backend.
+#[test]
+fn rdma_write_read_roundtrip() {
+    let mut rng = SimRng::seed_from(0xFA2_0002);
+    for _case in 0..16 {
+        let offset = rng.next_below(10_000);
+        let len = rng.range(1, 4_999) as usize;
+        let mut data = vec![0u8; len];
+        rng.fill_bytes(&mut data);
         let mut engine = RdmaEngine::new(RdmaBackend::LocalDram {
             memory: MemoryController::new(MemoryControllerConfig::enzian_fpga()),
             pipeline: Duration::from_ns(120),
@@ -89,7 +97,7 @@ proptest! {
         let mut link = EthLink::new(EthLinkConfig::hundred_gig());
         let w = engine.write(&mut link, Time::ZERO, Addr(offset), &data);
         let r = engine.read(&mut link, w.completed, Addr(offset), data.len() as u64);
-        prop_assert_eq!(r.data, data);
-        prop_assert!(r.completed > w.completed);
+        assert_eq!(r.data, data);
+        assert!(r.completed > w.completed);
     }
 }

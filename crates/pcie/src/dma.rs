@@ -21,7 +21,7 @@ use enzian_sim::{Duration, Time};
 use crate::link::{PcieLink, PcieLinkConfig};
 
 /// Engine cost parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DmaEngineConfig {
     /// The link the engine drives.
     pub link: PcieLinkConfig,
@@ -204,7 +204,10 @@ mod tests {
             done = done.max(e.card_to_host(Time::ZERO, size).data_done);
         }
         let gb_s = (n * size) as f64 / done.as_secs_f64() / 1e9;
-        assert!((12.0..15.0).contains(&gb_s), "bulk throughput {gb_s:.2} GB/s");
+        assert!(
+            (12.0..15.0).contains(&gb_s),
+            "bulk throughput {gb_s:.2} GB/s"
+        );
     }
 
     #[test]
@@ -219,7 +222,10 @@ mod tests {
             done = done.max(e.card_to_host(Time::ZERO, 128).completed);
         }
         let gb_s = (n * 128) as f64 / done.as_secs_f64() / 1e9;
-        assert!(gb_s < 0.5, "small-transfer throughput {gb_s:.2} GB/s too high");
+        assert!(
+            gb_s < 0.5,
+            "small-transfer throughput {gb_s:.2} GB/s too high"
+        );
     }
 
     #[test]

@@ -20,6 +20,6 @@ pub mod mmio;
 pub mod tlp;
 
 pub use dma::{DmaCompletion, DmaEngine, DmaEngineConfig};
-pub use mmio::MmioWindow;
 pub use link::{PcieGen, PcieLink, PcieLinkConfig};
+pub use mmio::MmioWindow;
 pub use tlp::{tlp_count, wire_bytes_for_payload, TLP_OVERHEAD_BYTES};

@@ -5,7 +5,7 @@ use enzian_sim::{Channel, ChannelConfig, Duration, Time};
 use crate::tlp::wire_bytes_for_payload;
 
 /// PCIe generations with their per-lane rates and line codings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PcieGen {
     /// 8 GT/s per lane, 128b/130b coding (the Alveo/F1 attachment).
     Gen3,
@@ -29,7 +29,7 @@ impl PcieGen {
 }
 
 /// Static link parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PcieLinkConfig {
     /// Lane count (16 for the cards in the paper).
     pub lanes: u8,
@@ -132,7 +132,10 @@ mod tests {
         }
         let payload = n * 4096;
         let gb_s = payload as f64 / done.as_secs_f64() / 1e9;
-        assert!((13.0..15.0).contains(&gb_s), "payload bandwidth {gb_s:.2} GB/s");
+        assert!(
+            (13.0..15.0).contains(&gb_s),
+            "payload bandwidth {gb_s:.2} GB/s"
+        );
     }
 
     #[test]

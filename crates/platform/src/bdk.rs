@@ -200,7 +200,10 @@ impl BdkConsole {
                     ));
                     Ok(())
                 } else {
-                    self.say(format!("memtest {kind:?}: FAIL at {:?}", report.first_failure));
+                    self.say(format!(
+                        "memtest {kind:?}: FAIL at {:?}",
+                        report.first_failure
+                    ));
                     Err(BdkError::MemtestFailed(kind))
                 }
             }
@@ -339,10 +342,7 @@ mod tests {
         )
         .expect("script runs");
         // The system is usable and the policy took effect.
-        assert_eq!(
-            bdk.system().links().policy(),
-            LinkPolicy::Single(0)
-        );
+        assert_eq!(bdk.system().links().policy(), LinkPolicy::Single(0));
         let now = bdk.now();
         let t = bdk.system().io_write(now, NodeId::Cpu, Addr(0xF0), 4, 1);
         assert!(t > now);
@@ -351,9 +351,7 @@ mod tests {
     #[test]
     fn script_errors_carry_line_numbers() {
         let mut bdk = BdkConsole::new();
-        let err = bdk
-            .run_script("eci up 12\nbogus command\n")
-            .unwrap_err();
+        let err = bdk.run_script("eci up 12\nbogus command\n").unwrap_err();
         assert_eq!(err.0, 2);
     }
 }

@@ -180,9 +180,8 @@ mod tests {
     #[test]
     fn transform_may_change_frame_size() {
         // A compressing bump: drop every second byte.
-        let mut bump = BumpInTheWire::new(Box::new(|f: &[u8]| {
-            f.iter().step_by(2).copied().collect()
-        }));
+        let mut bump =
+            BumpInTheWire::new(Box::new(|f: &[u8]| f.iter().step_by(2).copied().collect()));
         let out = bump.send_outbound(Time::ZERO, &[9u8; 1000]);
         assert_eq!(out.payload.len(), 500);
         let (_, bin, bout) = bump.stats();

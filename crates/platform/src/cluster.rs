@@ -22,7 +22,6 @@ use enzian_sim::{Duration, Time};
 
 /// Identifies a board in the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct BoardId(pub u8);
 
 /// A cluster of Enzian boards behind a full-mesh of 100G links.
@@ -123,13 +122,7 @@ impl EnzianCluster {
         (self.remote_reads, self.remote_writes)
     }
 
-    fn fabric_send(
-        &mut self,
-        from: BoardId,
-        to: BoardId,
-        now: Time,
-        payload: u64,
-    ) -> Time {
+    fn fabric_send(&mut self, from: BoardId, to: BoardId, now: Time, payload: u64) -> Time {
         let (a, b) = (usize::from(from.0.min(to.0)), usize::from(from.0.max(to.0)));
         let link = self.links[a][b].as_mut().expect("mesh link exists");
         if usize::from(from.0) == a {
@@ -143,12 +136,7 @@ impl EnzianCluster {
     /// CPU. Local slices go through the board's own L2/ECI; remote
     /// slices are bridged over the fabric and served coherently at the
     /// owner.
-    pub fn read_line(
-        &mut self,
-        requester: BoardId,
-        now: Time,
-        global: u64,
-    ) -> ([u8; 128], Time) {
+    pub fn read_line(&mut self, requester: BoardId, now: Time, global: u64) -> ([u8; 128], Time) {
         let (owner, local) = self.owner_of(global);
         if owner == requester {
             return self.boards[usize::from(owner.0)].cpu_read_line(now, local);

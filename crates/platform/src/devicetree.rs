@@ -10,7 +10,7 @@
 use crate::machine::MachineConfig;
 
 /// Options for the generated tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceTreeOptions {
     /// Whether the FPGA node exposes its DRAM to Linux (shell-dependent).
     pub expose_fpga_memory: bool,
@@ -102,7 +102,7 @@ mod tests {
         let s = dts(true);
         assert_eq!(s.matches("device_type = \"cpu\"").count(), 48);
         assert_eq!(s.matches("numa-node-id = <0>").count(), 49); // 48 cpus + memory@0
-        // No CPU is ever placed on node 1.
+                                                                 // No CPU is ever placed on node 1.
         for chunk in s.split("cpu@").skip(1) {
             let node_line = chunk.lines().find(|l| l.contains("numa-node-id")).unwrap();
             assert!(node_line.contains("<0>"), "cpu on wrong node: {node_line}");

@@ -13,13 +13,14 @@
 
 use enzian_apps::reduction::ReductionMode;
 use enzian_cache::CoreTimingModel;
+use enzian_sim::{Duration, MetricsRegistry, Time, TraceEvent};
 
 /// Shared fetch bandwidth available to the cores across both ECI links,
 /// bytes per second (CPU-initiated requests balance over both).
 pub const INTERCONNECT_BYTES_PER_SEC: f64 = 21.5e9;
 
 /// One sample of the figure.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig11Row {
     /// Reduction mode.
     pub mode: ReductionMode,
@@ -32,7 +33,7 @@ pub struct Fig11Row {
 }
 
 /// Table 1: PMU counts at 48 threads.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table1Row {
     /// Reduction mode.
     pub mode: ReductionMode,
@@ -44,12 +45,41 @@ pub struct Table1Row {
 
 /// Runs the Fig. 11 sweep: all modes, cores 1..=48.
 pub fn run() -> Vec<Fig11Row> {
+    run_instrumented(&mut MetricsRegistry::new())
+}
+
+/// [`run`], publishing per-mode gauges at 48 cores, each mode's PMU
+/// window (`fig11.pmu.<mode>.*`), and one trace event per mode into
+/// `reg` under `fig11.*`. The PMU counters cover a one-second
+/// steady-state window, which is also the reported sim time.
+pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig11Row> {
     let cpu = CoreTimingModel::thunderx1();
+    let window_end = Time::ZERO + Duration::from_secs(1);
     let mut rows = Vec::new();
+    let mut total_cycles = 0u64;
     for mode in ReductionMode::ALL {
         let profile = mode.workload_profile();
+        let slug = super::metric_slug(mode.label());
         for cores in 1..=48u32 {
             let s = cpu.steady_state(&profile, cores, INTERCONNECT_BYTES_PER_SEC);
+            if cores == 48 {
+                reg.gauge_set(
+                    &format!("fig11.{slug}.gpixels_per_sec"),
+                    s.units_per_sec / 1e9,
+                );
+                reg.gauge_set(
+                    &format!("fig11.{slug}.interconnect_gib"),
+                    s.interconnect_bytes_per_sec / (1u64 << 30) as f64,
+                );
+                s.pmu.export_metrics(reg, &format!("fig11.pmu.{slug}"));
+                total_cycles += s.pmu.cycles();
+                reg.trace_event(
+                    TraceEvent::new(window_end, "fig11", "mode-done")
+                        .field("mode", mode.label())
+                        .field("cores", u64::from(cores))
+                        .field("gpixels_per_sec", s.units_per_sec / 1e9),
+                );
+            }
             rows.push(Fig11Row {
                 mode,
                 cores,
@@ -58,6 +88,8 @@ pub fn run() -> Vec<Fig11Row> {
             });
         }
     }
+    reg.counter_set("fig11.sim_time_ps", window_end.as_ps());
+    reg.counter_set("fig11.events_executed", total_cycles);
     rows
 }
 
@@ -125,13 +157,7 @@ pub fn render(rows: &[Fig11Row], table1: &[Table1Row]) -> String {
         .collect();
     out.push_str(&super::render_table(
         "Table 1 — Pipeline PMU counts (48 threads)",
-        &[
-            "mode",
-            "stalls/cyc",
-            "paper",
-            "cyc/refill[k]",
-            "paper",
-        ],
+        &["mode", "stalls/cyc", "paper", "cyc/refill[k]", "paper"],
         &t1,
     ));
     out
@@ -164,8 +190,16 @@ mod tests {
         let y4 = row(&rows, ReductionMode::Y4, 48);
         let up8 = (y8.gpixels_per_sec - b48.gpixels_per_sec) / b48.gpixels_per_sec;
         let up4 = (y4.gpixels_per_sec - b48.gpixels_per_sec) / b48.gpixels_per_sec;
-        assert!((0.33..0.45).contains(&up8), "8bpp uplift {:.0}%", up8 * 100.0);
-        assert!((0.27..0.39).contains(&up4), "4bpp uplift {:.0}%", up4 * 100.0);
+        assert!(
+            (0.33..0.45).contains(&up8),
+            "8bpp uplift {:.0}%",
+            up8 * 100.0
+        );
+        assert!(
+            (0.27..0.39).contains(&up4),
+            "4bpp uplift {:.0}%",
+            up4 * 100.0
+        );
         assert!(y4.gpixels_per_sec < y8.gpixels_per_sec);
 
         // Interconnect panel: baseline ~6.3 GiB/s at 48 cores; the 4x

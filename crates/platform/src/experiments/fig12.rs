@@ -12,7 +12,7 @@ use enzian_bmc::power::{BoardActivity, PowerModel};
 use enzian_bmc::rail::RailId;
 use enzian_bmc::telemetry::{TelemetryService, TraceId};
 use enzian_sim::stats::TimeSeries;
-use enzian_sim::{Duration, Time};
+use enzian_sim::{Duration, MetricsRegistry, Time, TraceEvent};
 
 use enzian_apps::stress::{StressPhase, StressSchedule};
 
@@ -51,6 +51,12 @@ fn fpga_activity(phase: StressPhase) -> BoardActivity {
 
 /// Replays the paper timeline and samples power at 20 ms.
 pub fn run() -> Fig12Result {
+    run_instrumented(&mut MetricsRegistry::new())
+}
+
+/// [`run`], publishing per-trace peak power / energy / sample counts and
+/// one trace event per schedule phase into `reg` under `fig12.*`.
+pub fn run_instrumented(reg: &mut MetricsRegistry) -> Fig12Result {
     let mut net = PmbusNetwork::board();
     // Power every rail up front (the schedule starts after
     // common_power_up; the CPU-off phases are modelled as zero load, as
@@ -71,6 +77,11 @@ pub fn run() -> Fig12Result {
         model.apply_fpga_activity(fpga_activity(window.phase));
         let from = settled + window.from.since(Time::ZERO);
         let until = settled + window.until.since(Time::ZERO);
+        reg.trace_event(
+            TraceEvent::new(from, "fig12", "phase")
+                .field("phase", format!("{:?}", window.phase))
+                .field("duration", until.since(from)),
+        );
         telemetry.run(from, until, |at, id| match id {
             TraceId::Fpga => model.fpga_watts(at),
             TraceId::Cpu => model.cpu_watts(at),
@@ -79,10 +90,30 @@ pub fn run() -> Fig12Result {
         });
     }
 
-    Fig12Result {
+    let result = Fig12Result {
         traces: telemetry.into_series(),
         schedule,
+    };
+    let mut samples = 0u64;
+    let mut sim_end = Time::ZERO;
+    for (id, series) in &result.traces {
+        let slug = super::metric_slug(id.label());
+        let peak = series
+            .points()
+            .iter()
+            .map(|&(_, w)| w)
+            .fold(0.0f64, f64::max);
+        reg.gauge_set(&format!("fig12.{slug}.peak_w"), peak);
+        reg.gauge_set(&format!("fig12.{slug}.energy_j"), series.integral());
+        reg.counter_set(&format!("fig12.{slug}.samples"), series.len() as u64);
+        samples += series.len() as u64;
+        if let Some(&(t, _)) = series.points().last() {
+            sim_end = sim_end.max(t);
+        }
     }
+    reg.counter_set("fig12.sim_time_ps", sim_end.as_ps());
+    reg.counter_set("fig12.events_executed", samples);
+    result
 }
 
 /// Renders a per-phase power summary (mean watts per trace).
@@ -174,7 +205,10 @@ mod tests {
         // The FPGA burn ramps toward ~175-200 W in 24 steps.
         let burn_first = mean(TraceId::Fpga, 8);
         let burn_last = mean(TraceId::Fpga, 8 + 23);
-        assert!(burn_last > 150.0 && burn_last < 210.0, "peak {burn_last:.0} W");
+        assert!(
+            burn_last > 150.0 && burn_last < 210.0,
+            "peak {burn_last:.0} W"
+        );
         assert!(burn_first < 50.0, "first step {burn_first:.0} W");
         // Monotone ramp.
         let mut prev = 0.0;

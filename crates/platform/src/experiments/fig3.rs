@@ -8,12 +8,12 @@
 //! [`PlatformPreset::published_interconnect`]).
 
 use enzian_mem::{Addr, MemoryController, Op};
-use enzian_sim::Time;
+use enzian_sim::{MetricsRegistry, Time, TraceEvent};
 
 use crate::presets::PlatformPreset;
 
 /// One point in the summary scatter.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig3Point {
     /// Series label.
     pub label: String,
@@ -27,7 +27,14 @@ pub struct Fig3Point {
 
 /// Produces all points of the summary.
 pub fn run() -> Vec<Fig3Point> {
+    run_instrumented(&mut MetricsRegistry::new())
+}
+
+/// [`run`], publishing per-point gauges, the measured systems' component
+/// counters, and one trace event per point into `reg` under `fig3.*`.
+pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig3Point> {
     let mut points = Vec::new();
+    let mut sim_end = Time::ZERO;
 
     // Published survey platforms.
     for p in [
@@ -51,9 +58,14 @@ pub fn run() -> Vec<Fig3Point> {
     let lines = 8192u64;
     let done = sys.fpga_read_burst(Time::ZERO, Addr(0), lines);
     let one_link_bw = (lines * 128) as f64 / done.as_secs_f64() / (1u64 << 30) as f64;
+    sim_end = sim_end.max(done);
+    let mut tmp = MetricsRegistry::new();
+    sys.export_metrics(&mut tmp, "fig3.eci.one_link");
+    reg.merge(&tmp);
     let mut sys = PlatformPreset::enzian_system(true);
     let (_, t) = sys.fpga_read_line(Time::ZERO, Addr(0));
     let line_lat_us = t.as_micros_f64();
+    sim_end = sim_end.max(t);
     points.push(Fig3Point {
         label: "Enzian (1 ECI link)".into(),
         bandwidth_gib: one_link_bw,
@@ -64,6 +76,10 @@ pub fn run() -> Vec<Fig3Point> {
     // Enzian, full ECI (both links balanced).
     let mut sys = PlatformPreset::enzian_system(false);
     let done = sys.fpga_read_burst(Time::ZERO, Addr(0), lines);
+    sim_end = sim_end.max(done);
+    let mut tmp = MetricsRegistry::new();
+    sys.export_metrics(&mut tmp, "fig3.eci.full");
+    reg.merge(&tmp);
     points.push(Fig3Point {
         label: "Enzian (full ECI)".into(),
         bandwidth_gib: (lines * 128) as f64 / done.as_secs_f64() / (1u64 << 30) as f64,
@@ -77,16 +93,44 @@ pub fn run() -> Vec<Fig3Point> {
     let total = 32u64 << 20;
     let mut last = Time::ZERO;
     let mut a = 0;
+    let mut dram_requests = 0u64;
     while a < total {
         last = last.max(mem.request(Time::ZERO, Addr(a), 1024, Op::Read));
         a += 1024;
+        dram_requests += 1;
     }
+    sim_end = sim_end.max(last);
     points.push(Fig3Point {
         label: "Enzian DRAM".into(),
         bandwidth_gib: total as f64 / last.as_secs_f64() / (1u64 << 30) as f64,
         latency_us: 0.12,
         measured: true,
     });
+
+    for p in &points {
+        let slug = super::metric_slug(&p.label);
+        reg.gauge_set(&format!("fig3.{slug}.bandwidth_gib"), p.bandwidth_gib);
+        reg.gauge_set(&format!("fig3.{slug}.latency_us"), p.latency_us);
+        reg.trace_event(
+            TraceEvent::new(sim_end, "fig3", "point")
+                .field("label", p.label.as_str())
+                .field("bandwidth_gib", p.bandwidth_gib)
+                .field("latency_us", p.latency_us)
+                .field("measured", u64::from(p.measured)),
+        );
+    }
+    reg.counter_set("fig3.points", points.len() as u64);
+    reg.counter_set(
+        "fig3.measured_points",
+        points.iter().filter(|p| p.measured).count() as u64,
+    );
+    reg.counter_set("fig3.sim_time_ps", sim_end.as_ps());
+    reg.counter_set(
+        "fig3.events_executed",
+        reg.counter("fig3.eci.one_link.link.messages")
+            + reg.counter("fig3.eci.full.link.messages")
+            + dram_requests,
+    );
 
     points
 }

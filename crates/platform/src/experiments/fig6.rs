@@ -7,12 +7,12 @@
 //! sizes."* Transfer sizes are 2⁷..2¹⁴ bytes.
 
 use enzian_mem::Addr;
-use enzian_sim::Time;
+use enzian_sim::{MetricsRegistry, Time, TraceEvent};
 
 use crate::presets::PlatformPreset;
 
 /// One row of the figure: a transfer size with all four series.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig6Row {
     /// Transfer size in bytes.
     pub size: u64,
@@ -44,8 +44,17 @@ fn gib(bytes: u64, start: Time, end: Time) -> f64 {
 
 /// Runs the experiment and returns one row per transfer size.
 pub fn run() -> Vec<Fig6Row> {
+    run_instrumented(&mut MetricsRegistry::new())
+}
+
+/// [`run`], publishing per-size gauges, latency histograms, the ECI
+/// throughput systems' accumulated component counters, and one trace
+/// event per size into `reg` under `fig6.*`.
+pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig6Row> {
     let sizes: Vec<u64> = (7..=14).map(|p| 1u64 << p).collect();
     let mut rows = Vec::new();
+    let mut sim_end = Time::ZERO;
+    let mut pcie_transfers = 0u64;
     for &size in &sizes {
         let lines = size / 128;
 
@@ -53,9 +62,11 @@ pub fn run() -> Vec<Fig6Row> {
         let mut sys = PlatformPreset::enzian_system(true);
         let done = sys.fpga_read_burst(Time::ZERO, Addr(0), lines);
         let eci_rd_lat_us = done.as_micros_f64();
+        reg.record_latency("fig6.eci.rd_latency", done.since(Time::ZERO));
         let mut sys = PlatformPreset::enzian_system(true);
         let done = sys.fpga_write_burst(Time::ZERO, Addr(0), lines, 0xA5);
         let eci_wr_lat_us = done.as_micros_f64();
+        reg.record_latency("fig6.eci.wr_latency", done.since(Time::ZERO));
 
         // --- ECI throughput: REPS back-to-back transfers.
         let mut sys = PlatformPreset::enzian_system(true);
@@ -64,24 +75,26 @@ pub fn run() -> Vec<Fig6Row> {
             last = last.max(sys.fpga_read_burst(last, Addr(i * size), lines));
         }
         let eci_rd_gib = gib(REPS * size, Time::ZERO, last);
+        sim_end = sim_end.max(last);
+        let mut tmp = MetricsRegistry::new();
+        sys.export_metrics(&mut tmp, "fig6.eci.rd");
+        reg.merge(&tmp);
         let mut sys = PlatformPreset::enzian_system(true);
         let mut last = Time::ZERO;
         for i in 0..REPS {
             last = last.max(sys.fpga_write_burst(last, Addr(i * size), lines, 0x5A));
         }
         let eci_wr_gib = gib(REPS * size, Time::ZERO, last);
+        sim_end = sim_end.max(last);
+        let mut tmp = MetricsRegistry::new();
+        sys.export_metrics(&mut tmp, "fig6.eci.wr");
+        reg.merge(&tmp);
 
         // --- PCIe (Alveo u250) latency and throughput.
         let mut dma = PlatformPreset::AlveoU250.dma_engine();
-        let pcie_rd_lat_us = dma
-            .host_to_card(Time::ZERO, size)
-            .completed
-            .as_micros_f64();
+        let pcie_rd_lat_us = dma.host_to_card(Time::ZERO, size).completed.as_micros_f64();
         let mut dma = PlatformPreset::AlveoU250.dma_engine();
-        let pcie_wr_lat_us = dma
-            .card_to_host(Time::ZERO, size)
-            .completed
-            .as_micros_f64();
+        let pcie_wr_lat_us = dma.card_to_host(Time::ZERO, size).completed.as_micros_f64();
 
         // Throughput is measured closed-loop (one outstanding transfer),
         // matching the software-visible completion the benchmark times.
@@ -91,14 +104,17 @@ pub fn run() -> Vec<Fig6Row> {
             last = dma.host_to_card(last, size).completed;
         }
         let pcie_rd_gib = gib(REPS * size, Time::ZERO, last);
+        sim_end = sim_end.max(last);
         let mut dma = PlatformPreset::AlveoU250.dma_engine();
         let mut last = Time::ZERO;
         for _ in 0..REPS {
             last = dma.card_to_host(last, size).completed;
         }
         let pcie_wr_gib = gib(REPS * size, Time::ZERO, last);
+        sim_end = sim_end.max(last);
+        pcie_transfers += 2 * REPS + 2;
 
-        rows.push(Fig6Row {
+        let row = Fig6Row {
             size,
             eci_rd_lat_us,
             eci_wr_lat_us,
@@ -108,8 +124,27 @@ pub fn run() -> Vec<Fig6Row> {
             eci_wr_gib,
             pcie_rd_gib,
             pcie_wr_gib,
-        });
+        };
+        let base = format!("fig6.size{size:05}");
+        reg.gauge_set(&format!("{base}.eci_rd_gib"), row.eci_rd_gib);
+        reg.gauge_set(&format!("{base}.eci_wr_gib"), row.eci_wr_gib);
+        reg.gauge_set(&format!("{base}.pcie_rd_gib"), row.pcie_rd_gib);
+        reg.gauge_set(&format!("{base}.pcie_wr_gib"), row.pcie_wr_gib);
+        reg.trace_event(
+            TraceEvent::new(sim_end, "fig6", "size-done")
+                .field("size", size)
+                .field("eci_rd_gib", row.eci_rd_gib)
+                .field("pcie_rd_gib", row.pcie_rd_gib),
+        );
+        rows.push(row);
     }
+    reg.counter_set("fig6.sim_time_ps", sim_end.as_ps());
+    reg.counter_set(
+        "fig6.events_executed",
+        reg.counter("fig6.eci.rd.link.messages")
+            + reg.counter("fig6.eci.wr.link.messages")
+            + pcie_transfers,
+    );
     rows
 }
 
@@ -118,13 +153,11 @@ pub fn run() -> Vec<Fig6Row> {
 pub fn ccpi_reference() -> (f64, f64) {
     // Both endpoints are silicon: CPU clock, shallow pipeline, deeper
     // hardware data buffers than the FPGA implementation.
-    let mut sys =
-        enzian_eci::EciSystem::new(enzian_eci::EciSystemConfig::thunderx_2socket());
+    let mut sys = enzian_eci::EciSystem::new(enzian_eci::EciSystemConfig::thunderx_2socket());
     let lines = 16_384u64;
     let done = sys.fpga_read_burst(Time::ZERO, Addr(0), lines);
     let bw = gib(lines * 128, Time::ZERO, done);
-    let mut sys =
-        enzian_eci::EciSystem::new(enzian_eci::EciSystemConfig::thunderx_2socket());
+    let mut sys = enzian_eci::EciSystem::new(enzian_eci::EciSystemConfig::thunderx_2socket());
     let (_, t) = sys.fpga_read_line(Time::ZERO, Addr(0));
     (bw, t.since(Time::ZERO).as_ns() as f64)
 }
@@ -216,7 +249,10 @@ mod tests {
     fn ccpi_reference_near_19_gib() {
         let (bw, lat_ns) = ccpi_reference();
         assert!((17.0..23.0).contains(&bw), "CCPI bandwidth {bw:.1} GiB/s");
-        assert!((120.0..260.0).contains(&lat_ns), "CCPI latency {lat_ns:.0} ns");
+        assert!(
+            (120.0..260.0).contains(&lat_ns),
+            "CCPI latency {lat_ns:.0} ns"
+        );
     }
 
     #[test]

@@ -8,10 +8,10 @@
 use enzian_net::eth::{EthLink, EthLinkConfig};
 use enzian_net::tcp::{TcpEngine, TcpStackConfig};
 use enzian_net::Switch;
-use enzian_sim::{SimRng, Time};
+use enzian_sim::{MetricsRegistry, SimRng, Time, TraceEvent};
 
 /// One row: a transfer size with both stacks' series.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig7Row {
     /// Transfer size in bytes.
     pub size: u64,
@@ -27,9 +27,17 @@ pub struct Fig7Row {
 
 /// Runs the experiment for sizes 2 KB .. 1024 KB.
 pub fn run() -> Vec<Fig7Row> {
+    run_instrumented(&mut MetricsRegistry::new())
+}
+
+/// [`run`], publishing per-size gauges, both stacks' accumulated TCP
+/// telemetry (segments, retransmissions, per-flow RTT summaries), and one
+/// trace event per size into `reg` under `fig7.*`.
+pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig7Row> {
     let mut rng = SimRng::seed_from(77);
     let sizes: Vec<u64> = (1..=10).map(|p| (1u64 << p) * 1024).collect();
     let mut rows = Vec::new();
+    let mut sim_end = Time::ZERO;
     for &size in &sizes {
         let mut data = vec![0u8; size as usize];
         rng.fill_bytes(&mut data);
@@ -42,6 +50,10 @@ pub fn run() -> Vec<Fig7Row> {
         );
         let (out, hw_r) = hw.transfer(&mut link, Time::ZERO, &data);
         assert_eq!(out, data, "hardware stack corrupted the stream");
+        sim_end = sim_end.max(hw_r.delivered);
+        let mut tmp = MetricsRegistry::new();
+        hw.telemetry().export_metrics(&mut tmp, "fig7.tcp.fpga");
+        reg.merge(&tmp);
 
         let mut link = EthLink::new(EthLinkConfig::hundred_gig());
         let mut sw = TcpEngine::new(
@@ -51,15 +63,36 @@ pub fn run() -> Vec<Fig7Row> {
         );
         let (out, sw_r) = sw.transfer(&mut link, Time::ZERO, &data);
         assert_eq!(out, data, "kernel stack corrupted the stream");
+        sim_end = sim_end.max(sw_r.delivered);
+        let mut tmp = MetricsRegistry::new();
+        sw.telemetry().export_metrics(&mut tmp, "fig7.tcp.kernel");
+        reg.merge(&tmp);
 
-        rows.push(Fig7Row {
+        let row = Fig7Row {
             size,
             enzian_lat_us: hw_r.latency().as_micros_f64(),
             linux_lat_us: sw_r.latency().as_micros_f64(),
             enzian_gbps: hw_r.throughput_bits() / 1e9,
             linux_gbps: sw_r.throughput_bits() / 1e9,
-        });
+        };
+        reg.record_latency("fig7.enzian_latency", hw_r.latency());
+        reg.record_latency("fig7.linux_latency", sw_r.latency());
+        let base = format!("fig7.size{:04}kb", size / 1024);
+        reg.gauge_set(&format!("{base}.enzian_gbps"), row.enzian_gbps);
+        reg.gauge_set(&format!("{base}.linux_gbps"), row.linux_gbps);
+        reg.trace_event(
+            TraceEvent::new(sim_end, "fig7", "size-done")
+                .field("size", size)
+                .field("enzian_gbps", row.enzian_gbps)
+                .field("linux_gbps", row.linux_gbps),
+        );
+        rows.push(row);
     }
+    reg.counter_set("fig7.sim_time_ps", sim_end.as_ps());
+    reg.counter_set(
+        "fig7.events_executed",
+        reg.counter("fig7.tcp.fpga.segments") + reg.counter("fig7.tcp.kernel.segments"),
+    );
     rows
 }
 
@@ -93,10 +126,7 @@ pub fn run_multiflow() -> Vec<(String, f64)> {
         let results = sw.transfer_interleaved(&mut link, Time::ZERO, &refs);
         let last = results.iter().map(|r| r.delivered).max().expect("flows");
         let bits = (flows * per_flow) as f64 * 8.0;
-        out.push((
-            format!("linux x{flows}"),
-            bits / last.as_secs_f64() / 1e9,
-        ));
+        out.push((format!("linux x{flows}"), bits / last.as_secs_f64() / 1e9));
     }
     out
 }
@@ -138,7 +168,11 @@ mod tests {
         let get = |name: &str| rows.iter().find(|(n, _)| n == name).unwrap().1;
         assert!(get("enzian x1") > 90.0);
         assert!(get("linux x1") < 45.0);
-        assert!(get("linux x4") > 75.0, "4 flows reached only {}", get("linux x4"));
+        assert!(
+            get("linux x4") > 75.0,
+            "4 flows reached only {}",
+            get("linux x4")
+        );
         // Monotone in flow count.
         for i in 1..4 {
             assert!(get(&format!("linux x{}", i + 1)) > get(&format!("linux x{i}")) * 0.98);

@@ -10,10 +10,10 @@ use enzian_mem::{Addr, MemoryController, MemoryControllerConfig};
 use enzian_net::eth::{EthLink, EthLinkConfig};
 use enzian_net::rdma::{RdmaBackend, RdmaEngine};
 use enzian_pcie::{DmaEngine, DmaEngineConfig};
-use enzian_sim::{Duration, Time};
+use enzian_sim::{Duration, MetricsRegistry, Time, TraceEvent};
 
 /// The five configurations of the figure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Fig8Config {
     /// Alveo u280 serving its card DRAM (2 channels).
     AlveoDram,
@@ -79,7 +79,7 @@ impl Fig8Config {
 }
 
 /// One measurement row.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig8Row {
     /// Configuration measured.
     pub config: Fig8Config,
@@ -99,8 +99,17 @@ const REPS: u64 = 150;
 
 /// Runs all five configurations over sizes 2⁷..2¹⁴.
 pub fn run() -> Vec<Fig8Row> {
+    run_instrumented(&mut MetricsRegistry::new())
+}
+
+/// [`run`], publishing per-config throughput/latency summaries over the
+/// size sweep plus one trace event per (config, size) into `reg` under
+/// `fig8.*`.
+pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig8Row> {
     let sizes: Vec<u64> = (7..=14).map(|p| 1u64 << p).collect();
     let mut rows = Vec::new();
+    let mut sim_end = Time::ZERO;
+    let mut operations = 0u64;
     for config in Fig8Config::ALL {
         for &size in &sizes {
             // Latency: isolated operations on fresh engines.
@@ -123,6 +132,7 @@ pub fn run() -> Vec<Fig8Row> {
                 last = last.max(out.completed);
             }
             let rd_gib = (REPS * size) as f64 / last.as_secs_f64() / (1u64 << 30) as f64;
+            sim_end = sim_end.max(last);
 
             let mut e = config.engine();
             let mut link = EthLink::new(EthLinkConfig::hundred_gig());
@@ -132,7 +142,21 @@ pub fn run() -> Vec<Fig8Row> {
                 last = last.max(out.completed);
             }
             let wr_gib = (REPS * size) as f64 / last.as_secs_f64() / (1u64 << 30) as f64;
+            sim_end = sim_end.max(last);
+            operations += 2 * REPS + 2;
 
+            let slug = super::metric_slug(config.label());
+            reg.record(&format!("fig8.{slug}.rd_gib"), rd_gib);
+            reg.record(&format!("fig8.{slug}.wr_gib"), wr_gib);
+            reg.record(&format!("fig8.{slug}.rd_lat_us"), rd_lat_us);
+            reg.record(&format!("fig8.{slug}.wr_lat_us"), wr_lat_us);
+            reg.trace_event(
+                TraceEvent::new(sim_end, "fig8", "measurement")
+                    .field("config", config.label())
+                    .field("size", size)
+                    .field("rd_gib", rd_gib)
+                    .field("wr_gib", wr_gib),
+            );
             rows.push(Fig8Row {
                 config,
                 size,
@@ -143,6 +167,8 @@ pub fn run() -> Vec<Fig8Row> {
             });
         }
     }
+    reg.counter_set("fig8.sim_time_ps", sim_end.as_ps());
+    reg.counter_set("fig8.events_executed", operations);
     rows
 }
 

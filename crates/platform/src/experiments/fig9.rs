@@ -6,12 +6,12 @@
 //! offload pipeline (§5.3 / artifact A.6.3).
 
 use enzian_apps::gbdt::{Ensemble, GbdtAccelerator};
-use enzian_sim::Time;
+use enzian_sim::{MetricsRegistry, Time, TraceEvent};
 
 use crate::presets::PlatformPreset;
 
 /// One bar of the figure.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig9Row {
     /// Platform measured.
     pub platform: PlatformPreset,
@@ -31,6 +31,12 @@ pub const PLATFORMS: [PlatformPreset; 4] = [
 
 /// Runs the experiment: every platform, one and two engines.
 pub fn run() -> Vec<Fig9Row> {
+    run_instrumented(&mut MetricsRegistry::new())
+}
+
+/// [`run`], publishing one throughput gauge and one trace event per bar
+/// into `reg` under `fig9.*`.
+pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig9Row> {
     // A realistic ensemble: 96 trees of depth 6 over 16 features. The
     // batch uses 64 KB of tuples to hit the saturation point (A.6.3):
     // 16 features x 4 B = 64 B/tuple -> 1024 tuples/batch; stream many
@@ -39,6 +45,7 @@ pub fn run() -> Vec<Fig9Row> {
     let tuples = ensemble.generate_tuples(43, 100_000);
 
     let mut rows = Vec::new();
+    let mut sim_end = Time::ZERO;
     for platform in PLATFORMS {
         for engines in [1u32, 2] {
             let cfg = platform
@@ -46,13 +53,33 @@ pub fn run() -> Vec<Fig9Row> {
                 .expect("fig9 platform has a config");
             let mut acc = GbdtAccelerator::new(ensemble.clone(), cfg);
             let tput = acc.measure_throughput(Time::ZERO, &tuples);
-            rows.push(Fig9Row {
+            let row = Fig9Row {
                 platform,
                 engines,
                 mtuples_per_sec: tput / 1e6,
-            });
+            };
+            let slug = super::metric_slug(platform.name());
+            reg.gauge_set(
+                &format!("fig9.{slug}.x{engines}.mtuples_per_sec"),
+                row.mtuples_per_sec,
+            );
+            reg.counter_add("fig9.tuples_scored", tuples.len() as u64);
+            // The scoring pass is closed-form over the batch; anchor the
+            // trace event at the batch's steady-state scoring time.
+            let batch_time =
+                Time::ZERO + enzian_sim::Duration::from_secs_f64(tuples.len() as f64 / tput);
+            sim_end = sim_end.max(batch_time);
+            reg.trace_event(
+                TraceEvent::new(batch_time, "fig9", "bar")
+                    .field("platform", platform.name())
+                    .field("engines", u64::from(engines))
+                    .field("mtuples_per_sec", row.mtuples_per_sec),
+            );
+            rows.push(row);
         }
     }
+    reg.counter_set("fig9.sim_time_ps", sim_end.as_ps());
+    reg.counter_set("fig9.events_executed", reg.counter("fig9.tuples_scored"));
     rows
 }
 
@@ -131,7 +158,11 @@ mod tests {
                 .unwrap()
                 .mtuples_per_sec;
             for r in rows.iter().filter(|r| r.engines == engines) {
-                assert!(enzian >= r.mtuples_per_sec, "{} beats Enzian", r.platform.name());
+                assert!(
+                    enzian >= r.mtuples_per_sec,
+                    "{} beats Enzian",
+                    r.platform.name()
+                );
             }
         }
     }

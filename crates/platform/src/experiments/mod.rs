@@ -13,6 +13,26 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 
+/// Turns a human-facing label ("Enzian (1 ECI link)") into a stable
+/// metric-name segment ("enzian_1_eci_link"): lowercase, with every run
+/// of non-alphanumeric characters collapsed to a single underscore.
+pub(crate) fn metric_slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut gap = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            if gap && !out.is_empty() {
+                out.push('_');
+            }
+            gap = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            gap = true;
+        }
+    }
+    out
+}
+
 /// Renders a simple aligned table from a header and rows of strings.
 pub(crate) fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
@@ -42,4 +62,17 @@ pub(crate) fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -
         out.push('\n');
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_collapse_punctuation() {
+        assert_eq!(metric_slug("Enzian (1 ECI link)"), "enzian_1_eci_link");
+        assert_eq!(metric_slug("Alveo DRAM"), "alveo_dram");
+        assert_eq!(metric_slug("linux x4"), "linux_x4");
+        assert_eq!(metric_slug("  odd__label  "), "odd_label");
+    }
 }

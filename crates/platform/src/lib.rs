@@ -20,6 +20,6 @@ pub use bdk::BdkConsole;
 pub use catapult::BumpInTheWire;
 pub use cluster::{BoardId, EnzianCluster};
 pub use devicetree::{render_dts, DeviceTreeOptions};
-pub use shellctl::{ShellCommand, ShellController, ShellStatus};
 pub use machine::{EnzianMachine, MachineConfig};
 pub use presets::PlatformPreset;
+pub use shellctl::{ShellCommand, ShellController, ShellStatus};

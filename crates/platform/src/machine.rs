@@ -63,7 +63,7 @@ impl EnzianMachine {
             power,
             boot: BootSequencer::new(),
             config,
-        linux_at: None,
+            linux_at: None,
         }
     }
 
@@ -142,8 +142,14 @@ mod tests {
         assert!((60.0..180.0).contains(&secs), "boot took {secs:.0} s");
 
         // Both links trained by the BDK.
-        assert!(matches!(m.eci().links().link_state(0), LinkState::Up { .. }));
-        assert!(matches!(m.eci().links().link_state(1), LinkState::Up { .. }));
+        assert!(matches!(
+            m.eci().links().link_state(0),
+            LinkState::Up { .. }
+        ));
+        assert!(matches!(
+            m.eci().links().link_state(1),
+            LinkState::Up { .. }
+        ));
 
         // The coherent system works end to end after boot.
         let data = [9u8; 128];

@@ -14,7 +14,7 @@ use enzian_sim::Duration;
 use enzian_apps::gbdt::AcceleratorConfig;
 
 /// The platforms of Figs. 2/3/9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlatformPreset {
     /// Conventional PCIe card in a server (Alpha Data ADM-PCIE-7V3,
     /// PCIe x8 Gen3).

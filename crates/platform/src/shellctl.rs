@@ -129,9 +129,7 @@ impl ShellController {
                 slot,
                 bitstream_bytes,
             } => (1u64, u64::from(slot.0), bitstream_bytes),
-            ShellCommand::Grant { slot, service } => {
-                (2, u64::from(slot.0), service_id(service))
-            }
+            ShellCommand::Grant { slot, service } => (2, u64::from(slot.0), service_id(service)),
         };
         let t = sys.io_write(now, NodeId::Cpu, Addr(REG_CMD), 8, op);
         let t = sys.io_write(t, NodeId::Cpu, Addr(REG_ARG0), 8, arg0);
@@ -240,7 +238,10 @@ mod tests {
             },
         );
         assert_eq!(status, ShellStatus::Ok);
-        assert!(ctl.shell_mut().check_service(SlotId(1), Service::EciBridge).is_ok());
+        assert!(ctl
+            .shell_mut()
+            .check_service(SlotId(1), Service::EciBridge)
+            .is_ok());
     }
 
     #[test]

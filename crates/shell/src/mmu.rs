@@ -16,7 +16,7 @@ use enzian_sim::{Duration, Time};
 pub const PAGE_BYTES: u64 = 2 << 20;
 
 /// Access permissions of a mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Permissions {
     /// Loads permitted.
     pub read: bool,
@@ -38,7 +38,7 @@ impl Permissions {
 }
 
 /// The kind of access being translated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessKind {
     /// A load.
     Read,
@@ -199,25 +199,25 @@ impl Mmu {
         let page = vaddr & !(PAGE_BYTES - 1);
         let offset = vaddr & (PAGE_BYTES - 1);
 
-        let (entry, tlb_hit) =
-            if let Some(pos) = self.tlb.iter().position(|&(tag, _)| tag == page) {
-                // Move-to-front LRU.
-                let e = self.tlb.remove(pos);
-                self.tlb.insert(0, e);
-                self.hits += 1;
-                (e.1, true)
-            } else {
-                let Some(&e) = self.table.get(&page) else {
-                    self.faults += 1;
-                    return Err(MmuError::NotMapped { vaddr });
-                };
-                self.misses += 1;
-                if self.tlb.len() >= self.tlb_capacity {
-                    self.tlb.pop();
-                }
-                self.tlb.insert(0, (page, e));
-                (e, false)
+        let (entry, tlb_hit) = if let Some(pos) = self.tlb.iter().position(|&(tag, _)| tag == page)
+        {
+            // Move-to-front LRU.
+            let e = self.tlb.remove(pos);
+            self.tlb.insert(0, e);
+            self.hits += 1;
+            (e.1, true)
+        } else {
+            let Some(&e) = self.table.get(&page) else {
+                self.faults += 1;
+                return Err(MmuError::NotMapped { vaddr });
             };
+            self.misses += 1;
+            if self.tlb.len() >= self.tlb_capacity {
+                self.tlb.pop();
+            }
+            self.tlb.insert(0, (page, e));
+            (e, false)
+        };
 
         let allowed = match access {
             AccessKind::Read => entry.perms.read,
@@ -227,7 +227,12 @@ impl Mmu {
             self.faults += 1;
             return Err(MmuError::ProtectionFault { vaddr, access });
         }
-        let ready = now + if tlb_hit { self.tlb_hit_time } else { self.walk_time };
+        let ready = now
+            + if tlb_hit {
+                self.tlb_hit_time
+            } else {
+                self.walk_time
+            };
         Ok(Translation {
             paddr: Addr(entry.phys_base + offset),
             tlb_hit,
@@ -279,7 +284,9 @@ mod tests {
     #[test]
     fn unmapped_access_faults() {
         let mut m = Mmu::new(8);
-        let err = m.translate(Time::ZERO, 0x1234, AccessKind::Read).unwrap_err();
+        let err = m
+            .translate(Time::ZERO, 0x1234, AccessKind::Read)
+            .unwrap_err();
         assert_eq!(err, MmuError::NotMapped { vaddr: 0x1234 });
     }
 

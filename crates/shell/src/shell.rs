@@ -16,7 +16,6 @@ use crate::vfpga::{AppImage, SlotId, SlotState, VFpgaSlot};
 
 /// Services the shell can grant to a vFPGA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum Service {
     /// A virtualized FPGA-side DRAM controller channel.
     DramController,
@@ -124,11 +123,7 @@ impl Shell {
     ///
     /// Fails if the slot does not exist or has no running application.
     pub fn grant(&mut self, now: Time, slot: SlotId, service: Service) -> Result<(), ShellError> {
-        if !self
-            .slots
-            .iter_mut()
-            .any(|s| s.id() == slot)
-        {
+        if !self.slots.iter_mut().any(|s| s.id() == slot) {
             return Err(ShellError::NoSuchSlot(slot));
         }
         if !self.is_running(now, slot) {
@@ -147,10 +142,7 @@ impl Shell {
     ///
     /// Returns [`ShellError::ServiceDenied`] when not granted.
     pub fn check_service(&self, slot: SlotId, service: Service) -> Result<(), ShellError> {
-        let granted = self
-            .grants
-            .get(&slot)
-            .ok_or(ShellError::NoSuchSlot(slot))?;
+        let granted = self.grants.get(&slot).ok_or(ShellError::NoSuchSlot(slot))?;
         if granted.contains(&service) {
             Ok(())
         } else {
@@ -205,7 +197,11 @@ mod tests {
             .unwrap();
         // Mid-load: app is not running yet.
         let err = shell
-            .grant(Time::ZERO + Duration::from_ms(1), SlotId(0), Service::DramController)
+            .grant(
+                Time::ZERO + Duration::from_ms(1),
+                SlotId(0),
+                Service::DramController,
+            )
             .unwrap_err();
         assert_eq!(err, ShellError::SlotNotRunning(SlotId(0)));
     }

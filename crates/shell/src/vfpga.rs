@@ -10,11 +10,10 @@ use enzian_sim::{Duration, Time};
 
 /// Identifies a slot in the shell's static partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct SlotId(pub u8);
 
 /// An application's partial bitstream and resource footprint.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppImage {
     /// Human-readable name.
     pub name: String,

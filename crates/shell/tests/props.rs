@@ -1,32 +1,38 @@
-//! Property tests for the shell.
+//! Randomized invariant tests for the shell, driven by the deterministic
+//! [`SimRng`] so every failure reproduces exactly.
 
-use proptest::prelude::*;
-
-use enzian_shell::mmu::{AccessKind, Mmu, Permissions, PAGE_BYTES};
 use enzian_mem::Addr;
-use enzian_sim::Time;
+use enzian_shell::mmu::{AccessKind, Mmu, Permissions, PAGE_BYTES};
+use enzian_sim::{SimRng, Time};
 
-proptest! {
-    /// The MMU agrees with a reference map under arbitrary map/unmap/
-    /// translate sequences (non-overlapping mappings by construction).
-    #[test]
-    fn mmu_matches_reference(
-        ops in proptest::collection::vec((0u64..32, 0u64..32, any::<bool>(), any::<bool>()), 1..120)
-    ) {
+/// The MMU agrees with a reference map under arbitrary map/unmap/
+/// translate sequences (non-overlapping mappings by construction).
+#[test]
+fn mmu_matches_reference() {
+    let mut rng = SimRng::seed_from(0x5E11_0001);
+    for _case in 0..16 {
+        let n = rng.range(1, 119) as usize;
         let mut mmu = Mmu::new(4);
         // reference[vpage] = (ppage, writable)
         let mut reference = std::collections::HashMap::<u64, (u64, bool)>::new();
-        for &(vpage, ppage, write_perm, do_map) in &ops {
+        for _ in 0..n {
+            let vpage = rng.next_below(32);
+            let ppage = rng.next_below(32);
+            let write_perm = rng.chance(0.5);
+            let do_map = rng.chance(0.5);
             if do_map {
-                let perms = if write_perm { Permissions::RW } else { Permissions::RO };
+                let perms = if write_perm {
+                    Permissions::RW
+                } else {
+                    Permissions::RO
+                };
                 let result = mmu.map(vpage * PAGE_BYTES, Addr(ppage * PAGE_BYTES), 1, perms);
                 if let std::collections::hash_map::Entry::Vacant(e) = reference.entry(vpage) {
                     result.unwrap();
                     e.insert((ppage, write_perm));
                 } else {
                     // Overlap must be rejected.
-                    let rejected = result.is_err();
-                    prop_assert!(rejected);
+                    assert!(result.is_err());
                 }
             } else {
                 mmu.unmap(vpage * PAGE_BYTES, 1);
@@ -36,21 +42,24 @@ proptest! {
             for probe in 0..4u64 {
                 let vp = (vpage + probe) % 32;
                 let vaddr = vp * PAGE_BYTES + 123;
-                match (mmu.translate(Time::ZERO, vaddr, AccessKind::Read), reference.get(&vp)) {
+                match (
+                    mmu.translate(Time::ZERO, vaddr, AccessKind::Read),
+                    reference.get(&vp),
+                ) {
                     (Ok(t), Some(&(pp, _))) => {
-                        prop_assert_eq!(t.paddr, Addr(pp * PAGE_BYTES + 123));
+                        assert_eq!(t.paddr, Addr(pp * PAGE_BYTES + 123));
                     }
                     (Err(_), None) => {}
-                    (got, want) => prop_assert!(false, "mismatch: {got:?} vs {want:?}"),
+                    (got, want) => panic!("mismatch: {got:?} vs {want:?}"),
                 }
                 // Write permission check.
                 let w = mmu.translate(Time::ZERO, vaddr, AccessKind::Write);
                 match reference.get(&vp) {
-                    Some(&(_, true)) => prop_assert!(w.is_ok()),
-                    _ => prop_assert!(w.is_err()),
+                    Some(&(_, true)) => assert!(w.is_ok()),
+                    _ => assert!(w.is_err()),
                 }
             }
-            prop_assert_eq!(mmu.mapped_pages(), reference.len());
+            assert_eq!(mmu.mapped_pages(), reference.len());
         }
     }
 }

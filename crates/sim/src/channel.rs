@@ -15,7 +15,7 @@
 use crate::time::{Duration, Time};
 
 /// Static description of a link.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChannelConfig {
     /// Raw line rate in bits per second.
     pub bits_per_sec: u64,
@@ -137,7 +137,10 @@ impl Channel {
     fn occupy(&mut self, start: u64, end: u64) {
         let idx = self.busy.partition_point(|&(s, _)| s < start);
         debug_assert!(idx == 0 || self.busy[idx - 1].1 <= start, "overlap left");
-        debug_assert!(idx == self.busy.len() || end <= self.busy[idx].0, "overlap right");
+        debug_assert!(
+            idx == self.busy.len() || end <= self.busy[idx].0,
+            "overlap right"
+        );
         let merge_left = idx > 0 && self.busy[idx - 1].1 == start;
         let merge_right = idx < self.busy.len() && self.busy[idx].0 == end;
         match (merge_left, merge_right) {
@@ -251,7 +254,7 @@ mod tests {
         };
         let mut ch = Channel::new(cfg);
         let t = ch.send(Time::ZERO, 112); // 112 + 16 = 128 B on the wire
-        // 128 B at 10 * 64/66 Gb/s = 105.6 ns.
+                                          // 128 B at 10 * 64/66 Gb/s = 105.6 ns.
         assert_eq!(t.done.as_ps(), 105_600);
     }
 

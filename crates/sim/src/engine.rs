@@ -8,6 +8,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::telemetry::MetricsRegistry;
 use crate::time::{Duration, Time};
 
 /// Identifier of a scheduled event, usable to cancel it before it fires.
@@ -118,11 +119,16 @@ impl<M> Scheduler<M> {
         false
     }
 
+    /// Publishes the kernel's run statistics into `reg` under `prefix`
+    /// (e.g. `prefix.events_executed`).
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter_set(&format!("{prefix}.events_executed"), self.events_executed);
+        reg.counter_set(&format!("{prefix}.events_pending"), self.queue.len() as u64);
+        reg.counter_set(&format!("{prefix}.now_ps"), self.now.as_ps());
+    }
+
     fn take_handler(&mut self, seq: u64) -> Option<EventFn<M>> {
-        let idx = self
-            .handlers
-            .binary_search_by_key(&seq, |(s, _)| *s)
-            .ok()?;
+        let idx = self.handlers.binary_search_by_key(&seq, |(s, _)| *s).ok()?;
         let h = self.handlers[idx].1.take();
         // Compact the table by dropping the leading run of already-fired
         // (None) handlers once it grows large, keeping memory proportional
@@ -220,6 +226,12 @@ impl<M> Simulator<M> {
     /// Cancels a pending event.
     pub fn cancel(&mut self, id: EventId) -> bool {
         self.sched.cancel(id)
+    }
+
+    /// Publishes the kernel's run statistics into `reg` under `prefix`.
+    /// See [`Scheduler::export_metrics`].
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        self.sched.export_metrics(reg, prefix);
     }
 
     /// Runs a single event if any is pending; returns `false` when the

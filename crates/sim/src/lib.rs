@@ -9,7 +9,10 @@
 //! * [`Channel`] — a bandwidth/latency pipe model used for every serial
 //!   link in the platform (ECI lanes, PCIe, Ethernet, I2C),
 //! * [`stats`] — counters, histograms and time series for collecting the
-//!   measurements that the paper's evaluation reports.
+//!   measurements that the paper's evaluation reports,
+//! * [`telemetry`] — a shared [`MetricsRegistry`] of hierarchically named
+//!   metrics plus a bounded structured event trace, with deterministic
+//!   text and JSON exporters.
 //!
 //! # Example
 //!
@@ -29,9 +32,11 @@ pub mod channel;
 pub mod engine;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use channel::{Channel, ChannelConfig};
 pub use engine::{EventId, Scheduler, Simulator};
 pub use rng::SimRng;
+pub use telemetry::{MetricsRegistry, TraceEvent, TraceRing};
 pub use time::{Duration, Time};

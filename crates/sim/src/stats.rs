@@ -9,7 +9,7 @@ use crate::time::{Duration, Time};
 
 /// Running summary of a stream of `f64` samples: count, mean, min, max and
 /// variance (Welford's algorithm).
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -103,7 +103,7 @@ impl Summary {
 ///
 /// Bucket `i` covers durations in `[2^i, 2^(i+1))` nanoseconds, with bucket
 /// 0 also absorbing sub-nanosecond samples.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
     summary: Summary,
@@ -164,10 +164,25 @@ impl LatencyHistogram {
     pub fn summary(&self) -> &Summary {
         &self.summary
     }
+
+    /// Per-bucket counts; bucket `i` covers `[2^i, 2^(i+1))` ns.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Merges another histogram into this one, bucket- and sample-exact:
+    /// merging two halves of a sample stream yields the same histogram
+    /// as recording the whole stream.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.summary.merge(&other.summary);
+    }
 }
 
 /// A time-stamped series of `f64` samples, e.g. a power rail trace.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
     points: Vec<(Time, f64)>,
 }
@@ -242,7 +257,7 @@ impl TimeSeries {
 
 /// A throughput meter: counts units (bytes, tuples, pixels) over a
 /// simulated interval.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Meter {
     units: u64,
     first: Option<Time>,

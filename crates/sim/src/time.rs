@@ -14,12 +14,10 @@ use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// An absolute instant in simulated time, measured in picoseconds from the
 /// start of the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Time(u64);
 
 /// A span of simulated time, measured in picoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Duration(u64);
 
 impl Time {
@@ -197,7 +195,11 @@ impl AddAssign<Duration> for Time {
 impl Sub<Duration> for Time {
     type Output = Time;
     fn sub(self, rhs: Duration) -> Time {
-        Time(self.0.checked_sub(rhs.0).expect("Time - Duration underflow"))
+        Time(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Time - Duration underflow"),
+        )
     }
 }
 

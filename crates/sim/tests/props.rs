@@ -1,17 +1,22 @@
-//! Property tests for the simulation kernel.
-
-use proptest::prelude::*;
+//! Randomized invariant tests for the simulation kernel.
+//!
+//! Each test drives the kernel with pseudo-random inputs from [`SimRng`]
+//! seeded deterministically, so failures reproduce exactly and `cargo test`
+//! never depends on external crates or wall-clock entropy.
 
 use enzian_sim::stats::Summary;
 use enzian_sim::{Channel, ChannelConfig, Duration, SimRng, Simulator, Time};
 
-proptest! {
-    /// Channel bookings never overlap and never start before submission;
-    /// total occupancy never exceeds wall-clock capacity.
-    #[test]
-    fn channel_conservation(
-        sends in proptest::collection::vec((0u64..1_000_000u64, 1u64..4096), 1..200)
-    ) {
+/// Channel bookings never overlap and never start before submission;
+/// total occupancy never exceeds wall-clock capacity.
+#[test]
+fn channel_conservation() {
+    let mut rng = SimRng::seed_from(0xC0DE_0001);
+    for _case in 0..64 {
+        let n = rng.range(1, 199) as usize;
+        let sends: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.next_below(1_000_000), rng.range(1, 4095)))
+            .collect();
         let cfg = ChannelConfig::raw(10_000_000_000, Duration::from_ns(10));
         let mut ch = Channel::new(cfg);
         let mut total_ser = 0u64;
@@ -19,21 +24,25 @@ proptest! {
         for &(at_ns, bytes) in &sends {
             let now = Time::ZERO + Duration::from_ns(at_ns);
             let t = ch.send(now, bytes);
-            prop_assert!(t.start >= now, "transfer started before submission");
-            prop_assert!(t.done > t.start);
+            assert!(t.start >= now, "transfer started before submission");
+            assert!(t.done > t.start);
             total_ser += cfg.serialization_time(bytes).as_ps();
             latest = latest.max(t.done.as_ps());
         }
         // All serialization fits in [0, latest]: the wire is never
         // oversubscribed.
-        prop_assert!(total_ser <= latest);
-        prop_assert_eq!(ch.transfers(), sends.len() as u64);
+        assert!(total_ser <= latest);
+        assert_eq!(ch.transfers(), sends.len() as u64);
     }
+}
 
-    /// Events fire in nondecreasing time order regardless of insertion
-    /// order.
-    #[test]
-    fn simulator_fires_in_time_order(delays in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+/// Events fire in nondecreasing time order regardless of insertion order.
+#[test]
+fn simulator_fires_in_time_order() {
+    let mut rng = SimRng::seed_from(0xC0DE_0002);
+    for _case in 0..64 {
+        let n = rng.range(1, 199) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000)).collect();
         let mut sim = Simulator::new(Vec::<u64>::new());
         for &d in &delays {
             sim.schedule_in(Duration::from_ns(d), move |log: &mut Vec<u64>, s| {
@@ -42,18 +51,23 @@ proptest! {
         }
         sim.run();
         let log = sim.model();
-        prop_assert_eq!(log.len(), delays.len());
+        assert_eq!(log.len(), delays.len());
         for w in log.windows(2) {
-            prop_assert!(w[1] >= w[0]);
+            assert!(w[1] >= w[0]);
         }
         let mut sorted = delays.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(log, &sorted);
+        assert_eq!(log, &sorted);
     }
+}
 
-    /// Welford summary agrees with the naive two-pass computation.
-    #[test]
-    fn summary_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+/// Welford summary agrees with the naive two-pass computation.
+#[test]
+fn summary_matches_naive() {
+    let mut rng = SimRng::seed_from(0xC0DE_0003);
+    for _case in 0..64 {
+        let n = rng.range(2, 199) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| (rng.next_f64() - 0.5) * 2e6).collect();
         let mut s = Summary::new();
         for &x in &xs {
             s.record(x);
@@ -61,28 +75,38 @@ proptest! {
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
-        prop_assert!((s.std_dev() - var.sqrt()).abs() <= 1e-5 * var.sqrt().max(1.0));
+        assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        assert!((s.std_dev() - var.sqrt()).abs() <= 1e-5 * var.sqrt().max(1.0));
     }
+}
 
-    /// RNG bounds hold for arbitrary ranges.
-    #[test]
-    fn rng_range_is_inclusive(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+/// RNG bounds hold for arbitrary ranges.
+#[test]
+fn rng_range_is_inclusive() {
+    let mut meta = SimRng::seed_from(0xC0DE_0004);
+    for _case in 0..64 {
+        let seed = meta.next_u64();
+        let lo = meta.next_below(1000);
+        let hi = lo + meta.next_below(1000);
         let mut rng = SimRng::seed_from(seed);
-        let hi = lo + span;
         for _ in 0..50 {
             let v = rng.range(lo, hi);
-            prop_assert!((lo..=hi).contains(&v));
+            assert!((lo..=hi).contains(&v));
         }
     }
+}
 
-    /// Serialization time scales linearly: twice the bytes never takes
-    /// less than twice minus rounding.
-    #[test]
-    fn serialization_scales(bytes in 1u64..1_000_000, bps in 1_000u64..1_000_000_000_000) {
+/// Serialization time scales linearly: twice the bytes never takes
+/// less than twice minus rounding.
+#[test]
+fn serialization_scales() {
+    let mut rng = SimRng::seed_from(0xC0DE_0005);
+    for _case in 0..256 {
+        let bytes = rng.range(1, 999_999);
+        let bps = rng.range(1_000, 999_999_999_999);
         let one = Duration::serialization(bytes, bps).as_ps();
         let two = Duration::serialization(bytes * 2, bps).as_ps();
-        prop_assert!(two >= 2 * one - 1);
-        prop_assert!(two <= 2 * one + 1);
+        assert!(two >= 2 * one - 1);
+        assert!(two <= 2 * one + 1);
     }
 }

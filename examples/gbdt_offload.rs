@@ -14,10 +14,18 @@ fn main() {
     // ---- Deploy into a vFPGA through the shell ------------------------
     let mut shell = Shell::new(2);
     let ready = shell
-        .load_app(Time::ZERO, SlotId(0), AppImage::new("gbdt-scoring", 34_000_000))
+        .load_app(
+            Time::ZERO,
+            SlotId(0),
+            AppImage::new("gbdt-scoring", 34_000_000),
+        )
         .expect("slot exists");
-    shell.grant(ready, SlotId(0), Service::EciBridge).expect("grant");
-    shell.grant(ready, SlotId(0), Service::DramController).expect("grant");
+    shell
+        .grant(ready, SlotId(0), Service::EciBridge)
+        .expect("grant");
+    shell
+        .grant(ready, SlotId(0), Service::DramController)
+        .expect("grant");
     println!(
         "Partial bitstream loaded into vFPGA slot 0 in {:.0} ms; services granted.",
         ready.as_secs_f64() * 1e3

@@ -45,14 +45,23 @@ fn main() {
     // The blur consumes either source identically — "pointing the input
     // of the blur filter at the FPGA-backed addresses makes the swap".
     let blurred = vision::blur3x3(&offloaded, frame.width, frame.height);
-    println!("3x3 Gaussian blur over the offloaded plane: {} bytes.", blurred.len());
+    println!(
+        "3x3 Gaussian blur over the offloaded plane: {} bytes.",
+        blurred.len()
+    );
 
     // ---- Performance: the Fig. 11 sweep summary ----------------------
     let cpu = CoreTimingModel::thunderx1();
-    println!("\nSteady state at 48 cores (interconnect budget {:.1} GiB/s):",
-        fig11::INTERCONNECT_BYTES_PER_SEC / (1u64 << 30) as f64);
+    println!(
+        "\nSteady state at 48 cores (interconnect budget {:.1} GiB/s):",
+        fig11::INTERCONNECT_BYTES_PER_SEC / (1u64 << 30) as f64
+    );
     for mode in ReductionMode::ALL {
-        let s = cpu.steady_state(&mode.workload_profile(), 48, fig11::INTERCONNECT_BYTES_PER_SEC);
+        let s = cpu.steady_state(
+            &mode.workload_profile(),
+            48,
+            fig11::INTERCONNECT_BYTES_PER_SEC,
+        );
         println!(
             "  {:>4}: {:>5.2} Gpx/s, interconnect {:>4.1} GiB/s, stalls/cycle {:.3}, cyc/L1-refill {:>5.0}",
             mode.label(),

@@ -23,19 +23,28 @@ fn main() {
         println!("  +{:>9} enable {}", step.offset.to_string(), step.rail);
     }
     // The verifier independently confirms the solver's output.
-    let executed: Vec<_> = schedule.iter().map(|s| (s.rail, Time::ZERO + s.offset)).collect();
-    spec.verify(&rails, &executed).expect("solver output verifies");
+    let executed: Vec<_> = schedule
+        .iter()
+        .map(|s| (s.rail, Time::ZERO + s.offset))
+        .collect();
+    spec.verify(&rails, &executed)
+        .expect("solver output verifies");
     println!("Sequence verified against the declarative spec.\n");
 
     // ---- Execute it over the PMBus network ---------------------------
     let mut net = PmbusNetwork::board();
     let mut t = Time::ZERO;
     for step in &schedule {
-        t = net.enable(t.max(Time::ZERO + step.offset), step.rail).expect("enable");
+        t = net
+            .enable(t.max(Time::ZERO + step.offset), step.rail)
+            .expect("enable");
     }
     let settled = t + Duration::from_ms(10);
     let (currents, t) = net.read_current_all(settled);
-    println!("print_current_all() at t = {:.0} ms:", t.as_secs_f64() * 1e3);
+    println!(
+        "print_current_all() at t = {:.0} ms:",
+        t.as_secs_f64() * 1e3
+    );
     for (rail, amps) in currents {
         println!("  {:<14} {:>6.2} A", rail.to_string(), amps);
     }

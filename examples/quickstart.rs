@@ -15,7 +15,10 @@ fn main() -> Result<(), BootError> {
     // ---- Boot the full machine --------------------------------------
     let mut machine = EnzianMachine::new(MachineConfig::enzian());
     let linux = machine.boot_to_linux(Time::ZERO)?;
-    println!("Booted to Linux at t = {:.1} s; boot events:", linux.as_secs_f64());
+    println!(
+        "Booted to Linux at t = {:.1} s; boot events:",
+        linux.as_secs_f64()
+    );
     for e in machine.boot_events() {
         println!("  [{:>8.2} s] {:?}", e.at.as_secs_f64(), e.phase);
     }
@@ -40,7 +43,10 @@ fn main() -> Result<(), BootError> {
         eci.links().messages_sent()
     );
     eci.checker().assert_clean();
-    println!("Protocol checker: clean ({:?} checks).", eci.checker().checked_counts());
+    println!(
+        "Protocol checker: clean ({:?} checks).",
+        eci.checker().checked_counts()
+    );
 
     // ---- Trace tooling ----------------------------------------------
     let mut traced = EciSystem::new(EciSystemConfig {

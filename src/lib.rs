@@ -47,26 +47,26 @@
 //! cargo bench -p enzian-bench                          # Criterion benches
 //! ```
 
-/// The discrete-event simulation kernel.
-pub use enzian_sim as sim;
-/// Memory substrate: DDR4 models, address partition, backing store.
-pub use enzian_mem as mem;
+/// Evaluation workloads (GBDT, vision, reduction, stress).
+pub use enzian_apps as apps;
+/// The open BMC: power sequencing, PMBus stack, telemetry, boot.
+pub use enzian_bmc as bmc;
 /// CPU cache substrate: MOESI, L2 model, PMU, core timing.
 pub use enzian_cache as cache;
 /// The ECI coherence protocol and its tooling.
 pub use enzian_eci as eci;
-/// The PCIe Gen3 baseline interconnect.
-pub use enzian_pcie as pcie;
-/// The open BMC: power sequencing, PMBus stack, telemetry, boot.
-pub use enzian_bmc as bmc;
+/// Memory substrate: DDR4 models, address partition, backing store.
+pub use enzian_mem as mem;
 /// Network substrate: Ethernet, TCP stacks, RDMA.
 pub use enzian_net as net;
-/// The Coyote-style FPGA shell.
-pub use enzian_shell as shell;
-/// Evaluation workloads (GBDT, vision, reduction, stress).
-pub use enzian_apps as apps;
+/// The PCIe Gen3 baseline interconnect.
+pub use enzian_pcie as pcie;
 /// Machine assembly, platform presets, experiment drivers.
 pub use enzian_platform as platform;
+/// The Coyote-style FPGA shell.
+pub use enzian_shell as shell;
+/// The discrete-event simulation kernel.
+pub use enzian_sim as sim;
 
 pub use enzian_eci::{EciSystem, EciSystemConfig};
 pub use enzian_platform::{EnzianMachine, MachineConfig};

@@ -21,8 +21,14 @@ fn boot_then_full_coherent_workout() {
     assert!(pos(BootPhase::BdkRunning) < pos(BootPhase::LinuxBooted));
 
     // ECI links are up after the BDK.
-    assert!(matches!(m.eci().links().link_state(0), LinkState::Up { lanes: 12 }));
-    assert!(matches!(m.eci().links().link_state(1), LinkState::Up { lanes: 12 }));
+    assert!(matches!(
+        m.eci().links().link_state(0),
+        LinkState::Up { lanes: 12 }
+    ));
+    assert!(matches!(
+        m.eci().links().link_state(1),
+        LinkState::Up { lanes: 12 }
+    ));
 
     // A mixed coherent workload with data verification.
     let eci = m.eci();
@@ -62,8 +68,13 @@ fn boot_then_full_coherent_workout() {
         .shell()
         .load_app(t3, SlotId(0), AppImage::new("workload", 12_000_000))
         .expect("load");
-    m.shell().grant(ready, SlotId(0), Service::EciBridge).expect("grant");
-    assert!(m.shell().check_service(SlotId(0), Service::EciBridge).is_ok());
+    m.shell()
+        .grant(ready, SlotId(0), Service::EciBridge)
+        .expect("grant");
+    assert!(m
+        .shell()
+        .check_service(SlotId(0), Service::EciBridge)
+        .is_ok());
 }
 
 #[test]

@@ -1,12 +1,11 @@
-//! Cross-crate property-based tests (proptest).
+//! Cross-crate randomized invariant tests.
 //!
 //! These check the invariants DESIGN.md calls out: coherent memory always
 //! agrees with a reference model and keeps the protocol checker clean,
 //! the wire codec round-trips every message, TCP delivers arbitrary data
 //! intact under arbitrary loss, and the power-sequencing solver's output
-//! always satisfies the declarative spec it was solved from.
-
-use proptest::prelude::*;
+//! always satisfies the declarative spec it was solved from. All inputs
+//! come from the deterministic [`SimRng`], so failures reproduce exactly.
 
 use enzian::bmc::rail::{RailId, RailSpec};
 use enzian::bmc::sequence::{Dependency, PowerSpec};
@@ -17,80 +16,67 @@ use enzian::mem::{Addr, CacheLine, NodeId, Store};
 use enzian::net::eth::{EthLink, EthLinkConfig};
 use enzian::net::tcp::{LossPattern, TcpEngine, TcpStackConfig};
 use enzian::net::Switch;
-use enzian::sim::{Duration, Time};
+use enzian::sim::{Duration, SimRng, Time};
 
 // ---------------------------------------------------------------------
 // Coherent memory vs a reference model
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
-enum CoherentOp {
-    FpgaWrite { slot: u8, fill: u8 },
-    FpgaRead { slot: u8 },
-    CpuWrite { slot: u8, fill: u8 },
-    CpuRead { slot: u8 },
-    CpuWriteRemote { slot: u8, fill: u8 },
-    CpuReadRemote { slot: u8 },
-}
-
-fn coherent_op() -> impl Strategy<Value = CoherentOp> {
-    prop_oneof![
-        (0u8..8, any::<u8>()).prop_map(|(slot, fill)| CoherentOp::FpgaWrite { slot, fill }),
-        (0u8..8).prop_map(|slot| CoherentOp::FpgaRead { slot }),
-        (0u8..8, any::<u8>()).prop_map(|(slot, fill)| CoherentOp::CpuWrite { slot, fill }),
-        (0u8..8).prop_map(|slot| CoherentOp::CpuRead { slot }),
-        (0u8..8, any::<u8>()).prop_map(|(slot, fill)| CoherentOp::CpuWriteRemote { slot, fill }),
-        (0u8..8).prop_map(|slot| CoherentOp::CpuReadRemote { slot }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn coherent_memory_agrees_with_reference(ops in proptest::collection::vec(coherent_op(), 1..60)) {
+#[test]
+fn coherent_memory_agrees_with_reference() {
+    let mut rng = SimRng::seed_from(0xE57_0001);
+    for _case in 0..48 {
+        let n = rng.range(1, 59) as usize;
         let mut sys = EciSystem::new(EciSystemConfig::enzian());
         let fpga_base = sys.config().map.fpga_base();
         // Reference: last written fill byte per slot (None = zeros).
         let mut host_ref = [0u8; 8];
         let mut remote_ref = [0u8; 8];
         let mut t = Time::ZERO;
-        for op in &ops {
-            match *op {
-                CoherentOp::FpgaWrite { slot, fill } => {
+        for _ in 0..n {
+            let slot = rng.next_below(8) as u8;
+            let fill = rng.next_u64() as u8;
+            match rng.next_below(6) {
+                0 => {
                     host_ref[slot as usize] = fill;
                     t = sys.fpga_write_line(t, Addr(u64::from(slot) * 128), &[fill; 128]);
                 }
-                CoherentOp::CpuWrite { slot, fill } => {
+                1 => {
+                    let (data, t2) = sys.fpga_read_line(t, Addr(u64::from(slot) * 128));
+                    assert_eq!(data, [host_ref[slot as usize]; 128]);
+                    t = t2;
+                }
+                2 => {
                     host_ref[slot as usize] = fill;
                     t = sys.cpu_write_line(t, Addr(u64::from(slot) * 128), &[fill; 128]);
                 }
-                CoherentOp::FpgaRead { slot } => {
-                    let (data, t2) = sys.fpga_read_line(t, Addr(u64::from(slot) * 128));
-                    prop_assert_eq!(data, [host_ref[slot as usize]; 128]);
-                    t = t2;
-                }
-                CoherentOp::CpuRead { slot } => {
+                3 => {
                     let (data, t2) = sys.cpu_read_line(t, Addr(u64::from(slot) * 128));
-                    prop_assert_eq!(data, [host_ref[slot as usize]; 128]);
+                    assert_eq!(data, [host_ref[slot as usize]; 128]);
                     t = t2;
                 }
-                CoherentOp::CpuWriteRemote { slot, fill } => {
+                4 => {
                     remote_ref[slot as usize] = fill;
-                    t = sys.cpu_write_line(t, fpga_base.offset(u64::from(slot) * 128), &[fill; 128]);
+                    t = sys.cpu_write_line(
+                        t,
+                        fpga_base.offset(u64::from(slot) * 128),
+                        &[fill; 128],
+                    );
                 }
-                CoherentOp::CpuReadRemote { slot } => {
-                    let (data, t2) =
-                        sys.cpu_read_line(t, fpga_base.offset(u64::from(slot) * 128));
-                    prop_assert_eq!(data, [remote_ref[slot as usize]; 128]);
+                _ => {
+                    let (data, t2) = sys.cpu_read_line(t, fpga_base.offset(u64::from(slot) * 128));
+                    assert_eq!(data, [remote_ref[slot as usize]; 128]);
                     t = t2;
                 }
             }
         }
-        prop_assert!(sys.checker().violations().is_empty(),
-            "checker: {:?}", sys.checker().violations());
+        assert!(
+            sys.checker().violations().is_empty(),
+            "checker: {:?}",
+            sys.checker().violations()
+        );
         // Time always advances.
-        prop_assert!(t >= Time::ZERO);
+        assert!(t >= Time::ZERO);
     }
 }
 
@@ -98,43 +84,58 @@ proptest! {
 // Wire codec round trip
 // ---------------------------------------------------------------------
 
-fn arb_line_payload() -> impl Strategy<Value = Box<[u8; 128]>> {
-    proptest::collection::vec(any::<u8>(), 128)
-        .prop_map(|v| Box::new(<[u8; 128]>::try_from(v.as_slice()).expect("len 128")))
+fn random_line_payload(rng: &mut SimRng) -> Box<[u8; 128]> {
+    let mut buf = Box::new([0u8; 128]);
+    rng.fill_bytes(&mut buf[..]);
+    buf
 }
 
-fn arb_kind() -> impl Strategy<Value = MessageKind> {
-    let line = any::<u64>().prop_map(CacheLine);
-    prop_oneof![
-        line.clone().prop_map(MessageKind::ReadShared),
-        line.clone().prop_map(MessageKind::ReadExclusive),
-        line.clone().prop_map(MessageKind::Upgrade),
-        line.clone().prop_map(MessageKind::ReadOnce),
-        (line.clone(), arb_line_payload()).prop_map(|(l, d)| MessageKind::WriteLine(l, d)),
-        line.clone().prop_map(MessageKind::ProbeShared),
-        line.clone().prop_map(MessageKind::ProbeInvalidate),
-        (line.clone(), arb_line_payload()).prop_map(|(l, d)| MessageKind::DataShared(l, d)),
-        (line.clone(), arb_line_payload()).prop_map(|(l, d)| MessageKind::DataExclusive(l, d)),
-        line.clone().prop_map(MessageKind::Ack),
-        (line.clone(), arb_line_payload()).prop_map(|(l, d)| MessageKind::ProbeAckData(l, d)),
-        line.clone().prop_map(MessageKind::ProbeAck),
-        (line.clone(), arb_line_payload()).prop_map(|(l, d)| MessageKind::VictimDirty(l, d)),
-        line.prop_map(MessageKind::VictimClean),
-        (any::<u64>(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])
-            .prop_map(|(a, size)| MessageKind::IoRead { addr: Addr(a), size }),
-        (any::<u64>(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)], any::<u64>())
-            .prop_map(|(a, size, data)| MessageKind::IoWrite { addr: Addr(a), size, data }),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(a, data)| MessageKind::IoData { addr: Addr(a), data }),
-        any::<u64>().prop_map(|a| MessageKind::IoAck { addr: Addr(a) }),
-        any::<u8>().prop_map(|vector| MessageKind::Ipi { vector }),
-    ]
+fn random_kind(rng: &mut SimRng) -> MessageKind {
+    let line = CacheLine(rng.next_u64());
+    let io_size = [1u8, 2, 4, 8][rng.next_below(4) as usize];
+    match rng.next_below(19) {
+        0 => MessageKind::ReadShared(line),
+        1 => MessageKind::ReadExclusive(line),
+        2 => MessageKind::Upgrade(line),
+        3 => MessageKind::ReadOnce(line),
+        4 => MessageKind::WriteLine(line, random_line_payload(rng)),
+        5 => MessageKind::ProbeShared(line),
+        6 => MessageKind::ProbeInvalidate(line),
+        7 => MessageKind::DataShared(line, random_line_payload(rng)),
+        8 => MessageKind::DataExclusive(line, random_line_payload(rng)),
+        9 => MessageKind::Ack(line),
+        10 => MessageKind::ProbeAckData(line, random_line_payload(rng)),
+        11 => MessageKind::ProbeAck(line),
+        12 => MessageKind::VictimDirty(line, random_line_payload(rng)),
+        13 => MessageKind::VictimClean(line),
+        14 => MessageKind::IoRead {
+            addr: Addr(rng.next_u64()),
+            size: io_size,
+        },
+        15 => MessageKind::IoWrite {
+            addr: Addr(rng.next_u64()),
+            size: io_size,
+            data: rng.next_u64(),
+        },
+        16 => MessageKind::IoData {
+            addr: Addr(rng.next_u64()),
+            data: rng.next_u64(),
+        },
+        17 => MessageKind::IoAck {
+            addr: Addr(rng.next_u64()),
+        },
+        _ => MessageKind::Ipi {
+            vector: rng.next_u64() as u8,
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn wire_codec_roundtrip(kind in arb_kind(), txn in any::<u32>(), to_cpu in any::<bool>()) {
-        let (src, dst) = if to_cpu {
+#[test]
+fn wire_codec_roundtrip() {
+    let mut rng = SimRng::seed_from(0xE57_0002);
+    for _case in 0..256 {
+        let kind = random_kind(&mut rng);
+        let (src, dst) = if rng.chance(0.5) {
             (NodeId::Fpga, NodeId::Cpu)
         } else {
             (NodeId::Cpu, NodeId::Fpga)
@@ -142,20 +143,34 @@ proptest! {
         // IoWrite's payload is masked to its size on decode; normalise.
         let kind = match kind {
             MessageKind::IoWrite { addr, size, data } => {
-                let mask = if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
-                MessageKind::IoWrite { addr, size, data: data & mask }
+                let mask = if size == 8 {
+                    u64::MAX
+                } else {
+                    (1u64 << (size * 8)) - 1
+                };
+                MessageKind::IoWrite {
+                    addr,
+                    size,
+                    data: data & mask,
+                }
             }
             k => k,
         };
-        let msg = Message::new(src, dst, TxnId(txn), kind);
+        let msg = Message::new(src, dst, TxnId(rng.next_u64() as u32), kind);
         let enc = encode_message(&msg);
         let (dec, used) = decode_message(&enc).expect("well-formed frame");
-        prop_assert_eq!(used, enc.len());
-        prop_assert_eq!(dec, msg);
+        assert_eq!(used, enc.len());
+        assert_eq!(dec, msg);
     }
+}
 
-    #[test]
-    fn wire_decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn wire_decoder_never_panics_on_noise() {
+    let mut rng = SimRng::seed_from(0xE57_0003);
+    for _case in 0..256 {
+        let n = rng.next_below(256) as usize;
+        let mut noise = vec![0u8; n];
+        rng.fill_bytes(&mut noise);
         // Arbitrary bytes must decode or error, never panic.
         let _ = decode_message(&noise);
     }
@@ -165,26 +180,27 @@ proptest! {
 // TCP integrity under arbitrary data and loss
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn tcp_delivers_arbitrary_data_intact(
-        data in proptest::collection::vec(any::<u8>(), 1..40_000),
-        drop_every in 0u64..12,
-        kernel in any::<bool>(),
-    ) {
+#[test]
+fn tcp_delivers_arbitrary_data_intact() {
+    let mut rng = SimRng::seed_from(0xE57_0004);
+    for _case in 0..32 {
+        let len = rng.range(1, 39_999) as usize;
+        let mut data = vec![0u8; len];
+        rng.fill_bytes(&mut data);
+        let drop_every = rng.next_below(12);
+        let kernel = rng.chance(0.5);
         let cfg = if kernel {
             TcpStackConfig::linux_kernel()
         } else {
             TcpStackConfig::fpga_coyote()
         };
         let mut link = EthLink::new(EthLinkConfig::hundred_gig());
-        let mut engine = TcpEngine::new(cfg, cfg, Switch::tor())
-            .with_loss(LossPattern { drop_every: if drop_every < 2 { 0 } else { drop_every } });
+        let mut engine = TcpEngine::new(cfg, cfg, Switch::tor()).with_loss(LossPattern {
+            drop_every: if drop_every < 2 { 0 } else { drop_every },
+        });
         let (out, r) = engine.transfer(&mut link, Time::ZERO, &data);
-        prop_assert_eq!(out, data);
-        prop_assert!(r.delivered > Time::ZERO);
+        assert_eq!(out, data);
+        assert!(r.delivered > Time::ZERO);
     }
 }
 
@@ -192,13 +208,10 @@ proptest! {
 // Power-sequencing solver correctness
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn solver_output_always_verifies(
-        edges in proptest::collection::vec((1usize..18, 0usize..18, 0.5f64..1.0, 0u64..500), 0..40)
-    ) {
+#[test]
+fn solver_output_always_verifies() {
+    let mut rng = SimRng::seed_from(0xE57_0005);
+    for _case in 0..64 {
         // Random acyclic spec: rail i may only depend on rails j < i.
         let rails = RailSpec::board_table();
         let ids: Vec<RailId> = rails.iter().map(|r| r.id).collect();
@@ -206,9 +219,15 @@ proptest! {
         for &id in &ids {
             spec.require(id, vec![]);
         }
-        for (hi, lo, frac, settle_us) in edges {
-            let lo = lo % hi.max(1);
-            if hi >= ids.len() { continue; }
+        let edges = rng.next_below(40) as usize;
+        for _ in 0..edges {
+            let hi = rng.range(1, 17) as usize;
+            let lo = rng.next_below(18) as usize % hi.max(1);
+            let frac = 0.5 + rng.next_f64() * 0.5;
+            let settle_us = rng.next_below(500);
+            if hi >= ids.len() {
+                continue;
+            }
             let mut deps: Vec<Dependency> = spec.deps_of(ids[hi]).to_vec();
             deps.push(Dependency {
                 on: ids[lo],
@@ -218,12 +237,12 @@ proptest! {
             spec.require(ids[hi], deps);
         }
         let schedule = spec.solve(&rails).expect("acyclic specs always solve");
-        prop_assert_eq!(schedule.len(), ids.len());
+        assert_eq!(schedule.len(), ids.len());
         let executed: Vec<(RailId, Time)> = schedule
             .iter()
             .map(|s| (s.rail, Time::ZERO + s.offset))
             .collect();
-        prop_assert!(spec.verify(&rails, &executed).is_ok());
+        assert!(spec.verify(&rails, &executed).is_ok());
     }
 }
 
@@ -231,13 +250,20 @@ proptest! {
 // Sparse store vs reference map
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn store_matches_reference(
-        writes in proptest::collection::vec((0u64..100_000, proptest::collection::vec(any::<u8>(), 1..300)), 1..40)
-    ) {
+#[test]
+fn store_matches_reference() {
+    let mut rng = SimRng::seed_from(0xE57_0006);
+    for _case in 0..64 {
+        let n = rng.range(1, 39) as usize;
+        let writes: Vec<(u64, Vec<u8>)> = (0..n)
+            .map(|_| {
+                let addr = rng.next_below(100_000);
+                let len = rng.range(1, 299) as usize;
+                let mut data = vec![0u8; len];
+                rng.fill_bytes(&mut data);
+                (addr, data)
+            })
+            .collect();
         let mut store = Store::new();
         let mut reference = std::collections::HashMap::<u64, u8>::new();
         for (addr, data) in &writes {
@@ -252,7 +278,7 @@ proptest! {
             store.read(Addr(*addr), &mut buf);
             for (i, got) in buf.iter().enumerate() {
                 let want = reference.get(&(addr + i as u64)).copied().unwrap_or(0);
-                prop_assert_eq!(*got, want);
+                assert_eq!(*got, want);
             }
         }
     }

@@ -47,7 +47,9 @@ fn captured_traffic_decodes_and_rechecks_clean() {
 
     // The human-readable rendering mentions every mnemonic we produced.
     let text = decoder::format_trace(sys.trace());
-    for needle in ["WRL", "RDO", "DSH", "ACK", "RDE", "DEX", "VCD", "IOW", "IPI"] {
+    for needle in [
+        "WRL", "RDO", "DSH", "ACK", "RDE", "DEX", "VCD", "IOW", "IPI",
+    ] {
         assert!(text.contains(needle), "{needle} missing from rendering");
     }
 }
@@ -61,7 +63,13 @@ fn trace_summary_counts_match_mix() {
         t = t2;
     }
     let summary = sys.trace().summary();
-    let count = |m: &str| summary.iter().find(|(k, _)| *k == m).map(|(_, c)| *c).unwrap_or(0);
+    let count = |m: &str| {
+        summary
+            .iter()
+            .find(|(k, _)| *k == m)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    };
     assert_eq!(count("RDO"), 5);
     assert_eq!(count("DSH"), 5);
 }
