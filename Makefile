@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test bench-smoke clean
+.PHONY: ci fmt fmt-check clippy build test bench-smoke chaos clean
 
-ci: fmt-check clippy build test bench-smoke
+ci: fmt-check clippy build test bench-smoke chaos
 
 fmt:
 	$(CARGO) fmt --all
@@ -31,6 +31,16 @@ bench-smoke: build
 	target/release/reproduce fig11 --bench-dir target/bench-smoke/b > /dev/null
 	cmp target/bench-smoke/a/BENCH_fig11.json target/bench-smoke/b/BENCH_fig11.json
 	@echo "bench smoke OK: deterministic BENCH_fig11.json"
+
+# Platform-wide fault injection: runs the fault sweep twice and fails
+# unless the two same-seed BENCH_fault_sweep.json files are byte-identical.
+chaos: build
+	rm -rf target/chaos
+	mkdir -p target/chaos/a target/chaos/b
+	target/release/reproduce fault_sweep --bench-dir target/chaos/a > /dev/null
+	target/release/reproduce fault_sweep --bench-dir target/chaos/b > /dev/null
+	cmp target/chaos/a/BENCH_fault_sweep.json target/chaos/b/BENCH_fault_sweep.json
+	@echo "chaos OK: deterministic BENCH_fault_sweep.json"
 
 clean:
 	$(CARGO) clean

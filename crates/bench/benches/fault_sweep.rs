@@ -1,0 +1,40 @@
+//! Fault-sweep bench: a faulted vs fault-free coherent transfer loop.
+
+use enzian_bench::harness::Criterion;
+use enzian_eci::link::fault_targets;
+use enzian_eci::{EciSystem, EciSystemConfig};
+use enzian_mem::Addr;
+use enzian_sim::{FaultPlan, FaultSpec, Time};
+use std::hint::black_box;
+
+fn faulted_loop(plan: Option<FaultPlan>) -> Time {
+    let mut sys = EciSystem::new(EciSystemConfig::enzian());
+    if let Some(plan) = plan {
+        sys.set_fault_plan(plan);
+    }
+    let mut t = Time::ZERO;
+    for i in 0..64u64 {
+        t = sys.fpga_write_line(t, Addr((i % 8) * 128), &[i as u8; 128]);
+        let (_, done) = sys.fpga_read_line(t, Addr((i % 8) * 128));
+        t = done;
+    }
+    assert!(sys.checker().violations().is_empty());
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_sweep");
+    g.bench_function("clean", |b| b.iter(|| black_box(faulted_loop(None))));
+    g.bench_function("faulted_5pct", |b| {
+        b.iter(|| {
+            let plan = FaultPlan::new(0xFA17)
+                .with(FaultSpec::probability(fault_targets::FRAME_CORRUPT, 0.05))
+                .with(FaultSpec::probability(fault_targets::FRAME_DROP, 0.025));
+            black_box(faulted_loop(Some(plan)))
+        })
+    });
+    g.finish();
+}
+
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|all]
+//! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|all]
 //!           [--csv [dir]] [--bench-dir dir] [--no-bench]
 //! ```
 //!
@@ -13,7 +13,7 @@
 //! so same-seed runs produce byte-identical files; wall-clock timings go
 //! to stderr only.
 
-use enzian_platform::experiments::{fig11, fig12, fig3, fig6, fig7, fig8, fig9};
+use enzian_platform::experiments::{fault_sweep, fig11, fig12, fig3, fig6, fig7, fig8, fig9};
 use enzian_sim::MetricsRegistry;
 
 /// Parsed command-line options.
@@ -27,8 +27,17 @@ struct Opts {
 }
 
 /// Valid experiment selectors.
-const EXPERIMENTS: [&str; 9] = [
-    "fig3", "fig6", "fig7", "fig8", "fig9", "fig11", "table1", "fig12", "all",
+const EXPERIMENTS: [&str; 10] = [
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig11",
+    "table1",
+    "fig12",
+    "fault_sweep",
+    "all",
 ];
 
 fn parse_opts() -> Opts {
@@ -348,6 +357,44 @@ fn run_fig12(opts: &Opts) {
     finish(opts, "fig12", &reg, started);
 }
 
+fn run_fault_sweep(opts: &Opts) {
+    let started = std::time::Instant::now();
+    let mut reg = MetricsRegistry::new();
+    let rows = fault_sweep::run_instrumented(&mut reg);
+    println!("{}", fault_sweep::render(&rows));
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.rate_bp.to_string(),
+                r.goodput_gib.to_string(),
+                r.injected.to_string(),
+                r.retransmissions.to_string(),
+                r.txn_retries.to_string(),
+                r.txn_failures.to_string(),
+                r.mean_recovery_ns.to_string(),
+            ]
+        })
+        .collect();
+    export(
+        &opts.csv,
+        "fault_sweep",
+        enzian_bench::to_csv(
+            &[
+                "rate_bp",
+                "goodput_gib",
+                "injected",
+                "retransmissions",
+                "txn_retries",
+                "txn_failures",
+                "mean_recovery_ns",
+            ],
+            &csv,
+        ),
+    );
+    finish(opts, "fault_sweep", &reg, started);
+}
+
 fn main() {
     let opts = parse_opts();
     match opts.experiment.as_str() {
@@ -359,6 +406,7 @@ fn main() {
         "fig11" => run_fig11(&opts),
         "table1" => run_table1(),
         "fig12" => run_fig12(&opts),
+        "fault_sweep" => run_fault_sweep(&opts),
         "all" => {
             run_fig3(&opts);
             run_fig6(&opts);
@@ -367,11 +415,12 @@ fn main() {
             run_fig9(&opts);
             run_fig11(&opts);
             run_fig12(&opts);
+            run_fault_sweep(&opts);
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
-                 fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|all"
+                 fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|all"
             );
             std::process::exit(2);
         }

@@ -2,7 +2,7 @@
 //! `BENCH_<figure>.json` pipeline.
 
 use enzian_bench::bench_json;
-use enzian_platform::experiments::{fig11, fig3};
+use enzian_platform::experiments::{fault_sweep, fig11, fig3};
 use enzian_sim::MetricsRegistry;
 
 #[test]
@@ -43,6 +43,25 @@ fn fig3_registry_carries_component_counters_and_trace() {
     assert!(json.contains("\"fig3.enzian_dram.bandwidth_gib\""));
     assert!(json.contains("\"fig3.enzian_1_eci_link.latency_us\""));
     assert!(json.contains("\"retained\": 8"));
+}
+
+#[test]
+fn fault_sweep_bench_json_is_byte_identical_across_runs() {
+    let run = || {
+        let mut reg = MetricsRegistry::new();
+        fault_sweep::run_instrumented(&mut reg);
+        bench_json("fault_sweep", &reg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same-seed fault sweeps must render identical JSON");
+    assert!(a.contains("\"figure\": \"fault_sweep\""));
+    // Per-rate fault ledgers and the recovery-latency histogram flow
+    // through the shared registry.
+    assert!(a.contains("\"fault_sweep.rate1000.injected\""));
+    assert!(a.contains("\"fault_sweep.rate1000.fault.injected_total\""));
+    assert!(a.contains("\"fault_sweep.recovery\""));
+    assert!(a.contains("\"fault_sweep.rate0000.goodput_gib\""));
 }
 
 #[test]

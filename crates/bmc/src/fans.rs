@@ -89,6 +89,18 @@ impl FanController {
         &self.fpga_fans
     }
 
+    /// Emergency thermal response: slams both banks to full duty,
+    /// bypassing the PI loop (used by the fault degradation path when a
+    /// reading can no longer be trusted or a rail has latched a fault).
+    /// The next [`FanController::step`] resumes closed-loop control.
+    pub fn ramp_to_max(&mut self) {
+        self.cpu_fans.set_duty(1.0);
+        self.fpga_fans.set_duty(1.0);
+        // Saturate the integral so the loop backs off gradually instead
+        // of snapping straight back to minimum duty.
+        self.integral = 200.0;
+    }
+
     /// One control step at `now`: read the die sensors and adjust duty.
     pub fn step(&mut self, sensors: &mut SensorBank, now: Time) {
         self.steps += 1;

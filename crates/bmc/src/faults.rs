@@ -1,0 +1,287 @@
+//! Fault injection for the board-management plane.
+//!
+//! The BMC "has nearly complete control over the server" (§4.2), which
+//! makes it the right place to practice electrical failure handling: a
+//! rail drawing beyond its rating, or a temperature sensor returning
+//! garbage. This module drives those failures from a shared, seeded
+//! [`FaultPlan`] — the same deterministic schedule machinery the ECI link
+//! uses — into the board models' existing latches:
+//!
+//! * **Over-current** ([`overcurrent_target`]): the injector overloads
+//!   the rail, the [`Regulator`](crate::rail::Regulator) latches its
+//!   fault and drops the output, and the degradation path responds the
+//!   way real firmware must — fans to full duty, then an *ordered*
+//!   shutdown of every live rail in the reverse of the solved power-up
+//!   sequence, so no dependency ever outlives its prerequisite.
+//! * **Sensor glitch** ([`sensor_glitch_target`]): one reading spikes.
+//!   The firmware cannot distinguish a glitch from a genuine thermal
+//!   event at the moment it happens, so the safe response is the same
+//!   fan ramp; closed-loop control resumes on the next clean reading.
+//!
+//! Every injection and recovery is counted and traced by the plan, so a
+//! chaos run can assert exactly what happened and reproduce it from the
+//! seed.
+
+use enzian_sim::{Duration, FaultPlan, MetricsRegistry, Time};
+
+use crate::fans::FanController;
+use crate::pmbus::PmbusNetwork;
+use crate::rail::{RailId, RailSpec};
+use crate::sensors::{SensorBank, SensorSite};
+use crate::sequence::PowerSpec;
+
+/// Fault-plan target for an over-current event on `rail`.
+pub fn overcurrent_target(rail: RailId) -> String {
+    format!("bmc.overcurrent.{}", rail.name())
+}
+
+/// Fault-plan target for a glitched reading at sensor `site`.
+pub fn sensor_glitch_target(site: SensorSite) -> String {
+    format!("bmc.sensor_glitch.{site:?}")
+}
+
+/// What the injector did on one scan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BmcFaultEvent {
+    /// `rail` latched an over-current fault; the ordered shutdown of all
+    /// live rails completed at `shutdown_done`.
+    OverCurrent {
+        /// The overloaded rail.
+        rail: RailId,
+        /// When the last rail of the ordered shutdown was off.
+        shutdown_done: Time,
+    },
+    /// The sensor at `site` returned a spiked reading.
+    SensorGlitch {
+        /// The glitched sensor.
+        site: SensorSite,
+        /// The bogus temperature the firmware saw.
+        reading_c: f64,
+    },
+}
+
+/// Drives a [`FaultPlan`] into the board models and runs the degradation
+/// responses.
+#[derive(Debug)]
+pub struct BmcFaultInjector {
+    plan: FaultPlan,
+    /// Power-up order solved from the declarative spec; shutdown runs it
+    /// in reverse.
+    up_order: Vec<RailId>,
+    shutdown_log: Vec<(RailId, Time)>,
+    /// Degrees added to a glitched reading.
+    glitch_spike_c: f64,
+}
+
+impl BmcFaultInjector {
+    /// Creates an injector around `plan`, solving the board's power
+    /// sequence once so shutdown order is fixed up front.
+    pub fn new(plan: FaultPlan) -> Self {
+        let steps = PowerSpec::enzian()
+            .solve(&RailSpec::board_table())
+            .expect("the board power spec is solvable");
+        BmcFaultInjector {
+            plan,
+            up_order: steps.iter().map(|s| s.rail).collect(),
+            shutdown_log: Vec::new(),
+            glitch_spike_c: 40.0,
+        }
+    }
+
+    /// The fault plan (injection/recovery ledger included).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Rails disabled by degradation responses so far, in shutdown order.
+    pub fn shutdown_log(&self) -> &[(RailId, Time)] {
+        &self.shutdown_log
+    }
+
+    /// Publishes the plan's injection/recovery counters under `prefix`.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        self.plan.export_metrics(reg, prefix);
+    }
+
+    /// One firmware scan at `now`: offers the plan a chance to glitch
+    /// each sensor and overload each rail, and runs the degradation
+    /// response for whatever fired. Returns the events, in a fixed
+    /// (sensor-then-rail, declaration-order) sequence for determinism.
+    pub fn step(
+        &mut self,
+        now: Time,
+        net: &mut PmbusNetwork,
+        sensors: &mut SensorBank,
+        fans: &mut FanController,
+    ) -> Vec<BmcFaultEvent> {
+        let mut events = Vec::new();
+        for site in SensorSite::ALL {
+            let target = sensor_glitch_target(site);
+            if self.plan.should_fire(&target, now) {
+                let reading_c = sensors.sensor_mut(site).read_c(now) + self.glitch_spike_c;
+                fans.ramp_to_max();
+                // Mitigated on the spot: the ramp is the whole response.
+                self.plan.note_recovery(&target, now, Duration::ZERO);
+                events.push(BmcFaultEvent::SensorGlitch { site, reading_c });
+            }
+        }
+        for rail in RailId::ALL {
+            let target = overcurrent_target(rail);
+            if self.plan.should_fire(&target, now) {
+                let shared = net.regulator(rail);
+                let overload = shared.borrow().spec().max_amps * 1.5;
+                // The regulator's own protection latches and drops the
+                // output; the firmware then degrades gracefully.
+                shared.borrow_mut().set_load_amps(overload);
+                fans.ramp_to_max();
+                let shutdown_done = self.ordered_shutdown(now, net);
+                self.plan
+                    .note_recovery(&target, shutdown_done, shutdown_done.since(now));
+                events.push(BmcFaultEvent::OverCurrent {
+                    rail,
+                    shutdown_done,
+                });
+            }
+        }
+        events
+    }
+
+    /// Disables every still-enabled rail in the exact reverse of the
+    /// solved power-up order, one PMBus command at a time. Returns the
+    /// completion time of the last disable.
+    fn ordered_shutdown(&mut self, now: Time, net: &mut PmbusNetwork) -> Time {
+        let mut t = now;
+        let order: Vec<RailId> = self.up_order.iter().rev().copied().collect();
+        for rail in order {
+            if !net.regulator(rail).borrow().is_enabled() {
+                continue;
+            }
+            if let Ok(done) = net.disable(t, rail) {
+                self.shutdown_log.push((rail, done));
+                t = done;
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enzian_sim::FaultSpec;
+
+    fn powered_board(net: &mut PmbusNetwork) -> Time {
+        let steps = PowerSpec::enzian().solve(&RailSpec::board_table()).unwrap();
+        let mut t = Time::ZERO;
+        for step in steps {
+            t = net.enable(t, step.rail).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn overcurrent_latches_and_shuts_down_in_reverse_order() {
+        let mut net = PmbusNetwork::board();
+        let mut sensors = SensorBank::board(25.0);
+        let mut fans = FanController::new(75.0);
+        let up = powered_board(&mut net);
+
+        let plan = FaultPlan::new(21).with(FaultSpec::once(overcurrent_target(RailId::CpuVdd), up));
+        let mut inj = BmcFaultInjector::new(plan);
+        let events = inj.step(up, &mut net, &mut sensors, &mut fans);
+
+        assert!(matches!(
+            events.as_slice(),
+            [BmcFaultEvent::OverCurrent {
+                rail: RailId::CpuVdd,
+                ..
+            }]
+        ));
+        assert!(net.regulator(RailId::CpuVdd).borrow().is_faulted());
+        assert_eq!(fans.cpu_fans().duty(), 1.0, "fan ramp missing");
+
+        // Every rail is off, and the shutdown replayed the power-up
+        // sequence backwards.
+        for rail in RailId::ALL {
+            assert!(
+                !net.regulator(rail).borrow().is_enabled(),
+                "{rail} survived the ordered shutdown"
+            );
+        }
+        let shut: Vec<RailId> = inj.shutdown_log().iter().map(|(r, _)| *r).collect();
+        let mut expect: Vec<RailId> = inj.up_order.clone();
+        expect.reverse();
+        // CpuVdd already dropped itself via the fault latch.
+        expect.retain(|r| *r != RailId::CpuVdd);
+        assert_eq!(shut, expect);
+        assert_eq!(inj.plan().recovered(&overcurrent_target(RailId::CpuVdd)), 1);
+    }
+
+    #[test]
+    fn sensor_glitch_ramps_fans_without_shutdown() {
+        let mut net = PmbusNetwork::board();
+        let mut sensors = SensorBank::board(25.0);
+        let mut fans = FanController::new(75.0);
+        let up = powered_board(&mut net);
+
+        let plan = FaultPlan::new(9).with(FaultSpec::once(
+            sensor_glitch_target(SensorSite::FpgaDie),
+            up,
+        ));
+        let mut inj = BmcFaultInjector::new(plan);
+        let events = inj.step(up, &mut net, &mut sensors, &mut fans);
+
+        match events.as_slice() {
+            [BmcFaultEvent::SensorGlitch { site, reading_c }] => {
+                assert_eq!(*site, SensorSite::FpgaDie);
+                assert!(*reading_c >= 25.0 + 39.0, "spike missing: {reading_c}");
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+        assert_eq!(fans.fpga_fans().duty(), 1.0);
+        assert!(inj.shutdown_log().is_empty(), "glitch must not power off");
+        assert!(net.regulator(RailId::CpuVdd).borrow().is_enabled());
+    }
+
+    #[test]
+    fn quiet_plan_leaves_the_board_alone() {
+        let mut net = PmbusNetwork::board();
+        let mut sensors = SensorBank::board(25.0);
+        let mut fans = FanController::new(75.0);
+        let up = powered_board(&mut net);
+        let mut inj = BmcFaultInjector::new(FaultPlan::new(0));
+        assert!(inj.step(up, &mut net, &mut sensors, &mut fans).is_empty());
+        assert_eq!(fans.cpu_fans().duty(), 0.2);
+        assert!(net.regulator(RailId::Input12V).borrow().is_enabled());
+        assert_eq!(inj.plan().total_injected(), 0);
+    }
+
+    #[test]
+    fn periodic_overcurrents_are_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut net = PmbusNetwork::board();
+            let mut sensors = SensorBank::board(25.0);
+            let mut fans = FanController::new(75.0);
+            let up = powered_board(&mut net);
+            let plan = FaultPlan::new(seed)
+                .with(FaultSpec::probability(
+                    overcurrent_target(RailId::FpgaVccint),
+                    0.3,
+                ))
+                .with(FaultSpec::probability(
+                    sensor_glitch_target(SensorSite::CpuDie),
+                    0.3,
+                ));
+            let mut inj = BmcFaultInjector::new(plan);
+            let mut all = Vec::new();
+            let mut t = up;
+            for _ in 0..16 {
+                all.extend(inj.step(t, &mut net, &mut sensors, &mut fans));
+                t += Duration::from_ms(20);
+            }
+            all
+        };
+        assert_eq!(run(3), run(3));
+        assert!(!run(3).is_empty(), "0.3 over 16 scans should fire");
+    }
+}

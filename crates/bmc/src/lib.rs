@@ -23,6 +23,7 @@
 
 pub mod boot;
 pub mod fans;
+pub mod faults;
 pub mod frontpanel;
 pub mod i2c;
 pub mod margining;
@@ -36,6 +37,7 @@ pub mod telemetry;
 
 pub use boot::{BootEvent, BootPhase, BootSequencer};
 pub use fans::{FanBank, FanController};
+pub use faults::{BmcFaultEvent, BmcFaultInjector};
 pub use frontpanel::{Console, JtagChain, UartMux};
 pub use i2c::{I2cBus, I2cDevice, I2cError};
 pub use margining::{DeviceVminModel, GuardbandReport, UndervoltStudy};

@@ -23,6 +23,9 @@
 //! * [`system`] — the full transaction-level protocol engine connecting
 //!   the CPU's L2, both nodes' DRAM, and the links — the component every
 //!   experiment drives;
+//! * [`replay`] — sequence-numbered ack/replay (ARQ) protection that
+//!   turns the lossy physical lanes into an exactly-once, in-order frame
+//!   stream, recovering CRC failures and losses by NAK-driven replay;
 //! * [`checker`] — assertion checkers "generated from the specification":
 //!   they validate every observed transition and global invariant online;
 //! * [`decoder`] — the Wireshark-plugin analogue: decodes captured wire
@@ -37,6 +40,7 @@ pub mod decoder;
 pub mod directory;
 pub mod link;
 pub mod message;
+pub mod replay;
 pub mod system;
 pub mod wire;
 
@@ -45,5 +49,6 @@ pub use cosim::{CosimEndpoint, CosimHome, Loopback};
 pub use directory::{Directory, DirectoryEntry};
 pub use link::{EciLinkConfig, EciLinks, LinkPolicy, LinkState, VirtualChannel};
 pub use message::{Message, MessageKind, TxnId};
-pub use system::{EciSystem, EciSystemConfig};
+pub use replay::{ReplayReceiver, ReplaySender, SealedFrame, Verdict};
+pub use system::{EciSystem, EciSystemConfig, TxnError};
 pub use wire::{decode_message, encode_message, WireError};

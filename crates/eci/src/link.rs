@@ -18,9 +18,23 @@
 
 use enzian_mem::NodeId;
 use enzian_sim::telemetry::MetricsRegistry;
-use enzian_sim::{Channel, ChannelConfig, Duration, Time};
+use enzian_sim::{Channel, ChannelConfig, Duration, FaultPlan, Time};
 
 use crate::message::Message;
+
+/// Fault-plan targets the link layer presents injection opportunities
+/// for (see [`EciLinks::send_faulty`]).
+pub mod fault_targets {
+    /// The frame arrives with a bad CRC; the receiver NAKs and the
+    /// sender replays the frame from its retransmit buffer.
+    pub const FRAME_CORRUPT: &str = "eci.frame_corrupt";
+    /// The frame is lost in flight; the sender's replay timer expires
+    /// and the frame is retransmitted.
+    pub const FRAME_DROP: &str = "eci.frame_drop";
+    /// A lane on an up link fails; the link retrains at half width and
+    /// traffic falls back to its partner meanwhile.
+    pub const LANE_FAIL: &str = "eci.lane_fail";
+}
 
 /// ECI virtual channels. The ordering matters for deadlock freedom:
 /// responses must always drain independently of requests.
@@ -116,6 +130,9 @@ pub struct EciLinkConfig {
     pub response_data_credits: u32,
     /// Credit-return latency after delivery.
     pub credit_return: Duration,
+    /// Replay timer: how long the sender waits for an ack before
+    /// retransmitting a frame it must assume lost.
+    pub replay_timeout: Duration,
 }
 
 impl EciLinkConfig {
@@ -130,6 +147,7 @@ impl EciLinkConfig {
             credits_per_vc: 32,
             response_data_credits: 5,
             credit_return: Duration::from_ns(25),
+            replay_timeout: Duration::from_ns(500),
         }
     }
 
@@ -226,8 +244,12 @@ pub struct SendOutcome {
     /// When the message actually started serializing (after credit and
     /// wire availability stalls).
     pub start: Time,
-    /// When the last byte arrived at the receiver.
+    /// When the last byte arrived at the receiver — after any replay, if
+    /// the first transmission was faulted.
     pub delivered: Time,
+    /// Replays the frame needed before it was accepted (0 on the
+    /// fault-free path).
+    pub retransmissions: u8,
 }
 
 /// The pair of ECI links between the CPU and FPGA.
@@ -246,6 +268,15 @@ pub struct EciLinks {
     vc_bytes: [u64; 5],
     vc_credit_stalls: [u64; 5],
     vc_credit_stall_ps: [u64; 5],
+    // Replay/recovery accounting. Every frame carries a per-link sequence
+    // number; faulted frames are replayed from the sender's retransmit
+    // buffer (NAK-triggered for CRC failures, timer-triggered for losses).
+    next_seq: [u64; 2],
+    retransmissions: u64,
+    frames_corrupted: u64,
+    frames_dropped: u64,
+    lane_failures: u64,
+    recovery_ps: u64,
 }
 
 impl EciLinks {
@@ -283,6 +314,12 @@ impl EciLinks {
             vc_bytes: [0; 5],
             vc_credit_stalls: [0; 5],
             vc_credit_stall_ps: [0; 5],
+            next_seq: [0; 2],
+            retransmissions: 0,
+            frames_corrupted: 0,
+            frames_dropped: 0,
+            lane_failures: 0,
+            recovery_ps: 0,
         }
     }
 
@@ -394,7 +431,51 @@ impl EciLinks {
     ///
     /// Panics if no link is up.
     pub fn send(&mut self, now: Time, msg: &Message) -> SendOutcome {
+        self.send_impl(now, msg, None)
+    }
+
+    /// [`send`](EciLinks::send) under a fault plan: presents one
+    /// injection opportunity per frame for [`fault_targets::FRAME_DROP`]
+    /// and [`fault_targets::FRAME_CORRUPT`] (a faulted first transmission
+    /// is replayed from the retransmit buffer — timer-triggered for a
+    /// loss, NAK-triggered for a CRC failure — so every frame is still
+    /// delivered exactly once, just later), plus one
+    /// [`fault_targets::LANE_FAIL`] opportunity per send while both links
+    /// are up (the victim link retrains at half width; traffic falls back
+    /// to its partner meanwhile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link is up.
+    pub fn send_faulty(&mut self, now: Time, msg: &Message, plan: &mut FaultPlan) -> SendOutcome {
+        self.send_impl(now, msg, Some(plan))
+    }
+
+    fn send_impl(&mut self, now: Time, msg: &Message, plan: Option<&mut FaultPlan>) -> SendOutcome {
         self.poll(now);
+        let mut plan = plan;
+        // Lane failures strike before routing, so the victim's traffic
+        // falls back to the surviving link. Injection is suppressed
+        // unless both links are up: degradation must never take the
+        // fabric down entirely.
+        if let Some(plan) = plan.as_deref_mut() {
+            let both_up = (0..2).all(|i| matches!(self.links[i].state, LinkState::Up { .. }));
+            if both_up && plan.should_fire(fault_targets::LANE_FAIL, now) {
+                let victim = self.widest_up_link();
+                if let LinkState::Up { lanes } = self.links[usize::from(victim)].state {
+                    let degraded = (lanes / 2).max(1);
+                    self.train(victim, now, degraded);
+                    self.lane_failures += 1;
+                    // Retraining time is deterministic, so the recovery
+                    // completes exactly one training interval later.
+                    plan.note_recovery(
+                        fault_targets::LANE_FAIL,
+                        now + self.config.training_time,
+                        self.config.training_time,
+                    );
+                }
+            }
+        }
         let mut idx = self.pick_link(msg);
         if !matches!(self.links[usize::from(idx)].state, LinkState::Up { .. }) {
             idx ^= 1;
@@ -407,6 +488,9 @@ impl EciLinks {
         let bytes = msg.link_bytes();
         let vc = msg.virtual_channel().index();
         let credit_return = self.config.credit_return;
+        let replay_timeout = self.config.replay_timeout;
+        let nak_return = self.config.propagation;
+        self.next_seq[usize::from(idx)] += 1;
         let link = &mut self.links[usize::from(idx)];
         let dir = match msg.dst {
             NodeId::Cpu => &mut link.to_cpu,
@@ -414,7 +498,50 @@ impl EciLinks {
         };
         let may_start = dir.credits[vc].acquire(now);
         let t = dir.channel.send(may_start, bytes);
-        dir.credits[vc].commit(t.done + credit_return);
+        let mut delivered = t.done;
+        let mut retransmissions = 0u8;
+        // Frame faults apply to the first transmission only; the replay
+        // buffer's copy goes out clean, so recovery is bounded and every
+        // frame is delivered exactly once.
+        if let Some(plan) = plan {
+            if plan.should_fire(fault_targets::FRAME_DROP, now) {
+                // Lost in flight: no NAK can come back, so the sender's
+                // replay timer expires before the buffered copy goes out.
+                let rt = dir.channel.send(t.done + replay_timeout, bytes);
+                delivered = rt.done;
+                self.frames_dropped += 1;
+                self.retransmissions += 1;
+                retransmissions = 1;
+                self.bytes_sent += bytes;
+                self.vc_bytes[vc] += bytes;
+                self.recovery_ps += delivered.since(t.done).as_ps();
+                plan.note_recovery(
+                    fault_targets::FRAME_DROP,
+                    delivered,
+                    delivered.since(t.done),
+                );
+            } else if plan.should_fire(fault_targets::FRAME_CORRUPT, now) {
+                // The receiver's CRC check fails on arrival and it NAKs
+                // the sequence number; the replay leaves once the NAK has
+                // propagated back.
+                let rt = dir.channel.send(t.done + nak_return, bytes);
+                delivered = rt.done;
+                self.frames_corrupted += 1;
+                self.retransmissions += 1;
+                retransmissions = 1;
+                self.bytes_sent += bytes;
+                self.vc_bytes[vc] += bytes;
+                self.recovery_ps += delivered.since(t.done).as_ps();
+                plan.note_recovery(
+                    fault_targets::FRAME_CORRUPT,
+                    delivered,
+                    delivered.since(t.done),
+                );
+            }
+        }
+        // The receiver's buffer credit is held until the frame is
+        // actually accepted, i.e. after any replay completes.
+        dir.credits[vc].commit(delivered + credit_return);
         self.messages_sent += 1;
         self.bytes_sent += bytes;
         self.vc_messages[vc] += 1;
@@ -426,7 +553,32 @@ impl EciLinks {
         SendOutcome {
             link: idx,
             start: t.start,
-            delivered: t.done,
+            delivered,
+            retransmissions,
+        }
+    }
+
+    /// The `Up` link with the most active lanes (ties favour link 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link is up.
+    fn widest_up_link(&self) -> u8 {
+        let width = |i: usize| match self.links[i].state {
+            LinkState::Up { lanes } => Some(lanes),
+            _ => None,
+        };
+        match (width(0), width(1)) {
+            (Some(a), Some(b)) => {
+                if b > a {
+                    1
+                } else {
+                    0
+                }
+            }
+            (Some(_), None) => 0,
+            (None, Some(_)) => 1,
+            (None, None) => panic!("no ECI link is up"),
         }
     }
 
@@ -438,6 +590,32 @@ impl EciLinks {
     /// Total wire bytes sent across both links.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    /// Frames replayed from the retransmit buffer (loss- or CRC-driven).
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Lane-failure faults absorbed by retraining at reduced width.
+    pub fn lane_failures(&self) -> u64 {
+        self.lane_failures
+    }
+
+    /// Fraction of the fabric's built lanes currently *not* carrying
+    /// traffic: 0.0 with both links fully up, 1.0 with everything down
+    /// or retraining.
+    pub fn degraded_fraction(&self) -> f64 {
+        let built = 2.0 * f64::from(self.config.lanes_per_link);
+        let active: u32 = self
+            .links
+            .iter()
+            .map(|l| match l.state {
+                LinkState::Up { lanes } => u32::from(lanes),
+                _ => 0,
+            })
+            .sum();
+        1.0 - f64::from(active) / built
     }
 
     /// `(stall count, total stall picoseconds)` accumulated by sends on
@@ -455,6 +633,12 @@ impl EciLinks {
         reg.counter_set(&format!("{prefix}.bytes"), self.bytes_sent);
         reg.counter_set(&format!("{prefix}.trainings"), self.trainings);
         reg.counter_set(&format!("{prefix}.fallbacks"), self.fallbacks);
+        reg.counter_set(&format!("{prefix}.retransmissions"), self.retransmissions);
+        reg.counter_set(&format!("{prefix}.frames_corrupted"), self.frames_corrupted);
+        reg.counter_set(&format!("{prefix}.frames_dropped"), self.frames_dropped);
+        reg.counter_set(&format!("{prefix}.lane_failures"), self.lane_failures);
+        reg.counter_set(&format!("{prefix}.recovery_ps"), self.recovery_ps);
+        reg.gauge_set(&format!("{prefix}.degraded"), self.degraded_fraction());
         for vc in VirtualChannel::ALL {
             let i = vc.index();
             let base = format!("{prefix}.vc.{}", vc.name());
@@ -674,5 +858,113 @@ mod tests {
         l.send(Time::ZERO, &data_to_fpga(2, 2)); // 16 + 8 ext + 128 data
         assert_eq!(l.messages_sent(), 2);
         assert_eq!(l.bytes_sent(), 16 + 16 + 8 + 128);
+    }
+
+    #[test]
+    fn dropped_frame_is_replayed_after_the_timeout() {
+        use enzian_sim::FaultSpec;
+        let mut l = links();
+        let mut plan = FaultPlan::new(1).with(FaultSpec::every_nth(fault_targets::FRAME_DROP, 1));
+        let clean = links().send(Time::ZERO, &msg_to_cpu(1, 1));
+        let faulted = l.send_faulty(Time::ZERO, &msg_to_cpu(1, 1), &mut plan);
+        assert_eq!(faulted.retransmissions, 1);
+        assert!(
+            faulted.delivered >= clean.delivered + EciLinkConfig::enzian().replay_timeout,
+            "replay must wait out the timer: {:?} vs {:?}",
+            faulted.delivered,
+            clean.delivered
+        );
+        assert_eq!(l.retransmissions(), 1);
+        assert_eq!(plan.injected(fault_targets::FRAME_DROP), 1);
+        assert_eq!(plan.recovered(fault_targets::FRAME_DROP), 1);
+    }
+
+    #[test]
+    fn corrupt_frame_recovers_faster_than_a_lost_one() {
+        use enzian_sim::FaultSpec;
+        let mut drop_plan =
+            FaultPlan::new(1).with(FaultSpec::every_nth(fault_targets::FRAME_DROP, 1));
+        let mut crc_plan =
+            FaultPlan::new(1).with(FaultSpec::every_nth(fault_targets::FRAME_CORRUPT, 1));
+        let dropped = links().send_faulty(Time::ZERO, &msg_to_cpu(1, 1), &mut drop_plan);
+        let corrupted = links().send_faulty(Time::ZERO, &msg_to_cpu(1, 1), &mut crc_plan);
+        // A NAK returns in one propagation delay (35 ns); a loss has to
+        // wait out the 500 ns replay timer.
+        assert!(
+            corrupted.delivered < dropped.delivered,
+            "NAK recovery {:?} should beat timeout recovery {:?}",
+            corrupted.delivered,
+            dropped.delivered
+        );
+    }
+
+    #[test]
+    fn retransmission_counts_wire_bytes_twice() {
+        use enzian_sim::FaultSpec;
+        let mut l = EciLinks::new_trained(EciLinkConfig::enzian(), LinkPolicy::Single(0));
+        let mut plan =
+            FaultPlan::new(1).with(FaultSpec::every_nth(fault_targets::FRAME_CORRUPT, 1));
+        l.send_faulty(Time::ZERO, &msg_to_cpu(1, 1), &mut plan);
+        assert_eq!(l.messages_sent(), 1, "a replay is not a new message");
+        assert_eq!(l.bytes_sent(), 2 * 16, "the wire carried the frame twice");
+    }
+
+    #[test]
+    fn lane_failure_degrades_then_retrains() {
+        use enzian_sim::FaultSpec;
+        let mut l = EciLinks::new_trained(EciLinkConfig::enzian(), LinkPolicy::RoundRobin);
+        let mut plan =
+            FaultPlan::new(1).with(FaultSpec::once(fault_targets::LANE_FAIL, Time::from_ns(10)));
+        assert_eq!(l.degraded_fraction(), 0.0);
+        let out = l.send_faulty(Time::from_ns(10), &msg_to_cpu(1, 1), &mut plan);
+        // The victim is retraining; the message still went out on the
+        // surviving link.
+        assert_eq!(l.lane_failures(), 1);
+        assert!(l.degraded_fraction() > 0.4, "{}", l.degraded_fraction());
+        assert!(matches!(
+            l.link_state(out.link),
+            LinkState::Up { lanes: 12 }
+        ));
+        // After the training time the victim is back at half width.
+        let later = Time::from_ns(10) + EciLinkConfig::enzian().training_time;
+        l.poll(later);
+        let lanes: Vec<u8> = (0..2)
+            .filter_map(|i| match l.link_state(i) {
+                LinkState::Up { lanes } => Some(lanes),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lanes.len(), 2, "both links up after retrain");
+        assert!(lanes.contains(&6), "victim retrained at half width");
+        let frac = l.degraded_fraction();
+        assert!((frac - 0.25).abs() < 1e-9, "degraded {frac}");
+        assert_eq!(plan.recovered(fault_targets::LANE_FAIL), 1);
+    }
+
+    #[test]
+    fn lane_failure_never_takes_the_last_link_down() {
+        use enzian_sim::FaultSpec;
+        let mut l = EciLinks::new(EciLinkConfig::enzian(), LinkPolicy::Single(0));
+        l.train(0, Time::ZERO, 12);
+        l.poll(Time::from_ms(3));
+        // Only link 0 is up: lane-fail opportunities must be suppressed.
+        let mut plan = FaultPlan::new(1).with(FaultSpec::every_nth(fault_targets::LANE_FAIL, 1));
+        let out = l.send_faulty(Time::from_ms(3), &msg_to_cpu(1, 1), &mut plan);
+        assert_eq!(out.link, 0);
+        assert_eq!(l.lane_failures(), 0);
+        assert_eq!(plan.injected(fault_targets::LANE_FAIL), 0);
+    }
+
+    #[test]
+    fn fault_free_plan_leaves_timing_untouched() {
+        let mut plan = FaultPlan::new(9);
+        let mut faulty = links();
+        let mut clean = links();
+        for i in 0..100u64 {
+            let a = faulty.send_faulty(Time::ZERO, &data_to_fpga(i as u32, i), &mut plan);
+            let b = clean.send(Time::ZERO, &data_to_fpga(i as u32, i));
+            assert_eq!(a, b);
+        }
+        assert_eq!(faulty.retransmissions(), 0);
     }
 }

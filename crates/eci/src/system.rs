@@ -26,7 +26,7 @@
 
 use enzian_cache::{AccessOutcome, L2Cache, L2Config, LineState};
 use enzian_mem::{Addr, MemoryController, MemoryControllerConfig, MemoryMap, NodeId, Op};
-use enzian_sim::{Duration, Time};
+use enzian_sim::{Duration, FaultPlan, Time};
 use std::collections::HashMap;
 
 use crate::checker::ProtocolChecker;
@@ -34,6 +34,45 @@ use crate::decoder::TraceBuffer;
 use crate::directory::{Directory, RemoteCopy};
 use crate::link::{EciLinkConfig, EciLinks, LinkPolicy};
 use crate::message::{Message, MessageKind, TxnId};
+
+/// Fault-injection target: a transaction stalls at the requester and must
+/// be timed out and retried. Fired *before* anything reaches the link, so
+/// a stalled attempt leaves no trace in the protocol checker.
+pub const TXN_STALL_TARGET: &str = "eci.txn_stall";
+
+/// A coherence transaction failed in a way the system recovers from by
+/// *reporting* rather than hanging: the retry budget ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnError {
+    /// Every attempt (initial issue plus retries, each waiting an
+    /// exponentially growing timeout) stalled; the operation was abandoned
+    /// after `waited` of simulated time.
+    RetryBudgetExhausted {
+        /// The operation that gave up (e.g. `"fpga_read_line"`).
+        op: &'static str,
+        /// Attempts made before giving up (= 1 + configured retry budget).
+        attempts: u32,
+        /// Total simulated time spent in timeouts before surrendering.
+        waited: Duration,
+    },
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::RetryBudgetExhausted {
+                op,
+                attempts,
+                waited,
+            } => write!(
+                f,
+                "{op}: retry budget exhausted after {attempts} attempts ({waited} waited)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
 
 /// Static configuration of a complete ECI system.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +106,12 @@ pub struct EciSystemConfig {
     pub l2: L2Config,
     /// Capture all messages in wire format (costly; for tooling tests).
     pub capture_trace: bool,
+    /// Base per-transaction timeout for the checked (`try_*`) operations.
+    /// Attempt `k` (zero-based) waits `txn_timeout << k` before retrying.
+    pub txn_timeout: Duration,
+    /// Retries permitted after the initial attempt of a checked operation
+    /// before it surfaces [`TxnError::RetryBudgetExhausted`].
+    pub txn_retry_budget: u32,
 }
 
 impl EciSystemConfig {
@@ -86,6 +131,8 @@ impl EciSystemConfig {
             fpga_mem: MemoryControllerConfig::enzian_fpga(),
             l2: L2Config::thunderx1(),
             capture_trace: false,
+            txn_timeout: Duration::from_us(2),
+            txn_retry_budget: 6,
         }
     }
 
@@ -122,6 +169,13 @@ pub struct EciSystemStats {
     pub io_ops: u64,
     /// Interrupts delivered.
     pub ipis: u64,
+    /// Checked-operation attempts that timed out (each one backed off and
+    /// retried, or counted toward giving up).
+    pub txn_timeouts: u64,
+    /// Retries that eventually went on to succeed.
+    pub txn_retries: u64,
+    /// Checked operations abandoned with [`TxnError::RetryBudgetExhausted`].
+    pub txn_failures: u64,
 }
 
 /// The complete two-node system.
@@ -143,6 +197,7 @@ pub struct EciSystem {
     cpu_home_busy: Time,
     fpga_home_busy: Time,
     stats: EciSystemStats,
+    faults: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for EciSystem {
@@ -173,7 +228,27 @@ impl EciSystem {
             fpga_home_busy: Time::ZERO,
             cfg,
             stats: EciSystemStats::default(),
+            faults: None,
         }
+    }
+
+    /// Installs a fault plan: every subsequent message send gives the plan
+    /// a chance to corrupt or drop the frame or fail a lane, and every
+    /// checked (`try_*`) operation a chance to stall. Replaces any
+    /// previously installed plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any (for inspecting injection and
+    /// recovery counts mid-run).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Removes and returns the installed fault plan.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
     }
 
     /// The system configuration.
@@ -233,10 +308,16 @@ impl EciSystem {
         reg.counter_set(&format!("{prefix}.victims"), self.stats.victims);
         reg.counter_set(&format!("{prefix}.io_ops"), self.stats.io_ops);
         reg.counter_set(&format!("{prefix}.ipis"), self.stats.ipis);
+        reg.counter_set(&format!("{prefix}.txn_timeouts"), self.stats.txn_timeouts);
+        reg.counter_set(&format!("{prefix}.txn_retries"), self.stats.txn_retries);
+        reg.counter_set(&format!("{prefix}.txn_failures"), self.stats.txn_failures);
         reg.counter_set(
             &format!("{prefix}.checker_violations"),
             self.checker.violations().len() as u64,
         );
+        if let Some(plan) = &self.faults {
+            plan.export_metrics(reg, &format!("{prefix}.fault"));
+        }
         self.links.export_metrics(reg, &format!("{prefix}.link"));
         self.dir_cpu
             .export_metrics(reg, &format!("{prefix}.dir.cpu"));
@@ -258,9 +339,97 @@ impl EciSystem {
             self.trace.capture(at, msg);
         }
         // Checker failures record themselves; they surface via
-        // `checker().assert_clean()` at the end of a run.
+        // `checker().assert_clean()` at the end of a run. The checker sees
+        // each logical message exactly once — frame-level retransmission
+        // below happens underneath it.
         let _ = self.checker.observe_message(msg);
-        self.links.send(at, msg).delivered
+        match self.faults.as_mut() {
+            Some(plan) => self.links.send_faulty(at, msg, plan).delivered,
+            None => self.links.send(at, msg).delivered,
+        }
+    }
+
+    /// Runs the stall/timeout/retry state machine that fronts every
+    /// checked operation. Returns the time at which the operation may
+    /// actually issue (after any timed-out attempts), or a typed error
+    /// once the retry budget is spent. A stalled attempt emits nothing:
+    /// the request died in the requester's queue.
+    fn wait_out_stalls(&mut self, now: Time, op: &'static str) -> Result<Time, TxnError> {
+        let Some(plan) = self.faults.as_mut() else {
+            return Ok(now);
+        };
+        let mut at = now;
+        let mut attempts = 0u32;
+        loop {
+            if !plan.should_fire(TXN_STALL_TARGET, at) {
+                if attempts > 0 {
+                    self.stats.txn_retries += u64::from(attempts);
+                    plan.note_recovery(TXN_STALL_TARGET, at, at.since(now));
+                }
+                return Ok(at);
+            }
+            attempts += 1;
+            self.stats.txn_timeouts += 1;
+            // Bounded exponential backoff: attempt k waits timeout << k,
+            // capped to keep the shift defined for absurd budgets.
+            let backoff = self.cfg.txn_timeout * (1u64 << (attempts - 1).min(16));
+            at += backoff;
+            if attempts > self.cfg.txn_retry_budget {
+                self.stats.txn_failures += 1;
+                return Err(TxnError::RetryBudgetExhausted {
+                    op,
+                    attempts,
+                    waited: at.since(now),
+                });
+            }
+        }
+    }
+
+    /// Checked [`EciSystem::fpga_read_line`]: stalled attempts time out,
+    /// back off exponentially and retry; once the budget is spent the
+    /// operation returns [`TxnError`] instead of hanging.
+    pub fn try_fpga_read_line(
+        &mut self,
+        now: Time,
+        addr: Addr,
+    ) -> Result<([u8; 128], Time), TxnError> {
+        let at = self.wait_out_stalls(now, "fpga_read_line")?;
+        Ok(self.fpga_read_line(at, addr))
+    }
+
+    /// Checked [`EciSystem::fpga_write_line`]; see
+    /// [`EciSystem::try_fpga_read_line`] for the recovery contract.
+    pub fn try_fpga_write_line(
+        &mut self,
+        now: Time,
+        addr: Addr,
+        data: &[u8; 128],
+    ) -> Result<Time, TxnError> {
+        let at = self.wait_out_stalls(now, "fpga_write_line")?;
+        Ok(self.fpga_write_line(at, addr, data))
+    }
+
+    /// Checked [`EciSystem::cpu_read_line`]; see
+    /// [`EciSystem::try_fpga_read_line`] for the recovery contract.
+    pub fn try_cpu_read_line(
+        &mut self,
+        now: Time,
+        addr: Addr,
+    ) -> Result<([u8; 128], Time), TxnError> {
+        let at = self.wait_out_stalls(now, "cpu_read_line")?;
+        Ok(self.cpu_read_line(at, addr))
+    }
+
+    /// Checked [`EciSystem::cpu_write_line`]; see
+    /// [`EciSystem::try_fpga_read_line`] for the recovery contract.
+    pub fn try_cpu_write_line(
+        &mut self,
+        now: Time,
+        addr: Addr,
+        data: &[u8; 128],
+    ) -> Result<Time, TxnError> {
+        let at = self.wait_out_stalls(now, "cpu_write_line")?;
+        Ok(self.cpu_write_line(at, addr, data))
     }
 
     fn l2_transition(&mut self, line: enzian_mem::CacheLine, from: LineState, to: LineState) {
@@ -1119,6 +1288,94 @@ mod tests {
         assert_eq!(decoded.len(), 4);
         assert_eq!(decoded[0].kind.mnemonic(), "RDO");
         assert_eq!(decoded[3].kind.mnemonic(), "ACK");
+    }
+
+    #[test]
+    fn stalled_transaction_retries_then_succeeds() {
+        use enzian_sim::{FaultPlan, FaultSpec};
+        let mut sys = system();
+        let addr = Addr(0x30_000);
+        let mut line = [0u8; 128];
+        line[9] = 0x77;
+        sys.cpu_mem().store_mut().write_line(addr, &line);
+        sys.set_fault_plan(FaultPlan::new(11).with(FaultSpec::once(TXN_STALL_TARGET, Time::ZERO)));
+
+        let (data, done) = sys.try_fpga_read_line(Time::ZERO, addr).unwrap();
+        assert_eq!(data, line);
+        // The one stalled attempt cost exactly one base timeout.
+        assert!(done >= Time::ZERO + sys.config().txn_timeout);
+        assert_eq!(sys.stats().txn_timeouts, 1);
+        assert_eq!(sys.stats().txn_retries, 1);
+        assert_eq!(sys.stats().txn_failures, 0);
+        let plan = sys.fault_plan().unwrap();
+        assert_eq!(plan.recovered(TXN_STALL_TARGET), 1);
+        sys.checker().assert_clean();
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_a_typed_error_not_a_hang() {
+        use enzian_sim::{FaultPlan, FaultSpec};
+        let mut sys = system();
+        sys.set_fault_plan(FaultPlan::new(5).with(FaultSpec::probability(TXN_STALL_TARGET, 1.0)));
+        let err = sys.try_fpga_read_line(Time::ZERO, Addr(0)).unwrap_err();
+        match err {
+            TxnError::RetryBudgetExhausted { op, attempts, .. } => {
+                assert_eq!(op, "fpga_read_line");
+                assert_eq!(attempts, sys.config().txn_retry_budget + 1);
+            }
+        }
+        // The failed operation never reached the link or the checker.
+        assert_eq!(sys.links().messages_sent(), 0);
+        assert_eq!(sys.stats().txn_failures, 1);
+        sys.checker().assert_clean();
+    }
+
+    #[test]
+    fn frame_faults_under_system_traffic_recover_transparently() {
+        use crate::link::fault_targets;
+        use enzian_sim::{FaultPlan, FaultSpec};
+        let mut sys = system();
+        sys.set_fault_plan(
+            FaultPlan::new(0xFA11)
+                .with(FaultSpec::probability(fault_targets::FRAME_CORRUPT, 0.2))
+                .with(FaultSpec::probability(fault_targets::FRAME_DROP, 0.1)),
+        );
+        let mut now = Time::ZERO;
+        for i in 0..32u64 {
+            let addr = Addr(0x40_000 + i * 128);
+            let fill = [i as u8; 128];
+            now = sys.try_fpga_write_line(now, addr, &fill).unwrap();
+            let (data, t) = sys.try_fpga_read_line(now, addr).unwrap();
+            assert_eq!(data, fill, "payload survived injected frame faults");
+            now = t;
+        }
+        assert!(
+            sys.links().retransmissions() > 0,
+            "expected replays under a 30% combined fault rate"
+        );
+        sys.checker().assert_clean();
+    }
+
+    #[test]
+    fn fault_schedules_are_deterministic_across_runs() {
+        use crate::link::fault_targets;
+        use enzian_sim::{FaultPlan, FaultSpec};
+        let run = || {
+            let mut sys = system();
+            sys.set_fault_plan(
+                FaultPlan::new(77)
+                    .with(FaultSpec::probability(fault_targets::FRAME_CORRUPT, 0.3))
+                    .with(FaultSpec::probability(TXN_STALL_TARGET, 0.2)),
+            );
+            let mut now = Time::ZERO;
+            for i in 0..24u64 {
+                if let Ok((_, t)) = sys.try_fpga_read_line(now, Addr(i * 128)) {
+                    now = t;
+                }
+            }
+            (now, *sys.stats(), sys.links().retransmissions())
+        };
+        assert_eq!(run(), run(), "same seed must reproduce the same run");
     }
 
     #[test]

@@ -243,6 +243,34 @@ fn take_line_payload(payload: &[u8], op: u8, len: u16) -> Result<Box<[u8; 128]>,
     Ok(Box::new(arr))
 }
 
+/// Total length in bytes of the frame at the front of `buf`, computed
+/// from the header alone (magic and version are validated; the CRC is
+/// not checked). Lets stream consumers and the replay layer delimit
+/// frames without paying for a full decode.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] when fewer than `HEADER_BYTES` are
+/// available, [`WireError::BadMagic`]/[`WireError::BadVersion`] when the
+/// bytes cannot be a frame of this format.
+pub fn frame_len(buf: &[u8]) -> Result<usize, WireError> {
+    let header = HEADER_BYTES as usize;
+    if buf.len() < header {
+        return Err(WireError::Truncated {
+            needed: header,
+            have: buf.len(),
+        });
+    }
+    if buf[0] != MAGIC {
+        return Err(WireError::BadMagic(buf[0]));
+    }
+    if buf[1] != VERSION {
+        return Err(WireError::BadVersion(buf[1]));
+    }
+    let len = u16::from_le_bytes(buf[6..8].try_into().expect("2 bytes"));
+    Ok(header + usize::from(len) + 4)
+}
+
 /// Decodes one framed message from the front of `buf`, returning the
 /// message and the number of bytes consumed.
 ///
@@ -626,6 +654,19 @@ mod tests {
         let crc = crc32(&enc[..n - 4]);
         enc[n - 4..].copy_from_slice(&crc.to_le_bytes());
         assert_eq!(decode_message(&enc).unwrap_err(), WireError::BadIoSize(3));
+    }
+
+    #[test]
+    fn frame_len_matches_decode_consumption() {
+        for msg in sample_messages() {
+            let enc = encode_message(&msg);
+            assert_eq!(frame_len(&enc).unwrap(), enc.len());
+        }
+        assert!(matches!(
+            frame_len(&[0xEC]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert_eq!(frame_len(&[0u8; 32]).unwrap_err(), WireError::BadMagic(0));
     }
 
     #[test]

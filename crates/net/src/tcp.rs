@@ -17,7 +17,7 @@
 
 use enzian_sim::stats::Summary;
 use enzian_sim::telemetry::MetricsRegistry;
-use enzian_sim::{Duration, Time};
+use enzian_sim::{Duration, FaultPlan, FaultSpec, Time};
 
 use crate::eth::{EthLink, Switch};
 
@@ -131,12 +131,75 @@ impl TransferOutcome {
     }
 }
 
-/// Fault injection: drop every n-th data segment exactly once.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Fault-plan target for dropping a TCP data segment in flight.
+pub const SEGMENT_LOSS_TARGET: &str = "net.tcp.segment_loss";
+
+/// Loss injection for the engine, built on the shared deterministic
+/// fault model ([`FaultPlan`]).
+///
+/// Semantics (precisely): loss applies to **first transmissions only**,
+/// counted as injection opportunities in the order segments first appear
+/// on the wire (1-based). A dropped segment is recovered by go-back-N
+/// retransmission after the sender's RTO, and a retransmitted copy is
+/// never offered to the plan again — so every pattern terminates,
+/// including [`LossPattern::drop_every`] with `n = 1`, where every
+/// segment's first copy is dropped exactly once and the retransmit
+/// always delivers.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LossPattern {
-    /// Drop each segment whose 1-based index is a multiple of this (first
-    /// transmission only). Zero disables loss.
-    pub drop_every: u64,
+    plan: FaultPlan,
+}
+
+impl LossPattern {
+    /// No loss at all.
+    pub fn none() -> Self {
+        LossPattern {
+            plan: FaultPlan::new(0),
+        }
+    }
+
+    /// Compatibility constructor for the engine's original knob: drop
+    /// each segment whose 1-based first-transmission index is a multiple
+    /// of `n`. Zero disables loss.
+    pub fn drop_every(n: u64) -> Self {
+        if n == 0 {
+            return LossPattern::none();
+        }
+        LossPattern {
+            plan: FaultPlan::new(0).with(FaultSpec::every_nth(SEGMENT_LOSS_TARGET, n)),
+        }
+    }
+
+    /// Wraps an arbitrary fault plan; specs addressing
+    /// [`SEGMENT_LOSS_TARGET`] drive segment drops (one opportunity per
+    /// first transmission).
+    pub fn from_plan(plan: FaultPlan) -> Self {
+        LossPattern { plan }
+    }
+
+    /// `true` when the pattern can never drop anything.
+    pub fn is_lossless(&self) -> bool {
+        !self.plan.targets(SEGMENT_LOSS_TARGET)
+    }
+
+    /// The underlying plan, with its injected/recovered ledger.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn should_drop(&mut self, now: Time) -> bool {
+        self.plan.should_fire(SEGMENT_LOSS_TARGET, now)
+    }
+
+    fn note_recovered(&mut self, now: Time, latency: Duration) {
+        self.plan.note_recovery(SEGMENT_LOSS_TARGET, now, latency);
+    }
+}
+
+impl Default for LossPattern {
+    fn default() -> Self {
+        LossPattern::none()
+    }
 }
 
 /// A unidirectional TCP transfer engine between endpoint `a` (sender)
@@ -150,30 +213,71 @@ pub struct TcpEngine {
     telemetry: TcpTelemetry,
 }
 
-/// Accumulated engine statistics across transfers: segment round-trip
-/// times (send completion to cumulative-ack arrival, per flow), and
-/// loss-recovery totals.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct TcpTelemetry {
-    /// Per-flow RTT summaries in microseconds; single transfers record
-    /// into flow 0, interleaved transfers into their flow index.
-    pub flow_rtt_us: Vec<Summary>,
-    /// Total transfers completed.
+/// Per-flow transfer counters — the telemetry's single source of truth;
+/// every aggregate view is a derived sum over these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Transfers completed on this flow.
     pub transfers: u64,
-    /// Total payload bytes delivered.
+    /// Payload bytes delivered on this flow.
     pub bytes: u64,
-    /// Total segments sent (including retransmissions).
+    /// Segments sent on this flow (including retransmissions).
     pub segments: u64,
-    /// Total segments retransmitted.
+    /// Segments retransmitted on this flow.
     pub retransmissions: u64,
 }
 
+/// Accumulated engine statistics across transfers: segment round-trip
+/// times (send completion to cumulative-ack arrival, per flow), and
+/// per-flow transfer/loss-recovery counters. Single transfers record
+/// into flow 0, interleaved transfers into their flow index; aggregate
+/// totals are derived, never tracked separately.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TcpTelemetry {
+    /// Per-flow RTT summaries in microseconds.
+    pub flow_rtt_us: Vec<Summary>,
+    flow_stats: Vec<FlowStats>,
+}
+
 impl TcpTelemetry {
-    fn flow(&mut self, i: usize) -> &mut Summary {
+    fn rtt_flow(&mut self, i: usize) -> &mut Summary {
         if self.flow_rtt_us.len() <= i {
             self.flow_rtt_us.resize(i + 1, Summary::new());
         }
         &mut self.flow_rtt_us[i]
+    }
+
+    fn stats_flow(&mut self, i: usize) -> &mut FlowStats {
+        if self.flow_stats.len() <= i {
+            self.flow_stats.resize(i + 1, FlowStats::default());
+        }
+        &mut self.flow_stats[i]
+    }
+
+    /// Per-flow counters, indexed by flow.
+    pub fn flow_stats(&self) -> &[FlowStats] {
+        &self.flow_stats
+    }
+
+    /// Total transfers completed (derived over flows).
+    pub fn transfers(&self) -> u64 {
+        self.flow_stats.iter().map(|f| f.transfers).sum()
+    }
+
+    /// Total payload bytes delivered (derived over flows).
+    pub fn bytes(&self) -> u64 {
+        self.flow_stats.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Total segments sent, including retransmissions (derived over
+    /// flows).
+    pub fn segments(&self) -> u64 {
+        self.flow_stats.iter().map(|f| f.segments).sum()
+    }
+
+    /// Total segments retransmitted (derived over flows).
+    pub fn retransmissions(&self) -> u64 {
+        self.flow_stats.iter().map(|f| f.retransmissions).sum()
     }
 
     /// All flows' RTT samples merged into one summary.
@@ -186,16 +290,23 @@ impl TcpTelemetry {
     }
 
     /// Publishes the engine's counters into `reg` under `prefix`:
-    /// totals, the merged RTT summary (`prefix.rtt_us`), and one RTT
-    /// summary per flow (`prefix.flow<i>.rtt_us`).
+    /// derived totals, the merged RTT summary (`prefix.rtt_us`), and
+    /// per-flow counters and RTT summaries (`prefix.flow<i>.*`).
     pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
-        reg.counter_set(&format!("{prefix}.transfers"), self.transfers);
-        reg.counter_set(&format!("{prefix}.bytes"), self.bytes);
-        reg.counter_set(&format!("{prefix}.segments"), self.segments);
-        reg.counter_set(&format!("{prefix}.retransmissions"), self.retransmissions);
+        reg.counter_set(&format!("{prefix}.transfers"), self.transfers());
+        reg.counter_set(&format!("{prefix}.bytes"), self.bytes());
+        reg.counter_set(&format!("{prefix}.segments"), self.segments());
+        reg.counter_set(&format!("{prefix}.retransmissions"), self.retransmissions());
         reg.merge_summary(&format!("{prefix}.rtt_us"), &self.rtt_us());
         for (i, s) in self.flow_rtt_us.iter().enumerate() {
             reg.merge_summary(&format!("{prefix}.flow{i}.rtt_us"), s);
+        }
+        for (i, f) in self.flow_stats.iter().enumerate() {
+            reg.counter_set(&format!("{prefix}.flow{i}.segments"), f.segments);
+            reg.counter_set(
+                &format!("{prefix}.flow{i}.retransmissions"),
+                f.retransmissions,
+            );
         }
     }
 }
@@ -257,8 +368,9 @@ impl TcpEngine {
         let mut retransmissions = 0u64;
         // In-flight acks: (arrival at sender, cumulative ack value).
         let mut acks: std::collections::VecDeque<(Time, u64)> = std::collections::VecDeque::new();
-        // First-transmission drops already performed, by byte offset.
-        let mut dropped_at: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        // Byte offsets already offered to the loss plan (first
+        // transmissions); retransmitted copies bypass injection.
+        let mut first_tx: std::collections::HashSet<u64> = std::collections::HashSet::new();
         // Pending RTO rewind: (fire time, rewind-to offset).
         let mut retry_from: Option<(Time, u64)> = None;
 
@@ -271,6 +383,7 @@ impl TcpEngine {
                     tx_free = tx_free.max(at);
                     retry_from = None;
                     retransmissions += 1;
+                    self.loss.note_recovered(at, self.tx.rto);
                     continue;
                 }
             }
@@ -285,10 +398,7 @@ impl TcpEngine {
                 tx_free = tx_done;
                 sent = seq + seg_len as u64;
 
-                let seg_number = seq / self.tx.mss as u64 + 1;
-                let drop = self.loss.drop_every > 0
-                    && seg_number.is_multiple_of(self.loss.drop_every)
-                    && dropped_at.insert(seq);
+                let drop = first_tx.insert(seq) && self.loss.should_drop(tx_done);
                 if drop {
                     // The receiver never sees this one; arrange an RTO
                     // rewind to it if none is already pending earlier.
@@ -315,7 +425,7 @@ impl TcpEngine {
                 // way a cumulative ack for rcv_next rides back.
                 let ack_arrival = link.send_b_to_a(rx_done, 64) + hop;
                 self.telemetry
-                    .flow(0)
+                    .rtt_flow(0)
                     .record_micros(ack_arrival.since(tx_done));
                 acks.push_back((ack_arrival, rcv_next));
             } else {
@@ -335,16 +445,18 @@ impl TcpEngine {
                         sent = seq.min(sent);
                         tx_free = tx_free.max(at);
                         retransmissions += 1;
+                        self.loss.note_recovered(at, self.tx.rto);
                     }
                 }
             }
         }
 
         assert_eq!(rcv_next, len, "receiver did not reach end of stream");
-        self.telemetry.transfers += 1;
-        self.telemetry.bytes += len;
-        self.telemetry.segments += segments;
-        self.telemetry.retransmissions += retransmissions;
+        let fs = self.telemetry.stats_flow(0);
+        fs.transfers += 1;
+        fs.bytes += len;
+        fs.segments += segments;
+        fs.retransmissions += retransmissions;
         (
             delivered,
             TransferOutcome {
@@ -377,7 +489,7 @@ impl TcpEngine {
     ) -> Vec<TransferOutcome> {
         assert!(!flows.is_empty(), "no flows");
         assert!(
-            self.loss.drop_every == 0,
+            self.loss.is_lossless(),
             "loss injection unsupported for multi-flow"
         );
         struct Flow {
@@ -443,7 +555,7 @@ impl TcpEngine {
                 f.last_delivery = f.last_delivery.max(rx_done);
                 let ack_arrival = link.send_b_to_a(rx_done, 64) + hop;
                 self.telemetry
-                    .flow(i)
+                    .rtt_flow(i)
                     .record_micros(ack_arrival.since(tx_done));
                 f.acks.push_back((ack_arrival, f.sent));
             } else {
@@ -455,10 +567,12 @@ impl TcpEngine {
 
         states
             .into_iter()
-            .map(|f| {
-                self.telemetry.transfers += 1;
-                self.telemetry.bytes += f.len;
-                self.telemetry.segments += f.segments;
+            .enumerate()
+            .map(|(i, f)| {
+                let fs = self.telemetry.stats_flow(i);
+                fs.transfers += 1;
+                fs.bytes += f.len;
+                fs.segments += f.segments;
                 TransferOutcome {
                     bytes: f.len,
                     started: start,
@@ -575,7 +689,7 @@ mod tests {
     fn loss_recovery_preserves_data() {
         let mut link = EthLink::new(EthLinkConfig::hundred_gig());
         let data = payload(256 * 1024);
-        let mut engine = fpga_engine().with_loss(LossPattern { drop_every: 17 });
+        let mut engine = fpga_engine().with_loss(LossPattern::drop_every(17));
         let (out, r) = engine.transfer(&mut link, Time::ZERO, &data);
         assert_eq!(out, data, "data corrupted by loss recovery");
         assert!(r.retransmissions > 0, "no retransmissions recorded");
@@ -615,12 +729,12 @@ mod tests {
     fn telemetry_tracks_rtt_and_retransmissions() {
         let mut link = EthLink::new(EthLinkConfig::hundred_gig());
         let data = payload(256 * 1024);
-        let mut engine = fpga_engine().with_loss(LossPattern { drop_every: 17 });
+        let mut engine = fpga_engine().with_loss(LossPattern::drop_every(17));
         let (_, r) = engine.transfer(&mut link, Time::ZERO, &data);
         let t = engine.telemetry();
-        assert_eq!(t.transfers, 1);
-        assert_eq!(t.bytes, 256 * 1024);
-        assert_eq!(t.retransmissions, r.retransmissions);
+        assert_eq!(t.transfers(), 1);
+        assert_eq!(t.bytes(), 256 * 1024);
+        assert_eq!(t.retransmissions(), r.retransmissions);
         let rtt = t.rtt_us();
         assert!(rtt.count() > 0);
         assert!(rtt.mean() > 0.0);
@@ -644,7 +758,60 @@ mod tests {
         for s in &t.flow_rtt_us {
             assert!(s.count() > 0, "every flow records RTT samples");
         }
-        assert_eq!(t.transfers, 3);
+        assert_eq!(t.transfers(), 3);
+        // Per-flow counters are the source of truth; the aggregate is
+        // their sum.
+        assert_eq!(t.flow_stats().len(), 3);
+        assert_eq!(
+            t.flow_stats().iter().map(|f| f.segments).sum::<u64>(),
+            t.segments()
+        );
+        for f in t.flow_stats() {
+            assert_eq!(f.transfers, 1);
+            assert_eq!(f.bytes, 1 << 20);
+        }
+    }
+
+    #[test]
+    fn drop_every_one_terminates_and_delivers_everything() {
+        // The harshest pattern: every first transmission is dropped once.
+        // Each segment still arrives via its retransmitted copy, so the
+        // transfer terminates with exactly one retransmission burst per
+        // drop and intact data.
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let data = payload(16 * 1024);
+        let mut engine = fpga_engine().with_loss(LossPattern::drop_every(1));
+        let (out, r) = engine.transfer(&mut link, Time::ZERO, &data);
+        assert_eq!(out, data);
+        assert!(r.retransmissions > 0);
+        let plan = engine.telemetry(); // aggregate view
+        assert_eq!(plan.retransmissions(), r.retransmissions);
+    }
+
+    #[test]
+    fn loss_pattern_rides_the_shared_fault_model() {
+        use enzian_sim::{FaultPlan, FaultSpec};
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let data = payload(512 * 1024);
+        let plan = FaultPlan::new(0xD0D0).with(FaultSpec::probability(SEGMENT_LOSS_TARGET, 0.05));
+        let mut engine = fpga_engine().with_loss(LossPattern::from_plan(plan));
+        let (out, r) = engine.transfer(&mut link, Time::ZERO, &data);
+        assert_eq!(out, data);
+        assert!(r.retransmissions > 0, "5% loss over 256 segments");
+        let ledger = engine.loss.plan();
+        assert!(ledger.injected(SEGMENT_LOSS_TARGET) > 0);
+        assert_eq!(
+            ledger.recovered(SEGMENT_LOSS_TARGET),
+            r.retransmissions,
+            "every RTO rewind is a recorded recovery"
+        );
+    }
+
+    #[test]
+    fn lossless_patterns_allow_interleaved_transfers() {
+        assert!(LossPattern::none().is_lossless());
+        assert!(LossPattern::drop_every(0).is_lossless());
+        assert!(!LossPattern::drop_every(5).is_lossless());
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   measurements that the paper's evaluation reports,
 //! * [`telemetry`] — a shared [`MetricsRegistry`] of hierarchically named
 //!   metrics plus a bounded structured event trace, with deterministic
-//!   text and JSON exporters.
+//!   text and JSON exporters,
+//! * [`fault`] — a seeded, deterministic [`FaultPlan`] of composable
+//!   fault specs (one-shot, periodic, windowed, probabilistic) with an
+//!   injected/recovered ledger, used by every layer's chaos machinery.
 //!
 //! # Example
 //!
@@ -30,6 +33,7 @@
 
 pub mod channel;
 pub mod engine;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -37,6 +41,7 @@ pub mod time;
 
 pub use channel::{Channel, ChannelConfig};
 pub use engine::{EventId, Scheduler, Simulator};
+pub use fault::{FaultPlan, FaultSpec, FaultTrigger};
 pub use rng::SimRng;
 pub use telemetry::{MetricsRegistry, TraceEvent, TraceRing};
 pub use time::{Duration, Time};

@@ -31,6 +31,21 @@ impl Time {
         Time(ps)
     }
 
+    /// Creates an instant `ns` nanoseconds after simulation start.
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Creates an instant `us` microseconds after simulation start.
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Creates an instant `ms` milliseconds after simulation start.
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * 1_000_000_000)
+    }
+
     /// Raw picosecond count since simulation start.
     pub const fn as_ps(self) -> u64 {
         self.0

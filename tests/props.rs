@@ -195,9 +195,9 @@ fn tcp_delivers_arbitrary_data_intact() {
             TcpStackConfig::fpga_coyote()
         };
         let mut link = EthLink::new(EthLinkConfig::hundred_gig());
-        let mut engine = TcpEngine::new(cfg, cfg, Switch::tor()).with_loss(LossPattern {
-            drop_every: if drop_every < 2 { 0 } else { drop_every },
-        });
+        let mut engine = TcpEngine::new(cfg, cfg, Switch::tor()).with_loss(
+            LossPattern::drop_every(if drop_every < 2 { 0 } else { drop_every }),
+        );
         let (out, r) = engine.transfer(&mut link, Time::ZERO, &data);
         assert_eq!(out, data);
         assert!(r.delivered > Time::ZERO);
