@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test bench-smoke chaos clean
+.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos pipelining clean
 
-ci: fmt-check clippy build test bench-smoke chaos
+ci: fmt-check clippy build test doc bench-smoke chaos pipelining
 
 fmt:
 	$(CARGO) fmt --all
@@ -21,6 +21,9 @@ build:
 
 test:
 	$(CARGO) test -q --workspace
+
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps --workspace
 
 # Fastest closed-form experiment; checks that the machine-readable bench
 # output exists and is deterministic across same-seed reruns.
@@ -41,6 +44,17 @@ chaos: build
 	target/release/reproduce fault_sweep --bench-dir target/chaos/b > /dev/null
 	cmp target/chaos/a/BENCH_fault_sweep.json target/chaos/b/BENCH_fault_sweep.json
 	@echo "chaos OK: deterministic BENCH_fault_sweep.json"
+
+# Pipelining sweep: goodput vs outstanding-transaction count through the
+# event-driven engine's async API; runs twice and fails unless the two
+# same-seed BENCH_pipelining.json files are byte-identical.
+pipelining: build
+	rm -rf target/pipelining
+	mkdir -p target/pipelining/a target/pipelining/b
+	target/release/reproduce pipelining --bench-dir target/pipelining/a > /dev/null
+	target/release/reproduce pipelining --bench-dir target/pipelining/b > /dev/null
+	cmp target/pipelining/a/BENCH_pipelining.json target/pipelining/b/BENCH_pipelining.json
+	@echo "pipelining OK: deterministic BENCH_pipelining.json"
 
 clean:
 	$(CARGO) clean

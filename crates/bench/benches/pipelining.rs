@@ -1,0 +1,41 @@
+//! Pipelining bench: serial vs pipelined coherent reads through the
+//! event-driven engine's async issue/poll API.
+
+use enzian_bench::harness::{BenchmarkId, Criterion};
+use enzian_eci::{EciSystem, EciSystemConfig, LinkPolicy};
+use enzian_mem::Addr;
+use enzian_sim::Time;
+use std::hint::black_box;
+
+fn pipelined_reads(mshr_entries: usize, lines: u64) -> Time {
+    let mut sys = EciSystem::new(EciSystemConfig {
+        policy: LinkPolicy::Single(0),
+        mshr_entries,
+        ..EciSystemConfig::enzian()
+    });
+    let handles: Vec<_> = (0..lines)
+        .map(|i| sys.issue_read(Time::ZERO, Addr(i * 128)))
+        .collect();
+    sys.run_to_idle();
+    let last = handles
+        .into_iter()
+        .filter_map(|h| sys.take_completion(h))
+        .map(|c| c.completed)
+        .max()
+        .expect("burst completes");
+    assert!(sys.checker().violations().is_empty());
+    last
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipelining");
+    for outstanding in [1usize, 8, 64] {
+        g.bench_function(BenchmarkId::new("outstanding", outstanding), |b| {
+            b.iter(|| black_box(pipelined_reads(outstanding, 256)))
+        });
+    }
+    g.finish();
+}
+
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|all]
+//! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|pipelining|all]
 //!           [--csv [dir]] [--bench-dir dir] [--no-bench]
 //! ```
 //!
@@ -13,7 +13,9 @@
 //! so same-seed runs produce byte-identical files; wall-clock timings go
 //! to stderr only.
 
-use enzian_platform::experiments::{fault_sweep, fig11, fig12, fig3, fig6, fig7, fig8, fig9};
+use enzian_platform::experiments::{
+    fault_sweep, fig11, fig12, fig3, fig6, fig7, fig8, fig9, pipelining,
+};
 use enzian_sim::MetricsRegistry;
 
 /// Parsed command-line options.
@@ -27,7 +29,7 @@ struct Opts {
 }
 
 /// Valid experiment selectors.
-const EXPERIMENTS: [&str; 10] = [
+const EXPERIMENTS: [&str; 11] = [
     "fig3",
     "fig6",
     "fig7",
@@ -37,6 +39,7 @@ const EXPERIMENTS: [&str; 10] = [
     "table1",
     "fig12",
     "fault_sweep",
+    "pipelining",
     "all",
 ];
 
@@ -395,6 +398,38 @@ fn run_fault_sweep(opts: &Opts) {
     finish(opts, "fault_sweep", &reg, started);
 }
 
+fn run_pipelining(opts: &Opts) {
+    let started = std::time::Instant::now();
+    let mut reg = MetricsRegistry::new();
+    let rows = pipelining::run_instrumented(&mut reg);
+    println!("{}", pipelining::render(&rows));
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.outstanding.to_string(),
+                r.goodput_gib.to_string(),
+                r.mean_latency_ns.to_string(),
+                r.max_inflight.to_string(),
+            ]
+        })
+        .collect();
+    export(
+        &opts.csv,
+        "pipelining",
+        enzian_bench::to_csv(
+            &[
+                "outstanding",
+                "goodput_gib",
+                "mean_latency_ns",
+                "max_inflight",
+            ],
+            &csv,
+        ),
+    );
+    finish(opts, "pipelining", &reg, started);
+}
+
 fn main() {
     let opts = parse_opts();
     match opts.experiment.as_str() {
@@ -407,6 +442,7 @@ fn main() {
         "table1" => run_table1(),
         "fig12" => run_fig12(&opts),
         "fault_sweep" => run_fault_sweep(&opts),
+        "pipelining" => run_pipelining(&opts),
         "all" => {
             run_fig3(&opts);
             run_fig6(&opts);
@@ -416,11 +452,12 @@ fn main() {
             run_fig11(&opts);
             run_fig12(&opts);
             run_fault_sweep(&opts);
+            run_pipelining(&opts);
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
-                 fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|all"
+                 fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|pipelining|all"
             );
             std::process::exit(2);
         }

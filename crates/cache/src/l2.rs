@@ -296,6 +296,22 @@ impl L2Cache {
         let total = self.hits + self.misses + self.upgrades;
         (total > 0).then(|| self.hits as f64 / total as f64)
     }
+
+    /// Publishes the cache's counters into `reg` under `prefix`.
+    pub fn export_metrics(&self, reg: &mut enzian_sim::MetricsRegistry, prefix: &str) {
+        reg.counter_set(&format!("{prefix}.hits"), self.hits);
+        reg.counter_set(&format!("{prefix}.misses"), self.misses);
+        reg.counter_set(&format!("{prefix}.upgrades"), self.upgrades);
+        reg.counter_set(&format!("{prefix}.evictions"), self.evictions);
+        reg.counter_set(&format!("{prefix}.writebacks"), self.writebacks);
+        reg.counter_set(
+            &format!("{prefix}.resident_lines"),
+            self.resident.len() as u64,
+        );
+        if let Some(rate) = self.hit_rate() {
+            reg.gauge_set(&format!("{prefix}.hit_rate"), rate);
+        }
+    }
 }
 
 #[cfg(test)]

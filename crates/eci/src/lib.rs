@@ -23,6 +23,9 @@
 //! * [`system`] — the full transaction-level protocol engine connecting
 //!   the CPU's L2, both nodes' DRAM, and the links — the component every
 //!   experiment drives;
+//! * [`txn`] — the transaction layer of that engine: the async
+//!   issue/poll surface ([`TxnHandle`] and friends) and the MSHR-style
+//!   table that bounds and serializes concurrent transactions;
 //! * [`replay`] — sequence-numbered ack/replay (ARQ) protection that
 //!   turns the lossy physical lanes into an exactly-once, in-order frame
 //!   stream, recovering CRC failures and losses by NAK-driven replay;
@@ -42,6 +45,7 @@ pub mod link;
 pub mod message;
 pub mod replay;
 pub mod system;
+pub mod txn;
 pub mod wire;
 
 pub use checker::{CheckerError, ProtocolChecker};
@@ -51,4 +55,5 @@ pub use link::{EciLinkConfig, EciLinks, LinkPolicy, LinkState, VirtualChannel};
 pub use message::{Message, MessageKind, TxnId};
 pub use replay::{ReplayReceiver, ReplaySender, SealedFrame, Verdict};
 pub use system::{EciSystem, EciSystemConfig, TxnError};
+pub use txn::{EngineStats, TxnCompletion, TxnHandle, TxnOp, TxnStatus};
 pub use wire::{decode_message, encode_message, WireError};

@@ -1,0 +1,265 @@
+//! Transaction-layer types for the event-driven ECI engine.
+//!
+//! The protocol engine in [`crate::system`] runs every coherence operation
+//! as a chain of discrete events over an MSHR-style transaction table,
+//! the shape BedRock-like coherence engines use in hardware. This module
+//! holds the pieces of that machinery with no event-closure entanglement:
+//! the public issue/poll surface ([`TxnHandle`], [`TxnOp`], [`TxnStatus`],
+//! [`TxnCompletion`]) and the MSHR table itself (`MshrTable`), which
+//! bounds the number of concurrently outstanding transactions and queues
+//! same-line conflicts per entry so conflicting transactions serialize.
+
+use enzian_mem::Addr;
+use enzian_sim::Time;
+use std::collections::{HashMap, VecDeque};
+
+/// Opaque handle to a transaction issued through the async API
+/// ([`crate::EciSystem::issue`] and friends). Poll it with
+/// [`crate::EciSystem::poll`] or block on it with
+/// [`crate::EciSystem::run_until_complete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnHandle(pub(crate) u64);
+
+/// A coherence operation, as carried by the transaction engine. The
+/// variants mirror the synchronous facade operations one-to-one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOp {
+    /// Uncached coherent read of a CPU-homed line by the FPGA.
+    FpgaRead,
+    /// Uncached coherent write of a CPU-homed line by the FPGA.
+    FpgaWrite([u8; 128]),
+    /// FPGA acquires a cached copy (`exclusive` for a writable one).
+    FpgaAcquire {
+        /// Request a writable (owned) copy instead of a shared one.
+        exclusive: bool,
+    },
+    /// FPGA upgrades a previously acquired Shared copy to ownership.
+    FpgaUpgrade,
+    /// FPGA releases a previously acquired line, writing back dirty data.
+    FpgaRelease(Option<[u8; 128]>),
+    /// CPU reads one line through the L2 (local or remote home).
+    CpuRead,
+    /// CPU writes one line through the L2.
+    CpuWrite([u8; 128]),
+}
+
+impl TxnOp {
+    /// The operation name used in completions and error reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TxnOp::FpgaRead => "fpga_read_line",
+            TxnOp::FpgaWrite(_) => "fpga_write_line",
+            TxnOp::FpgaAcquire { .. } => "fpga_acquire_line",
+            TxnOp::FpgaUpgrade => "fpga_upgrade_line",
+            TxnOp::FpgaRelease(_) => "fpga_release_line",
+            TxnOp::CpuRead => "cpu_read_line",
+            TxnOp::CpuWrite(_) => "cpu_write_line",
+        }
+    }
+}
+
+/// Where an issued transaction currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Issued but not yet complete (possibly still queued behind an MSHR
+    /// conflict or a full transaction table).
+    InFlight,
+    /// Complete; the result waits in the completion table.
+    Completed,
+    /// Unknown handle: never issued, or its completion was already taken.
+    Retired,
+}
+
+/// The result of one completed transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnCompletion {
+    /// The handle this completion belongs to.
+    pub handle: TxnHandle,
+    /// The line-aligned address the operation targeted.
+    pub addr: Addr,
+    /// The operation name (matches [`TxnOp::name`]).
+    pub op: &'static str,
+    /// When the transaction left the MSHR admission queue and began
+    /// service (equals the issue time unless it queued on a conflict or a
+    /// full table).
+    pub issued: Time,
+    /// When the requester observed completion.
+    pub completed: Time,
+    /// Line data, for operations that return data.
+    pub data: Option<[u8; 128]>,
+}
+
+/// A transaction waiting in the MSHR machinery: everything needed to
+/// start its event chain.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingTxn {
+    pub(crate) handle: TxnHandle,
+    pub(crate) addr: Addr,
+    pub(crate) op: TxnOp,
+}
+
+/// Outcome of presenting a transaction to the MSHR table.
+pub(crate) enum Admitted {
+    /// A free entry was allocated; start the transaction now.
+    Start(PendingTxn),
+    /// Same-line conflict: queued on the existing entry; it starts when
+    /// the predecessor retires.
+    Conflict,
+    /// Table full: queued on the overflow queue; it starts when an entry
+    /// frees up.
+    Full,
+}
+
+/// The MSHR-style transaction table: at most `capacity` lines have a
+/// transaction in flight; same-line requests queue per entry (FIFO), and
+/// requests arriving with the table full queue FIFO in an overflow queue.
+#[derive(Debug)]
+pub(crate) struct MshrTable {
+    capacity: usize,
+    /// Keyed by line base address. The value holds the *waiters*; the
+    /// in-flight head transaction lives in the event chain itself.
+    entries: HashMap<u64, VecDeque<PendingTxn>>,
+    overflow: VecDeque<PendingTxn>,
+}
+
+impl MshrTable {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR table needs at least one entry");
+        MshrTable {
+            capacity,
+            entries: HashMap::new(),
+            overflow: VecDeque::new(),
+        }
+    }
+
+    /// Transactions currently holding an MSHR entry.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Transactions queued (same-line waiters plus overflow).
+    pub(crate) fn queued(&self) -> usize {
+        self.entries.values().map(VecDeque::len).sum::<usize>() + self.overflow.len()
+    }
+
+    fn key(p: &PendingTxn) -> u64 {
+        p.addr.line().base().0
+    }
+
+    /// Presents `p` to the table.
+    pub(crate) fn admit(&mut self, p: PendingTxn) -> Admitted {
+        let key = Self::key(&p);
+        if let Some(waiters) = self.entries.get_mut(&key) {
+            waiters.push_back(p);
+            Admitted::Conflict
+        } else if self.entries.len() >= self.capacity {
+            self.overflow.push_back(p);
+            Admitted::Full
+        } else {
+            self.entries.insert(key, VecDeque::new());
+            Admitted::Start(p)
+        }
+    }
+
+    /// Retires the in-flight transaction on `line_key` and returns the
+    /// transaction to start next, if any: the oldest same-line waiter
+    /// (the entry stays allocated), or — once the entry frees — the first
+    /// overflow transaction that does not conflict with a live entry
+    /// (conflicting ones become waiters on their entry as they are met).
+    pub(crate) fn retire(&mut self, line_key: u64) -> Option<PendingTxn> {
+        let waiters = self
+            .entries
+            .get_mut(&line_key)
+            .expect("retire of a line with no MSHR entry");
+        if let Some(next) = waiters.pop_front() {
+            return Some(next);
+        }
+        self.entries.remove(&line_key);
+        while let Some(p) = self.overflow.pop_front() {
+            let key = Self::key(&p);
+            if let Some(w) = self.entries.get_mut(&key) {
+                w.push_back(p);
+                continue;
+            }
+            self.entries.insert(key, VecDeque::new());
+            return Some(p);
+        }
+        None
+    }
+}
+
+/// Counters of the transaction engine itself (the MSHR/VC layer; the
+/// protocol-level counters stay in [`crate::system::EciSystemStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Transactions that began service.
+    pub started: u64,
+    /// Transactions that completed.
+    pub completed: u64,
+    /// Admissions queued behind a same-line MSHR conflict.
+    pub mshr_conflicts: u64,
+    /// Admissions queued because the transaction table was full.
+    pub mshr_full_stalls: u64,
+    /// Sends queued because the engine-level VC queue was out of credits.
+    pub vc_queue_stalls: u64,
+    /// High-water mark of concurrently in-flight transactions.
+    pub max_inflight: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pend(handle: u64, addr: u64) -> PendingTxn {
+        PendingTxn {
+            handle: TxnHandle(handle),
+            addr: Addr(addr),
+            op: TxnOp::FpgaRead,
+        }
+    }
+
+    #[test]
+    fn same_line_conflicts_queue_on_the_entry() {
+        let mut t = MshrTable::new(4);
+        assert!(matches!(t.admit(pend(1, 0)), Admitted::Start(_)));
+        assert!(matches!(t.admit(pend(2, 64)), Admitted::Conflict));
+        assert!(matches!(t.admit(pend(3, 0)), Admitted::Conflict));
+        assert_eq!(t.in_flight(), 1);
+        assert_eq!(t.queued(), 2);
+        // Retire releases waiters strictly FIFO, entry stays allocated.
+        assert_eq!(t.retire(0).unwrap().handle, TxnHandle(2));
+        assert_eq!(t.retire(0).unwrap().handle, TxnHandle(3));
+        assert!(t.retire(0).is_none());
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn full_table_overflows_and_refills_fifo() {
+        let mut t = MshrTable::new(2);
+        assert!(matches!(t.admit(pend(1, 0)), Admitted::Start(_)));
+        assert!(matches!(t.admit(pend(2, 128)), Admitted::Start(_)));
+        assert!(matches!(t.admit(pend(3, 256)), Admitted::Full));
+        assert!(matches!(t.admit(pend(4, 384)), Admitted::Full));
+        assert_eq!(t.in_flight(), 2);
+        // Retiring a line starts the oldest overflow transaction.
+        assert_eq!(t.retire(0).unwrap().handle, TxnHandle(3));
+        assert_eq!(t.in_flight(), 2);
+        assert_eq!(t.retire(256).unwrap().handle, TxnHandle(4));
+    }
+
+    #[test]
+    fn same_line_admits_queue_on_the_entry_even_when_full() {
+        let mut t = MshrTable::new(2);
+        assert!(matches!(t.admit(pend(1, 0)), Admitted::Start(_)));
+        assert!(matches!(t.admit(pend(2, 128)), Admitted::Start(_)));
+        // A same-line request with the table full still queues on its
+        // live entry (it needs no new entry); unrelated lines overflow.
+        assert!(matches!(t.admit(pend(3, 128 + 4)), Admitted::Conflict));
+        assert!(matches!(t.admit(pend(4, 256)), Admitted::Full));
+        // Retiring line 0 walks the overflow queue: txn 4 starts in the
+        // freed slot.
+        assert_eq!(t.retire(0).unwrap().handle, TxnHandle(4));
+        // Txn 3 starts when its line retires.
+        assert_eq!(t.retire(128).unwrap().handle, TxnHandle(3));
+    }
+}

@@ -177,6 +177,22 @@ impl MemoryController {
             Some(rates.iter().sum::<f64>() / rates.len() as f64)
         }
     }
+
+    /// Publishes the controller's counters into `reg` under `prefix`.
+    pub fn export_metrics(&self, reg: &mut enzian_sim::MetricsRegistry, prefix: &str) {
+        reg.counter_set(&format!("{prefix}.requests"), self.requests);
+        reg.counter_set(
+            &format!("{prefix}.bytes_transferred"),
+            self.bytes_transferred(),
+        );
+        reg.counter_set(
+            &format!("{prefix}.peak_bytes_per_sec"),
+            self.peak_bytes_per_sec(),
+        );
+        if let Some(rate) = self.row_hit_rate() {
+            reg.gauge_set(&format!("{prefix}.row_hit_rate"), rate);
+        }
+    }
 }
 
 #[cfg(test)]

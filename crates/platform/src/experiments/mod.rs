@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod pipelining;
 
 /// Turns a human-facing label ("Enzian (1 ECI link)") into a stable
 /// metric-name segment ("enzian_1_eci_link"): lowercase, with every run

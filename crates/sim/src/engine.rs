@@ -6,7 +6,7 @@
 //! are broken by insertion order, making runs fully deterministic.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::telemetry::MetricsRegistry;
 use crate::time::{Duration, Time};
@@ -15,7 +15,9 @@ use crate::time::{Duration, Time};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
 
-type EventFn<M> = Box<dyn FnOnce(&mut M, &mut Scheduler<M>)>;
+/// Events are `Send` so models built on the simulator (and the simulator
+/// itself) can be moved across threads.
+type EventFn<M> = Box<dyn FnOnce(&mut M, &mut Scheduler<M>) + Send>;
 
 struct QueueEntry {
     at: Time,
@@ -45,7 +47,10 @@ pub struct Scheduler<M> {
     now: Time,
     next_seq: u64,
     queue: BinaryHeap<Reverse<QueueEntry>>,
-    handlers: Vec<(u64, Option<EventFn<M>>)>,
+    // Keyed by sequence number; entries are removed when they fire or are
+    // cancelled, so memory stays proportional to *pending* events no
+    // matter how many have executed.
+    handlers: BTreeMap<u64, EventFn<M>>,
     events_executed: u64,
 }
 
@@ -65,7 +70,7 @@ impl<M> Scheduler<M> {
             now: Time::ZERO,
             next_seq: 0,
             queue: BinaryHeap::new(),
-            handlers: Vec::new(),
+            handlers: BTreeMap::new(),
             events_executed: 0,
         }
     }
@@ -92,20 +97,32 @@ impl<M> Scheduler<M> {
     /// Panics if `at` is in the past.
     pub fn schedule_at<F>(&mut self, at: Time, f: F) -> EventId
     where
-        F: FnOnce(&mut M, &mut Scheduler<M>) + 'static,
+        F: FnOnce(&mut M, &mut Scheduler<M>) + Send + 'static,
     {
         assert!(at >= self.now, "cannot schedule an event in the past");
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Reverse(QueueEntry { at, seq }));
-        self.handlers.push((seq, Some(Box::new(f))));
+        self.handlers.insert(seq, Box::new(f));
         EventId(seq)
+    }
+
+    /// Schedules `f` at `at`, clamped to the present: a target time already
+    /// in the past runs at `now` instead of panicking. Convenient for
+    /// components that compute absolute deadlines (memory-controller
+    /// completions, credit returns) which may land exactly on the current
+    /// instant.
+    pub fn schedule_at_or_now<F>(&mut self, at: Time, f: F) -> EventId
+    where
+        F: FnOnce(&mut M, &mut Scheduler<M>) + Send + 'static,
+    {
+        self.schedule_at(at.max(self.now), f)
     }
 
     /// Schedules `f` to run `after` from now.
     pub fn schedule_in<F>(&mut self, after: Duration, f: F) -> EventId
     where
-        F: FnOnce(&mut M, &mut Scheduler<M>) + 'static,
+        F: FnOnce(&mut M, &mut Scheduler<M>) + Send + 'static,
     {
         self.schedule_at(self.now + after, f)
     }
@@ -113,10 +130,7 @@ impl<M> Scheduler<M> {
     /// Cancels a pending event. Returns `true` if the event existed and had
     /// not yet fired.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if let Ok(idx) = self.handlers.binary_search_by_key(&id.0, |(seq, _)| *seq) {
-            return self.handlers[idx].1.take().is_some();
-        }
-        false
+        self.handlers.remove(&id.0).is_some()
     }
 
     /// Publishes the kernel's run statistics into `reg` under `prefix`
@@ -128,23 +142,7 @@ impl<M> Scheduler<M> {
     }
 
     fn take_handler(&mut self, seq: u64) -> Option<EventFn<M>> {
-        let idx = self.handlers.binary_search_by_key(&seq, |(s, _)| *s).ok()?;
-        let h = self.handlers[idx].1.take();
-        // Compact the table by dropping the leading run of already-fired
-        // (None) handlers once it grows large, keeping memory proportional
-        // to live events. Only a None-prefix is safe to drop: later slots
-        // may hold pending handlers with smaller indices than `idx`.
-        if idx > 1024 {
-            let dead_prefix = self
-                .handlers
-                .iter()
-                .take_while(|(_, h)| h.is_none())
-                .count();
-            if dead_prefix > 1024 {
-                self.handlers.drain(..dead_prefix);
-            }
-        }
-        h
+        self.handlers.remove(&seq)
     }
 }
 
@@ -210,15 +208,24 @@ impl<M> Simulator<M> {
     /// Schedules an event at an absolute time. See [`Scheduler::schedule_at`].
     pub fn schedule_at<F>(&mut self, at: Time, f: F) -> EventId
     where
-        F: FnOnce(&mut M, &mut Scheduler<M>) + 'static,
+        F: FnOnce(&mut M, &mut Scheduler<M>) + Send + 'static,
     {
         self.sched.schedule_at(at, f)
+    }
+
+    /// Schedules an event at `at`, clamped to the present. See
+    /// [`Scheduler::schedule_at_or_now`].
+    pub fn schedule_at_or_now<F>(&mut self, at: Time, f: F) -> EventId
+    where
+        F: FnOnce(&mut M, &mut Scheduler<M>) + Send + 'static,
+    {
+        self.sched.schedule_at_or_now(at, f)
     }
 
     /// Schedules an event relative to now. See [`Scheduler::schedule_in`].
     pub fn schedule_in<F>(&mut self, after: Duration, f: F) -> EventId
     where
-        F: FnOnce(&mut M, &mut Scheduler<M>) + 'static,
+        F: FnOnce(&mut M, &mut Scheduler<M>) + Send + 'static,
     {
         self.sched.schedule_in(after, f)
     }
@@ -232,6 +239,34 @@ impl<M> Simulator<M> {
     /// See [`Scheduler::export_metrics`].
     pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
         self.sched.export_metrics(reg, prefix);
+    }
+
+    /// The time of the next live (non-cancelled) pending event, if any.
+    /// Cancelled queue entries encountered on the way are discarded.
+    pub fn peek_next_time(&mut self) -> Option<Time> {
+        while let Some(Reverse(entry)) = self.sched.queue.peek() {
+            if self.sched.handlers.contains_key(&entry.seq) {
+                return Some(entry.at);
+            }
+            self.sched.queue.pop();
+        }
+        None
+    }
+
+    /// Resets the clock to [`Time::ZERO`] once the queue has fully drained,
+    /// so a fresh batch of events can be scheduled at earlier absolute
+    /// times. Facade layers that run each operation to completion use this
+    /// between operations driven by caller-managed (non-monotonic) clocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a live event is still pending.
+    pub fn rewind(&mut self) {
+        assert!(
+            self.peek_next_time().is_none(),
+            "cannot rewind with events pending"
+        );
+        self.sched.now = Time::ZERO;
     }
 
     /// Runs a single event if any is pending; returns `false` when the
@@ -350,7 +385,7 @@ mod tests {
 
     #[test]
     fn handler_table_compaction_preserves_pending_events() {
-        // Execute far more events than the compaction threshold while one
+        // Execute far more events than ever pend at once while one
         // far-future event stays pending, then check it still fires.
         let mut sim = Simulator::new(0u64);
         sim.schedule_in(Duration::from_ms(1), |m: &mut u64, _| *m += 1_000_000);
@@ -359,5 +394,79 @@ mod tests {
         }
         sim.run();
         assert_eq!(*sim.model(), 1_005_000);
+    }
+
+    #[test]
+    fn handler_table_does_not_grow_with_executed_events() {
+        // The leak fix: fired handlers leave the table immediately, so
+        // capacity tracks *pending* events, not lifetime event count.
+        let mut sim = Simulator::new(0u64);
+        sim.schedule_in(Duration::from_ms(1), |m: &mut u64, _| *m += 1);
+        for i in 0..10_000u64 {
+            sim.schedule_in(Duration::from_ns(i), |m: &mut u64, _| *m += 1);
+            sim.step();
+            assert!(
+                sim.sched.handlers.len() <= 2,
+                "handler table retained fired events: {}",
+                sim.sched.handlers.len()
+            );
+        }
+        sim.run();
+        assert!(sim.sched.handlers.is_empty());
+        assert_eq!(*sim.model(), 10_001);
+    }
+
+    #[test]
+    fn rewind_resets_the_clock_after_a_drained_batch() {
+        let mut sim = Simulator::new(0u64);
+        sim.schedule_in(Duration::from_us(5), |m: &mut u64, _| *m += 1);
+        sim.run();
+        assert_eq!(sim.now(), Time::ZERO + Duration::from_us(5));
+        sim.rewind();
+        assert_eq!(sim.now(), Time::ZERO);
+        // Earlier absolute times are schedulable again.
+        sim.schedule_at(Time::ZERO + Duration::from_ns(1), |m: &mut u64, _| *m += 1);
+        sim.run();
+        assert_eq!(*sim.model(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "events pending")]
+    fn rewind_with_pending_events_panics() {
+        let mut sim = Simulator::new(0u64);
+        sim.schedule_in(Duration::from_ns(1), |_, _| {});
+        sim.rewind();
+    }
+
+    #[test]
+    fn peek_next_time_skips_cancelled_events() {
+        let mut sim = Simulator::new(0u64);
+        let early = sim.schedule_in(Duration::from_ns(1), |_, _| {});
+        sim.schedule_in(Duration::from_ns(9), |_, _| {});
+        assert_eq!(
+            sim.peek_next_time(),
+            Some(Time::ZERO + Duration::from_ns(1))
+        );
+        sim.cancel(early);
+        assert_eq!(
+            sim.peek_next_time(),
+            Some(Time::ZERO + Duration::from_ns(9))
+        );
+        sim.run();
+        assert_eq!(sim.peek_next_time(), None);
+        sim.rewind();
+    }
+
+    #[test]
+    fn schedule_at_or_now_clamps_past_times() {
+        let mut sim = Simulator::new(Vec::new());
+        sim.schedule_in(Duration::from_ns(10), |_v: &mut Vec<u64>, s| {
+            // A deadline computed in the past runs at the current instant.
+            s.schedule_at_or_now(Time::ZERO, |v: &mut Vec<u64>, s| {
+                v.push(s.now().as_ns());
+            });
+        });
+        sim.run();
+        assert_eq!(*sim.model(), vec![10]);
     }
 }
