@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos pipelining clean
+.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck clean
 
-ci: fmt-check clippy build test doc bench-smoke chaos pipelining
+ci: fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck
 
 fmt:
 	$(CARGO) fmt --all
@@ -55,6 +55,18 @@ pipelining: build
 	target/release/reproduce pipelining --bench-dir target/pipelining/b > /dev/null
 	cmp target/pipelining/a/BENCH_pipelining.json target/pipelining/b/BENCH_pipelining.json
 	@echo "pipelining OK: deterministic BENCH_pipelining.json"
+
+# Model check: exhaustive state-space exploration of the ECI protocol
+# model (clean configs violation-free, mutation battery caught); runs
+# twice and fails unless the two BENCH_modelcheck.json files are
+# byte-identical.
+modelcheck: build
+	rm -rf target/modelcheck
+	mkdir -p target/modelcheck/a target/modelcheck/b
+	target/release/reproduce modelcheck --bench-dir target/modelcheck/a > /dev/null
+	target/release/reproduce modelcheck --bench-dir target/modelcheck/b > /dev/null
+	cmp target/modelcheck/a/BENCH_modelcheck.json target/modelcheck/b/BENCH_modelcheck.json
+	@echo "modelcheck OK: deterministic BENCH_modelcheck.json"
 
 clean:
 	$(CARGO) clean

@@ -8,11 +8,11 @@ use enzian_sim::Time;
 use std::hint::black_box;
 
 fn pipelined_reads(mshr_entries: usize, lines: u64) -> Time {
-    let mut sys = EciSystem::new(EciSystemConfig {
-        policy: LinkPolicy::Single(0),
-        mshr_entries,
-        ..EciSystemConfig::enzian()
-    });
+    let mut sys = EciSystem::new(
+        EciSystemConfig::enzian()
+            .with_policy(LinkPolicy::Single(0))
+            .with_mshr_entries(mshr_entries),
+    );
     let handles: Vec<_> = (0..lines)
         .map(|i| sys.issue_read(Time::ZERO, Addr(i * 128)))
         .collect();

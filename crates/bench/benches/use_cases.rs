@@ -86,10 +86,9 @@ fn bench(c: &mut Criterion) {
         ("one_dimm_per_channel", MemoryControllerConfig::enzian_cpu()),
         (
             "half_channels",
-            MemoryControllerConfig {
-                channels: 2,
-                generation: enzian_mem::DdrGeneration::Ddr4_2133,
-            },
+            MemoryControllerConfig::enzian_cpu()
+                .with_channels(2)
+                .with_generation(enzian_mem::DdrGeneration::Ddr4_2133),
         ),
     ] {
         // The "favor bandwidth over capacity" ablation: fewer channels

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|pipelining|all]
+//! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|pipelining|modelcheck|all]
 //!           [--csv [dir]] [--bench-dir dir] [--no-bench]
 //! ```
 //!
@@ -14,7 +14,7 @@
 //! to stderr only.
 
 use enzian_platform::experiments::{
-    fault_sweep, fig11, fig12, fig3, fig6, fig7, fig8, fig9, pipelining,
+    fault_sweep, fig11, fig12, fig3, fig6, fig7, fig8, fig9, modelcheck, pipelining,
 };
 use enzian_sim::MetricsRegistry;
 
@@ -29,7 +29,7 @@ struct Opts {
 }
 
 /// Valid experiment selectors.
-const EXPERIMENTS: [&str; 11] = [
+const EXPERIMENTS: [&str; 12] = [
     "fig3",
     "fig6",
     "fig7",
@@ -40,6 +40,7 @@ const EXPERIMENTS: [&str; 11] = [
     "fig12",
     "fault_sweep",
     "pipelining",
+    "modelcheck",
     "all",
 ];
 
@@ -430,6 +431,44 @@ fn run_pipelining(opts: &Opts) {
     finish(opts, "pipelining", &reg, started);
 }
 
+fn run_modelcheck(opts: &Opts) {
+    let started = std::time::Instant::now();
+    let mut reg = MetricsRegistry::new();
+    let rows = modelcheck::run_instrumented(&mut reg);
+    println!("{}", modelcheck::render(&rows));
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.mode.to_string(),
+                r.states.to_string(),
+                r.transitions.to_string(),
+                r.frontier_peak.to_string(),
+                r.max_depth.to_string(),
+                r.violation.clone().unwrap_or_default(),
+            ]
+        })
+        .collect();
+    export(
+        &opts.csv,
+        "modelcheck",
+        enzian_bench::to_csv(
+            &[
+                "configuration",
+                "mode",
+                "states",
+                "transitions",
+                "frontier_peak",
+                "max_depth",
+                "violation",
+            ],
+            &csv,
+        ),
+    );
+    finish(opts, "modelcheck", &reg, started);
+}
+
 fn main() {
     let opts = parse_opts();
     match opts.experiment.as_str() {
@@ -443,6 +482,7 @@ fn main() {
         "fig12" => run_fig12(&opts),
         "fault_sweep" => run_fault_sweep(&opts),
         "pipelining" => run_pipelining(&opts),
+        "modelcheck" => run_modelcheck(&opts),
         "all" => {
             run_fig3(&opts);
             run_fig6(&opts);
@@ -453,11 +493,12 @@ fn main() {
             run_fig12(&opts);
             run_fault_sweep(&opts);
             run_pipelining(&opts);
+            run_modelcheck(&opts);
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
-                 fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|pipelining|all"
+                 fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|pipelining|modelcheck|all"
             );
             std::process::exit(2);
         }

@@ -98,11 +98,6 @@ impl BmcFaultInjector {
         &self.shutdown_log
     }
 
-    /// Publishes the plan's injection/recovery counters under `prefix`.
-    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
-        self.plan.export_metrics(reg, prefix);
-    }
-
     /// One firmware scan at `now`: offers the plan a chance to glitch
     /// each sensor and overload each rail, and runs the degradation
     /// response for whatever fired. Returns the events, in a fixed
@@ -162,6 +157,13 @@ impl BmcFaultInjector {
             }
         }
         t
+    }
+}
+
+/// Publishes the plan's injection/recovery counters under `prefix`.
+impl enzian_sim::Instrumented for BmcFaultInjector {
+    fn export_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        self.plan.export_metrics(prefix, registry);
     }
 }
 

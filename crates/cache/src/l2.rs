@@ -13,7 +13,13 @@ use enzian_mem::CacheLine;
 use crate::moesi::{LineEvent, LineState};
 
 /// Static cache geometry.
+///
+/// Like every public config struct in the workspace, the type is
+/// `#[non_exhaustive]`: start from a named preset (here
+/// [`L2Config::thunderx1`], the hardware the paper ships) and adjust
+/// fields with the `with_*` setters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct L2Config {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -31,6 +37,24 @@ impl L2Config {
             ways: 16,
             line_bytes: 128,
         }
+    }
+
+    /// Returns the config with `capacity_bytes` replaced.
+    pub fn with_capacity_bytes(mut self, capacity_bytes: u64) -> Self {
+        self.capacity_bytes = capacity_bytes;
+        self
+    }
+
+    /// Returns the config with `ways` replaced.
+    pub fn with_ways(mut self, ways: usize) -> Self {
+        self.ways = ways;
+        self
+    }
+
+    /// Returns the config with `line_bytes` replaced.
+    pub fn with_line_bytes(mut self, line_bytes: u64) -> Self {
+        self.line_bytes = line_bytes;
+        self
     }
 
     /// Number of sets implied by the geometry.
@@ -296,20 +320,22 @@ impl L2Cache {
         let total = self.hits + self.misses + self.upgrades;
         (total > 0).then(|| self.hits as f64 / total as f64)
     }
+}
 
-    /// Publishes the cache's counters into `reg` under `prefix`.
-    pub fn export_metrics(&self, reg: &mut enzian_sim::MetricsRegistry, prefix: &str) {
-        reg.counter_set(&format!("{prefix}.hits"), self.hits);
-        reg.counter_set(&format!("{prefix}.misses"), self.misses);
-        reg.counter_set(&format!("{prefix}.upgrades"), self.upgrades);
-        reg.counter_set(&format!("{prefix}.evictions"), self.evictions);
-        reg.counter_set(&format!("{prefix}.writebacks"), self.writebacks);
-        reg.counter_set(
+/// Publishes the cache's counters.
+impl enzian_sim::Instrumented for L2Cache {
+    fn export_metrics(&self, prefix: &str, registry: &mut enzian_sim::MetricsRegistry) {
+        registry.counter_set(&format!("{prefix}.hits"), self.hits);
+        registry.counter_set(&format!("{prefix}.misses"), self.misses);
+        registry.counter_set(&format!("{prefix}.upgrades"), self.upgrades);
+        registry.counter_set(&format!("{prefix}.evictions"), self.evictions);
+        registry.counter_set(&format!("{prefix}.writebacks"), self.writebacks);
+        registry.counter_set(
             &format!("{prefix}.resident_lines"),
             self.resident.len() as u64,
         );
         if let Some(rate) = self.hit_rate() {
-            reg.gauge_set(&format!("{prefix}.hit_rate"), rate);
+            registry.gauge_set(&format!("{prefix}.hit_rate"), rate);
         }
     }
 }

@@ -24,5 +24,8 @@ pub mod pmu;
 
 pub use crate::core::{CoreTimingModel, WorkloadProfile};
 pub use l2::{AccessOutcome, Eviction, L2Cache, L2Config, ProbeOutcome};
-pub use moesi::LineState;
+pub use moesi::{
+    check_global_invariant, local_step, probe_step, CoherenceRequest, LineEvent, LineState,
+    LocalStep, ProbeStep,
+};
 pub use pmu::Pmu;

@@ -117,6 +117,85 @@ impl LineState {
     ];
 }
 
+/// The coherence request a local access requires before it can complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoherenceRequest {
+    /// Fetch a readable copy (load miss).
+    ReadShared,
+    /// Fetch an exclusive copy (store miss).
+    ReadExclusive,
+    /// Invalidate other sharers of a copy already held (store to S/O).
+    Upgrade,
+}
+
+/// The side-effect-free outcome of classifying a local access: what the
+/// coherence layer must do first, and the state the line assumes once
+/// that (possibly empty) request completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalStep {
+    /// The request the coherence layer must issue, or `None` when the
+    /// access completes locally.
+    pub request: Option<CoherenceRequest>,
+    /// The line state after the access (and any required request) is done.
+    /// For a [`CoherenceRequest::ReadShared`] this is the conservative
+    /// `Shared`; the directory may instead grant `Exclusive` when it
+    /// knows there are no other sharers.
+    pub next: LineState,
+}
+
+/// Classifies a local load or store against the line's current state,
+/// without mutating anything.
+///
+/// This is the pure core of the agent side of the protocol: both the
+/// [`l2`](crate::l2) model's access path and the `enzian-eci` state-space
+/// explorer derive their transitions from it.
+pub fn local_step(state: LineState, write: bool) -> LocalStep {
+    use LineState::*;
+    if write {
+        let request = match state {
+            Invalid => Some(CoherenceRequest::ReadExclusive),
+            Shared | Owned => Some(CoherenceRequest::Upgrade),
+            Exclusive | Modified => None,
+        };
+        LocalStep {
+            request,
+            next: Modified,
+        }
+    } else {
+        LocalStep {
+            request: (state == Invalid).then_some(CoherenceRequest::ReadShared),
+            next: state.after(LineEvent::LocalRead).unwrap_or(state),
+        }
+    }
+}
+
+/// The side-effect-free outcome of a remote probe against one cache's
+/// copy of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeStep {
+    /// State after honouring the probe.
+    pub next: LineState,
+    /// Whether the probe response must carry the line's data (the copy
+    /// was dirty and memory is stale).
+    pub supplies_data: bool,
+}
+
+/// Computes the effect of a probe on a line in `state`, without mutating
+/// anything: `invalidate` distinguishes an ownership probe
+/// (`RemoteWrite`) from a downgrade probe (`RemoteRead`). A probe of an
+/// `Invalid` line is answered cleanly and leaves it `Invalid`.
+pub fn probe_step(state: LineState, invalidate: bool) -> ProbeStep {
+    let event = if invalidate {
+        LineEvent::RemoteWrite
+    } else {
+        LineEvent::RemoteRead
+    };
+    ProbeStep {
+        next: state.after(event).unwrap_or(state),
+        supplies_data: state.is_dirty(),
+    }
+}
+
 impl fmt::Display for LineState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let c = match self {
@@ -218,6 +297,55 @@ mod tests {
         assert!(!Shared.can_transition(Exclusive));
         assert!(!Shared.can_transition(Owned));
         assert!(!Invalid.can_transition(Owned));
+    }
+
+    #[test]
+    fn local_step_classifies_all_accesses() {
+        // Loads: only Invalid needs a request; everything else hits.
+        let miss = local_step(Invalid, false);
+        assert_eq!(miss.request, Some(CoherenceRequest::ReadShared));
+        assert_eq!(miss.next, Shared);
+        for s in [Shared, Exclusive, Owned, Modified] {
+            let hit = local_step(s, false);
+            assert_eq!(hit.request, None);
+            assert_eq!(hit.next, s);
+        }
+        // Stores always end Modified; the request depends on what's held.
+        assert_eq!(
+            local_step(Invalid, true).request,
+            Some(CoherenceRequest::ReadExclusive)
+        );
+        assert_eq!(
+            local_step(Shared, true).request,
+            Some(CoherenceRequest::Upgrade)
+        );
+        assert_eq!(
+            local_step(Owned, true).request,
+            Some(CoherenceRequest::Upgrade)
+        );
+        assert_eq!(local_step(Exclusive, true).request, None);
+        assert_eq!(local_step(Modified, true).request, None);
+        for s in LineState::ALL {
+            assert_eq!(local_step(s, true).next, Modified);
+            assert!(s.can_transition(local_step(s, true).next));
+        }
+    }
+
+    #[test]
+    fn probe_step_matches_the_transition_relation() {
+        for s in LineState::ALL {
+            for invalidate in [false, true] {
+                let p = probe_step(s, invalidate);
+                assert!(s.can_transition(p.next), "{s} -> {} illegal", p.next);
+                assert_eq!(p.supplies_data, s.is_dirty());
+            }
+            assert_eq!(probe_step(s, true).next, Invalid);
+        }
+        // Downgrades preserve dirtiness through Owned.
+        assert_eq!(probe_step(Modified, false).next, Owned);
+        assert_eq!(probe_step(Exclusive, false).next, Shared);
+        assert_eq!(probe_step(Invalid, false).next, Invalid);
+        assert!(!probe_step(Invalid, true).supplies_data);
     }
 
     #[test]

@@ -104,24 +104,25 @@ impl Pmu {
         self.l1_refills += other.l1_refills;
         self.l2_misses += other.l2_misses;
     }
+}
 
-    /// Publishes the raw counters and derived rates into `reg` under
-    /// `prefix`.
-    pub fn export_metrics(&self, reg: &mut enzian_sim::MetricsRegistry, prefix: &str) {
-        reg.counter_set(&format!("{prefix}.cycles"), self.cycles);
-        reg.counter_set(&format!("{prefix}.instructions"), self.instructions);
-        reg.counter_set(
+/// Publishes the raw counters and derived rates.
+impl enzian_sim::Instrumented for Pmu {
+    fn export_metrics(&self, prefix: &str, registry: &mut enzian_sim::MetricsRegistry) {
+        registry.counter_set(&format!("{prefix}.cycles"), self.cycles);
+        registry.counter_set(&format!("{prefix}.instructions"), self.instructions);
+        registry.counter_set(
             &format!("{prefix}.memory_stall_cycles"),
             self.memory_stall_cycles,
         );
-        reg.counter_set(&format!("{prefix}.l1_refills"), self.l1_refills);
-        reg.counter_set(&format!("{prefix}.l2_misses"), self.l2_misses);
-        reg.gauge_set(
+        registry.counter_set(&format!("{prefix}.l1_refills"), self.l1_refills);
+        registry.counter_set(&format!("{prefix}.l2_misses"), self.l2_misses);
+        registry.gauge_set(
             &format!("{prefix}.memory_stalls_per_cycle"),
             self.memory_stalls_per_cycle(),
         );
-        reg.gauge_set(&format!("{prefix}.ipc"), self.ipc());
-        reg.gauge_set(
+        registry.gauge_set(&format!("{prefix}.ipc"), self.ipc());
+        registry.gauge_set(
             &format!("{prefix}.cycles_per_l1_refill"),
             self.cycles_per_l1_refill().unwrap_or(0.0),
         );
@@ -159,7 +160,7 @@ mod tests {
         p.add_memory_stalls(250);
         p.add_l1_refills(10);
         let mut reg = enzian_sim::MetricsRegistry::new();
-        p.export_metrics(&mut reg, "cpu.pmu");
+        enzian_sim::Instrumented::export_metrics(&p, "cpu.pmu", &mut reg);
         assert_eq!(reg.counter("cpu.pmu.cycles"), 1000);
         assert_eq!(reg.gauge("cpu.pmu.memory_stalls_per_cycle"), Some(0.25));
         assert_eq!(reg.gauge("cpu.pmu.cycles_per_l1_refill"), Some(100.0));

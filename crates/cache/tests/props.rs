@@ -13,11 +13,7 @@ fn l2_capacity_and_accounting() {
     let mut rng = SimRng::seed_from(0xCAC_0001);
     for _case in 0..32 {
         let n = rng.range(1, 299) as usize;
-        let cfg = L2Config {
-            capacity_bytes: 2048,
-            ways: 4,
-            line_bytes: 128,
-        };
+        let cfg = L2Config::thunderx1().with_capacity_bytes(2048).with_ways(4);
         let mut l2 = L2Cache::new(cfg);
         let cap_lines = (cfg.capacity_bytes / cfg.line_bytes) as usize;
         let mut observed_hits = 0u64;
@@ -87,11 +83,7 @@ fn probes_enforce_their_contract() {
         let n = rng.range(1, 39) as usize;
         let fills: Vec<u64> = (0..n).map(|_| rng.next_below(16)).collect();
         let for_write = rng.chance(0.5);
-        let mut l2 = L2Cache::new(L2Config {
-            capacity_bytes: 4096,
-            ways: 2,
-            line_bytes: 128,
-        });
+        let mut l2 = L2Cache::new(L2Config::thunderx1().with_capacity_bytes(4096).with_ways(2));
         for &l in &fills {
             let line = CacheLine(l);
             if let AccessOutcome::Miss(_) = l2.write(line) {

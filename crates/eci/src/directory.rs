@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use enzian_mem::CacheLine;
-use enzian_sim::telemetry::MetricsRegistry;
+use enzian_sim::telemetry::{Instrumented, MetricsRegistry};
 
 /// The remote node's copy of a home line, as the home tracks it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -23,6 +23,70 @@ pub enum RemoteCopy {
     /// The remote node owns the line (Exclusive/Modified/Owned); it may
     /// be dirty there and the home must probe before serving others.
     Owner,
+}
+
+/// A bookkeeping operation the home applies to its record of one remote
+/// copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirOp {
+    /// A Shared grant was sent to the remote.
+    GrantShared,
+    /// An ownership (Exclusive) grant was sent to the remote.
+    GrantOwner,
+    /// The remote copy was invalidated (probe ack, victim).
+    Revoke,
+    /// The remote owner was downgraded to Shared (read probe).
+    Downgrade,
+}
+
+/// An illegal directory transition: applying [`DirOp`] in a state the
+/// protocol forbids (e.g. granting Shared while the remote owns the
+/// line without recalling ownership first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirStepError {
+    /// The record the step was applied to.
+    pub from: RemoteCopy,
+    /// The offending operation.
+    pub op: DirOp,
+}
+
+impl std::fmt::Display for DirStepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "illegal directory step {:?} from {:?}",
+            self.op, self.from
+        )
+    }
+}
+
+impl std::error::Error for DirStepError {}
+
+impl RemoteCopy {
+    /// The record after applying `op`, computed without side effects.
+    ///
+    /// This is the pure core of the home-side protocol: the mutating
+    /// [`Directory`] methods delegate to it (turning errors into the
+    /// panics their contracts document), and the `explore` state-space
+    /// explorer in this crate drives the same relation over every
+    /// reachable interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirStepError`] when the protocol forbids `op` in this
+    /// state: a Shared or ownership grant while the remote already owns
+    /// the line, or a downgrade of a non-owner.
+    pub fn step(self, op: DirOp) -> Result<RemoteCopy, DirStepError> {
+        use RemoteCopy::*;
+        match (self, op) {
+            (Owner, DirOp::GrantShared | DirOp::GrantOwner) => Err(DirStepError { from: self, op }),
+            (_, DirOp::GrantShared) => Ok(Shared),
+            (_, DirOp::GrantOwner) => Ok(Owner),
+            (_, DirOp::Revoke) => Ok(None),
+            (Owner, DirOp::Downgrade) => Ok(Shared),
+            (_, DirOp::Downgrade) => Err(DirStepError { from: self, op }),
+        }
+    }
 }
 
 /// Directory entry for one line (public for inspection in tests/tools).
@@ -74,11 +138,10 @@ impl Directory {
     /// ownership first, which is a protocol bug if skipped.
     pub fn grant_shared(&mut self, line: CacheLine) {
         let e = self.entries.entry(line).or_default();
-        assert!(
-            e.remote != RemoteCopy::Owner,
-            "shared grant while remote owns {line}"
-        );
-        e.remote = RemoteCopy::Shared;
+        e.remote = e
+            .remote
+            .step(DirOp::GrantShared)
+            .unwrap_or_else(|_| panic!("shared grant while remote owns {line}"));
         self.grants += 1;
     }
 
@@ -90,12 +153,10 @@ impl Directory {
     /// through the proper transitions).
     pub fn grant_owner(&mut self, line: CacheLine) {
         let e = self.entries.entry(line).or_default();
-        assert!(
-            e.remote == RemoteCopy::None || e.remote == RemoteCopy::Shared,
-            "owner grant in state {:?} for {line}",
-            e.remote
-        );
-        e.remote = RemoteCopy::Owner;
+        e.remote = e
+            .remote
+            .step(DirOp::GrantOwner)
+            .unwrap_or_else(|err| panic!("owner grant in state {:?} for {line}", err.from));
         self.grants += 1;
     }
 
@@ -105,7 +166,7 @@ impl Directory {
             if e.remote != RemoteCopy::None {
                 self.recalls += 1;
             }
-            e.remote = RemoteCopy::None;
+            e.remote = e.remote.step(DirOp::Revoke).expect("revoke is total");
         }
     }
 
@@ -116,11 +177,10 @@ impl Directory {
     /// Panics if the remote was not the owner.
     pub fn downgrade(&mut self, line: CacheLine) {
         let e = self.entries.entry(line).or_default();
-        assert!(
-            e.remote == RemoteCopy::Owner,
-            "downgrade of non-owner for {line}"
-        );
-        e.remote = RemoteCopy::Shared;
+        e.remote = e
+            .remote
+            .step(DirOp::Downgrade)
+            .unwrap_or_else(|_| panic!("downgrade of non-owner for {line}"));
         self.recalls += 1;
     }
 
@@ -147,12 +207,14 @@ impl Directory {
     pub fn stats(&self) -> (u64, u64) {
         (self.grants, self.recalls)
     }
+}
 
-    /// Publishes the directory's counters into `reg` under `prefix`.
-    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
-        reg.counter_set(&format!("{prefix}.grants"), self.grants);
-        reg.counter_set(&format!("{prefix}.recalls"), self.recalls);
-        reg.counter_set(
+/// Publishes the directory's counters.
+impl Instrumented for Directory {
+    fn export_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.counter_set(&format!("{prefix}.grants"), self.grants);
+        registry.counter_set(&format!("{prefix}.recalls"), self.recalls);
+        registry.counter_set(
             &format!("{prefix}.active_remote_copies"),
             self.active_remote_copies() as u64,
         );
@@ -228,6 +290,36 @@ mod tests {
         d.grant_shared(CacheLine(3));
         d.revoke(CacheLine(3));
         assert_eq!(d.active_remote_copies(), 2);
+    }
+
+    #[test]
+    fn pure_step_matches_the_mutating_api() {
+        use RemoteCopy::*;
+        // Legal lifecycle, as a fold over the pure relation.
+        let s = None.step(DirOp::GrantShared).unwrap();
+        let o = s.step(DirOp::GrantOwner).unwrap();
+        let s2 = o.step(DirOp::Downgrade).unwrap();
+        let n = s2.step(DirOp::Revoke).unwrap();
+        assert_eq!((s, o, s2, n), (Shared, Owner, Shared, None));
+        // The illegal edges are exactly the documented panics.
+        assert!(Owner.step(DirOp::GrantShared).is_err());
+        assert!(Owner.step(DirOp::GrantOwner).is_err());
+        for from in [None, Shared] {
+            assert!(from.step(DirOp::Downgrade).is_err());
+        }
+        // Revoke is total.
+        for from in [None, Shared, Owner] {
+            assert_eq!(from.step(DirOp::Revoke), Ok(None));
+        }
+        let err = Owner.step(DirOp::GrantShared).unwrap_err();
+        assert_eq!(
+            err,
+            DirStepError {
+                from: Owner,
+                op: DirOp::GrantShared
+            }
+        );
+        assert!(err.to_string().contains("GrantShared"));
     }
 
     #[test]

@@ -1,0 +1,1735 @@
+//! Exhaustive state-space exploration of the ECI coherence protocol.
+//!
+//! The paper's protocol tooling ("assertion checkers generated from the
+//! specification", §4.1) validates the transitions a *particular run*
+//! happens to exercise. This module closes the gap to *all* runs for
+//! small configurations: a deterministic, canonicalized breadth-first
+//! search over every interleaving of a bounded protocol model — N
+//! caching agents sharing L lines of one home node, with per-virtual-
+//! channel FIFO queues of bounded depth standing in for the link's
+//! credit pools.
+//!
+//! The model is built from the same side-effect-free step functions the
+//! simulator uses — [`enzian_cache::local_step`] /
+//! [`enzian_cache::probe_step`] for the agent side and
+//! [`RemoteCopy::step`](crate::directory::RemoteCopy::step) for the
+//! home side — so a protocol bug in those relations is visible to both.
+//!
+//! Checked on every reachable state:
+//!
+//! 1. **SWMR** — the single-writer/multiple-reader invariant, via
+//!    [`enzian_cache::check_global_invariant`] over the per-agent
+//!    projection of each line;
+//! 2. **data value** — every readable copy holds the version written by
+//!    the last store (a per-line version counter stands in for data);
+//! 3. **no stuck states** — a non-quiescent state (transient agents,
+//!    queued messages, busy home) must have at least one enabled
+//!    transition; a state with none is a deadlock, including the
+//!    credit-exhaustion deadlocks the virtual-channel assignment exists
+//!    to prevent;
+//! 4. **protocol legality** — an illegal directory step or a message
+//!    arriving in a state that cannot accept it.
+//!
+//! Violations are reported as a [`ViolationReport`] carrying the action
+//! path from the initial state and the message trace of that path,
+//! rendered through the same wire encoding and [`decoder`](crate::decoder)
+//! used for live traces (home is shown as `cpu`, agents as `fpga`, with
+//! the transaction id column carrying the agent index).
+//!
+//! Symmetry reduction: caching agents are interchangeable, so every
+//! state is canonicalized to the minimal byte encoding over all agent
+//! permutations before the visited-set lookup; with at most three
+//! agents that is at most six encodings per state.
+
+use std::collections::{HashMap, VecDeque};
+
+use enzian_cache::{check_global_invariant, local_step, probe_step, CoherenceRequest, LineState};
+use enzian_mem::{Addr, CacheLine, NodeId};
+use enzian_sim::{Duration, LivelockError, Time};
+
+use crate::decoder::{format_trace, TraceBuffer};
+use crate::directory::{DirOp, RemoteCopy};
+use crate::message::{Message, MessageKind, TxnId};
+use crate::system::{EciSystem, EciSystemConfig};
+use crate::txn::TxnOp;
+
+/// A known protocol bug, injected on request so the checker can prove
+/// it would catch it (the mutation self-test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// The home grants a Shared copy from memory while another agent
+    /// owns the line, without recalling ownership first.
+    GrantSharedWhileOwned,
+    /// The home acknowledges an upgrade without invalidating the other
+    /// sharers.
+    SkipInvalidateOnUpgrade,
+    /// The home acknowledges a dirty victim write-back but forgets to
+    /// write the data to memory.
+    ForgetVictimData,
+    /// Agents silently drop their probe responses.
+    DropProbeAck,
+}
+
+/// All mutations, for exhaustive self-tests.
+pub const ALL_MUTATIONS: [Mutation; 4] = [
+    Mutation::GrantSharedWhileOwned,
+    Mutation::SkipInvalidateOnUpgrade,
+    Mutation::ForgetVictimData,
+    Mutation::DropProbeAck,
+];
+
+/// Static configuration of an exploration.
+///
+/// `#[non_exhaustive]`: construct from a named preset
+/// ([`ExploreConfig::two_agent`] / [`ExploreConfig::three_agent`]) and
+/// adjust fields with the `with_*` setters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ExploreConfig {
+    /// Number of caching agents (2 or 3; more is intractable).
+    pub agents: usize,
+    /// Number of cache lines homed at the single home node.
+    pub lines: usize,
+    /// Total stores permitted per line across all agents; bounds the
+    /// data-version space.
+    pub max_writes: u8,
+    /// Depth of each per-virtual-channel FIFO (the credit pool).
+    pub fifo_capacity: usize,
+    /// Whether the home grants Exclusive on a read when it knows there
+    /// are no other sharers (the E-state optimisation).
+    pub e_grant: bool,
+    /// Abort with [`ExploreError::StateLimit`] beyond this many states.
+    pub max_states: u64,
+    /// Protocol bug to inject, if any.
+    pub mutation: Option<Mutation>,
+}
+
+impl ExploreConfig {
+    /// Two agents, one line: the smallest interesting configuration,
+    /// exhaustively explorable in well under a second.
+    pub fn two_agent() -> Self {
+        ExploreConfig {
+            agents: 2,
+            lines: 1,
+            max_writes: 2,
+            fifo_capacity: 2,
+            e_grant: true,
+            max_states: 4_000_000,
+            mutation: None,
+        }
+    }
+
+    /// Three agents, one line: covers the three-party races (probe to a
+    /// sharer while a third agent's request queues behind a busy home).
+    pub fn three_agent() -> Self {
+        ExploreConfig {
+            agents: 3,
+            ..ExploreConfig::two_agent()
+        }
+    }
+
+    /// Returns the config with `agents` replaced.
+    pub fn with_agents(mut self, agents: usize) -> Self {
+        self.agents = agents;
+        self
+    }
+
+    /// Returns the config with `lines` replaced.
+    pub fn with_lines(mut self, lines: usize) -> Self {
+        self.lines = lines;
+        self
+    }
+
+    /// Returns the config with `max_writes` replaced.
+    pub fn with_max_writes(mut self, max_writes: u8) -> Self {
+        self.max_writes = max_writes;
+        self
+    }
+
+    /// Returns the config with `fifo_capacity` replaced.
+    pub fn with_fifo_capacity(mut self, capacity: usize) -> Self {
+        self.fifo_capacity = capacity;
+        self
+    }
+
+    /// Returns the config with `e_grant` replaced.
+    pub fn with_e_grant(mut self, e_grant: bool) -> Self {
+        self.e_grant = e_grant;
+        self
+    }
+
+    /// Returns the config with `max_states` replaced.
+    pub fn with_max_states(mut self, max_states: u64) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Returns the config with `mutation` replaced.
+    pub fn with_mutation(mut self, mutation: Option<Mutation>) -> Self {
+        self.mutation = mutation;
+        self
+    }
+}
+
+/// The invariant a violating state breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two writable copies, or a writable copy next to readable ones.
+    Swmr,
+    /// A readable copy holds a version other than the last one written.
+    DataValue,
+    /// A non-quiescent state with no enabled transition.
+    Deadlock,
+    /// An illegal directory step or a message no state accepts.
+    Protocol,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ViolationKind::Swmr => "SWMR invariant",
+            ViolationKind::DataValue => "data-value invariant",
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::Protocol => "protocol legality",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A counterexample: the shortest action path the search found from the
+/// initial state to a state violating one of the checked invariants.
+#[derive(Debug, Clone)]
+pub struct ViolationReport {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// Human-readable description of the violation itself.
+    pub description: String,
+    /// The actions along the path, one line each.
+    pub actions: Vec<String>,
+    /// The message trace of the path, round-tripped through the wire
+    /// format and rendered by [`crate::decoder::format_record`].
+    pub trace: String,
+}
+
+impl std::fmt::Display for ViolationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} violated: {}", self.kind, self.description)?;
+        writeln!(f, "path ({} actions):", self.actions.len())?;
+        for a in &self.actions {
+            writeln!(f, "  {a}")?;
+        }
+        writeln!(f, "decoded message trace:")?;
+        for l in self.trace.lines() {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic exploration statistics (identical across runs for the
+/// same configuration and seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExploreStats {
+    /// Distinct canonical states visited.
+    pub states: u64,
+    /// Transitions taken (edges of the reachability graph).
+    pub transitions: u64,
+    /// High-water mark of the BFS frontier (or walk depth).
+    pub frontier_peak: u64,
+    /// Depth of the deepest state reached.
+    pub max_depth: u64,
+}
+
+/// The result of a (completed) exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// Search statistics.
+    pub stats: ExploreStats,
+    /// The first violation found, if any.
+    pub violation: Option<ViolationReport>,
+}
+
+/// Why an exploration could not run to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The configured state budget was exhausted before the frontier
+    /// drained; shrink the configuration or raise
+    /// [`ExploreConfig::max_states`].
+    StateLimit {
+        /// The configured limit that was hit.
+        limit: u64,
+    },
+    /// The transaction engine failed to drain its event queue within the
+    /// event budget during a conformance walk.
+    Livelock(LivelockError),
+    /// The transaction engine's online checker flagged a violation
+    /// during a conformance walk.
+    EngineDivergence(String),
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::StateLimit { limit } => {
+                write!(f, "state budget of {limit} states exhausted")
+            }
+            ExploreError::Livelock(e) => write!(f, "conformance walk: {e}"),
+            ExploreError::EngineDivergence(s) => write!(f, "engine diverged: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExploreError::Livelock(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The protocol model
+// ---------------------------------------------------------------------
+
+/// Agent-to-home virtual channels (indices into the per-agent FIFO
+/// array). Home-to-agent traffic is a single in-order queue: probes and
+/// grants from one home may not overtake each other, which the real
+/// link's per-connection frame ordering guarantees.
+const VC_REQ: usize = 0;
+const VC_RESP: usize = 1;
+const VC_EVICT: usize = 2;
+
+/// One agent's view of one line: the five stable MOESI states plus the
+/// transient states of in-flight transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AState {
+    I,
+    S,
+    E,
+    O,
+    M,
+    /// I, waiting for a Shared (or Exclusive) data grant.
+    IsD,
+    /// I, waiting for an Exclusive data grant (store miss).
+    ImD,
+    /// S, waiting for an upgrade ack.
+    SmA,
+    /// O, waiting for an upgrade ack.
+    OmA,
+    /// Released a dirty copy; holding the data until the victim is
+    /// acknowledged (so a crossing probe can still be answered).
+    MiA,
+    /// As `MiA` after a crossing probe took the data; waiting for the
+    /// victim ack only.
+    IiA,
+    /// Released a clean copy; waiting for the victim ack. Without this
+    /// ack a re-request could race the in-flight victim notice and the
+    /// home would revoke the *new* grant when the stale notice lands —
+    /// the exhaustive search finds that bug immediately if clean
+    /// victims are made fire-and-forget.
+    CiA,
+}
+
+impl AState {
+    fn encode(self) -> u8 {
+        self as u8
+    }
+
+    /// The stable MOESI projection used for the global invariants: a
+    /// transient agent is charged with the copy it actually holds.
+    fn project(self) -> LineState {
+        match self {
+            AState::S | AState::SmA => LineState::Shared,
+            AState::E => LineState::Exclusive,
+            AState::O | AState::OmA => LineState::Owned,
+            AState::M => LineState::Modified,
+            // MiA's data is already on the wire to the home and the
+            // agent will never serve a read from it again.
+            AState::I | AState::IsD | AState::ImD | AState::MiA | AState::IiA | AState::CiA => {
+                LineState::Invalid
+            }
+        }
+    }
+
+    fn stable(self) -> bool {
+        matches!(
+            self,
+            AState::I | AState::S | AState::E | AState::O | AState::M
+        )
+    }
+}
+
+/// A protocol message of the model. Lines and data versions are small
+/// integers; the mapping to real [`MessageKind`]s is in
+/// [`ModelState::wire_message`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Msg {
+    GetS(u8),
+    GetM(u8),
+    Upg(u8),
+    VicD(u8, u8),
+    VicC(u8),
+    PAck(u8),
+    PAckD(u8, u8),
+    DataS(u8, u8),
+    DataE(u8, u8),
+    AckM(u8),
+    PrbS(u8),
+    PrbI(u8),
+    VicAck(u8),
+}
+
+impl Msg {
+    fn encode(self) -> [u8; 3] {
+        match self {
+            Msg::GetS(l) => [0, l, 0],
+            Msg::GetM(l) => [1, l, 0],
+            Msg::Upg(l) => [2, l, 0],
+            Msg::VicD(l, v) => [3, l, v],
+            Msg::VicC(l) => [4, l, 0],
+            Msg::PAck(l) => [5, l, 0],
+            Msg::PAckD(l, v) => [6, l, v],
+            Msg::DataS(l, v) => [7, l, v],
+            Msg::DataE(l, v) => [8, l, v],
+            Msg::AckM(l) => [9, l, 0],
+            Msg::PrbS(l) => [10, l, 0],
+            Msg::PrbI(l) => [11, l, 0],
+            Msg::VicAck(l) => [12, l, 0],
+        }
+    }
+
+    fn line(self) -> u8 {
+        self.encode()[1]
+    }
+}
+
+/// What the home is waiting on for a busy line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Want {
+    /// A Shared grant (downgrade probe outstanding).
+    S,
+    /// An ownership grant (invalidation probes outstanding).
+    M,
+    /// An upgrade ack (invalidation probes outstanding).
+    Upg,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Busy {
+    req: u8,
+    want: Want,
+    /// Bitmask of agents whose probe ack is still outstanding.
+    pending: u8,
+    /// Dirty data collected from a probe ack, if any.
+    data: Option<u8>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct HomeLine {
+    /// Per-agent record, driven exclusively through
+    /// [`RemoteCopy::step`].
+    rec: Vec<RemoteCopy>,
+    busy: Option<Busy>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Hold {
+    st: AState,
+    data: u8,
+}
+
+/// The complete model state. `Eq`/hashing go through
+/// [`ModelState::canonical`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ModelState {
+    /// `agents[a][l]`.
+    agents: Vec<Vec<Hold>>,
+    home: Vec<HomeLine>,
+    /// Memory's version of each line.
+    mem: Vec<u8>,
+    /// The globally latest version written to each line.
+    latest: Vec<u8>,
+    /// Remaining store budget per line.
+    writes_left: Vec<u8>,
+    /// `to_home[a][vc]`, vc in {REQ, RESP, EVICT}.
+    to_home: Vec<[VecDeque<Msg>; 3]>,
+    /// Single in-order home-to-agent queue per agent.
+    to_agent: Vec<VecDeque<Msg>>,
+}
+
+/// One transition of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Issue { agent: u8, line: u8, write: bool },
+    Upgrade { agent: u8, line: u8 },
+    StoreLocal { agent: u8, line: u8 },
+    Evict { agent: u8, line: u8 },
+    DeliverHome { agent: u8, vc: u8 },
+    DeliverAgent { agent: u8 },
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::Issue { agent, line, write } => {
+                let k = if *write { "store miss" } else { "load miss" };
+                write!(f, "agent {agent}: {k} on line {line}")
+            }
+            Action::Upgrade { agent, line } => {
+                write!(f, "agent {agent}: upgrade of line {line}")
+            }
+            Action::StoreLocal { agent, line } => {
+                write!(f, "agent {agent}: silent store to line {line}")
+            }
+            Action::Evict { agent, line } => write!(f, "agent {agent}: evict line {line}"),
+            Action::DeliverHome { agent, vc } => {
+                let vc = ["request", "response", "eviction"][*vc as usize];
+                write!(f, "home: deliver {vc} message from agent {agent}")
+            }
+            Action::DeliverAgent { agent } => write!(f, "agent {agent}: deliver home message"),
+        }
+    }
+}
+
+/// A message sent while applying an action, for trace rendering.
+/// `from`/`to` of `None` designate the home.
+#[derive(Debug, Clone, Copy)]
+struct Sent {
+    from: Option<u8>,
+    to: Option<u8>,
+    msg: Msg,
+}
+
+/// A successor: either a new state plus the messages the step put on
+/// the wire, or a protocol-legality error detected while stepping.
+struct Succ {
+    action: Action,
+    result: Result<(ModelState, Vec<Sent>), String>,
+}
+
+impl ModelState {
+    fn init(cfg: &ExploreConfig) -> Self {
+        ModelState {
+            agents: vec![
+                vec![
+                    Hold {
+                        st: AState::I,
+                        data: 0
+                    };
+                    cfg.lines
+                ];
+                cfg.agents
+            ],
+            home: vec![
+                HomeLine {
+                    rec: vec![RemoteCopy::None; cfg.agents],
+                    busy: None,
+                };
+                cfg.lines
+            ],
+            mem: vec![0; cfg.lines],
+            latest: vec![0; cfg.lines],
+            writes_left: vec![cfg.max_writes; cfg.lines],
+            to_home: (0..cfg.agents).map(|_| Default::default()).collect(),
+            to_agent: vec![VecDeque::new(); cfg.agents],
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.agents.iter().all(|a| a.iter().all(|h| h.st.stable()))
+            && self.home.iter().all(|h| h.busy.is_none())
+            && self
+                .to_home
+                .iter()
+                .all(|q| q.iter().all(VecDeque::is_empty))
+            && self.to_agent.iter().all(VecDeque::is_empty)
+    }
+
+    /// Serializes the state under an agent permutation: `perm[i]` is the
+    /// new index of old agent `i`.
+    fn encode_under(&self, perm: &[usize]) -> Vec<u8> {
+        let n = self.agents.len();
+        let mut inv = vec![0usize; n];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new] = old;
+        }
+        let mut out = Vec::with_capacity(64);
+        for &old in &inv {
+            for h in &self.agents[old] {
+                out.push(h.st.encode());
+                out.push(h.data);
+            }
+        }
+        for hl in &self.home {
+            for &old in &inv {
+                out.push(hl.rec[old] as u8);
+            }
+            match hl.busy {
+                None => out.push(0xFF),
+                Some(b) => {
+                    out.push(perm[b.req as usize] as u8);
+                    out.push(b.want as u8);
+                    let mut mask = 0u8;
+                    for (old, &new) in perm.iter().enumerate() {
+                        if b.pending & (1 << old) != 0 {
+                            mask |= 1 << new;
+                        }
+                    }
+                    out.push(mask);
+                    out.push(b.data.map_or(0xFF, |v| v));
+                }
+            }
+        }
+        out.extend_from_slice(&self.mem);
+        out.extend_from_slice(&self.latest);
+        out.extend_from_slice(&self.writes_left);
+        for &old in &inv {
+            for q in &self.to_home[old] {
+                out.push(q.len() as u8);
+                for m in q {
+                    out.extend_from_slice(&m.encode());
+                }
+            }
+        }
+        for &old in &inv {
+            out.push(self.to_agent[old].len() as u8);
+            for m in &self.to_agent[old] {
+                out.extend_from_slice(&m.encode());
+            }
+        }
+        out
+    }
+
+    /// The canonical encoding: minimal over all agent permutations.
+    fn canonical(&self) -> Vec<u8> {
+        let n = self.agents.len();
+        let perms: &[&[usize]] = match n {
+            2 => &[&[0, 1], &[1, 0]],
+            3 => &[
+                &[0, 1, 2],
+                &[0, 2, 1],
+                &[1, 0, 2],
+                &[1, 2, 0],
+                &[2, 0, 1],
+                &[2, 1, 0],
+            ],
+            _ => &[&[0]],
+        };
+        perms
+            .iter()
+            .map(|p| self.encode_under(p))
+            .min()
+            .expect("at least the identity permutation")
+    }
+
+    /// Checks the state invariants; `None` means clean.
+    fn check(&self) -> Option<(ViolationKind, String)> {
+        for l in 0..self.home.len() {
+            let proj: Vec<LineState> = self.agents.iter().map(|a| a[l].st.project()).collect();
+            if let Err(e) = check_global_invariant(&proj) {
+                return Some((ViolationKind::Swmr, format!("line {l}: {e}")));
+            }
+            for (a, hold) in self.agents.iter().map(|ag| &ag[l]).enumerate() {
+                if hold.st.project().is_readable() && hold.data != self.latest[l] {
+                    return Some((
+                        ViolationKind::DataValue,
+                        format!(
+                            "line {l}: agent {a} ({:?}) holds version {} but the last \
+                             store wrote version {}",
+                            hold.st, hold.data, self.latest[l]
+                        ),
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    // -- transition helpers ------------------------------------------
+
+    fn owner_of(&self, l: usize) -> Option<usize> {
+        self.home[l]
+            .rec
+            .iter()
+            .position(|r| *r == RemoteCopy::Owner)
+    }
+
+    fn sharer_mask(&self, l: usize, except: usize) -> u8 {
+        let mut mask = 0u8;
+        for (x, r) in self.home[l].rec.iter().enumerate() {
+            if x != except && *r == RemoteCopy::Shared {
+                mask |= 1 << x;
+            }
+        }
+        mask
+    }
+
+    fn step_rec(&mut self, l: usize, a: usize, op: DirOp) -> Result<(), String> {
+        self.home[l].rec[a] = self.home[l].rec[a].step(op).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    /// Applies a store at the moment its grant lands.
+    fn store(&mut self, a: usize, l: usize) {
+        self.latest[l] = self.latest[l].wrapping_add(1);
+        self.agents[a][l] = Hold {
+            st: AState::M,
+            data: self.latest[l],
+        };
+    }
+
+    /// Processes a request at the head of agent `a`'s request FIFO.
+    /// `Ok(None)` means the step is currently blocked (busy line or no
+    /// output credit) and must stay queued.
+    fn home_request(
+        &mut self,
+        cfg: &ExploreConfig,
+        a: usize,
+        m: Msg,
+        sent: &mut Vec<Sent>,
+    ) -> Result<Option<()>, String> {
+        let l = m.line() as usize;
+        if self.home[l].busy.is_some() {
+            return Ok(None);
+        }
+        let push_agent = |s: &mut Self, to: usize, msg: Msg, sent: &mut Vec<Sent>| {
+            s.to_agent[to].push_back(msg);
+            sent.push(Sent {
+                from: None,
+                to: Some(to as u8),
+                msg,
+            });
+        };
+        match m {
+            Msg::GetS(_) => {
+                // Victim acknowledgement guarantees the record is clear
+                // before the agent can re-request; a stale record here
+                // is a protocol bug.
+                if self.home[l].rec[a] != RemoteCopy::None {
+                    return Err(format!(
+                        "GetS from agent {a} with a live record {:?}",
+                        self.home[l].rec[a]
+                    ));
+                }
+                if let Some(o) = self.owner_of(l) {
+                    if cfg.mutation == Some(Mutation::GrantSharedWhileOwned) {
+                        if self.to_agent[a].len() >= cfg.fifo_capacity {
+                            return Ok(None);
+                        }
+                        // The injected bug: serve from (stale) memory
+                        // while the owner still holds the line dirty.
+                        push_agent(self, a, Msg::DataS(l as u8, self.mem[l]), sent);
+                        self.home[l].rec[a] = RemoteCopy::Shared;
+                        return Ok(Some(()));
+                    }
+                    if self.to_agent[o].len() >= cfg.fifo_capacity {
+                        return Ok(None);
+                    }
+                    push_agent(self, o, Msg::PrbS(l as u8), sent);
+                    self.home[l].busy = Some(Busy {
+                        req: a as u8,
+                        want: Want::S,
+                        pending: 1 << o,
+                        data: None,
+                    });
+                } else {
+                    if self.to_agent[a].len() >= cfg.fifo_capacity {
+                        return Ok(None);
+                    }
+                    if cfg.e_grant && self.sharer_mask(l, a) == 0 {
+                        push_agent(self, a, Msg::DataE(l as u8, self.mem[l]), sent);
+                        self.step_rec(l, a, DirOp::GrantOwner)?;
+                    } else {
+                        push_agent(self, a, Msg::DataS(l as u8, self.mem[l]), sent);
+                        self.step_rec(l, a, DirOp::GrantShared)?;
+                    }
+                }
+            }
+            Msg::GetM(_) => {
+                if self.home[l].rec[a] != RemoteCopy::None {
+                    return Err(format!(
+                        "GetM from agent {a} with a live record {:?}",
+                        self.home[l].rec[a]
+                    ));
+                }
+                self.home_acquire_for_write(cfg, a, l, Want::M, sent)?;
+            }
+            Msg::Upg(_) => match self.home[l].rec[a] {
+                // The requester's copy was invalidated while the upgrade
+                // was in flight; it has already converted to a full
+                // store miss and expects data.
+                RemoteCopy::None => {
+                    self.home_acquire_for_write(cfg, a, l, Want::M, sent)?;
+                }
+                RemoteCopy::Shared | RemoteCopy::Owner => {
+                    if cfg.mutation == Some(Mutation::SkipInvalidateOnUpgrade) {
+                        if self.to_agent[a].len() >= cfg.fifo_capacity {
+                            return Ok(None);
+                        }
+                        // The injected bug: ack the upgrade with the
+                        // other sharers still holding readable copies.
+                        push_agent(self, a, Msg::AckM(l as u8), sent);
+                        if self.home[l].rec[a] != RemoteCopy::Owner {
+                            self.step_rec(l, a, DirOp::GrantOwner)?;
+                        }
+                        return Ok(Some(()));
+                    }
+                    self.home_acquire_for_write(cfg, a, l, Want::Upg, sent)?;
+                }
+            },
+            _ => return Err(format!("{m:?} on the request channel")),
+        }
+        Ok(Some(()))
+    }
+
+    /// Shared tail of GetM/Upg: invalidate every other copy, then grant.
+    /// (Blocked-ness was established by the caller for the no-probe
+    /// path; the probe path re-checks output credits itself.)
+    fn home_acquire_for_write(
+        &mut self,
+        cfg: &ExploreConfig,
+        a: usize,
+        l: usize,
+        want: Want,
+        sent: &mut Vec<Sent>,
+    ) -> Result<(), String> {
+        let mut mask = self.sharer_mask(l, a);
+        if let Some(o) = self.owner_of(l) {
+            if o != a {
+                mask |= 1 << o;
+            }
+        }
+        if mask == 0 {
+            self.grant_write(a, l, want, None, sent)?;
+            return Ok(());
+        }
+        for x in 0..self.agents.len() {
+            if mask & (1 << x) != 0 {
+                self.to_agent[x].push_back(Msg::PrbI(l as u8));
+                sent.push(Sent {
+                    from: None,
+                    to: Some(x as u8),
+                    msg: Msg::PrbI(l as u8),
+                });
+            }
+        }
+        let _ = cfg;
+        self.home[l].busy = Some(Busy {
+            req: a as u8,
+            want,
+            pending: mask,
+            data: None,
+        });
+        Ok(())
+    }
+
+    /// Completes a write acquisition: data grant or upgrade ack.
+    fn grant_write(
+        &mut self,
+        a: usize,
+        l: usize,
+        want: Want,
+        data: Option<u8>,
+        sent: &mut Vec<Sent>,
+    ) -> Result<(), String> {
+        let msg = match want {
+            Want::Upg => Msg::AckM(l as u8),
+            _ => Msg::DataE(l as u8, data.unwrap_or(self.mem[l])),
+        };
+        self.to_agent[a].push_back(msg);
+        sent.push(Sent {
+            from: None,
+            to: Some(a as u8),
+            msg,
+        });
+        if self.home[l].rec[a] != RemoteCopy::Owner {
+            self.step_rec(l, a, DirOp::GrantOwner)?;
+        }
+        Ok(())
+    }
+
+    /// Processes a probe ack from agent `x`.
+    fn home_probe_ack(
+        &mut self,
+        cfg: &ExploreConfig,
+        x: usize,
+        m: Msg,
+        sent: &mut Vec<Sent>,
+    ) -> Result<Option<()>, String> {
+        let l = m.line() as usize;
+        let Some(mut busy) = self.home[l].busy else {
+            return Err(format!("probe ack from agent {x} with line {l} not busy"));
+        };
+        if busy.pending & (1 << x) == 0 {
+            return Err(format!("unexpected probe ack from agent {x} on line {l}"));
+        }
+        // Completion needs an output credit towards the requester.
+        if busy.pending.count_ones() == 1
+            && self.to_agent[busy.req as usize].len() >= cfg.fifo_capacity
+        {
+            return Ok(None);
+        }
+        match (busy.want, m) {
+            (Want::S, Msg::PAckD(_, v)) => {
+                // Dirty downgrade: the data comes home; the ex-owner
+                // keeps an Owned copy, so the record stays Owner.
+                self.mem[l] = v;
+                busy.data = Some(v);
+            }
+            (Want::S, Msg::PAck(_)) => {
+                // Clean downgrade (Exclusive or already-gone copy).
+                if self.home[l].rec[x] == RemoteCopy::Owner {
+                    self.step_rec(l, x, DirOp::Downgrade)?;
+                }
+            }
+            (Want::M | Want::Upg, Msg::PAckD(_, v)) => {
+                self.mem[l] = v;
+                busy.data = Some(v);
+                self.step_rec(l, x, DirOp::Revoke)?;
+            }
+            (Want::M | Want::Upg, Msg::PAck(_)) => {
+                self.step_rec(l, x, DirOp::Revoke)?;
+            }
+            _ => return Err(format!("{m:?} as a probe ack")),
+        }
+        busy.pending &= !(1 << x);
+        if busy.pending == 0 {
+            self.home[l].busy = None;
+            let req = busy.req as usize;
+            match busy.want {
+                Want::S => {
+                    let data = busy.data.unwrap_or(self.mem[l]);
+                    self.to_agent[req].push_back(Msg::DataS(l as u8, data));
+                    sent.push(Sent {
+                        from: None,
+                        to: Some(req as u8),
+                        msg: Msg::DataS(l as u8, data),
+                    });
+                    self.step_rec(l, req, DirOp::GrantShared)?;
+                }
+                w => self.grant_write(req, l, w, busy.data, sent)?,
+            }
+        } else {
+            self.home[l].busy = Some(busy);
+        }
+        Ok(Some(()))
+    }
+
+    /// Processes a victim notification from agent `a`.
+    fn home_victim(
+        &mut self,
+        cfg: &ExploreConfig,
+        a: usize,
+        m: Msg,
+        sent: &mut Vec<Sent>,
+    ) -> Result<Option<()>, String> {
+        let l = m.line() as usize;
+        match m {
+            Msg::VicD(_, v) => {
+                if self.to_agent[a].len() >= cfg.fifo_capacity {
+                    return Ok(None);
+                }
+                if self.home[l].rec[a] == RemoteCopy::Owner
+                    && cfg.mutation != Some(Mutation::ForgetVictimData)
+                {
+                    self.mem[l] = v;
+                }
+                // A victim ends the agent's tenure whatever the record
+                // says: a crossing probe may have already downgraded or
+                // revoked it, in which case the data is stale and
+                // dropped (a fresher copy reached memory via the probe
+                // ack), but the record must still be cleared.
+                self.step_rec(l, a, DirOp::Revoke)?;
+                self.to_agent[a].push_back(Msg::VicAck(l as u8));
+                sent.push(Sent {
+                    from: None,
+                    to: Some(a as u8),
+                    msg: Msg::VicAck(l as u8),
+                });
+            }
+            Msg::VicC(_) => {
+                if self.to_agent[a].len() >= cfg.fifo_capacity {
+                    return Ok(None);
+                }
+                // The record may already be clear if a crossing probe
+                // revoked the copy first; the ack is still owed.
+                if self.home[l].rec[a] != RemoteCopy::None {
+                    self.step_rec(l, a, DirOp::Revoke)?;
+                }
+                self.to_agent[a].push_back(Msg::VicAck(l as u8));
+                sent.push(Sent {
+                    from: None,
+                    to: Some(a as u8),
+                    msg: Msg::VicAck(l as u8),
+                });
+            }
+            _ => return Err(format!("{m:?} on the eviction channel")),
+        }
+        Ok(Some(()))
+    }
+
+    /// Processes the message at the head of agent `a`'s inbound queue.
+    fn agent_receive(
+        &mut self,
+        cfg: &ExploreConfig,
+        a: usize,
+        m: Msg,
+        sent: &mut Vec<Sent>,
+    ) -> Result<Option<()>, String> {
+        let l = m.line() as usize;
+        let st = self.agents[a][l].st;
+        match m {
+            Msg::DataS(_, v) => match st {
+                AState::IsD => {
+                    self.agents[a][l] = Hold {
+                        st: AState::S,
+                        data: v,
+                    }
+                }
+                _ => return Err(format!("DataS while agent {a} line {l} is {st:?}")),
+            },
+            Msg::DataE(_, v) => match st {
+                AState::IsD => {
+                    self.agents[a][l] = Hold {
+                        st: AState::E,
+                        data: v,
+                    }
+                }
+                AState::ImD => self.store(a, l),
+                _ => return Err(format!("DataE while agent {a} line {l} is {st:?}")),
+            },
+            Msg::AckM(_) => match st {
+                AState::SmA | AState::OmA => self.store(a, l),
+                _ => return Err(format!("AckM while agent {a} line {l} is {st:?}")),
+            },
+            Msg::VicAck(_) => match st {
+                AState::MiA | AState::IiA | AState::CiA => self.agents[a][l].st = AState::I,
+                _ => return Err(format!("VicAck while agent {a} line {l} is {st:?}")),
+            },
+            Msg::PrbS(_) | Msg::PrbI(_) => {
+                let invalidate = matches!(m, Msg::PrbI(_));
+                let drop_ack = cfg.mutation == Some(Mutation::DropProbeAck);
+                if !drop_ack && self.to_home[a][VC_RESP].len() >= cfg.fifo_capacity {
+                    return Ok(None);
+                }
+                let hold = self.agents[a][l];
+                let (next, dirty) = match st {
+                    // Stable states follow the pure probe relation.
+                    AState::I | AState::S | AState::E | AState::O | AState::M => {
+                        let p = probe_step(st.project(), invalidate);
+                        let next = match p.next {
+                            LineState::Invalid => AState::I,
+                            LineState::Shared => AState::S,
+                            LineState::Owned => AState::O,
+                            s => {
+                                return Err(format!("probe left agent {a} line {l} in {s}"));
+                            }
+                        };
+                        (next, p.supplies_data)
+                    }
+                    // Transients waiting on data hold no copy yet.
+                    AState::IsD | AState::ImD => (st, false),
+                    // An invalidation converts a pending upgrade into a
+                    // full store miss; a downgrade leaves it pending.
+                    AState::SmA => (if invalidate { AState::ImD } else { AState::SmA }, false),
+                    AState::OmA => (if invalidate { AState::ImD } else { AState::OmA }, true),
+                    // A crossing probe takes the in-flight victim data.
+                    AState::MiA => (AState::IiA, true),
+                    AState::IiA | AState::CiA => (st, false),
+                };
+                self.agents[a][l].st = next;
+                if next == AState::I || next == AState::ImD || next == AState::IiA {
+                    self.agents[a][l].data = 0;
+                }
+                if !drop_ack {
+                    let reply = if dirty {
+                        Msg::PAckD(l as u8, hold.data)
+                    } else {
+                        Msg::PAck(l as u8)
+                    };
+                    self.to_home[a][VC_RESP].push_back(reply);
+                    sent.push(Sent {
+                        from: Some(a as u8),
+                        to: None,
+                        msg: reply,
+                    });
+                }
+            }
+            _ => return Err(format!("{m:?} sent towards an agent")),
+        }
+        Ok(Some(()))
+    }
+
+    /// All enabled transitions, in a fixed deterministic order.
+    fn successors(&self, cfg: &ExploreConfig) -> Vec<Succ> {
+        let mut out = Vec::new();
+        let n = self.agents.len();
+        // Agent-local actions: issues, upgrades, silent stores, evicts.
+        for a in 0..n {
+            for l in 0..self.home.len() {
+                let hold = self.agents[a][l];
+                if hold.st.stable() {
+                    let room = self.to_home[a][VC_REQ].len() < cfg.fifo_capacity;
+                    for write in [false, true] {
+                        if !hold.st.stable() {
+                            continue;
+                        }
+                        let step = local_step(hold.st.project(), write);
+                        match step.request {
+                            Some(CoherenceRequest::ReadShared) if room && !write => {
+                                out.push(self.apply_issue(a, l, false, Msg::GetS(l as u8)));
+                            }
+                            Some(CoherenceRequest::ReadExclusive)
+                                if room && write && self.writes_left[l] > 0 =>
+                            {
+                                out.push(self.apply_issue(a, l, true, Msg::GetM(l as u8)));
+                            }
+                            Some(CoherenceRequest::Upgrade)
+                                if room && write && self.writes_left[l] > 0 =>
+                            {
+                                out.push(self.apply_issue(a, l, true, Msg::Upg(l as u8)));
+                            }
+                            None if write
+                                && self.writes_left[l] > 0
+                                && hold.st.project().is_writable() =>
+                            {
+                                let mut s = self.clone();
+                                s.writes_left[l] -= 1;
+                                s.store(a, l);
+                                out.push(Succ {
+                                    action: Action::StoreLocal {
+                                        agent: a as u8,
+                                        line: l as u8,
+                                    },
+                                    result: Ok((s, Vec::new())),
+                                });
+                            }
+                            _ => {}
+                        }
+                    }
+                    // Voluntary eviction.
+                    let evict_room = self.to_home[a][VC_EVICT].len() < cfg.fifo_capacity;
+                    if evict_room && hold.st != AState::I {
+                        let mut s = self.clone();
+                        let msg = if hold.st.project().is_dirty() {
+                            s.agents[a][l].st = AState::MiA;
+                            Msg::VicD(l as u8, hold.data)
+                        } else {
+                            s.agents[a][l] = Hold {
+                                st: AState::CiA,
+                                data: 0,
+                            };
+                            Msg::VicC(l as u8)
+                        };
+                        s.to_home[a][VC_EVICT].push_back(msg);
+                        out.push(Succ {
+                            action: Action::Evict {
+                                agent: a as u8,
+                                line: l as u8,
+                            },
+                            result: Ok((
+                                s,
+                                vec![Sent {
+                                    from: Some(a as u8),
+                                    to: None,
+                                    msg,
+                                }],
+                            )),
+                        });
+                    }
+                }
+            }
+        }
+        // Message deliveries.
+        for a in 0..n {
+            for vc in [VC_REQ, VC_RESP, VC_EVICT] {
+                if let Some(&m) = self.to_home[a][vc].front() {
+                    let mut s = self.clone();
+                    s.to_home[a][vc].pop_front();
+                    let mut sent = Vec::new();
+                    let r = match vc {
+                        VC_REQ => s.home_request(cfg, a, m, &mut sent),
+                        VC_RESP => s.home_probe_ack(cfg, a, m, &mut sent),
+                        _ => s.home_victim(cfg, a, m, &mut sent),
+                    };
+                    let action = Action::DeliverHome {
+                        agent: a as u8,
+                        vc: vc as u8,
+                    };
+                    match r {
+                        Ok(Some(())) => out.push(Succ {
+                            action,
+                            result: Ok((s, sent)),
+                        }),
+                        Ok(None) => {} // blocked; stays queued
+                        Err(e) => out.push(Succ {
+                            action,
+                            result: Err(e),
+                        }),
+                    }
+                }
+            }
+            if let Some(&m) = self.to_agent[a].front() {
+                let mut s = self.clone();
+                s.to_agent[a].pop_front();
+                let mut sent = Vec::new();
+                let action = Action::DeliverAgent { agent: a as u8 };
+                match s.agent_receive(cfg, a, m, &mut sent) {
+                    Ok(Some(())) => out.push(Succ {
+                        action,
+                        result: Ok((s, sent)),
+                    }),
+                    Ok(None) => {}
+                    Err(e) => out.push(Succ {
+                        action,
+                        result: Err(e),
+                    }),
+                }
+            }
+        }
+        out
+    }
+
+    fn apply_issue(&self, a: usize, l: usize, write: bool, msg: Msg) -> Succ {
+        let mut s = self.clone();
+        s.agents[a][l].st = match (msg, s.agents[a][l].st) {
+            (Msg::GetS(_), _) => AState::IsD,
+            (Msg::GetM(_), _) => AState::ImD,
+            (Msg::Upg(_), AState::O) => AState::OmA,
+            (Msg::Upg(_), _) => AState::SmA,
+            _ => unreachable!("issue of a non-request"),
+        };
+        if write {
+            s.writes_left[l] -= 1;
+        }
+        if matches!(msg, Msg::GetS(_) | Msg::GetM(_)) {
+            s.agents[a][l].data = 0;
+        }
+        s.to_home[a][VC_REQ].push_back(msg);
+        let action = if matches!(msg, Msg::Upg(_)) {
+            Action::Upgrade {
+                agent: a as u8,
+                line: l as u8,
+            }
+        } else {
+            Action::Issue {
+                agent: a as u8,
+                line: l as u8,
+                write,
+            }
+        };
+        Succ {
+            action,
+            result: Ok((
+                s,
+                vec![Sent {
+                    from: Some(a as u8),
+                    to: None,
+                    msg,
+                }],
+            )),
+        }
+    }
+
+    /// Maps a model message onto the real ECI message set for trace
+    /// rendering. The home renders as the CPU node, every agent as the
+    /// FPGA node, and the transaction id carries the agent index.
+    fn wire_message(sent: &Sent) -> Message {
+        let line = CacheLine(sent.msg.line() as u64);
+        let payload = |v: u8| Box::new([v; 128]);
+        let kind = match sent.msg {
+            Msg::GetS(_) => MessageKind::ReadShared(line),
+            Msg::GetM(_) => MessageKind::ReadExclusive(line),
+            Msg::Upg(_) => MessageKind::Upgrade(line),
+            Msg::VicD(_, v) => MessageKind::VictimDirty(line, payload(v)),
+            Msg::VicC(_) => MessageKind::VictimClean(line),
+            Msg::PAck(_) => MessageKind::ProbeAck(line),
+            Msg::PAckD(_, v) => MessageKind::ProbeAckData(line, payload(v)),
+            Msg::DataS(_, v) => MessageKind::DataShared(line, payload(v)),
+            Msg::DataE(_, v) => MessageKind::DataExclusive(line, payload(v)),
+            Msg::AckM(_) | Msg::VicAck(_) => MessageKind::Ack(line),
+            Msg::PrbS(_) => MessageKind::ProbeShared(line),
+            Msg::PrbI(_) => MessageKind::ProbeInvalidate(line),
+        };
+        let (src, dst, agent) = match (sent.from, sent.to) {
+            (Some(a), None) => (NodeId::Fpga, NodeId::Cpu, a),
+            (None, Some(a)) => (NodeId::Cpu, NodeId::Fpga, a),
+            _ => unreachable!("model messages travel between an agent and the home"),
+        };
+        Message::new(src, dst, TxnId(agent as u32), kind)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------
+
+/// Node of the BFS reachability graph.
+struct Node {
+    state: ModelState,
+    parent: usize,
+    action: Option<Action>,
+    depth: u64,
+}
+
+/// The state-space explorer. See the module docs for the model and the
+/// invariants it checks.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    cfg: ExploreConfig,
+}
+
+impl Explorer {
+    /// Creates an explorer for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is outside the tractable envelope
+    /// (1–3 agents, 1–4 lines, FIFO capacity ≥ 1).
+    pub fn new(cfg: ExploreConfig) -> Self {
+        assert!(
+            (1..=3).contains(&cfg.agents),
+            "agents must be 1..=3, got {}",
+            cfg.agents
+        );
+        assert!(
+            (1..=4).contains(&cfg.lines),
+            "lines must be 1..=4, got {}",
+            cfg.lines
+        );
+        assert!(cfg.fifo_capacity >= 1, "fifo_capacity must be at least 1");
+        Explorer { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExploreConfig {
+        &self.cfg
+    }
+
+    /// Exhaustive canonicalized BFS from the initial state. Returns the
+    /// statistics and the first (shortest-path) violation found, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::StateLimit`] if the state budget runs
+    /// out before the frontier drains.
+    pub fn run_exhaustive(&self) -> Result<ExploreOutcome, ExploreError> {
+        let cfg = &self.cfg;
+        let init = ModelState::init(cfg);
+        let mut nodes: Vec<Node> = vec![Node {
+            state: init.clone(),
+            parent: 0,
+            action: None,
+            depth: 0,
+        }];
+        let mut visited: HashMap<Vec<u8>, usize> = HashMap::new();
+        visited.insert(init.canonical(), 0);
+        let mut frontier: VecDeque<usize> = VecDeque::from([0]);
+        let mut stats = ExploreStats {
+            states: 1,
+            frontier_peak: 1,
+            ..ExploreStats::default()
+        };
+
+        if let Some((kind, description)) = init.check() {
+            return Ok(ExploreOutcome {
+                stats,
+                violation: Some(self.report(&nodes, 0, kind, description)),
+            });
+        }
+
+        while let Some(idx) = frontier.pop_front() {
+            let succs = nodes[idx].state.successors(cfg);
+            if succs.is_empty() && !nodes[idx].state.quiescent() {
+                return Ok(ExploreOutcome {
+                    stats,
+                    violation: Some(self.report(
+                        &nodes,
+                        idx,
+                        ViolationKind::Deadlock,
+                        "no transition is enabled but the system is not quiescent".into(),
+                    )),
+                });
+            }
+            let depth = nodes[idx].depth;
+            for succ in succs {
+                stats.transitions += 1;
+                match succ.result {
+                    Err(e) => {
+                        // Render the path up to the offending action.
+                        let mut report = self.report(&nodes, idx, ViolationKind::Protocol, e);
+                        report.actions.push(succ.action.to_string());
+                        return Ok(ExploreOutcome {
+                            stats,
+                            violation: Some(report),
+                        });
+                    }
+                    Ok((state, _)) => {
+                        let key = state.canonical();
+                        if visited.contains_key(&key) {
+                            continue;
+                        }
+                        let node_idx = nodes.len();
+                        visited.insert(key, node_idx);
+                        nodes.push(Node {
+                            state,
+                            parent: idx,
+                            action: Some(succ.action),
+                            depth: depth + 1,
+                        });
+                        stats.states += 1;
+                        stats.max_depth = stats.max_depth.max(depth + 1);
+                        if stats.states > cfg.max_states {
+                            return Err(ExploreError::StateLimit {
+                                limit: cfg.max_states,
+                            });
+                        }
+                        if let Some((kind, description)) = nodes[node_idx].state.check() {
+                            return Ok(ExploreOutcome {
+                                stats,
+                                violation: Some(self.report(&nodes, node_idx, kind, description)),
+                            });
+                        }
+                        frontier.push_back(node_idx);
+                        stats.frontier_peak = stats.frontier_peak.max(frontier.len() as u64);
+                    }
+                }
+            }
+        }
+        Ok(ExploreOutcome {
+            stats,
+            violation: None,
+        })
+    }
+
+    /// Seeded random walk: follows one pseudo-random enabled transition
+    /// per step for up to `max_steps` steps, checking the same
+    /// invariants as the exhaustive search. Deterministic for a given
+    /// seed and configuration. Useful for configurations whose full
+    /// state space is out of reach.
+    pub fn random_walk(&self, seed: u64, max_steps: u64) -> ExploreOutcome {
+        let cfg = &self.cfg;
+        let mut rng = SplitMix64::new(seed);
+        let mut state = ModelState::init(cfg);
+        let mut path: Vec<Action> = Vec::new();
+        let mut stats = ExploreStats {
+            states: 1,
+            ..ExploreStats::default()
+        };
+        for step in 0..max_steps {
+            if let Some((kind, description)) = state.check() {
+                return ExploreOutcome {
+                    stats,
+                    violation: Some(self.report_path(&path, kind, description)),
+                };
+            }
+            let succs = state.successors(cfg);
+            if succs.is_empty() {
+                if state.quiescent() {
+                    break;
+                }
+                return ExploreOutcome {
+                    stats,
+                    violation: Some(self.report_path(
+                        &path,
+                        ViolationKind::Deadlock,
+                        "no transition is enabled but the system is not quiescent".into(),
+                    )),
+                };
+            }
+            let pick = (rng.next() % succs.len() as u64) as usize;
+            let succ = &succs[pick];
+            match &succ.result {
+                Err(e) => {
+                    let mut report = self.report_path(&path, ViolationKind::Protocol, e.clone());
+                    report.actions.push(succ.action.to_string());
+                    return ExploreOutcome {
+                        stats,
+                        violation: Some(report),
+                    };
+                }
+                Ok((next, _)) => {
+                    path.push(succ.action);
+                    state = next.clone();
+                    stats.states += 1;
+                    stats.transitions += 1;
+                    stats.max_depth = step + 1;
+                    stats.frontier_peak = 1;
+                }
+            }
+        }
+        let violation = state
+            .check()
+            .map(|(kind, description)| self.report_path(&path, kind, description));
+        ExploreOutcome { stats, violation }
+    }
+
+    /// Conformance walk against the real transaction engine: drives an
+    /// [`EciSystem`] with a seeded op mix over a handful of shared
+    /// lines, bounding every drain with
+    /// [`EciSystem::run_to_idle_bounded`] so an engine livelock
+    /// surfaces as [`ExploreError::Livelock`] instead of a hang, and
+    /// checking the engine's online protocol checker stayed clean.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::Livelock`] if an event budget is exhausted;
+    /// [`ExploreError::EngineDivergence`] if the online checker flagged
+    /// a violation.
+    pub fn engine_walk(
+        seed: u64,
+        ops: usize,
+        max_events: u64,
+    ) -> Result<ExploreStats, ExploreError> {
+        let mut sys = EciSystem::new(EciSystemConfig::enzian());
+        let mut rng = SplitMix64::new(seed);
+        let lines: Vec<Addr> = (0..4).map(|i| Addr(0x40_000 + i * 128)).collect();
+        let mut events = 0u64;
+        let mut batch = Vec::new();
+        for i in 0..ops {
+            let addr = lines[(rng.next() % lines.len() as u64) as usize];
+            let op = match rng.next() % 4 {
+                0 => TxnOp::FpgaRead,
+                1 => TxnOp::FpgaWrite([i as u8; 128]),
+                2 => TxnOp::CpuRead,
+                _ => TxnOp::CpuWrite([i as u8; 128]),
+            };
+            batch.push(sys.issue(Time::ZERO, addr, op));
+            if batch.len() == 4 || i + 1 == ops {
+                events += sys
+                    .run_to_idle_bounded(max_events)
+                    .map_err(ExploreError::Livelock)?;
+                batch.clear();
+            }
+        }
+        if !sys.checker().violations().is_empty() {
+            return Err(ExploreError::EngineDivergence(format!(
+                "{} checker violations after {ops} ops",
+                sys.checker().violations().len()
+            )));
+        }
+        Ok(ExploreStats {
+            states: ops as u64,
+            transitions: events,
+            frontier_peak: 0,
+            max_depth: 0,
+        })
+    }
+
+    /// Builds a report for the path ending at `idx`.
+    fn report(
+        &self,
+        nodes: &[Node],
+        idx: usize,
+        kind: ViolationKind,
+        description: String,
+    ) -> ViolationReport {
+        let mut actions = Vec::new();
+        let mut cur = idx;
+        while let Some(a) = nodes[cur].action {
+            actions.push(a);
+            cur = nodes[cur].parent;
+        }
+        actions.reverse();
+        self.report_path(&actions, kind, description)
+    }
+
+    /// Builds a report by replaying `path` from the initial state and
+    /// capturing every message the replay puts on the wire.
+    fn report_path(
+        &self,
+        path: &[Action],
+        kind: ViolationKind,
+        description: String,
+    ) -> ViolationReport {
+        let mut state = ModelState::init(&self.cfg);
+        let mut buf = TraceBuffer::new();
+        let mut step = 0u64;
+        for action in path {
+            let succs = state.successors(&self.cfg);
+            let Some(succ) = succs.iter().find(|s| s.action == *action) else {
+                break; // the final action errored; nothing more to replay
+            };
+            if let Ok((next, sent)) = &succ.result {
+                for s in sent {
+                    buf.capture(
+                        Time::ZERO + Duration::from_ns(step),
+                        &ModelState::wire_message(s),
+                    );
+                    step += 1;
+                }
+                state = next.clone();
+            }
+        }
+        ViolationReport {
+            kind,
+            description,
+            actions: path.iter().map(Action::to_string).collect(),
+            trace: format_trace(&buf),
+        }
+    }
+}
+
+/// SplitMix64: tiny, seedable, and good enough to scatter a walk.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_agent_one_line_is_clean() {
+        let out = Explorer::new(ExploreConfig::two_agent())
+            .run_exhaustive()
+            .expect("within state budget");
+        assert!(
+            out.violation.is_none(),
+            "unexpected violation:\n{}",
+            out.violation.unwrap()
+        );
+        assert!(out.stats.states > 500, "suspiciously small state space");
+        assert!(out.stats.transitions > out.stats.states);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let run = || {
+            Explorer::new(ExploreConfig::two_agent())
+                .run_exhaustive()
+                .unwrap()
+                .stats
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn no_e_grant_variant_is_clean_too() {
+        let out = Explorer::new(ExploreConfig::two_agent().with_e_grant(false))
+            .run_exhaustive()
+            .expect("within state budget");
+        assert!(out.violation.is_none());
+    }
+
+    #[test]
+    fn every_mutation_is_caught_with_a_decoded_counterexample() {
+        for m in ALL_MUTATIONS {
+            let cfg = ExploreConfig::two_agent().with_mutation(Some(m));
+            let out = Explorer::new(cfg).run_exhaustive().expect("budget");
+            let v = out
+                .violation
+                .unwrap_or_else(|| panic!("{m:?} was not caught"));
+            match m {
+                Mutation::GrantSharedWhileOwned | Mutation::SkipInvalidateOnUpgrade => {
+                    assert!(
+                        matches!(v.kind, ViolationKind::Swmr | ViolationKind::DataValue),
+                        "{m:?} flagged as {:?}",
+                        v.kind
+                    );
+                }
+                Mutation::ForgetVictimData => {
+                    assert_eq!(v.kind, ViolationKind::DataValue, "{m:?}: {v}");
+                }
+                Mutation::DropProbeAck => {
+                    assert_eq!(v.kind, ViolationKind::Deadlock, "{m:?}: {v}");
+                }
+            }
+            assert!(!v.actions.is_empty(), "{m:?}: empty action path");
+            // The counterexample trace went through the real wire
+            // format and decoder.
+            if m != Mutation::DropProbeAck {
+                assert!(
+                    v.trace.contains("cpu") && v.trace.contains("fpga"),
+                    "{m:?}: trace not decoded:\n{}",
+                    v.trace
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_limit_is_a_checked_error() {
+        let cfg = ExploreConfig::two_agent().with_max_states(10);
+        let err = Explorer::new(cfg).run_exhaustive().unwrap_err();
+        assert_eq!(err, ExploreError::StateLimit { limit: 10 });
+        assert!(err.to_string().contains("10"));
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_and_clean() {
+        let e = Explorer::new(ExploreConfig::three_agent().with_lines(2));
+        let a = e.random_walk(7, 4_000);
+        let b = e.random_walk(7, 4_000);
+        assert_eq!(a.stats, b.stats);
+        assert!(a.violation.is_none(), "{}", a.violation.unwrap());
+        assert!(a.stats.transitions > 0);
+    }
+
+    #[test]
+    fn random_walk_finds_an_injected_bug() {
+        let cfg = ExploreConfig::two_agent().with_mutation(Some(Mutation::ForgetVictimData));
+        let e = Explorer::new(cfg);
+        // Some seed in a small set must trip over the bug.
+        let found = (0..8).any(|seed| e.random_walk(seed, 20_000).violation.is_some());
+        assert!(found, "no seed found the forgotten write-back");
+    }
+
+    #[test]
+    fn engine_walk_conforms_and_bounds_livelock() {
+        let stats = Explorer::engine_walk(3, 32, 200_000).expect("engine walk clean");
+        assert_eq!(stats.states, 32);
+        assert!(stats.transitions > 0);
+        // A starved budget must surface as a checked livelock error,
+        // not a hang.
+        let err = Explorer::engine_walk(3, 32, 3).unwrap_err();
+        assert!(matches!(err, ExploreError::Livelock(_)), "{err}");
+        assert!(err.to_string().contains("event budget"));
+    }
+
+    #[test]
+    fn canonicalization_merges_symmetric_states() {
+        // Agent 0 reads, vs agent 1 reads: one canonical state each
+        // step, so the visited count with 2 agents must be well below
+        // 2x the asymmetric count.
+        let cfg = ExploreConfig::two_agent();
+        let st = ModelState::init(&cfg);
+        let succs = st.successors(&cfg);
+        let keys: Vec<Vec<u8>> = succs
+            .iter()
+            .filter_map(|s| s.result.as_ref().ok())
+            .map(|(s, _)| s.canonical())
+            .collect();
+        let mut deduped = keys.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert!(
+            deduped.len() < keys.len(),
+            "symmetric successors were not merged"
+        );
+    }
+
+    #[test]
+    fn violation_report_renders_the_full_story() {
+        let cfg = ExploreConfig::two_agent().with_mutation(Some(Mutation::SkipInvalidateOnUpgrade));
+        let out = Explorer::new(cfg).run_exhaustive().unwrap();
+        let v = out.violation.expect("must be caught");
+        let rendered = v.to_string();
+        assert!(rendered.contains("violated"));
+        assert!(rendered.contains("path ("));
+        assert!(rendered.contains("decoded message trace"));
+    }
+}

@@ -31,6 +31,11 @@
 //!   stream, recovering CRC failures and losses by NAK-driven replay;
 //! * [`checker`] — assertion checkers "generated from the specification":
 //!   they validate every observed transition and global invariant online;
+//! * [`explore`] — an exhaustive, canonicalized state-space explorer
+//!   over a bounded protocol model: every interleaving of small
+//!   configurations is checked for the SWMR and data-value invariants,
+//!   stuck states, and credit deadlocks, with counterexamples rendered
+//!   as decoded message traces;
 //! * [`decoder`] — the Wireshark-plugin analogue: decodes captured wire
 //!   traffic into human-readable trace records;
 //! * [`cosim`] — the co-simulation harness: framed endpoints speaking
@@ -41,6 +46,7 @@ pub mod checker;
 pub mod cosim;
 pub mod decoder;
 pub mod directory;
+pub mod explore;
 pub mod link;
 pub mod message;
 pub mod replay;
@@ -50,7 +56,11 @@ pub mod wire;
 
 pub use checker::{CheckerError, ProtocolChecker};
 pub use cosim::{CosimEndpoint, CosimHome, Loopback};
-pub use directory::{Directory, DirectoryEntry};
+pub use directory::{DirOp, DirStepError, Directory, DirectoryEntry, RemoteCopy};
+pub use explore::{
+    ExploreConfig, ExploreError, ExploreOutcome, ExploreStats, Explorer, Mutation, ViolationKind,
+    ViolationReport, ALL_MUTATIONS,
+};
 pub use link::{EciLinkConfig, EciLinks, LinkPolicy, LinkState, VirtualChannel};
 pub use message::{Message, MessageKind, TxnId};
 pub use replay::{ReplayReceiver, ReplaySender, SealedFrame, Verdict};

@@ -109,7 +109,11 @@ pub enum LinkPolicy {
 }
 
 /// Static link-layer configuration.
+///
+/// `#[non_exhaustive]`: construct from the [`EciLinkConfig::enzian`]
+/// preset and adjust fields with the `with_*` setters.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct EciLinkConfig {
     /// Lanes per link as built (12 on Enzian).
     pub lanes_per_link: u8,
@@ -149,6 +153,60 @@ impl EciLinkConfig {
             credit_return: Duration::from_ns(25),
             replay_timeout: Duration::from_ns(500),
         }
+    }
+
+    /// Returns the config with `lanes_per_link` replaced.
+    pub fn with_lanes_per_link(mut self, lanes_per_link: u8) -> Self {
+        self.lanes_per_link = lanes_per_link;
+        self
+    }
+
+    /// Returns the config with `lane_bits_per_sec` replaced.
+    pub fn with_lane_bits_per_sec(mut self, lane_bits_per_sec: u64) -> Self {
+        self.lane_bits_per_sec = lane_bits_per_sec;
+        self
+    }
+
+    /// Returns the config with `coding_efficiency` replaced.
+    pub fn with_coding_efficiency(mut self, coding_efficiency: f64) -> Self {
+        self.coding_efficiency = coding_efficiency;
+        self
+    }
+
+    /// Returns the config with `propagation` replaced.
+    pub fn with_propagation(mut self, propagation: Duration) -> Self {
+        self.propagation = propagation;
+        self
+    }
+
+    /// Returns the config with `training_time` replaced.
+    pub fn with_training_time(mut self, training_time: Duration) -> Self {
+        self.training_time = training_time;
+        self
+    }
+
+    /// Returns the config with `credits_per_vc` replaced.
+    pub fn with_credits_per_vc(mut self, credits_per_vc: u32) -> Self {
+        self.credits_per_vc = credits_per_vc;
+        self
+    }
+
+    /// Returns the config with `response_data_credits` replaced.
+    pub fn with_response_data_credits(mut self, response_data_credits: u32) -> Self {
+        self.response_data_credits = response_data_credits;
+        self
+    }
+
+    /// Returns the config with `credit_return` replaced.
+    pub fn with_credit_return(mut self, credit_return: Duration) -> Self {
+        self.credit_return = credit_return;
+        self
+    }
+
+    /// Returns the config with `replay_timeout` replaced.
+    pub fn with_replay_timeout(mut self, replay_timeout: Duration) -> Self {
+        self.replay_timeout = replay_timeout;
+        self
     }
 
     fn channel_config(&self, lanes: u8) -> ChannelConfig {
@@ -624,28 +682,30 @@ impl EciLinks {
         let i = vc.index();
         (self.vc_credit_stalls[i], self.vc_credit_stall_ps[i])
     }
+}
 
-    /// Publishes the link layer's counters into `reg` under `prefix`:
-    /// totals, training/fallback events, and per-virtual-channel message,
-    /// byte and credit-stall counts (`prefix.vc.<name>.*`).
-    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
-        reg.counter_set(&format!("{prefix}.messages"), self.messages_sent);
-        reg.counter_set(&format!("{prefix}.bytes"), self.bytes_sent);
-        reg.counter_set(&format!("{prefix}.trainings"), self.trainings);
-        reg.counter_set(&format!("{prefix}.fallbacks"), self.fallbacks);
-        reg.counter_set(&format!("{prefix}.retransmissions"), self.retransmissions);
-        reg.counter_set(&format!("{prefix}.frames_corrupted"), self.frames_corrupted);
-        reg.counter_set(&format!("{prefix}.frames_dropped"), self.frames_dropped);
-        reg.counter_set(&format!("{prefix}.lane_failures"), self.lane_failures);
-        reg.counter_set(&format!("{prefix}.recovery_ps"), self.recovery_ps);
-        reg.gauge_set(&format!("{prefix}.degraded"), self.degraded_fraction());
+/// Publishes the link layer's counters: totals, training/fallback
+/// events, and per-virtual-channel message, byte and credit-stall counts
+/// (`prefix.vc.<name>.*`).
+impl enzian_sim::Instrumented for EciLinks {
+    fn export_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.counter_set(&format!("{prefix}.messages"), self.messages_sent);
+        registry.counter_set(&format!("{prefix}.bytes"), self.bytes_sent);
+        registry.counter_set(&format!("{prefix}.trainings"), self.trainings);
+        registry.counter_set(&format!("{prefix}.fallbacks"), self.fallbacks);
+        registry.counter_set(&format!("{prefix}.retransmissions"), self.retransmissions);
+        registry.counter_set(&format!("{prefix}.frames_corrupted"), self.frames_corrupted);
+        registry.counter_set(&format!("{prefix}.frames_dropped"), self.frames_dropped);
+        registry.counter_set(&format!("{prefix}.lane_failures"), self.lane_failures);
+        registry.counter_set(&format!("{prefix}.recovery_ps"), self.recovery_ps);
+        registry.gauge_set(&format!("{prefix}.degraded"), self.degraded_fraction());
         for vc in VirtualChannel::ALL {
             let i = vc.index();
             let base = format!("{prefix}.vc.{}", vc.name());
-            reg.counter_set(&format!("{base}.messages"), self.vc_messages[i]);
-            reg.counter_set(&format!("{base}.bytes"), self.vc_bytes[i]);
-            reg.counter_set(&format!("{base}.credit_stalls"), self.vc_credit_stalls[i]);
-            reg.counter_set(
+            registry.counter_set(&format!("{base}.messages"), self.vc_messages[i]);
+            registry.counter_set(&format!("{base}.bytes"), self.vc_bytes[i]);
+            registry.counter_set(&format!("{base}.credit_stalls"), self.vc_credit_stalls[i]);
+            registry.counter_set(
                 &format!("{base}.credit_stall_ps"),
                 self.vc_credit_stall_ps[i],
             );
@@ -844,7 +904,7 @@ mod tests {
         assert!(stalls >= 2, "burst of 4 over 2 credits must stall");
         assert!(stall_ps > 0);
         let mut reg = MetricsRegistry::new();
-        l.export_metrics(&mut reg, "eci.link");
+        enzian_sim::Instrumented::export_metrics(&l, "eci.link", &mut reg);
         assert_eq!(reg.counter("eci.link.vc.request.credit_stalls"), stalls);
         assert_eq!(reg.counter("eci.link.vc.request.credit_stall_ps"), stall_ps);
         assert_eq!(reg.counter("eci.link.messages"), 4);

@@ -101,7 +101,12 @@ impl std::fmt::Display for TxnError {
 impl std::error::Error for TxnError {}
 
 /// Static configuration of a complete ECI system.
+///
+/// `#[non_exhaustive]`: construct from a named preset
+/// ([`EciSystemConfig::enzian`] / [`EciSystemConfig::thunderx_2socket`])
+/// and adjust fields with the `with_*` setters.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct EciSystemConfig {
     /// The static physical address partition.
     pub map: MemoryMap,
@@ -151,6 +156,108 @@ pub struct EciSystemConfig {
 }
 
 impl EciSystemConfig {
+    /// Returns the config with `map` replaced.
+    pub fn with_map(mut self, map: MemoryMap) -> Self {
+        self.map = map;
+        self
+    }
+
+    /// Returns the config with `link` replaced.
+    pub fn with_link(mut self, link: EciLinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Returns the config with `policy` replaced.
+    pub fn with_policy(mut self, policy: LinkPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns the config with `fpga_clock_hz` replaced.
+    pub fn with_fpga_clock_hz(mut self, hz: u64) -> Self {
+        self.fpga_clock_hz = hz;
+        self
+    }
+
+    /// Returns the config with `fpga_pipeline_cycles` replaced.
+    pub fn with_fpga_pipeline_cycles(mut self, cycles: u32) -> Self {
+        self.fpga_pipeline_cycles = cycles;
+        self
+    }
+
+    /// Returns the config with `home_latency` replaced.
+    pub fn with_home_latency(mut self, latency: Duration) -> Self {
+        self.home_latency = latency;
+        self
+    }
+
+    /// Returns the config with `home_occupancy_read` replaced.
+    pub fn with_home_occupancy_read(mut self, occupancy: Duration) -> Self {
+        self.home_occupancy_read = occupancy;
+        self
+    }
+
+    /// Returns the config with `home_occupancy_write` replaced.
+    pub fn with_home_occupancy_write(mut self, occupancy: Duration) -> Self {
+        self.home_occupancy_write = occupancy;
+        self
+    }
+
+    /// Returns the config with `l2_hit_latency` replaced.
+    pub fn with_l2_hit_latency(mut self, latency: Duration) -> Self {
+        self.l2_hit_latency = latency;
+        self
+    }
+
+    /// Returns the config with `cpu_mem` replaced.
+    pub fn with_cpu_mem(mut self, cfg: MemoryControllerConfig) -> Self {
+        self.cpu_mem = cfg;
+        self
+    }
+
+    /// Returns the config with `fpga_mem` replaced.
+    pub fn with_fpga_mem(mut self, cfg: MemoryControllerConfig) -> Self {
+        self.fpga_mem = cfg;
+        self
+    }
+
+    /// Returns the config with `l2` replaced.
+    pub fn with_l2(mut self, l2: L2Config) -> Self {
+        self.l2 = l2;
+        self
+    }
+
+    /// Returns the config with `capture_trace` replaced.
+    pub fn with_capture_trace(mut self, capture: bool) -> Self {
+        self.capture_trace = capture;
+        self
+    }
+
+    /// Returns the config with `txn_timeout` replaced.
+    pub fn with_txn_timeout(mut self, timeout: Duration) -> Self {
+        self.txn_timeout = timeout;
+        self
+    }
+
+    /// Returns the config with `txn_retry_budget` replaced.
+    pub fn with_txn_retry_budget(mut self, retries: u32) -> Self {
+        self.txn_retry_budget = retries;
+        self
+    }
+
+    /// Returns the config with `mshr_entries` replaced.
+    pub fn with_mshr_entries(mut self, entries: usize) -> Self {
+        self.mshr_entries = entries;
+        self
+    }
+
+    /// Returns the config with `vc_queue_credits` replaced.
+    pub fn with_vc_queue_credits(mut self, credits: u32) -> Self {
+        self.vc_queue_credits = credits;
+        self
+    }
+
     /// The shipping Enzian configuration at a 300 MHz shell clock.
     pub fn enzian() -> Self {
         EciSystemConfig {
@@ -1206,72 +1313,6 @@ impl EciSystem {
         &self.core().engine
     }
 
-    /// Publishes the whole system's counters into `reg` under `prefix`:
-    /// operation totals, the transaction engine and simulator under
-    /// `prefix.engine`, the link layer (including per-VC credit stalls)
-    /// under `prefix.link`, the L2 and both memory controllers, and both
-    /// home directories.
-    pub fn export_metrics(&self, reg: &mut enzian_sim::MetricsRegistry, prefix: &str) {
-        let core = self.core();
-        reg.counter_set(&format!("{prefix}.fpga_reads"), core.stats.fpga_reads);
-        reg.counter_set(&format!("{prefix}.fpga_writes"), core.stats.fpga_writes);
-        reg.counter_set(&format!("{prefix}.cpu_reads"), core.stats.cpu_reads);
-        reg.counter_set(&format!("{prefix}.cpu_writes"), core.stats.cpu_writes);
-        reg.counter_set(&format!("{prefix}.probes"), core.stats.probes);
-        reg.counter_set(&format!("{prefix}.victims"), core.stats.victims);
-        reg.counter_set(&format!("{prefix}.io_ops"), core.stats.io_ops);
-        reg.counter_set(&format!("{prefix}.ipis"), core.stats.ipis);
-        reg.counter_set(&format!("{prefix}.txn_timeouts"), core.stats.txn_timeouts);
-        reg.counter_set(&format!("{prefix}.txn_retries"), core.stats.txn_retries);
-        reg.counter_set(&format!("{prefix}.txn_failures"), core.stats.txn_failures);
-        reg.counter_set(
-            &format!("{prefix}.checker_violations"),
-            core.checker.violations().len() as u64,
-        );
-        reg.counter_set(
-            &format!("{prefix}.engine.txns_started"),
-            core.engine.started,
-        );
-        reg.counter_set(
-            &format!("{prefix}.engine.txns_completed"),
-            core.engine.completed,
-        );
-        reg.counter_set(
-            &format!("{prefix}.engine.mshr_conflicts"),
-            core.engine.mshr_conflicts,
-        );
-        reg.counter_set(
-            &format!("{prefix}.engine.mshr_full_stalls"),
-            core.engine.mshr_full_stalls,
-        );
-        reg.counter_set(
-            &format!("{prefix}.engine.vc_queue_stalls"),
-            core.engine.vc_queue_stalls,
-        );
-        reg.counter_set(
-            &format!("{prefix}.engine.max_inflight"),
-            core.engine.max_inflight,
-        );
-        reg.counter_set(
-            &format!("{prefix}.engine.mshr_queued"),
-            core.mshrs.queued() as u64,
-        );
-        self.sim.export_metrics(reg, &format!("{prefix}.engine"));
-        if let Some(plan) = &core.faults {
-            plan.export_metrics(reg, &format!("{prefix}.fault"));
-        }
-        core.links.export_metrics(reg, &format!("{prefix}.link"));
-        core.l2.export_metrics(reg, &format!("{prefix}.l2"));
-        core.cpu_mem
-            .export_metrics(reg, &format!("{prefix}.mem.cpu"));
-        core.fpga_mem
-            .export_metrics(reg, &format!("{prefix}.mem.fpga"));
-        core.dir_cpu
-            .export_metrics(reg, &format!("{prefix}.dir.cpu"));
-        core.dir_fpga
-            .export_metrics(reg, &format!("{prefix}.dir.fpga"));
-    }
-
     // ---------------------------------------------------------------
     // Async issue/poll API
     // ---------------------------------------------------------------
@@ -1371,6 +1412,27 @@ impl EciSystem {
     pub fn run_to_idle(&mut self) {
         self.sim.run();
         self.sim.rewind();
+    }
+
+    /// [`EciSystem::run_to_idle`] with an event budget: runs at most
+    /// `max_events` events and returns how many were executed, or
+    /// [`enzian_sim::LivelockError`] if the budget was exhausted with
+    /// events still pending (a livelocked protocol never drains its
+    /// queue). On success the engine clock is rewound as in
+    /// [`EciSystem::run_to_idle`]; on error the system is left mid-run
+    /// for inspection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`enzian_sim::LivelockError`] when `max_events` events
+    /// execute without the queue running dry.
+    pub fn run_to_idle_bounded(
+        &mut self,
+        max_events: u64,
+    ) -> Result<u64, enzian_sim::LivelockError> {
+        let executed = self.sim.run_bounded(max_events)?;
+        self.sim.rewind();
+        Ok(executed)
     }
 
     /// Issues one transaction, runs it (and anything else in flight) to
@@ -1620,6 +1682,76 @@ impl EciSystem {
         std::mem::take(&mut self.core_mut().pending_ipis[EngineCore::node_index(node)])
     }
 }
+
+/// Publishes the whole system's counters under `prefix`: operation
+/// totals, the transaction engine and simulator under `prefix.engine`,
+/// the link layer (including per-VC credit stalls) under `prefix.link`,
+/// the L2 and both memory controllers, and both home directories.
+impl enzian_sim::Instrumented for EciSystem {
+    fn export_metrics(&self, prefix: &str, registry: &mut enzian_sim::MetricsRegistry) {
+        let core = self.core();
+        registry.counter_set(&format!("{prefix}.fpga_reads"), core.stats.fpga_reads);
+        registry.counter_set(&format!("{prefix}.fpga_writes"), core.stats.fpga_writes);
+        registry.counter_set(&format!("{prefix}.cpu_reads"), core.stats.cpu_reads);
+        registry.counter_set(&format!("{prefix}.cpu_writes"), core.stats.cpu_writes);
+        registry.counter_set(&format!("{prefix}.probes"), core.stats.probes);
+        registry.counter_set(&format!("{prefix}.victims"), core.stats.victims);
+        registry.counter_set(&format!("{prefix}.io_ops"), core.stats.io_ops);
+        registry.counter_set(&format!("{prefix}.ipis"), core.stats.ipis);
+        registry.counter_set(&format!("{prefix}.txn_timeouts"), core.stats.txn_timeouts);
+        registry.counter_set(&format!("{prefix}.txn_retries"), core.stats.txn_retries);
+        registry.counter_set(&format!("{prefix}.txn_failures"), core.stats.txn_failures);
+        registry.counter_set(
+            &format!("{prefix}.checker_violations"),
+            core.checker.violations().len() as u64,
+        );
+        registry.counter_set(
+            &format!("{prefix}.engine.txns_started"),
+            core.engine.started,
+        );
+        registry.counter_set(
+            &format!("{prefix}.engine.txns_completed"),
+            core.engine.completed,
+        );
+        registry.counter_set(
+            &format!("{prefix}.engine.mshr_conflicts"),
+            core.engine.mshr_conflicts,
+        );
+        registry.counter_set(
+            &format!("{prefix}.engine.mshr_full_stalls"),
+            core.engine.mshr_full_stalls,
+        );
+        registry.counter_set(
+            &format!("{prefix}.engine.vc_queue_stalls"),
+            core.engine.vc_queue_stalls,
+        );
+        registry.counter_set(
+            &format!("{prefix}.engine.max_inflight"),
+            core.engine.max_inflight,
+        );
+        registry.counter_set(
+            &format!("{prefix}.engine.mshr_queued"),
+            core.mshrs.queued() as u64,
+        );
+        self.sim
+            .export_metrics(&format!("{prefix}.engine"), registry);
+        if let Some(plan) = &core.faults {
+            plan.export_metrics(&format!("{prefix}.fault"), registry);
+        }
+        core.links
+            .export_metrics(&format!("{prefix}.link"), registry);
+        core.l2.export_metrics(&format!("{prefix}.l2"), registry);
+        core.cpu_mem
+            .export_metrics(&format!("{prefix}.mem.cpu"), registry);
+        core.fpga_mem
+            .export_metrics(&format!("{prefix}.mem.fpga"), registry);
+        core.dir_cpu
+            .export_metrics(&format!("{prefix}.dir.cpu"), registry);
+        core.dir_fpga
+            .export_metrics(&format!("{prefix}.dir.fpga"), registry);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1953,11 +2085,10 @@ mod tests {
     fn l2_capacity_eviction_of_remote_lines_notifies_fpga_home() {
         // Use a tiny L2 so a handful of remote fills force evictions.
         let mut cfg = EciSystemConfig::enzian();
-        cfg.l2 = enzian_cache::L2Config {
-            capacity_bytes: 2 * 128,
-            ways: 1,
-            line_bytes: 128,
-        };
+        cfg.l2 = enzian_cache::L2Config::thunderx1()
+            .with_capacity_bytes(2 * 128)
+            .with_ways(1)
+            .with_line_bytes(128);
         let mut sys = EciSystem::new(cfg);
         let base = sys.config().map.fpga_base();
         let mut now = Time::ZERO;

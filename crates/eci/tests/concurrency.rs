@@ -116,10 +116,7 @@ fn same_seed_reruns_are_byte_identical() {
 
 #[test]
 fn tight_mshr_table_still_serializes_and_completes() {
-    let cfg = EciSystemConfig {
-        mshr_entries: 2,
-        ..EciSystemConfig::enzian()
-    };
+    let cfg = EciSystemConfig::enzian().with_mshr_entries(2);
     for seed in 0..4u64 {
         let (completions, sys) = run(seed, cfg, None);
         check_coherence(seed, &completions);

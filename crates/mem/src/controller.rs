@@ -23,7 +23,13 @@ pub enum Op {
 }
 
 /// Static configuration of a controller.
+///
+/// `#[non_exhaustive]`: construct from a named preset
+/// ([`MemoryControllerConfig::enzian_cpu`] /
+/// [`MemoryControllerConfig::enzian_fpga`]) and adjust with the `with_*`
+/// setters.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct MemoryControllerConfig {
     /// Number of DDR4 channels (4 on both Enzian nodes).
     pub channels: usize,
@@ -32,6 +38,18 @@ pub struct MemoryControllerConfig {
 }
 
 impl MemoryControllerConfig {
+    /// Returns the config with `channels` replaced.
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Returns the config with `generation` replaced.
+    pub fn with_generation(mut self, generation: DdrGeneration) -> Self {
+        self.generation = generation;
+        self
+    }
+
     /// The Enzian CPU node: 4 × DDR4-2133.
     pub fn enzian_cpu() -> Self {
         MemoryControllerConfig {
@@ -177,20 +195,22 @@ impl MemoryController {
             Some(rates.iter().sum::<f64>() / rates.len() as f64)
         }
     }
+}
 
-    /// Publishes the controller's counters into `reg` under `prefix`.
-    pub fn export_metrics(&self, reg: &mut enzian_sim::MetricsRegistry, prefix: &str) {
-        reg.counter_set(&format!("{prefix}.requests"), self.requests);
-        reg.counter_set(
+/// Publishes the controller's counters.
+impl enzian_sim::Instrumented for MemoryController {
+    fn export_metrics(&self, prefix: &str, registry: &mut enzian_sim::MetricsRegistry) {
+        registry.counter_set(&format!("{prefix}.requests"), self.requests);
+        registry.counter_set(
             &format!("{prefix}.bytes_transferred"),
             self.bytes_transferred(),
         );
-        reg.counter_set(
+        registry.counter_set(
             &format!("{prefix}.peak_bytes_per_sec"),
             self.peak_bytes_per_sec(),
         );
         if let Some(rate) = self.row_hit_rate() {
-            reg.gauge_set(&format!("{prefix}.row_hit_rate"), rate);
+            registry.gauge_set(&format!("{prefix}.row_hit_rate"), rate);
         }
     }
 }

@@ -32,7 +32,12 @@ pub enum StackKind {
 }
 
 /// Cost/parameter set for one endpoint's stack.
+///
+/// `#[non_exhaustive]`: construct from a named preset
+/// ([`TcpStackConfig::fpga_coyote`] / [`TcpStackConfig::linux_kernel`])
+/// and adjust fields with the `with_*` setters.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct TcpStackConfig {
     /// Stack personality.
     pub kind: StackKind,
@@ -52,6 +57,48 @@ pub struct TcpStackConfig {
 }
 
 impl TcpStackConfig {
+    /// Returns the config with `kind` replaced.
+    pub fn with_kind(mut self, kind: StackKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Returns the config with `mss` replaced.
+    pub fn with_mss(mut self, mss: usize) -> Self {
+        self.mss = mss;
+        self
+    }
+
+    /// Returns the config with `window` replaced.
+    pub fn with_window(mut self, window: u64) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Returns the config with `per_segment` replaced.
+    pub fn with_per_segment(mut self, cost: Duration) -> Self {
+        self.per_segment = cost;
+        self
+    }
+
+    /// Returns the config with `per_64_bytes` replaced.
+    pub fn with_per_64_bytes(mut self, cost: Duration) -> Self {
+        self.per_64_bytes = cost;
+        self
+    }
+
+    /// Returns the config with `per_transfer` replaced.
+    pub fn with_per_transfer(mut self, cost: Duration) -> Self {
+        self.per_transfer = cost;
+        self
+    }
+
+    /// Returns the config with `rto` replaced.
+    pub fn with_rto(mut self, rto: Duration) -> Self {
+        self.rto = rto;
+        self
+    }
+
     /// The FPGA stack at a 2 KiB MTU on a 300 MHz shell clock.
     pub fn fpga_coyote() -> Self {
         TcpStackConfig {
@@ -288,22 +335,24 @@ impl TcpTelemetry {
         }
         all
     }
+}
 
-    /// Publishes the engine's counters into `reg` under `prefix`:
-    /// derived totals, the merged RTT summary (`prefix.rtt_us`), and
-    /// per-flow counters and RTT summaries (`prefix.flow<i>.*`).
-    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
-        reg.counter_set(&format!("{prefix}.transfers"), self.transfers());
-        reg.counter_set(&format!("{prefix}.bytes"), self.bytes());
-        reg.counter_set(&format!("{prefix}.segments"), self.segments());
-        reg.counter_set(&format!("{prefix}.retransmissions"), self.retransmissions());
-        reg.merge_summary(&format!("{prefix}.rtt_us"), &self.rtt_us());
+/// Publishes the engine's counters: derived totals, the merged RTT
+/// summary (`prefix.rtt_us`), and per-flow counters and RTT summaries
+/// (`prefix.flow<i>.*`).
+impl enzian_sim::Instrumented for TcpTelemetry {
+    fn export_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.counter_set(&format!("{prefix}.transfers"), self.transfers());
+        registry.counter_set(&format!("{prefix}.bytes"), self.bytes());
+        registry.counter_set(&format!("{prefix}.segments"), self.segments());
+        registry.counter_set(&format!("{prefix}.retransmissions"), self.retransmissions());
+        registry.merge_summary(&format!("{prefix}.rtt_us"), &self.rtt_us());
         for (i, s) in self.flow_rtt_us.iter().enumerate() {
-            reg.merge_summary(&format!("{prefix}.flow{i}.rtt_us"), s);
+            registry.merge_summary(&format!("{prefix}.flow{i}.rtt_us"), s);
         }
         for (i, f) in self.flow_stats.iter().enumerate() {
-            reg.counter_set(&format!("{prefix}.flow{i}.segments"), f.segments);
-            reg.counter_set(
+            registry.counter_set(&format!("{prefix}.flow{i}.segments"), f.segments);
+            registry.counter_set(
                 &format!("{prefix}.flow{i}.retransmissions"),
                 f.retransmissions,
             );
@@ -740,7 +789,7 @@ mod tests {
         assert!(rtt.mean() > 0.0);
 
         let mut reg = enzian_sim::MetricsRegistry::new();
-        t.export_metrics(&mut reg, "net.tcp");
+        enzian_sim::Instrumented::export_metrics(t, "net.tcp", &mut reg);
         assert_eq!(reg.counter("net.tcp.transfers"), 1);
         assert_eq!(reg.summary("net.tcp.rtt_us").unwrap().count(), rtt.count());
     }

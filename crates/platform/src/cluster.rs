@@ -188,6 +188,21 @@ impl EnzianCluster {
     }
 }
 
+/// Publishes bridge counters (`prefix.bridge.*`) plus every board's full
+/// metric tree under `prefix.board<i>.*`.
+impl enzian_sim::Instrumented for EnzianCluster {
+    fn export_metrics(&self, prefix: &str, registry: &mut enzian_sim::MetricsRegistry) {
+        registry.counter_set(&format!("{prefix}.bridge.remote_reads"), self.remote_reads);
+        registry.counter_set(
+            &format!("{prefix}.bridge.remote_writes"),
+            self.remote_writes,
+        );
+        for (i, b) in self.boards.iter().enumerate() {
+            b.export_metrics(&format!("{prefix}.board{i}"), registry);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,7 +15,7 @@ use enzian_eci::system::TXN_STALL_TARGET;
 use enzian_eci::{EciSystem, EciSystemConfig, TxnError};
 use enzian_mem::Addr;
 use enzian_sim::telemetry::FieldValue;
-use enzian_sim::{Duration, FaultPlan, FaultSpec, MetricsRegistry, Time, TraceEvent};
+use enzian_sim::{Duration, FaultPlan, FaultSpec, Instrumented, MetricsRegistry, Time, TraceEvent};
 
 /// One row of the sweep: a fault rate with everything observed under it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -156,7 +156,7 @@ pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<FaultSweepRow> {
         reg.counter_set(&format!("{base}.txn_retries"), row.txn_retries);
         reg.counter_set(&format!("{base}.txn_failures"), row.txn_failures);
         let mut tmp = MetricsRegistry::new();
-        sys.export_metrics(&mut tmp, &base);
+        sys.export_metrics(&base, &mut tmp);
         reg.merge(&tmp);
         reg.trace_event(
             TraceEvent::new(t, "fault_sweep", "rate-done")

@@ -13,7 +13,7 @@
 
 use enzian_apps::reduction::ReductionMode;
 use enzian_cache::CoreTimingModel;
-use enzian_sim::{Duration, MetricsRegistry, Time, TraceEvent};
+use enzian_sim::{Duration, Instrumented, MetricsRegistry, Time, TraceEvent};
 
 /// Shared fetch bandwidth available to the cores across both ECI links,
 /// bytes per second (CPU-initiated requests balance over both).
@@ -71,7 +71,7 @@ pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig11Row> {
                     &format!("fig11.{slug}.interconnect_gib"),
                     s.interconnect_bytes_per_sec / (1u64 << 30) as f64,
                 );
-                s.pmu.export_metrics(reg, &format!("fig11.pmu.{slug}"));
+                s.pmu.export_metrics(&format!("fig11.pmu.{slug}"), reg);
                 total_cycles += s.pmu.cycles();
                 reg.trace_event(
                     TraceEvent::new(window_end, "fig11", "mode-done")

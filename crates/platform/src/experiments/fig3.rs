@@ -8,7 +8,7 @@
 //! [`PlatformPreset::published_interconnect`]).
 
 use enzian_mem::{Addr, MemoryController, Op};
-use enzian_sim::{MetricsRegistry, Time, TraceEvent};
+use enzian_sim::{Instrumented, MetricsRegistry, Time, TraceEvent};
 
 use crate::presets::PlatformPreset;
 
@@ -60,7 +60,7 @@ pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig3Point> {
     let one_link_bw = (lines * 128) as f64 / done.as_secs_f64() / (1u64 << 30) as f64;
     sim_end = sim_end.max(done);
     let mut tmp = MetricsRegistry::new();
-    sys.export_metrics(&mut tmp, "fig3.eci.one_link");
+    sys.export_metrics("fig3.eci.one_link", &mut tmp);
     reg.merge(&tmp);
     let mut sys = PlatformPreset::enzian_system(true);
     let (_, t) = sys.fpga_read_line(Time::ZERO, Addr(0));
@@ -78,7 +78,7 @@ pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig3Point> {
     let done = sys.fpga_read_burst(Time::ZERO, Addr(0), lines);
     sim_end = sim_end.max(done);
     let mut tmp = MetricsRegistry::new();
-    sys.export_metrics(&mut tmp, "fig3.eci.full");
+    sys.export_metrics("fig3.eci.full", &mut tmp);
     reg.merge(&tmp);
     points.push(Fig3Point {
         label: "Enzian (full ECI)".into(),

@@ -7,7 +7,7 @@
 //! sizes."* Transfer sizes are 2⁷..2¹⁴ bytes.
 
 use enzian_mem::Addr;
-use enzian_sim::{MetricsRegistry, Time, TraceEvent};
+use enzian_sim::{Instrumented, MetricsRegistry, Time, TraceEvent};
 
 use crate::presets::PlatformPreset;
 
@@ -77,7 +77,7 @@ pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig6Row> {
         let eci_rd_gib = gib(REPS * size, Time::ZERO, last);
         sim_end = sim_end.max(last);
         let mut tmp = MetricsRegistry::new();
-        sys.export_metrics(&mut tmp, "fig6.eci.rd");
+        sys.export_metrics("fig6.eci.rd", &mut tmp);
         reg.merge(&tmp);
         let mut sys = PlatformPreset::enzian_system(true);
         let mut last = Time::ZERO;
@@ -87,7 +87,7 @@ pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig6Row> {
         let eci_wr_gib = gib(REPS * size, Time::ZERO, last);
         sim_end = sim_end.max(last);
         let mut tmp = MetricsRegistry::new();
-        sys.export_metrics(&mut tmp, "fig6.eci.wr");
+        sys.export_metrics("fig6.eci.wr", &mut tmp);
         reg.merge(&tmp);
 
         // --- PCIe (Alveo u250) latency and throughput.

@@ -8,7 +8,7 @@
 use enzian_net::eth::{EthLink, EthLinkConfig};
 use enzian_net::tcp::{TcpEngine, TcpStackConfig};
 use enzian_net::Switch;
-use enzian_sim::{MetricsRegistry, SimRng, Time, TraceEvent};
+use enzian_sim::{Instrumented, MetricsRegistry, SimRng, Time, TraceEvent};
 
 /// One row: a transfer size with both stacks' series.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,7 +52,7 @@ pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig7Row> {
         assert_eq!(out, data, "hardware stack corrupted the stream");
         sim_end = sim_end.max(hw_r.delivered);
         let mut tmp = MetricsRegistry::new();
-        hw.telemetry().export_metrics(&mut tmp, "fig7.tcp.fpga");
+        hw.telemetry().export_metrics("fig7.tcp.fpga", &mut tmp);
         reg.merge(&tmp);
 
         let mut link = EthLink::new(EthLinkConfig::hundred_gig());
@@ -65,7 +65,7 @@ pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig7Row> {
         assert_eq!(out, data, "kernel stack corrupted the stream");
         sim_end = sim_end.max(sw_r.delivered);
         let mut tmp = MetricsRegistry::new();
-        sw.telemetry().export_metrics(&mut tmp, "fig7.tcp.kernel");
+        sw.telemetry().export_metrics("fig7.tcp.kernel", &mut tmp);
         reg.merge(&tmp);
 
         let row = Fig7Row {

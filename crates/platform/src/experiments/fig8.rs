@@ -52,10 +52,11 @@ impl Fig8Config {
         match self {
             Fig8Config::AlveoDram => RdmaEngine::new(RdmaBackend::LocalDram {
                 // The u280 exposes two DDR4 channels beside its HBM.
-                memory: MemoryController::new(MemoryControllerConfig {
-                    channels: 2,
-                    generation: enzian_mem::DdrGeneration::Ddr4_2400,
-                }),
+                memory: MemoryController::new(
+                    MemoryControllerConfig::enzian_cpu()
+                        .with_channels(2)
+                        .with_generation(enzian_mem::DdrGeneration::Ddr4_2400),
+                ),
                 pipeline: Duration::from_ns(150),
             }),
             Fig8Config::AlveoHost => RdmaEngine::new(RdmaBackend::HostViaPcie {

@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod modelcheck;
 pub mod pipelining;
 
 /// Turns a human-facing label ("Enzian (1 ECI link)") into a stable

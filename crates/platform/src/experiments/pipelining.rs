@@ -13,7 +13,7 @@
 
 use enzian_eci::{EciSystem, EciSystemConfig, LinkPolicy};
 use enzian_mem::Addr;
-use enzian_sim::{MetricsRegistry, Time, TraceEvent};
+use enzian_sim::{Instrumented, MetricsRegistry, Time, TraceEvent};
 
 /// One row of the sweep: an outstanding-transaction bound with the
 /// goodput and latency observed under it.
@@ -48,11 +48,11 @@ pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<PipeliningRow> {
     let mut sim_end = Time::ZERO;
     let mut events = 0u64;
     for &outstanding in OUTSTANDING.iter() {
-        let mut sys = EciSystem::new(EciSystemConfig {
-            policy: LinkPolicy::Single(0),
-            mshr_entries: outstanding,
-            ..EciSystemConfig::enzian()
-        });
+        let mut sys = EciSystem::new(
+            EciSystemConfig::enzian()
+                .with_policy(LinkPolicy::Single(0))
+                .with_mshr_entries(outstanding),
+        );
         let handles: Vec<_> = (0..LINES)
             .map(|i| sys.issue_read(Time::ZERO, Addr(i * 128)))
             .collect();
@@ -86,7 +86,7 @@ pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<PipeliningRow> {
         reg.gauge_set(&format!("{base}.mean_latency_ns"), row.mean_latency_ns);
         reg.counter_set(&format!("{base}.max_inflight"), row.max_inflight);
         let mut tmp = MetricsRegistry::new();
-        sys.export_metrics(&mut tmp, &base);
+        sys.export_metrics(&base, &mut tmp);
         reg.merge(&tmp);
         reg.trace_event(
             TraceEvent::new(last, "pipelining", "point-done")

@@ -14,7 +14,11 @@ use enzian_shell::Shell;
 use enzian_sim::Time;
 
 /// Machine-level configuration.
+///
+/// Construct from the named preset ([`MachineConfig::enzian`]) and
+/// adjust fields with the `with_*` setters.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct MachineConfig {
     /// The coherent-system configuration.
     pub eci: EciSystemConfig,
@@ -29,6 +33,18 @@ impl MachineConfig {
             eci: EciSystemConfig::enzian(),
             shell_slots: 2,
         }
+    }
+
+    /// Replaces the coherent-system configuration.
+    pub fn with_eci(mut self, eci: EciSystemConfig) -> Self {
+        self.eci = eci;
+        self
+    }
+
+    /// Sets the number of vFPGA slots in the shell bitstream.
+    pub fn with_shell_slots(mut self, shell_slots: u8) -> Self {
+        self.shell_slots = shell_slots;
+        self
     }
 }
 
@@ -122,6 +138,14 @@ impl EnzianMachine {
     /// The boot sequencer (for event inspection).
     pub fn boot_events(&self) -> &[enzian_bmc::boot::BootEvent] {
         self.boot.events()
+    }
+}
+
+/// Publishes the coherent system's full metric tree under
+/// `prefix.eci.*`.
+impl enzian_sim::Instrumented for EnzianMachine {
+    fn export_metrics(&self, prefix: &str, registry: &mut enzian_sim::MetricsRegistry) {
+        self.eci.export_metrics(&format!("{prefix}.eci"), registry);
     }
 }
 

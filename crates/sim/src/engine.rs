@@ -8,8 +8,33 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
-use crate::telemetry::MetricsRegistry;
+use crate::telemetry::{Instrumented, MetricsRegistry};
 use crate::time::{Duration, Time};
+
+/// Error returned by [`Simulator::run_bounded`] when the event budget is
+/// exhausted with events still pending: the model is livelocked (or the
+/// budget was simply too small for the workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivelockError {
+    /// The budget that was exhausted.
+    pub max_events: u64,
+    /// Events still pending when the run gave up.
+    pub pending: usize,
+    /// Simulated time at which the run stopped.
+    pub stopped_at: Time,
+}
+
+impl std::fmt::Display for LivelockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event budget of {} exhausted at {} with {} events still pending (livelock?)",
+            self.max_events, self.stopped_at, self.pending
+        )
+    }
+}
+
+impl std::error::Error for LivelockError {}
 
 /// Identifier of a scheduled event, usable to cancel it before it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -133,16 +158,17 @@ impl<M> Scheduler<M> {
         self.handlers.remove(&id.0).is_some()
     }
 
-    /// Publishes the kernel's run statistics into `reg` under `prefix`
-    /// (e.g. `prefix.events_executed`).
-    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
-        reg.counter_set(&format!("{prefix}.events_executed"), self.events_executed);
-        reg.counter_set(&format!("{prefix}.events_pending"), self.queue.len() as u64);
-        reg.counter_set(&format!("{prefix}.now_ps"), self.now.as_ps());
-    }
-
     fn take_handler(&mut self, seq: u64) -> Option<EventFn<M>> {
         self.handlers.remove(&seq)
+    }
+}
+
+/// Publishes the kernel's run statistics (e.g. `prefix.events_executed`).
+impl<M> Instrumented for Scheduler<M> {
+    fn export_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.counter_set(&format!("{prefix}.events_executed"), self.events_executed);
+        registry.counter_set(&format!("{prefix}.events_pending"), self.queue.len() as u64);
+        registry.counter_set(&format!("{prefix}.now_ps"), self.now.as_ps());
     }
 }
 
@@ -235,12 +261,6 @@ impl<M> Simulator<M> {
         self.sched.cancel(id)
     }
 
-    /// Publishes the kernel's run statistics into `reg` under `prefix`.
-    /// See [`Scheduler::export_metrics`].
-    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
-        self.sched.export_metrics(reg, prefix);
-    }
-
     /// The time of the next live (non-cancelled) pending event, if any.
     /// Cancelled queue entries encountered on the way are discarded.
     pub fn peek_next_time(&mut self) -> Option<Time> {
@@ -295,6 +315,35 @@ impl<M> Simulator<M> {
         self.sched.events_executed - start
     }
 
+    /// Runs until the event queue is empty, executing at most
+    /// `max_events` events; returns the number executed.
+    ///
+    /// This is the guard the protocol explorer (and any driver of a model
+    /// whose termination is in question) uses so a livelock surfaces as a
+    /// checked [`LivelockError`] instead of an infinite loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LivelockError`] if the budget is exhausted with live
+    /// events still pending. The already-executed events are *not* rolled
+    /// back; the queue keeps its remaining events.
+    pub fn run_bounded(&mut self, max_events: u64) -> Result<u64, LivelockError> {
+        let start = self.sched.events_executed;
+        while self.sched.events_executed - start < max_events {
+            if !self.step() {
+                return Ok(self.sched.events_executed - start);
+            }
+        }
+        if self.peek_next_time().is_none() {
+            return Ok(self.sched.events_executed - start);
+        }
+        Err(LivelockError {
+            max_events,
+            pending: self.sched.handlers.len(),
+            stopped_at: self.sched.now,
+        })
+    }
+
     /// Runs until the queue is empty or simulated time would exceed
     /// `deadline`; events scheduled later stay queued.
     pub fn run_until(&mut self, deadline: Time) -> u64 {
@@ -309,6 +358,13 @@ impl<M> Simulator<M> {
             self.sched.now = deadline;
         }
         self.sched.events_executed - start
+    }
+}
+
+/// Publishes the kernel's run statistics. See the [`Scheduler`] impl.
+impl<M> Instrumented for Simulator<M> {
+    fn export_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        self.sched.export_metrics(prefix, registry);
     }
 }
 
@@ -349,6 +405,38 @@ mod tests {
         sim.run();
         assert_eq!(*sim.model(), 5);
         assert_eq!(sim.now(), Time::ZERO + Duration::from_ns(4));
+    }
+
+    #[test]
+    fn run_bounded_completes_within_budget() {
+        let mut sim = Simulator::new(0u64);
+        for i in 0..5u64 {
+            sim.schedule_in(Duration::from_ns(i), |m: &mut u64, _| *m += 1);
+        }
+        assert_eq!(sim.run_bounded(100), Ok(5));
+        assert_eq!(*sim.model(), 5);
+        // A drained queue at exactly the budget is still success.
+        for i in 0..3u64 {
+            sim.schedule_in(Duration::from_ns(100 + i), |m: &mut u64, _| *m += 1);
+        }
+        assert_eq!(sim.run_bounded(3), Ok(3));
+    }
+
+    #[test]
+    fn run_bounded_surfaces_livelock() {
+        // A self-perpetuating event chain: every firing schedules the next.
+        let mut sim = Simulator::new(0u64);
+        fn tick(count: &mut u64, s: &mut Scheduler<u64>) {
+            *count += 1;
+            s.schedule_in(Duration::from_ns(1), tick);
+        }
+        sim.schedule_in(Duration::ZERO, tick);
+        let err = sim.run_bounded(50).unwrap_err();
+        assert_eq!(err.max_events, 50);
+        assert_eq!(err.pending, 1);
+        assert_eq!(*sim.model(), 50);
+        let msg = err.to_string();
+        assert!(msg.contains("livelock"), "{msg}");
     }
 
     #[test]

@@ -134,8 +134,8 @@ struct SpecState {
 /// was injected and recovered.
 ///
 /// The plan records one `inject`/`recover` [`TraceEvent`] per call into
-/// an internal ring; [`export_metrics`](FaultPlan::export_metrics)
-/// publishes the counters (and replays the retained events) into a
+/// an internal ring; the [`Instrumented`](crate::telemetry::Instrumented)
+/// impl publishes the counters (and replays the retained events) into a
 /// shared registry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
@@ -263,21 +263,22 @@ impl FaultPlan {
     pub fn trace(&self) -> &TraceRing {
         &self.trace
     }
+}
 
-    /// Publishes per-target injected/recovered counters (plus totals)
-    /// into `reg` under `prefix`, and replays the retained trace events
-    /// into the registry's ring.
-    pub fn export_metrics(&self, reg: &mut crate::telemetry::MetricsRegistry, prefix: &str) {
+/// Publishes per-target injected/recovered counters (plus totals), and
+/// replays the retained trace events into the registry's ring.
+impl crate::telemetry::Instrumented for FaultPlan {
+    fn export_metrics(&self, prefix: &str, registry: &mut crate::telemetry::MetricsRegistry) {
         for (target, n) in &self.injected {
-            reg.counter_set(&format!("{prefix}.injected.{target}"), *n);
+            registry.counter_set(&format!("{prefix}.injected.{target}"), *n);
         }
         for (target, n) in &self.recovered {
-            reg.counter_set(&format!("{prefix}.recovered.{target}"), *n);
+            registry.counter_set(&format!("{prefix}.recovered.{target}"), *n);
         }
-        reg.counter_set(&format!("{prefix}.injected_total"), self.total_injected());
-        reg.counter_set(&format!("{prefix}.recovered_total"), self.total_recovered());
+        registry.counter_set(&format!("{prefix}.injected_total"), self.total_injected());
+        registry.counter_set(&format!("{prefix}.recovered_total"), self.total_recovered());
         for ev in self.trace.iter() {
-            reg.trace_event(ev.clone());
+            registry.trace_event(ev.clone());
         }
     }
 }
@@ -348,7 +349,7 @@ mod tests {
         assert!(plan.should_fire("x", Time::from_ns(1)));
         plan.note_recovery("x", Time::from_ns(3), Duration::from_ns(2));
         let mut reg = MetricsRegistry::new();
-        plan.export_metrics(&mut reg, "fault");
+        crate::telemetry::Instrumented::export_metrics(&plan, "fault", &mut reg);
         assert_eq!(reg.counter("fault.injected.x"), 1);
         assert_eq!(reg.counter("fault.recovered.x"), 1);
         assert_eq!(reg.counter("fault.injected_total"), 1);

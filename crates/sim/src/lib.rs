@@ -40,8 +40,8 @@ pub mod telemetry;
 pub mod time;
 
 pub use channel::{Channel, ChannelConfig};
-pub use engine::{EventId, Scheduler, Simulator};
+pub use engine::{EventId, LivelockError, Scheduler, Simulator};
 pub use fault::{FaultPlan, FaultSpec, FaultTrigger};
 pub use rng::SimRng;
-pub use telemetry::{MetricsRegistry, TraceEvent, TraceRing};
+pub use telemetry::{Instrumented, MetricsRegistry, TraceEvent, TraceRing};
 pub use time::{Duration, Time};

@@ -1,9 +1,10 @@
 //! Cross-crate telemetry: a metrics registry plus structured tracing.
 //!
 //! Every layer of the simulated platform (DES kernel, ECI link and
-//! directory, TCP stacks, PMU) exposes an `export_metrics(&mut
-//! MetricsRegistry, prefix)` hook that publishes its counters into one
-//! shared, hierarchically-named [`MetricsRegistry`]. The registry reuses
+//! directory, TCP stacks, PMU) implements the [`Instrumented`] trait,
+//! whose `export_metrics(prefix, &mut MetricsRegistry)` hook publishes
+//! its counters into one shared, hierarchically-named
+//! [`MetricsRegistry`]. The registry reuses
 //! the [`stats`](crate::stats) collectors ([`Summary`],
 //! [`LatencyHistogram`]) for distribution-valued metrics and pairs them
 //! with a bounded [`TraceRing`] of structured [`TraceEvent`]s.
@@ -38,6 +39,25 @@ pub use trace::{FieldValue, TraceEvent, TraceRing, DEFAULT_TRACE_CAPACITY};
 
 use crate::stats::{LatencyHistogram, Summary};
 use crate::time::Duration;
+
+/// A component that publishes its counters into a shared
+/// [`MetricsRegistry`] under a hierarchical name prefix.
+///
+/// Every instrumented layer of the platform — the DES kernel, ECI links
+/// and directories, the L2 and its PMU, memory controllers, TCP stacks,
+/// fault injectors — implements this one trait, so machine- and
+/// cluster-level aggregation can walk a slice of
+/// `(name, &dyn Instrumented)` pairs instead of hand-wiring per-type
+/// calls.
+///
+/// Implementations must stay deterministic: metric names may depend only
+/// on `prefix` and component structure, values only on simulated state —
+/// never on the wall clock or allocation addresses.
+pub trait Instrumented {
+    /// Publishes this component's metrics into `registry`, every metric
+    /// name starting with `prefix` followed by a `.` separator.
+    fn export_metrics(&self, prefix: &str, registry: &mut MetricsRegistry);
+}
 
 /// One metric's current value.
 #[derive(Debug, Clone, PartialEq)]

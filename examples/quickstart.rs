@@ -49,10 +49,7 @@ fn main() -> Result<(), BootError> {
     );
 
     // ---- Trace tooling ----------------------------------------------
-    let mut traced = EciSystem::new(EciSystemConfig {
-        capture_trace: true,
-        ..EciSystemConfig::enzian()
-    });
+    let mut traced = EciSystem::new(EciSystemConfig::enzian().with_capture_trace(true));
     let (_, t2) = traced.fpga_read_line(Time::ZERO, Addr(0));
     traced.fpga_write_line(t2, Addr(128), &line);
     traced.ipi(t2, NodeId::Fpga, 7);

@@ -21,6 +21,9 @@ fn core_model_types_are_send() {
     assert_send::<enzian::apps::KvStore>();
     assert_send::<enzian::platform::EnzianCluster>();
     assert_send::<enzian::sim::SimRng>();
+    assert_send::<enzian::eci::Explorer>();
+    assert_send::<enzian::eci::ExploreOutcome>();
+    assert_send::<enzian::eci::ViolationReport>();
 }
 
 #[test]
@@ -31,6 +34,9 @@ fn value_types_are_sync() {
     assert_sync::<enzian::cache::LineState>();
     assert_sync::<enzian::bmc::RailId>();
     assert_sync::<enzian::eci::message::TxnId>();
+    assert_sync::<enzian::eci::ExploreConfig>();
+    assert_sync::<enzian::eci::ExploreStats>();
+    assert_sync::<enzian::eci::Mutation>();
 }
 
 #[test]
@@ -44,6 +50,8 @@ fn debug_is_never_empty() {
         format!("{:?}", enzian::eci::EciSystemConfig::enzian()),
         format!("{:?}", enzian::net::tcp::TcpStackConfig::fpga_coyote()),
         format!("{:?}", enzian::apps::reduction::ReductionMode::Y8),
+        format!("{:?}", enzian::eci::ExploreConfig::two_agent()),
+        format!("{:?}", enzian::eci::ALL_MUTATIONS),
     ];
     for s in samples {
         assert!(!s.is_empty(), "empty Debug representation");
@@ -62,4 +70,33 @@ fn errors_implement_std_error() {
     assert_error::<enzian::shell::ShellError>();
     assert_error::<enzian::apps::kvs::KvError>();
     assert_error::<enzian::platform::bdk::BdkError>();
+    assert_error::<enzian::sim::LivelockError>();
+    assert_error::<enzian::eci::DirStepError>();
+    assert_error::<enzian::eci::ExploreError>();
+}
+
+/// The `Instrumented` trait is object-safe, so heterogeneous component
+/// collections can export into one registry; the builder-style configs
+/// keep their `with_*` chain usable from outside the crate.
+#[test]
+fn instrumented_is_object_safe_and_builders_chain() {
+    use enzian::sim::Instrumented;
+    let sys = enzian::eci::EciSystem::new(enzian::eci::EciSystemConfig::enzian());
+    let cache = enzian::cache::L2Cache::new(enzian::cache::L2Config::thunderx1());
+    let components: Vec<(&str, &dyn Instrumented)> = vec![("eci", &sys), ("l2", &cache)];
+    let mut reg = enzian::sim::MetricsRegistry::new();
+    for (name, c) in components {
+        c.export_metrics(name, &mut reg);
+    }
+    assert!(!reg.export_text().is_empty());
+
+    let cfg = enzian::eci::EciSystemConfig::enzian()
+        .with_capture_trace(true)
+        .with_mshr_entries(4);
+    assert!(cfg.capture_trace);
+    assert_eq!(cfg.mshr_entries, 4);
+    let ex = enzian::eci::ExploreConfig::two_agent()
+        .with_lines(2)
+        .with_max_writes(1);
+    assert_eq!((ex.lines, ex.max_writes), (2, 1));
 }

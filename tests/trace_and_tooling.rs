@@ -8,10 +8,7 @@ use enzian::mem::{Addr, NodeId};
 use enzian::sim::Time;
 
 fn traced_system() -> EciSystem {
-    EciSystem::new(EciSystemConfig {
-        capture_trace: true,
-        ..EciSystemConfig::enzian()
-    })
+    EciSystem::new(EciSystemConfig::enzian().with_capture_trace(true))
 }
 
 #[test]
