@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck clean
+.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck par-cluster loom clean
 
-ci: fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck
+ci: fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck par-cluster loom
 
 fmt:
 	$(CARGO) fmt --all
@@ -67,6 +67,34 @@ modelcheck: build
 	target/release/reproduce modelcheck --bench-dir target/modelcheck/b > /dev/null
 	cmp target/modelcheck/a/BENCH_modelcheck.json target/modelcheck/b/BENCH_modelcheck.json
 	@echo "modelcheck OK: deterministic BENCH_modelcheck.json"
+
+# Conservative-parallel cluster: runs cluster_scale twice per thread
+# count (1, 2, 8) and fails unless all six BENCH_cluster_scale.json
+# files are byte-identical — the thread count must never be observable
+# in the simulated results.
+par-cluster: build
+	rm -rf target/par-cluster
+	mkdir -p target/par-cluster/t1a target/par-cluster/t1b \
+	         target/par-cluster/t2a target/par-cluster/t2b \
+	         target/par-cluster/t8a target/par-cluster/t8b
+	target/release/reproduce cluster_scale --threads 1 --bench-dir target/par-cluster/t1a > /dev/null
+	target/release/reproduce cluster_scale --threads 1 --bench-dir target/par-cluster/t1b > /dev/null
+	target/release/reproduce cluster_scale --threads 2 --bench-dir target/par-cluster/t2a > /dev/null
+	target/release/reproduce cluster_scale --threads 2 --bench-dir target/par-cluster/t2b > /dev/null
+	target/release/reproduce cluster_scale --threads 8 --bench-dir target/par-cluster/t8a > /dev/null
+	target/release/reproduce cluster_scale --threads 8 --bench-dir target/par-cluster/t8b > /dev/null
+	cmp target/par-cluster/t1a/BENCH_cluster_scale.json target/par-cluster/t1b/BENCH_cluster_scale.json
+	cmp target/par-cluster/t2a/BENCH_cluster_scale.json target/par-cluster/t2b/BENCH_cluster_scale.json
+	cmp target/par-cluster/t8a/BENCH_cluster_scale.json target/par-cluster/t8b/BENCH_cluster_scale.json
+	cmp target/par-cluster/t1a/BENCH_cluster_scale.json target/par-cluster/t2a/BENCH_cluster_scale.json
+	cmp target/par-cluster/t1a/BENCH_cluster_scale.json target/par-cluster/t8a/BENCH_cluster_scale.json
+	@echo "par-cluster OK: BENCH_cluster_scale.json byte-identical across threads 1/2/8"
+
+# Exhaustive interleaving checks for the epoch barrier and bounded
+# inter-shard channels (the loom-style battery; compiled only under
+# --cfg loom).
+loom:
+	RUSTFLAGS="--cfg loom" $(CARGO) test -p enzian-sim --test loom_par
 
 clean:
 	$(CARGO) clean

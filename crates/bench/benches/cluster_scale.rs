@@ -1,0 +1,38 @@
+//! Cluster-scale bench: the parallel engine vs the sequential
+//! reference driver on the same workload, and thread scaling.
+
+use enzian_bench::harness::{BenchmarkId, Criterion};
+use enzian_platform::{ClusterWorkload, EnzianCluster};
+use std::hint::black_box;
+
+const SLICE: u64 = 1 << 20;
+
+fn workload() -> ClusterWorkload {
+    ClusterWorkload::small()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_scale");
+    g.bench_function("reference_4_boards", |b| {
+        b.iter(|| {
+            let r = EnzianCluster::new(4, SLICE).run_reference(&workload());
+            black_box(r.trace_digest)
+        })
+    });
+    for threads in [1usize, 2, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel_4_boards", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let r = EnzianCluster::new(4, SLICE).run_parallel(&workload(), threads);
+                    black_box(r.trace_digest)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

@@ -1,8 +1,9 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|pipelining|modelcheck|all]
-//!           [--csv [dir]] [--bench-dir dir] [--no-bench]
+//! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|
+//!            pipelining|modelcheck|cluster_scale|all]
+//!           [--csv [dir]] [--bench-dir dir] [--no-bench] [--threads N]
 //! ```
 //!
 //! With no argument (or `all`), prints every series in order. Each
@@ -12,9 +13,14 @@
 //! `docs/BENCH_SCHEMA.md`). The JSON carries only simulated quantities,
 //! so same-seed runs produce byte-identical files; wall-clock timings go
 //! to stderr only.
+//!
+//! `--threads N` sets the worker count for `cluster_scale` (default:
+//! available parallelism, capped at 8). The flag changes wall clock
+//! only: the bench JSON is byte-identical for every value, which the
+//! CI thread matrix asserts.
 
 use enzian_platform::experiments::{
-    fault_sweep, fig11, fig12, fig3, fig6, fig7, fig8, fig9, modelcheck, pipelining,
+    cluster_scale, fault_sweep, fig11, fig12, fig3, fig6, fig7, fig8, fig9, modelcheck, pipelining,
 };
 use enzian_sim::MetricsRegistry;
 
@@ -26,10 +32,13 @@ struct Opts {
     csv: Option<std::path::PathBuf>,
     /// Directory for `BENCH_<figure>.json`; `None` disables the export.
     bench: Option<std::path::PathBuf>,
+    /// Worker threads for the parallel cluster engine, when `--threads`
+    /// was given.
+    threads: Option<usize>,
 }
 
 /// Valid experiment selectors.
-const EXPERIMENTS: [&str; 12] = [
+const EXPERIMENTS: [&str; 13] = [
     "fig3",
     "fig6",
     "fig7",
@@ -41,6 +50,7 @@ const EXPERIMENTS: [&str; 12] = [
     "fault_sweep",
     "pipelining",
     "modelcheck",
+    "cluster_scale",
     "all",
 ];
 
@@ -48,6 +58,7 @@ fn parse_opts() -> Opts {
     let mut experiment = None;
     let mut csv = None;
     let mut bench = Some(std::path::PathBuf::from("."));
+    let mut threads = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -71,6 +82,16 @@ fn parse_opts() -> Opts {
                 bench = Some(dir);
             }
             "--no-bench" => bench = None,
+            "--threads" => {
+                let n = args.next().and_then(|s| s.parse::<usize>().ok());
+                match n {
+                    Some(n) if n >= 1 => threads = Some(n),
+                    _ => {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 if experiment.is_none() {
                     experiment = Some(other.to_string());
@@ -84,7 +105,16 @@ fn parse_opts() -> Opts {
         experiment: experiment.unwrap_or_else(|| "all".into()),
         csv,
         bench,
+        threads,
     }
+}
+
+/// Default worker count for the parallel cluster engine.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// Writes `contents` to `<dir>/<name>.csv` when CSV export is enabled.
@@ -469,6 +499,72 @@ fn run_modelcheck(opts: &Opts) {
     finish(opts, "modelcheck", &reg, started);
 }
 
+fn run_cluster_scale(opts: &Opts, measure_speedup: bool) {
+    let started = std::time::Instant::now();
+    let threads = opts.threads.unwrap_or_else(default_threads);
+    let mut reg = MetricsRegistry::new();
+    let par_started = std::time::Instant::now();
+    let rows = cluster_scale::run_instrumented(threads, &mut reg);
+    let par_wall = par_started.elapsed();
+    println!("{}", cluster_scale::render(&rows));
+    if measure_speedup && threads > 1 {
+        // Wall clock is the only thread-dependent observable; measure
+        // it against a sequential run and assert everything else is
+        // bit-identical. Stderr only, so the bench JSON stays pure.
+        let mut seq_reg = MetricsRegistry::new();
+        let seq_started = std::time::Instant::now();
+        let seq_rows = cluster_scale::run_instrumented(1, &mut seq_reg);
+        let seq_wall = seq_started.elapsed();
+        assert_eq!(rows, seq_rows, "thread count leaked into the rows");
+        assert_eq!(
+            reg.export_json(),
+            seq_reg.export_json(),
+            "thread count leaked into the metrics export"
+        );
+        eprintln!(
+            "cluster_scale: threads=1 {:.0} ms vs threads={threads} {:.0} ms ({:.2}x speedup)",
+            seq_wall.as_secs_f64() * 1e3,
+            par_wall.as_secs_f64() * 1e3,
+            seq_wall.as_secs_f64() / par_wall.as_secs_f64()
+        );
+    }
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.boards.to_string(),
+                r.total_ops.to_string(),
+                r.remote_pct.to_string(),
+                r.bridge_frames.to_string(),
+                r.goodput_gib.to_string(),
+                r.sim_end_us.to_string(),
+                r.epochs.to_string(),
+                r.messages.to_string(),
+                r.trace_digest.to_string(),
+            ]
+        })
+        .collect();
+    export(
+        &opts.csv,
+        "cluster_scale",
+        enzian_bench::to_csv(
+            &[
+                "boards",
+                "total_ops",
+                "remote_pct",
+                "bridge_frames",
+                "goodput_gib",
+                "sim_end_us",
+                "epochs",
+                "messages",
+                "trace_digest",
+            ],
+            &csv,
+        ),
+    );
+    finish(opts, "cluster_scale", &reg, started);
+}
+
 fn main() {
     let opts = parse_opts();
     match opts.experiment.as_str() {
@@ -483,6 +579,7 @@ fn main() {
         "fault_sweep" => run_fault_sweep(&opts),
         "pipelining" => run_pipelining(&opts),
         "modelcheck" => run_modelcheck(&opts),
+        "cluster_scale" => run_cluster_scale(&opts, true),
         "all" => {
             run_fig3(&opts);
             run_fig6(&opts);
@@ -494,11 +591,13 @@ fn main() {
             run_fault_sweep(&opts);
             run_pipelining(&opts);
             run_modelcheck(&opts);
+            run_cluster_scale(&opts, false);
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
-                 fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|pipelining|modelcheck|all"
+                 fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|pipelining|\
+                 modelcheck|cluster_scale|all"
             );
             std::process::exit(2);
         }

@@ -16,6 +16,9 @@
 //! * [`wire`] — the paper's own on-wire serialization format for protocol
 //!   messages, used both for interoperability between tools and for
 //!   stored traces;
+//! * [`bridge`] — the cluster-level bridge message format (§6): the
+//!   framed read/write/ack RPCs a board's FPGA forwards over the
+//!   inter-board fabric for remote slices of the global address space;
 //! * [`link`] — the physical layer: 24 × 10 Gb/s lanes in two 12-lane
 //!   links, with link training, lane/speed scaling (as the BDK allows),
 //!   per-VC credit flow control, and a load-balancing policy;
@@ -42,6 +45,7 @@
 //!   the wire format over any byte transport, with a CPU-side home
 //!   personality for bringing up foreign FPGA-side simulators.
 
+pub mod bridge;
 pub mod checker;
 pub mod cosim;
 pub mod decoder;
@@ -54,6 +58,7 @@ pub mod system;
 pub mod txn;
 pub mod wire;
 
+pub use bridge::{decode_bridge, encode_bridge, BridgeError, BridgeMsg, BridgeOp};
 pub use checker::{CheckerError, ProtocolChecker};
 pub use cosim::{CosimEndpoint, CosimHome, Loopback};
 pub use directory::{DirOp, DirStepError, Directory, DirectoryEntry, RemoteCopy};

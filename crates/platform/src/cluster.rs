@@ -15,10 +15,21 @@
 //! follow-on work starts from), so there is no cross-board coherence
 //! state to maintain — every access observes the owner's current value.
 
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use enzian_eci::bridge::{
+    decode_bridge, encode_bridge, BridgeMsg, BridgeOp, BRIDGE_OVERHEAD_BYTES,
+};
+use enzian_eci::link::fault_targets;
+use enzian_eci::system::TXN_STALL_TARGET;
 use enzian_eci::{EciSystem, EciSystemConfig};
 use enzian_mem::Addr;
-use enzian_net::eth::{EthLink, EthLinkConfig};
-use enzian_sim::{Duration, Time};
+use enzian_net::eth::{EthLink, EthLinkConfig, FRAME_OVERHEAD_BYTES};
+use enzian_sim::par::{run_conservative, Envelope, EpochWindow, ParConfig, Shard};
+use enzian_sim::{
+    Channel, ChannelConfig, Duration, FaultPlan, FaultSpec, MetricsRegistry, SimRng, Time,
+};
 
 /// Identifies a board in the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -34,6 +45,10 @@ pub struct EnzianCluster {
     slice_bytes: u64,
     /// Bridge processing per forwarded request (FPGA pipeline).
     bridge_latency: Duration,
+    /// Per-board system configuration (shards are rebuilt from it).
+    board_config: EciSystemConfig,
+    /// Fabric link parameters, shared by the mesh and the shard engine.
+    link_config: EthLinkConfig,
     remote_reads: u64,
     remote_writes: u64,
 }
@@ -47,8 +62,11 @@ impl std::fmt::Debug for EnzianCluster {
     }
 }
 
-/// Header bytes of a bridge message on the fabric.
-const BRIDGE_HEADER: u64 = 24;
+/// Header bytes of a bridge message on the fabric (the framed codec's
+/// 20-byte header plus its CRC-32 trailer; see
+/// [`enzian_eci::bridge::BRIDGE_OVERHEAD_BYTES`]).
+pub const BRIDGE_HEADER: u64 = 24;
+const _: () = assert!(BRIDGE_HEADER == BRIDGE_OVERHEAD_BYTES);
 
 impl EnzianCluster {
     /// Builds an `n`-board cluster, each contributing `slice_bytes` of
@@ -60,18 +78,30 @@ impl EnzianCluster {
     /// Panics for fewer than 2 boards or a slice exceeding a board's
     /// CPU memory.
     pub fn new(n: usize, slice_bytes: u64) -> Self {
+        Self::with_board_config(n, slice_bytes, EciSystemConfig::enzian())
+    }
+
+    /// [`EnzianCluster::new`] with an explicit per-board configuration
+    /// (e.g. [`EciSystemConfig::with_capture_trace`] for runs whose
+    /// traces feed the determinism battery's digests).
+    ///
+    /// # Panics
+    ///
+    /// Panics for fewer than 2 boards or a slice exceeding a board's
+    /// CPU memory.
+    pub fn with_board_config(n: usize, slice_bytes: u64, cfg: EciSystemConfig) -> Self {
         assert!(n >= 2, "a cluster needs at least two boards");
-        let cfg = EciSystemConfig::enzian();
         assert!(
             slice_bytes <= cfg.map.cpu_bytes(),
             "slice exceeds a board's CPU memory"
         );
+        let link_config = EthLinkConfig::hundred_gig();
         let boards = (0..n).map(|_| EciSystem::new(cfg)).collect();
         let mut links = Vec::with_capacity(n);
         for i in 0..n {
             let mut row = Vec::with_capacity(n);
             for j in 0..n {
-                row.push((j > i).then(|| EthLink::new(EthLinkConfig::hundred_gig())));
+                row.push((j > i).then(|| EthLink::new(link_config)));
             }
             links.push(row);
         }
@@ -80,6 +110,8 @@ impl EnzianCluster {
             links,
             slice_bytes,
             bridge_latency: Duration::from_ns(150),
+            board_config: cfg,
+            link_config,
             remote_reads: 0,
             remote_writes: 0,
         }
@@ -120,6 +152,11 @@ impl EnzianCluster {
     /// `(remote reads, remote writes)` bridged so far.
     pub fn bridge_stats(&self) -> (u64, u64) {
         (self.remote_reads, self.remote_writes)
+    }
+
+    /// The per-board configuration the cluster was built with.
+    pub fn board_config(&self) -> EciSystemConfig {
+        self.board_config
     }
 
     fn fabric_send(&mut self, from: BoardId, to: BoardId, now: Time, payload: u64) -> Time {
@@ -200,6 +237,777 @@ impl enzian_sim::Instrumented for EnzianCluster {
         for (i, b) in self.boards.iter().enumerate() {
             b.export_metrics(&format!("{prefix}.board{i}"), registry);
         }
+    }
+}
+
+// -------------------------------------------------------------------
+// Conservative-parallel cluster execution
+// -------------------------------------------------------------------
+
+/// Per-destination traffic accounting for one board's bridge, as seen
+/// at the sender.
+///
+/// `wire_bytes` counts encoded frames exactly as the fabric carries
+/// them, so for every flow `wire_bytes == payload_bytes + frames *`
+/// [`BRIDGE_HEADER`] and equals the outgoing channel's
+/// [`Channel::bytes_carried`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Bridge frames sent to this destination.
+    pub frames: u64,
+    /// Cache-line payload bytes carried by those frames.
+    pub payload_bytes: u64,
+    /// Total encoded bytes handed to the fabric.
+    pub wire_bytes: u64,
+}
+
+/// A synthetic cluster workload: per-board request streams mixing
+/// local coherent accesses with bridged remote reads/writes, all
+/// derived from one seed so any two same-seed runs are identical.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub struct ClusterWorkload {
+    /// Independent request streams per board.
+    pub streams_per_board: usize,
+    /// Operations each stream issues before retiring.
+    pub ops_per_stream: u64,
+    /// Private line slots each stream cycles through.
+    pub slots_per_stream: u64,
+    /// Basis points (of 10 000) of ops that target a remote slice.
+    pub remote_bp: u64,
+    /// Basis points of ops that are writes.
+    pub write_bp: u64,
+    /// Master seed; every stream RNG and fault plan derives from it.
+    pub seed: u64,
+    /// Basis points of frame-corrupt fault probability (drop and txn
+    /// stall faults ride along at half and a quarter of it); zero
+    /// disables fault injection.
+    pub fault_rate_bp: u64,
+}
+
+impl ClusterWorkload {
+    /// A small mixed workload, sized for unit tests.
+    pub fn small() -> Self {
+        ClusterWorkload {
+            streams_per_board: 4,
+            ops_per_stream: 48,
+            slots_per_stream: 8,
+            remote_bp: 2_500,
+            write_bp: 5_000,
+            seed: 0xC1A5_7E12,
+            fault_rate_bp: 0,
+        }
+    }
+
+    /// The `cluster_scale` experiment's workload: enough work per
+    /// board that epoch synchronization is amortized.
+    pub fn scale() -> Self {
+        ClusterWorkload {
+            streams_per_board: 8,
+            ops_per_stream: 160,
+            slots_per_stream: 16,
+            remote_bp: 2_000,
+            write_bp: 5_000,
+            seed: 0xE21A_0BDE,
+            fault_rate_bp: 0,
+        }
+    }
+
+    /// Returns the workload with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the workload with `ops_per_stream` replaced.
+    pub fn with_ops_per_stream(mut self, ops: u64) -> Self {
+        self.ops_per_stream = ops;
+        self
+    }
+
+    /// Returns the workload with `remote_bp` replaced.
+    pub fn with_remote_bp(mut self, bp: u64) -> Self {
+        assert!(bp <= 10_000, "basis points exceed 10_000");
+        self.remote_bp = bp;
+        self
+    }
+
+    /// Returns the workload with fault injection at `bp` basis points.
+    pub fn with_fault_rate_bp(mut self, bp: u64) -> Self {
+        assert!(bp <= 10_000, "basis points exceed 10_000");
+        self.fault_rate_bp = bp;
+        self
+    }
+}
+
+/// What one cluster run did — a pure function of the cluster
+/// configuration and [`ClusterWorkload`], never of the thread count.
+///
+/// The only engine-dependent field is `epochs` (zero for the
+/// sequential reference driver); [`ClusterRunReport::assert_matches`]
+/// compares everything else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRunReport {
+    /// Boards simulated.
+    pub boards: usize,
+    /// Operations issued (= boards × streams × ops_per_stream).
+    pub total_ops: u64,
+    /// Local coherent reads completed.
+    pub local_reads: u64,
+    /// Local coherent writes completed.
+    pub local_writes: u64,
+    /// Bridged reads completed (response received).
+    pub remote_reads: u64,
+    /// Bridged writes completed (ack received).
+    pub remote_writes: u64,
+    /// Nack frames received by requesters.
+    pub nacks: u64,
+    /// Operations that failed (local retry-budget exhaustion + nacks).
+    pub failures: u64,
+    /// Bridge frames carried by the fabric (requests and responses).
+    pub bridge_frames: u64,
+    /// Cache-line payload bytes carried by those frames.
+    pub bridge_payload_bytes: u64,
+    /// Encoded bytes handed to the fabric.
+    pub bridge_wire_bytes: u64,
+    /// Latest instant any board observed.
+    pub sim_end: Time,
+    /// Lock-step epochs executed (zero under the reference driver).
+    pub epochs: u64,
+    /// Cross-board envelopes exchanged.
+    pub messages: u64,
+    /// FNV-1a digest over every board's final state: stream clocks,
+    /// shadow memory, flow tables and captured wire traces.
+    pub trace_digest: u64,
+    /// `flows[src][dst]`: per-directed-pair traffic accounting.
+    pub flows: Vec<Vec<FlowStats>>,
+}
+
+impl ClusterRunReport {
+    /// Asserts this report equals `other` on every engine-independent
+    /// field (everything but `epochs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first differing field.
+    pub fn assert_matches(&self, other: &ClusterRunReport) {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.epochs = 0;
+        b.epochs = 0;
+        assert_eq!(a, b, "cluster run reports diverge");
+    }
+
+    /// Publishes the report under `prefix.*`. Every exported value is
+    /// deterministic across thread counts, so two exports of same-seed
+    /// runs are byte-identical.
+    pub fn export_metrics(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        let c = |reg: &mut MetricsRegistry, k: &str, v: u64| {
+            reg.counter_set(&format!("{prefix}.{k}"), v);
+        };
+        c(reg, "boards", self.boards as u64);
+        c(reg, "total_ops", self.total_ops);
+        c(reg, "local_reads", self.local_reads);
+        c(reg, "local_writes", self.local_writes);
+        c(reg, "remote_reads", self.remote_reads);
+        c(reg, "remote_writes", self.remote_writes);
+        c(reg, "nacks", self.nacks);
+        c(reg, "failures", self.failures);
+        c(reg, "bridge_frames", self.bridge_frames);
+        c(reg, "bridge_payload_bytes", self.bridge_payload_bytes);
+        c(reg, "bridge_wire_bytes", self.bridge_wire_bytes);
+        c(reg, "sim_end_ps", self.sim_end.as_ps());
+        c(reg, "epochs", self.epochs);
+        c(reg, "messages", self.messages);
+        c(reg, "trace_digest", self.trace_digest);
+    }
+}
+
+/// FNV-1a 64-bit, used for the run digest (stable, dependency-free).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// One stream's pending bridged operation, awaiting its response.
+struct PendingOp {
+    write: bool,
+    global: u64,
+    fill: u8,
+}
+
+/// One request stream on a board.
+struct StreamState {
+    rng: SimRng,
+    /// When the stream can issue its next operation.
+    at: Time,
+    /// Operations left to complete.
+    remaining: u64,
+    /// Set while a bridged request is in flight.
+    blocked: Option<PendingOp>,
+    /// Expected line fill per global address this stream wrote;
+    /// `None` marks a slot poisoned by a failed write. A `BTreeMap`
+    /// so digests iterate in address order.
+    shadow: BTreeMap<u64, Option<u8>>,
+}
+
+/// A board plus its private half of the fabric: one shard of the
+/// conservative-parallel cluster.
+struct BoardShard {
+    id: usize,
+    n: usize,
+    slice_bytes: u64,
+    streams_per_board: usize,
+    slots_per_stream: u64,
+    remote_bp: u64,
+    write_bp: u64,
+    bridge_latency: Duration,
+    sys: EciSystem,
+    /// Outgoing channel per destination board (`None` for self).
+    out: Vec<Option<Channel>>,
+    streams: Vec<StreamState>,
+    inbox: BinaryHeap<Reverse<Envelope<Vec<u8>>>>,
+    /// Envelope sequence counter — unique per (board, seq), so the
+    /// merge order (time, src, seq) is total.
+    seq: u32,
+    flows: Vec<FlowStats>,
+    last: Time,
+    local_reads: u64,
+    local_writes: u64,
+    remote_reads: u64,
+    remote_writes: u64,
+    nacks: u64,
+    failures: u64,
+}
+
+/// Key ordering per-board work: inbox deliveries run before stream
+/// issues at the same instant, and both tie-break deterministically.
+type WorkKey = (Time, u8, u64, u64);
+
+impl BoardShard {
+    /// Requester-private byte offset (valid within any board's slice)
+    /// for `(owner-of-the-request board, stream, slot)`.
+    fn slot_offset(&self, stream: usize, slot: u64) -> u64 {
+        ((self.id * self.streams_per_board + stream) as u64 * self.slots_per_stream + slot) * 128
+    }
+
+    fn push_arrival(&mut self, env: Envelope<Vec<u8>>) {
+        self.inbox.push(Reverse(env));
+    }
+
+    /// The next unit of work, or `None` when the board is quiescent.
+    fn next_key(&self) -> Option<WorkKey> {
+        let mut best: Option<WorkKey> = None;
+        if let Some(Reverse(env)) = self.inbox.peek() {
+            best = Some((env.at, 0, env.src as u64, env.seq));
+        }
+        for (i, s) in self.streams.iter().enumerate() {
+            if s.remaining == 0 || s.blocked.is_some() {
+                continue;
+            }
+            let k = (s.at, 1, i as u64, 0);
+            if best.is_none_or(|b| k < b) {
+                best = Some(k);
+            }
+        }
+        best
+    }
+
+    fn next_seq(&mut self) -> u32 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Encodes `msg`, serializes it onto the channel towards `dst` at
+    /// `at`, accounts the flow, and emits the timestamped envelope.
+    fn send_frame(
+        &mut self,
+        dst: usize,
+        at: Time,
+        msg: &BridgeMsg,
+        out: &mut Vec<(usize, Envelope<Vec<u8>>)>,
+    ) {
+        let bytes = encode_bridge(msg);
+        let payload = match msg.op {
+            BridgeOp::ReadResp(_) | BridgeOp::WriteReq(_) => 128,
+            _ => 0,
+        };
+        let ch = self.out[dst].as_mut().expect("no channel to self");
+        let xfer = ch.send(at, bytes.len() as u64);
+        let flow = &mut self.flows[dst];
+        flow.frames += 1;
+        flow.payload_bytes += payload;
+        flow.wire_bytes += bytes.len() as u64;
+        let seq = u64::from(msg.seq);
+        let env = Envelope {
+            at: xfer.done + self.bridge_latency,
+            src: self.id,
+            seq,
+            payload: bytes,
+        };
+        out.push((dst, env));
+    }
+
+    /// Serves or completes the next inbox delivery.
+    fn process_envelope(&mut self, out: &mut Vec<(usize, Envelope<Vec<u8>>)>) {
+        let Reverse(env) = self.inbox.pop().expect("inbox not empty");
+        let msg = decode_bridge(&env.payload).expect("fabric frames survive transit");
+        let src = usize::from(msg.src);
+        match msg.op {
+            BridgeOp::ReadReq => {
+                let local = Addr(msg.addr % self.slice_bytes);
+                let (op, at) = match self.sys.try_fpga_read_line(env.at, local) {
+                    Ok((data, served)) => (BridgeOp::ReadResp(Box::new(data)), served),
+                    Err(_) => (BridgeOp::Nack, env.at + Duration::from_us(1)),
+                };
+                self.last = self.last.max(at);
+                let reply = BridgeMsg {
+                    src: self.id as u8,
+                    dst: msg.src,
+                    token: msg.token,
+                    addr: msg.addr,
+                    seq: self.next_seq(),
+                    op,
+                };
+                self.send_frame(src, at, &reply, out);
+            }
+            BridgeOp::WriteReq(data) => {
+                let local = Addr(msg.addr % self.slice_bytes);
+                let (op, at) = match self.sys.try_fpga_write_line(env.at, local, &data) {
+                    Ok(committed) => (BridgeOp::WriteAck, committed),
+                    Err(_) => (BridgeOp::Nack, env.at + Duration::from_us(1)),
+                };
+                self.last = self.last.max(at);
+                let reply = BridgeMsg {
+                    src: self.id as u8,
+                    dst: msg.src,
+                    token: msg.token,
+                    addr: msg.addr,
+                    seq: self.next_seq(),
+                    op,
+                };
+                self.send_frame(src, at, &reply, out);
+            }
+            BridgeOp::ReadResp(data) => {
+                let s = &mut self.streams[usize::from(msg.token)];
+                let p = s.blocked.take().expect("response for an idle stream");
+                if let Some(Some(fill)) = s.shadow.get(&p.global) {
+                    assert_eq!(
+                        data.as_ref(),
+                        &[*fill; 128],
+                        "bridged read returned stale data"
+                    );
+                }
+                s.at = env.at;
+                s.remaining -= 1;
+                self.remote_reads += 1;
+                self.last = self.last.max(env.at);
+            }
+            BridgeOp::WriteAck => {
+                let s = &mut self.streams[usize::from(msg.token)];
+                let p = s.blocked.take().expect("ack for an idle stream");
+                s.shadow.insert(p.global, Some(p.fill));
+                s.at = env.at;
+                s.remaining -= 1;
+                self.remote_writes += 1;
+                self.last = self.last.max(env.at);
+            }
+            BridgeOp::Nack => {
+                let s = &mut self.streams[usize::from(msg.token)];
+                let p = s.blocked.take().expect("nack for an idle stream");
+                if p.write {
+                    s.shadow.insert(p.global, None);
+                }
+                s.at = env.at;
+                s.remaining -= 1;
+                self.nacks += 1;
+                self.failures += 1;
+                self.last = self.last.max(env.at);
+            }
+        }
+    }
+
+    /// Issues stream `si`'s next operation.
+    fn process_stream(&mut self, si: usize, out: &mut Vec<(usize, Envelope<Vec<u8>>)>) {
+        let (at, remote, write, slot, fill, dst) = {
+            let s = &mut self.streams[si];
+            let remote = self.n > 1 && s.rng.next_below(10_000) < self.remote_bp;
+            let write = s.rng.next_below(10_000) < self.write_bp;
+            let slot = s.rng.next_below(self.slots_per_stream);
+            let fill = s.rng.next_u64() as u8;
+            let dst = if remote {
+                let r = s.rng.next_below(self.n as u64 - 1) as usize;
+                if r >= self.id {
+                    r + 1
+                } else {
+                    r
+                }
+            } else {
+                self.id
+            };
+            (s.at, remote, write, slot, fill, dst)
+        };
+        let offset = self.slot_offset(si, slot);
+        let global = dst as u64 * self.slice_bytes + offset;
+        if !remote {
+            let local = Addr(offset);
+            if write {
+                let line = [fill; 128];
+                match self.sys.try_cpu_write_line(at, local, &line) {
+                    Ok(done) => {
+                        let s = &mut self.streams[si];
+                        s.shadow.insert(global, Some(fill));
+                        s.at = done;
+                        s.remaining -= 1;
+                        self.local_writes += 1;
+                        self.last = self.last.max(done);
+                    }
+                    Err(_) => self.fail_local(si, at, Some(global)),
+                }
+            } else {
+                match self.sys.try_cpu_read_line(at, local) {
+                    Ok((data, done)) => {
+                        let s = &mut self.streams[si];
+                        if let Some(Some(expect)) = s.shadow.get(&global) {
+                            assert_eq!(data, [*expect; 128], "local read returned stale data");
+                        }
+                        s.at = done;
+                        s.remaining -= 1;
+                        self.local_reads += 1;
+                        self.last = self.last.max(done);
+                    }
+                    Err(_) => self.fail_local(si, at, None),
+                }
+            }
+        } else {
+            let op = if write {
+                BridgeOp::WriteReq(Box::new([fill; 128]))
+            } else {
+                BridgeOp::ReadReq
+            };
+            let msg = BridgeMsg {
+                src: self.id as u8,
+                dst: dst as u8,
+                token: si as u8,
+                addr: global,
+                seq: self.next_seq(),
+                op,
+            };
+            self.streams[si].blocked = Some(PendingOp {
+                write,
+                global,
+                fill,
+            });
+            self.send_frame(dst, at, &msg, out);
+        }
+    }
+
+    /// A local operation exhausted its retry budget: charge a penalty,
+    /// poison the written slot, and move on.
+    fn fail_local(&mut self, si: usize, at: Time, poisoned: Option<u64>) {
+        let s = &mut self.streams[si];
+        if let Some(global) = poisoned {
+            s.shadow.insert(global, None);
+        }
+        s.at = at + Duration::from_us(1);
+        s.remaining -= 1;
+        self.failures += 1;
+        self.last = self.last.max(s.at);
+    }
+
+    /// Runs the single earliest unit of work on this board.
+    fn process_next(&mut self, out: &mut Vec<(usize, Envelope<Vec<u8>>)>) {
+        let key = self.next_key().expect("process_next on a quiescent board");
+        if key.1 == 0 {
+            self.process_envelope(out);
+        } else {
+            self.process_stream(key.2 as usize, out);
+        }
+    }
+
+    /// Folds this board's externally observable final state into `d`.
+    fn digest_into(&self, d: &mut Fnv) {
+        d.u64(self.id as u64);
+        for s in &self.streams {
+            d.u64(s.at.as_ps());
+            d.u64(s.remaining);
+            for (addr, val) in &s.shadow {
+                d.u64(*addr);
+                match val {
+                    Some(v) => {
+                        d.u64(1);
+                        d.u64(u64::from(*v));
+                    }
+                    None => d.u64(2),
+                }
+            }
+        }
+        for f in &self.flows {
+            d.u64(f.frames);
+            d.u64(f.payload_bytes);
+            d.u64(f.wire_bytes);
+        }
+        d.u64(self.last.as_ps());
+        d.u64(self.local_reads);
+        d.u64(self.local_writes);
+        d.u64(self.remote_reads);
+        d.u64(self.remote_writes);
+        d.u64(self.nacks);
+        d.u64(self.failures);
+        d.bytes(self.sys.trace().wire_bytes());
+    }
+}
+
+impl Shard for BoardShard {
+    type Msg = Vec<u8>;
+
+    fn step(
+        &mut self,
+        window: EpochWindow,
+        arrivals: Vec<Envelope<Vec<u8>>>,
+        out: &mut Vec<(usize, Envelope<Vec<u8>>)>,
+    ) {
+        for env in arrivals {
+            self.inbox.push(Reverse(env));
+        }
+        while let Some(key) = self.next_key() {
+            if key.0 >= window.end {
+                break;
+            }
+            self.process_next(out);
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.inbox.is_empty()
+            && self
+                .streams
+                .iter()
+                .all(|s| s.remaining == 0 && s.blocked.is_none())
+    }
+}
+
+/// Sequential reference driver: a single global clock sweeping the
+/// earliest work item across all boards, with immediate delivery. The
+/// per-board processing order is identical to the epoch engine's, so
+/// final states must match bit-for-bit — a genuinely different
+/// execution engine validating the lookahead/epoch machinery.
+fn run_shards_reference(shards: &mut [BoardShard]) -> u64 {
+    let mut messages = 0;
+    let mut out = Vec::new();
+    loop {
+        let mut best: Option<(WorkKey, usize)> = None;
+        for (i, s) in shards.iter().enumerate() {
+            if let Some(k) = s.next_key() {
+                if best.is_none_or(|(bk, bi)| (k, i) < (bk, bi)) {
+                    best = Some((k, i));
+                }
+            }
+        }
+        let Some((_, i)) = best else { break };
+        shards[i].process_next(&mut out);
+        messages += out.len() as u64;
+        for (dst, env) in out.drain(..) {
+            shards[dst].push_arrival(env);
+        }
+    }
+    messages
+}
+
+impl EnzianCluster {
+    /// The conservative engine's lookahead: no bridge frame sent at
+    /// `t` can be processed remotely before `t + propagation +
+    /// bridge_latency` (serialization only adds margin).
+    pub fn lookahead(&self) -> Duration {
+        self.link_config.propagation + self.bridge_latency
+    }
+
+    fn make_shards(&mut self, w: &ClusterWorkload) -> Vec<BoardShard> {
+        let n = self.boards.len();
+        assert!(w.streams_per_board > 0, "workload needs streams");
+        assert!(
+            w.streams_per_board * n <= 256,
+            "stream tokens and board ids must fit a byte"
+        );
+        assert!(
+            (n * w.streams_per_board) as u64 * w.slots_per_stream * 128 <= self.slice_bytes,
+            "workload's private regions exceed a board slice"
+        );
+        let boards = std::mem::take(&mut self.boards);
+        let chan_cfg = ChannelConfig {
+            bits_per_sec: self.link_config.bits_per_sec,
+            coding_efficiency: 1.0,
+            propagation: self.link_config.propagation,
+            frame_overhead_bytes: FRAME_OVERHEAD_BYTES,
+        };
+        boards
+            .into_iter()
+            .enumerate()
+            .map(|(id, mut sys)| {
+                if w.fault_rate_bp > 0 {
+                    let p = w.fault_rate_bp as f64 / 10_000.0;
+                    let seed = w
+                        .seed
+                        .wrapping_add((id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    sys.set_fault_plan(
+                        FaultPlan::new(seed)
+                            .with(FaultSpec::probability(fault_targets::FRAME_CORRUPT, p))
+                            .with(FaultSpec::probability(fault_targets::FRAME_DROP, p / 2.0))
+                            .with(FaultSpec::probability(TXN_STALL_TARGET, p / 4.0)),
+                    );
+                }
+                let streams: Vec<StreamState> = (0..w.streams_per_board)
+                    .map(|s| StreamState {
+                        rng: SimRng::seed_from(
+                            w.seed
+                                ^ ((id * w.streams_per_board + s) as u64 + 1)
+                                    .wrapping_mul(0x2545_F491_4F6C_DD1D),
+                        ),
+                        at: Time::ZERO + Duration::from_ns(50) * s as u64,
+                        remaining: w.ops_per_stream,
+                        blocked: None,
+                        shadow: BTreeMap::new(),
+                    })
+                    .collect();
+                BoardShard {
+                    id,
+                    n,
+                    slice_bytes: self.slice_bytes,
+                    streams_per_board: w.streams_per_board,
+                    slots_per_stream: w.slots_per_stream,
+                    remote_bp: w.remote_bp,
+                    write_bp: w.write_bp,
+                    bridge_latency: self.bridge_latency,
+                    sys,
+                    out: (0..n)
+                        .map(|d| (d != id).then(|| Channel::new(chan_cfg)))
+                        .collect(),
+                    streams,
+                    inbox: BinaryHeap::new(),
+                    seq: 0,
+                    flows: vec![FlowStats::default(); n],
+                    last: Time::ZERO,
+                    local_reads: 0,
+                    local_writes: 0,
+                    remote_reads: 0,
+                    remote_writes: 0,
+                    nacks: 0,
+                    failures: 0,
+                }
+            })
+            .collect()
+    }
+
+    /// Tears shards back down into the cluster and builds the report.
+    fn finish_run(
+        &mut self,
+        shards: Vec<BoardShard>,
+        w: &ClusterWorkload,
+        epochs: u64,
+        messages: u64,
+    ) -> ClusterRunReport {
+        let n = shards.len();
+        let mut report = ClusterRunReport {
+            boards: n,
+            total_ops: (n * w.streams_per_board) as u64 * w.ops_per_stream,
+            local_reads: 0,
+            local_writes: 0,
+            remote_reads: 0,
+            remote_writes: 0,
+            nacks: 0,
+            failures: 0,
+            bridge_frames: 0,
+            bridge_payload_bytes: 0,
+            bridge_wire_bytes: 0,
+            sim_end: Time::ZERO,
+            epochs,
+            messages,
+            trace_digest: 0,
+            flows: Vec::with_capacity(n),
+        };
+        let mut digest = Fnv::new();
+        for shard in shards {
+            assert!(shard.idle(), "run finished with live work on a board");
+            shard.digest_into(&mut digest);
+            report.local_reads += shard.local_reads;
+            report.local_writes += shard.local_writes;
+            report.remote_reads += shard.remote_reads;
+            report.remote_writes += shard.remote_writes;
+            report.nacks += shard.nacks;
+            report.failures += shard.failures;
+            report.sim_end = report.sim_end.max(shard.last);
+            for (dst, (f, ch)) in shard.flows.iter().zip(&shard.out).enumerate() {
+                report.bridge_frames += f.frames;
+                report.bridge_payload_bytes += f.payload_bytes;
+                report.bridge_wire_bytes += f.wire_bytes;
+                if let Some(ch) = ch {
+                    assert_eq!(
+                        f.wire_bytes,
+                        ch.bytes_carried(),
+                        "flow accounting diverged from the channel ({} -> {dst})",
+                        shard.id
+                    );
+                }
+            }
+            report.flows.push(shard.flows.clone());
+            self.remote_reads += shard.remote_reads;
+            self.remote_writes += shard.remote_writes;
+            self.boards.push(shard.sys);
+        }
+        report.trace_digest = digest.0;
+        let completed = report.local_reads
+            + report.local_writes
+            + report.remote_reads
+            + report.remote_writes
+            + report.failures;
+        assert_eq!(completed, report.total_ops, "operations went missing");
+        self.assert_all_clean();
+        report
+    }
+
+    /// Runs `w` across all boards on the conservative-parallel engine
+    /// with `threads` workers (clamped to the board count; `1` runs
+    /// the same epoch protocol inline).
+    ///
+    /// The report — and any metrics or bench JSON derived from it — is
+    /// bit-identical for every thread count: each board's work is a
+    /// pure function of its own state plus a deterministically ordered
+    /// inbox, and the merge order `(time, src, seq)` never observes
+    /// the partitioning.
+    pub fn run_parallel(&mut self, w: &ClusterWorkload, threads: usize) -> ClusterRunReport {
+        assert!(threads >= 1, "need at least one worker thread");
+        let mut shards = self.make_shards(w);
+        let cfg = ParConfig::new(self.lookahead())
+            .with_threads(threads)
+            .with_channel_capacity(256);
+        let par = run_conservative(&mut shards, &cfg);
+        self.finish_run(shards, w, par.epochs, par.messages)
+    }
+
+    /// Runs `w` on the sequential reference driver (global
+    /// earliest-work loop, immediate delivery). Exists to validate the
+    /// parallel engine: [`ClusterRunReport::assert_matches`] against a
+    /// [`EnzianCluster::run_parallel`] report must hold for any thread
+    /// count.
+    pub fn run_reference(&mut self, w: &ClusterWorkload) -> ClusterRunReport {
+        let mut shards = self.make_shards(w);
+        let messages = run_shards_reference(&mut shards);
+        self.finish_run(shards, w, 0, messages)
     }
 }
 
@@ -301,5 +1109,66 @@ mod tests {
     #[should_panic(expected = "at least two boards")]
     fn single_board_cluster_rejected() {
         let _ = EnzianCluster::new(1, MIB);
+    }
+
+    #[test]
+    fn parallel_run_matches_reference_and_every_thread_count() {
+        let w = ClusterWorkload::small();
+        let reference = EnzianCluster::new(3, MIB).run_reference(&w);
+        assert_eq!(reference.epochs, 0);
+        assert!(reference.remote_reads + reference.remote_writes > 0);
+        assert_eq!(reference.failures, 0);
+        let mut parallel: Vec<ClusterRunReport> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| EnzianCluster::new(3, MIB).run_parallel(&w, t))
+            .collect();
+        for p in &parallel {
+            p.assert_matches(&reference);
+        }
+        // Including `epochs`, every parallel run is identical.
+        let first = parallel.remove(0);
+        assert!(first.epochs > 0);
+        for p in &parallel {
+            assert_eq!(*p, first);
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_deterministic_under_faults() {
+        let w = ClusterWorkload::small().with_fault_rate_bp(400);
+        let reference = EnzianCluster::new(2, MIB).run_reference(&w);
+        let par = EnzianCluster::new(2, MIB).run_parallel(&w, 2);
+        par.assert_matches(&reference);
+    }
+
+    #[test]
+    fn flow_accounting_matches_the_bridge_header() {
+        let r = EnzianCluster::new(3, MIB).run_parallel(&ClusterWorkload::small(), 2);
+        assert_eq!(
+            r.bridge_wire_bytes,
+            r.bridge_payload_bytes + r.bridge_frames * BRIDGE_HEADER
+        );
+        for row in &r.flows {
+            for f in row {
+                assert_eq!(f.wire_bytes, f.payload_bytes + f.frames * BRIDGE_HEADER);
+            }
+        }
+    }
+
+    #[test]
+    fn run_parallel_restores_the_boards() {
+        let mut c = EnzianCluster::new(2, MIB);
+        let before = c.len();
+        let r = c.run_parallel(&ClusterWorkload::small(), 1);
+        assert_eq!(c.len(), before);
+        assert_eq!(
+            c.bridge_stats(),
+            (r.remote_reads, r.remote_writes),
+            "bridge counters absorb the run"
+        );
+        // The cluster remains usable through the sequential facade.
+        let (_, t) = c.read_line(BoardId(0), r.sim_end, MIB + 4096);
+        assert!(t > r.sim_end);
+        c.assert_all_clean();
     }
 }

@@ -18,7 +18,9 @@ pub mod shellctl;
 
 pub use bdk::BdkConsole;
 pub use catapult::BumpInTheWire;
-pub use cluster::{BoardId, EnzianCluster};
+pub use cluster::{
+    BoardId, ClusterRunReport, ClusterWorkload, EnzianCluster, FlowStats, BRIDGE_HEADER,
+};
 pub use devicetree::{render_dts, DeviceTreeOptions};
 pub use machine::{EnzianMachine, MachineConfig};
 pub use presets::PlatformPreset;

@@ -15,7 +15,11 @@
 //!   text and JSON exporters,
 //! * [`fault`] — a seeded, deterministic [`FaultPlan`] of composable
 //!   fault specs (one-shot, periodic, windowed, probabilistic) with an
-//!   injected/recovered ledger, used by every layer's chaos machinery.
+//!   injected/recovered ledger, used by every layer's chaos machinery,
+//! * [`par`] — a conservative parallel execution layer: [`Shard`]s
+//!   advance in lock-step epochs of one lookahead, exchanging
+//!   timestamped [`Envelope`]s over bounded channels, with results that
+//!   are bit-identical for every thread count.
 //!
 //! # Example
 //!
@@ -34,6 +38,7 @@
 pub mod channel;
 pub mod engine;
 pub mod fault;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -42,6 +47,7 @@ pub mod time;
 pub use channel::{Channel, ChannelConfig};
 pub use engine::{EventId, LivelockError, Scheduler, Simulator};
 pub use fault::{FaultPlan, FaultSpec, FaultTrigger};
+pub use par::{run_conservative, Envelope, EpochBarrier, EpochWindow, ParConfig, ParReport, Shard};
 pub use rng::SimRng;
 pub use telemetry::{Instrumented, MetricsRegistry, TraceEvent, TraceRing};
 pub use time::{Duration, Time};
