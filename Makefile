@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck par-cluster loom clean
+.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck par-cluster loom perf clean
 
-ci: fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck par-cluster loom
+ci: fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck par-cluster loom perf
 
 fmt:
 	$(CARGO) fmt --all
@@ -89,6 +89,28 @@ par-cluster: build
 	cmp target/par-cluster/t1a/BENCH_cluster_scale.json target/par-cluster/t2a/BENCH_cluster_scale.json
 	cmp target/par-cluster/t1a/BENCH_cluster_scale.json target/par-cluster/t8a/BENCH_cluster_scale.json
 	@echo "par-cluster OK: BENCH_cluster_scale.json byte-identical across threads 1/2/8"
+
+# Perf gate, exactly as CI runs it: sched_hotpath + cluster_scale twice,
+# determinism compared modulo timing.* gauges, deterministic counters
+# gated against the committed baselines in benches/baselines/, and the
+# calendar-queue core's throughput floor over the retained reference
+# core enforced.
+perf: build
+	rm -rf target/perf
+	mkdir -p target/perf/a target/perf/b
+	target/release/reproduce sched_hotpath --threads 2 --bench-dir target/perf/a > /dev/null
+	target/release/reproduce cluster_scale --threads 2 --bench-dir target/perf/a > /dev/null
+	target/release/reproduce sched_hotpath --threads 2 --bench-dir target/perf/b > /dev/null
+	target/release/reproduce cluster_scale --threads 2 --bench-dir target/perf/b > /dev/null
+	target/release/perfgate compare target/perf/a/BENCH_sched_hotpath.json target/perf/b/BENCH_sched_hotpath.json
+	target/release/perfgate compare target/perf/a/BENCH_cluster_scale.json target/perf/b/BENCH_cluster_scale.json
+	cmp target/perf/a/BENCH_cluster_scale.json target/perf/b/BENCH_cluster_scale.json
+	target/release/perfgate baseline benches/baselines/BENCH_sched_hotpath.json target/perf/a/BENCH_sched_hotpath.json
+	target/release/perfgate baseline benches/baselines/BENCH_cluster_scale.json target/perf/a/BENCH_cluster_scale.json
+	target/release/perfgate speedup target/perf/a/BENCH_sched_hotpath.json \
+		sched_hotpath.timing.pod_mevents_per_sec \
+		sched_hotpath.timing.reference_mevents_per_sec --min 1.5
+	@echo "perf OK: hot path deterministic, baselines held, throughput floor met"
 
 # Exhaustive interleaving checks for the epoch barrier and bounded
 # inter-shard channels (the loom-style battery; compiled only under

@@ -1,0 +1,31 @@
+//! Scheduler hot-path bench: the retained reference core vs the
+//! calendar-queue core (boxed closures and POD events), plus the
+//! sharded parallel leg.
+
+use enzian_bench::harness::{BenchmarkId, Criterion};
+use enzian_platform::experiments::sched_hotpath;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_hotpath");
+    g.bench_function("reference_core", |b| {
+        b.iter(|| black_box(sched_hotpath::run_reference_core().1))
+    });
+    g.bench_function("calendar_closures", |b| {
+        b.iter(|| black_box(sched_hotpath::run_closure_core().1))
+    });
+    g.bench_function("calendar_pod", |b| {
+        b.iter(|| black_box(sched_hotpath::run_pod_core().1))
+    });
+    for threads in [1usize, 2, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel_pod", threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(sched_hotpath::run_parallel(threads).1)),
+        );
+    }
+    g.finish();
+}
+
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Perf-regression gate over `BENCH_<figure>.json` files.
+//!
+//! ```text
+//! perfgate compare A.json B.json
+//! perfgate baseline BASELINE.json CURRENT.json
+//! perfgate speedup BENCH.json NUM_KEY DEN_KEY --min RATIO
+//! ```
+//!
+//! * `compare` — asserts two bench exports are identical modulo the
+//!   `*.timing.*` wall-clock gauges (the determinism contract: two
+//!   same-seed runs must agree on every simulated quantity).
+//! * `baseline` — asserts the current export does not regress against a
+//!   committed baseline: every non-timing key in the baseline must be
+//!   present, `*.allocs` counters may only stay equal or drop, and
+//!   every other value must match exactly. New keys in the current file
+//!   are allowed (schema growth is not a regression).
+//! * `speedup` — asserts `NUM_KEY / DEN_KEY >= RATIO` over the timing
+//!   gauges of one export (wall-clock, so this is a floor, not an
+//!   equality).
+//!
+//! The bench schema is the hand-rolled flat-key JSON documented in
+//! `docs/BENCH_SCHEMA.md`; the parser here reads exactly that shape
+//! (one `"dotted.key": value` pair per line) and nothing more general.
+
+use std::process::exit;
+
+/// Reads `path` and returns its `(key, raw value)` pairs in file order.
+///
+/// Works on the bench schema only: every scalar field is a single line
+/// `"key": value` (value = number or string; trailing comma optional).
+/// Structural lines (`{`, `}`, `"metrics": {`) carry no value and are
+/// skipped.
+fn parse(path: &str) -> Vec<(String, String)> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perfgate: cannot read {path}: {e}");
+            exit(2);
+        }
+    };
+    let mut pairs = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, after)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(value) = after.strip_prefix(':') else {
+            continue;
+        };
+        let value = value.trim().trim_end_matches(',').trim();
+        if value.is_empty() || value == "{" || value == "[" {
+            continue; // nested object/array opener, not a scalar
+        }
+        pairs.push((key.to_string(), value.to_string()));
+    }
+    pairs
+}
+
+/// `true` for wall-clock keys exempt from determinism comparisons.
+fn is_timing(key: &str) -> bool {
+    key.contains(".timing.")
+}
+
+fn cmd_compare(a: &str, b: &str) -> i32 {
+    let pa: Vec<_> = parse(a)
+        .into_iter()
+        .filter(|(k, _)| !is_timing(k))
+        .collect();
+    let pb: Vec<_> = parse(b)
+        .into_iter()
+        .filter(|(k, _)| !is_timing(k))
+        .collect();
+    let mut bad = 0;
+    for ((ka, va), (kb, vb)) in pa.iter().zip(&pb) {
+        if ka != kb {
+            eprintln!("perfgate: key order diverged: {ka:?} vs {kb:?}");
+            bad += 1;
+            break;
+        }
+        if va != vb {
+            eprintln!("perfgate: {ka}: {va} != {vb}");
+            bad += 1;
+        }
+    }
+    if pa.len() != pb.len() {
+        eprintln!(
+            "perfgate: key count diverged: {} in {a}, {} in {b}",
+            pa.len(),
+            pb.len()
+        );
+        bad += 1;
+    }
+    if bad == 0 {
+        println!(
+            "perfgate: {a} and {b} agree on all {} non-timing values",
+            pa.len()
+        );
+        0
+    } else {
+        eprintln!("perfgate: {bad} determinism violation(s) between {a} and {b}");
+        1
+    }
+}
+
+fn cmd_baseline(base: &str, cur: &str) -> i32 {
+    let baseline = parse(base);
+    let current = parse(cur);
+    let lookup = |key: &str| -> Option<&str> {
+        current
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    let mut bad = 0;
+    let mut checked = 0;
+    for (key, want) in baseline.iter().filter(|(k, _)| !is_timing(k)) {
+        checked += 1;
+        let Some(got) = lookup(key) else {
+            eprintln!("perfgate: {key} missing from {cur}");
+            bad += 1;
+            continue;
+        };
+        if key.ends_with(".allocs") {
+            // Allocation counters are a ratchet: dropping below the
+            // committed baseline is an improvement, rising above it is
+            // the regression this gate exists to catch.
+            let (Ok(w), Ok(g)) = (want.parse::<u64>(), got.parse::<u64>()) else {
+                eprintln!("perfgate: {key}: non-numeric alloc counter ({want} / {got})");
+                bad += 1;
+                continue;
+            };
+            if g > w {
+                eprintln!("perfgate: {key}: {g} allocations > baseline {w}");
+                bad += 1;
+            }
+        } else if got != want {
+            eprintln!("perfgate: {key}: {got} != baseline {want}");
+            bad += 1;
+        }
+    }
+    if bad == 0 {
+        println!("perfgate: {cur} holds the {base} baseline ({checked} keys)");
+        0
+    } else {
+        eprintln!("perfgate: {bad} regression(s) in {cur} against {base}");
+        1
+    }
+}
+
+fn cmd_speedup(file: &str, num_key: &str, den_key: &str, min: f64) -> i32 {
+    let pairs = parse(file);
+    let get = |key: &str| -> f64 {
+        match pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse::<f64>().ok())
+        {
+            Some(v) => v,
+            None => {
+                eprintln!("perfgate: {key} missing or non-numeric in {file}");
+                exit(2);
+            }
+        }
+    };
+    let num = get(num_key);
+    let den = get(den_key);
+    let ratio = num / den;
+    if ratio >= min {
+        println!("perfgate: {num_key} / {den_key} = {ratio:.2}x (floor {min:.2}x)");
+        0
+    } else {
+        eprintln!("perfgate: speedup {ratio:.2}x below the {min:.2}x floor ({num:.3} / {den:.3})");
+        1
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perfgate compare A.json B.json\n\
+         \x20      perfgate baseline BASELINE.json CURRENT.json\n\
+         \x20      perfgate speedup BENCH.json NUM_KEY DEN_KEY --min RATIO"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("compare") if args.len() == 3 => cmd_compare(&args[1], &args[2]),
+        Some("baseline") if args.len() == 3 => cmd_baseline(&args[1], &args[2]),
+        Some("speedup") if args.len() == 6 && args[4] == "--min" => {
+            let min = args[5].parse::<f64>().unwrap_or_else(|_| usage());
+            cmd_speedup(&args[1], &args[2], &args[3], min)
+        }
+        _ => usage(),
+    };
+    exit(code);
+}

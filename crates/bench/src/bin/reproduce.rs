@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|
-//!            pipelining|modelcheck|cluster_scale|all]
+//!            pipelining|modelcheck|cluster_scale|sched_hotpath|all]
 //!           [--csv [dir]] [--bench-dir dir] [--no-bench] [--threads N]
 //! ```
 //!
@@ -21,8 +21,17 @@
 
 use enzian_platform::experiments::{
     cluster_scale, fault_sweep, fig11, fig12, fig3, fig6, fig7, fig8, fig9, modelcheck, pipelining,
+    sched_hotpath,
 };
 use enzian_sim::MetricsRegistry;
+
+/// Counts heap traffic so `sched_hotpath` can report per-leg allocation
+/// deltas (the POD leg's steady state must stay at zero). Counting two
+/// atomics per malloc is noise next to a malloc; every other figure is
+/// unaffected.
+#[global_allocator]
+static ALLOC: enzian_sim::alloc_count::CountingAllocator =
+    enzian_sim::alloc_count::CountingAllocator::new();
 
 /// Parsed command-line options.
 struct Opts {
@@ -38,7 +47,7 @@ struct Opts {
 }
 
 /// Valid experiment selectors.
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "fig3",
     "fig6",
     "fig7",
@@ -51,6 +60,7 @@ const EXPERIMENTS: [&str; 13] = [
     "pipelining",
     "modelcheck",
     "cluster_scale",
+    "sched_hotpath",
     "all",
 ];
 
@@ -565,6 +575,46 @@ fn run_cluster_scale(opts: &Opts, measure_speedup: bool) {
     finish(opts, "cluster_scale", &reg, started);
 }
 
+fn run_sched_hotpath(opts: &Opts) {
+    let started = std::time::Instant::now();
+    let threads = opts.threads.unwrap_or_else(default_threads);
+    let mut reg = MetricsRegistry::new();
+    let rows = sched_hotpath::run_instrumented(threads, &mut reg);
+    println!("{}", sched_hotpath::render(&rows));
+    let reference = rows
+        .iter()
+        .find(|r| r.leg == "reference")
+        .expect("reference leg missing");
+    for r in &rows {
+        if r.leg != "reference" {
+            eprintln!(
+                "sched_hotpath: {} {:.2} Mev/s vs reference {:.2} Mev/s ({:.2}x)",
+                r.leg,
+                r.mevents_per_sec(),
+                reference.mevents_per_sec(),
+                r.mevents_per_sec() / reference.mevents_per_sec()
+            );
+        }
+    }
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.leg.to_string(),
+                r.events.to_string(),
+                r.digest.to_string(),
+                r.allocs.to_string(),
+            ]
+        })
+        .collect();
+    export(
+        &opts.csv,
+        "sched_hotpath",
+        enzian_bench::to_csv(&["leg", "events", "digest", "allocs"], &csv),
+    );
+    finish(opts, "sched_hotpath", &reg, started);
+}
+
 fn main() {
     let opts = parse_opts();
     match opts.experiment.as_str() {
@@ -580,6 +630,7 @@ fn main() {
         "pipelining" => run_pipelining(&opts),
         "modelcheck" => run_modelcheck(&opts),
         "cluster_scale" => run_cluster_scale(&opts, true),
+        "sched_hotpath" => run_sched_hotpath(&opts),
         "all" => {
             run_fig3(&opts);
             run_fig6(&opts);
@@ -592,12 +643,13 @@ fn main() {
             run_pipelining(&opts);
             run_modelcheck(&opts);
             run_cluster_scale(&opts, false);
+            run_sched_hotpath(&opts);
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
                  fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|pipelining|\
-                 modelcheck|cluster_scale|all"
+                 modelcheck|cluster_scale|sched_hotpath|all"
             );
             std::process::exit(2);
         }

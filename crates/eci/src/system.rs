@@ -49,7 +49,7 @@
 
 use enzian_cache::{AccessOutcome, L2Cache, L2Config, LineState};
 use enzian_mem::{Addr, MemoryController, MemoryControllerConfig, MemoryMap, NodeId, Op};
-use enzian_sim::{Duration, FaultPlan, Scheduler, Simulator, Time};
+use enzian_sim::{Duration, FaultPlan, Pod, Scheduler, Simulator, Time};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::checker::ProtocolChecker;
@@ -340,6 +340,49 @@ struct QueuedSend {
     k: Cont,
 }
 
+/// A tiny reusable slab: slots recycle through a free stack, so the
+/// steady-state insert/take cycle of the engine's POD events (delivery
+/// continuations, completion records) touches recycled memory only.
+struct PodSlab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> PodSlab<T> {
+    fn new() -> Self {
+        PodSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, v: T) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(v);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("pod slab overflow");
+                self.slots.push(Some(v));
+                i
+            }
+        }
+    }
+
+    fn take(&mut self, i: u32) -> T {
+        let v = self.slots[i as usize]
+            .take()
+            .expect("pod slab slot already taken");
+        self.free.push(i);
+        v
+    }
+}
+
+/// The payload of a deferred completion: everything `complete` needs,
+/// parked in [`EngineCore::finishes`] while its POD event is in flight.
+type FinishRec = (PendingTxn, Time, Option<[u8; 128]>, Time);
+
 /// Per-(node, VC) output-queue state.
 struct VcState {
     free: u32,
@@ -373,6 +416,10 @@ struct EngineCore {
     outstanding: HashSet<u64>,
     next_handle: u64,
     engine: EngineStats,
+    /// Delivery continuations awaiting their POD event, keyed by slab slot.
+    conts: PodSlab<(Cont, Time)>,
+    /// Completion records awaiting their POD event, keyed by slab slot.
+    finishes: PodSlab<FinishRec>,
 }
 
 impl EngineCore {
@@ -404,6 +451,8 @@ impl EngineCore {
             outstanding: HashSet::new(),
             next_handle: 0,
             engine: EngineStats::default(),
+            conts: PodSlab::new(),
+            finishes: PodSlab::new(),
             cfg,
         }
     }
@@ -521,12 +570,25 @@ impl EngineCore {
         let at = ready.max(s.now());
         let delivered = self.emit(at, &msg);
         let credit_back = delivered + self.cfg.link.credit_return;
-        let _ = s.schedule_at_or_now(credit_back, move |core: &mut EngineCore, s: &mut Sched| {
-            core.vc_credit_return(s, n, v);
-        });
-        let _ = s.schedule_at_or_now(delivered, move |core: &mut EngineCore, s: &mut Sched| {
-            k(core, s, delivered);
-        });
+        // Both follow-ups are POD events: the credit return carries its
+        // queue coordinates inline, and the continuation is parked in the
+        // engine-side slab, so neither send schedules a boxed closure.
+        let _ = s.schedule_pod_at_or_now(
+            credit_back,
+            |core: &mut EngineCore, s: &mut Sched, p: Pod| {
+                core.vc_credit_return(s, p.a as usize, p.b as usize);
+            },
+            Pod::new(n as u64, v as u64, 0, 0),
+        );
+        let idx = self.conts.insert((k, delivered));
+        let _ = s.schedule_pod_at_or_now(
+            delivered,
+            |core: &mut EngineCore, s: &mut Sched, p: Pod| {
+                let (k, delivered) = core.conts.take(p.a as u32);
+                k(core, s, delivered);
+            },
+            Pod::new(u64::from(idx), 0, 0, 0),
+        );
     }
 
     /// A credit came back on queue (`n`, `v`): hand it to the oldest
@@ -574,9 +636,15 @@ impl EngineCore {
         data: Option<[u8; 128]>,
         end: Time,
     ) {
-        let _ = s.schedule_at_or_now(end, move |core: &mut EngineCore, s: &mut Sched| {
-            core.complete(s, p, issued, data, end);
-        });
+        let idx = self.finishes.insert((p, issued, data, end));
+        let _ = s.schedule_pod_at_or_now(
+            end,
+            |core: &mut EngineCore, s: &mut Sched, pod: Pod| {
+                let (p, issued, data, end) = core.finishes.take(pod.a as u32);
+                core.complete(s, p, issued, data, end);
+            },
+            Pod::new(u64::from(idx), 0, 0, 0),
+        );
     }
 
     fn complete(

@@ -17,7 +17,7 @@
 
 use enzian_sim::stats::Summary;
 use enzian_sim::telemetry::MetricsRegistry;
-use enzian_sim::{Duration, FaultPlan, FaultSpec, Time};
+use enzian_sim::{CalendarQueue, Duration, FaultPlan, FaultSpec, Time};
 
 use crate::eth::{EthLink, Switch};
 
@@ -569,26 +569,30 @@ impl TcpEngine {
             })
             .collect();
 
-        loop {
-            // Pick the runnable flow with the earliest next-action time.
-            let mut best: Option<(usize, Time, bool)> = None; // (idx, at, is_send)
-            for (i, f) in states.iter().enumerate() {
-                if f.acked >= f.len {
-                    continue;
-                }
-                let can_send = f.sent < f.len && f.sent - f.acked < self.tx.window;
-                let candidate = if can_send {
-                    (f.tx_free, true)
-                } else {
-                    let at = f.acks.front().map(|&(t, _)| t).expect("flow deadlock");
-                    (at, false)
-                };
-                if best.is_none_or(|(_, t, _)| candidate.0 < t) {
-                    best = Some((i, candidate.0, candidate.1));
-                }
+        // Each live flow keeps exactly one candidate in the calendar
+        // queue: the time of its next action (transmit if the window is
+        // open, otherwise its oldest in-flight ack). A flow's candidate
+        // depends only on its own state, so processing one flow never
+        // invalidates another's queued entry; popping by (time, flow
+        // index) reproduces the old linear scan's earliest-time,
+        // lowest-index-on-tie order bit for bit.
+        let window = self.tx.window;
+        let next_at = |f: &Flow| -> Time {
+            if f.sent < f.len && f.sent - f.acked < window {
+                f.tx_free
+            } else {
+                f.acks.front().map(|&(t, _)| t).expect("flow deadlock")
             }
-            let Some((i, _, is_send)) = best else { break };
+        };
+        let mut runnable = CalendarQueue::new();
+        for (i, f) in states.iter().enumerate() {
+            runnable.push(next_at(f), i as u64, 0, 0);
+        }
+
+        while let Some(entry) = runnable.pop() {
+            let i = entry.key as usize;
             let f = &mut states[i];
+            let is_send = f.sent < f.len && f.sent - f.acked < window;
             if is_send {
                 let seg_len = usize::min(self.tx.mss, (f.len - f.sent) as usize);
                 let seq = f.sent;
@@ -611,6 +615,10 @@ impl TcpEngine {
                 let (at, upto) = f.acks.pop_front().expect("checked above");
                 f.acked = f.acked.max(upto);
                 f.tx_free = f.tx_free.max(at);
+            }
+            let f = &states[i];
+            if f.acked < f.len {
+                runnable.push(next_at(f), i as u64, 0, 0);
             }
         }
 

@@ -374,6 +374,9 @@ pub struct ClusterRunReport {
     pub sim_end: Time,
     /// Lock-step epochs executed (zero under the reference driver).
     pub epochs: u64,
+    /// Quiet epochs the adaptive-lookahead engine jumped over instead
+    /// of executing (zero under the reference driver).
+    pub epochs_skipped: u64,
     /// Cross-board envelopes exchanged.
     pub messages: u64,
     /// FNV-1a digest over every board's final state: stream clocks,
@@ -395,6 +398,8 @@ impl ClusterRunReport {
         let mut b = other.clone();
         a.epochs = 0;
         b.epochs = 0;
+        a.epochs_skipped = 0;
+        b.epochs_skipped = 0;
         assert_eq!(a, b, "cluster run reports diverge");
     }
 
@@ -418,6 +423,7 @@ impl ClusterRunReport {
         c(reg, "bridge_wire_bytes", self.bridge_wire_bytes);
         c(reg, "sim_end_ps", self.sim_end.as_ps());
         c(reg, "epochs", self.epochs);
+        c(reg, "epochs_skipped", self.epochs_skipped);
         c(reg, "messages", self.messages);
         c(reg, "trace_digest", self.trace_digest);
     }
@@ -800,6 +806,15 @@ impl Shard for BoardShard {
                 .iter()
                 .all(|s| s.remaining == 0 && s.blocked.is_none())
     }
+
+    fn next_activity(&self) -> Option<Time> {
+        // The earliest held delivery or ready stream issue. A *blocked*
+        // stream has no key, but its wake-up is a response envelope that
+        // is either already in some inbox (covered here) or still in
+        // flight this epoch (covered by the engine's send-time fold), so
+        // the leader can never jump past it.
+        self.next_key().map(|k| k.0)
+    }
 }
 
 /// Sequential reference driver: a single global clock sweeping the
@@ -919,6 +934,7 @@ impl EnzianCluster {
         shards: Vec<BoardShard>,
         w: &ClusterWorkload,
         epochs: u64,
+        epochs_skipped: u64,
         messages: u64,
     ) -> ClusterRunReport {
         let n = shards.len();
@@ -936,6 +952,7 @@ impl EnzianCluster {
             bridge_wire_bytes: 0,
             sim_end: Time::ZERO,
             epochs,
+            epochs_skipped,
             messages,
             trace_digest: 0,
             flows: Vec::with_capacity(n),
@@ -996,7 +1013,7 @@ impl EnzianCluster {
             .with_threads(threads)
             .with_channel_capacity(256);
         let par = run_conservative(&mut shards, &cfg);
-        self.finish_run(shards, w, par.epochs, par.messages)
+        self.finish_run(shards, w, par.epochs, par.epochs_skipped, par.messages)
     }
 
     /// Runs `w` on the sequential reference driver (global
@@ -1007,7 +1024,7 @@ impl EnzianCluster {
     pub fn run_reference(&mut self, w: &ClusterWorkload) -> ClusterRunReport {
         let mut shards = self.make_shards(w);
         let messages = run_shards_reference(&mut shards);
-        self.finish_run(shards, w, 0, messages)
+        self.finish_run(shards, w, 0, 0, messages)
     }
 }
 

@@ -34,6 +34,8 @@ pub struct ClusterScaleRow {
     pub sim_end_us: f64,
     /// Lock-step epochs the conservative engine executed.
     pub epochs: u64,
+    /// Quiet epochs the adaptive lookahead jumped over.
+    pub epochs_skipped: u64,
     /// Cross-board envelopes exchanged.
     pub messages: u64,
     /// FNV-1a digest of all final board states.
@@ -84,6 +86,7 @@ pub fn run_instrumented(threads: usize, reg: &mut MetricsRegistry) -> Vec<Cluste
                 / (1u64 << 30) as f64,
             sim_end_us: report.sim_end.as_micros_f64(),
             epochs: report.epochs,
+            epochs_skipped: report.epochs_skipped,
             messages: report.messages,
             trace_digest: report.trace_digest,
         };
@@ -119,6 +122,7 @@ pub fn render(rows: &[ClusterScaleRow]) -> String {
                 format!("{:.2}", r.goodput_gib),
                 format!("{:.1}", r.sim_end_us),
                 r.epochs.to_string(),
+                r.epochs_skipped.to_string(),
                 r.messages.to_string(),
             ]
         })
@@ -133,6 +137,7 @@ pub fn render(rows: &[ClusterScaleRow]) -> String {
             "goodput[GiB/s]",
             "sim[us]",
             "epochs",
+            "skipped",
             "msgs",
         ],
         &table_rows,

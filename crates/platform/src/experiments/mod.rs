@@ -16,6 +16,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod modelcheck;
 pub mod pipelining;
+pub mod sched_hotpath;
 
 /// Turns a human-facing label ("Enzian (1 ECI link)") into a stable
 /// metric-name segment ("enzian_1_eci_link"): lowercase, with every run

@@ -1,0 +1,413 @@
+//! Scheduler hot-path microbenchmark.
+//!
+//! Not a paper figure — this is the DES-core companion to the evaluation:
+//! a self-perpetuating event storm (every fired event schedules the next
+//! one for its actor) pushed through four configurations of the kernel:
+//!
+//! * `reference` — the retained `BTreeMap`/`BinaryHeap` core
+//!   ([`enzian_sim::reference`]), boxed-closure events,
+//! * `closure` — the calendar-queue core, boxed-closure events,
+//! * `pod` — the calendar-queue core, POD events (fn pointer + 4×u64
+//!   payload, slab-recycled: the steady-state hot path allocates
+//!   nothing),
+//! * `parallel` — the same storm sharded over the conservative PDES
+//!   engine.
+//!
+//! The three sequential legs fire the identical storm, and the run
+//! asserts their fire-order digests match — the calendar queue and the
+//! POD path are drop-in replacements, event for event. Events, digests,
+//! and allocation deltas are pure functions of the seed and land in
+//! `BENCH_sched_hotpath.json`; events-per-second throughput is
+//! wall-clock and is exported only under the `sched_hotpath.timing.*`
+//! prefix, which the perf gate's determinism comparison ignores (see
+//! `docs/BENCH_SCHEMA.md`).
+
+use enzian_sim::alloc_count;
+use enzian_sim::{
+    reference, run_conservative, Duration, Envelope, EpochWindow, MetricsRegistry, ParConfig, Pod,
+    Shard, Simulator, Time, TraceEvent,
+};
+
+/// Actors in the storm; each runs an independent event chain.
+pub const ACTORS: usize = 192;
+
+/// Events each actor fires before going quiet.
+pub const EVENTS_PER_ACTOR: u32 = 600;
+
+/// Shards the parallel leg splits the actors across.
+pub const SHARDS: usize = 8;
+
+/// Seed for the initial actor states.
+pub const SEED: u64 = 0x5eed_5c4e_d001;
+
+/// SplitMix64 step: the storm's per-actor state transition.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One FNV-1a fold of a u64 into a running digest.
+fn fnv(digest: u64, v: u64) -> u64 {
+    let mut d = digest;
+    for byte in v.to_le_bytes() {
+        d = (d ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    d
+}
+
+/// The storm model: per-actor chained events over a shared digest.
+///
+/// Event handlers only touch indexed `Vec`s — no hashing, no interior
+/// allocation — so the allocation counters the legs report are pure
+/// functions of the seed.
+pub struct Storm {
+    /// Per-actor PRNG state; mixed on every firing.
+    states: Vec<u64>,
+    /// Events each actor has left to fire.
+    remaining: Vec<u32>,
+    /// FNV-1a digest over every `(time, actor, state)` firing, in fire
+    /// order.
+    digest: u64,
+    /// Total events fired.
+    fired: u64,
+}
+
+impl Storm {
+    /// A storm over actor indices `[first, first + actors)` of the
+    /// global actor space (the parallel leg gives each shard a slice;
+    /// the sequential legs take the whole range).
+    pub fn new(first: usize, actors: usize) -> Self {
+        Storm {
+            states: (0..actors)
+                .map(|i| splitmix(SEED ^ (first + i) as u64))
+                .collect(),
+            remaining: vec![EVENTS_PER_ACTOR; actors],
+            digest: 0xcbf2_9ce4_8422_2325,
+            fired: 0,
+        }
+    }
+
+    /// Fires `actor` (local index) at `now`: mixes its state into the
+    /// digest and returns the delay until its next event, or `None`
+    /// when the chain is exhausted.
+    ///
+    /// The delay is a small multiple of a nanosecond derived from the
+    /// new state, so distinct actors frequently collide on the same
+    /// timestamp — the storm leans on the kernel's FIFO tie order.
+    pub fn fire(&mut self, now: Time, actor: usize) -> Option<Duration> {
+        let s = splitmix(self.states[actor] ^ now.as_ps());
+        self.states[actor] = s;
+        self.digest = fnv(fnv(fnv(self.digest, now.as_ps()), actor as u64), s);
+        self.fired += 1;
+        self.remaining[actor] -= 1;
+        (self.remaining[actor] > 0).then(|| Duration::from_ns(1 + s % 7))
+    }
+
+    /// The fire-order digest.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Total events fired.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+}
+
+/// Drives the storm on the retained reference core (boxed closures).
+pub fn run_reference_core() -> (u64, u64, Time) {
+    fn chain(sim: &mut reference::Simulator<Storm>, at: Time, actor: usize) {
+        let _ = sim.schedule_at_or_now(at, move |m: &mut Storm, s| {
+            if let Some(d) = m.fire(s.now(), actor) {
+                let at = s.now() + d;
+                let _ = s.schedule_at(at, move |m: &mut Storm, s| chain_sched(m, s, actor));
+            }
+        });
+    }
+    fn chain_sched(m: &mut Storm, s: &mut reference::Scheduler<Storm>, actor: usize) {
+        if let Some(d) = m.fire(s.now(), actor) {
+            let at = s.now() + d;
+            let _ = s.schedule_at(at, move |m: &mut Storm, s| chain_sched(m, s, actor));
+        }
+    }
+    let mut sim = reference::Simulator::new(Storm::new(0, ACTORS));
+    for actor in 0..ACTORS {
+        chain(&mut sim, Time::ZERO, actor);
+    }
+    sim.run();
+    let end = sim.now();
+    let m = sim.into_model();
+    (m.fired(), m.digest(), end)
+}
+
+/// Drives the storm on the calendar-queue core with boxed closures.
+pub fn run_closure_core() -> (u64, u64, Time) {
+    fn chain_sched(m: &mut Storm, s: &mut enzian_sim::Scheduler<Storm>, actor: usize) {
+        if let Some(d) = m.fire(s.now(), actor) {
+            let at = s.now() + d;
+            let _ = s.schedule_at(at, move |m: &mut Storm, s| chain_sched(m, s, actor));
+        }
+    }
+    let mut sim = Simulator::new(Storm::new(0, ACTORS));
+    for actor in 0..ACTORS {
+        let _ =
+            sim.schedule_at_or_now(Time::ZERO, move |m: &mut Storm, s| chain_sched(m, s, actor));
+    }
+    sim.run();
+    let end = sim.now();
+    let m = sim.into_model();
+    (m.fired(), m.digest(), end)
+}
+
+/// The POD event handler: fires the actor in `pod.a` and reschedules
+/// itself. Non-capturing, so steady-state scheduling is allocation-free.
+fn pod_chain(m: &mut Storm, s: &mut enzian_sim::Scheduler<Storm>, pod: Pod) {
+    if let Some(d) = m.fire(s.now(), pod.a as usize) {
+        let _ = s.schedule_pod_in(d, pod_chain, pod);
+    }
+}
+
+/// Drives the storm on the calendar-queue core with POD events.
+pub fn run_pod_core() -> (u64, u64, Time) {
+    let mut sim = Simulator::new(Storm::new(0, ACTORS));
+    for actor in 0..ACTORS {
+        let _ = sim.schedule_pod_at_or_now(Time::ZERO, pod_chain, Pod::new(actor as u64, 0, 0, 0));
+    }
+    sim.run();
+    let end = sim.now();
+    let m = sim.into_model();
+    (m.fired(), m.digest(), end)
+}
+
+/// One PDES shard of the parallel leg: a slice of the actors on its own
+/// calendar-queue simulator, advanced window by window. The storm is
+/// embarrassingly parallel (no cross-shard messages), which makes this
+/// leg a pure measurement of the epoch machinery plus per-shard kernel
+/// throughput; adaptive lookahead skips the quiet tail epochs.
+struct StormShard {
+    sim: Simulator<Storm>,
+}
+
+impl Shard for StormShard {
+    type Msg = ();
+
+    fn step(
+        &mut self,
+        window: EpochWindow,
+        arrivals: Vec<Envelope<()>>,
+        _out: &mut Vec<(usize, Envelope<()>)>,
+    ) {
+        debug_assert!(arrivals.is_empty());
+        let _ = self.sim.run_before(window.end);
+    }
+
+    fn idle(&self) -> bool {
+        self.sim.pending() == 0
+    }
+
+    fn next_activity(&self) -> Option<Time> {
+        // `peek_next_time` needs `&mut self` (it may compact the
+        // queue); the live lower bound is the simulator's clock, which
+        // is exact right after `run_before` drained everything before
+        // the window end.
+        (self.sim.pending() > 0).then(|| self.sim.now())
+    }
+}
+
+/// Drives the storm sharded across the conservative engine. Returns
+/// `(events, digest, epochs, epochs_skipped, sim_end)`.
+pub fn run_parallel(threads: usize) -> (u64, u64, u64, u64, Time) {
+    let per = ACTORS / SHARDS;
+    let mut shards: Vec<StormShard> = (0..SHARDS)
+        .map(|i| {
+            let mut sim = Simulator::new(Storm::new(i * per, per));
+            for actor in 0..per {
+                let _ = sim.schedule_pod_at_or_now(
+                    Time::ZERO,
+                    pod_chain,
+                    Pod::new(actor as u64, 0, 0, 0),
+                );
+            }
+            StormShard { sim }
+        })
+        .collect();
+    let report = run_conservative(
+        &mut shards,
+        &ParConfig::new(Duration::from_ns(64)).with_threads(threads),
+    );
+    let mut events = 0;
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut end = Time::ZERO;
+    for sh in &shards {
+        let m = sh.sim.model();
+        events += m.fired();
+        digest = fnv(digest, m.digest());
+        end = end.max(sh.sim.now());
+    }
+    (events, digest, report.epochs, report.epochs_skipped, end)
+}
+
+/// One leg of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedHotpathRow {
+    /// Leg name: `reference`, `closure`, `pod`, or `parallel`.
+    pub leg: &'static str,
+    /// Events the kernel dispatched.
+    pub events: u64,
+    /// FNV-1a fire-order digest.
+    pub digest: u64,
+    /// Heap allocations during the leg (0 unless the counting allocator
+    /// is installed, as in the `reproduce` binary).
+    pub allocs: u64,
+    /// Wall-clock seconds the leg took. Non-deterministic; exported
+    /// only under `sched_hotpath.timing.*`.
+    pub wall_s: f64,
+}
+
+impl SchedHotpathRow {
+    /// Events per second of wall clock, in millions.
+    pub fn mevents_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s / 1e6
+    }
+}
+
+/// Runs all four legs and returns one row per leg.
+pub fn run(threads: usize) -> Vec<SchedHotpathRow> {
+    run_instrumented(threads, &mut MetricsRegistry::new())
+}
+
+/// [`run`], publishing per-leg counters under `sched_hotpath.*`.
+/// Everything except the `sched_hotpath.timing.*` gauges is a pure
+/// function of the seed.
+///
+/// # Panics
+///
+/// Panics if the three sequential legs disagree on fire order — the
+/// cross-core conformance check this experiment exists to enforce.
+pub fn run_instrumented(threads: usize, reg: &mut MetricsRegistry) -> Vec<SchedHotpathRow> {
+    let mut rows = Vec::new();
+    let mut leg = |name: &'static str, f: &dyn Fn() -> (u64, u64, Time)| {
+        let before = alloc_count::snapshot();
+        let started = std::time::Instant::now();
+        let (events, digest, end) = f();
+        let wall = started.elapsed().as_secs_f64();
+        let allocs = alloc_count::snapshot().since(&before).allocations;
+        rows.push(SchedHotpathRow {
+            leg: name,
+            events,
+            digest,
+            allocs,
+            wall_s: wall,
+        });
+        end
+    };
+    let end_ref = leg("reference", &run_reference_core);
+    let end_new = leg("closure", &run_closure_core);
+    let end_pod = leg("pod", &run_pod_core);
+    assert_eq!(rows[0].digest, rows[1].digest, "calendar queue diverged");
+    assert_eq!(rows[1].digest, rows[2].digest, "POD path diverged");
+    assert_eq!(end_ref, end_new);
+    assert_eq!(end_new, end_pod);
+
+    let started = std::time::Instant::now();
+    let (events, digest, epochs, skipped, end_par) = run_parallel(threads);
+    let wall = started.elapsed().as_secs_f64();
+    rows.push(SchedHotpathRow {
+        leg: "parallel",
+        events,
+        digest,
+        allocs: 0,
+        wall_s: wall,
+    });
+    reg.counter_set("sched_hotpath.parallel.epochs", epochs);
+    reg.counter_set("sched_hotpath.parallel.epochs_skipped", skipped);
+
+    for r in &rows {
+        let base = format!("sched_hotpath.{}", r.leg);
+        reg.counter_set(&format!("{base}.events"), r.events);
+        reg.counter_set(&format!("{base}.digest"), r.digest);
+        if r.leg != "parallel" {
+            reg.counter_set(&format!("{base}.allocs"), r.allocs);
+        }
+        reg.gauge_set(
+            &format!("sched_hotpath.timing.{}_mevents_per_sec", r.leg),
+            r.mevents_per_sec(),
+        );
+    }
+    reg.trace_event(
+        TraceEvent::new(end_pod, "sched_hotpath", "storm-drained")
+            .field("events", rows[2].events)
+            .field("digest", rows[2].digest),
+    );
+    reg.counter_set("sched_hotpath.sim_time_ps", end_pod.max(end_par).as_ps());
+    reg.counter_set(
+        "sched_hotpath.events_executed",
+        rows.iter().map(|r| r.events).sum(),
+    );
+    rows
+}
+
+/// Renders the sweep as a table (throughput column is wall-clock).
+pub fn render(rows: &[SchedHotpathRow]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.leg.to_string(),
+                r.events.to_string(),
+                format!("{:.2}", r.mevents_per_sec()),
+                r.allocs.to_string(),
+                format!("{:016x}", r.digest),
+            ]
+        })
+        .collect();
+    super::render_table(
+        "Scheduler hot path — event storm throughput by kernel configuration",
+        &["leg", "events", "Mev/s", "allocs", "digest"],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_cores_agree_event_for_event() {
+        let (er, dr, tr) = run_reference_core();
+        let (ec, dc, tc) = run_closure_core();
+        let (ep, dp, tp) = run_pod_core();
+        assert_eq!(er, (ACTORS as u64) * u64::from(EVENTS_PER_ACTOR));
+        assert_eq!((er, dr, tr), (ec, dc, tc));
+        assert_eq!((ec, dc, tc), (ep, dp, tp));
+    }
+
+    #[test]
+    fn parallel_leg_is_thread_invariant_and_complete() {
+        let (e1, d1, ep1, sk1, t1) = run_parallel(1);
+        let (e2, d2, ep2, sk2, t2) = run_parallel(2);
+        assert_eq!((e1, d1, ep1, sk1, t1), (e2, d2, ep2, sk2, t2));
+        assert_eq!(e1, (ACTORS as u64) * u64::from(EVENTS_PER_ACTOR));
+        assert!(ep1 > 0);
+    }
+
+    #[test]
+    fn instrumented_run_feeds_the_bench_contract() {
+        let mut reg = MetricsRegistry::new();
+        let rows = run_instrumented(2, &mut reg);
+        assert_eq!(rows.len(), 4);
+        assert!(reg.counter("sched_hotpath.sim_time_ps") > 0);
+        assert_eq!(
+            reg.counter("sched_hotpath.events_executed"),
+            rows.iter().map(|r| r.events).sum::<u64>()
+        );
+        assert_eq!(
+            reg.counter("sched_hotpath.reference.digest"),
+            reg.counter("sched_hotpath.pod.digest"),
+        );
+        let s = render(&rows);
+        assert!(s.contains("pod"));
+    }
+}

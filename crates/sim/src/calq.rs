@@ -1,0 +1,437 @@
+//! An indexed calendar queue over POD entries.
+//!
+//! [`CalendarQueue`] is the priority queue under the DES hot path: a
+//! bucket wheel (Brown's calendar queue, simplified to a fixed bucket
+//! count) holding 24-byte plain-old-data entries, with a sorted current
+//! run popped from the back and a binary-heap overflow for far-future
+//! times. Entries are totally ordered by `(at, key, a, b)`; callers that
+//! need deterministic FIFO tie order give every entry a unique,
+//! monotonically increasing `key` (the scheduler uses its event sequence
+//! number), making pop order independent of the internal bucket layout,
+//! the bucket width, and the insertion pattern.
+//!
+//! All three tiers recycle their `Vec` capacity: once the queue has seen
+//! its steady-state population, `push`/`pop` allocate nothing. The
+//! structure never shrinks on its own; [`CalendarQueue::footprint`]
+//! exposes the retained capacity so tests can pin it down.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Number of wheel buckets. Power of two so the bucket index is a mask.
+const NBUCKETS: usize = 1024;
+const MASK: usize = NBUCKETS - 1;
+/// Words in the occupancy bitmap (`NBUCKETS / 64`).
+const OCC_WORDS: usize = NBUCKETS / 64;
+/// Default bucket width: ~1 ns of simulated time per bucket, matching
+/// the event spacing of the ECI/NIC models that dominate the hot path.
+const DEFAULT_WIDTH_PS: u64 = 1024;
+
+/// One queue entry: a timestamp, a total-order tie-break key, and two
+/// caller-defined payload words (the scheduler stores its slab slot
+/// index and generation; the TCP interleaver stores a flow index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalEntry {
+    /// Firing time, picoseconds.
+    pub at_ps: u64,
+    /// Tie-break key; unique keys give a strict deterministic total order.
+    pub key: u64,
+    /// First payload word.
+    pub a: u32,
+    /// Second payload word.
+    pub b: u32,
+}
+
+impl CalEntry {
+    fn sort_key(&self) -> (u64, u64, u32, u32) {
+        (self.at_ps, self.key, self.a, self.b)
+    }
+}
+
+impl PartialOrd for CalEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CalEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+/// A calendar queue of [`CalEntry`] records, popped in `(at, key)` order.
+///
+/// # Example
+///
+/// ```
+/// use enzian_sim::calq::CalendarQueue;
+/// use enzian_sim::Time;
+///
+/// let mut q = CalendarQueue::new();
+/// q.push(Time::from_ps(30), 0, 3, 0);
+/// q.push(Time::from_ps(10), 1, 1, 0);
+/// q.push(Time::from_ps(10), 2, 2, 0); // same instant, later key
+/// assert_eq!(q.pop().unwrap().a, 1);
+/// assert_eq!(q.pop().unwrap().a, 2);
+/// assert_eq!(q.pop().unwrap().a, 3);
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct CalendarQueue {
+    /// Current run, sorted *descending* so the minimum pops from the back.
+    cur: Vec<CalEntry>,
+    /// The wheel: covers `[frontier, horizon)`, bucket `i` holding times
+    /// with `(t / width) % NBUCKETS == i`.
+    buckets: Vec<Vec<CalEntry>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occ: [u64; OCC_WORDS],
+    /// Entries currently in the wheel.
+    wheel_len: usize,
+    /// Times at or beyond `horizon` wait here until the wheel rotates
+    /// forward to cover them.
+    overflow: BinaryHeap<Reverse<CalEntry>>,
+    width_ps: u64,
+    /// Start of the next untaken bucket; every entry in `cur` is earlier.
+    frontier_ps: u64,
+    /// `frontier + (NBUCKETS - 1) * width`. One bucket is always left
+    /// unused so the index mapping stays injective over the window.
+    horizon_ps: u64,
+    len: usize,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CalendarQueue {
+    /// An empty queue with the default ~1 ns bucket width.
+    pub fn new() -> Self {
+        Self::with_bucket_width_ps(DEFAULT_WIDTH_PS)
+    }
+
+    /// An empty queue whose wheel buckets each span `width_ps`
+    /// picoseconds. Width is a throughput knob only — pop order never
+    /// depends on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_ps` is zero.
+    pub fn with_bucket_width_ps(width_ps: u64) -> Self {
+        assert!(width_ps > 0, "bucket width must be positive");
+        CalendarQueue {
+            cur: Vec::new(),
+            buckets: (0..NBUCKETS).map(|_| Vec::new()).collect(),
+            occ: [0; OCC_WORDS],
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            width_ps,
+            frontier_ps: 0,
+            horizon_ps: (NBUCKETS as u64 - 1) * width_ps,
+            len: 0,
+        }
+    }
+
+    /// Number of entries queued.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueues an entry. Any `at` is accepted — callers enforce their
+    /// own monotonicity rules.
+    pub fn push(&mut self, at: Time, key: u64, a: u32, b: u32) {
+        let t = at.as_ps();
+        if self.len == 0 {
+            // Empty queue: rebase the wheel so `t` lands in its first
+            // bucket instead of trickling through the overflow heap.
+            self.frontier_ps = (t / self.width_ps) * self.width_ps;
+            self.horizon_ps = self.frontier_ps + (NBUCKETS as u64 - 1) * self.width_ps;
+        }
+        let e = CalEntry {
+            at_ps: t,
+            key,
+            a,
+            b,
+        };
+        self.len += 1;
+        if t < self.frontier_ps {
+            // Earlier than every untaken bucket: belongs in the current
+            // run. Keep it sorted descending.
+            let pos = self.cur.partition_point(|x| x.sort_key() > e.sort_key());
+            self.cur.insert(pos, e);
+        } else if t < self.horizon_ps {
+            self.bucket_push(e);
+        } else {
+            self.overflow.push(Reverse(e));
+        }
+    }
+
+    /// Removes and returns the earliest entry.
+    pub fn pop(&mut self) -> Option<CalEntry> {
+        if !self.refill() {
+            return None;
+        }
+        self.len -= 1;
+        self.cur.pop()
+    }
+
+    /// The earliest entry without removing it.
+    pub fn peek(&mut self) -> Option<&CalEntry> {
+        if !self.refill() {
+            return None;
+        }
+        self.cur.last()
+    }
+
+    /// Discards every entry, retaining allocated capacity.
+    pub fn clear(&mut self) {
+        self.cur.clear();
+        for w in 0..OCC_WORDS {
+            let mut bits = self.occ[w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                self.buckets[w * 64 + b].clear();
+                bits &= bits - 1;
+            }
+            self.occ[w] = 0;
+        }
+        self.wheel_len = 0;
+        self.overflow.clear();
+        self.len = 0;
+    }
+
+    /// Total retained entry capacity across all tiers — the number the
+    /// bounded-churn regression test pins: it must track peak pending
+    /// population, never lifetime push count.
+    pub fn footprint(&self) -> usize {
+        self.cur.capacity()
+            + self.buckets.iter().map(Vec::capacity).sum::<usize>()
+            + self.overflow.capacity()
+    }
+
+    fn bucket_push(&mut self, e: CalEntry) {
+        debug_assert!(e.at_ps >= self.frontier_ps && e.at_ps < self.horizon_ps);
+        let bi = (e.at_ps / self.width_ps) as usize & MASK;
+        self.occ[bi >> 6] |= 1u64 << (bi & 63);
+        self.buckets[bi].push(e);
+        self.wheel_len += 1;
+    }
+
+    /// Pulls overflow entries the advancing horizon now covers into the
+    /// wheel. Each entry migrates at most once per rotation.
+    fn drain_overflow(&mut self) {
+        while let Some(Reverse(e)) = self.overflow.peek() {
+            if e.at_ps >= self.horizon_ps {
+                break;
+            }
+            let Reverse(e) = self.overflow.pop().unwrap();
+            self.bucket_push(e);
+        }
+    }
+
+    /// Distance (in buckets, from `start`) of the next occupied bucket.
+    /// Only called with `wheel_len > 0`.
+    fn next_occupied(&self, start: usize) -> usize {
+        let w0 = start >> 6;
+        let b0 = start & 63;
+        let m = self.occ[w0] >> b0;
+        if m != 0 {
+            return m.trailing_zeros() as usize;
+        }
+        let mut d = 64 - b0;
+        for i in 1..=OCC_WORDS {
+            let w = self.occ[(w0 + i) % OCC_WORDS];
+            if w != 0 {
+                return d + w.trailing_zeros() as usize;
+            }
+            d += 64;
+        }
+        unreachable!("occupancy bitmap empty with wheel_len > 0")
+    }
+
+    /// Makes `cur` non-empty, advancing (or rebasing) the wheel as
+    /// needed. Returns `false` iff the queue is empty.
+    fn refill(&mut self) -> bool {
+        while self.cur.is_empty() {
+            if self.len == 0 {
+                return false;
+            }
+            if self.wheel_len == 0 {
+                // Everything waits beyond the horizon: rebase the window
+                // at the overflow minimum instead of spinning the wheel
+                // across the gap.
+                let m = self.overflow.peek().expect("len > 0").0.at_ps;
+                self.frontier_ps = (m / self.width_ps) * self.width_ps;
+                self.horizon_ps = self.frontier_ps + (NBUCKETS as u64 - 1) * self.width_ps;
+                self.drain_overflow();
+            }
+            let start = (self.frontier_ps / self.width_ps) as usize & MASK;
+            let d = self.next_occupied(start);
+            let bucket_start = self.frontier_ps + d as u64 * self.width_ps;
+            self.frontier_ps = bucket_start + self.width_ps;
+            self.horizon_ps = self.frontier_ps + (NBUCKETS as u64 - 1) * self.width_ps;
+            let bi = (bucket_start / self.width_ps) as usize & MASK;
+            // Copy the bucket into the (empty) current run rather than
+            // swapping Vecs: a swap would circulate capacities around
+            // the wheel, so a small Vec would keep landing on heavy
+            // positions and reallocate forever. Leaving each Vec at its
+            // position lets every capacity ratchet once to that
+            // position's peak load, after which steady-state operation
+            // touches the allocator not at all.
+            self.cur.extend_from_slice(&self.buckets[bi]);
+            self.buckets[bi].clear();
+            self.wheel_len -= self.cur.len();
+            self.occ[bi >> 6] &= !(1u64 << (bi & 63));
+            self.cur
+                .sort_unstable_by_key(|e| std::cmp::Reverse(e.sort_key()));
+            self.drain_overflow();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut CalendarQueue) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push((e.at_ps, e.key));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_key_order() {
+        let mut q = CalendarQueue::new();
+        q.push(Time::from_ps(50), 1, 0, 0);
+        q.push(Time::from_ps(10), 2, 0, 0);
+        q.push(Time::from_ps(50), 0, 0, 0);
+        q.push(Time::from_ps(10), 3, 0, 0);
+        assert_eq!(drain(&mut q), vec![(10, 2), (10, 3), (50, 0), (50, 1)]);
+    }
+
+    #[test]
+    fn far_future_entries_cross_the_horizon() {
+        let mut q = CalendarQueue::new();
+        // Spread far beyond one rotation (1024 buckets * 1024 ps ≈ 1 µs).
+        let times = [0u64, 1, 1_000, 2_000_000, 5_000_000_000, 3];
+        for (k, &t) in times.iter().enumerate() {
+            q.push(Time::from_ps(t), k as u64, 0, 0);
+        }
+        let got = drain(&mut q);
+        let mut want: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| (t, k as u64))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_a_heap() {
+        // Deterministic pseudo-random workload checked against a plain
+        // binary heap oracle.
+        let mut q = CalendarQueue::new();
+        let mut oracle: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64;
+        let mut key = 0u64;
+        for step in 0..20_000u64 {
+            if step % 3 != 2 {
+                // Mix of near (same bucket), mid (wheel) and far
+                // (overflow) horizons.
+                let delta = match rnd() % 5 {
+                    0 => rnd() % 16,
+                    1..=3 => rnd() % 100_000,
+                    _ => 1_000_000 + rnd() % 10_000_000,
+                };
+                q.push(Time::from_ps(now + delta), key, 0, 0);
+                oracle.push(Reverse((now + delta, key)));
+                key += 1;
+            } else {
+                let got = q.pop().map(|e| (e.at_ps, e.key));
+                let want = oracle.pop().map(|Reverse(p)| p);
+                assert_eq!(got, want);
+                if let Some((t, _)) = got {
+                    now = t;
+                }
+            }
+        }
+        let mut rest = Vec::new();
+        while let Some(Reverse(p)) = oracle.pop() {
+            rest.push(p);
+        }
+        assert_eq!(drain(&mut q), rest);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        q.push(Time::from_ps(7), 0, 9, 8);
+        q.push(Time::from_ps(3), 1, 1, 2);
+        let peeked = *q.peek().unwrap();
+        assert_eq!(q.pop().unwrap(), peeked);
+        assert_eq!(peeked.at_ps, 3);
+        assert_eq!((peeked.a, peeked.b), (1, 2));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut q = CalendarQueue::new();
+        for i in 0..1000u64 {
+            q.push(Time::from_ps(i * 777), i, 0, 0);
+        }
+        let cap = q.footprint();
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        assert!(q.footprint() >= cap.min(1), "capacity retained");
+        // Still usable after clear.
+        q.push(Time::from_ps(5), 0, 0, 0);
+        assert_eq!(q.pop().unwrap().at_ps, 5);
+    }
+
+    #[test]
+    fn footprint_stays_bounded_under_churn() {
+        // Retained capacity must reach a steady state: after one long
+        // churn phase has primed every tier, an identical second phase
+        // may not grow the footprint at all.
+        let mut q = CalendarQueue::new();
+        let mut key = 0u64;
+        let mut now = 0u64;
+        let mut churn = |q: &mut CalendarQueue| {
+            for _ in 0..200_000 {
+                if let Some(e) = q.pop() {
+                    now = e.at_ps;
+                }
+                q.push(Time::from_ps(now + 1 + key % 50_000), key, 0, 0);
+                key += 1;
+            }
+        };
+        churn(&mut q);
+        let primed = q.footprint();
+        churn(&mut q);
+        assert_eq!(
+            q.footprint(),
+            primed,
+            "footprint kept growing with lifetime pushes"
+        );
+    }
+}

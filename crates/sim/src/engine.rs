@@ -1,13 +1,25 @@
 //! The discrete-event scheduler.
 //!
 //! [`Simulator`] owns a user-provided model `M` and a time-ordered queue of
-//! events. Each event is a closure that receives `&mut M` and a
-//! [`Scheduler`] through which it can enqueue further events. Ties in time
-//! are broken by insertion order, making runs fully deterministic.
+//! events. Ties in time are broken by insertion order, making runs fully
+//! deterministic.
+//!
+//! # Hot path
+//!
+//! The queue is an indexed [`CalendarQueue`] of 24-byte POD entries
+//! `(time, seq, slot, generation)`; event state
+//! lives in a slab with a free-list, so the steady-state scheduling cycle
+//! — pop, dispatch, schedule a follow-up — touches recycled memory only
+//! and allocates nothing when the handler is a plain function pointer
+//! ([`Scheduler::schedule_pod_at`] and friends, carrying a small
+//! [`Pod`] payload). Boxed-closure handlers ([`Scheduler::schedule_at`])
+//! remain fully supported for cold paths and cost exactly one `Box` per
+//! event. The previous `BTreeMap`-of-boxes core is retained verbatim
+//! behind the `reference-core` feature (see [`crate::reference`]) as the
+//! differential-testing oracle; both cores fire events in the identical
+//! `(time, seq)` order.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
-
+use crate::calq::CalendarQueue;
 use crate::telemetry::{Instrumented, MetricsRegistry};
 use crate::time::{Duration, Time};
 
@@ -37,45 +49,88 @@ impl std::fmt::Display for LivelockError {
 impl std::error::Error for LivelockError {}
 
 /// Identifier of a scheduled event, usable to cancel it before it fires.
+///
+/// Packs the event's slab slot and the slot's generation at schedule
+/// time, so a stale id for a recycled slot can never cancel its new
+/// occupant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn pack(idx: u32, gen: u32) -> Self {
+        EventId(((gen as u64) << 32) | idx as u64)
+    }
+
+    fn unpack(self) -> (u32, u32) {
+        (self.0 as u32, (self.0 >> 32) as u32)
+    }
+}
 
 /// Events are `Send` so models built on the simulator (and the simulator
 /// itself) can be moved across threads.
 type EventFn<M> = Box<dyn FnOnce(&mut M, &mut Scheduler<M>) + Send>;
 
-struct QueueEntry {
-    at: Time,
-    seq: u64,
+/// A plain-function event handler: the allocation-free dispatch path.
+pub type PodFn<M> = fn(&mut M, &mut Scheduler<M>, Pod);
+
+/// Small POD payload carried by a [`PodFn`] event: four words the
+/// handler interprets itself (indices, counts, packed small enums).
+/// Anything larger belongs in the model (e.g. a model-side slab, with
+/// the slot index in the pod) or in a boxed-closure event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Pod {
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+    /// Third payload word.
+    pub c: u64,
+    /// Fourth payload word.
+    pub d: u64,
 }
 
-impl PartialEq for QueueEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl Pod {
+    /// A payload with the given words (unused ones zero).
+    pub fn new(a: u64, b: u64, c: u64, d: u64) -> Self {
+        Pod { a, b, c, d }
     }
 }
-impl Eq for QueueEntry {}
-impl PartialOrd for QueueEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+/// One slab slot. `gen` counts occupancies: an entry (or [`EventId`])
+/// created for generation `g` is dead once the slot's generation moved
+/// past `g`, which is how cancelled and fired events are recognised
+/// without touching the queue.
+enum Slot<M> {
+    Vacant { next_free: u32, gen: u32 },
+    Closure { gen: u32, f: EventFn<M> },
+    Pod { gen: u32, f: PodFn<M>, pod: Pod },
+}
+
+impl<M> Slot<M> {
+    fn gen(&self) -> u32 {
+        match self {
+            Slot::Vacant { gen, .. } | Slot::Closure { gen, .. } | Slot::Pod { gen, .. } => *gen,
+        }
+    }
+
+    fn is_occupied(&self) -> bool {
+        !matches!(self, Slot::Vacant { .. })
     }
 }
-impl Ord for QueueEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
+
+/// Sentinel for "free list empty".
+const NIL: u32 = u32::MAX;
 
 /// The event-scheduling half of the simulator, passed to every event
 /// handler so that handlers can enqueue follow-up events.
 pub struct Scheduler<M> {
     now: Time,
     next_seq: u64,
-    queue: BinaryHeap<Reverse<QueueEntry>>,
-    // Keyed by sequence number; entries are removed when they fire or are
-    // cancelled, so memory stays proportional to *pending* events no
-    // matter how many have executed.
-    handlers: BTreeMap<u64, EventFn<M>>,
+    queue: CalendarQueue,
+    slots: Vec<Slot<M>>,
+    free_head: u32,
+    /// Live (scheduled, neither fired nor cancelled) events.
+    live: usize,
     events_executed: u64,
 }
 
@@ -94,8 +149,10 @@ impl<M> Scheduler<M> {
         Scheduler {
             now: Time::ZERO,
             next_seq: 0,
-            queue: BinaryHeap::new(),
-            handlers: BTreeMap::new(),
+            queue: CalendarQueue::new(),
+            slots: Vec::new(),
+            free_head: NIL,
+            live: 0,
             events_executed: 0,
         }
     }
@@ -110,9 +167,68 @@ impl<M> Scheduler<M> {
         self.events_executed
     }
 
-    /// Number of events still pending.
+    /// Number of queue entries still pending (cancelled events count
+    /// until their entry is popped, matching the reference core).
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Number of live (non-cancelled) events still scheduled.
+    pub fn live_events(&self) -> usize {
+        self.live
+    }
+
+    /// Slab slots allocated over the scheduler's lifetime. Bounded by
+    /// peak concurrent events, never by lifetime event count — the
+    /// bounded-churn regression test pins this.
+    pub fn slab_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Retained queue capacity, in entries. See
+    /// [`CalendarQueue::footprint`](crate::calq::CalendarQueue::footprint).
+    pub fn queue_footprint(&self) -> usize {
+        self.queue.footprint()
+    }
+
+    /// Claims a slab slot, returning `(idx, gen)`.
+    fn alloc_slot(&mut self, make: impl FnOnce(u32) -> Slot<M>) -> (u32, u32) {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let Slot::Vacant { next_free, gen } = self.slots[idx as usize] else {
+                unreachable!("free list points at an occupied slot");
+            };
+            self.free_head = next_free;
+            self.slots[idx as usize] = make(gen);
+            (idx, gen)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("more than 2^32 pending events");
+            self.slots.push(make(0));
+            (idx, 0)
+        }
+    }
+
+    /// Returns the slot to the free list with its generation bumped.
+    fn vacate(&mut self, idx: u32) -> Slot<M> {
+        let gen = self.slots[idx as usize].gen();
+        let taken = std::mem::replace(
+            &mut self.slots[idx as usize],
+            Slot::Vacant {
+                next_free: self.free_head,
+                gen: gen.wrapping_add(1),
+            },
+        );
+        self.free_head = idx;
+        self.live -= 1;
+        taken
+    }
+
+    fn enqueue(&mut self, at: Time, idx: u32, gen: u32) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(at, seq, idx, gen);
+        self.live += 1;
+        EventId::pack(idx, gen)
     }
 
     /// Schedules `f` to run at absolute time `at`.
@@ -125,11 +241,9 @@ impl<M> Scheduler<M> {
         F: FnOnce(&mut M, &mut Scheduler<M>) + Send + 'static,
     {
         assert!(at >= self.now, "cannot schedule an event in the past");
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(Reverse(QueueEntry { at, seq }));
-        self.handlers.insert(seq, Box::new(f));
-        EventId(seq)
+        let boxed: EventFn<M> = Box::new(f);
+        let (idx, gen) = self.alloc_slot(move |gen| Slot::Closure { gen, f: boxed });
+        self.enqueue(at, idx, gen)
     }
 
     /// Schedules `f` at `at`, clamped to the present: a target time already
@@ -152,14 +266,49 @@ impl<M> Scheduler<M> {
         self.schedule_at(self.now + after, f)
     }
 
-    /// Cancels a pending event. Returns `true` if the event existed and had
-    /// not yet fired.
-    pub fn cancel(&mut self, id: EventId) -> bool {
-        self.handlers.remove(&id.0).is_some()
+    /// Schedules the plain function `f` at absolute time `at` with a POD
+    /// payload — the allocation-free counterpart of
+    /// [`schedule_at`](Self::schedule_at). Fire order is interchangeable
+    /// with closure events: both share one sequence counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_pod_at(&mut self, at: Time, f: PodFn<M>, pod: Pod) -> EventId {
+        assert!(at >= self.now, "cannot schedule an event in the past");
+        let (idx, gen) = self.alloc_slot(|gen| Slot::Pod { gen, f, pod });
+        self.enqueue(at, idx, gen)
     }
 
-    fn take_handler(&mut self, seq: u64) -> Option<EventFn<M>> {
-        self.handlers.remove(&seq)
+    /// POD counterpart of [`schedule_at_or_now`](Self::schedule_at_or_now).
+    pub fn schedule_pod_at_or_now(&mut self, at: Time, f: PodFn<M>, pod: Pod) -> EventId {
+        self.schedule_pod_at(at.max(self.now), f, pod)
+    }
+
+    /// POD counterpart of [`schedule_in`](Self::schedule_in).
+    pub fn schedule_pod_in(&mut self, after: Duration, f: PodFn<M>, pod: Pod) -> EventId {
+        self.schedule_pod_at(self.now + after, f, pod)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event existed and had
+    /// not yet fired. The queue entry stays behind and is discarded when
+    /// reached (its generation no longer matches).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let (idx, gen) = id.unpack();
+        match self.slots.get(idx as usize) {
+            Some(slot) if slot.is_occupied() && slot.gen() == gen => {
+                self.vacate(idx);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `true` when the queue entry `(idx, gen)` still refers to a live
+    /// event.
+    fn entry_live(&self, idx: u32, gen: u32) -> bool {
+        let slot = &self.slots[idx as usize];
+        slot.is_occupied() && slot.gen() == gen
     }
 }
 
@@ -231,6 +380,24 @@ impl<M> Simulator<M> {
         self.model
     }
 
+    /// Live (non-cancelled) scheduled events. See
+    /// [`Scheduler::live_events`].
+    pub fn live_events(&self) -> usize {
+        self.sched.live_events()
+    }
+
+    /// Slab slots allocated over the scheduler's lifetime. See
+    /// [`Scheduler::slab_slots`].
+    pub fn slab_slots(&self) -> usize {
+        self.sched.slab_slots()
+    }
+
+    /// Retained queue capacity, in entries. See
+    /// [`Scheduler::queue_footprint`].
+    pub fn queue_footprint(&self) -> usize {
+        self.sched.queue_footprint()
+    }
+
     /// Schedules an event at an absolute time. See [`Scheduler::schedule_at`].
     pub fn schedule_at<F>(&mut self, at: Time, f: F) -> EventId
     where
@@ -256,6 +423,24 @@ impl<M> Simulator<M> {
         self.sched.schedule_in(after, f)
     }
 
+    /// Schedules a POD event at an absolute time. See
+    /// [`Scheduler::schedule_pod_at`].
+    pub fn schedule_pod_at(&mut self, at: Time, f: PodFn<M>, pod: Pod) -> EventId {
+        self.sched.schedule_pod_at(at, f, pod)
+    }
+
+    /// Schedules a POD event, clamped to the present. See
+    /// [`Scheduler::schedule_pod_at_or_now`].
+    pub fn schedule_pod_at_or_now(&mut self, at: Time, f: PodFn<M>, pod: Pod) -> EventId {
+        self.sched.schedule_pod_at_or_now(at, f, pod)
+    }
+
+    /// Schedules a POD event relative to now. See
+    /// [`Scheduler::schedule_pod_in`].
+    pub fn schedule_pod_in(&mut self, after: Duration, f: PodFn<M>, pod: Pod) -> EventId {
+        self.sched.schedule_pod_in(after, f, pod)
+    }
+
     /// Cancels a pending event.
     pub fn cancel(&mut self, id: EventId) -> bool {
         self.sched.cancel(id)
@@ -264,9 +449,9 @@ impl<M> Simulator<M> {
     /// The time of the next live (non-cancelled) pending event, if any.
     /// Cancelled queue entries encountered on the way are discarded.
     pub fn peek_next_time(&mut self) -> Option<Time> {
-        while let Some(Reverse(entry)) = self.sched.queue.peek() {
-            if self.sched.handlers.contains_key(&entry.seq) {
-                return Some(entry.at);
+        while let Some(entry) = self.sched.queue.peek().copied() {
+            if self.sched.entry_live(entry.a, entry.b) {
+                return Some(Time::from_ps(entry.at_ps));
             }
             self.sched.queue.pop();
         }
@@ -293,17 +478,25 @@ impl<M> Simulator<M> {
     /// queue is empty.
     pub fn step(&mut self) -> bool {
         loop {
-            let Some(Reverse(entry)) = self.sched.queue.pop() else {
+            let Some(entry) = self.sched.queue.pop() else {
                 return false;
             };
-            debug_assert!(entry.at >= self.sched.now, "event queue went backwards");
-            if let Some(handler) = self.sched.take_handler(entry.seq) {
-                self.sched.now = entry.at;
-                self.sched.events_executed += 1;
-                handler(&mut self.model, &mut self.sched);
-                return true;
+            debug_assert!(
+                entry.at_ps >= self.sched.now.as_ps(),
+                "event queue went backwards"
+            );
+            if !self.sched.entry_live(entry.a, entry.b) {
+                // Cancelled event: skip without advancing time.
+                continue;
             }
-            // Cancelled event: skip without advancing time.
+            self.sched.now = Time::from_ps(entry.at_ps);
+            self.sched.events_executed += 1;
+            match self.sched.vacate(entry.a) {
+                Slot::Closure { f, .. } => f(&mut self.model, &mut self.sched),
+                Slot::Pod { f, pod, .. } => f(&mut self.model, &mut self.sched, pod),
+                Slot::Vacant { .. } => unreachable!("live entry resolved to a vacant slot"),
+            }
+            return true;
         }
     }
 
@@ -339,7 +532,7 @@ impl<M> Simulator<M> {
         }
         Err(LivelockError {
             max_events,
-            pending: self.sched.handlers.len(),
+            pending: self.sched.live,
             stopped_at: self.sched.now,
         })
     }
@@ -359,8 +552,9 @@ impl<M> Simulator<M> {
     /// edge.
     pub fn run_before(&mut self, deadline: Time) -> u64 {
         let start = self.sched.events_executed;
-        while let Some(Reverse(entry)) = self.sched.queue.peek() {
-            if entry.at >= deadline {
+        let deadline_ps = deadline.as_ps();
+        while let Some(entry) = self.sched.queue.peek() {
+            if entry.at_ps >= deadline_ps {
                 break;
             }
             self.step();
@@ -375,8 +569,9 @@ impl<M> Simulator<M> {
     /// `deadline`; events scheduled later stay queued.
     pub fn run_until(&mut self, deadline: Time) -> u64 {
         let start = self.sched.events_executed;
-        while let Some(Reverse(entry)) = self.sched.queue.peek() {
-            if entry.at > deadline {
+        let deadline_ps = deadline.as_ps();
+        while let Some(entry) = self.sched.queue.peek() {
+            if entry.at_ps > deadline_ps {
                 break;
             }
             self.step();
@@ -420,6 +615,25 @@ mod tests {
     }
 
     #[test]
+    fn pod_and_closure_ties_share_one_sequence() {
+        // Interleaved POD and closure events at the same instant fire in
+        // schedule order, exactly like two closures would.
+        let mut sim = Simulator::new(Vec::new());
+        fn push_pod(v: &mut Vec<u32>, _s: &mut Scheduler<Vec<u32>>, p: Pod) {
+            v.push(p.a as u32);
+        }
+        for i in 0..8u32 {
+            if i % 2 == 0 {
+                sim.schedule_pod_in(Duration::from_ns(5), push_pod, Pod::new(i as u64, 0, 0, 0));
+            } else {
+                sim.schedule_in(Duration::from_ns(5), move |v: &mut Vec<u32>, _| v.push(i));
+            }
+        }
+        sim.run();
+        assert_eq!(*sim.model(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn handlers_can_schedule_more_events() {
         let mut sim = Simulator::new(0u64);
         fn tick(count: &mut u64, s: &mut Scheduler<u64>) {
@@ -431,6 +645,21 @@ mod tests {
         sim.schedule_in(Duration::ZERO, tick);
         sim.run();
         assert_eq!(*sim.model(), 5);
+        assert_eq!(sim.now(), Time::ZERO + Duration::from_ns(4));
+    }
+
+    #[test]
+    fn pod_handlers_can_schedule_more_pod_events() {
+        let mut sim = Simulator::new(0u64);
+        fn tick(count: &mut u64, s: &mut Scheduler<u64>, p: Pod) {
+            *count += p.a;
+            if *count < 50 {
+                s.schedule_pod_in(Duration::from_ns(1), tick, p);
+            }
+        }
+        sim.schedule_pod_at(Time::ZERO, tick, Pod::new(10, 0, 0, 0));
+        sim.run();
+        assert_eq!(*sim.model(), 50);
         assert_eq!(sim.now(), Time::ZERO + Duration::from_ns(4));
     }
 
@@ -474,6 +703,19 @@ mod tests {
         assert!(!sim.cancel(id), "double cancel reports false");
         sim.run();
         assert_eq!(*sim.model(), 0);
+    }
+
+    #[test]
+    fn cancel_of_a_recycled_slot_is_a_no_op() {
+        // Slot reuse must not let a stale id cancel the new occupant.
+        let mut sim = Simulator::new(0u64);
+        let stale = sim.schedule_in(Duration::from_ns(1), |m: &mut u64, _| *m += 1);
+        assert!(sim.cancel(stale));
+        // The freed slot is recycled by the next schedule.
+        let _live = sim.schedule_in(Duration::from_ns(2), |m: &mut u64, _| *m += 10);
+        assert!(!sim.cancel(stale), "stale id must not hit the new event");
+        sim.run();
+        assert_eq!(*sim.model(), 10);
     }
 
     #[test]
@@ -541,22 +783,23 @@ mod tests {
     }
 
     #[test]
-    fn handler_table_does_not_grow_with_executed_events() {
-        // The leak fix: fired handlers leave the table immediately, so
-        // capacity tracks *pending* events, not lifetime event count.
+    fn slab_does_not_grow_with_executed_events() {
+        // The leak fix, carried over from the handler-table core: fired
+        // events free their slot immediately, so slab size tracks
+        // *pending* events, not lifetime event count.
         let mut sim = Simulator::new(0u64);
         sim.schedule_in(Duration::from_ms(1), |m: &mut u64, _| *m += 1);
         for i in 0..10_000u64 {
             sim.schedule_in(Duration::from_ns(i), |m: &mut u64, _| *m += 1);
             sim.step();
             assert!(
-                sim.sched.handlers.len() <= 2,
-                "handler table retained fired events: {}",
-                sim.sched.handlers.len()
+                sim.sched.slab_slots() <= 2,
+                "slab retained fired events: {}",
+                sim.sched.slab_slots()
             );
         }
         sim.run();
-        assert!(sim.sched.handlers.is_empty());
+        assert_eq!(sim.sched.live_events(), 0);
         assert_eq!(*sim.model(), 10_001);
     }
 

@@ -35,17 +35,22 @@
 //! assert_eq!(sim.now().as_ns(), 10);
 //! ```
 
+pub mod alloc_count;
+pub mod calq;
 pub mod channel;
 pub mod engine;
 pub mod fault;
 pub mod par;
+#[cfg(feature = "reference-core")]
+pub mod reference;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
 
+pub use calq::{CalEntry, CalendarQueue};
 pub use channel::{Channel, ChannelConfig};
-pub use engine::{EventId, LivelockError, Scheduler, Simulator};
+pub use engine::{EventId, LivelockError, Pod, PodFn, Scheduler, Simulator};
 pub use fault::{FaultPlan, FaultSpec, FaultTrigger};
 pub use par::{run_conservative, Envelope, EpochBarrier, EpochWindow, ParConfig, ParReport, Shard};
 pub use rng::SimRng;

@@ -119,6 +119,23 @@ pub trait Shard: Send {
     /// undelivered inbound messages. The run ends after an epoch in
     /// which every shard is idle and nothing was sent.
     fn idle(&self) -> bool;
+
+    /// A conservative lower bound on the next instant at which this
+    /// shard could do local work (earliest pending local event or held
+    /// inbound message); `None` when it has neither. The barrier leader
+    /// takes the global minimum over these bounds — together with the
+    /// timestamps of every envelope sent this epoch — and jumps the next
+    /// epoch forward to the window containing it, skipping the quiet
+    /// epochs in between (see [`ParReport::epochs_skipped`]).
+    ///
+    /// The default, `Some(Time::ZERO)`, means "could act at any time"
+    /// and disables skipping for runs containing this shard. A shard
+    /// only needs a real bound to benefit; a bound that is too *low*
+    /// merely wastes epochs, while one that is too high would skip real
+    /// work — so when in doubt, return the default.
+    fn next_activity(&self) -> Option<Time> {
+        Some(Time::ZERO)
+    }
 }
 
 /// Tuning knobs of a conservative run.
@@ -165,6 +182,10 @@ impl ParConfig {
 pub struct ParReport {
     /// Epochs executed, including the final all-quiet epoch.
     pub epochs: u64,
+    /// Quiet epochs the adaptive-lookahead leader jumped over instead of
+    /// executing (zero when every shard uses the default
+    /// [`Shard::next_activity`]).
+    pub epochs_skipped: u64,
     /// Envelopes exchanged between shards.
     pub messages: u64,
 }
@@ -314,6 +335,16 @@ struct RunShared<T> {
     active: AtomicU64,
     /// Envelopes exchanged, cumulative.
     messages: AtomicU64,
+    /// Minimum over every shard's [`Shard::next_activity`] and every
+    /// envelope timestamp sent this epoch, in picoseconds; reset to
+    /// `u64::MAX` by the barrier leader. The happens-before edges of the
+    /// barrier make the relaxed `fetch_min`s visible to the leader.
+    next_min_ps: AtomicU64,
+    /// Leader's decision: the epoch index every worker executes next
+    /// (may jump past quiet epochs).
+    next_epoch: AtomicU64,
+    /// Quiet epochs jumped over, cumulative.
+    epochs_skipped: AtomicU64,
     /// Leader's decision: the run is globally quiet, stop after this
     /// epoch.
     done: AtomicBool,
@@ -353,6 +384,11 @@ impl<'a, S: Shard> Worker<'a, S> {
     /// draining our own inbound queues (the deadlock-freedom rule).
     fn send(&mut self, shared: &RunShared<S::Msg>, dst: usize, mut env: Envelope<S::Msg>) {
         shared.messages.fetch_add(1, Ordering::Relaxed);
+        // An in-flight envelope is future activity its receiver cannot
+        // see yet; fold its timestamp so the leader never jumps past it.
+        shared
+            .next_min_ps
+            .fetch_min(env.at.as_ps(), Ordering::Relaxed);
         if self.owns(dst) {
             // Same-worker fast path: no queue involved. Determinism is
             // unaffected — delivery order is erased by the (at, src, seq)
@@ -370,10 +406,13 @@ impl<'a, S: Shard> Worker<'a, S> {
         }
     }
 
-    /// Runs epochs until the leader declares global quiescence.
+    /// Runs epochs until the leader declares global quiescence; returns
+    /// the number of epochs *executed* (jumped-over epochs excluded).
     fn run(&mut self, shared: &RunShared<S::Msg>, lookahead: Duration) -> u64 {
         let mut epoch = 0u64;
+        let mut executed = 0u64;
         let mut out: Vec<(usize, Envelope<S::Msg>)> = Vec::new();
+        let lookahead_ps = lookahead.as_ps();
         loop {
             let window = EpochWindow {
                 index: epoch,
@@ -381,6 +420,7 @@ impl<'a, S: Shard> Worker<'a, S> {
                 end: Time::ZERO + lookahead * (epoch + 1),
             };
             let mut active = 0u64;
+            let mut local_min = u64::MAX;
             Self::drain(&shared.queues, self.base, &mut self.stash);
             for local in 0..self.shards.len() {
                 let arrivals = std::mem::take(&mut self.stash[local]);
@@ -404,9 +444,15 @@ impl<'a, S: Shard> Worker<'a, S> {
                 if sent > 0 || !self.shards[local].idle() {
                     active += 1;
                 }
+                if let Some(t) = self.shards[local].next_activity() {
+                    local_min = local_min.min(t.as_ps());
+                }
             }
             if active > 0 {
                 shared.active.fetch_add(active, Ordering::AcqRel);
+            }
+            if local_min != u64::MAX {
+                shared.next_min_ps.fetch_min(local_min, Ordering::Relaxed);
             }
             let base = self.base;
             let stash = &mut self.stash;
@@ -415,11 +461,28 @@ impl<'a, S: Shard> Worker<'a, S> {
                 || {
                     let quiet = shared.active.swap(0, Ordering::AcqRel) == 0;
                     shared.done.store(quiet, Ordering::Release);
+                    // Adaptive lookahead: everything anyone could do next
+                    // — local events, held messages, envelopes still in
+                    // flight — lies at or beyond `min_ps`, so the epoch
+                    // containing it is the next one worth executing.
+                    // Window length never changes, only quiet windows are
+                    // jumped, so the lookahead guarantee is untouched.
+                    let min_ps = shared.next_min_ps.swap(u64::MAX, Ordering::AcqRel);
+                    let jump = if min_ps == u64::MAX {
+                        epoch + 1
+                    } else {
+                        (min_ps / lookahead_ps).max(epoch + 1)
+                    };
+                    shared
+                        .epochs_skipped
+                        .fetch_add(jump - (epoch + 1), Ordering::Relaxed);
+                    shared.next_epoch.store(jump, Ordering::Release);
                 },
             );
-            epoch += 1;
+            epoch = shared.next_epoch.load(Ordering::Acquire);
+            executed += 1;
             if shared.done.load(Ordering::Acquire) {
-                return epoch;
+                return executed;
             }
         }
     }
@@ -445,6 +508,7 @@ pub fn run_conservative<S: Shard>(shards: &mut [S], cfg: &ParConfig) -> ParRepor
     if shards.is_empty() {
         return ParReport {
             epochs: 0,
+            epochs_skipped: 0,
             messages: 0,
         };
     }
@@ -457,6 +521,9 @@ pub fn run_conservative<S: Shard>(shards: &mut [S], cfg: &ParConfig) -> ParRepor
         barrier: EpochBarrier::new(workers),
         active: AtomicU64::new(0),
         messages: AtomicU64::new(0),
+        next_min_ps: AtomicU64::new(u64::MAX),
+        next_epoch: AtomicU64::new(0),
+        epochs_skipped: AtomicU64::new(0),
         done: AtomicBool::new(false),
     };
 
@@ -490,6 +557,7 @@ pub fn run_conservative<S: Shard>(shards: &mut [S], cfg: &ParConfig) -> ParRepor
     };
     ParReport {
         epochs,
+        epochs_skipped: shared.epochs_skipped.load(Ordering::Acquire),
         messages: shared.messages.load(Ordering::Acquire),
     }
 }
@@ -607,6 +675,114 @@ mod tests {
         assert_eq!(r1, r8);
         assert_eq!(a1.len(), 3, "board 0 hears board 1's three pings");
         assert_eq!(b1.len(), 5, "board 1 hears board 0's five pings");
+    }
+
+    /// A shard with widely spaced work and an honest [`Shard::next_activity`],
+    /// so the leader can jump quiet windows. Each due time sends one
+    /// envelope to the peer; arrivals are logged in merge order.
+    struct SparseShard {
+        id: usize,
+        peer: usize,
+        times: VecDeque<Time>,
+        seq: u64,
+        latency: Duration,
+        log: Vec<u64>,
+        inbox: std::collections::BinaryHeap<std::cmp::Reverse<Envelope<u64>>>,
+    }
+
+    impl Shard for SparseShard {
+        type Msg = u64;
+
+        fn step(
+            &mut self,
+            window: EpochWindow,
+            arrivals: Vec<Envelope<u64>>,
+            out: &mut Vec<(usize, Envelope<u64>)>,
+        ) {
+            for env in arrivals {
+                self.inbox.push(std::cmp::Reverse(env));
+            }
+            while let Some(std::cmp::Reverse(env)) = self.inbox.peek() {
+                if env.at >= window.end {
+                    break;
+                }
+                let std::cmp::Reverse(env) = self.inbox.pop().unwrap();
+                self.log.push(env.payload);
+            }
+            while let Some(&t) = self.times.front() {
+                if t >= window.end {
+                    break;
+                }
+                self.times.pop_front();
+                self.seq += 1;
+                out.push((
+                    self.peer,
+                    Envelope {
+                        at: t.max(window.start) + self.latency,
+                        src: self.id,
+                        seq: self.seq,
+                        payload: t.as_ps(),
+                    },
+                ));
+            }
+        }
+
+        fn idle(&self) -> bool {
+            self.times.is_empty() && self.inbox.is_empty()
+        }
+
+        fn next_activity(&self) -> Option<Time> {
+            let local = self.times.front().copied();
+            let held = self.inbox.peek().map(|std::cmp::Reverse(e)| e.at);
+            match (local, held) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            }
+        }
+    }
+
+    fn run_sparse(threads: usize) -> (Vec<u64>, Vec<u64>, ParReport) {
+        let latency = Duration::from_ns(10);
+        let gap = Duration::from_us(3);
+        let mk = |id: usize, peer: usize, n: u64| SparseShard {
+            id,
+            peer,
+            times: (0..n).map(|i| Time::ZERO + gap * (i + 1)).collect(),
+            seq: 0,
+            latency,
+            log: Vec::new(),
+            inbox: std::collections::BinaryHeap::new(),
+        };
+        let mut shards = vec![mk(0, 1, 7), mk(1, 0, 4)];
+        let cfg = ParConfig::new(latency).with_threads(threads);
+        let report = run_conservative(&mut shards, &cfg);
+        let b = shards.pop().unwrap();
+        let a = shards.pop().unwrap();
+        (a.log, b.log, report)
+    }
+
+    #[test]
+    fn adaptive_lookahead_skips_quiet_epochs_deterministically() {
+        let (a1, b1, r1) = run_sparse(1);
+        let (a2, b2, r2) = run_sparse(2);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_eq!(r1, r2, "epoch accounting must be thread-invariant");
+        assert_eq!(a1.len(), 4, "shard 0 hears all of shard 1's sends");
+        assert_eq!(b1.len(), 7, "shard 1 hears all of shard 0's sends");
+        // Work every 3 µs under a 10 ns lookahead: naively > 2000 epochs;
+        // skipping must collapse nearly all of them.
+        assert!(
+            r1.epochs < 100,
+            "quiet epochs were executed, not skipped: {r1:?}"
+        );
+        assert!(r1.epochs_skipped > 1000, "{r1:?}");
+    }
+
+    #[test]
+    fn default_next_activity_never_skips() {
+        let (_, _, report) = run_pair(1);
+        assert_eq!(report.epochs_skipped, 0, "{report:?}");
     }
 
     #[test]
