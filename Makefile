@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck par-cluster loom perf clean
+.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck par-cluster service loom perf clean
 
-ci: fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck par-cluster loom perf
+ci: fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck par-cluster service loom perf
 
 fmt:
 	$(CARGO) fmt --all
@@ -89,6 +89,23 @@ par-cluster: build
 	cmp target/par-cluster/t1a/BENCH_cluster_scale.json target/par-cluster/t2a/BENCH_cluster_scale.json
 	cmp target/par-cluster/t1a/BENCH_cluster_scale.json target/par-cluster/t8a/BENCH_cluster_scale.json
 	@echo "par-cluster OK: BENCH_cluster_scale.json byte-identical across threads 1/2/8"
+
+# Replicated KV service under cluster faults: runs the service sweep
+# twice at threads 1 and once each at 2 and 8, and fails unless every
+# BENCH_service.json is byte-identical — crash/failover/catch-up timing
+# must be a pure function of the seed, never of the engine.
+service: build
+	rm -rf target/service
+	mkdir -p target/service/t1a target/service/t1b \
+	         target/service/t2 target/service/t8
+	target/release/reproduce service --threads 1 --bench-dir target/service/t1a > /dev/null
+	target/release/reproduce service --threads 1 --bench-dir target/service/t1b > /dev/null
+	target/release/reproduce service --threads 2 --bench-dir target/service/t2 > /dev/null
+	target/release/reproduce service --threads 8 --bench-dir target/service/t8 > /dev/null
+	cmp target/service/t1a/BENCH_service.json target/service/t1b/BENCH_service.json
+	cmp target/service/t1a/BENCH_service.json target/service/t2/BENCH_service.json
+	cmp target/service/t1a/BENCH_service.json target/service/t8/BENCH_service.json
+	@echo "service OK: BENCH_service.json byte-identical across reruns and threads 1/2/8"
 
 # Perf gate, exactly as CI runs it: sched_hotpath + cluster_scale twice,
 # determinism compared modulo timing.* gauges, deterministic counters

@@ -87,6 +87,19 @@ impl std::fmt::Display for KvError {
 
 impl std::error::Error for KvError {}
 
+/// Operation counters served by a [`KvStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// GET operations served.
+    pub gets: u64,
+    /// PUT operations served (successful inserts and overwrites).
+    pub puts: u64,
+    /// DELETE operations served.
+    pub deletes: u64,
+    /// Cuckoo displacement steps performed across all PUTs.
+    pub kicks: u64,
+}
+
 /// A timed operation result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KvOutcome<T> {
@@ -102,9 +115,7 @@ pub struct KvStore {
     config: KvStoreConfig,
     mem: MemoryController,
     entries: u64,
-    gets: u64,
-    puts: u64,
-    kicks: u64,
+    stats: KvStats,
 }
 
 fn mix(key: u64, salt: u64) -> u64 {
@@ -130,9 +141,7 @@ impl KvStore {
             config,
             mem,
             entries: 0,
-            gets: 0,
-            puts: 0,
-            kicks: 0,
+            stats: KvStats::default(),
         }
     }
 
@@ -146,9 +155,9 @@ impl KvStore {
         self.entries == 0
     }
 
-    /// `(gets, puts, cuckoo kicks)` served.
-    pub fn stats(&self) -> (u64, u64, u64) {
-        (self.gets, self.puts, self.kicks)
+    /// Operation counters served so far.
+    pub fn stats(&self) -> KvStats {
+        self.stats
     }
 
     fn bucket_addr(&self, bucket: u64) -> Addr {
@@ -208,7 +217,7 @@ impl KvStore {
     /// Looks `key` up; both candidate buckets are probed (in parallel on
     /// the hardware; we charge both DRAM reads).
     pub fn get(&mut self, now: Time, key: u64) -> KvOutcome<Option<Vec<u8>>> {
-        self.gets += 1;
+        self.stats.gets += 1;
         let t0 = now + self.config.pipeline;
         let (b1, b2) = self.buckets_of(key);
         let (l1, d1) = self.read_bucket(t0, b1);
@@ -243,7 +252,7 @@ impl KvStore {
         if key == 0 {
             return Err(KvError::ReservedKey);
         }
-        self.puts += 1;
+        self.stats.puts += 1;
         let mut t = now + self.config.pipeline;
 
         // Overwrite or free-slot fast path over both buckets.
@@ -290,7 +299,7 @@ impl KvStore {
             let v_val = Self::slot_value(&line, victim).unwrap_or_default();
             Self::set_slot(&mut line, victim, key, &value);
             t = self.write_bucket(t, bucket, &line);
-            self.kicks += 1;
+            self.stats.kicks += 1;
 
             // Re-home the victim in its alternate bucket.
             let (vb1, vb2) = self.buckets_of(v_key);
@@ -320,6 +329,7 @@ impl KvStore {
 
     /// Deletes `key`; returns whether it was present.
     pub fn delete(&mut self, now: Time, key: u64) -> KvOutcome<bool> {
+        self.stats.deletes += 1;
         let t0 = now + self.config.pipeline;
         let (b1, b2) = self.buckets_of(key);
         let mut t = t0;
@@ -391,6 +401,24 @@ mod tests {
     }
 
     #[test]
+    fn stats_name_every_op_class() {
+        let mut kv = store(KvStoreConfig::tiny());
+        kv.put(Time::ZERO, 3, b"v").unwrap();
+        kv.get(Time::ZERO, 3);
+        kv.get(Time::ZERO, 4);
+        kv.delete(Time::ZERO, 3);
+        assert_eq!(
+            kv.stats(),
+            KvStats {
+                gets: 2,
+                puts: 1,
+                deletes: 1,
+                kicks: 0,
+            }
+        );
+    }
+
+    #[test]
     fn validation_errors() {
         let mut kv = store(KvStoreConfig::tiny());
         assert_eq!(
@@ -416,8 +444,9 @@ mod tests {
             t = kv.put(t, i, &v).expect("insert").done;
         }
         assert_eq!(kv.len(), n);
-        let (_, _, kicks) = kv.stats();
-        assert!(kicks > 0, "no cuckoo displacements at 60% load");
+        let stats = kv.stats();
+        assert!(stats.kicks > 0, "no cuckoo displacements at 60% load");
+        assert_eq!(stats.puts, n);
         // Every key reads back its own value.
         for i in 1..=n {
             let got = kv.get(t, i).value.expect("present");

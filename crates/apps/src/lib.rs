@@ -19,18 +19,28 @@
 //!   events, evaluated entirely on the FPGA ("zero overhead");
 //! * [`kvs`] — the hardware-accelerated key-value store use-case
 //!   (KV-Direct style): a cuckoo-hashed store in FPGA DRAM served at
-//!   line rate.
+//!   line rate;
+//! * [`service`] — the replicated KV *service* built on [`kvs`]: shard
+//!   placement, primary-backup replication with epoch fencing, retrying
+//!   clients with typed errors, and SLO telemetry (the state machines
+//!   the platform crate runs across a simulated multi-board cluster).
 
 pub mod gbdt;
 pub mod kvs;
 pub mod reduction;
 pub mod rtverify;
+pub mod service;
 pub mod stress;
 pub mod vision;
 
 pub use gbdt::{AcceleratorConfig, Ensemble, GbdtAccelerator, Tuple};
-pub use kvs::{KvStore, KvStoreConfig};
+pub use kvs::{KvStats, KvStore, KvStoreConfig};
 pub use reduction::{ReductionEngine, ReductionMode};
 pub use rtverify::{Formula, Monitor, TraceEvent};
+pub use service::{
+    decode_svc, encode_svc, verify_log, Applied, ClientPlan, ClientState, KvOp, KvResult, LogEntry,
+    OpClass, PendingReq, Replica, RespErr, RespOk, RetryDecision, Role, ShardMap, SloRecorder,
+    SvcError, SvcPayload, SvcWireError,
+};
 pub use stress::{StressPhase, StressSchedule};
 pub use vision::{blur3x3, quantize_4bpp, rgba_to_luma, Frame};

@@ -1,0 +1,29 @@
+//! Replicated-KV-service bench: the fault scenarios on the parallel
+//! engine vs the sequential reference driver, and thread scaling under
+//! the harshest crash plan.
+
+use enzian_bench::harness::{BenchmarkId, Criterion};
+use enzian_platform::{FaultScenario, ServiceConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service");
+    for scenario in FaultScenario::all() {
+        let cfg = ServiceConfig::small().with_scenario(scenario);
+        g.bench_function(BenchmarkId::new("reference", scenario.label()), |b| {
+            b.iter(|| black_box(cfg.run_reference().digest))
+        });
+    }
+    let crash = ServiceConfig::small().with_scenario(FaultScenario::RollingCrashes);
+    for threads in [1usize, 2, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel_rolling_crashes", threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(crash.run_parallel(threads).digest)),
+        );
+    }
+    g.finish();
+}
+
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

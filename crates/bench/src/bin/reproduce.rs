@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|
-//!            pipelining|modelcheck|cluster_scale|sched_hotpath|all]
+//!            pipelining|modelcheck|cluster_scale|sched_hotpath|service|all]
 //!           [--csv [dir]] [--bench-dir dir] [--no-bench] [--threads N]
 //! ```
 //!
@@ -14,14 +14,14 @@
 //! so same-seed runs produce byte-identical files; wall-clock timings go
 //! to stderr only.
 //!
-//! `--threads N` sets the worker count for `cluster_scale` (default:
-//! available parallelism, capped at 8). The flag changes wall clock
-//! only: the bench JSON is byte-identical for every value, which the
-//! CI thread matrix asserts.
+//! `--threads N` sets the worker count for `cluster_scale` and
+//! `service` (default: available parallelism, capped at 8). The flag
+//! changes wall clock only: the bench JSON is byte-identical for every
+//! value, which the CI thread matrix asserts.
 
 use enzian_platform::experiments::{
     cluster_scale, fault_sweep, fig11, fig12, fig3, fig6, fig7, fig8, fig9, modelcheck, pipelining,
-    sched_hotpath,
+    sched_hotpath, service,
 };
 use enzian_sim::MetricsRegistry;
 
@@ -47,7 +47,7 @@ struct Opts {
 }
 
 /// Valid experiment selectors.
-const EXPERIMENTS: [&str; 14] = [
+const EXPERIMENTS: [&str; 15] = [
     "fig3",
     "fig6",
     "fig7",
@@ -61,6 +61,7 @@ const EXPERIMENTS: [&str; 14] = [
     "modelcheck",
     "cluster_scale",
     "sched_hotpath",
+    "service",
     "all",
 ];
 
@@ -615,6 +616,91 @@ fn run_sched_hotpath(opts: &Opts) {
     finish(opts, "sched_hotpath", &reg, started);
 }
 
+fn run_service(opts: &Opts, measure_speedup: bool) {
+    let started = std::time::Instant::now();
+    let threads = opts.threads.unwrap_or_else(default_threads);
+    let mut reg = MetricsRegistry::new();
+    let par_started = std::time::Instant::now();
+    let rows = service::run_instrumented(threads, &mut reg);
+    let par_wall = par_started.elapsed();
+    println!("{}", service::render(&rows));
+    if measure_speedup && threads > 1 {
+        // Same discipline as cluster_scale: wall clock is the only
+        // thread-dependent observable; everything exported must be
+        // bit-identical to a sequential run.
+        let mut seq_reg = MetricsRegistry::new();
+        let seq_started = std::time::Instant::now();
+        let seq_rows = service::run_instrumented(1, &mut seq_reg);
+        let seq_wall = seq_started.elapsed();
+        assert_eq!(rows, seq_rows, "thread count leaked into the rows");
+        assert_eq!(
+            reg.export_json(),
+            seq_reg.export_json(),
+            "thread count leaked into the metrics export"
+        );
+        eprintln!(
+            "service: threads=1 {:.0} ms vs threads={threads} {:.0} ms ({:.2}x speedup)",
+            seq_wall.as_secs_f64() * 1e3,
+            par_wall.as_secs_f64() * 1e3,
+            seq_wall.as_secs_f64() / par_wall.as_secs_f64()
+        );
+    }
+    let opt_cell = |v: Option<f64>| v.map_or_else(String::new, |x| x.to_string());
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                r.ok_ops.to_string(),
+                r.failed_ops.to_string(),
+                r.crashed_ops.to_string(),
+                r.stale_served.to_string(),
+                r.avail_in_pct.to_string(),
+                r.avail_out_pct.to_string(),
+                opt_cell(r.get_p50_us),
+                opt_cell(r.get_p99_us),
+                opt_cell(r.put_p99_us),
+                r.failovers.to_string(),
+                opt_cell(r.failover_p99_us),
+                r.solo_commits.to_string(),
+                r.fenced.to_string(),
+                r.catchups_completed.to_string(),
+                r.epochs.to_string(),
+                r.messages.to_string(),
+                r.digest.to_string(),
+            ]
+        })
+        .collect();
+    export(
+        &opts.csv,
+        "service",
+        enzian_bench::to_csv(
+            &[
+                "scenario",
+                "ok_ops",
+                "failed_ops",
+                "crashed_ops",
+                "stale_served",
+                "avail_in_pct",
+                "avail_out_pct",
+                "get_p50_us",
+                "get_p99_us",
+                "put_p99_us",
+                "failovers",
+                "failover_p99_us",
+                "solo_commits",
+                "fenced",
+                "catchups_completed",
+                "epochs",
+                "messages",
+                "digest",
+            ],
+            &csv,
+        ),
+    );
+    finish(opts, "service", &reg, started);
+}
+
 fn main() {
     let opts = parse_opts();
     match opts.experiment.as_str() {
@@ -631,6 +717,7 @@ fn main() {
         "modelcheck" => run_modelcheck(&opts),
         "cluster_scale" => run_cluster_scale(&opts, true),
         "sched_hotpath" => run_sched_hotpath(&opts),
+        "service" => run_service(&opts, true),
         "all" => {
             run_fig3(&opts);
             run_fig6(&opts);
@@ -644,12 +731,13 @@ fn main() {
             run_modelcheck(&opts);
             run_cluster_scale(&opts, false);
             run_sched_hotpath(&opts);
+            run_service(&opts, false);
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
                  fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|pipelining|\
-                 modelcheck|cluster_scale|sched_hotpath|all"
+                 modelcheck|cluster_scale|sched_hotpath|service|all"
             );
             std::process::exit(2);
         }

@@ -20,15 +20,26 @@
 //!  0  magic      0xEB
 //!  1  version    1
 //!  2  opcode     ReadReq=1 ReadResp=2 WriteReq=3 WriteAck=4 Nack=5
+//!                SvcClient=6 SvcRep=7 SvcCtl=8
 //!  3  src        requesting/answering board
 //!  4  dst        destination board
 //!  5  token      requester-chosen tag echoed in the reply (stream id)
-//!  6  paylen     u16 LE, 0 or 128
+//!  6  paylen     u16 LE, 0 or 128 (line ops); free-form (Svc* ops)
 //!  8  addr       u64 LE, *global* cluster address of the line
 //! 16  seq        u32 LE, per-sender message sequence number
 //! 20  payload    paylen bytes
 //! ..  crc        u32 LE, CRC-32 (IEEE) over header+payload
 //! ```
+//!
+//! Opcodes 6–8 carry the replicated KV *service* of
+//! `enzian-apps::service` over the same fabric: the payload is an
+//! opaque service message (encoded by the apps crate — the bridge does
+//! not interpret it) of any length up to 64 KiB, and `addr` is unused
+//! (zero by convention). The three opcodes separate client traffic
+//! (`SvcClient`: requests/responses), the replication stream (`SvcRep`:
+//! replicate/ack/nack/catch-up), and control-plane beacons (`SvcCtl`:
+//! heartbeats) so captures and byte accounting can tell the planes
+//! apart.
 
 use crate::wire::crc32;
 
@@ -58,6 +69,14 @@ pub enum BridgeOp {
     /// The owner could not serve the request (e.g. its transaction
     /// layer exhausted the retry budget under fault injection).
     Nack,
+    /// KV-service client-plane message (request or response); the
+    /// payload is an opaque `enzian-apps` service payload.
+    SvcClient(Vec<u8>),
+    /// KV-service replication-plane message (replicate, ack, nack,
+    /// catch-up); opaque payload as above.
+    SvcRep(Vec<u8>),
+    /// KV-service control-plane message (heartbeats); opaque payload.
+    SvcCtl(Vec<u8>),
 }
 
 impl BridgeOp {
@@ -68,12 +87,16 @@ impl BridgeOp {
             BridgeOp::WriteReq(_) => 3,
             BridgeOp::WriteAck => 4,
             BridgeOp::Nack => 5,
+            BridgeOp::SvcClient(_) => 6,
+            BridgeOp::SvcRep(_) => 7,
+            BridgeOp::SvcCtl(_) => 8,
         }
     }
 
     fn payload(&self) -> &[u8] {
         match self {
             BridgeOp::ReadResp(d) | BridgeOp::WriteReq(d) => &d[..],
+            BridgeOp::SvcClient(p) | BridgeOp::SvcRep(p) | BridgeOp::SvcCtl(p) => p,
             _ => &[],
         }
     }
@@ -153,8 +176,16 @@ impl std::fmt::Display for BridgeError {
 impl std::error::Error for BridgeError {}
 
 /// Encodes `msg` into a framed byte buffer.
+///
+/// # Panics
+///
+/// Panics if a `Svc*` payload exceeds the 16-bit length field.
 pub fn encode_bridge(msg: &BridgeMsg) -> Vec<u8> {
     let payload = msg.op.payload();
+    assert!(
+        payload.len() <= usize::from(u16::MAX),
+        "bridge payload exceeds the 16-bit length field"
+    );
     let mut buf = Vec::with_capacity(HEADER + payload.len() + 4);
     buf.push(BRIDGE_MAGIC);
     buf.push(BRIDGE_VERSION);
@@ -224,12 +255,16 @@ pub fn decode_bridge(buf: &[u8]) -> Result<BridgeMsg, BridgeError> {
                 })?;
         Ok(Box::new(arr))
     };
+    let svc = |buf: &[u8]| buf[HEADER..HEADER + usize::from(paylen)].to_vec();
     let op = match (opcode, paylen) {
         (1, 0) => BridgeOp::ReadReq,
         (2, 128) => BridgeOp::ReadResp(line(buf)?),
         (3, 128) => BridgeOp::WriteReq(line(buf)?),
         (4, 0) => BridgeOp::WriteAck,
         (5, 0) => BridgeOp::Nack,
+        (6, _) => BridgeOp::SvcClient(svc(buf)),
+        (7, _) => BridgeOp::SvcRep(svc(buf)),
+        (8, _) => BridgeOp::SvcCtl(svc(buf)),
         (1..=5, len) => return Err(BridgeError::BadPayloadLength { opcode, len }),
         (o, _) => return Err(BridgeError::BadOpcode(o)),
     };
@@ -296,6 +331,30 @@ mod tests {
                 addr: u64::MAX,
                 seq: 42,
                 op: BridgeOp::Nack,
+            },
+            BridgeMsg {
+                src: 1,
+                dst: 4,
+                token: 9,
+                addr: 0,
+                seq: 7,
+                op: BridgeOp::SvcClient(b"get key 5".to_vec()),
+            },
+            BridgeMsg {
+                src: 4,
+                dst: 5,
+                token: 0,
+                addr: 0,
+                seq: 8,
+                op: BridgeOp::SvcRep(vec![0xAB; 300]),
+            },
+            BridgeMsg {
+                src: 4,
+                dst: 5,
+                token: 0,
+                addr: 0,
+                seq: 9,
+                op: BridgeOp::SvcCtl(Vec::new()),
             },
         ]
     }
@@ -368,6 +427,42 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn service_frames_carry_opaque_variable_payloads() {
+        for len in [0usize, 1, 23, 128, 300, 1024] {
+            let msg = BridgeMsg {
+                src: 2,
+                dst: 7,
+                token: 3,
+                addr: 0,
+                seq: 11,
+                op: BridgeOp::SvcRep(vec![0x5A; len]),
+            };
+            let bytes = encode_bridge(&msg);
+            assert_eq!(bytes.len() as u64, BRIDGE_OVERHEAD_BYTES + len as u64);
+            assert_eq!(decode_bridge(&bytes).unwrap(), msg);
+        }
+        // The three service planes stay distinct on the wire.
+        let planes = [
+            BridgeOp::SvcClient(vec![1]),
+            BridgeOp::SvcRep(vec![1]),
+            BridgeOp::SvcCtl(vec![1]),
+        ];
+        let mut encodings: Vec<Vec<u8>> = Vec::new();
+        for op in planes {
+            let bytes = encode_bridge(&BridgeMsg {
+                src: 0,
+                dst: 1,
+                token: 0,
+                addr: 0,
+                seq: 0,
+                op,
+            });
+            assert!(!encodings.contains(&bytes));
+            encodings.push(bytes);
+        }
     }
 
     #[test]

@@ -430,21 +430,22 @@ impl ClusterRunReport {
 }
 
 /// FNV-1a 64-bit, used for the run digest (stable, dependency-free).
-struct Fnv(u64);
+/// Shared with the service runtime's digest (`crate::service`).
+pub(crate) struct Fnv(pub(crate) u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn bytes(&mut self, bytes: &[u8]) {
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x100_0000_01b3);
         }
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.bytes(&v.to_le_bytes());
     }
 }
@@ -644,6 +645,9 @@ impl BoardShard {
                 self.nacks += 1;
                 self.failures += 1;
                 self.last = self.last.max(env.at);
+            }
+            BridgeOp::SvcClient(_) | BridgeOp::SvcRep(_) | BridgeOp::SvcCtl(_) => {
+                unreachable!("service frames never ride the memory-bridge workload")
             }
         }
     }

@@ -17,6 +17,7 @@ pub mod fig9;
 pub mod modelcheck;
 pub mod pipelining;
 pub mod sched_hotpath;
+pub mod service;
 
 /// Turns a human-facing label ("Enzian (1 ECI link)") into a stable
 /// metric-name segment ("enzian_1_eci_link"): lowercase, with every run

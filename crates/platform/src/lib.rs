@@ -14,6 +14,7 @@ pub mod devicetree;
 pub mod experiments;
 pub mod machine;
 pub mod presets;
+pub mod service;
 pub mod shellctl;
 
 pub use bdk::BdkConsole;
@@ -24,4 +25,5 @@ pub use cluster::{
 pub use devicetree::{render_dts, DeviceTreeOptions};
 pub use machine::{EnzianMachine, MachineConfig};
 pub use presets::PlatformPreset;
+pub use service::{FaultScenario, ServiceConfig, ServiceRunReport};
 pub use shellctl::{ShellCommand, ShellController, ShellStatus};

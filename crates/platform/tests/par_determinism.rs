@@ -9,7 +9,9 @@
 
 use enzian_eci::EciSystemConfig;
 use enzian_platform::experiments::{cluster_scale, fault_sweep};
-use enzian_platform::{BoardId, ClusterRunReport, ClusterWorkload, EnzianCluster};
+use enzian_platform::{
+    BoardId, ClusterRunReport, ClusterWorkload, EnzianCluster, FaultScenario, ServiceConfig,
+};
 use enzian_sim::MetricsRegistry;
 
 const THREADS: [usize; 3] = [1, 2, 8];
@@ -120,6 +122,46 @@ fn fault_sweep_is_invariant_across_concurrent_instances() {
             assert_eq!(rows, &baseline.0, "{n} concurrent sweeps diverged");
             assert_eq!(json, &baseline.1, "{n} concurrent exports diverged");
         }
+    }
+}
+
+/// The replicated KV service under an active crash-fault plan produces
+/// bit-identical reports — SLO histograms, state digest, committed logs
+/// and all — for every thread count and for the reference engine.
+#[test]
+fn service_with_crash_plan_is_byte_identical_across_threads() {
+    let cfg = ServiceConfig::small().with_scenario(FaultScenario::RollingCrashes);
+    let reference = cfg.run_reference();
+    assert!(reference.crashes > 0, "the crash plan must fire");
+    assert!(reference.failovers > 0, "crashes must force failovers");
+    let reports: Vec<_> = THREADS.iter().map(|&t| cfg.run_parallel(t)).collect();
+    for r in &reports {
+        r.assert_matches(&reference);
+    }
+    // Including engine epoch counts, all parallel runs are identical.
+    for r in &reports[1..] {
+        assert_eq!(*r, reports[0]);
+    }
+}
+
+/// The `service` bench driver — the path behind `BENCH_service.json` —
+/// renders byte-identical registry exports for every thread count.
+#[test]
+fn service_exports_are_byte_identical_across_threads() {
+    use enzian_platform::experiments::service;
+    let runs: Vec<(Vec<service::ServiceRow>, String, String)> = THREADS
+        .iter()
+        .map(|&t| {
+            let mut reg = MetricsRegistry::new();
+            let rows = service::run_instrumented(t, &mut reg);
+            (rows, reg.export_text(), reg.export_json())
+        })
+        .collect();
+    let (rows0, text0, json0) = &runs[0];
+    for (rows, text, json) in &runs[1..] {
+        assert_eq!(rows, rows0, "rows depend on the thread count");
+        assert_eq!(text, text0, "text export depends on the thread count");
+        assert_eq!(json, json0, "json export depends on the thread count");
     }
 }
 

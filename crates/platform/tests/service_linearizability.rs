@@ -1,0 +1,116 @@
+//! Safety battery for the replicated KV service.
+//!
+//! Across many seeds and the harshest fault scenarios, every run must
+//! uphold the two safety properties the service promises regardless of
+//! crash/partition timing:
+//!
+//! 1. **Linearizability of the committed logs** — each shard's
+//!    authoritative log replays cleanly against a sequential
+//!    [`enzian_apps::KvStore`] shadow (epochs monotone, indexes dense,
+//!    recorded results reproduced).
+//! 2. **Zero lost acknowledged writes** — every mutation a client got a
+//!    positive ack for (and that no later acked op overwrote) is
+//!    present in the replayed final state.
+//!
+//! Liveness rides along: every client op terminates (ok, typed error,
+//! or voided by its own board's crash), so the accounting below is
+//! exact, and out-of-window availability stays within the SLO.
+
+use enzian_platform::{FaultScenario, ServiceConfig};
+
+/// Seeds for the property sweep: the default seed plus 11 arbitrary
+/// others, exercising different crash/failover interleavings.
+const SEEDS: [u64; 12] = [
+    0x5E11_ACE5,
+    1,
+    2,
+    3,
+    0xDEAD_BEEF,
+    0xBAD_C0FFEE,
+    0x1234_5678_9ABC_DEF0,
+    42,
+    0xFEED_FACE,
+    7,
+    0xA5A5_A5A5,
+    0x0F0F_0F0F_F0F0_F0F0,
+];
+
+fn check(cfg: ServiceConfig) {
+    let seed = cfg.seed;
+    let scenario = cfg.scenario.label();
+    let r = cfg.run_reference();
+    assert_eq!(
+        r.ok_ops + r.failed_ops + r.crashed_ops,
+        r.total_client_ops,
+        "[{scenario} seed {seed:#x}] every op must terminate"
+    );
+    r.verify_linearizable(cfg.store)
+        .unwrap_or_else(|e| panic!("[{scenario} seed {seed:#x}] not linearizable: {e}"));
+    r.audit_zero_lost_acks()
+        .unwrap_or_else(|e| panic!("[{scenario} seed {seed:#x}] lost acknowledged write: {e}"));
+}
+
+/// One board crashes mid-window and rejoins: across all seeds the
+/// committed logs stay linearizable and no acked write is lost, even
+/// when the failover lands mid-operation.
+#[test]
+fn crash_one_board_is_linearizable_across_seeds() {
+    for seed in SEEDS {
+        check(
+            ServiceConfig::small()
+                .with_seed(seed)
+                .with_scenario(FaultScenario::CrashOneBoard),
+        );
+    }
+}
+
+/// Three staggered crashes (plus random delivery delays) are the
+/// harshest plan: catch-up, fencing and solo commits all interleave,
+/// and the safety properties must still hold for every seed.
+#[test]
+fn rolling_crashes_are_linearizable_across_seeds() {
+    for seed in SEEDS {
+        check(
+            ServiceConfig::small()
+                .with_seed(seed)
+                .with_scenario(FaultScenario::RollingCrashes),
+        );
+    }
+}
+
+/// A partitioned (but live) board keeps trying to serve: fencing must
+/// prevent its stale epoch from ever acking a write the new primary
+/// doesn't have.
+#[test]
+fn partition_heal_is_linearizable_across_seeds() {
+    for seed in SEEDS {
+        check(
+            ServiceConfig::small()
+                .with_seed(seed)
+                .with_scenario(FaultScenario::PartitionHeal),
+        );
+    }
+}
+
+/// On the standard seed the crash scenario also meets its SLO: ≥ 99%
+/// availability outside the fault window, a recorded failover-recovery
+/// distribution, and completed re-replication.
+#[test]
+fn crash_one_board_meets_the_slo_on_the_standard_seed() {
+    let cfg = ServiceConfig::standard().with_scenario(FaultScenario::CrashOneBoard);
+    let r = cfg.run_reference();
+    assert!(r.crashes >= 1, "the fault plan must fire");
+    assert!(r.failovers >= 1, "the crash must force a failover");
+    assert!(
+        r.slo.failover.count() > 0,
+        "failover recovery must be measured"
+    );
+    assert!(r.catchups_completed >= 1, "the rejoined board catches up");
+    assert!(
+        r.availability_out_window >= 0.99,
+        "out-of-window availability {} below the 99% SLO",
+        r.availability_out_window
+    );
+    r.verify_linearizable(cfg.store).unwrap();
+    r.audit_zero_lost_acks().unwrap();
+}

@@ -34,6 +34,28 @@ use crate::rng::SimRng;
 use crate::telemetry::{TraceEvent, TraceRing};
 use crate::time::{Duration, Time};
 
+/// Cluster-level fault targets, consulted by multi-board drivers (the
+/// replicated service, the bridge shards). They live here — next to the
+/// plan that schedules them — so every layer names them identically.
+///
+/// * [`BOARD_CRASH`](cluster_targets::BOARD_CRASH): while firing, the
+///   board is dead — it processes nothing, sends nothing, and loses its
+///   volatile state; when the spec stops firing the board rejoins and
+///   must re-replicate.
+/// * [`BRIDGE_PARTITION`](cluster_targets::BRIDGE_PARTITION): every
+///   fabric frame the board sends or receives while firing is dropped
+///   silently, isolating it from the cluster.
+/// * [`BRIDGE_DELAY`](cluster_targets::BRIDGE_DELAY): the frame being
+///   sent is delivered late by the driver's configured extra delay.
+pub mod cluster_targets {
+    /// The whole board crashes (fail-stop, volatile state lost).
+    pub const BOARD_CRASH: &str = "board.crash";
+    /// The board's fabric links drop every frame (network partition).
+    pub const BRIDGE_PARTITION: &str = "bridge.partition";
+    /// The frame in flight is delayed by the driver's configured extra.
+    pub const BRIDGE_DELAY: &str = "bridge.delay";
+}
+
 /// When a fault spec fires, relative to the stream of injection
 /// opportunities its target component presents.
 #[derive(Debug, Clone, PartialEq)]

@@ -51,7 +51,7 @@ pub mod time;
 pub use calq::{CalEntry, CalendarQueue};
 pub use channel::{Channel, ChannelConfig};
 pub use engine::{EventId, LivelockError, Pod, PodFn, Scheduler, Simulator};
-pub use fault::{FaultPlan, FaultSpec, FaultTrigger};
+pub use fault::{cluster_targets, FaultPlan, FaultSpec, FaultTrigger};
 pub use par::{run_conservative, Envelope, EpochBarrier, EpochWindow, ParConfig, ParReport, Shard};
 pub use rng::SimRng;
 pub use telemetry::{Instrumented, MetricsRegistry, TraceEvent, TraceRing};

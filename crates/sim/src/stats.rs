@@ -160,6 +160,21 @@ impl LatencyHistogram {
         None
     }
 
+    /// Approximate median in microseconds; `None` when empty.
+    pub fn p50_micros(&self) -> Option<f64> {
+        self.percentile_micros(50.0)
+    }
+
+    /// Approximate 99th percentile in microseconds; `None` when empty.
+    pub fn p99_micros(&self) -> Option<f64> {
+        self.percentile_micros(99.0)
+    }
+
+    /// Approximate 99.9th percentile in microseconds; `None` when empty.
+    pub fn p999_micros(&self) -> Option<f64> {
+        self.percentile_micros(99.9)
+    }
+
     /// The underlying summary.
     pub fn summary(&self) -> &Summary {
         &self.summary
@@ -178,6 +193,42 @@ impl LatencyHistogram {
             *mine += theirs;
         }
         self.summary.merge(&other.summary);
+    }
+}
+
+/// Publishes the histogram as deterministic gauges — the one shared way
+/// latency percentiles reach a [`MetricsRegistry`](crate::MetricsRegistry),
+/// so every caller exports the same shape instead of extracting
+/// percentiles ad hoc:
+///
+/// * `{prefix}.count` — samples recorded (counter);
+/// * `{prefix}.mean_us`, `{prefix}.p50_us`, `{prefix}.p99_us`,
+///   `{prefix}.p999_us`, `{prefix}.max_us` — gauges in microseconds,
+///   `0` when the histogram is empty.
+///
+/// Percentiles come from the log₂ bucket midpoints and the mean/max from
+/// the exact running summary, so two histograms fed the same samples
+/// export byte-identical values.
+impl crate::telemetry::Instrumented for LatencyHistogram {
+    fn export_metrics(&self, prefix: &str, registry: &mut crate::telemetry::MetricsRegistry) {
+        registry.counter_set(&format!("{prefix}.count"), self.count());
+        registry.gauge_set(&format!("{prefix}.mean_us"), self.mean_micros());
+        registry.gauge_set(
+            &format!("{prefix}.p50_us"),
+            self.p50_micros().unwrap_or(0.0),
+        );
+        registry.gauge_set(
+            &format!("{prefix}.p99_us"),
+            self.p99_micros().unwrap_or(0.0),
+        );
+        registry.gauge_set(
+            &format!("{prefix}.p999_us"),
+            self.p999_micros().unwrap_or(0.0),
+        );
+        registry.gauge_set(
+            &format!("{prefix}.max_us"),
+            self.summary().max().unwrap_or(0.0),
+        );
     }
 }
 
@@ -378,6 +429,41 @@ mod tests {
         m.record(Time::ZERO + Duration::from_secs(2), 500);
         assert_eq!(m.units(), 1000);
         assert!((m.rate() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_exports_deterministic_percentile_gauges() {
+        use crate::telemetry::{Instrumented, MetricsRegistry};
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_ns(i * 10));
+        }
+        let mut reg = MetricsRegistry::new();
+        h.export_metrics("svc.get", &mut reg);
+        assert_eq!(reg.counter("svc.get.count"), 1000);
+        let p50 = reg.gauge("svc.get.p50_us").unwrap();
+        let p99 = reg.gauge("svc.get.p99_us").unwrap();
+        let p999 = reg.gauge("svc.get.p999_us").unwrap();
+        assert!(p50 > 0.0 && p99 >= p50 && p999 >= p99);
+        assert_eq!(reg.gauge("svc.get.max_us"), Some(10.0));
+        // Two identical streams export byte-identical registries.
+        let mut h2 = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h2.record(Duration::from_ns(i * 10));
+        }
+        let mut reg2 = MetricsRegistry::new();
+        h2.export_metrics("svc.get", &mut reg2);
+        assert_eq!(reg.export_json(), reg2.export_json());
+    }
+
+    #[test]
+    fn empty_histogram_exports_zero_gauges() {
+        use crate::telemetry::{Instrumented, MetricsRegistry};
+        let mut reg = MetricsRegistry::new();
+        LatencyHistogram::new().export_metrics("x", &mut reg);
+        assert_eq!(reg.counter("x.count"), 0);
+        assert_eq!(reg.gauge("x.p999_us"), Some(0.0));
+        assert_eq!(reg.gauge("x.max_us"), Some(0.0));
     }
 
     #[test]
