@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck par-cluster service loom perf clean
+.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos cc-sweep pipelining modelcheck par-cluster service loom perf clean
 
-ci: fmt-check clippy build test doc bench-smoke chaos pipelining modelcheck par-cluster service loom perf
+ci: fmt-check clippy build test doc bench-smoke chaos cc-sweep pipelining modelcheck par-cluster service loom perf
 
 fmt:
 	$(CARGO) fmt --all
@@ -44,6 +44,18 @@ chaos: build
 	target/release/reproduce fault_sweep --bench-dir target/chaos/b > /dev/null
 	cmp target/chaos/a/BENCH_fault_sweep.json target/chaos/b/BENCH_fault_sweep.json
 	@echo "chaos OK: deterministic BENCH_fault_sweep.json"
+
+# Congestion-control sweep over the split TCP stack (controller x loss
+# rate x transfer size, hybrid CPU/FPGA preset included); runs twice and
+# fails unless the two same-seed BENCH_cc_sweep.json files are
+# byte-identical.
+cc-sweep: build
+	rm -rf target/cc-sweep
+	mkdir -p target/cc-sweep/a target/cc-sweep/b
+	target/release/reproduce cc_sweep --bench-dir target/cc-sweep/a > /dev/null
+	target/release/reproduce cc_sweep --bench-dir target/cc-sweep/b > /dev/null
+	cmp target/cc-sweep/a/BENCH_cc_sweep.json target/cc-sweep/b/BENCH_cc_sweep.json
+	@echo "cc-sweep OK: deterministic BENCH_cc_sweep.json"
 
 # Pipelining sweep: goodput vs outstanding-transaction count through the
 # event-driven engine's async API; runs twice and fails unless the two

@@ -1,0 +1,41 @@
+//! CC sweep bench: one lossy transfer per congestion controller over the
+//! FPGA cost model, plus the hybrid stack, so policy overhead shows up
+//! as wall-clock per simulated transfer.
+
+use enzian_bench::harness::{BenchmarkId, Criterion, Throughput};
+use enzian_net::eth::{EthLink, EthLinkConfig};
+use enzian_net::tcp::{CcAlgorithm, LossPattern, TcpEngine, TcpStackConfig};
+use enzian_net::Switch;
+use enzian_sim::Time;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cc_sweep");
+    let data = vec![0xABu8; 256 * 1024];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for (name, cfg) in [
+        ("fpga_fixed", TcpStackConfig::fpga_coyote()),
+        (
+            "fpga_reno",
+            TcpStackConfig::fpga_coyote().with_cc(CcAlgorithm::Reno),
+        ),
+        (
+            "fpga_cubic",
+            TcpStackConfig::fpga_coyote().with_cc(CcAlgorithm::Cubic),
+        ),
+        ("hybrid_reno", TcpStackConfig::hybrid_offload()),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, data.len()), &data, |b, data| {
+            b.iter(|| {
+                let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+                let mut e =
+                    TcpEngine::new(cfg, cfg, Switch::tor()).with_loss(LossPattern::drop_every(29));
+                black_box(e.transfer(&mut link, Time::ZERO, data))
+            });
+        });
+    }
+    g.finish();
+}
+
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

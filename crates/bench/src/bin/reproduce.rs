@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|
-//!            pipelining|modelcheck|cluster_scale|sched_hotpath|service|all]
+//!            pipelining|modelcheck|cluster_scale|sched_hotpath|service|
+//!            cc_sweep|all]
 //!           [--csv [dir]] [--bench-dir dir] [--no-bench] [--threads N]
 //! ```
 //!
@@ -20,8 +21,8 @@
 //! value, which the CI thread matrix asserts.
 
 use enzian_platform::experiments::{
-    cluster_scale, fault_sweep, fig11, fig12, fig3, fig6, fig7, fig8, fig9, modelcheck, pipelining,
-    sched_hotpath, service,
+    cc_sweep, cluster_scale, fault_sweep, fig11, fig12, fig3, fig6, fig7, fig8, fig9, modelcheck,
+    pipelining, sched_hotpath, service,
 };
 use enzian_sim::MetricsRegistry;
 
@@ -47,7 +48,7 @@ struct Opts {
 }
 
 /// Valid experiment selectors.
-const EXPERIMENTS: [&str; 15] = [
+const EXPERIMENTS: [&str; 16] = [
     "fig3",
     "fig6",
     "fig7",
@@ -62,6 +63,7 @@ const EXPERIMENTS: [&str; 15] = [
     "cluster_scale",
     "sched_hotpath",
     "service",
+    "cc_sweep",
     "all",
 ];
 
@@ -440,6 +442,56 @@ fn run_fault_sweep(opts: &Opts) {
     finish(opts, "fault_sweep", &reg, started);
 }
 
+fn run_cc_sweep(opts: &Opts) {
+    let started = std::time::Instant::now();
+    let mut reg = MetricsRegistry::new();
+    let rows = cc_sweep::run_instrumented(&mut reg);
+    println!("{}", cc_sweep::render(&rows));
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.stack.clone(),
+                r.cc.to_string(),
+                r.loss_bp.to_string(),
+                r.size.to_string(),
+                r.latency_us.to_string(),
+                r.gbps.to_string(),
+                r.segments.to_string(),
+                r.retransmissions.to_string(),
+                r.cwnd_mean.to_string(),
+                r.cwnd_min.to_string(),
+                r.cwnd_max.to_string(),
+                r.cwnd_stalls.to_string(),
+                r.rwnd_stalls.to_string(),
+            ]
+        })
+        .collect();
+    export(
+        &opts.csv,
+        "cc_sweep",
+        enzian_bench::to_csv(
+            &[
+                "stack",
+                "cc",
+                "loss_bp",
+                "size_b",
+                "latency_us",
+                "gbps",
+                "segments",
+                "retransmissions",
+                "cwnd_mean",
+                "cwnd_min",
+                "cwnd_max",
+                "cwnd_stalls",
+                "rwnd_stalls",
+            ],
+            &csv,
+        ),
+    );
+    finish(opts, "cc_sweep", &reg, started);
+}
+
 fn run_pipelining(opts: &Opts) {
     let started = std::time::Instant::now();
     let mut reg = MetricsRegistry::new();
@@ -713,6 +765,7 @@ fn main() {
         "table1" => run_table1(),
         "fig12" => run_fig12(&opts),
         "fault_sweep" => run_fault_sweep(&opts),
+        "cc_sweep" => run_cc_sweep(&opts),
         "pipelining" => run_pipelining(&opts),
         "modelcheck" => run_modelcheck(&opts),
         "cluster_scale" => run_cluster_scale(&opts, true),
@@ -727,6 +780,7 @@ fn main() {
             run_fig11(&opts);
             run_fig12(&opts);
             run_fault_sweep(&opts);
+            run_cc_sweep(&opts);
             run_pipelining(&opts);
             run_modelcheck(&opts);
             run_cluster_scale(&opts, false);
@@ -737,7 +791,7 @@ fn main() {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
                  fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|pipelining|\
-                 modelcheck|cluster_scale|sched_hotpath|service|all"
+                 modelcheck|cluster_scale|sched_hotpath|service|cc_sweep|all"
             );
             std::process::exit(2);
         }

@@ -17,7 +17,10 @@
 //!
 //! * [`eth`] — frame-level Ethernet links and a store-and-forward switch;
 //! * [`tcp`] — a segment-level TCP engine (real segmentation, cumulative
-//!   acks, windows, data integrity) parameterised as either stack;
+//!   acks, windows, data integrity) composed from four modules along the
+//!   offload boundaries — connection management, reliability, congestion
+//!   control, flow control — and parameterised as either stack, or as a
+//!   hybrid with the data path on the FPGA and policy on the CPU;
 //! * [`rdma`] — the RDMA engine over pluggable memory back-ends;
 //! * [`farview`] — the §6 smart disaggregated-memory use-case: FPGA DRAM
 //!   served over the network with operator push-down.
@@ -30,4 +33,6 @@ pub mod tcp;
 pub use eth::{EthLink, EthLinkConfig, Switch};
 pub use farview::{FarviewServer, Operator, Predicate};
 pub use rdma::{RdmaBackend, RdmaEngine, RdmaOutcome};
-pub use tcp::{StackKind, TcpEngine, TcpStackConfig, TransferOutcome};
+pub use tcp::{
+    CcAlgorithm, CongestionController, StackKind, TcpEngine, TcpStackConfig, TransferOutcome,
+};

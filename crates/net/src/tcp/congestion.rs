@@ -1,0 +1,360 @@
+//! Congestion control: the policy module deciding how much data may be
+//! in flight, decoupled from reliability and flow control.
+//!
+//! The mlwip design argument (see `docs/ARCHITECTURE.md`): congestion
+//! control is pure *policy* — it consumes ack/loss events and produces a
+//! window — so it is the natural module to move across the CPU/FPGA
+//! boundary independently of the data path. Three implementations span
+//! that space:
+//!
+//! * [`FixedWindow`] — the single-pipeline FPGA stack's behaviour: the
+//!   hardware buffer is the window and never moves. This is what the
+//!   monolithic engine always did implicitly, so the `fpga_coyote` and
+//!   `linux_kernel` presets select it and reproduce the pre-split
+//!   numbers bit for bit.
+//! * [`Reno`] — slow start plus AIMD congestion avoidance with timeout
+//!   collapse, the classic software policy.
+//! * [`CubicShaped`] — concave/convex window growth around the last
+//!   loss point, shaped like CUBIC's `W(t) = C·(t−K)³ + W_max`.
+//!
+//! Controllers see simulated [`Time`] only, so every trajectory is a
+//! pure function of the workload and the seed.
+
+use enzian_sim::Time;
+
+use super::TcpStackConfig;
+
+/// The congestion-control interface: a window in bytes, updated by ack
+/// and timeout events. Implementations must be deterministic — no wall
+/// clock, no global state — so transfers replay bit-identically.
+pub trait CongestionController: std::fmt::Debug + Send {
+    /// Short stable name for telemetry and experiment labels.
+    fn name(&self) -> &'static str;
+
+    /// Current congestion window in bytes. The engine sends while
+    /// `in_flight < min(cwnd, receive_window)`.
+    fn cwnd(&self) -> u64;
+
+    /// `newly_acked` bytes were cumulatively acknowledged at `now`
+    /// (zero for duplicate acks from discarded out-of-order segments).
+    fn on_ack(&mut self, newly_acked: u64, now: Time);
+
+    /// The reliability module's retransmission timeout fired at `now`
+    /// with `in_flight` unacknowledged bytes outstanding.
+    fn on_rto(&mut self, in_flight: u64, now: Time);
+}
+
+/// Which controller a [`TcpStackConfig`] composes into the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcAlgorithm {
+    /// Fixed window: the FPGA pipeline's buffer-sized, immobile window.
+    Fixed,
+    /// Reno: slow start + AIMD, timeout collapses to one segment.
+    Reno,
+    /// CUBIC-shaped: cubic growth around the last loss point.
+    Cubic,
+}
+
+impl CcAlgorithm {
+    /// Short stable label (matches the built controller's `name()`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CcAlgorithm::Fixed => "fixed",
+            CcAlgorithm::Reno => "reno",
+            CcAlgorithm::Cubic => "cubic",
+        }
+    }
+
+    /// Builds the controller instance for one connection of `cfg`.
+    pub fn build(&self, cfg: &TcpStackConfig) -> Box<dyn CongestionController> {
+        match self {
+            CcAlgorithm::Fixed => Box::new(FixedWindow::new(cfg.window)),
+            CcAlgorithm::Reno => Box::new(Reno::new(cfg.mss as u64, cfg.window)),
+            CcAlgorithm::Cubic => Box::new(CubicShaped::new(cfg.mss as u64, cfg.window)),
+        }
+    }
+}
+
+/// The FPGA pipeline's "congestion control": a window fixed at the
+/// hardware buffer size. Ack and timeout events never move it — loss
+/// recovery is purely the reliability module's go-back-N rewind, exactly
+/// as the pre-split monolith behaved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedWindow {
+    cwnd: u64,
+}
+
+impl FixedWindow {
+    /// A window pinned at `bytes`.
+    pub fn new(bytes: u64) -> Self {
+        FixedWindow { cwnd: bytes }
+    }
+}
+
+impl CongestionController for FixedWindow {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn on_ack(&mut self, _newly_acked: u64, _now: Time) {}
+
+    fn on_rto(&mut self, _in_flight: u64, _now: Time) {}
+}
+
+/// Reno: exponential slow start to `ssthresh`, then additive increase of
+/// one MSS per window of acks; a retransmission timeout halves
+/// `ssthresh` (against the bytes in flight) and collapses the window to
+/// one segment for a fresh slow start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reno {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Bytes acked since the last additive increase.
+    acked_accum: u64,
+}
+
+/// Initial window in segments (RFC 6928's IW10).
+const INITIAL_WINDOW_SEGMENTS: u64 = 10;
+
+impl Reno {
+    /// A fresh connection: IW10 initial window, slow-start threshold at
+    /// the receive window `rwnd`.
+    pub fn new(mss: u64, rwnd: u64) -> Self {
+        Reno {
+            mss,
+            cwnd: mss * INITIAL_WINDOW_SEGMENTS,
+            ssthresh: rwnd,
+            acked_accum: 0,
+        }
+    }
+}
+
+impl CongestionController for Reno {
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn on_ack(&mut self, newly_acked: u64, _now: Time) {
+        if newly_acked == 0 {
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            // Slow start: one MSS per ack (bounded by what it covers).
+            self.cwnd += newly_acked.min(self.mss);
+        } else {
+            // Congestion avoidance: one MSS per cwnd of acked bytes.
+            self.acked_accum += newly_acked;
+            while self.acked_accum >= self.cwnd {
+                self.acked_accum -= self.cwnd;
+                self.cwnd += self.mss;
+            }
+        }
+    }
+
+    fn on_rto(&mut self, in_flight: u64, _now: Time) {
+        self.ssthresh = (in_flight / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.acked_accum = 0;
+    }
+}
+
+/// CUBIC's scale constant `C` (RFC 8312's 0.4), in windows per
+/// millisecond³ here: the simulator's RTTs are microseconds, not the
+/// wide-area milliseconds RFC 8312 assumes, so the epoch clock runs in
+/// milliseconds to keep `K` on the same scale as the simulated RTOs.
+const CUBIC_C: f64 = 0.4;
+
+/// CUBIC's multiplicative-decrease factor `β`.
+const CUBIC_BETA: f64 = 0.7;
+
+/// CUBIC-shaped growth: after a loss epoch starts, the window follows
+/// `W(t) = C·(t−K)³ + W_max` in segments — concave up to the previous
+/// loss point `W_max`, then convex beyond it — clamped so one ack never
+/// grows the window by more than the bytes it acknowledged. Timeouts
+/// apply multiplicative decrease by `β` and start a new epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CubicShaped {
+    mss: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    /// Window (segments) at the last loss event.
+    w_max_segments: f64,
+    /// Start of the current growth epoch, set at the first post-loss ack.
+    epoch: Option<Time>,
+    /// Time (milliseconds into the epoch) at which `W(t)` reaches
+    /// `W_max`.
+    k: f64,
+}
+
+impl CubicShaped {
+    /// A fresh connection: IW10, slow-start threshold at `rwnd`.
+    pub fn new(mss: u64, rwnd: u64) -> Self {
+        CubicShaped {
+            mss,
+            cwnd: (mss * INITIAL_WINDOW_SEGMENTS) as f64,
+            ssthresh: rwnd as f64,
+            w_max_segments: 0.0,
+            epoch: None,
+            k: 0.0,
+        }
+    }
+
+    fn mss_f(&self) -> f64 {
+        self.mss as f64
+    }
+}
+
+impl CongestionController for CubicShaped {
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    fn on_ack(&mut self, newly_acked: u64, now: Time) {
+        if newly_acked == 0 {
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd += (newly_acked.min(self.mss)) as f64;
+            return;
+        }
+        let epoch = *self.epoch.get_or_insert(now);
+        let t = now.since(epoch).as_secs_f64() * 1e3; // epoch clock in ms
+        let target_segments = CUBIC_C * (t - self.k).powi(3) + self.w_max_segments;
+        let target = (target_segments * self.mss_f()).max(self.mss_f());
+        if target > self.cwnd {
+            // Grow toward the cubic target, paced by acked bytes.
+            self.cwnd += (target - self.cwnd).min(newly_acked as f64);
+        } else {
+            // Below-target plateau: creep additively like Reno's floor.
+            self.cwnd += self.mss_f() * self.mss_f() / self.cwnd;
+        }
+    }
+
+    fn on_rto(&mut self, _in_flight: u64, now: Time) {
+        self.w_max_segments = self.cwnd / self.mss_f();
+        self.cwnd = (self.cwnd * CUBIC_BETA).max(self.mss_f());
+        self.ssthresh = self.cwnd;
+        self.k = (self.w_max_segments * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+        self.epoch = Some(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enzian_sim::Duration;
+
+    #[test]
+    fn fixed_window_never_moves() {
+        let mut cc = FixedWindow::new(256 * 1024);
+        assert_eq!(cc.cwnd(), 256 * 1024);
+        cc.on_ack(10_000, Time::from_ns(100));
+        cc.on_rto(200_000, Time::from_ns(200));
+        assert_eq!(cc.cwnd(), 256 * 1024);
+        assert_eq!(cc.name(), "fixed");
+    }
+
+    #[test]
+    fn reno_slow_starts_then_grows_linearly() {
+        let mss = 1448;
+        let mut cc = Reno::new(mss, 64 * 1024);
+        assert_eq!(cc.cwnd(), mss * INITIAL_WINDOW_SEGMENTS);
+        // Slow start: each full-MSS ack adds one MSS.
+        let before = cc.cwnd();
+        cc.on_ack(mss, Time::from_us(1));
+        assert_eq!(cc.cwnd(), before + mss);
+        // Push past ssthresh, then growth becomes ~1 MSS per window.
+        while cc.cwnd() < 64 * 1024 {
+            cc.on_ack(mss, Time::from_us(2));
+        }
+        let at_thresh = cc.cwnd();
+        cc.on_ack(mss, Time::from_us(3));
+        assert!(
+            cc.cwnd() - at_thresh < mss,
+            "avoidance must be slower than slow start"
+        );
+    }
+
+    #[test]
+    fn reno_timeout_collapses_to_one_segment() {
+        let mss = 2048;
+        let mut cc = Reno::new(mss, 256 * 1024);
+        for _ in 0..40 {
+            cc.on_ack(mss, Time::from_us(5));
+        }
+        let flight = cc.cwnd();
+        cc.on_rto(flight, Time::from_us(6));
+        assert_eq!(cc.cwnd(), mss);
+        // ssthresh remembers half the flight.
+        let mut grown = cc;
+        for _ in 0..200 {
+            grown.on_ack(mss, Time::from_us(7));
+        }
+        assert!(grown.cwnd() > mss);
+    }
+
+    #[test]
+    fn cubic_recovers_concavely_toward_w_max() {
+        let mss = 2048u64;
+        let mut cc = CubicShaped::new(mss, 512 * 1024);
+        // Reach avoidance, then take a loss at a known window.
+        while cc.cwnd() < 512 * 1024 {
+            cc.on_ack(mss, Time::from_us(1));
+        }
+        let w_loss = cc.cwnd();
+        cc.on_rto(w_loss, Time::from_us(10));
+        let floor = cc.cwnd();
+        assert!(floor < w_loss, "decrease must shrink the window");
+        assert!(floor >= (w_loss as f64 * CUBIC_BETA) as u64 - mss);
+        // Growth right after the loss is concave: early acks move the
+        // window faster than acks near the plateau at W_max.
+        let mut t = Time::from_us(10);
+        let mut deltas = Vec::new();
+        for _ in 0..50 {
+            t += Duration::from_us(100);
+            let before = cc.cwnd();
+            // Cumulative acks cover several segments, so the clamp never
+            // hides the curve's shape.
+            cc.on_ack(8 * mss, t);
+            deltas.push(cc.cwnd() as i64 - before as i64);
+        }
+        let early: i64 = deltas[..5].iter().sum();
+        let late: i64 = deltas[45..].iter().sum();
+        assert!(
+            early > late,
+            "cubic must decelerate near W_max: early {early}, late {late}"
+        );
+        assert!(cc.cwnd() <= w_loss + mss, "plateau holds near W_max");
+    }
+
+    #[test]
+    fn duplicate_acks_move_nothing() {
+        let mut reno = Reno::new(1448, 64 * 1024);
+        let mut cubic = CubicShaped::new(1448, 64 * 1024);
+        let (r0, c0) = (reno.cwnd(), cubic.cwnd());
+        reno.on_ack(0, Time::from_us(1));
+        cubic.on_ack(0, Time::from_us(1));
+        assert_eq!((reno.cwnd(), cubic.cwnd()), (r0, c0));
+    }
+
+    #[test]
+    fn algorithm_labels_match_built_controllers() {
+        let cfg = TcpStackConfig::fpga_coyote();
+        for alg in [CcAlgorithm::Fixed, CcAlgorithm::Reno, CcAlgorithm::Cubic] {
+            assert_eq!(alg.label(), alg.build(&cfg).name());
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Connection management: the handshake/teardown state machine.
+//!
+//! The monolithic engine modelled established connections only; the
+//! split makes connection management its own module so stacks can place
+//! it independently of the data path (the FPGA stack keeps a connection
+//! table in BRAM; a hybrid stack can leave setup/teardown on the CPU
+//! where it is cheap and rare). [`Connection`] is the pure FSM —
+//! RFC 793's states minus the simultaneous-open corners this simulator
+//! never generates — and [`TcpEngine::session`](super::TcpEngine::session)
+//! drives a pair of them through a timed three-way handshake, a
+//! transfer, and a FIN/ACK teardown.
+
+use std::error::Error;
+use std::fmt;
+
+/// RFC 793 connection states (simultaneous open/close omitted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// No connection.
+    Closed,
+    /// Passive open: waiting for a SYN.
+    Listen,
+    /// Active open sent a SYN, awaiting SYN-ACK.
+    SynSent,
+    /// Passive side got the SYN, sent SYN-ACK, awaiting ACK.
+    SynReceived,
+    /// Data may flow.
+    Established,
+    /// Sent FIN, awaiting its ACK.
+    FinWait1,
+    /// Our FIN is acked, awaiting the peer's FIN.
+    FinWait2,
+    /// Peer sent FIN first; we acked and owe our own FIN.
+    CloseWait,
+    /// Sent our FIN from CloseWait, awaiting its ACK.
+    LastAck,
+    /// Both sides done; the active closer lingers, then closes.
+    TimeWait,
+}
+
+/// Events driving the [`Connection`] FSM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnEvent {
+    /// Application opens actively (emit SYN).
+    ActiveOpen,
+    /// Application opens passively (listen).
+    PassiveOpen,
+    /// A SYN arrived.
+    SynRcvd,
+    /// A SYN-ACK arrived.
+    SynAckRcvd,
+    /// The handshake/teardown ACK arrived.
+    AckRcvd,
+    /// Application closes (emit FIN).
+    Close,
+    /// A FIN arrived.
+    FinRcvd,
+    /// The 2·MSL linger expired.
+    TimeWaitExpired,
+}
+
+/// An event arrived in a state with no legal transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnError {
+    /// State the connection was in.
+    pub state: ConnState,
+    /// Event that had no transition.
+    pub event: ConnEvent,
+}
+
+impl fmt::Display for ConnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no transition for {:?} in {:?}", self.event, self.state)
+    }
+}
+
+impl Error for ConnError {}
+
+/// One endpoint's connection state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Connection {
+    state: ConnState,
+    transitions: u64,
+}
+
+impl Connection {
+    /// A closed connection.
+    pub fn new() -> Self {
+        Connection {
+            state: ConnState::Closed,
+            transitions: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// Transitions taken so far (telemetry).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// `true` once data may flow.
+    pub fn is_established(&self) -> bool {
+        self.state == ConnState::Established
+    }
+
+    /// Applies `event`, returning the new state or [`ConnError`] if the
+    /// transition is illegal — a model bug in the driver, never silently
+    /// absorbed.
+    pub fn on(&mut self, event: ConnEvent) -> Result<ConnState, ConnError> {
+        use ConnEvent::*;
+        use ConnState::*;
+        let next = match (self.state, event) {
+            (Closed, ActiveOpen) => SynSent,
+            (Closed, PassiveOpen) => Listen,
+            (Listen, SynRcvd) => SynReceived,
+            (SynSent, SynAckRcvd) => Established,
+            (SynReceived, AckRcvd) => Established,
+            (Established, Close) => FinWait1,
+            (Established, FinRcvd) => CloseWait,
+            (FinWait1, AckRcvd) => FinWait2,
+            (FinWait2, FinRcvd) => TimeWait,
+            (CloseWait, Close) => LastAck,
+            (LastAck, AckRcvd) => Closed,
+            (TimeWait, TimeWaitExpired) => Closed,
+            (state, event) => return Err(ConnError { state, event }),
+        };
+        self.state = next;
+        self.transitions += 1;
+        Ok(next)
+    }
+}
+
+impl Default for Connection {
+    fn default() -> Self {
+        Connection::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ConnEvent::*;
+    use super::ConnState::*;
+    use super::*;
+
+    #[test]
+    fn three_way_handshake_establishes_both_ends() {
+        let mut a = Connection::new();
+        let mut b = Connection::new();
+        assert_eq!(a.on(ActiveOpen), Ok(SynSent));
+        assert_eq!(b.on(PassiveOpen), Ok(Listen));
+        assert_eq!(b.on(SynRcvd), Ok(SynReceived));
+        assert_eq!(a.on(SynAckRcvd), Ok(Established));
+        assert_eq!(b.on(AckRcvd), Ok(Established));
+        assert!(a.is_established() && b.is_established());
+        assert_eq!(a.transitions(), 2);
+        assert_eq!(b.transitions(), 3);
+    }
+
+    #[test]
+    fn orderly_teardown_reaches_closed_on_both_ends() {
+        let mut a = Connection::new();
+        let mut b = Connection::new();
+        a.on(ActiveOpen).unwrap();
+        b.on(PassiveOpen).unwrap();
+        b.on(SynRcvd).unwrap();
+        a.on(SynAckRcvd).unwrap();
+        b.on(AckRcvd).unwrap();
+        // a closes first.
+        assert_eq!(a.on(Close), Ok(FinWait1));
+        assert_eq!(b.on(FinRcvd), Ok(CloseWait));
+        assert_eq!(a.on(AckRcvd), Ok(FinWait2));
+        assert_eq!(b.on(Close), Ok(LastAck));
+        assert_eq!(a.on(FinRcvd), Ok(TimeWait));
+        assert_eq!(b.on(AckRcvd), Ok(Closed));
+        assert_eq!(a.on(TimeWaitExpired), Ok(Closed));
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected_loudly() {
+        let mut c = Connection::new();
+        let err = c.on(SynAckRcvd).unwrap_err();
+        assert_eq!(err.state, Closed);
+        assert_eq!(err.event, SynAckRcvd);
+        assert!(err.to_string().contains("SynAckRcvd"));
+        // State is unchanged after a rejected event.
+        assert_eq!(c.state(), Closed);
+        assert_eq!(c.transitions(), 0);
+
+        c.on(ActiveOpen).unwrap();
+        assert!(c.on(FinRcvd).is_err(), "no FIN before establishment");
+    }
+
+    #[test]
+    fn no_data_before_establishment() {
+        // The engine asserts is_established() before moving payload; the
+        // FSM makes that checkable.
+        let mut c = Connection::new();
+        c.on(PassiveOpen).unwrap();
+        assert!(!c.is_established());
+        c.on(SynRcvd).unwrap();
+        assert!(!c.is_established());
+        c.on(AckRcvd).unwrap();
+        assert!(c.is_established());
+    }
+}

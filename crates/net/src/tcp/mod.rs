@@ -1,19 +1,51 @@
-//! A segment-level TCP engine, parameterised as either the FPGA
-//! single-pipeline stack or a kernel-style software stack.
+//! A segment-level TCP engine split along offload boundaries.
 //!
-//! The engine does real protocol work: it segments the byte stream,
-//! computes and verifies the Internet checksum on every segment, enforces
-//! a sliding receive window with cumulative acknowledgements, and
-//! recovers from injected loss with go-back-N retransmission on timeout.
-//! Timing comes from the [`EthLink`] plus per-segment processing costs:
+//! The monolithic engine entangled four concerns that hardware offload
+//! needs separated (the mlwip argument): **connection management**
+//! ([`conn`] — the handshake/teardown FSM), **reliability**
+//! ([`reliability`] — segmentation, checksums, go-back-N retransmission,
+//! in-order reassembly), **congestion control** ([`congestion`] — a
+//! [`CongestionController`] trait with fixed-window, Reno, and
+//! CUBIC-shaped implementations), and **flow control** ([`flow`] —
+//! receive-window accounting and the ack ledger). [`TcpEngine`] is now a
+//! composition of those modules, and a stack preset is a *module
+//! selection*:
 //!
-//! * the **FPGA stack** processes 64 B per 300 MHz cycle in a single
-//!   pipeline shared by all flows — per-flow performance is independent
-//!   of flow count (paper §5.2: "its performance is independent of the
-//!   number of flows");
-//! * the **kernel stack** pays a fixed per-segment CPU cost (interrupt,
-//!   skb bookkeeping, copy), so a single flow tops out well below
-//!   100 Gb/s and ~4 flows are needed to saturate the link.
+//! * [`TcpStackConfig::fpga_coyote`] — every module on the FPGA cost
+//!   model: 64 B per 300 MHz cycle in a single pipeline shared by all
+//!   flows, fixed hardware window (paper §5.2: performance independent
+//!   of flow count);
+//! * [`TcpStackConfig::linux_kernel`] — every module on the CPU cost
+//!   model: a fixed per-segment cost (interrupt, skb bookkeeping, copy),
+//!   so one flow tops out well below 100 Gb/s and ~4 flows are needed to
+//!   saturate the link;
+//! * [`TcpStackConfig::hybrid_offload`] — **a new point between the
+//!   Fig. 7 extremes**: reliability/segmentation on the FPGA cost model
+//!   (it touches every byte), congestion/flow *policy* on the CPU cost
+//!   model (it only touches acks), selected as Reno over the FPGA data
+//!   path with a per-ack CPU policy cost.
+//!
+//! The two original presets keep fixed-window congestion control and a
+//! zero per-ack cost, which makes the composed engine's arithmetic
+//! — and therefore every [`TransferOutcome`] — bit-identical to the
+//! monolith's (pinned by `tests/tcp_golden.rs`).
+//!
+//! The engine still does real protocol work: it segments the byte
+//! stream, computes and verifies the Internet checksum on every segment,
+//! enforces the composed send window with cumulative acknowledgements,
+//! and recovers from injected loss with go-back-N retransmission on
+//! timeout. Timing comes from the [`EthLink`] plus per-segment
+//! processing costs.
+
+pub mod congestion;
+pub mod conn;
+pub mod flow;
+pub mod reliability;
+
+pub use congestion::{CcAlgorithm, CongestionController, CubicShaped, FixedWindow, Reno};
+pub use conn::{ConnError, ConnEvent, ConnState, Connection};
+pub use flow::{AckLedger, SendWindow};
+pub use reliability::{checksum_verifies, internet_checksum, segment_len, GoBackN, Reassembler};
 
 use enzian_sim::stats::Summary;
 use enzian_sim::telemetry::MetricsRegistry;
@@ -21,21 +53,31 @@ use enzian_sim::{CalendarQueue, Duration, FaultPlan, FaultSpec, Time};
 
 use crate::eth::{EthLink, Switch};
 
-/// Which stack personality a config models.
+/// Payload-free control segments (SYN, FIN, bare acks) still occupy this
+/// many bytes on the wire.
+const CONTROL_SEGMENT_BYTES: u64 = 64;
+
+/// Which stack personality a config models — equivalently, which side of
+/// the CPU/FPGA boundary each module lands on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StackKind {
     /// The single-pipeline hardware stack (Sidler et al., as ported to
-    /// Enzian as a Coyote service).
+    /// Enzian as a Coyote service): every module in the FPGA.
     FpgaPipeline,
-    /// A kernel software stack on a fast server core.
+    /// A kernel software stack on a fast server core: every module on
+    /// the CPU.
     Kernel,
+    /// Reliability/segmentation in the FPGA pipeline, congestion/flow
+    /// policy on the CPU — the point between the Fig. 7 extremes.
+    Hybrid,
 }
 
 /// Cost/parameter set for one endpoint's stack.
 ///
 /// `#[non_exhaustive]`: construct from a named preset
-/// ([`TcpStackConfig::fpga_coyote`] / [`TcpStackConfig::linux_kernel`])
-/// and adjust fields with the `with_*` setters.
+/// ([`TcpStackConfig::fpga_coyote`] / [`TcpStackConfig::linux_kernel`] /
+/// [`TcpStackConfig::hybrid_offload`]) and adjust fields with the
+/// `with_*` setters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub struct TcpStackConfig {
@@ -43,17 +85,23 @@ pub struct TcpStackConfig {
     pub kind: StackKind,
     /// Maximum segment payload (MTU minus headers).
     pub mss: usize,
-    /// Receive window in bytes.
+    /// Receive window in bytes (the flow-control module's bound).
     pub window: u64,
-    /// Fixed per-segment processing cost.
+    /// Fixed per-segment processing cost (reliability data path).
     pub per_segment: Duration,
     /// Additional processing cost per 64 bytes of payload.
     pub per_64_bytes: Duration,
     /// One-time per-transfer overhead (socket wakeup/syscall path for
     /// the kernel stack; nil for hardware).
     pub per_transfer: Duration,
-    /// Retransmission timeout.
+    /// Per-ack policy cost on the sender (congestion/flow decision).
+    /// Zero when policy lives next to the data path; nonzero on the
+    /// hybrid preset, where each ack crosses to the CPU.
+    pub per_ack: Duration,
+    /// Retransmission timeout (reliability module).
     pub rto: Duration,
+    /// Congestion-control module selection.
+    pub cc: CcAlgorithm,
 }
 
 impl TcpStackConfig {
@@ -93,13 +141,27 @@ impl TcpStackConfig {
         self
     }
 
+    /// Returns the config with `per_ack` replaced.
+    pub fn with_per_ack(mut self, cost: Duration) -> Self {
+        self.per_ack = cost;
+        self
+    }
+
     /// Returns the config with `rto` replaced.
     pub fn with_rto(mut self, rto: Duration) -> Self {
         self.rto = rto;
         self
     }
 
-    /// The FPGA stack at a 2 KiB MTU on a 300 MHz shell clock.
+    /// Returns the config with the congestion controller replaced.
+    pub fn with_cc(mut self, cc: CcAlgorithm) -> Self {
+        self.cc = cc;
+        self
+    }
+
+    /// The FPGA stack at a 2 KiB MTU on a 300 MHz shell clock: every
+    /// module in hardware, fixed-window congestion control (the
+    /// pipeline's buffer is the window).
     pub fn fpga_coyote() -> Self {
         TcpStackConfig {
             kind: StackKind::FpgaPipeline,
@@ -108,11 +170,17 @@ impl TcpStackConfig {
             per_segment: Duration::from_ns(30),
             per_64_bytes: Duration::from_ns(3), // 64 B/cycle at ~300 MHz
             per_transfer: Duration::ZERO,
+            per_ack: Duration::ZERO,
             rto: Duration::from_us(500),
+            cc: CcAlgorithm::Fixed,
         }
     }
 
-    /// A Linux kernel stack on a Xeon Gold core at MTU 1500.
+    /// A Linux kernel stack on a Xeon Gold core at MTU 1500: every
+    /// module on the CPU. Fixed-window congestion control keeps the
+    /// preset bit-identical to the pre-split monolith; select
+    /// [`CcAlgorithm::Reno`]/[`CcAlgorithm::Cubic`] with
+    /// [`with_cc`](Self::with_cc) to study real kernel policies.
     pub fn linux_kernel() -> Self {
         TcpStackConfig {
             kind: StackKind::Kernel,
@@ -121,28 +189,35 @@ impl TcpStackConfig {
             per_segment: Duration::from_ns(430),
             per_64_bytes: Duration::from_ps(400), // memcpy at ~160 GB/s
             per_transfer: Duration::from_us(24),
+            per_ack: Duration::ZERO,
             rto: Duration::from_ms(2),
+            cc: CcAlgorithm::Fixed,
+        }
+    }
+
+    /// The hybrid offload point the module split exists to express:
+    /// reliability/segmentation in the FPGA pipeline (FPGA per-byte
+    /// costs), congestion/flow policy on the CPU (Reno, with a per-ack
+    /// CPU decision cost and a CPU-scale RTO). Sits between the Fig. 7
+    /// extremes: the data path streams at pipeline speed once Reno's
+    /// slow start has opened the window.
+    pub fn hybrid_offload() -> Self {
+        TcpStackConfig {
+            kind: StackKind::Hybrid,
+            mss: 2048,
+            window: 512 * 1024,
+            per_segment: Duration::from_ns(30),
+            per_64_bytes: Duration::from_ns(3),
+            per_transfer: Duration::from_us(2), // CPU arms the offload
+            per_ack: Duration::from_ns(250),    // policy decision on CPU
+            rto: Duration::from_ms(1),
+            cc: CcAlgorithm::Reno,
         }
     }
 
     fn segment_cost(&self, bytes: usize) -> Duration {
         self.per_segment + self.per_64_bytes * (bytes as u64).div_ceil(64)
     }
-}
-
-/// The RFC 1071 Internet checksum over a byte slice.
-pub fn internet_checksum(data: &[u8]) -> u16 {
-    let mut sum = 0u32;
-    for chunk in data.chunks(2) {
-        let word = if chunk.len() == 2 {
-            u16::from_be_bytes([chunk[0], chunk[1]])
-        } else {
-            u16::from_be_bytes([chunk[0], 0])
-        };
-        sum += u32::from(word);
-        sum = (sum & 0xFFFF) + (sum >> 16);
-    }
-    !(sum as u16)
 }
 
 /// Result of one simulated transfer.
@@ -178,6 +253,21 @@ impl TransferOutcome {
     }
 }
 
+/// Result of one connection-managed session: handshake, transfer,
+/// orderly teardown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionOutcome {
+    /// When the three-way handshake completed at both endpoints.
+    pub established: Time,
+    /// The payload transfer, started at `established`.
+    pub transfer: TransferOutcome,
+    /// When the active closer left TimeWait (2·RTO linger after the
+    /// FIN/ACK exchange).
+    pub closed: Time,
+    /// Control segments (SYN, SYN-ACK, FIN, bare acks) exchanged.
+    pub control_segments: u64,
+}
+
 /// Fault-plan target for dropping a TCP data segment in flight.
 pub const SEGMENT_LOSS_TARGET: &str = "net.tcp.segment_loss";
 
@@ -192,6 +282,13 @@ pub const SEGMENT_LOSS_TARGET: &str = "net.tcp.segment_loss";
 /// including [`LossPattern::drop_every`] with `n = 1`, where every
 /// segment's first copy is dropped exactly once and the retransmit
 /// always delivers.
+///
+/// The plan's injected/recovered ledger, the reliability module's
+/// [`GoBackN`] rewind count, and the per-flow [`FlowStats`] all describe
+/// the *same* events: the engine fires a rewind in exactly one place,
+/// notes the recovery on the plan there, and copies the module's count
+/// into the flow stats once per transfer — so the three views can never
+/// double-count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LossPattern {
     plan: FaultPlan,
@@ -250,7 +347,10 @@ impl Default for LossPattern {
 }
 
 /// A unidirectional TCP transfer engine between endpoint `a` (sender)
-/// and `b` (receiver) over a shared [`EthLink`] and [`Switch`].
+/// and `b` (receiver) over a shared [`EthLink`] and [`Switch`],
+/// composed from the four protocol modules. The congestion controller
+/// is built from the sender config's [`CcAlgorithm`] and keeps its
+/// state across transfers (connection-lifetime policy state).
 #[derive(Debug)]
 pub struct TcpEngine {
     tx: TcpStackConfig,
@@ -258,6 +358,7 @@ pub struct TcpEngine {
     switch: Switch,
     loss: LossPattern,
     telemetry: TcpTelemetry,
+    cc: Box<dyn CongestionController>,
 }
 
 /// Per-flow transfer counters — the telemetry's single source of truth;
@@ -270,20 +371,62 @@ pub struct FlowStats {
     pub bytes: u64,
     /// Segments sent on this flow (including retransmissions).
     pub segments: u64,
-    /// Segments retransmitted on this flow.
+    /// Segments retransmitted on this flow (copied once per transfer
+    /// from the reliability module's [`GoBackN`] ledger).
     pub retransmissions: u64,
 }
 
+/// Per-module observations attributing behaviour to the module that
+/// caused it: the congestion module's effective-window trajectory and
+/// stalls, the flow module's receive-window stalls, and the connection
+/// module's handshake/teardown counts. Retransmissions/RTO fires belong
+/// to the reliability module but are *derived* from [`FlowStats`] (see
+/// [`TcpTelemetry::rto_fires`]) so there is exactly one ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleTelemetry {
+    /// Effective send window `min(cwnd, rwnd)` sampled at each data
+    /// transmission, bytes — the congestion trajectory.
+    pub cwnd_bytes: Summary,
+    /// Sends blocked with the congestion window as the binding
+    /// constraint (cwnd < rwnd at the stall).
+    pub cwnd_stalls: u64,
+    /// Sends blocked with the receive window as the binding constraint.
+    pub rwnd_stalls: u64,
+    /// Three-way handshakes completed by the connection module.
+    pub handshakes: u64,
+    /// Orderly teardowns completed by the connection module.
+    pub teardowns: u64,
+    /// Control segments (SYN/SYN-ACK/FIN/bare-ack) exchanged.
+    pub control_segments: u64,
+}
+
+impl Default for ModuleTelemetry {
+    fn default() -> Self {
+        ModuleTelemetry {
+            // Summary::new(), not Summary::default(): the derived
+            // default has a zeroed min that would poison min-tracking.
+            cwnd_bytes: Summary::new(),
+            cwnd_stalls: 0,
+            rwnd_stalls: 0,
+            handshakes: 0,
+            teardowns: 0,
+            control_segments: 0,
+        }
+    }
+}
+
 /// Accumulated engine statistics across transfers: segment round-trip
-/// times (send completion to cumulative-ack arrival, per flow), and
-/// per-flow transfer/loss-recovery counters. Single transfers record
-/// into flow 0, interleaved transfers into their flow index; aggregate
-/// totals are derived, never tracked separately.
+/// times (send completion to cumulative-ack arrival, per flow),
+/// per-flow transfer/loss-recovery counters, and per-module
+/// observations. Single transfers record into flow 0, interleaved
+/// transfers into their flow index; aggregate totals are derived, never
+/// tracked separately.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TcpTelemetry {
     /// Per-flow RTT summaries in microseconds.
     pub flow_rtt_us: Vec<Summary>,
     flow_stats: Vec<FlowStats>,
+    module: ModuleTelemetry,
 }
 
 impl TcpTelemetry {
@@ -304,6 +447,12 @@ impl TcpTelemetry {
     /// Per-flow counters, indexed by flow.
     pub fn flow_stats(&self) -> &[FlowStats] {
         &self.flow_stats
+    }
+
+    /// Per-module observations (congestion trajectory, stall
+    /// attribution, connection counts).
+    pub fn module(&self) -> &ModuleTelemetry {
+        &self.module
     }
 
     /// Total transfers completed (derived over flows).
@@ -327,6 +476,14 @@ impl TcpTelemetry {
         self.flow_stats.iter().map(|f| f.retransmissions).sum()
     }
 
+    /// RTO fires in the reliability module. In this engine every RTO
+    /// fire is exactly one go-back-N rewind, so this is the same ledger
+    /// as [`retransmissions`](Self::retransmissions) — derived, never a
+    /// second counter.
+    pub fn rto_fires(&self) -> u64 {
+        self.retransmissions()
+    }
+
     /// All flows' RTT samples merged into one summary.
     pub fn rtt_us(&self) -> Summary {
         let mut all = Summary::new();
@@ -338,8 +495,9 @@ impl TcpTelemetry {
 }
 
 /// Publishes the engine's counters: derived totals, the merged RTT
-/// summary (`prefix.rtt_us`), and per-flow counters and RTT summaries
-/// (`prefix.flow<i>.*`).
+/// summary (`prefix.rtt_us`), per-flow counters and RTT summaries
+/// (`prefix.flow<i>.*`), and per-module views (`prefix.congestion.*`,
+/// `prefix.flow_ctl.*`, `prefix.reliability.*`, `prefix.conn.*`).
 impl enzian_sim::Instrumented for TcpTelemetry {
     fn export_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
         registry.counter_set(&format!("{prefix}.transfers"), self.transfers());
@@ -357,14 +515,27 @@ impl enzian_sim::Instrumented for TcpTelemetry {
                 f.retransmissions,
             );
         }
+        let m = &self.module;
+        registry.merge_summary(&format!("{prefix}.congestion.cwnd_bytes"), &m.cwnd_bytes);
+        registry.counter_set(&format!("{prefix}.congestion.cwnd_stalls"), m.cwnd_stalls);
+        registry.counter_set(&format!("{prefix}.flow_ctl.rwnd_stalls"), m.rwnd_stalls);
+        registry.counter_set(&format!("{prefix}.reliability.rto_fires"), self.rto_fires());
+        registry.counter_set(&format!("{prefix}.conn.handshakes"), m.handshakes);
+        registry.counter_set(&format!("{prefix}.conn.teardowns"), m.teardowns);
+        registry.counter_set(
+            &format!("{prefix}.conn.control_segments"),
+            m.control_segments,
+        );
     }
 }
 
 impl TcpEngine {
     /// Creates an engine between two stack personalities through a
-    /// top-of-rack switch.
+    /// top-of-rack switch. The congestion controller is built from the
+    /// sender (`tx`) config's [`CcAlgorithm`].
     pub fn new(tx: TcpStackConfig, rx: TcpStackConfig, switch: Switch) -> Self {
         TcpEngine {
+            cc: tx.cc.build(&tx),
             tx,
             rx,
             switch,
@@ -376,6 +547,11 @@ impl TcpEngine {
     /// Statistics accumulated across all transfers on this engine.
     pub fn telemetry(&self) -> &TcpTelemetry {
         &self.telemetry
+    }
+
+    /// The congestion-control module instance (current window, name).
+    pub fn congestion(&self) -> &dyn CongestionController {
+        self.cc.as_ref()
     }
 
     /// Enables loss injection.
@@ -408,54 +584,48 @@ impl TcpEngine {
         let mut acked: u64 = 0;
         let mut sent: u64 = 0;
         let mut tx_free = start + self.tx.per_transfer;
-        // Receiver state: next in-order byte expected (go-back-N discards
-        // anything else and re-acks this value).
-        let mut rcv_next: u64 = 0;
+        // Receiver state (go-back-N discards anything out of order and
+        // re-acks the in-order edge).
+        let mut reassembler = Reassembler::new();
         let mut rx_free = Time::ZERO;
         let mut last_delivery = start;
         let mut segments = 0u64;
-        let mut retransmissions = 0u64;
-        // In-flight acks: (arrival at sender, cumulative ack value).
-        let mut acks: std::collections::VecDeque<(Time, u64)> = std::collections::VecDeque::new();
-        // Byte offsets already offered to the loss plan (first
-        // transmissions); retransmitted copies bypass injection.
-        let mut first_tx: std::collections::HashSet<u64> = std::collections::HashSet::new();
-        // Pending RTO rewind: (fire time, rewind-to offset).
-        let mut retry_from: Option<(Time, u64)> = None;
+        // Module instances for this transfer.
+        let swnd = SendWindow::new(self.tx.window);
+        let mut acks = AckLedger::new();
+        let mut gbn = GoBackN::new();
 
         while acked < len {
-            let window_open = sent - acked < self.tx.window && sent < len;
+            let wnd = swnd.effective(self.cc.cwnd());
+            let window_open = sent - acked < wnd && sent < len;
             // Take an expired RTO rewind before anything else.
-            if let Some((at, seq)) = retry_from {
+            if let Some((at, seq)) = gbn.pending() {
                 if at <= tx_free || (!window_open && acks.is_empty()) {
+                    self.cc.on_rto(sent - acked, at);
+                    gbn.fire();
                     sent = seq.min(sent);
                     tx_free = tx_free.max(at);
-                    retry_from = None;
-                    retransmissions += 1;
                     self.loss.note_recovered(at, self.tx.rto);
                     continue;
                 }
             }
             if window_open {
                 // Send the next segment.
-                let seg_len = usize::min(self.tx.mss, (len - sent) as usize);
+                let seg_len = segment_len(self.tx.mss, len, sent);
                 let seq = sent;
                 let payload = &data[seq as usize..seq as usize + seg_len];
                 let checksum = internet_checksum(payload);
                 segments += 1;
+                self.telemetry.module.cwnd_bytes.record(wnd as f64);
                 let tx_done = tx_free + self.tx.segment_cost(seg_len);
                 tx_free = tx_done;
                 sent = seq + seg_len as u64;
 
-                let drop = first_tx.insert(seq) && self.loss.should_drop(tx_done);
+                let drop = gbn.first_transmission(seq) && self.loss.should_drop(tx_done);
                 if drop {
                     // The receiver never sees this one; arrange an RTO
                     // rewind to it if none is already pending earlier.
-                    let rto_at = tx_done + self.tx.rto;
-                    retry_from = Some(match retry_from {
-                        Some((t, s)) if s < seq => (t, s),
-                        _ => (rto_at, seq),
-                    });
+                    gbn.schedule_rewind(tx_done + self.tx.rto, seq);
                     continue;
                 }
 
@@ -463,26 +633,37 @@ impl TcpEngine {
                 let rx_done = arrived.max(rx_free) + self.rx.segment_cost(seg_len);
                 rx_free = rx_done;
 
-                assert_eq!(internet_checksum(payload), checksum, "checksum mismatch");
-                if seq == rcv_next {
-                    // In order: deliver and advance.
-                    delivered[seq as usize..seq as usize + seg_len].copy_from_slice(payload);
-                    rcv_next = seq + seg_len as u64;
+                assert!(
+                    checksum_verifies(payload, checksum),
+                    "checksum mismatch at {seq}"
+                );
+                if reassembler.deliver_in_order(seq, payload, &mut delivered) {
                     last_delivery = last_delivery.max(rx_done);
                 }
-                // Out-of-order segments are discarded (go-back-N); either
-                // way a cumulative ack for rcv_next rides back.
-                let ack_arrival = link.send_b_to_a(rx_done, 64) + hop;
+                // Either way a cumulative ack for the in-order edge
+                // rides back.
+                let ack_arrival = link.send_b_to_a(rx_done, CONTROL_SEGMENT_BYTES) + hop;
                 self.telemetry
                     .rtt_flow(0)
                     .record_micros(ack_arrival.since(tx_done));
-                acks.push_back((ack_arrival, rcv_next));
+                acks.push(ack_arrival, reassembler.rcv_next());
             } else {
                 // Window closed or data exhausted: consume the next ack.
-                match acks.pop_front() {
+                match acks.pop() {
                     Some((at, upto)) => {
+                        if sent < len {
+                            // A genuine window stall: attribute it to
+                            // the module whose bound was binding.
+                            if swnd.rwnd_is_binding(self.cc.cwnd()) {
+                                self.telemetry.module.rwnd_stalls += 1;
+                            } else {
+                                self.telemetry.module.cwnd_stalls += 1;
+                            }
+                        }
+                        let newly = upto.saturating_sub(acked);
                         acked = acked.max(upto);
-                        tx_free = tx_free.max(at);
+                        tx_free = tx_free.max(at) + self.tx.per_ack;
+                        self.cc.on_ack(newly, at);
                         // Everything up to `upto` is delivered; anything
                         // beyond `sent` cannot regress below it.
                         if acked > sent {
@@ -490,17 +671,23 @@ impl TcpEngine {
                         }
                     }
                     None => {
-                        let (at, seq) = retry_from.take().expect("deadlock: no acks, no retry");
+                        let (at, seq) = gbn.pending().expect("deadlock: no acks, no retry");
+                        self.cc.on_rto(sent - acked, at);
+                        gbn.fire();
                         sent = seq.min(sent);
                         tx_free = tx_free.max(at);
-                        retransmissions += 1;
                         self.loss.note_recovered(at, self.tx.rto);
                     }
                 }
             }
         }
 
-        assert_eq!(rcv_next, len, "receiver did not reach end of stream");
+        assert_eq!(
+            reassembler.rcv_next(),
+            len,
+            "receiver did not reach end of stream"
+        );
+        let retransmissions = gbn.retransmissions();
         let fs = self.telemetry.stats_flow(0);
         fs.transfers += 1;
         fs.bytes += len;
@@ -518,11 +705,85 @@ impl TcpEngine {
         )
     }
 
+    /// Runs a full connection-managed session: three-way handshake,
+    /// [`transfer`](Self::transfer) of `data` starting once both ends
+    /// are established, then an orderly FIN/ACK teardown with a 2·RTO
+    /// TimeWait linger. Both endpoints' [`Connection`] FSMs are driven
+    /// through every transition, so an illegal sequence panics rather
+    /// than mis-modelling.
+    pub fn session(
+        &mut self,
+        link: &mut EthLink,
+        start: Time,
+        data: &[u8],
+    ) -> (Vec<u8>, SessionOutcome) {
+        let hop = self.switch.forwarding_latency();
+        let ctl_tx = self.tx.segment_cost(0);
+        let ctl_rx = self.rx.segment_cost(0);
+        let mut a = Connection::new();
+        let mut b = Connection::new();
+        let step = |c: &mut Connection, ev| {
+            c.on(ev).expect("legal connection transition");
+        };
+
+        // --- Three-way handshake -------------------------------------
+        step(&mut a, ConnEvent::ActiveOpen);
+        step(&mut b, ConnEvent::PassiveOpen);
+        let syn_sent = start + self.tx.per_transfer + ctl_tx;
+        let syn_rcvd = link.send_a_to_b(syn_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_rx;
+        step(&mut b, ConnEvent::SynRcvd);
+        let synack_sent = syn_rcvd + ctl_rx;
+        let synack_rcvd = link.send_b_to_a(synack_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_tx;
+        step(&mut a, ConnEvent::SynAckRcvd);
+        let ack_sent = synack_rcvd + ctl_tx;
+        let established = link.send_a_to_b(ack_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_rx;
+        step(&mut b, ConnEvent::AckRcvd);
+        assert!(a.is_established() && b.is_established());
+        self.telemetry.module.handshakes += 1;
+        self.telemetry.module.control_segments += 3;
+
+        // --- Payload -------------------------------------------------
+        let (delivered, transfer) = self.transfer(link, established, data);
+
+        // --- Orderly teardown (a closes first) -----------------------
+        step(&mut a, ConnEvent::Close);
+        let fin_sent = transfer.delivered.max(established) + ctl_tx;
+        let fin_rcvd = link.send_a_to_b(fin_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_rx;
+        step(&mut b, ConnEvent::FinRcvd);
+        let finack_sent = fin_rcvd + ctl_rx;
+        let finack_rcvd = link.send_b_to_a(finack_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_tx;
+        step(&mut a, ConnEvent::AckRcvd);
+        step(&mut b, ConnEvent::Close);
+        let fin2_sent = finack_rcvd.max(fin_rcvd + ctl_rx) + ctl_rx;
+        let fin2_rcvd = link.send_b_to_a(fin2_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_tx;
+        step(&mut a, ConnEvent::FinRcvd);
+        let lastack_sent = fin2_rcvd + ctl_tx;
+        let lastack_rcvd = link.send_a_to_b(lastack_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_rx;
+        step(&mut b, ConnEvent::AckRcvd);
+        assert_eq!(b.state(), ConnState::Closed);
+        let closed = lastack_rcvd + self.tx.rto * 2;
+        step(&mut a, ConnEvent::TimeWaitExpired);
+        assert_eq!(a.state(), ConnState::Closed);
+        self.telemetry.module.teardowns += 1;
+        self.telemetry.module.control_segments += 4;
+
+        (
+            delivered,
+            SessionOutcome {
+                established,
+                transfer,
+                closed,
+                control_segments: 7,
+            },
+        )
+    }
+
     /// Simulates `flows` concurrent transfers (all a→b) sharing the link,
     /// with true time interleaving: at each step the flow whose sender
     /// pipeline frees earliest transmits next. Each flow gets its own
-    /// sender/receiver pipeline (its own core or connection state), as in
-    /// the iperf multi-flow comparison.
+    /// sender/receiver pipeline and its own congestion-controller
+    /// instance (its own core or connection state), as in the iperf
+    /// multi-flow comparison.
     ///
     /// Returns per-flow outcomes.
     ///
@@ -549,9 +810,11 @@ impl TcpEngine {
             rx_free: Time,
             last_delivery: Time,
             segments: u64,
-            acks: std::collections::VecDeque<(Time, u64)>,
+            acks: AckLedger,
+            cc: Box<dyn CongestionController>,
         }
         let hop = self.switch.forwarding_latency();
+        let swnd = SendWindow::new(self.tx.window);
         let mut states: Vec<Flow> = flows
             .iter()
             .map(|d| {
@@ -564,7 +827,8 @@ impl TcpEngine {
                     rx_free: Time::ZERO,
                     last_delivery: start,
                     segments: 0,
-                    acks: std::collections::VecDeque::new(),
+                    acks: AckLedger::new(),
+                    cc: self.tx.cc.build(&self.tx),
                 }
             })
             .collect();
@@ -576,12 +840,11 @@ impl TcpEngine {
         // invalidates another's queued entry; popping by (time, flow
         // index) reproduces the old linear scan's earliest-time,
         // lowest-index-on-tie order bit for bit.
-        let window = self.tx.window;
         let next_at = |f: &Flow| -> Time {
-            if f.sent < f.len && f.sent - f.acked < window {
+            if f.sent < f.len && f.sent - f.acked < swnd.effective(f.cc.cwnd()) {
                 f.tx_free
             } else {
-                f.acks.front().map(|&(t, _)| t).expect("flow deadlock")
+                f.acks.next_arrival().expect("flow deadlock")
             }
         };
         let mut runnable = CalendarQueue::new();
@@ -592,13 +855,15 @@ impl TcpEngine {
         while let Some(entry) = runnable.pop() {
             let i = entry.key as usize;
             let f = &mut states[i];
-            let is_send = f.sent < f.len && f.sent - f.acked < window;
+            let wnd = swnd.effective(f.cc.cwnd());
+            let is_send = f.sent < f.len && f.sent - f.acked < wnd;
             if is_send {
-                let seg_len = usize::min(self.tx.mss, (f.len - f.sent) as usize);
+                let seg_len = segment_len(self.tx.mss, f.len, f.sent);
                 let seq = f.sent;
                 let payload = &flows[i][seq as usize..seq as usize + seg_len];
                 let _ = internet_checksum(payload);
                 f.segments += 1;
+                self.telemetry.module.cwnd_bytes.record(wnd as f64);
                 let tx_done = f.tx_free + self.tx.segment_cost(seg_len);
                 f.tx_free = tx_done;
                 f.sent = seq + seg_len as u64;
@@ -606,15 +871,17 @@ impl TcpEngine {
                 let rx_done = arrived.max(f.rx_free) + self.rx.segment_cost(seg_len);
                 f.rx_free = rx_done;
                 f.last_delivery = f.last_delivery.max(rx_done);
-                let ack_arrival = link.send_b_to_a(rx_done, 64) + hop;
+                let ack_arrival = link.send_b_to_a(rx_done, CONTROL_SEGMENT_BYTES) + hop;
                 self.telemetry
                     .rtt_flow(i)
                     .record_micros(ack_arrival.since(tx_done));
-                f.acks.push_back((ack_arrival, f.sent));
+                f.acks.push(ack_arrival, f.sent);
             } else {
-                let (at, upto) = f.acks.pop_front().expect("checked above");
+                let (at, upto) = f.acks.pop().expect("checked above");
+                let newly = upto.saturating_sub(f.acked);
                 f.acked = f.acked.max(upto);
-                f.tx_free = f.tx_free.max(at);
+                f.tx_free = f.tx_free.max(at) + self.tx.per_ack;
+                f.cc.on_ack(newly, at);
             }
             let f = &states[i];
             if f.acked < f.len {
@@ -671,6 +938,14 @@ mod tests {
         )
     }
 
+    fn hybrid_engine() -> TcpEngine {
+        TcpEngine::new(
+            TcpStackConfig::hybrid_offload(),
+            TcpStackConfig::hybrid_offload(),
+            Switch::tor(),
+        )
+    }
+
     #[test]
     fn data_arrives_intact() {
         let mut link = EthLink::new(EthLinkConfig::hundred_gig());
@@ -702,6 +977,34 @@ mod tests {
             (15.0..45.0).contains(&gbps),
             "kernel stack at {gbps:.1} Gb/s (expected ~25)"
         );
+    }
+
+    #[test]
+    fn hybrid_stack_sits_between_the_extremes() {
+        // The point the split exists to open: FPGA data path + CPU
+        // policy lands between the Fig. 7 extremes on both axes.
+        let data = payload(1 << 20);
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let (_, hw) = fpga_engine().transfer(&mut link, Time::ZERO, &data);
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let (out, hy) = hybrid_engine().transfer(&mut link, Time::ZERO, &data);
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let (_, sw) = kernel_engine().transfer(&mut link, Time::ZERO, &data);
+        assert_eq!(out, data, "hybrid stack corrupted the stream");
+        assert!(
+            hy.latency() > hw.latency(),
+            "hybrid must pay for CPU policy: {:?} vs {:?}",
+            hy.latency(),
+            hw.latency()
+        );
+        assert!(
+            hy.latency() < sw.latency(),
+            "hybrid must beat the kernel: {:?} vs {:?}",
+            hy.latency(),
+            sw.latency()
+        );
+        // And it still lands near line rate at 1 MiB.
+        assert!(hy.throughput_bits() / 1e9 > 60.0);
     }
 
     #[test]
@@ -758,6 +1061,59 @@ mod tests {
     }
 
     #[test]
+    fn reno_and_cubic_recover_from_loss_intact() {
+        for cc in [CcAlgorithm::Reno, CcAlgorithm::Cubic] {
+            let cfg = TcpStackConfig::fpga_coyote().with_cc(cc);
+            let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+            let mut engine =
+                TcpEngine::new(cfg, cfg, Switch::tor()).with_loss(LossPattern::drop_every(23));
+            let data = payload(512 * 1024);
+            let (out, r) = engine.transfer(&mut link, Time::ZERO, &data);
+            assert_eq!(out, data, "{} corrupted the stream", cc.label());
+            assert!(r.retransmissions > 0);
+            // The controller reacted: its window moved off the fixed
+            // preset's constant trajectory.
+            let cwnd = &engine.telemetry().module().cwnd_bytes;
+            assert!(cwnd.count() > 0);
+            assert!(
+                cwnd.min().unwrap() < cwnd.max().unwrap(),
+                "{} window never moved",
+                cc.label()
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_window_trajectory_is_flat() {
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let data = payload(512 * 1024);
+        let mut engine = fpga_engine();
+        let _ = engine.transfer(&mut link, Time::ZERO, &data);
+        let cwnd = &engine.telemetry().module().cwnd_bytes;
+        assert_eq!(cwnd.min(), cwnd.max(), "fixed window must never move");
+        assert_eq!(cwnd.max(), Some(256.0 * 1024.0));
+    }
+
+    #[test]
+    fn session_establishes_transfers_and_closes() {
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let data = payload(64 * 1024);
+        let mut engine = fpga_engine();
+        let (out, s) = engine.session(&mut link, Time::ZERO, &data);
+        assert_eq!(out, data);
+        assert!(s.established > Time::ZERO, "handshake takes time");
+        assert_eq!(s.transfer.started, s.established);
+        assert!(s.closed > s.transfer.delivered, "teardown after delivery");
+        assert_eq!(s.control_segments, 7);
+        let m = engine.telemetry().module();
+        assert_eq!((m.handshakes, m.teardowns, m.control_segments), (1, 1, 7));
+        // A session is strictly slower end-to-end than a bare transfer.
+        let mut link2 = EthLink::new(EthLinkConfig::hundred_gig());
+        let (_, bare) = fpga_engine().transfer(&mut link2, Time::ZERO, &data);
+        assert!(s.transfer.delivered > bare.delivered);
+    }
+
+    #[test]
     fn checksum_known_values() {
         // All zeros checksums to 0xFFFF; RFC 1071 example.
         assert_eq!(internet_checksum(&[0, 0, 0, 0]), 0xFFFF);
@@ -792,6 +1148,9 @@ mod tests {
         assert_eq!(t.transfers(), 1);
         assert_eq!(t.bytes(), 256 * 1024);
         assert_eq!(t.retransmissions(), r.retransmissions);
+        // Single ledger: RTO fires, the flow stats, and the outcome all
+        // describe the same rewind events.
+        assert_eq!(t.rto_fires(), r.retransmissions);
         let rtt = t.rtt_us();
         assert!(rtt.count() > 0);
         assert!(rtt.mean() > 0.0);
@@ -800,6 +1159,18 @@ mod tests {
         enzian_sim::Instrumented::export_metrics(t, "net.tcp", &mut reg);
         assert_eq!(reg.counter("net.tcp.transfers"), 1);
         assert_eq!(reg.summary("net.tcp.rtt_us").unwrap().count(), rtt.count());
+        // Per-module views are published, and the reliability export is
+        // the same number as the aggregate (derived, not re-counted).
+        assert_eq!(
+            reg.counter("net.tcp.reliability.rto_fires"),
+            r.retransmissions
+        );
+        assert!(
+            reg.summary("net.tcp.congestion.cwnd_bytes")
+                .unwrap()
+                .count()
+                > 0
+        );
     }
 
     #[test]
@@ -862,6 +1233,12 @@ mod tests {
             r.retransmissions,
             "every RTO rewind is a recorded recovery"
         );
+        // Three views, one ledger: plan recoveries == flow stats ==
+        // module RTO fires (the no-double-counting contract).
+        assert_eq!(
+            engine.telemetry().retransmissions(),
+            engine.telemetry().rto_fires()
+        );
     }
 
     #[test]
@@ -869,6 +1246,27 @@ mod tests {
         assert!(LossPattern::none().is_lossless());
         assert!(LossPattern::drop_every(0).is_lossless());
         assert!(!LossPattern::drop_every(5).is_lossless());
+    }
+
+    #[test]
+    fn stall_attribution_points_at_the_binding_module() {
+        // Kernel preset (rwnd 2 MiB, fixed cwnd == rwnd): stalls are
+        // receive-window stalls. Reno over the same costs: early stalls
+        // are congestion stalls (cwnd starts at IW10 << rwnd).
+        let data = payload(1 << 20);
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let mut fixed = kernel_engine();
+        let _ = fixed.transfer(&mut link, Time::ZERO, &data);
+        assert_eq!(fixed.telemetry().module().cwnd_stalls, 0);
+
+        let cfg = TcpStackConfig::linux_kernel().with_cc(CcAlgorithm::Reno);
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let mut reno = TcpEngine::new(cfg, cfg, Switch::tor());
+        let _ = reno.transfer(&mut link, Time::ZERO, &data);
+        assert!(
+            reno.telemetry().module().cwnd_stalls > 0,
+            "slow start must stall on cwnd"
+        );
     }
 
     #[test]

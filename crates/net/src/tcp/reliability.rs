@@ -1,0 +1,320 @@
+//! Reliability: segmentation, integrity, retransmission, and in-order
+//! reassembly — the data-path module of the split stack.
+//!
+//! Everything here is mechanism, not policy: given an MSS the
+//! [`segment_len`] schedule carves the byte stream, [`internet_checksum`]
+//! guards each segment, [`GoBackN`] tracks first transmissions and the
+//! pending retransmission-timeout rewind, and [`Reassembler`] delivers
+//! the stream in order with cumulative acknowledgement. This is the
+//! module every stack preset keeps on the FPGA side of the offload
+//! boundary (the hybrid preset included) because it touches every
+//! payload byte.
+//!
+//! The module is drivable in isolation — no engine, no link — which is
+//! what the property tests below exploit: under any scripted drop
+//! pattern, every dropped segment is retransmitted exactly once and the
+//! receiver sees the stream in order.
+
+use std::collections::HashSet;
+
+use enzian_sim::Time;
+
+/// The RFC 1071 Internet checksum over a byte slice (odd-length buffers
+/// are virtually padded with a zero byte).
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    for chunk in data.chunks(2) {
+        let word = if chunk.len() == 2 {
+            u16::from_be_bytes([chunk[0], chunk[1]])
+        } else {
+            u16::from_be_bytes([chunk[0], 0])
+        };
+        sum += u32::from(word);
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Verifies `data` against a checksum computed by [`internet_checksum`]:
+/// summing the (zero-padded) data plus the checksum word must yield
+/// zero. This is how a receiver checks a segment whose trailer carries
+/// the transmitted checksum.
+pub fn checksum_verifies(data: &[u8], checksum: u16) -> bool {
+    let mut framed = Vec::with_capacity(data.len() + 3);
+    framed.extend_from_slice(data);
+    if framed.len() % 2 == 1 {
+        framed.push(0);
+    }
+    framed.extend_from_slice(&checksum.to_be_bytes());
+    internet_checksum(&framed) == 0
+}
+
+/// Payload length of the segment starting at offset `sent` of a
+/// `len`-byte stream under `mss`.
+pub fn segment_len(mss: usize, len: u64, sent: u64) -> usize {
+    usize::min(mss, (len - sent) as usize)
+}
+
+/// Go-back-N retransmission state: which byte offsets have had their
+/// first transmission (loss injection applies only to those), the
+/// pending RTO rewind, and the retransmission ledger.
+///
+/// This ledger is the **single source of truth** for retransmission
+/// counts: the engine copies it into [`FlowStats`](super::FlowStats)
+/// once per transfer and every telemetry view (per-flow counters, the
+/// `reliability.rto_fires` export, the fault plan's recovery ledger)
+/// derives from the same events, so nothing is double-counted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GoBackN {
+    first_tx: HashSet<u64>,
+    /// Pending RTO rewind: (fire time, rewind-to offset).
+    pending: Option<(Time, u64)>,
+    retransmissions: u64,
+}
+
+impl GoBackN {
+    /// Fresh per-transfer state.
+    pub fn new() -> Self {
+        GoBackN::default()
+    }
+
+    /// Records that the segment at `seq` is being transmitted; returns
+    /// `true` iff this is its first transmission (the only copies
+    /// offered to loss injection).
+    pub fn first_transmission(&mut self, seq: u64) -> bool {
+        self.first_tx.insert(seq)
+    }
+
+    /// The segment at `seq` was dropped at `fire_at = tx_done + rto`;
+    /// arrange the rewind unless one is already pending for an earlier
+    /// offset.
+    pub fn schedule_rewind(&mut self, fire_at: Time, seq: u64) {
+        self.pending = Some(match self.pending {
+            Some((t, s)) if s < seq => (t, s),
+            _ => (fire_at, seq),
+        });
+    }
+
+    /// The pending rewind, if any: (fire time, rewind-to offset).
+    pub fn pending(&self) -> Option<(Time, u64)> {
+        self.pending
+    }
+
+    /// Fires the pending rewind, counting one retransmission event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rewind is pending.
+    pub fn fire(&mut self) -> (Time, u64) {
+        let fired = self.pending.take().expect("no pending rewind to fire");
+        self.retransmissions += 1;
+        fired
+    }
+
+    /// Retransmission events fired so far (go-back-N rewinds; equal to
+    /// RTO fires in this engine).
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+}
+
+/// In-order stream reassembly with cumulative acknowledgement:
+/// go-back-N discards anything but the next expected byte and re-acks
+/// the current edge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Reassembler {
+    rcv_next: u64,
+}
+
+impl Reassembler {
+    /// Fresh per-transfer state expecting byte 0.
+    pub fn new() -> Self {
+        Reassembler::default()
+    }
+
+    /// Next in-order byte expected — the cumulative-ack value every
+    /// arriving segment elicits.
+    pub fn rcv_next(&self) -> u64 {
+        self.rcv_next
+    }
+
+    /// Offers the segment at `seq`; delivers into `out` and advances the
+    /// in-order edge iff it is the next expected segment. Out-of-order
+    /// segments are discarded (go-back-N) and `false` is returned.
+    pub fn deliver_in_order(&mut self, seq: u64, payload: &[u8], out: &mut [u8]) -> bool {
+        if seq != self.rcv_next {
+            return false;
+        }
+        out[seq as usize..seq as usize + payload.len()].copy_from_slice(payload);
+        self.rcv_next = seq + payload.len() as u64;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enzian_sim::{Duration, SimRng};
+
+    #[test]
+    fn checksum_known_values() {
+        // All zeros checksums to 0xFFFF; RFC 1071 example.
+        assert_eq!(internet_checksum(&[0, 0, 0, 0]), 0xFFFF);
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn checksum_round_trips_on_odd_length_buffers() {
+        let mut rng = SimRng::seed_from(0xC4EC_0001);
+        for case in 0..64 {
+            let n = 2 * case + 1; // every odd length 1..=127
+            let mut data = vec![0u8; n];
+            rng.fill_bytes(&mut data);
+            let sum = internet_checksum(&data);
+            assert!(
+                checksum_verifies(&data, sum),
+                "odd-length round trip failed at n={n}"
+            );
+            // A corrupted byte must break verification (checksum is not
+            // position-sensitive, so flip a value, not a swap).
+            let mut bad = data.clone();
+            bad[n / 2] ^= 0x5A;
+            assert!(
+                !checksum_verifies(&bad, sum),
+                "corruption undetected at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_round_trips_on_all_ff_buffers() {
+        // All-0xFF buffers are the carry-heavy worst case: every word
+        // wraps, exercising the end-around carry fold.
+        for n in [1usize, 2, 3, 64, 127, 128] {
+            let data = vec![0xFFu8; n];
+            let sum = internet_checksum(&data);
+            assert!(checksum_verifies(&data, sum), "all-0xFF failed at n={n}");
+        }
+        // Even-length all-ones sums to 0xFFFF, so the checksum is 0.
+        assert_eq!(internet_checksum(&[0xFF; 8]), 0);
+    }
+
+    #[test]
+    fn segment_schedule_covers_the_stream_exactly() {
+        for (mss, len) in [(2048usize, 100_000u64), (1448, 1), (1448, 1448), (512, 513)] {
+            let mut sent = 0u64;
+            let mut segs = 0u64;
+            while sent < len {
+                let s = segment_len(mss, len, sent);
+                assert!(s > 0 && s <= mss);
+                sent += s as u64;
+                segs += 1;
+            }
+            assert_eq!(sent, len);
+            assert_eq!(segs, len.div_ceil(mss as u64));
+        }
+    }
+
+    /// Drives the reliability module in isolation — no engine, no link —
+    /// through a scripted drop set, and checks the go-back-N contract:
+    /// every dropped segment is eventually retransmitted **exactly
+    /// once**, retransmissions happen **in order**, and the receiver
+    /// reassembles the stream intact.
+    fn run_isolated(len: u64, mss: usize, rto: Duration, drop_seqs: &[u64]) {
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let mut out = vec![0u8; len as usize];
+        let mut gbn = GoBackN::new();
+        let mut rsm = Reassembler::new();
+        let mut dropped: HashSet<u64> = drop_seqs.iter().copied().collect();
+        let mut retransmitted: Vec<u64> = Vec::new();
+        let mut sent = 0u64;
+        let mut now = Time::ZERO;
+
+        while rsm.rcv_next() < len {
+            if let Some((at, seq)) = gbn.pending() {
+                // No window in this harness: fire as soon as scheduled.
+                let (fired_at, rewind) = gbn.fire();
+                assert_eq!((fired_at, rewind), (at, seq));
+                retransmitted.push(seq);
+                sent = seq.min(sent);
+                now = now.max(at);
+            }
+            let seg = segment_len(mss, len, sent);
+            let seq = sent;
+            now += Duration::from_ns(10);
+            sent = seq + seg as u64;
+            let first = gbn.first_transmission(seq);
+            if first && dropped.remove(&seq) {
+                gbn.schedule_rewind(now + rto, seq);
+                continue;
+            }
+            let payload = &data[seq as usize..seq as usize + seg];
+            let sum = internet_checksum(payload);
+            assert!(checksum_verifies(payload, sum));
+            rsm.deliver_in_order(seq, payload, &mut out);
+        }
+
+        assert_eq!(out, data, "stream corrupted");
+        assert_eq!(rsm.rcv_next(), len);
+        // Exactly one retransmission event per dropped segment, fired in
+        // stream order.
+        let mut expected: Vec<u64> = drop_seqs.to_vec();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(
+            retransmitted, expected,
+            "each drop must be retransmitted exactly once, in order"
+        );
+        assert_eq!(gbn.retransmissions(), expected.len() as u64);
+    }
+
+    #[test]
+    fn every_dropped_segment_is_retransmitted_exactly_once_in_order() {
+        let mss = 1000usize;
+        run_isolated(10_000, mss, Duration::from_us(50), &[0]);
+        run_isolated(10_000, mss, Duration::from_us(50), &[3000, 7000]);
+        run_isolated(10_000, mss, Duration::from_us(50), &[9000]);
+        // Every segment dropped once: the harshest pattern.
+        let all: Vec<u64> = (0..10).map(|i| i * 1000).collect();
+        run_isolated(10_000, mss, Duration::from_us(50), &all);
+    }
+
+    #[test]
+    fn randomized_drop_sets_hold_the_contract() {
+        let mut rng = SimRng::seed_from(0xC4EC_0002);
+        for _case in 0..32 {
+            let segs = rng.range(1, 40);
+            let mss = 512usize;
+            let len = segs * 512;
+            let drops: Vec<u64> = (0..segs)
+                .filter(|_| rng.chance(0.3))
+                .map(|i| i * 512)
+                .collect();
+            run_isolated(len, mss, Duration::from_us(20), &drops);
+        }
+    }
+
+    #[test]
+    fn rewind_keeps_the_earliest_offset() {
+        let mut gbn = GoBackN::new();
+        gbn.schedule_rewind(Time::from_us(30), 5000);
+        gbn.schedule_rewind(Time::from_us(10), 9000);
+        // The earlier *offset* wins, keeping go-back-N monotone.
+        assert_eq!(gbn.pending(), Some((Time::from_us(30), 5000)));
+        assert_eq!(gbn.fire(), (Time::from_us(30), 5000));
+        assert_eq!(gbn.pending(), None);
+        assert_eq!(gbn.retransmissions(), 1);
+    }
+
+    #[test]
+    fn reassembler_discards_out_of_order() {
+        let mut rsm = Reassembler::new();
+        let mut out = vec![0u8; 8];
+        assert!(!rsm.deliver_in_order(4, &[9, 9, 9, 9], &mut out));
+        assert_eq!(rsm.rcv_next(), 0);
+        assert!(rsm.deliver_in_order(0, &[1, 2, 3, 4], &mut out));
+        assert!(rsm.deliver_in_order(4, &[5, 6, 7, 8], &mut out));
+        assert_eq!(out, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+}

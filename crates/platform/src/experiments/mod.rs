@@ -5,6 +5,7 @@
 //! Criterion benches in `enzian-bench` call, and `EXPERIMENTS.md` records
 //! their output against the paper's values.
 
+pub mod cc_sweep;
 pub mod cluster_scale;
 pub mod fault_sweep;
 pub mod fig11;

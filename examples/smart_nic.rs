@@ -21,6 +21,10 @@ fn main() {
 
     for (name, cfg) in [
         ("FPGA single-pipeline stack", TcpStackConfig::fpga_coyote()),
+        (
+            "Hybrid (FPGA data, CPU policy)",
+            TcpStackConfig::hybrid_offload(),
+        ),
         ("Linux kernel stack", TcpStackConfig::linux_kernel()),
     ] {
         let mut link = EthLink::new(EthLinkConfig::hundred_gig());
