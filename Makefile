@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos cc-sweep pipelining modelcheck par-cluster service loom perf clean
+.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos cc-sweep pipelining modelcheck par-cluster service traffic loom perf clean
 
-ci: fmt-check clippy build test doc bench-smoke chaos cc-sweep pipelining modelcheck par-cluster service loom perf
+ci: fmt-check clippy build test doc bench-smoke chaos cc-sweep pipelining modelcheck par-cluster service traffic loom perf
 
 fmt:
 	$(CARGO) fmt --all
@@ -118,6 +118,24 @@ service: build
 	cmp target/service/t1a/BENCH_service.json target/service/t2/BENCH_service.json
 	cmp target/service/t1a/BENCH_service.json target/service/t8/BENCH_service.json
 	@echo "service OK: BENCH_service.json byte-identical across reruns and threads 1/2/8"
+
+# Million-flow traffic generator: runs the churn/flows/loss/proxy legs
+# twice at threads 1 and once each at 2 and 8, and fails unless every
+# BENCH_traffic.json is byte-identical — connection churn, flow-table
+# peaks and loss recovery must be a pure function of the workload,
+# never of the engine.
+traffic: build
+	rm -rf target/traffic
+	mkdir -p target/traffic/t1a target/traffic/t1b \
+	         target/traffic/t2 target/traffic/t8
+	target/release/reproduce traffic --threads 1 --bench-dir target/traffic/t1a > /dev/null
+	target/release/reproduce traffic --threads 1 --bench-dir target/traffic/t1b > /dev/null
+	target/release/reproduce traffic --threads 2 --bench-dir target/traffic/t2 > /dev/null
+	target/release/reproduce traffic --threads 8 --bench-dir target/traffic/t8 > /dev/null
+	cmp target/traffic/t1a/BENCH_traffic.json target/traffic/t1b/BENCH_traffic.json
+	cmp target/traffic/t1a/BENCH_traffic.json target/traffic/t2/BENCH_traffic.json
+	cmp target/traffic/t1a/BENCH_traffic.json target/traffic/t8/BENCH_traffic.json
+	@echo "traffic OK: BENCH_traffic.json byte-identical across reruns and threads 1/2/8"
 
 # Perf gate, exactly as CI runs it: sched_hotpath + cluster_scale twice,
 # determinism compared modulo timing.* gauges, deterministic counters

@@ -1,0 +1,28 @@
+//! Registry-dispatch bench: cheap experiment drivers through the
+//! unified `Experiment` trait, exactly the path `reproduce` takes.
+
+use enzian_bench::harness::Criterion;
+use enzian_platform::experiments::{self, ExperimentCtx};
+use enzian_sim::MetricsRegistry;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    for name in ["fig3", "fig9", "fig11"] {
+        let e = experiments::find(name).expect("registered experiment");
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut reg = MetricsRegistry::new();
+                let rows = e.run(&mut ExperimentCtx {
+                    reg: &mut reg,
+                    threads: 1,
+                });
+                black_box((rows.tables.len(), reg.export_json().len()))
+            });
+        });
+    }
+    g.finish();
+}
+
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

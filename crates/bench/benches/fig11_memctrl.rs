@@ -28,8 +28,16 @@ fn bench(c: &mut Criterion) {
             },
         );
     }
+    let e = enzian_platform::experiments::find("fig11").unwrap();
     g.bench_function("core_scaling_sweep", |b| {
-        b.iter(|| black_box(enzian_platform::experiments::fig11::run().len()))
+        b.iter(|| {
+            let mut reg = enzian_sim::MetricsRegistry::new();
+            let rows = e.run(&mut enzian_platform::experiments::ExperimentCtx {
+                reg: &mut reg,
+                threads: 1,
+            });
+            black_box(rows.tables.len())
+        })
     });
     g.finish();
 }

@@ -9,10 +9,15 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12_power");
     g.sample_size(10);
+    let e = enzian_platform::experiments::find("fig12").unwrap();
     g.bench_function("full_trace_replay", |b| {
         b.iter(|| {
-            let r = enzian_platform::experiments::fig12::run();
-            black_box(r.traces.len())
+            let mut reg = enzian_sim::MetricsRegistry::new();
+            let rows = e.run(&mut enzian_platform::experiments::ExperimentCtx {
+                reg: &mut reg,
+                threads: 1,
+            });
+            black_box(rows.tables.len())
         })
     });
     g.bench_function("pmbus_read_iout", |b| {

@@ -1,13 +1,26 @@
 //! Fig. 3 bench: regenerating the platform summary scatter.
 
 use enzian_bench::harness::Criterion;
+use enzian_platform::experiments::{self, ExperimentCtx};
+use enzian_sim::MetricsRegistry;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_platform_summary");
     g.sample_size(10);
+    let e = experiments::find("fig3").unwrap();
     g.bench_function("run_all_points", |b| {
-        b.iter(|| black_box(enzian_platform::experiments::fig3::run()))
+        b.iter(|| {
+            let mut reg = MetricsRegistry::new();
+            black_box(
+                e.run(&mut ExperimentCtx {
+                    reg: &mut reg,
+                    threads: 1,
+                })
+                .tables
+                .len(),
+            )
+        })
     });
     g.finish();
 }

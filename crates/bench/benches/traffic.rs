@@ -1,0 +1,92 @@
+//! Traffic bench: connection churn through the multi-session TCP mux.
+//!
+//! Two granularities: the raw `SessionMux` open → transfer → teardown
+//! cycle between two directly-wired engines, and the full two-board
+//! generator (bridge framing, channel model, conservative engine).
+
+use enzian_bench::harness::{Criterion, Throughput};
+use enzian_net::tcp::TcpStackConfig;
+use enzian_net::traffic::{decode_segment, encode_segment};
+use enzian_net::{PortMask, SessionMux, WireSegment};
+use enzian_platform::TrafficWorkload;
+use enzian_sim::{Duration, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+const SESSIONS: u64 = 64;
+const BYTES: u64 = 8 * 1024;
+const HOP: Duration = Duration::from_ns(450);
+
+/// Delivers segments between the two muxes with a fixed one-way
+/// latency, interleaving wire arrivals and timers in deterministic
+/// (time, tiebreak) order until both are idle — the same drive loop the
+/// mux unit tests use.
+fn drive(muxes: &mut [SessionMux; 2], pending: Vec<WireSegment>) {
+    let mut wire: BinaryHeap<Reverse<(Time, u64, [u8; 28])>> = BinaryHeap::new();
+    let mut wseq = 0u64;
+    let mut out = pending;
+    loop {
+        for ws in out.drain(..) {
+            wseq += 1;
+            let bytes: [u8; 28] = encode_segment(&ws.seg).try_into().unwrap();
+            wire.push(Reverse((ws.at + HOP, wseq, bytes)));
+        }
+        let wire_at = wire.peek().map(|w| w.0 .0);
+        let timer = muxes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.next_timer().map(|(t, _)| (t, i)))
+            .min();
+        let take_wire = match (wire_at, timer) {
+            (None, None) => return,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(w), Some((t, _))) => w <= t,
+        };
+        if take_wire {
+            let Reverse((at, _, bytes)) = wire.pop().unwrap();
+            let seg = decode_segment(&bytes).unwrap();
+            muxes[usize::from(seg.dst_board)].on_segment(at, &seg, &mut out);
+        } else {
+            let i = timer.unwrap().1;
+            muxes[i].fire_next_timer(&mut out);
+        }
+    }
+}
+
+/// Pushes `SESSIONS` overlapping sessions through one flow table and
+/// returns the completed count.
+fn churn_pair() -> u64 {
+    let mask = PortMask::for_boards(2);
+    let cfg = TcpStackConfig::fpga_coyote();
+    let mut muxes = [SessionMux::new(0, cfg, mask), SessionMux::new(1, cfg, mask)];
+    let mut out = Vec::new();
+    for i in 0..SESSIONS {
+        let at = Time::ZERO + Duration::from_us(2) * i;
+        muxes[0].open(at, 1, BYTES, Duration::from_us(50), &mut out);
+    }
+    drive(&mut muxes, out);
+    muxes[0].stats().completed
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic");
+    g.throughput(Throughput::Elements(SESSIONS));
+    g.bench_function("mux_churn", |b| {
+        b.iter(|| {
+            let done = churn_pair();
+            assert_eq!(done, SESSIONS);
+            black_box(done)
+        });
+    });
+    let w = TrafficWorkload::small();
+    g.throughput(Throughput::Elements(w.total_sessions()));
+    g.bench_function("two_board_generator", |b| {
+        b.iter(|| black_box(w.run_parallel(2).completed));
+    });
+    g.finish();
+}
+
+enzian_bench::criterion_group!(benches, bench);
+enzian_bench::criterion_main!(benches);

@@ -3,27 +3,26 @@
 //! ```text
 //! reproduce [fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|
 //!            pipelining|modelcheck|cluster_scale|sched_hotpath|service|
-//!            cc_sweep|all]
+//!            cc_sweep|traffic|all]
 //!           [--csv [dir]] [--bench-dir dir] [--no-bench] [--threads N]
 //! ```
 //!
-//! With no argument (or `all`), prints every series in order. Each
-//! section corresponds to one experiment driver in `enzian-platform` and
-//! runs with a shared telemetry registry; after each figure the registry
-//! snapshot is written as `BENCH_<figure>.json` (schema documented in
+//! With no argument (or `all`), prints every series in order. Every
+//! experiment is an [`Experiment`] in `enzian-platform`'s registry; this
+//! binary looks the selector up with `experiments::find()` and drives
+//! one generic loop: run with a shared telemetry registry, print the
+//! rendered series, export each CSV table, then write the registry
+//! snapshot as `BENCH_<name>.json` (schema documented in
 //! `docs/BENCH_SCHEMA.md`). The JSON carries only simulated quantities,
 //! so same-seed runs produce byte-identical files; wall-clock timings go
 //! to stderr only.
 //!
-//! `--threads N` sets the worker count for `cluster_scale` and
-//! `service` (default: available parallelism, capped at 8). The flag
-//! changes wall clock only: the bench JSON is byte-identical for every
-//! value, which the CI thread matrix asserts.
+//! `--threads N` sets the worker count for the experiments that run on
+//! the parallel cluster engine (default: available parallelism, capped
+//! at 8). The flag changes wall clock only: the bench JSON is
+//! byte-identical for every value, which the CI thread matrix asserts.
 
-use enzian_platform::experiments::{
-    cc_sweep, cluster_scale, fault_sweep, fig11, fig12, fig3, fig6, fig7, fig8, fig9, modelcheck,
-    pipelining, sched_hotpath, service,
-};
+use enzian_platform::experiments::{self, fig11, Experiment, ExperimentCtx};
 use enzian_sim::MetricsRegistry;
 
 /// Counts heap traffic so `sched_hotpath` can report per-leg allocation
@@ -47,25 +46,15 @@ struct Opts {
     threads: Option<usize>,
 }
 
-/// Valid experiment selectors.
-const EXPERIMENTS: [&str; 16] = [
-    "fig3",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig11",
-    "table1",
-    "fig12",
-    "fault_sweep",
-    "pipelining",
-    "modelcheck",
-    "cluster_scale",
-    "sched_hotpath",
-    "service",
-    "cc_sweep",
-    "all",
-];
+/// Every valid selector: the registry names plus the two aliases this
+/// binary adds (`table1` prints figure 11's second panel, `all` runs
+/// the whole registry).
+fn selectors() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = experiments::registry().iter().map(|e| e.name()).collect();
+    names.push("table1");
+    names.push("all");
+    names
+}
 
 fn parse_opts() -> Opts {
     let mut experiment = None;
@@ -79,7 +68,7 @@ fn parse_opts() -> Opts {
                 // Optional directory operand, defaulting to ".".
                 let dir = match args.peek() {
                     Some(next)
-                        if !next.starts_with("--") && !EXPERIMENTS.contains(&next.as_str()) =>
+                        if !next.starts_with("--") && !selectors().contains(&next.as_str()) =>
                     {
                         args.next().unwrap()
                     }
@@ -156,218 +145,61 @@ fn finish(opts: &Opts, figure: &str, reg: &MetricsRegistry, started: std::time::
     eprintln!("{figure}: {} ms wall clock", started.elapsed().as_millis());
 }
 
-fn run_fig3(opts: &Opts) {
+/// The generic driver every experiment runs through: run, print the
+/// rendered series, export the CSV tables, snapshot the registry.
+///
+/// `single` marks a one-experiment invocation; for those, experiments
+/// with [`Experiment::speedup_check`] re-run sequentially so the wall
+/// clocks can be compared — and everything else asserted bit-identical,
+/// since wall clock must be the only thread-dependent observable.
+fn run_one(e: &dyn Experiment, opts: &Opts, single: bool) {
     let started = std::time::Instant::now();
+    let threads = if e.needs_threads() {
+        opts.threads.unwrap_or_else(default_threads)
+    } else {
+        1
+    };
     let mut reg = MetricsRegistry::new();
-    let points = fig3::run_instrumented(&mut reg);
-    println!("{}", fig3::render(&points));
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            vec![
-                p.label.clone(),
-                p.bandwidth_gib.to_string(),
-                p.latency_us.to_string(),
-                p.measured.to_string(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "fig3",
-        enzian_bench::to_csv(&["platform", "bw_gib", "latency_us", "measured"], &rows),
-    );
-    finish(opts, "fig3", &reg, started);
-}
-
-fn run_fig6(opts: &Opts) {
-    let started = std::time::Instant::now();
-    let mut reg = MetricsRegistry::new();
-    let rows = fig6::run_instrumented(&mut reg);
-    println!("{}", fig6::render(&rows));
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.size.to_string(),
-                r.eci_rd_lat_us.to_string(),
-                r.eci_wr_lat_us.to_string(),
-                r.pcie_rd_lat_us.to_string(),
-                r.pcie_wr_lat_us.to_string(),
-                r.eci_rd_gib.to_string(),
-                r.eci_wr_gib.to_string(),
-                r.pcie_rd_gib.to_string(),
-                r.pcie_wr_gib.to_string(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "fig6",
-        enzian_bench::to_csv(
-            &[
-                "size_b",
-                "eci_rd_us",
-                "eci_wr_us",
-                "pcie_rd_us",
-                "pcie_wr_us",
-                "eci_rd_gib",
-                "eci_wr_gib",
-                "pcie_rd_gib",
-                "pcie_wr_gib",
-            ],
-            &csv,
-        ),
-    );
-    let (bw, lat) = fig6::ccpi_reference();
-    println!("Reference (2-socket ThunderX-1 CCPI, both links): {bw:.1} GiB/s, {lat:.0} ns\n");
-    finish(opts, "fig6", &reg, started);
-}
-
-fn run_fig7(opts: &Opts) {
-    let started = std::time::Instant::now();
-    let mut reg = MetricsRegistry::new();
-    let rows = fig7::run_instrumented(&mut reg);
-    println!("{}", fig7::render(&rows));
-    println!("Flow scaling (2 MiB per flow):");
-    for (name, gbps) in fig7::run_multiflow() {
-        println!("  {name:<10} {gbps:>6.1} Gb/s");
+    let par_started = std::time::Instant::now();
+    let rows = e.run(&mut ExperimentCtx {
+        reg: &mut reg,
+        threads,
+    });
+    let par_wall = par_started.elapsed();
+    println!("{}", e.render(&rows));
+    if single && e.speedup_check() && threads > 1 {
+        let mut seq_reg = MetricsRegistry::new();
+        let seq_started = std::time::Instant::now();
+        let seq_rows = e.run(&mut ExperimentCtx {
+            reg: &mut seq_reg,
+            threads: 1,
+        });
+        let seq_wall = seq_started.elapsed();
+        assert_eq!(
+            rows.tables, seq_rows.tables,
+            "thread count leaked into the rows"
+        );
+        assert_eq!(
+            reg.export_json(),
+            seq_reg.export_json(),
+            "thread count leaked into the metrics export"
+        );
+        eprintln!(
+            "{}: threads=1 {:.0} ms vs threads={threads} {:.0} ms ({:.2}x speedup)",
+            e.name(),
+            seq_wall.as_secs_f64() * 1e3,
+            par_wall.as_secs_f64() * 1e3,
+            seq_wall.as_secs_f64() / par_wall.as_secs_f64()
+        );
     }
-    println!();
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.size.to_string(),
-                r.enzian_lat_us.to_string(),
-                r.linux_lat_us.to_string(),
-                r.enzian_gbps.to_string(),
-                r.linux_gbps.to_string(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "fig7",
-        enzian_bench::to_csv(
-            &[
-                "size_b",
-                "enzian_lat_us",
-                "linux_lat_us",
-                "enzian_gbps",
-                "linux_gbps",
-            ],
-            &csv,
-        ),
-    );
-    finish(opts, "fig7", &reg, started);
+    for t in &rows.tables {
+        export(&opts.csv, t.name, enzian_bench::to_csv(t.header, &t.rows));
+    }
+    finish(opts, e.name(), &reg, started);
 }
 
-fn run_fig8(opts: &Opts) {
-    let started = std::time::Instant::now();
-    let mut reg = MetricsRegistry::new();
-    let rows = fig8::run_instrumented(&mut reg);
-    println!("{}", fig8::render(&rows));
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.config.label().to_string(),
-                r.size.to_string(),
-                r.rd_lat_us.to_string(),
-                r.wr_lat_us.to_string(),
-                r.rd_gib.to_string(),
-                r.wr_gib.to_string(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "fig8",
-        enzian_bench::to_csv(
-            &[
-                "config",
-                "size_b",
-                "rd_lat_us",
-                "wr_lat_us",
-                "rd_gib",
-                "wr_gib",
-            ],
-            &csv,
-        ),
-    );
-    finish(opts, "fig8", &reg, started);
-}
-
-fn run_fig9(opts: &Opts) {
-    let started = std::time::Instant::now();
-    let mut reg = MetricsRegistry::new();
-    let rows = fig9::run_instrumented(&mut reg);
-    println!("{}", fig9::render(&rows));
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.platform.name().to_string(),
-                r.engines.to_string(),
-                r.mtuples_per_sec.to_string(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "fig9",
-        enzian_bench::to_csv(&["platform", "engines", "mtuples_per_sec"], &csv),
-    );
-    finish(opts, "fig9", &reg, started);
-}
-
-fn run_fig11(opts: &Opts) {
-    let started = std::time::Instant::now();
-    let mut reg = MetricsRegistry::new();
-    let rows = fig11::run_instrumented(&mut reg);
-    let t1 = fig11::run_table1();
-    println!("{}", fig11::render(&rows, &t1));
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.mode.label().to_string(),
-                r.cores.to_string(),
-                r.gpixels_per_sec.to_string(),
-                r.interconnect_gib.to_string(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "fig11",
-        enzian_bench::to_csv(
-            &["mode", "cores", "gpixels_per_sec", "interconnect_gib"],
-            &csv,
-        ),
-    );
-    let t1csv: Vec<Vec<String>> = t1
-        .iter()
-        .map(|r| {
-            vec![
-                r.mode.label().to_string(),
-                r.memory_stalls_per_cycle.to_string(),
-                r.cycles_per_l1_refill_k.to_string(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "table1",
-        enzian_bench::to_csv(
-            &["mode", "stalls_per_cycle", "cycles_per_l1_refill_k"],
-            &t1csv,
-        ),
-    );
-    finish(opts, "fig11", &reg, started);
-}
-
+/// The `table1` alias: figure 11's second panel on its own, without
+/// telemetry or exports.
 fn run_table1() {
     let rows = fig11::run();
     let t1 = fig11::run_table1();
@@ -378,422 +210,21 @@ fn run_table1() {
     }
 }
 
-fn run_fig12(opts: &Opts) {
-    let started = std::time::Instant::now();
-    let mut reg = MetricsRegistry::new();
-    let result = fig12::run_instrumented(&mut reg);
-    println!("{}", fig12::render(&result));
-    if opts.csv.is_some() {
-        use enzian_bmc::telemetry::TraceId;
-        let mut csv = Vec::new();
-        let n = result.traces[&TraceId::Cpu].len();
-        for i in 0..n {
-            let t = result.traces[&TraceId::Cpu].points()[i].0;
-            let mut row = vec![format!("{}", t.as_secs_f64())];
-            for id in TraceId::ALL {
-                row.push(result.traces[&id].points()[i].1.to_string());
-            }
-            csv.push(row);
-        }
-        export(
-            &opts.csv,
-            "fig12",
-            enzian_bench::to_csv(&["t_s", "fpga_w", "cpu_w", "dram0_w", "dram1_w"], &csv),
-        );
-    }
-    finish(opts, "fig12", &reg, started);
-}
-
-fn run_fault_sweep(opts: &Opts) {
-    let started = std::time::Instant::now();
-    let mut reg = MetricsRegistry::new();
-    let rows = fault_sweep::run_instrumented(&mut reg);
-    println!("{}", fault_sweep::render(&rows));
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.rate_bp.to_string(),
-                r.goodput_gib.to_string(),
-                r.injected.to_string(),
-                r.retransmissions.to_string(),
-                r.txn_retries.to_string(),
-                r.txn_failures.to_string(),
-                r.mean_recovery_ns.to_string(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "fault_sweep",
-        enzian_bench::to_csv(
-            &[
-                "rate_bp",
-                "goodput_gib",
-                "injected",
-                "retransmissions",
-                "txn_retries",
-                "txn_failures",
-                "mean_recovery_ns",
-            ],
-            &csv,
-        ),
-    );
-    finish(opts, "fault_sweep", &reg, started);
-}
-
-fn run_cc_sweep(opts: &Opts) {
-    let started = std::time::Instant::now();
-    let mut reg = MetricsRegistry::new();
-    let rows = cc_sweep::run_instrumented(&mut reg);
-    println!("{}", cc_sweep::render(&rows));
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.stack.clone(),
-                r.cc.to_string(),
-                r.loss_bp.to_string(),
-                r.size.to_string(),
-                r.latency_us.to_string(),
-                r.gbps.to_string(),
-                r.segments.to_string(),
-                r.retransmissions.to_string(),
-                r.cwnd_mean.to_string(),
-                r.cwnd_min.to_string(),
-                r.cwnd_max.to_string(),
-                r.cwnd_stalls.to_string(),
-                r.rwnd_stalls.to_string(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "cc_sweep",
-        enzian_bench::to_csv(
-            &[
-                "stack",
-                "cc",
-                "loss_bp",
-                "size_b",
-                "latency_us",
-                "gbps",
-                "segments",
-                "retransmissions",
-                "cwnd_mean",
-                "cwnd_min",
-                "cwnd_max",
-                "cwnd_stalls",
-                "rwnd_stalls",
-            ],
-            &csv,
-        ),
-    );
-    finish(opts, "cc_sweep", &reg, started);
-}
-
-fn run_pipelining(opts: &Opts) {
-    let started = std::time::Instant::now();
-    let mut reg = MetricsRegistry::new();
-    let rows = pipelining::run_instrumented(&mut reg);
-    println!("{}", pipelining::render(&rows));
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.outstanding.to_string(),
-                r.goodput_gib.to_string(),
-                r.mean_latency_ns.to_string(),
-                r.max_inflight.to_string(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "pipelining",
-        enzian_bench::to_csv(
-            &[
-                "outstanding",
-                "goodput_gib",
-                "mean_latency_ns",
-                "max_inflight",
-            ],
-            &csv,
-        ),
-    );
-    finish(opts, "pipelining", &reg, started);
-}
-
-fn run_modelcheck(opts: &Opts) {
-    let started = std::time::Instant::now();
-    let mut reg = MetricsRegistry::new();
-    let rows = modelcheck::run_instrumented(&mut reg);
-    println!("{}", modelcheck::render(&rows));
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                r.mode.to_string(),
-                r.states.to_string(),
-                r.transitions.to_string(),
-                r.frontier_peak.to_string(),
-                r.max_depth.to_string(),
-                r.violation.clone().unwrap_or_default(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "modelcheck",
-        enzian_bench::to_csv(
-            &[
-                "configuration",
-                "mode",
-                "states",
-                "transitions",
-                "frontier_peak",
-                "max_depth",
-                "violation",
-            ],
-            &csv,
-        ),
-    );
-    finish(opts, "modelcheck", &reg, started);
-}
-
-fn run_cluster_scale(opts: &Opts, measure_speedup: bool) {
-    let started = std::time::Instant::now();
-    let threads = opts.threads.unwrap_or_else(default_threads);
-    let mut reg = MetricsRegistry::new();
-    let par_started = std::time::Instant::now();
-    let rows = cluster_scale::run_instrumented(threads, &mut reg);
-    let par_wall = par_started.elapsed();
-    println!("{}", cluster_scale::render(&rows));
-    if measure_speedup && threads > 1 {
-        // Wall clock is the only thread-dependent observable; measure
-        // it against a sequential run and assert everything else is
-        // bit-identical. Stderr only, so the bench JSON stays pure.
-        let mut seq_reg = MetricsRegistry::new();
-        let seq_started = std::time::Instant::now();
-        let seq_rows = cluster_scale::run_instrumented(1, &mut seq_reg);
-        let seq_wall = seq_started.elapsed();
-        assert_eq!(rows, seq_rows, "thread count leaked into the rows");
-        assert_eq!(
-            reg.export_json(),
-            seq_reg.export_json(),
-            "thread count leaked into the metrics export"
-        );
-        eprintln!(
-            "cluster_scale: threads=1 {:.0} ms vs threads={threads} {:.0} ms ({:.2}x speedup)",
-            seq_wall.as_secs_f64() * 1e3,
-            par_wall.as_secs_f64() * 1e3,
-            seq_wall.as_secs_f64() / par_wall.as_secs_f64()
-        );
-    }
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.boards.to_string(),
-                r.total_ops.to_string(),
-                r.remote_pct.to_string(),
-                r.bridge_frames.to_string(),
-                r.goodput_gib.to_string(),
-                r.sim_end_us.to_string(),
-                r.epochs.to_string(),
-                r.messages.to_string(),
-                r.trace_digest.to_string(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "cluster_scale",
-        enzian_bench::to_csv(
-            &[
-                "boards",
-                "total_ops",
-                "remote_pct",
-                "bridge_frames",
-                "goodput_gib",
-                "sim_end_us",
-                "epochs",
-                "messages",
-                "trace_digest",
-            ],
-            &csv,
-        ),
-    );
-    finish(opts, "cluster_scale", &reg, started);
-}
-
-fn run_sched_hotpath(opts: &Opts) {
-    let started = std::time::Instant::now();
-    let threads = opts.threads.unwrap_or_else(default_threads);
-    let mut reg = MetricsRegistry::new();
-    let rows = sched_hotpath::run_instrumented(threads, &mut reg);
-    println!("{}", sched_hotpath::render(&rows));
-    let reference = rows
-        .iter()
-        .find(|r| r.leg == "reference")
-        .expect("reference leg missing");
-    for r in &rows {
-        if r.leg != "reference" {
-            eprintln!(
-                "sched_hotpath: {} {:.2} Mev/s vs reference {:.2} Mev/s ({:.2}x)",
-                r.leg,
-                r.mevents_per_sec(),
-                reference.mevents_per_sec(),
-                r.mevents_per_sec() / reference.mevents_per_sec()
-            );
-        }
-    }
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.leg.to_string(),
-                r.events.to_string(),
-                r.digest.to_string(),
-                r.allocs.to_string(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "sched_hotpath",
-        enzian_bench::to_csv(&["leg", "events", "digest", "allocs"], &csv),
-    );
-    finish(opts, "sched_hotpath", &reg, started);
-}
-
-fn run_service(opts: &Opts, measure_speedup: bool) {
-    let started = std::time::Instant::now();
-    let threads = opts.threads.unwrap_or_else(default_threads);
-    let mut reg = MetricsRegistry::new();
-    let par_started = std::time::Instant::now();
-    let rows = service::run_instrumented(threads, &mut reg);
-    let par_wall = par_started.elapsed();
-    println!("{}", service::render(&rows));
-    if measure_speedup && threads > 1 {
-        // Same discipline as cluster_scale: wall clock is the only
-        // thread-dependent observable; everything exported must be
-        // bit-identical to a sequential run.
-        let mut seq_reg = MetricsRegistry::new();
-        let seq_started = std::time::Instant::now();
-        let seq_rows = service::run_instrumented(1, &mut seq_reg);
-        let seq_wall = seq_started.elapsed();
-        assert_eq!(rows, seq_rows, "thread count leaked into the rows");
-        assert_eq!(
-            reg.export_json(),
-            seq_reg.export_json(),
-            "thread count leaked into the metrics export"
-        );
-        eprintln!(
-            "service: threads=1 {:.0} ms vs threads={threads} {:.0} ms ({:.2}x speedup)",
-            seq_wall.as_secs_f64() * 1e3,
-            par_wall.as_secs_f64() * 1e3,
-            seq_wall.as_secs_f64() / par_wall.as_secs_f64()
-        );
-    }
-    let opt_cell = |v: Option<f64>| v.map_or_else(String::new, |x| x.to_string());
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.scenario.to_string(),
-                r.ok_ops.to_string(),
-                r.failed_ops.to_string(),
-                r.crashed_ops.to_string(),
-                r.stale_served.to_string(),
-                r.avail_in_pct.to_string(),
-                r.avail_out_pct.to_string(),
-                opt_cell(r.get_p50_us),
-                opt_cell(r.get_p99_us),
-                opt_cell(r.put_p99_us),
-                r.failovers.to_string(),
-                opt_cell(r.failover_p99_us),
-                r.solo_commits.to_string(),
-                r.fenced.to_string(),
-                r.catchups_completed.to_string(),
-                r.epochs.to_string(),
-                r.messages.to_string(),
-                r.digest.to_string(),
-            ]
-        })
-        .collect();
-    export(
-        &opts.csv,
-        "service",
-        enzian_bench::to_csv(
-            &[
-                "scenario",
-                "ok_ops",
-                "failed_ops",
-                "crashed_ops",
-                "stale_served",
-                "avail_in_pct",
-                "avail_out_pct",
-                "get_p50_us",
-                "get_p99_us",
-                "put_p99_us",
-                "failovers",
-                "failover_p99_us",
-                "solo_commits",
-                "fenced",
-                "catchups_completed",
-                "epochs",
-                "messages",
-                "digest",
-            ],
-            &csv,
-        ),
-    );
-    finish(opts, "service", &reg, started);
-}
-
 fn main() {
     let opts = parse_opts();
     match opts.experiment.as_str() {
-        "fig3" => run_fig3(&opts),
-        "fig6" => run_fig6(&opts),
-        "fig7" => run_fig7(&opts),
-        "fig8" => run_fig8(&opts),
-        "fig9" => run_fig9(&opts),
-        "fig11" => run_fig11(&opts),
-        "table1" => run_table1(),
-        "fig12" => run_fig12(&opts),
-        "fault_sweep" => run_fault_sweep(&opts),
-        "cc_sweep" => run_cc_sweep(&opts),
-        "pipelining" => run_pipelining(&opts),
-        "modelcheck" => run_modelcheck(&opts),
-        "cluster_scale" => run_cluster_scale(&opts, true),
-        "sched_hotpath" => run_sched_hotpath(&opts),
-        "service" => run_service(&opts, true),
         "all" => {
-            run_fig3(&opts);
-            run_fig6(&opts);
-            run_fig7(&opts);
-            run_fig8(&opts);
-            run_fig9(&opts);
-            run_fig11(&opts);
-            run_fig12(&opts);
-            run_fault_sweep(&opts);
-            run_cc_sweep(&opts);
-            run_pipelining(&opts);
-            run_modelcheck(&opts);
-            run_cluster_scale(&opts, false);
-            run_sched_hotpath(&opts);
-            run_service(&opts, false);
+            for e in experiments::registry() {
+                run_one(*e, &opts, false);
+            }
         }
-        other => {
-            eprintln!(
-                "unknown experiment {other:?}; expected one of \
-                 fig3|fig6|fig7|fig8|fig9|fig11|table1|fig12|fault_sweep|pipelining|\
-                 modelcheck|cluster_scale|sched_hotpath|service|cc_sweep|all"
-            );
-            std::process::exit(2);
-        }
+        "table1" => run_table1(),
+        name => match experiments::find(name) {
+            Ok(e) => run_one(e, &opts, true),
+            Err(err) => {
+                eprintln!("{err} (aliases: table1|all)");
+                std::process::exit(2);
+            }
+        },
     }
 }

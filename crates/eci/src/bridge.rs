@@ -20,7 +20,7 @@
 //!  0  magic      0xEB
 //!  1  version    1
 //!  2  opcode     ReadReq=1 ReadResp=2 WriteReq=3 WriteAck=4 Nack=5
-//!                SvcClient=6 SvcRep=7 SvcCtl=8
+//!                SvcClient=6 SvcRep=7 SvcCtl=8 Tcp=9
 //!  3  src        requesting/answering board
 //!  4  dst        destination board
 //!  5  token      requester-chosen tag echoed in the reply (stream id)
@@ -40,6 +40,11 @@
 //! replicate/ack/nack/catch-up), and control-plane beacons (`SvcCtl`:
 //! heartbeats) so captures and byte accounting can tell the planes
 //! apart.
+//!
+//! Opcode 9 (`Tcp`) carries the traffic-plane TCP segments of
+//! `enzian-net::traffic` between boards: the payload is one encoded
+//! segment (header + synthetic payload length — the bridge does not
+//! interpret it) and `addr` is unused, like the `Svc*` opcodes.
 
 use crate::wire::crc32;
 
@@ -77,6 +82,9 @@ pub enum BridgeOp {
     SvcRep(Vec<u8>),
     /// KV-service control-plane message (heartbeats); opaque payload.
     SvcCtl(Vec<u8>),
+    /// Traffic-plane TCP segment (`enzian-net::traffic` wire format);
+    /// opaque payload as above.
+    Tcp(Vec<u8>),
 }
 
 impl BridgeOp {
@@ -90,13 +98,17 @@ impl BridgeOp {
             BridgeOp::SvcClient(_) => 6,
             BridgeOp::SvcRep(_) => 7,
             BridgeOp::SvcCtl(_) => 8,
+            BridgeOp::Tcp(_) => 9,
         }
     }
 
     fn payload(&self) -> &[u8] {
         match self {
             BridgeOp::ReadResp(d) | BridgeOp::WriteReq(d) => &d[..],
-            BridgeOp::SvcClient(p) | BridgeOp::SvcRep(p) | BridgeOp::SvcCtl(p) => p,
+            BridgeOp::SvcClient(p)
+            | BridgeOp::SvcRep(p)
+            | BridgeOp::SvcCtl(p)
+            | BridgeOp::Tcp(p) => p,
             _ => &[],
         }
     }
@@ -265,6 +277,7 @@ pub fn decode_bridge(buf: &[u8]) -> Result<BridgeMsg, BridgeError> {
         (6, _) => BridgeOp::SvcClient(svc(buf)),
         (7, _) => BridgeOp::SvcRep(svc(buf)),
         (8, _) => BridgeOp::SvcCtl(svc(buf)),
+        (9, _) => BridgeOp::Tcp(svc(buf)),
         (1..=5, len) => return Err(BridgeError::BadPayloadLength { opcode, len }),
         (o, _) => return Err(BridgeError::BadOpcode(o)),
     };
@@ -356,6 +369,14 @@ mod tests {
                 seq: 9,
                 op: BridgeOp::SvcCtl(Vec::new()),
             },
+            BridgeMsg {
+                src: 0,
+                dst: 2,
+                token: 0,
+                addr: 0,
+                seq: 10,
+                op: BridgeOp::Tcp(vec![0xE7; 28]),
+            },
         ]
     }
 
@@ -444,11 +465,12 @@ mod tests {
             assert_eq!(bytes.len() as u64, BRIDGE_OVERHEAD_BYTES + len as u64);
             assert_eq!(decode_bridge(&bytes).unwrap(), msg);
         }
-        // The three service planes stay distinct on the wire.
+        // The opaque-payload planes stay distinct on the wire.
         let planes = [
             BridgeOp::SvcClient(vec![1]),
             BridgeOp::SvcRep(vec![1]),
             BridgeOp::SvcCtl(vec![1]),
+            BridgeOp::Tcp(vec![1]),
         ];
         let mut encodings: Vec<Vec<u8>> = Vec::new();
         for op in planes {

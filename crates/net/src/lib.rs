@@ -23,16 +23,23 @@
 //!   hybrid with the data path on the FPGA and policy on the CPU;
 //! * [`rdma`] — the RDMA engine over pluggable memory back-ends;
 //! * [`farview`] — the §6 smart disaggregated-memory use-case: FPGA DRAM
-//!   served over the network with operator push-down.
+//!   served over the network with operator push-down;
+//! * [`traffic`] — TrafficEngine-style building blocks for million-flow
+//!   connection churn: a compact segment wire format, port-mask flow
+//!   steering, and a slab-backed flow table with bounded memory, driven
+//!   by the multi-session engine in [`tcp::mux`].
 
 pub mod eth;
 pub mod farview;
 pub mod rdma;
 pub mod tcp;
+pub mod traffic;
 
 pub use eth::{EthLink, EthLinkConfig, Switch};
 pub use farview::{FarviewServer, Operator, Predicate};
 pub use rdma::{RdmaBackend, RdmaEngine, RdmaOutcome};
 pub use tcp::{
-    CcAlgorithm, CongestionController, StackKind, TcpEngine, TcpStackConfig, TransferOutcome,
+    CcAlgorithm, CongestionController, SessionMux, StackKind, TcpEngine, TcpStackConfig,
+    TransferOutcome, WireSegment,
 };
+pub use traffic::{FlowKey, FlowTable, PortMask, Segment};

@@ -40,11 +40,13 @@
 pub mod congestion;
 pub mod conn;
 pub mod flow;
+pub mod mux;
 pub mod reliability;
 
 pub use congestion::{CcAlgorithm, CongestionController, CubicShaped, FixedWindow, Reno};
 pub use conn::{ConnError, ConnEvent, ConnState, Connection};
 pub use flow::{AckLedger, SendWindow};
+pub use mux::{MuxStats, SessionMux, WireSegment};
 pub use reliability::{checksum_verifies, internet_checksum, segment_len, GoBackN, Reassembler};
 
 use enzian_sim::stats::Summary;

@@ -1,0 +1,1075 @@
+//! A multi-session TCP engine: many concurrent per-flow state machines
+//! multiplexed over one stack's shared pipelines.
+//!
+//! [`TcpEngine::session`](super::TcpEngine::session) runs exactly one
+//! connection to completion with both endpoints inline. A TrafficEngine
+//! workload needs the opposite shape: one engine per board holding
+//! 10^5–10^6 flows *simultaneously*, each a full
+//! handshake/transfer/teardown session, with the peer endpoint on
+//! another board entirely. [`SessionMux`] is that generalization:
+//!
+//! * **message-driven** — it consumes [`Segment`]s and emits
+//!   [`WireSegment`]s; how they travel (loopback in tests, the cluster
+//!   bridge in `enzian-platform`) is the caller's business;
+//! * **multiplexed** — every flow is a slot in a [`FlowTable`] and all
+//!   flows share the stack's tx/rx pipeline clocks, so the cost model is
+//!   the single-pipeline story the Fig. 7 stacks tell;
+//! * **role-concurrent** — one mux holds client, server, and proxy
+//!   flows at once, demultiplexed by [`PortMask`] steering;
+//! * **stateful** — each flow drives a real [`Connection`] FSM through
+//!   every transition and carries its own congestion controller built
+//!   from the stack's [`CcAlgorithm`](super::CcAlgorithm), so an
+//!   illegal protocol sequence panics instead of mis-modelling.
+//!
+//! Reliability is go-back-N with cumulative acks, as in the single-flow
+//! engine: loss (via [`LossPattern`]) applies to first transmissions of
+//! data segments only, the control plane is lossless, and an RTO rewinds
+//! the flow to its cumulative-ack edge. Teardown mirrors `session()`'s
+//! ledger: seven connection-control segments per session (SYN, SYN-ACK,
+//! handshake ack, FIN, FIN-ack, FIN, FIN-ack) and a 2·RTO TimeWait
+//! linger on the active closer.
+//!
+//! Connection-control acknowledgements carry the [`flags::CTL`] bit so
+//! the FSM is only ever driven by segments *meant* to drive it — a
+//! duplicate data ack arriving during teardown counts as a dup-ack; it
+//! can never be mistaken for a FIN's acknowledgement.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use enzian_sim::stats::LatencyHistogram;
+use enzian_sim::{Duration, Time};
+
+use crate::traffic::{flags, FlowKey, FlowTable, PortMask, Segment};
+
+use super::{CongestionController, ConnEvent, ConnState, Connection, LossPattern, TcpStackConfig};
+
+/// A segment leaving the mux: `at` is when the last byte clears the
+/// stack's transmit pipeline; the transport layers serialization and
+/// propagation on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireSegment {
+    /// Transmit-pipeline completion time.
+    pub at: Time,
+    /// The segment itself.
+    pub seg: Segment,
+}
+
+/// What a flow is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Actively opened by [`SessionMux::open`]: sends the payload,
+    /// closes first, lingers in TimeWait.
+    Client,
+    /// Passively accepted: receives, acks, closes second.
+    Server,
+    /// Passively accepted on a proxy: receives and splices into a
+    /// paired [`Role::ProxyUp`] flow.
+    ProxyDown,
+    /// The upstream half of a spliced proxy session: actively opened
+    /// toward the route target, relays bytes as they arrive downstream.
+    ProxyUp,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimerKind {
+    /// Retransmission timeout: go-back-N rewind to the ack edge.
+    Rto,
+    /// 2·RTO linger after the active closer's final ack.
+    TimeWait,
+    /// Client starts its payload `hold` after establishment.
+    StartData,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MuxTimer {
+    at: Time,
+    seq: u64,
+    kind: TimerKind,
+    key: FlowKey,
+    timer_gen: u32,
+}
+
+// `seq` is unique per timer, so (at, seq) is a total deterministic
+// order and the Eq/Ord contract (equal iff the same timer) holds.
+impl Ord for MuxTimer {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for MuxTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for MuxTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for MuxTimer {}
+
+struct Flow {
+    conn: Connection,
+    role: Role,
+    local_port: u32,
+    peer_board: u8,
+    peer_port: u32,
+    /// Payload bytes this flow will send in total. Unknown for
+    /// [`Role::ProxyUp`] until the downstream FIN fixes `fin_total`.
+    len: u64,
+    /// Bytes available to send so far (equals `len` for clients; grows
+    /// with relayed deliveries for proxy-up flows).
+    available: u64,
+    sent: u64,
+    acked: u64,
+    /// High-water mark of first transmissions: anything below is a
+    /// retransmission and is never offered to the loss plan again.
+    first_tx_high: u64,
+    /// Receive side's cumulative in-order edge.
+    recv_next: u64,
+    cc: Box<dyn CongestionController>,
+    /// Generation for outstanding RTO timers (lazy cancellation).
+    timer_gen: u32,
+    rto_armed: bool,
+    /// Sender may pump payload (false for clients between establishment
+    /// and their StartData timer — the concurrency knob).
+    started: bool,
+    /// ProxyUp only: total relayed length, fixed by the downstream FIN.
+    fin_total: Option<u64>,
+    paired: Option<FlowKey>,
+    opened_at: Time,
+    hold: Duration,
+}
+
+impl Flow {
+    fn window(&self, cfg: &TcpStackConfig) -> u64 {
+        self.cc.cwnd().min(cfg.window)
+    }
+}
+
+/// Counters for one mux, mirroring the single-flow engine's ledger
+/// discipline: every event is counted in exactly one place.
+#[derive(Debug, Clone)]
+pub struct MuxStats {
+    /// Client sessions opened via [`SessionMux::open`].
+    pub opened: u64,
+    /// Passive opens accepted (server and proxy-down flows).
+    pub accepted: u64,
+    /// Client sessions fully completed (TimeWait expired).
+    pub completed: u64,
+    /// Passive flows closed (final teardown ack received).
+    pub closed_server: u64,
+    /// Proxy splices completed end to end (upstream flow's TimeWait
+    /// expired).
+    pub relayed_sessions: u64,
+    /// Segments emitted, including retransmissions and dropped copies.
+    pub segments_tx: u64,
+    /// Segments received and processed.
+    pub segments_rx: u64,
+    /// Data segments emitted.
+    pub data_segments: u64,
+    /// Zero-payload segments emitted (SYN/SYN-ACK/FIN and all acks).
+    pub control_segments: u64,
+    /// Cumulative data acks emitted (a subset of `control_segments`).
+    pub acks: u64,
+    /// Acks received that advanced nothing (duplicates from discarded
+    /// out-of-order arrivals).
+    pub dup_acks: u64,
+    /// Payload bytes emitted, including retransmitted copies.
+    pub payload_tx: u64,
+    /// Payload bytes delivered in order to this mux's receivers.
+    pub payload_delivered: u64,
+    /// Payload bytes spliced downstream→upstream by proxy flows.
+    pub relayed_bytes: u64,
+    /// Data segments retransmitted.
+    pub retransmissions: u64,
+    /// RTO timers that actually fired a rewind.
+    pub rto_fires: u64,
+    /// Data segments discarded as out-of-order (go-back-N receiver).
+    pub out_of_order: u64,
+    /// Client handshake latency (open to established).
+    pub handshake: LatencyHistogram,
+    /// Client whole-session latency (open to TimeWait expiry).
+    pub session: LatencyHistogram,
+}
+
+impl Default for MuxStats {
+    fn default() -> Self {
+        MuxStats {
+            opened: 0,
+            accepted: 0,
+            completed: 0,
+            closed_server: 0,
+            relayed_sessions: 0,
+            segments_tx: 0,
+            segments_rx: 0,
+            data_segments: 0,
+            control_segments: 0,
+            acks: 0,
+            dup_acks: 0,
+            payload_tx: 0,
+            payload_delivered: 0,
+            relayed_bytes: 0,
+            retransmissions: 0,
+            rto_fires: 0,
+            out_of_order: 0,
+            // LatencyHistogram::new(), not ::default(): the derived
+            // default has no buckets and panics on the first record.
+            handshake: LatencyHistogram::new(),
+            session: LatencyHistogram::new(),
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One board's multi-session TCP engine.
+pub struct SessionMux {
+    board: u8,
+    cfg: TcpStackConfig,
+    mask: PortMask,
+    table: FlowTable<Flow>,
+    timers: BinaryHeap<Reverse<MuxTimer>>,
+    timer_seq: u64,
+    /// Shared transmit-pipeline clock (all flows, one pipeline).
+    tx_free: Time,
+    /// Shared receive-pipeline clock.
+    rx_free: Time,
+    loss: LossPattern,
+    /// When set, passively accepted flows are spliced onward to this
+    /// board (client→proxy→server topology).
+    proxy_next: Option<u8>,
+    stats: MuxStats,
+}
+
+impl SessionMux {
+    /// A mux for `board` running stack `cfg`, steering flows with
+    /// `mask`.
+    pub fn new(board: u8, cfg: TcpStackConfig, mask: PortMask) -> Self {
+        SessionMux {
+            board,
+            cfg,
+            mask,
+            table: FlowTable::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            tx_free: Time::ZERO,
+            rx_free: Time::ZERO,
+            loss: LossPattern::none(),
+            proxy_next: None,
+            stats: MuxStats::default(),
+        }
+    }
+
+    /// Enables loss injection on this mux's data transmissions (first
+    /// transmissions only; the control plane is lossless).
+    pub fn with_loss(mut self, loss: LossPattern) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Makes this mux a proxy: every passively accepted session is
+    /// spliced into a fresh upstream session toward `board`.
+    pub fn with_proxy_route(mut self, board: u8) -> Self {
+        self.proxy_next = Some(board);
+        self
+    }
+
+    /// The board this mux runs on.
+    pub fn board(&self) -> u8 {
+        self.board
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &MuxStats {
+        &self.stats
+    }
+
+    /// The loss plan's injected/recovered ledger.
+    pub fn loss(&self) -> &LossPattern {
+        &self.loss
+    }
+
+    /// Flows live right now.
+    pub fn live_flows(&self) -> u32 {
+        self.table.live()
+    }
+
+    /// High-water mark of concurrent flows.
+    pub fn peak_flows(&self) -> u32 {
+        self.table.peak_live()
+    }
+
+    /// Flow-table slots ever allocated — the memory bound (equals
+    /// [`peak_flows`](Self::peak_flows) by slab construction).
+    pub fn table_slots(&self) -> u32 {
+        self.table.capacity()
+    }
+
+    /// `true` when no flow is live and no timer is pending.
+    pub fn idle(&self) -> bool {
+        self.table.live() == 0 && self.timers.is_empty()
+    }
+
+    /// The earliest pending timer as `(deadline, timer sequence)`, if
+    /// any. Stale timers (superseded RTOs) are included; firing them is
+    /// a deterministic no-op.
+    pub fn next_timer(&self) -> Option<(Time, u64)> {
+        self.timers.peek().map(|t| (t.0.at, t.0.seq))
+    }
+
+    /// Opens a client session: `bytes` of payload toward `dst_board`,
+    /// with the payload start delayed `hold` past establishment (the
+    /// concurrency knob: held-open flows pile up in the table). Emits
+    /// the SYN into `out` and returns the flow's key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero or `dst_board` is this board.
+    pub fn open(
+        &mut self,
+        now: Time,
+        dst_board: u8,
+        bytes: u64,
+        hold: Duration,
+        out: &mut Vec<WireSegment>,
+    ) -> FlowKey {
+        assert!(bytes > 0, "empty session");
+        assert_ne!(dst_board, self.board, "loopback sessions unsupported");
+        self.stats.opened += 1;
+        self.open_flow(Role::Client, now, dst_board, bytes, hold, out)
+    }
+
+    /// Allocates an actively opening flow and emits its SYN. The
+    /// application-side `per_transfer` cost (socket/syscall path) is
+    /// charged here, as in `session()`.
+    fn open_flow(
+        &mut self,
+        role: Role,
+        now: Time,
+        dst_board: u8,
+        bytes: u64,
+        hold: Duration,
+        out: &mut Vec<WireSegment>,
+    ) -> FlowKey {
+        let mut conn = Connection::new();
+        conn.on(ConnEvent::ActiveOpen).expect("closed flow opens");
+        let key = self.table.alloc(Flow {
+            conn,
+            role,
+            local_port: 0,
+            peer_board: dst_board,
+            peer_port: self.mask.listen_port(dst_board),
+            len: bytes,
+            available: bytes,
+            sent: 0,
+            acked: 0,
+            first_tx_high: 0,
+            recv_next: 0,
+            cc: self.cfg.cc.build(&self.cfg),
+            timer_gen: 0,
+            rto_armed: false,
+            started: true,
+            fin_total: None,
+            paired: None,
+            opened_at: now,
+            hold,
+        });
+        let local_port = self.mask.flow_port(self.board, key.slot);
+        self.table.get_mut(key).expect("just allocated").local_port = local_port;
+        self.tx_free = self.tx_free.max(now) + self.cfg.per_transfer;
+        let syn = Segment {
+            flags: flags::SYN,
+            src_board: self.board,
+            dst_board,
+            src_port: local_port,
+            dst_port: self.mask.listen_port(dst_board),
+            seq: 0,
+            ack: 0,
+            len: 0,
+        };
+        self.emit(now, syn, false, out);
+        key
+    }
+
+    /// Pushes `seg` through the transmit pipeline, applies the loss
+    /// plan when `lossy` (first-transmission data segments only), and
+    /// appends the survivor to `out`. Returns the pipeline completion
+    /// time.
+    fn emit(&mut self, ready: Time, seg: Segment, lossy: bool, out: &mut Vec<WireSegment>) -> Time {
+        let cost = self.cfg.segment_cost(seg.len as usize);
+        let done = self.tx_free.max(ready) + cost;
+        self.tx_free = done;
+        self.stats.segments_tx += 1;
+        if seg.len == 0 {
+            self.stats.control_segments += 1;
+        } else {
+            self.stats.data_segments += 1;
+            self.stats.payload_tx += u64::from(seg.len);
+        }
+        if lossy && self.loss.should_drop(done) {
+            // Dropped on the wire; the sender's RTO recovers it.
+            return done;
+        }
+        out.push(WireSegment { at: done, seg });
+        done
+    }
+
+    fn schedule(&mut self, at: Time, kind: TimerKind, key: FlowKey, timer_gen: u32) {
+        self.timer_seq += 1;
+        self.timers.push(Reverse(MuxTimer {
+            at,
+            seq: self.timer_seq,
+            kind,
+            key,
+            timer_gen,
+        }));
+    }
+
+    /// Pops and fires the earliest timer, emitting any resulting
+    /// segments. Returns the timer's deadline, or `None` if no timer
+    /// was pending. Stale timers fire as deterministic no-ops.
+    pub fn fire_next_timer(&mut self, out: &mut Vec<WireSegment>) -> Option<Time> {
+        let t = self.timers.pop()?.0;
+        let Some(f) = self.table.get_mut(t.key) else {
+            return Some(t.at); // flow already closed
+        };
+        match t.kind {
+            TimerKind::Rto => {
+                if !f.rto_armed || f.timer_gen != t.timer_gen {
+                    return Some(t.at); // superseded by an ack
+                }
+                f.rto_armed = false;
+                f.timer_gen = f.timer_gen.wrapping_add(1);
+                let in_flight = f.sent - f.acked;
+                f.cc.on_rto(in_flight, t.at);
+                // Go-back-N: rewind to the cumulative-ack edge.
+                f.sent = f.acked;
+                self.stats.rto_fires += 1;
+                let rto = self.cfg.rto;
+                self.loss.note_recovered(t.at, rto);
+                self.pump(t.key, t.at, out);
+            }
+            TimerKind::TimeWait => {
+                f.conn
+                    .on(ConnEvent::TimeWaitExpired)
+                    .expect("linger ends in TimeWait");
+                let opened_at = f.opened_at;
+                let role = f.role;
+                self.table.free(t.key).expect("linger frees a live flow");
+                self.stats.session.record(t.at.since(opened_at));
+                match role {
+                    Role::Client => self.stats.completed += 1,
+                    Role::ProxyUp => self.stats.relayed_sessions += 1,
+                    _ => unreachable!("only active closers linger"),
+                }
+            }
+            TimerKind::StartData => {
+                f.started = true;
+                self.pump(t.key, t.at, out);
+            }
+        }
+        Some(t.at)
+    }
+
+    /// Sends as much payload as the composed window allows, arming the
+    /// RTO on the first unacked byte.
+    fn pump(&mut self, key: FlowKey, now: Time, out: &mut Vec<WireSegment>) {
+        loop {
+            let f = self.table.get_mut(key).expect("pumping a live flow");
+            if !f.conn.is_established() || !f.started {
+                return;
+            }
+            let wnd = f.window(&self.cfg);
+            if f.sent >= f.available || f.sent - f.acked >= wnd {
+                return;
+            }
+            let room = wnd - (f.sent - f.acked);
+            let seg_len = (f.available - f.sent).min(room).min(self.cfg.mss as u64) as u32;
+            let seq = f.sent;
+            let retransmit = seq < f.first_tx_high;
+            f.sent += u64::from(seg_len);
+            f.first_tx_high = f.first_tx_high.max(f.sent);
+            if retransmit {
+                self.stats.retransmissions += 1;
+            }
+            let seg = Segment {
+                flags: 0,
+                src_board: self.board,
+                dst_board: f.peer_board,
+                src_port: f.local_port,
+                dst_port: f.peer_port,
+                seq: seq as u32,
+                ack: 0,
+                len: seg_len,
+            };
+            let rearm = !f.rto_armed;
+            if rearm {
+                f.rto_armed = true;
+                f.timer_gen = f.timer_gen.wrapping_add(1);
+            }
+            let timer_gen = f.timer_gen;
+            let done = self.emit(now, seg, !retransmit, out);
+            if rearm {
+                self.schedule(done + self.cfg.rto, TimerKind::Rto, key, timer_gen);
+            }
+        }
+    }
+
+    /// Processes one arriving segment at `now` (its wire arrival time),
+    /// emitting any responses into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a protocol violation (a segment its flow's FSM has no
+    /// transition for) — a model bug, never silently absorbed.
+    pub fn on_segment(&mut self, now: Time, seg: &Segment, out: &mut Vec<WireSegment>) {
+        debug_assert_eq!(self.mask.board_of(seg.dst_port), self.board, "mis-steered");
+        self.stats.segments_rx += 1;
+        let cost = self.cfg.segment_cost(seg.len as usize);
+        let p = self.rx_free.max(now) + cost;
+        self.rx_free = p;
+
+        match self.mask.slot_of(seg.dst_port) {
+            None => self.accept(p, seg, out),
+            Some(slot) => {
+                let Some((_, key)) = self.table.get_slot(slot) else {
+                    panic!(
+                        "board {}: segment for dead flow slot {slot} (flags {:#04x})",
+                        self.board, seg.flags
+                    );
+                };
+                self.deliver(p, key, seg, out);
+            }
+        }
+    }
+
+    /// Passive open: a SYN arrived on the listen port.
+    fn accept(&mut self, p: Time, seg: &Segment, out: &mut Vec<WireSegment>) {
+        assert_eq!(seg.flags, flags::SYN, "listen port only takes SYNs");
+        self.stats.accepted += 1;
+        let role = if self.proxy_next.is_some() {
+            Role::ProxyDown
+        } else {
+            Role::Server
+        };
+        let mut conn = Connection::new();
+        conn.on(ConnEvent::PassiveOpen).expect("fresh listen");
+        conn.on(ConnEvent::SynRcvd).expect("listen takes SYN");
+        let key = self.table.alloc(Flow {
+            conn,
+            role,
+            local_port: 0,
+            peer_board: seg.src_board,
+            peer_port: seg.src_port,
+            len: 0,
+            available: 0,
+            sent: 0,
+            acked: 0,
+            first_tx_high: 0,
+            recv_next: 0,
+            cc: self.cfg.cc.build(&self.cfg),
+            timer_gen: 0,
+            rto_armed: false,
+            started: false,
+            fin_total: None,
+            paired: None,
+            opened_at: p,
+            hold: Duration::ZERO,
+        });
+        let local_port = self.mask.flow_port(self.board, key.slot);
+        self.table.get_mut(key).expect("just allocated").local_port = local_port;
+        // The SYN-ACK's source port carries the flow port, so the
+        // peer's replies demultiplex O(1) by mask — the steering
+        // handoff.
+        let synack = Segment {
+            flags: flags::SYN | flags::ACK,
+            src_board: self.board,
+            dst_board: seg.src_board,
+            src_port: local_port,
+            dst_port: seg.src_port,
+            seq: 0,
+            ack: 0,
+            len: 0,
+        };
+        self.emit(p, synack, false, out);
+    }
+
+    /// Dispatches a segment to its live flow.
+    fn deliver(&mut self, p: Time, key: FlowKey, seg: &Segment, out: &mut Vec<WireSegment>) {
+        if seg.flags & flags::SYN != 0 {
+            // SYN-ACK: the active opener learns the peer's flow port.
+            assert_eq!(seg.flags, flags::SYN | flags::ACK, "flow port takes no SYN");
+            let f = self.table.get_mut(key).expect("live flow");
+            f.conn
+                .on(ConnEvent::SynAckRcvd)
+                .expect("SYN-ACK in SynSent");
+            f.peer_port = seg.src_port;
+            let opened_at = f.opened_at;
+            let hold = f.hold;
+            let role = f.role;
+            if role == Role::Client {
+                f.started = false;
+                self.stats.handshake.record(p.since(opened_at));
+            }
+            let acked_at = self.control_ack(key, p, out);
+            if role == Role::Client {
+                // Payload starts `hold` after establishment; the timer
+                // is what lets held-open flows pile up in the table.
+                self.schedule(p + hold, TimerKind::StartData, key, 0);
+            } else {
+                self.pump(key, acked_at, out);
+                self.maybe_close_sender(key, acked_at, out);
+            }
+        } else if seg.flags & flags::FIN != 0 {
+            self.on_fin(p, key, out);
+        } else if seg.flags & flags::CTL != 0 {
+            self.on_control_ack(p, key, out);
+        } else if seg.len > 0 {
+            self.on_data(p, key, seg, out);
+        } else {
+            debug_assert_eq!(seg.flags, flags::ACK, "bare segment must be an ack");
+            self.on_data_ack(p, key, seg);
+            self.pump(key, p, out);
+            self.maybe_close_sender(key, p, out);
+        }
+    }
+
+    /// Emits a CTL-flagged acknowledgement for flow `key` at `p`.
+    fn control_ack(&mut self, key: FlowKey, p: Time, out: &mut Vec<WireSegment>) -> Time {
+        let f = self.table.get(key).expect("live flow");
+        let seg = Segment {
+            flags: flags::ACK | flags::CTL,
+            src_board: self.board,
+            dst_board: f.peer_board,
+            src_port: f.local_port,
+            dst_port: f.peer_port,
+            seq: 0,
+            ack: f.recv_next as u32,
+            len: 0,
+        };
+        self.emit(p, seg, false, out)
+    }
+
+    /// A FIN arrived: either the peer closes first (we are passive), or
+    /// our own FIN was already acked and this completes the teardown.
+    fn on_fin(&mut self, p: Time, key: FlowKey, out: &mut Vec<WireSegment>) {
+        let f = self.table.get_mut(key).expect("live flow");
+        match f.conn.state() {
+            ConnState::Established => {
+                // Passive close: ack the FIN, then send our own.
+                f.conn.on(ConnEvent::FinRcvd).expect("FIN in Established");
+                let role = f.role;
+                let paired = f.paired;
+                let delivered = f.recv_next;
+                self.control_ack(key, p, out);
+                let f = self.table.get_mut(key).expect("live flow");
+                f.conn.on(ConnEvent::Close).expect("CloseWait closes");
+                let fin = Segment {
+                    flags: flags::FIN,
+                    src_board: self.board,
+                    dst_board: f.peer_board,
+                    src_port: f.local_port,
+                    dst_port: f.peer_port,
+                    seq: 0,
+                    ack: 0,
+                    len: 0,
+                };
+                self.emit(p, fin, false, out);
+                if role == Role::ProxyDown {
+                    // The downstream length is now final: the upstream
+                    // flow may close once it has relayed everything.
+                    let up = paired.expect("proxy-down flows are paired");
+                    if let Some(u) = self.table.get_mut(up) {
+                        u.fin_total = Some(delivered);
+                        u.len = delivered;
+                        self.maybe_close_sender(up, p, out);
+                    }
+                }
+            }
+            ConnState::FinWait2 => {
+                // Active close completing: final ack, then linger.
+                f.conn.on(ConnEvent::FinRcvd).expect("FIN in FinWait2");
+                self.control_ack(key, p, out);
+                let linger = self.cfg.rto * 2;
+                self.schedule(p + linger, TimerKind::TimeWait, key, 0);
+            }
+            s => panic!("board {}: FIN in {s:?}", self.board),
+        }
+    }
+
+    /// A CTL-flagged acknowledgement: drives exactly one FSM edge.
+    fn on_control_ack(&mut self, p: Time, key: FlowKey, out: &mut Vec<WireSegment>) {
+        let f = self.table.get_mut(key).expect("live flow");
+        match f.conn.state() {
+            ConnState::SynReceived => {
+                // Handshake complete on the passive side.
+                f.conn.on(ConnEvent::AckRcvd).expect("ack in SynReceived");
+                if f.role == Role::ProxyDown && f.paired.is_none() {
+                    self.splice_upstream(p, key, out);
+                }
+            }
+            ConnState::FinWait1 => {
+                f.conn.on(ConnEvent::AckRcvd).expect("ack in FinWait1");
+            }
+            ConnState::LastAck => {
+                f.conn.on(ConnEvent::AckRcvd).expect("ack in LastAck");
+                self.table.free(key).expect("LastAck frees a live flow");
+                self.stats.closed_server += 1;
+            }
+            s => panic!("board {}: control ack in {s:?}", self.board),
+        }
+    }
+
+    /// Opens the upstream half of a proxy splice and pairs it with the
+    /// freshly established downstream flow.
+    fn splice_upstream(&mut self, p: Time, down: FlowKey, out: &mut Vec<WireSegment>) {
+        let next = self.proxy_next.expect("proxy-down implies a route");
+        let up = self.open_flow(Role::ProxyUp, p, next, 1, Duration::ZERO, out);
+        let u = self.table.get_mut(up).expect("just opened");
+        // Length is unknown until the downstream FIN; relay as bytes
+        // arrive.
+        u.len = 0;
+        u.available = 0;
+        u.paired = Some(down);
+        self.table.get_mut(down).expect("live flow").paired = Some(up);
+    }
+
+    /// An in-order or out-of-order data segment at the receiver.
+    fn on_data(&mut self, p: Time, key: FlowKey, seg: &Segment, out: &mut Vec<WireSegment>) {
+        let f = self.table.get_mut(key).expect("live flow");
+        assert!(f.conn.is_established(), "data outside Established");
+        let role = f.role;
+        let paired = f.paired;
+        if u64::from(seg.seq) == f.recv_next {
+            f.recv_next += u64::from(seg.len);
+            self.stats.payload_delivered += u64::from(seg.len);
+            self.ack_data(key, p, out);
+            if role == Role::ProxyDown {
+                // Splice the freshly delivered bytes upstream.
+                self.stats.relayed_bytes += u64::from(seg.len);
+                let up = paired.expect("proxy-down flows are paired");
+                if let Some(u) = self.table.get_mut(up) {
+                    u.available += u64::from(seg.len);
+                    u.len = u.len.max(u.available);
+                    self.pump(up, p, out);
+                }
+            }
+        } else {
+            // Go-back-N receiver: discard and re-ack the in-order edge.
+            self.stats.out_of_order += 1;
+            self.ack_data(key, p, out);
+        }
+    }
+
+    /// Emits a cumulative data ack for flow `key`.
+    fn ack_data(&mut self, key: FlowKey, p: Time, out: &mut Vec<WireSegment>) {
+        self.stats.acks += 1;
+        let f = self.table.get(key).expect("live flow");
+        let seg = Segment {
+            flags: flags::ACK,
+            src_board: self.board,
+            dst_board: f.peer_board,
+            src_port: f.local_port,
+            dst_port: f.peer_port,
+            seq: 0,
+            ack: f.recv_next as u32,
+            len: 0,
+        };
+        self.emit(p, seg, false, out);
+    }
+
+    /// A cumulative data ack at the sender.
+    fn on_data_ack(&mut self, p: Time, key: FlowKey, seg: &Segment) {
+        // Ack processing crosses to the CPU on the hybrid stack; on the
+        // pure stacks it is free and must not touch the tx clock.
+        if self.cfg.per_ack > Duration::ZERO {
+            self.tx_free = self.tx_free.max(p) + self.cfg.per_ack;
+        }
+        let f = self.table.get_mut(key).expect("live flow");
+        let upto = u64::from(seg.ack);
+        let newly = upto.saturating_sub(f.acked);
+        if newly == 0 {
+            self.stats.dup_acks += 1;
+            return;
+        }
+        f.acked = upto;
+        f.cc.on_ack(newly, p);
+        // Progress restarts the retransmission clock.
+        f.timer_gen = f.timer_gen.wrapping_add(1);
+        if f.sent > f.acked {
+            f.rto_armed = true;
+            let timer_gen = f.timer_gen;
+            let deadline = p + self.cfg.rto;
+            self.schedule(deadline, TimerKind::Rto, key, timer_gen);
+        } else {
+            f.rto_armed = false;
+        }
+    }
+
+    /// Closes an active sender (client or proxy-up) once everything it
+    /// will ever send is acknowledged. The FSM guards idempotence: a
+    /// second call finds FinWait1 and returns.
+    fn maybe_close_sender(&mut self, key: FlowKey, p: Time, out: &mut Vec<WireSegment>) {
+        let Some(f) = self.table.get_mut(key) else {
+            return;
+        };
+        if !f.conn.is_established() || !f.started {
+            return;
+        }
+        let total = match (f.role, f.fin_total) {
+            (Role::Client, _) => f.len,
+            (Role::ProxyUp, Some(t)) => t,
+            (Role::ProxyUp, None) => return, // downstream still sending
+            _ => return,
+        };
+        if f.acked < total {
+            return;
+        }
+        f.conn.on(ConnEvent::Close).expect("Established closes");
+        let fin = Segment {
+            flags: flags::FIN,
+            src_board: self.board,
+            dst_board: f.peer_board,
+            src_port: f.local_port,
+            dst_port: f.peer_port,
+            seq: 0,
+            ack: 0,
+            len: 0,
+        };
+        self.emit(p, fin, false, out);
+    }
+
+    /// Order-sensitive digest of the mux's full live state, for
+    /// cross-thread determinism checks: two muxes that processed the
+    /// same events in the same order digest identically.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv_u64(h, u64::from(self.board));
+        h = fnv_u64(h, self.tx_free.as_ps());
+        h = fnv_u64(h, self.rx_free.as_ps());
+        h = fnv_u64(h, self.timers.len() as u64);
+        for (slot, f) in self.table.iter_live() {
+            h = fnv_u64(h, u64::from(slot));
+            h = fnv_u64(h, f.conn.state() as u64);
+            h = fnv_u64(h, f.sent);
+            h = fnv_u64(h, f.acked);
+            h = fnv_u64(h, f.recv_next);
+            h = fnv_u64(h, f.cc.cwnd());
+        }
+        let s = &self.stats;
+        for v in [
+            s.opened,
+            s.accepted,
+            s.completed,
+            s.closed_server,
+            s.relayed_sessions,
+            s.segments_tx,
+            s.segments_rx,
+            s.acks,
+            s.dup_acks,
+            s.payload_tx,
+            s.payload_delivered,
+            s.relayed_bytes,
+            s.retransmissions,
+            s.rto_fires,
+            s.out_of_order,
+            s.handshake.count(),
+            s.session.count(),
+            s.handshake.mean_micros().to_bits(),
+            s.session.mean_micros().to_bits(),
+        ] {
+            h = fnv_u64(h, v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::SEGMENT_LOSS_TARGET;
+    use crate::traffic::{decode_segment, encode_segment};
+
+    /// Delivers segments between muxes with a fixed one-way latency,
+    /// interleaving wire arrivals and timers in deterministic
+    /// (time, tiebreak) order until every mux is idle.
+    fn drive(muxes: &mut [SessionMux], latency: Duration, pending: Vec<WireSegment>) {
+        let mut wire: BinaryHeap<Reverse<(Time, u64, [u8; 28])>> = BinaryHeap::new();
+        let mut wseq = 0u64;
+        let mut out: Vec<WireSegment> = pending;
+        for _ in 0..5_000_000u64 {
+            for ws in out.drain(..) {
+                wseq += 1;
+                let bytes: [u8; 28] = encode_segment(&ws.seg).try_into().unwrap();
+                wire.push(Reverse((ws.at + latency, wseq, bytes)));
+            }
+            let wire_at = wire.peek().map(|w| w.0 .0);
+            let timer = muxes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, m)| m.next_timer().map(|(t, _)| (t, i)))
+                .min();
+            let take_wire = match (wire_at, timer) {
+                (None, None) => return,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(w), Some((t, _))) => w <= t,
+            };
+            if take_wire {
+                let Reverse((at, _, bytes)) = wire.pop().unwrap();
+                let seg = decode_segment(&bytes).unwrap();
+                muxes[usize::from(seg.dst_board)].on_segment(at, &seg, &mut out);
+            } else {
+                let i = timer.unwrap().1;
+                muxes[i].fire_next_timer(&mut out);
+            }
+        }
+        panic!("drive: no quiescence after 5M events");
+    }
+
+    fn pair(cfg: TcpStackConfig) -> Vec<SessionMux> {
+        let mask = PortMask::for_boards(2);
+        vec![SessionMux::new(0, cfg, mask), SessionMux::new(1, cfg, mask)]
+    }
+
+    const HOP: Duration = Duration::from_ns(450);
+
+    #[test]
+    fn one_session_matches_the_session_control_ledger() {
+        let mut muxes = pair(TcpStackConfig::fpga_coyote());
+        let mut out = Vec::new();
+        muxes[0].open(Time::ZERO, 1, 64 * 1024, Duration::ZERO, &mut out);
+        drive(&mut muxes, HOP, out);
+        let (c, s) = (muxes[0].stats().clone(), muxes[1].stats().clone());
+        assert_eq!(c.opened, 1);
+        assert_eq!(c.completed, 1);
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.closed_server, 1);
+        assert_eq!(s.payload_delivered, 64 * 1024);
+        assert_eq!(c.payload_tx, 64 * 1024);
+        // session()'s connection-control ledger: SYN, SYN-ACK, handshake
+        // ack, FIN, FIN-ack, FIN, FIN-ack — seven segments split across
+        // the two ends (data acks are counted separately).
+        assert_eq!(c.control_segments, 4);
+        assert_eq!(s.control_segments - s.acks, 3);
+        assert_eq!(c.handshake.count(), 1);
+        assert_eq!(c.session.count(), 1);
+        assert!(muxes[0].idle() && muxes[1].idle());
+        assert_eq!(muxes[0].peak_flows(), 1);
+        assert_eq!(muxes[0].table_slots(), 1);
+    }
+
+    #[test]
+    fn loss_recovers_and_terminates() {
+        let mask = PortMask::for_boards(2);
+        let cfg = TcpStackConfig::fpga_coyote();
+        let mut muxes = vec![
+            SessionMux::new(0, cfg, mask).with_loss(LossPattern::drop_every(7)),
+            SessionMux::new(1, cfg, mask),
+        ];
+        let mut out = Vec::new();
+        muxes[0].open(Time::ZERO, 1, 256 * 1024, Duration::ZERO, &mut out);
+        drive(&mut muxes, HOP, out);
+        let c = muxes[0].stats().clone();
+        assert_eq!(c.completed, 1);
+        assert_eq!(muxes[1].stats().payload_delivered, 256 * 1024);
+        assert!(c.retransmissions > 0, "loss must force retransmissions");
+        assert!(c.rto_fires > 0);
+        assert_eq!(
+            muxes[0].loss().plan().recovered(SEGMENT_LOSS_TARGET),
+            c.rto_fires,
+            "every RTO rewind is a recorded recovery"
+        );
+        assert!(muxes[0].idle() && muxes[1].idle());
+    }
+
+    #[test]
+    fn many_held_sessions_multiplex_through_one_table() {
+        let cfg = TcpStackConfig::fpga_coyote();
+        let mut muxes = pair(cfg);
+        let mut out = Vec::new();
+        let hold = Duration::from_us(300);
+        for i in 0..64u64 {
+            let at = Time::ZERO + Duration::from_us(1) * i;
+            muxes[0].open(at, 1, 4096, hold, &mut out);
+        }
+        drive(&mut muxes, HOP, out);
+        let c = muxes[0].stats().clone();
+        assert_eq!(c.opened, 64);
+        assert_eq!(c.completed, 64);
+        assert_eq!(muxes[1].stats().payload_delivered, 64 * 4096);
+        // The hold keeps sessions open concurrently: the table must have
+        // seen real multiplexing, with capacity bounded by the peak.
+        assert!(
+            muxes[0].peak_flows() > 8,
+            "peak {} flows — hold produced no concurrency",
+            muxes[0].peak_flows()
+        );
+        assert_eq!(muxes[0].table_slots(), muxes[0].peak_flows());
+        assert!(muxes[0].idle() && muxes[1].idle());
+    }
+
+    #[test]
+    fn reno_stack_completes_sessions() {
+        let cfg = TcpStackConfig::hybrid_offload();
+        let mut muxes = pair(cfg);
+        let mut out = Vec::new();
+        for i in 0..4u64 {
+            let at = Time::ZERO + Duration::from_us(10) * i;
+            muxes[0].open(at, 1, 256 * 1024, Duration::ZERO, &mut out);
+        }
+        drive(&mut muxes, HOP, out);
+        assert_eq!(muxes[0].stats().completed, 4);
+        assert_eq!(muxes[1].stats().payload_delivered, 4 * 256 * 1024);
+        assert!(muxes[0].idle() && muxes[1].idle());
+    }
+
+    #[test]
+    fn proxy_splices_client_to_server() {
+        let mask = PortMask::for_boards(3);
+        let cfg = TcpStackConfig::fpga_coyote();
+        let mut muxes = vec![
+            SessionMux::new(0, cfg, mask),
+            SessionMux::new(1, cfg, mask).with_proxy_route(2),
+            SessionMux::new(2, cfg, mask),
+        ];
+        let mut out = Vec::new();
+        muxes[0].open(Time::ZERO, 1, 32 * 1024, Duration::ZERO, &mut out);
+        drive(&mut muxes, HOP, out);
+        assert_eq!(muxes[0].stats().completed, 1);
+        let p = muxes[1].stats().clone();
+        assert_eq!(p.accepted, 1);
+        assert_eq!(p.relayed_bytes, 32 * 1024);
+        assert_eq!(p.relayed_sessions, 1, "upstream splice must complete");
+        assert_eq!(muxes[2].stats().payload_delivered, 32 * 1024);
+        for m in &muxes {
+            assert!(m.idle(), "board {} not idle", m.board());
+        }
+    }
+
+    #[test]
+    fn digest_separates_different_histories() {
+        let run = |bytes: u64| {
+            let mut muxes = pair(TcpStackConfig::fpga_coyote());
+            let mut out = Vec::new();
+            muxes[0].open(Time::ZERO, 1, bytes, Duration::ZERO, &mut out);
+            drive(&mut muxes, HOP, out);
+            (muxes[0].state_digest(), muxes[1].state_digest())
+        };
+        assert_eq!(run(8192), run(8192), "same history, same digest");
+        assert_ne!(run(8192), run(16384), "different histories collide");
+    }
+}

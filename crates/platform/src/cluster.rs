@@ -646,8 +646,11 @@ impl BoardShard {
                 self.failures += 1;
                 self.last = self.last.max(env.at);
             }
-            BridgeOp::SvcClient(_) | BridgeOp::SvcRep(_) | BridgeOp::SvcCtl(_) => {
-                unreachable!("service frames never ride the memory-bridge workload")
+            BridgeOp::SvcClient(_)
+            | BridgeOp::SvcRep(_)
+            | BridgeOp::SvcCtl(_)
+            | BridgeOp::Tcp(_) => {
+                unreachable!("service/traffic frames never ride the memory-bridge workload")
             }
         }
     }

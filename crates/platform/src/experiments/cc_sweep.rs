@@ -196,6 +196,66 @@ pub fn render(rows: &[CcSweepRow]) -> String {
     )
 }
 
+/// Registry adapter: the congestion-control sweep through the
+/// [`Experiment`](super::Experiment) trait.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "cc_sweep"
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let rows = run_instrumented(ctx.reg);
+        let csv = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.stack.clone(),
+                    r.cc.to_string(),
+                    r.loss_bp.to_string(),
+                    r.size.to_string(),
+                    r.latency_us.to_string(),
+                    r.gbps.to_string(),
+                    r.segments.to_string(),
+                    r.retransmissions.to_string(),
+                    r.cwnd_mean.to_string(),
+                    r.cwnd_min.to_string(),
+                    r.cwnd_max.to_string(),
+                    r.cwnd_stalls.to_string(),
+                    r.rwnd_stalls.to_string(),
+                ]
+            })
+            .collect();
+        super::ExperimentRows::new(
+            rows,
+            vec![super::Table {
+                name: "cc_sweep",
+                header: &[
+                    "stack",
+                    "cc",
+                    "loss_bp",
+                    "size_b",
+                    "latency_us",
+                    "gbps",
+                    "segments",
+                    "retransmissions",
+                    "cwnd_mean",
+                    "cwnd_min",
+                    "cwnd_max",
+                    "cwnd_stalls",
+                    "rwnd_stalls",
+                ],
+                rows: csv,
+            }],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        render(rows.downcast::<Vec<CcSweepRow>>())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

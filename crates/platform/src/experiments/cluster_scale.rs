@@ -144,6 +144,66 @@ pub fn render(rows: &[ClusterScaleRow]) -> String {
     )
 }
 
+/// Registry adapter: cluster scaling through the
+/// [`Experiment`](super::Experiment) trait.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "cluster_scale"
+    }
+
+    fn needs_threads(&self) -> bool {
+        true
+    }
+
+    fn speedup_check(&self) -> bool {
+        true
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let rows = run_instrumented(ctx.threads, ctx.reg);
+        let csv = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.boards.to_string(),
+                    r.total_ops.to_string(),
+                    r.remote_pct.to_string(),
+                    r.bridge_frames.to_string(),
+                    r.goodput_gib.to_string(),
+                    r.sim_end_us.to_string(),
+                    r.epochs.to_string(),
+                    r.messages.to_string(),
+                    r.trace_digest.to_string(),
+                ]
+            })
+            .collect();
+        super::ExperimentRows::new(
+            rows,
+            vec![super::Table {
+                name: "cluster_scale",
+                header: &[
+                    "boards",
+                    "total_ops",
+                    "remote_pct",
+                    "bridge_frames",
+                    "goodput_gib",
+                    "sim_end_us",
+                    "epochs",
+                    "messages",
+                    "trace_digest",
+                ],
+                rows: csv,
+            }],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        render(rows.downcast::<Vec<ClusterScaleRow>>())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

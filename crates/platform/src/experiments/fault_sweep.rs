@@ -205,6 +205,54 @@ pub fn render(rows: &[FaultSweepRow]) -> String {
     )
 }
 
+/// Registry adapter: the fault sweep through the
+/// [`Experiment`](super::Experiment) trait.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "fault_sweep"
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let rows = run_instrumented(ctx.reg);
+        let csv = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.rate_bp.to_string(),
+                    r.goodput_gib.to_string(),
+                    r.injected.to_string(),
+                    r.retransmissions.to_string(),
+                    r.txn_retries.to_string(),
+                    r.txn_failures.to_string(),
+                    r.mean_recovery_ns.to_string(),
+                ]
+            })
+            .collect();
+        super::ExperimentRows::new(
+            rows,
+            vec![super::Table {
+                name: "fault_sweep",
+                header: &[
+                    "rate_bp",
+                    "goodput_gib",
+                    "injected",
+                    "retransmissions",
+                    "txn_retries",
+                    "txn_failures",
+                    "mean_recovery_ns",
+                ],
+                rows: csv,
+            }],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        render(rows.downcast::<Vec<FaultSweepRow>>())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

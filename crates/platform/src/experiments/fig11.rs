@@ -163,6 +163,71 @@ pub fn render(rows: &[Fig11Row], table1: &[Table1Row]) -> String {
     out
 }
 
+/// Both figure-11 panels: the throughput figure and Table 1's PMU rows.
+#[derive(Debug)]
+pub struct Fig11Rows {
+    /// Figure 11 proper.
+    pub figure: Vec<Fig11Row>,
+    /// Table 1 (PMU counters for the same modes).
+    pub table1: Vec<Table1Row>,
+}
+
+/// Registry adapter: figure 11 + Table 1 through the
+/// [`Experiment`](super::Experiment) trait.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let figure = run_instrumented(ctx.reg);
+        let table1 = run_table1();
+        let fig_csv = figure
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.label().to_string(),
+                    r.cores.to_string(),
+                    r.gpixels_per_sec.to_string(),
+                    r.interconnect_gib.to_string(),
+                ]
+            })
+            .collect();
+        let t1_csv = table1
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.label().to_string(),
+                    r.memory_stalls_per_cycle.to_string(),
+                    r.cycles_per_l1_refill_k.to_string(),
+                ]
+            })
+            .collect();
+        super::ExperimentRows::new(
+            Fig11Rows { figure, table1 },
+            vec![
+                super::Table {
+                    name: "fig11",
+                    header: &["mode", "cores", "gpixels_per_sec", "interconnect_gib"],
+                    rows: fig_csv,
+                },
+                super::Table {
+                    name: "table1",
+                    header: &["mode", "stalls_per_cycle", "cycles_per_l1_refill_k"],
+                    rows: t1_csv,
+                },
+            ],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        let r = rows.downcast::<Fig11Rows>();
+        render(&r.figure, &r.table1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

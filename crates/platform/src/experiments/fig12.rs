@@ -158,6 +158,41 @@ pub fn render(result: &Fig12Result) -> String {
     )
 }
 
+/// Registry adapter: figure 12 through the [`Experiment`](super::Experiment) trait.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "fig12"
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let result = run_instrumented(ctx.reg);
+        let mut csv = Vec::new();
+        let n = result.traces[&TraceId::Cpu].len();
+        for i in 0..n {
+            let t = result.traces[&TraceId::Cpu].points()[i].0;
+            let mut row = vec![format!("{}", t.as_secs_f64())];
+            for id in TraceId::ALL {
+                row.push(result.traces[&id].points()[i].1.to_string());
+            }
+            csv.push(row);
+        }
+        super::ExperimentRows::new(
+            result,
+            vec![super::Table {
+                name: "fig12",
+                header: &["t_s", "fpga_w", "cpu_w", "dram0_w", "dram1_w"],
+                rows: csv,
+            }],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        render(rows.downcast::<Fig12Result>())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

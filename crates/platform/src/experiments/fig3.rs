@@ -155,6 +155,42 @@ pub fn render(points: &[Fig3Point]) -> String {
     )
 }
 
+/// Registry adapter: figure 3 through the [`Experiment`](super::Experiment) trait.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let points = run_instrumented(ctx.reg);
+        let rows = points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.label.clone(),
+                    p.bandwidth_gib.to_string(),
+                    p.latency_us.to_string(),
+                    p.measured.to_string(),
+                ]
+            })
+            .collect();
+        super::ExperimentRows::new(
+            points,
+            vec![super::Table {
+                name: "fig3",
+                header: &["platform", "bw_gib", "latency_us", "measured"],
+                rows,
+            }],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        render(rows.downcast::<Vec<Fig3Point>>())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -197,6 +197,62 @@ pub fn render(rows: &[Fig6Row]) -> String {
     )
 }
 
+/// Registry adapter: figure 6 through the [`Experiment`](super::Experiment) trait.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let rows = run_instrumented(ctx.reg);
+        let csv = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.size.to_string(),
+                    r.eci_rd_lat_us.to_string(),
+                    r.eci_wr_lat_us.to_string(),
+                    r.pcie_rd_lat_us.to_string(),
+                    r.pcie_wr_lat_us.to_string(),
+                    r.eci_rd_gib.to_string(),
+                    r.eci_wr_gib.to_string(),
+                    r.pcie_rd_gib.to_string(),
+                    r.pcie_wr_gib.to_string(),
+                ]
+            })
+            .collect();
+        super::ExperimentRows::new(
+            rows,
+            vec![super::Table {
+                name: "fig6",
+                header: &[
+                    "size_b",
+                    "eci_rd_us",
+                    "eci_wr_us",
+                    "pcie_rd_us",
+                    "pcie_wr_us",
+                    "eci_rd_gib",
+                    "eci_wr_gib",
+                    "pcie_rd_gib",
+                    "pcie_wr_gib",
+                ],
+                rows: csv,
+            }],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        let (bw, lat) = ccpi_reference();
+        let mut out = render(rows.downcast::<Vec<Fig6Row>>());
+        out.push_str(&format!(
+            "\nReference (2-socket ThunderX-1 CCPI, both links): {bw:.1} GiB/s, {lat:.0} ns\n"
+        ));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -96,10 +96,19 @@ pub fn run_instrumented(reg: &mut MetricsRegistry) -> Vec<Fig7Row> {
     rows
 }
 
+/// One flow-scaling record of the second panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiflowRow {
+    /// Series label ("enzian x1", "linux x3", …).
+    pub label: String,
+    /// Aggregate goodput across the flows, Gb/s.
+    pub gbps: f64,
+}
+
 /// The text's flow-scaling observation: aggregate goodput of 1..=4
 /// kernel-stack flows vs the single hardware flow ("4 flows are needed
 /// using the CPU to saturate the link").
-pub fn run_multiflow() -> Vec<(String, f64)> {
+pub fn run_multiflow() -> Vec<MultiflowRow> {
     let mut rng = SimRng::seed_from(78);
     let per_flow = 2 << 20;
     let mut data = vec![0u8; per_flow];
@@ -113,7 +122,10 @@ pub fn run_multiflow() -> Vec<(String, f64)> {
         Switch::tor(),
     );
     let (_, r) = hw.transfer(&mut link, Time::ZERO, &data);
-    out.push(("enzian x1".to_string(), r.throughput_bits() / 1e9));
+    out.push(MultiflowRow {
+        label: "enzian x1".to_string(),
+        gbps: r.throughput_bits() / 1e9,
+    });
 
     for flows in 1..=4usize {
         let mut link = EthLink::new(EthLinkConfig::hundred_gig());
@@ -126,7 +138,10 @@ pub fn run_multiflow() -> Vec<(String, f64)> {
         let results = sw.transfer_interleaved(&mut link, Time::ZERO, &refs);
         let last = results.iter().map(|r| r.delivered).max().expect("flows");
         let bits = (flows * per_flow) as f64 * 8.0;
-        out.push((format!("linux x{flows}"), bits / last.as_secs_f64() / 1e9));
+        out.push(MultiflowRow {
+            label: format!("linux x{flows}"),
+            gbps: bits / last.as_secs_f64() / 1e9,
+        });
     }
     out
 }
@@ -158,6 +173,80 @@ pub fn render(rows: &[Fig7Row]) -> String {
     )
 }
 
+/// Both figure-7 panels: the single-flow size sweep and the flow-scaling
+/// rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Rows {
+    /// Size sweep, Enzian vs Linux, one flow each.
+    pub single_flow: Vec<Fig7Row>,
+    /// Aggregate goodput of 1..=4 kernel flows vs one hardware flow.
+    pub multiflow: Vec<MultiflowRow>,
+}
+
+/// Registry adapter: figure 7 through the [`Experiment`](super::Experiment) trait.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let single_flow = run_instrumented(ctx.reg);
+        let multiflow = run_multiflow();
+        let csv = single_flow
+            .iter()
+            .map(|r| {
+                vec![
+                    r.size.to_string(),
+                    r.enzian_lat_us.to_string(),
+                    r.linux_lat_us.to_string(),
+                    r.enzian_gbps.to_string(),
+                    r.linux_gbps.to_string(),
+                ]
+            })
+            .collect();
+        let multi_csv = multiflow
+            .iter()
+            .map(|r| vec![r.label.clone(), r.gbps.to_string()])
+            .collect();
+        super::ExperimentRows::new(
+            Fig7Rows {
+                single_flow,
+                multiflow,
+            },
+            vec![
+                super::Table {
+                    name: "fig7",
+                    header: &[
+                        "size_b",
+                        "enzian_lat_us",
+                        "linux_lat_us",
+                        "enzian_gbps",
+                        "linux_gbps",
+                    ],
+                    rows: csv,
+                },
+                super::Table {
+                    name: "fig7_multiflow",
+                    header: &["label", "gbps"],
+                    rows: multi_csv,
+                },
+            ],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        let r = rows.downcast::<Fig7Rows>();
+        let mut out = render(&r.single_flow);
+        out.push_str("\nFlow scaling (2 MiB per flow):\n");
+        for m in &r.multiflow {
+            out.push_str(&format!("  {:<10} {:>6.1} Gb/s\n", m.label, m.gbps));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,7 +254,7 @@ mod tests {
     #[test]
     fn four_kernel_flows_saturate_where_one_hardware_flow_does() {
         let rows = run_multiflow();
-        let get = |name: &str| rows.iter().find(|(n, _)| n == name).unwrap().1;
+        let get = |name: &str| rows.iter().find(|r| r.label == name).unwrap().gbps;
         assert!(get("enzian x1") > 90.0);
         assert!(get("linux x1") < 45.0);
         assert!(

@@ -202,6 +202,51 @@ pub fn render(rows: &[Fig8Row]) -> String {
     )
 }
 
+/// Registry adapter: figure 8 through the [`Experiment`](super::Experiment) trait.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let rows = run_instrumented(ctx.reg);
+        let csv = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.config.label().to_string(),
+                    r.size.to_string(),
+                    r.rd_lat_us.to_string(),
+                    r.wr_lat_us.to_string(),
+                    r.rd_gib.to_string(),
+                    r.wr_gib.to_string(),
+                ]
+            })
+            .collect();
+        super::ExperimentRows::new(
+            rows,
+            vec![super::Table {
+                name: "fig8",
+                header: &[
+                    "config",
+                    "size_b",
+                    "rd_lat_us",
+                    "wr_lat_us",
+                    "rd_gib",
+                    "wr_gib",
+                ],
+                rows: csv,
+            }],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        render(rows.downcast::<Vec<Fig8Row>>())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

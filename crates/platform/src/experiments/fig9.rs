@@ -123,6 +123,41 @@ pub fn render(rows: &[Fig9Row]) -> String {
     )
 }
 
+/// Registry adapter: figure 9 through the [`Experiment`](super::Experiment) trait.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let rows = run_instrumented(ctx.reg);
+        let csv = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.platform.name().to_string(),
+                    r.engines.to_string(),
+                    r.mtuples_per_sec.to_string(),
+                ]
+            })
+            .collect();
+        super::ExperimentRows::new(
+            rows,
+            vec![super::Table {
+                name: "fig9",
+                header: &["platform", "engines", "mtuples_per_sec"],
+                rows: csv,
+            }],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        render(rows.downcast::<Vec<Fig9Row>>())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,9 +1,16 @@
 //! One driver per table/figure of the paper's evaluation (§5).
 //!
-//! Every driver returns serde-serializable rows plus a `render()` that
-//! prints the same series the paper plots. The drivers are also what the
-//! Criterion benches in `enzian-bench` call, and `EXPERIMENTS.md` records
-//! their output against the paper's values.
+//! Every driver returns structured rows plus a `render()` that prints the
+//! same series the paper plots. The drivers are also what the Criterion
+//! benches in `enzian-bench` call, and `EXPERIMENTS.md` records their
+//! output against the paper's values.
+//!
+//! All drivers dispatch through one [`Experiment`] trait: `reproduce`,
+//! the benches, and the Makefile targets look experiments up by name in
+//! [`registry`] instead of hard-coding one entry point per figure. Each
+//! module still exposes its typed `run_instrumented()` for tests; the
+//! module's `Driver` unit struct adapts it to the trait, carrying the
+//! CSV tables and the rendered text in an [`ExperimentRows`] bundle.
 
 pub mod cc_sweep;
 pub mod cluster_scale;
@@ -19,6 +26,130 @@ pub mod modelcheck;
 pub mod pipelining;
 pub mod sched_hotpath;
 pub mod service;
+pub mod traffic;
+
+use enzian_sim::MetricsRegistry;
+
+/// Everything an experiment run may consume: the shared telemetry
+/// registry the BENCH JSON snapshots, and the worker-thread count for
+/// drivers built on the parallel cluster engine (ignored by the rest).
+pub struct ExperimentCtx<'a> {
+    /// Telemetry sink; exported as `BENCH_<name>.json` after the run.
+    pub reg: &'a mut MetricsRegistry,
+    /// Worker threads for [`Experiment::needs_threads`] drivers.
+    pub threads: usize,
+}
+
+/// One exportable CSV panel: header plus stringified rows. `name` is the
+/// CSV file stem (`<name>.csv`); most experiments emit exactly one table,
+/// fig7 and fig11 emit two.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// CSV file stem.
+    pub name: &'static str,
+    /// Column names, in order.
+    pub header: &'static [&'static str],
+    /// One stringified record per row, aligned with `header`.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// The result bundle of one [`Experiment::run`]: the driver's typed rows
+/// (behind `Any` so the trait stays object-safe) plus the CSV tables.
+/// The tables carry every exported field, so comparing two bundles'
+/// `tables` is as strong as comparing the typed rows directly — the
+/// thread-matrix determinism check relies on this.
+pub struct ExperimentRows {
+    rows: Box<dyn std::any::Any + Send>,
+    /// CSV panels, in export order.
+    pub tables: Vec<Table>,
+}
+
+impl ExperimentRows {
+    /// Bundles typed rows with their CSV tables.
+    pub fn new<R: std::any::Any + Send>(rows: R, tables: Vec<Table>) -> Self {
+        Self {
+            rows: Box::new(rows),
+            tables,
+        }
+    }
+
+    /// Recovers the typed rows; panics if `R` is not the type the
+    /// experiment's `run()` stored (a bug in the caller, not data).
+    pub fn downcast<R: std::any::Any>(&self) -> &R {
+        self.rows
+            .downcast_ref()
+            .expect("ExperimentRows downcast to a type the experiment did not produce")
+    }
+}
+
+/// One table or figure of the evaluation, dispatchable by name.
+///
+/// Implementations are unit structs (`fig3::Driver`, …) listed in
+/// [`registry`]. `run()` must keep every exported observable (rows,
+/// tables, registry metrics) independent of `ctx.threads` and of wall
+/// clock: the BENCH JSON contract is byte-identical output for every
+/// thread count, which CI enforces.
+pub trait Experiment: Sync {
+    /// Selector name (`reproduce <name>`, `BENCH_<name>.json`).
+    fn name(&self) -> &'static str;
+
+    /// True when the driver runs on the parallel cluster engine and
+    /// honours `ctx.threads`; single-threaded drivers ignore it.
+    fn needs_threads(&self) -> bool {
+        false
+    }
+
+    /// True when a single-experiment invocation should re-run at
+    /// `threads=1` and assert the tables and metrics export are
+    /// bit-identical (reporting the speedup on stderr). Off for drivers
+    /// whose BENCH JSON carries thread-dependent wall-clock gauges.
+    fn speedup_check(&self) -> bool {
+        false
+    }
+
+    /// Runs the experiment, publishing telemetry into `ctx.reg`.
+    fn run(&self, ctx: &mut ExperimentCtx<'_>) -> ExperimentRows;
+
+    /// Renders the paper's series from a bundle produced by `run`.
+    fn render(&self, rows: &ExperimentRows) -> String;
+}
+
+/// Every experiment, in the order `reproduce all` executes them.
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    static REGISTRY: [&dyn Experiment; 15] = [
+        &fig3::Driver,
+        &fig6::Driver,
+        &fig7::Driver,
+        &fig8::Driver,
+        &fig9::Driver,
+        &fig11::Driver,
+        &fig12::Driver,
+        &fault_sweep::Driver,
+        &cc_sweep::Driver,
+        &pipelining::Driver,
+        &modelcheck::Driver,
+        &cluster_scale::Driver,
+        &sched_hotpath::Driver,
+        &service::Driver,
+        &traffic::Driver,
+    ];
+    &REGISTRY
+}
+
+/// Looks an experiment up by name; the error lists every valid name.
+pub fn find(name: &str) -> Result<&'static dyn Experiment, String> {
+    registry()
+        .iter()
+        .copied()
+        .find(|e| e.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+            format!(
+                "unknown experiment {name:?}; valid experiments: {}",
+                names.join("|")
+            )
+        })
+}
 
 /// Turns a human-facing label ("Enzian (1 ECI link)") into a stable
 /// metric-name segment ("enzian_1_eci_link"): lowercase, with every run
@@ -81,5 +212,38 @@ mod tests {
         assert_eq!(metric_slug("Alveo DRAM"), "alveo_dram");
         assert_eq!(metric_slug("linux x4"), "linux_x4");
         assert_eq!(metric_slug("  odd__label  "), "odd_label");
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for e in registry() {
+            assert!(seen.insert(e.name()), "duplicate experiment {}", e.name());
+            assert_eq!(find(e.name()).unwrap().name(), e.name());
+        }
+        assert!(seen.contains("traffic"), "traffic missing from registry");
+    }
+
+    #[test]
+    fn unknown_experiment_error_lists_valid_names() {
+        let err = match find("fig99") {
+            Err(e) => e,
+            Ok(e) => panic!("fig99 resolved to {}", e.name()),
+        };
+        assert!(err.contains("fig99"), "{err}");
+        for e in registry() {
+            assert!(err.contains(e.name()), "{err} missing {}", e.name());
+        }
+    }
+
+    #[test]
+    fn speedup_checked_experiments_honour_threads() {
+        // speedup_check re-runs at threads=1 and asserts equality, which
+        // only makes sense for drivers on the parallel engine.
+        for e in registry() {
+            if e.speedup_check() {
+                assert!(e.needs_threads(), "{} checks speedup", e.name());
+            }
+        }
     }
 }

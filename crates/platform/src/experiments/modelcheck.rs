@@ -183,6 +183,54 @@ pub fn render(rows: &[ModelCheckRow]) -> String {
     )
 }
 
+/// Registry adapter: the model checker through the
+/// [`Experiment`](super::Experiment) trait.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "modelcheck"
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let rows = run_instrumented(ctx.reg);
+        let csv = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.mode.to_string(),
+                    r.states.to_string(),
+                    r.transitions.to_string(),
+                    r.frontier_peak.to_string(),
+                    r.max_depth.to_string(),
+                    r.violation.clone().unwrap_or_default(),
+                ]
+            })
+            .collect();
+        super::ExperimentRows::new(
+            rows,
+            vec![super::Table {
+                name: "modelcheck",
+                header: &[
+                    "configuration",
+                    "mode",
+                    "states",
+                    "transitions",
+                    "frontier_peak",
+                    "max_depth",
+                    "violation",
+                ],
+                rows: csv,
+            }],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        render(rows.downcast::<Vec<ModelCheckRow>>())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

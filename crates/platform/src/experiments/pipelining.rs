@@ -123,6 +123,48 @@ pub fn render(rows: &[PipeliningRow]) -> String {
     )
 }
 
+/// Registry adapter: the pipelining sweep through the
+/// [`Experiment`](super::Experiment) trait.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "pipelining"
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let rows = run_instrumented(ctx.reg);
+        let csv = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.outstanding.to_string(),
+                    r.goodput_gib.to_string(),
+                    r.mean_latency_ns.to_string(),
+                    r.max_inflight.to_string(),
+                ]
+            })
+            .collect();
+        super::ExperimentRows::new(
+            rows,
+            vec![super::Table {
+                name: "pipelining",
+                header: &[
+                    "outstanding",
+                    "goodput_gib",
+                    "mean_latency_ns",
+                    "max_inflight",
+                ],
+                rows: csv,
+            }],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        render(rows.downcast::<Vec<PipeliningRow>>())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -370,6 +370,64 @@ pub fn render(rows: &[SchedHotpathRow]) -> String {
     )
 }
 
+/// Registry adapter: the scheduler hot path through the
+/// [`Experiment`](super::Experiment) trait. No speedup check: the BENCH
+/// JSON deliberately carries wall-clock `timing.*` gauges, so a re-run
+/// is never byte-identical.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "sched_hotpath"
+    }
+
+    fn needs_threads(&self) -> bool {
+        true
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let rows = run_instrumented(ctx.threads, ctx.reg);
+        let reference = rows
+            .iter()
+            .find(|r| r.leg == "reference")
+            .expect("reference leg missing");
+        for r in &rows {
+            if r.leg != "reference" {
+                eprintln!(
+                    "sched_hotpath: {} {:.2} Mev/s vs reference {:.2} Mev/s ({:.2}x)",
+                    r.leg,
+                    r.mevents_per_sec(),
+                    reference.mevents_per_sec(),
+                    r.mevents_per_sec() / reference.mevents_per_sec()
+                );
+            }
+        }
+        let csv = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.leg.to_string(),
+                    r.events.to_string(),
+                    r.digest.to_string(),
+                    r.allocs.to_string(),
+                ]
+            })
+            .collect();
+        super::ExperimentRows::new(
+            rows,
+            vec![super::Table {
+                name: "sched_hotpath",
+                header: &["leg", "events", "digest", "allocs"],
+                rows: csv,
+            }],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        render(rows.downcast::<Vec<SchedHotpathRow>>())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

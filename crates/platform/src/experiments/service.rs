@@ -181,6 +181,85 @@ pub fn render(rows: &[ServiceRow]) -> String {
     )
 }
 
+/// Registry adapter: the replicated service through the
+/// [`Experiment`](super::Experiment) trait.
+pub struct Driver;
+
+impl super::Experiment for Driver {
+    fn name(&self) -> &'static str {
+        "service"
+    }
+
+    fn needs_threads(&self) -> bool {
+        true
+    }
+
+    fn speedup_check(&self) -> bool {
+        true
+    }
+
+    fn run(&self, ctx: &mut super::ExperimentCtx<'_>) -> super::ExperimentRows {
+        let rows = run_instrumented(ctx.threads, ctx.reg);
+        let opt_cell = |v: Option<f64>| v.map_or_else(String::new, |x| x.to_string());
+        let csv = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.to_string(),
+                    r.ok_ops.to_string(),
+                    r.failed_ops.to_string(),
+                    r.crashed_ops.to_string(),
+                    r.stale_served.to_string(),
+                    r.avail_in_pct.to_string(),
+                    r.avail_out_pct.to_string(),
+                    opt_cell(r.get_p50_us),
+                    opt_cell(r.get_p99_us),
+                    opt_cell(r.put_p99_us),
+                    r.failovers.to_string(),
+                    opt_cell(r.failover_p99_us),
+                    r.solo_commits.to_string(),
+                    r.fenced.to_string(),
+                    r.catchups_completed.to_string(),
+                    r.epochs.to_string(),
+                    r.messages.to_string(),
+                    r.digest.to_string(),
+                ]
+            })
+            .collect();
+        super::ExperimentRows::new(
+            rows,
+            vec![super::Table {
+                name: "service",
+                header: &[
+                    "scenario",
+                    "ok_ops",
+                    "failed_ops",
+                    "crashed_ops",
+                    "stale_served",
+                    "avail_in_pct",
+                    "avail_out_pct",
+                    "get_p50_us",
+                    "get_p99_us",
+                    "put_p99_us",
+                    "failovers",
+                    "failover_p99_us",
+                    "solo_commits",
+                    "fenced",
+                    "catchups_completed",
+                    "epochs",
+                    "messages",
+                    "digest",
+                ],
+                rows: csv,
+            }],
+        )
+    }
+
+    fn render(&self, rows: &super::ExperimentRows) -> String {
+        render(rows.downcast::<Vec<ServiceRow>>())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

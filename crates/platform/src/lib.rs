@@ -16,6 +16,7 @@ pub mod machine;
 pub mod presets;
 pub mod service;
 pub mod shellctl;
+pub mod traffic;
 
 pub use bdk::BdkConsole;
 pub use catapult::BumpInTheWire;
@@ -27,3 +28,4 @@ pub use machine::{EnzianMachine, MachineConfig};
 pub use presets::PlatformPreset;
 pub use service::{FaultScenario, ServiceConfig, ServiceRunReport};
 pub use shellctl::{ShellCommand, ShellController, ShellStatus};
+pub use traffic::{TrafficRunReport, TrafficStack, TrafficWorkload};
