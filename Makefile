@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos cc-sweep pipelining modelcheck par-cluster service traffic loom perf clean
+.PHONY: ci fmt fmt-check clippy build test doc bench-smoke chaos cc-sweep pipelining modelcheck tcp-explore par-cluster service traffic loom perf clean
 
-ci: fmt-check clippy build test doc bench-smoke chaos cc-sweep pipelining modelcheck par-cluster service traffic loom perf
+ci: fmt-check clippy build test doc bench-smoke chaos cc-sweep pipelining modelcheck tcp-explore par-cluster service traffic loom perf
 
 fmt:
 	$(CARGO) fmt --all
@@ -79,6 +79,18 @@ modelcheck: build
 	target/release/reproduce modelcheck --bench-dir target/modelcheck/b > /dev/null
 	cmp target/modelcheck/a/BENCH_modelcheck.json target/modelcheck/b/BENCH_modelcheck.json
 	@echo "modelcheck OK: deterministic BENCH_modelcheck.json"
+
+# TCP model check: the same exploration core aimed at the TCP
+# connection FSM (bounded clean spaces >= 10^4 states violation-free,
+# four-mutation battery caught); runs twice and fails unless the two
+# BENCH_tcp_explore.json files are byte-identical.
+tcp-explore: build
+	rm -rf target/tcp-explore
+	mkdir -p target/tcp-explore/a target/tcp-explore/b
+	target/release/reproduce tcp_explore --bench-dir target/tcp-explore/a > /dev/null
+	target/release/reproduce tcp_explore --bench-dir target/tcp-explore/b > /dev/null
+	cmp target/tcp-explore/a/BENCH_tcp_explore.json target/tcp-explore/b/BENCH_tcp_explore.json
+	@echo "tcp-explore OK: deterministic BENCH_tcp_explore.json"
 
 # Conservative-parallel cluster: runs cluster_scale twice per thread
 # count (1, 2, 8) and fails unless all six BENCH_cluster_scale.json

@@ -40,11 +40,20 @@
 //! state is canonicalized to the minimal byte encoding over all agent
 //! permutations before the visited-set lookup; with at most three
 //! agents that is at most six encodings per state.
+//!
+//! The search machinery itself — canonicalized BFS, shortest-path
+//! counterexamples, seeded random walks — is the generic
+//! [`enzian_sim::explore`] core; this module supplies the MOESI
+//! [`ProtocolModel`] instance and keeps the ECI-flavoured API
+//! ([`Explorer`], [`ViolationReport`]) on top of it, bit-identically to
+//! the pre-extraction explorer (same state counts, same
+//! counterexamples).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use enzian_cache::{check_global_invariant, local_step, probe_step, CoherenceRequest, LineState};
 use enzian_mem::{Addr, CacheLine, NodeId};
+use enzian_sim::explore::{self, Counterexample, ProtocolModel, SplitMix64, Violation};
 use enzian_sim::{Duration, LivelockError, Time};
 
 use crate::decoder::{format_trace, TraceBuffer};
@@ -227,18 +236,10 @@ impl std::fmt::Display for ViolationReport {
 }
 
 /// Deterministic exploration statistics (identical across runs for the
-/// same configuration and seed).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct ExploreStats {
-    /// Distinct canonical states visited.
-    pub states: u64,
-    /// Transitions taken (edges of the reachability graph).
-    pub transitions: u64,
-    /// High-water mark of the BFS frontier (or walk depth).
-    pub frontier_peak: u64,
-    /// Depth of the deepest state reached.
-    pub max_depth: u64,
-}
+/// same configuration and seed); the generic core's
+/// [`SearchStats`](enzian_sim::explore::SearchStats) under its
+/// pre-extraction name.
+pub use enzian_sim::explore::SearchStats as ExploreStats;
 
 /// The result of a (completed) exploration.
 #[derive(Debug, Clone)]
@@ -503,10 +504,10 @@ struct Sent {
 
 /// A successor: either a new state plus the messages the step put on
 /// the wire, or a protocol-legality error detected while stepping.
-struct Succ {
-    action: Action,
-    result: Result<(ModelState, Vec<Sent>), String>,
-}
+/// The generic core's [`explore::Succ`] instantiated with the model
+/// state paired with its sent-message log (the log feeds trace
+/// rendering and is stripped off before the state reaches the core).
+type Succ = explore::Succ<(ModelState, Vec<Sent>), Action>;
 
 impl ModelState {
     fn init(cfg: &ExploreConfig) -> Self {
@@ -1265,12 +1266,88 @@ impl ModelState {
 // The explorer
 // ---------------------------------------------------------------------
 
-/// Node of the BFS reachability graph.
-struct Node {
-    state: ModelState,
-    parent: usize,
-    action: Option<Action>,
-    depth: u64,
+/// The MOESI instance of the generic [`ProtocolModel`]: the coherence
+/// model above, exposed to the [`enzian_sim::explore`] core. The sent-
+/// message log each step produces is internal to trace rendering, so
+/// the trait's state is the bare [`ModelState`] and
+/// [`MoesiModel::render_path`] re-derives the log by replay.
+struct MoesiModel {
+    cfg: ExploreConfig,
+}
+
+impl ProtocolModel for MoesiModel {
+    type State = ModelState;
+    type Action = Action;
+    type Kind = ViolationKind;
+
+    fn initial(&self) -> ModelState {
+        ModelState::init(&self.cfg)
+    }
+
+    fn successors(&self, state: &ModelState) -> Vec<explore::Succ<ModelState, Action>> {
+        state
+            .successors(&self.cfg)
+            .into_iter()
+            .map(|s| explore::Succ {
+                action: s.action,
+                result: s.result.map(|(state, _sent)| state),
+            })
+            .collect()
+    }
+
+    fn quiescent(&self, state: &ModelState) -> bool {
+        state.quiescent()
+    }
+
+    fn canonical(&self, state: &ModelState) -> Vec<u8> {
+        state.canonical()
+    }
+
+    fn check(&self, state: &ModelState) -> Option<(ViolationKind, String)> {
+        state.check()
+    }
+
+    /// Replays `path` from the initial state and renders every message
+    /// the replay puts on the wire through the real wire encoding and
+    /// [`crate::decoder`].
+    fn render_path(&self, path: &[Action]) -> String {
+        let mut state = ModelState::init(&self.cfg);
+        let mut buf = TraceBuffer::new();
+        let mut step = 0u64;
+        for action in path {
+            let succs = state.successors(&self.cfg);
+            let Some(succ) = succs.iter().find(|s| s.action == *action) else {
+                break; // the final action errored; nothing more to replay
+            };
+            if let Ok((next, sent)) = &succ.result {
+                for s in sent {
+                    buf.capture(
+                        Time::ZERO + Duration::from_ns(step),
+                        &ModelState::wire_message(s),
+                    );
+                    step += 1;
+                }
+                state = next.clone();
+            }
+        }
+        format_trace(&buf)
+    }
+}
+
+/// Converts the generic core's counterexample into the ECI-flavoured
+/// report, folding the core's deadlock/illegal-step classes into
+/// [`ViolationKind`].
+fn into_report(cx: Counterexample<ViolationKind>) -> ViolationReport {
+    ViolationReport {
+        kind: match cx.violation {
+            Violation::Invariant(kind) => kind,
+            Violation::Deadlock => ViolationKind::Deadlock,
+            Violation::IllegalStep => ViolationKind::Protocol,
+        },
+        description: cx.description,
+        actions: cx.actions,
+        trace: cx.trace,
+    }
 }
 
 /// The state-space explorer. See the module docs for the model and the
@@ -1315,91 +1392,12 @@ impl Explorer {
     /// Returns [`ExploreError::StateLimit`] if the state budget runs
     /// out before the frontier drains.
     pub fn run_exhaustive(&self) -> Result<ExploreOutcome, ExploreError> {
-        let cfg = &self.cfg;
-        let init = ModelState::init(cfg);
-        let mut nodes: Vec<Node> = vec![Node {
-            state: init.clone(),
-            parent: 0,
-            action: None,
-            depth: 0,
-        }];
-        let mut visited: HashMap<Vec<u8>, usize> = HashMap::new();
-        visited.insert(init.canonical(), 0);
-        let mut frontier: VecDeque<usize> = VecDeque::from([0]);
-        let mut stats = ExploreStats {
-            states: 1,
-            frontier_peak: 1,
-            ..ExploreStats::default()
-        };
-
-        if let Some((kind, description)) = init.check() {
-            return Ok(ExploreOutcome {
-                stats,
-                violation: Some(self.report(&nodes, 0, kind, description)),
-            });
-        }
-
-        while let Some(idx) = frontier.pop_front() {
-            let succs = nodes[idx].state.successors(cfg);
-            if succs.is_empty() && !nodes[idx].state.quiescent() {
-                return Ok(ExploreOutcome {
-                    stats,
-                    violation: Some(self.report(
-                        &nodes,
-                        idx,
-                        ViolationKind::Deadlock,
-                        "no transition is enabled but the system is not quiescent".into(),
-                    )),
-                });
-            }
-            let depth = nodes[idx].depth;
-            for succ in succs {
-                stats.transitions += 1;
-                match succ.result {
-                    Err(e) => {
-                        // Render the path up to the offending action.
-                        let mut report = self.report(&nodes, idx, ViolationKind::Protocol, e);
-                        report.actions.push(succ.action.to_string());
-                        return Ok(ExploreOutcome {
-                            stats,
-                            violation: Some(report),
-                        });
-                    }
-                    Ok((state, _)) => {
-                        let key = state.canonical();
-                        if visited.contains_key(&key) {
-                            continue;
-                        }
-                        let node_idx = nodes.len();
-                        visited.insert(key, node_idx);
-                        nodes.push(Node {
-                            state,
-                            parent: idx,
-                            action: Some(succ.action),
-                            depth: depth + 1,
-                        });
-                        stats.states += 1;
-                        stats.max_depth = stats.max_depth.max(depth + 1);
-                        if stats.states > cfg.max_states {
-                            return Err(ExploreError::StateLimit {
-                                limit: cfg.max_states,
-                            });
-                        }
-                        if let Some((kind, description)) = nodes[node_idx].state.check() {
-                            return Ok(ExploreOutcome {
-                                stats,
-                                violation: Some(self.report(&nodes, node_idx, kind, description)),
-                            });
-                        }
-                        frontier.push_back(node_idx);
-                        stats.frontier_peak = stats.frontier_peak.max(frontier.len() as u64);
-                    }
-                }
-            }
-        }
+        let model = MoesiModel { cfg: self.cfg };
+        let out = explore::explore(&model, self.cfg.max_states)
+            .map_err(|e| ExploreError::StateLimit { limit: e.limit })?;
         Ok(ExploreOutcome {
-            stats,
-            violation: None,
+            stats: out.stats,
+            violation: out.violation.map(into_report),
         })
     }
 
@@ -1409,60 +1407,12 @@ impl Explorer {
     /// seed and configuration. Useful for configurations whose full
     /// state space is out of reach.
     pub fn random_walk(&self, seed: u64, max_steps: u64) -> ExploreOutcome {
-        let cfg = &self.cfg;
-        let mut rng = SplitMix64::new(seed);
-        let mut state = ModelState::init(cfg);
-        let mut path: Vec<Action> = Vec::new();
-        let mut stats = ExploreStats {
-            states: 1,
-            ..ExploreStats::default()
-        };
-        for step in 0..max_steps {
-            if let Some((kind, description)) = state.check() {
-                return ExploreOutcome {
-                    stats,
-                    violation: Some(self.report_path(&path, kind, description)),
-                };
-            }
-            let succs = state.successors(cfg);
-            if succs.is_empty() {
-                if state.quiescent() {
-                    break;
-                }
-                return ExploreOutcome {
-                    stats,
-                    violation: Some(self.report_path(
-                        &path,
-                        ViolationKind::Deadlock,
-                        "no transition is enabled but the system is not quiescent".into(),
-                    )),
-                };
-            }
-            let pick = (rng.next() % succs.len() as u64) as usize;
-            let succ = &succs[pick];
-            match &succ.result {
-                Err(e) => {
-                    let mut report = self.report_path(&path, ViolationKind::Protocol, e.clone());
-                    report.actions.push(succ.action.to_string());
-                    return ExploreOutcome {
-                        stats,
-                        violation: Some(report),
-                    };
-                }
-                Ok((next, _)) => {
-                    path.push(succ.action);
-                    state = next.clone();
-                    stats.states += 1;
-                    stats.transitions += 1;
-                    stats.max_depth = step + 1;
-                    stats.frontier_peak = 1;
-                }
-            }
+        let model = MoesiModel { cfg: self.cfg };
+        let out = explore::random_walk(&model, seed, max_steps);
+        ExploreOutcome {
+            stats: out.stats,
+            violation: out.violation.map(into_report),
         }
-        let violation = state
-            .check()
-            .map(|(kind, description)| self.report_path(&path, kind, description));
-        ExploreOutcome { stats, violation }
     }
 
     /// Conformance walk against the real transaction engine: drives an
@@ -1515,76 +1465,6 @@ impl Explorer {
             frontier_peak: 0,
             max_depth: 0,
         })
-    }
-
-    /// Builds a report for the path ending at `idx`.
-    fn report(
-        &self,
-        nodes: &[Node],
-        idx: usize,
-        kind: ViolationKind,
-        description: String,
-    ) -> ViolationReport {
-        let mut actions = Vec::new();
-        let mut cur = idx;
-        while let Some(a) = nodes[cur].action {
-            actions.push(a);
-            cur = nodes[cur].parent;
-        }
-        actions.reverse();
-        self.report_path(&actions, kind, description)
-    }
-
-    /// Builds a report by replaying `path` from the initial state and
-    /// capturing every message the replay puts on the wire.
-    fn report_path(
-        &self,
-        path: &[Action],
-        kind: ViolationKind,
-        description: String,
-    ) -> ViolationReport {
-        let mut state = ModelState::init(&self.cfg);
-        let mut buf = TraceBuffer::new();
-        let mut step = 0u64;
-        for action in path {
-            let succs = state.successors(&self.cfg);
-            let Some(succ) = succs.iter().find(|s| s.action == *action) else {
-                break; // the final action errored; nothing more to replay
-            };
-            if let Ok((next, sent)) = &succ.result {
-                for s in sent {
-                    buf.capture(
-                        Time::ZERO + Duration::from_ns(step),
-                        &ModelState::wire_message(s),
-                    );
-                    step += 1;
-                }
-                state = next.clone();
-            }
-        }
-        ViolationReport {
-            kind,
-            description,
-            actions: path.iter().map(Action::to_string).collect(),
-            trace: format_trace(&buf),
-        }
-    }
-}
-
-/// SplitMix64: tiny, seedable, and good enough to scatter a walk.
-struct SplitMix64(u64);
-
-impl SplitMix64 {
-    fn new(seed: u64) -> Self {
-        SplitMix64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
     }
 }
 

@@ -30,6 +30,8 @@ pub enum ConnState {
     FinWait1,
     /// Our FIN is acked, awaiting the peer's FIN.
     FinWait2,
+    /// Simultaneous close: both FINs crossed; ours is still unacked.
+    Closing,
     /// Peer sent FIN first; we acked and owe our own FIN.
     CloseWait,
     /// Sent our FIN from CloseWait, awaiting its ACK.
@@ -92,6 +94,16 @@ impl Connection {
         }
     }
 
+    /// Rehydrates a connection at `state` with a zeroed transition
+    /// counter. The model checker stores bare [`ConnState`]s and uses
+    /// this to drive each step through the real transition relation.
+    pub fn at(state: ConnState) -> Self {
+        Connection {
+            state,
+            transitions: 0,
+        }
+    }
+
     /// Current state.
     pub fn state(&self) -> ConnState {
         self.state
@@ -119,12 +131,22 @@ impl Connection {
             (Listen, SynRcvd) => SynReceived,
             (SynSent, SynAckRcvd) => Established,
             (SynReceived, AckRcvd) => Established,
+            // A FIN in SynReceived is legal (RFC 793 p. 23): the peer
+            // established and closed before our handshake ACK arrived.
+            (SynReceived, FinRcvd) => CloseWait,
             (Established, Close) => FinWait1,
             (Established, FinRcvd) => CloseWait,
             (FinWait1, AckRcvd) => FinWait2,
+            // Simultaneous close: our FIN is in flight and the peer's
+            // arrives first.
+            (FinWait1, FinRcvd) => Closing,
+            (Closing, AckRcvd) => TimeWait,
             (FinWait2, FinRcvd) => TimeWait,
             (CloseWait, Close) => LastAck,
             (LastAck, AckRcvd) => Closed,
+            // The 2·MSL linger exists exactly for this: a retransmitted
+            // FIN (its ACK was lost) is re-acknowledged, not reset.
+            (TimeWait, FinRcvd) => TimeWait,
             (TimeWait, TimeWaitExpired) => Closed,
             (state, event) => return Err(ConnError { state, event }),
         };
@@ -192,6 +214,34 @@ mod tests {
 
         c.on(ActiveOpen).unwrap();
         assert!(c.on(FinRcvd).is_err(), "no FIN before establishment");
+    }
+
+    #[test]
+    fn simultaneous_close_crosses_through_closing() {
+        // Both ends close at once; each sees the peer's FIN before the
+        // ACK of its own.
+        let run = |first_fin: ConnEvent, then: ConnEvent| {
+            let mut c = Connection::at(FinWait1);
+            c.on(first_fin).unwrap();
+            c.on(then)
+        };
+        assert_eq!(run(FinRcvd, AckRcvd), Ok(TimeWait));
+        // The orderly order still works too.
+        assert_eq!(run(AckRcvd, FinRcvd), Ok(TimeWait));
+    }
+
+    #[test]
+    fn time_wait_absorbs_a_retransmitted_fin() {
+        let mut c = Connection::at(TimeWait);
+        assert_eq!(c.on(FinRcvd), Ok(TimeWait));
+        assert_eq!(c.on(FinRcvd), Ok(TimeWait));
+        assert_eq!(c.on(TimeWaitExpired), Ok(Closed));
+    }
+
+    #[test]
+    fn fin_during_syn_received_skips_to_close_wait() {
+        let mut c = Connection::at(SynReceived);
+        assert_eq!(c.on(FinRcvd), Ok(CloseWait));
     }
 
     #[test]

@@ -30,6 +30,15 @@ impl SendWindow {
         self.rwnd
     }
 
+    /// Applies a new window advertisement from the receiver. A shrink to
+    /// zero closes the window entirely (the sender stalls on flow
+    /// control until a reopening advertisement arrives); TCP permits
+    /// this when the receive buffer fills faster than the application
+    /// drains it.
+    pub fn set_rwnd(&mut self, rwnd: u64) {
+        self.rwnd = rwnd;
+    }
+
     /// The effective send window: the tighter of flow control's receive
     /// window and congestion control's `cwnd`.
     pub fn effective(&self, cwnd: u64) -> u64 {
@@ -98,6 +107,18 @@ mod tests {
         assert!(!w.is_open(10_240, 10_240));
         assert!(w.rwnd_is_binding(u64::MAX));
         assert!(!w.rwnd_is_binding(4096));
+    }
+
+    #[test]
+    fn shrink_to_zero_closes_and_reopen_restores() {
+        let mut w = SendWindow::new(64 * 1024);
+        assert!(w.is_open(0, u64::MAX));
+        w.set_rwnd(0);
+        assert_eq!(w.rwnd(), 0);
+        assert!(!w.is_open(0, u64::MAX), "zero window admits nothing");
+        assert!(w.rwnd_is_binding(1), "a zero window is always binding");
+        w.set_rwnd(64 * 1024);
+        assert!(w.is_open(0, u64::MAX), "reopen restores the bound");
     }
 
     #[test]

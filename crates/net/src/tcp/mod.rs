@@ -40,12 +40,14 @@
 pub mod congestion;
 pub mod conn;
 pub mod flow;
+pub mod model;
 pub mod mux;
 pub mod reliability;
 
 pub use congestion::{CcAlgorithm, CongestionController, CubicShaped, FixedWindow, Reno};
 pub use conn::{ConnError, ConnEvent, ConnState, Connection};
 pub use flow::{AckLedger, SendWindow};
+pub use model::{TcpModel, TcpModelConfig, TcpMutation, TcpViolationKind, ALL_TCP_MUTATIONS};
 pub use mux::{MuxStats, SessionMux, WireSegment};
 pub use reliability::{checksum_verifies, internet_checksum, segment_len, GoBackN, Reassembler};
 
@@ -273,6 +275,24 @@ pub struct SessionOutcome {
 /// Fault-plan target for dropping a TCP data segment in flight.
 pub const SEGMENT_LOSS_TARGET: &str = "net.tcp.segment_loss";
 
+/// Fault-plan target for dropping the cumulative acknowledgement a data
+/// segment elicits (the segment itself delivers). Recovery is usually a
+/// *later* cumulative ack covering the same bytes — no retransmission at
+/// all — and only an RTO rewind when no further ack traffic exists.
+pub const ACK_LOSS_TARGET: &str = "net.tcp.ack_loss";
+
+/// Fault-plan target for corrupting a data segment in flight: the copy
+/// arrives, fails checksum verification in the reliability module, and
+/// is silently discarded (`reliability.checksum_rejects`); the sender's
+/// RTO retransmits it.
+pub const SEGMENT_CORRUPT_TARGET: &str = "net.tcp.segment_corrupt";
+
+/// Fault-plan target for a receive-window collapse: the ack it fires on
+/// advertises a zero window (buffer momentarily full). The sender stalls
+/// on flow control (`flow_ctl.rwnd_stalls`) until the receiver drains
+/// one MSS and sends a reopening window update.
+pub const RWND_SHRINK_TARGET: &str = "net.tcp.rwnd_shrink";
+
 /// Loss injection for the engine, built on the shared deterministic
 /// fault model ([`FaultPlan`]).
 ///
@@ -323,9 +343,18 @@ impl LossPattern {
         LossPattern { plan }
     }
 
-    /// `true` when the pattern can never drop anything.
+    /// `true` when the pattern can never perturb a transfer: none of the
+    /// per-module fault targets (segment loss, ack loss, corruption,
+    /// window shrink) is addressed by the plan.
     pub fn is_lossless(&self) -> bool {
-        !self.plan.targets(SEGMENT_LOSS_TARGET)
+        ![
+            SEGMENT_LOSS_TARGET,
+            ACK_LOSS_TARGET,
+            SEGMENT_CORRUPT_TARGET,
+            RWND_SHRINK_TARGET,
+        ]
+        .iter()
+        .any(|t| self.plan.targets(t))
     }
 
     /// The underlying plan, with its injected/recovered ledger.
@@ -337,8 +366,20 @@ impl LossPattern {
         self.plan.should_fire(SEGMENT_LOSS_TARGET, now)
     }
 
-    fn note_recovered(&mut self, now: Time, latency: Duration) {
-        self.plan.note_recovery(SEGMENT_LOSS_TARGET, now, latency);
+    fn should_corrupt(&mut self, now: Time) -> bool {
+        self.plan.should_fire(SEGMENT_CORRUPT_TARGET, now)
+    }
+
+    fn should_drop_ack(&mut self, now: Time) -> bool {
+        self.plan.should_fire(ACK_LOSS_TARGET, now)
+    }
+
+    fn should_shrink_rwnd(&mut self, now: Time) -> bool {
+        self.plan.should_fire(RWND_SHRINK_TARGET, now)
+    }
+
+    fn note_recovered_on(&mut self, target: &str, now: Time, latency: Duration) {
+        self.plan.note_recovery(target, now, latency);
     }
 }
 
@@ -394,6 +435,13 @@ pub struct ModuleTelemetry {
     pub cwnd_stalls: u64,
     /// Sends blocked with the receive window as the binding constraint.
     pub rwnd_stalls: u64,
+    /// Zero-window advertisements applied by the flow-control module
+    /// (each later drains and reopens via a window update).
+    pub rwnd_shrinks: u64,
+    /// Segments the reliability module discarded because checksum
+    /// verification failed (injected corruption); each is recovered by
+    /// exactly one RTO retransmission in the same ledger.
+    pub checksum_rejects: u64,
     /// Three-way handshakes completed by the connection module.
     pub handshakes: u64,
     /// Orderly teardowns completed by the connection module.
@@ -410,6 +458,8 @@ impl Default for ModuleTelemetry {
             cwnd_bytes: Summary::new(),
             cwnd_stalls: 0,
             rwnd_stalls: 0,
+            rwnd_shrinks: 0,
+            checksum_rejects: 0,
             handshakes: 0,
             teardowns: 0,
             control_segments: 0,
@@ -521,7 +571,12 @@ impl enzian_sim::Instrumented for TcpTelemetry {
         registry.merge_summary(&format!("{prefix}.congestion.cwnd_bytes"), &m.cwnd_bytes);
         registry.counter_set(&format!("{prefix}.congestion.cwnd_stalls"), m.cwnd_stalls);
         registry.counter_set(&format!("{prefix}.flow_ctl.rwnd_stalls"), m.rwnd_stalls);
+        registry.counter_set(&format!("{prefix}.flow_ctl.rwnd_shrinks"), m.rwnd_shrinks);
         registry.counter_set(&format!("{prefix}.reliability.rto_fires"), self.rto_fires());
+        registry.counter_set(
+            &format!("{prefix}.reliability.checksum_rejects"),
+            m.checksum_rejects,
+        );
         registry.counter_set(&format!("{prefix}.conn.handshakes"), m.handshakes);
         registry.counter_set(&format!("{prefix}.conn.teardowns"), m.teardowns);
         registry.counter_set(
@@ -593,9 +648,17 @@ impl TcpEngine {
         let mut last_delivery = start;
         let mut segments = 0u64;
         // Module instances for this transfer.
-        let swnd = SendWindow::new(self.tx.window);
+        let mut swnd = SendWindow::new(self.tx.window);
         let mut acks = AckLedger::new();
         let mut gbn = GoBackN::new();
+        // Window advertisement riding on each in-flight ack (same wire
+        // order as `acks`); normally the full receive window, zero when
+        // the rwnd-shrink fault fires.
+        let mut advs: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        // Which fault target scheduled the rewind for an offset, so the
+        // recovery is noted on the ledger that injected it.
+        let mut rewind_causes: std::collections::HashMap<u64, &'static str> =
+            std::collections::HashMap::new();
 
         while acked < len {
             let wnd = swnd.effective(self.cc.cwnd());
@@ -607,7 +670,8 @@ impl TcpEngine {
                     gbn.fire();
                     sent = seq.min(sent);
                     tx_free = tx_free.max(at);
-                    self.loss.note_recovered(at, self.tx.rto);
+                    let cause = rewind_causes.remove(&seq).unwrap_or(SEGMENT_LOSS_TARGET);
+                    self.loss.note_recovered_on(cause, at, self.tx.rto);
                     continue;
                 }
             }
@@ -623,17 +687,39 @@ impl TcpEngine {
                 tx_free = tx_done;
                 sent = seq + seg_len as u64;
 
-                let drop = gbn.first_transmission(seq) && self.loss.should_drop(tx_done);
+                // Fault opportunities are offered on first transmissions
+                // only, so every pattern terminates: a retransmitted
+                // copy (and the ack it elicits) always goes through.
+                let first = gbn.first_transmission(seq);
+                let drop = first && self.loss.should_drop(tx_done);
                 if drop {
                     // The receiver never sees this one; arrange an RTO
                     // rewind to it if none is already pending earlier.
                     gbn.schedule_rewind(tx_done + self.tx.rto, seq);
+                    rewind_causes.insert(seq, SEGMENT_LOSS_TARGET);
                     continue;
                 }
 
                 let arrived = link.send_a_to_b(tx_done, seg_len as u64) + hop;
                 let rx_done = arrived.max(rx_free) + self.rx.segment_cost(seg_len);
                 rx_free = rx_done;
+
+                if first && self.loss.should_corrupt(tx_done) {
+                    // The copy arrived damaged: the reliability module's
+                    // checksum check rejects it and the receiver stays
+                    // silent, exactly as for a lost segment — the
+                    // sender's RTO recovers it through the same ledger.
+                    let mut damaged = payload.to_vec();
+                    damaged[0] ^= 0x5A;
+                    assert!(
+                        !checksum_verifies(&damaged, checksum),
+                        "corruption must not survive verification"
+                    );
+                    self.telemetry.module.checksum_rejects += 1;
+                    gbn.schedule_rewind(tx_done + self.tx.rto, seq);
+                    rewind_causes.insert(seq, SEGMENT_CORRUPT_TARGET);
+                    continue;
+                }
 
                 assert!(
                     checksum_verifies(payload, checksum),
@@ -645,10 +731,25 @@ impl TcpEngine {
                 // Either way a cumulative ack for the in-order edge
                 // rides back.
                 let ack_arrival = link.send_b_to_a(rx_done, CONTROL_SEGMENT_BYTES) + hop;
+                if first && self.loss.should_drop_ack(ack_arrival) {
+                    // The data delivered but its ack is gone. Arm the
+                    // RTO; if a later cumulative ack covers this offset
+                    // first, the timer is cancelled and nothing is
+                    // retransmitted (the single ledger never moves).
+                    gbn.schedule_rewind(ack_arrival + self.tx.rto, seq);
+                    rewind_causes.insert(seq, ACK_LOSS_TARGET);
+                    continue;
+                }
+                let adv = if first && self.loss.should_shrink_rwnd(ack_arrival) {
+                    0
+                } else {
+                    self.tx.window
+                };
                 self.telemetry
                     .rtt_flow(0)
                     .record_micros(ack_arrival.since(tx_done));
                 acks.push(ack_arrival, reassembler.rcv_next());
+                advs.push_back(adv);
             } else {
                 // Window closed or data exhausted: consume the next ack.
                 match acks.pop() {
@@ -671,6 +772,33 @@ impl TcpEngine {
                         if acked > sent {
                             sent = acked;
                         }
+                        // A cumulative ack covering a pending rewind
+                        // voids the timer: the bytes are delivered, no
+                        // retransmission is needed (this is how a lost
+                        // ack recovers without the ledger ever moving).
+                        if let Some((_, seq)) = gbn.cancel_covered(acked) {
+                            let cause = rewind_causes.remove(&seq).unwrap_or(SEGMENT_LOSS_TARGET);
+                            self.loss.note_recovered_on(cause, at, self.tx.rto);
+                        }
+                        // Apply this ack's window advertisement.
+                        let adv = advs.pop_front().expect("one advertisement per ack");
+                        if adv != swnd.rwnd() {
+                            if adv == 0 {
+                                // Zero window: the receiver's buffer is
+                                // full. It drains one MSS, then a window
+                                // update reopens the flow.
+                                self.telemetry.module.rwnd_shrinks += 1;
+                                let drain = self.rx.segment_cost(self.rx.mss);
+                                acks.push(at + drain, upto);
+                                advs.push_back(self.tx.window);
+                            } else {
+                                // Reopening update: flow control
+                                // unblocks and queued sends drain.
+                                let drain = self.rx.segment_cost(self.rx.mss);
+                                self.loss.note_recovered_on(RWND_SHRINK_TARGET, at, drain);
+                            }
+                            swnd.set_rwnd(adv);
+                        }
                     }
                     None => {
                         let (at, seq) = gbn.pending().expect("deadlock: no acks, no retry");
@@ -678,7 +806,8 @@ impl TcpEngine {
                         gbn.fire();
                         sent = seq.min(sent);
                         tx_free = tx_free.max(at);
-                        self.loss.note_recovered(at, self.tx.rto);
+                        let cause = rewind_causes.remove(&seq).unwrap_or(SEGMENT_LOSS_TARGET);
+                        self.loss.note_recovered_on(cause, at, self.tx.rto);
                     }
                 }
             }
@@ -719,27 +848,46 @@ impl TcpEngine {
         start: Time,
         data: &[u8],
     ) -> (Vec<u8>, SessionOutcome) {
+        let (delivered, outcome, _) = self.session_traced(link, start, data);
+        (delivered, outcome)
+    }
+
+    /// [`session`](Self::session), additionally returning the exact
+    /// [`ConnState`] sequence each endpoint's FSM walked (active opener
+    /// first), starting from `Closed`. The model checker's
+    /// [`TcpModel::orderly_trace`] replays its canonical fault-free
+    /// schedule through the same transition relation; the conformance
+    /// test in `tests/tcp_explore.rs` pins the two walks equal.
+    pub fn session_traced(
+        &mut self,
+        link: &mut EthLink,
+        start: Time,
+        data: &[u8],
+    ) -> (Vec<u8>, SessionOutcome, (Vec<ConnState>, Vec<ConnState>)) {
         let hop = self.switch.forwarding_latency();
         let ctl_tx = self.tx.segment_cost(0);
         let ctl_rx = self.rx.segment_cost(0);
         let mut a = Connection::new();
         let mut b = Connection::new();
-        let step = |c: &mut Connection, ev| {
-            c.on(ev).expect("legal connection transition");
-        };
+        let mut trace_a = vec![a.state()];
+        let mut trace_b = vec![b.state()];
+        fn step(c: &mut Connection, trace: &mut Vec<ConnState>, ev: ConnEvent) {
+            let next = c.on(ev).expect("legal connection transition");
+            trace.push(next);
+        }
 
         // --- Three-way handshake -------------------------------------
-        step(&mut a, ConnEvent::ActiveOpen);
-        step(&mut b, ConnEvent::PassiveOpen);
+        step(&mut a, &mut trace_a, ConnEvent::ActiveOpen);
+        step(&mut b, &mut trace_b, ConnEvent::PassiveOpen);
         let syn_sent = start + self.tx.per_transfer + ctl_tx;
         let syn_rcvd = link.send_a_to_b(syn_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_rx;
-        step(&mut b, ConnEvent::SynRcvd);
+        step(&mut b, &mut trace_b, ConnEvent::SynRcvd);
         let synack_sent = syn_rcvd + ctl_rx;
         let synack_rcvd = link.send_b_to_a(synack_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_tx;
-        step(&mut a, ConnEvent::SynAckRcvd);
+        step(&mut a, &mut trace_a, ConnEvent::SynAckRcvd);
         let ack_sent = synack_rcvd + ctl_tx;
         let established = link.send_a_to_b(ack_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_rx;
-        step(&mut b, ConnEvent::AckRcvd);
+        step(&mut b, &mut trace_b, ConnEvent::AckRcvd);
         assert!(a.is_established() && b.is_established());
         self.telemetry.module.handshakes += 1;
         self.telemetry.module.control_segments += 3;
@@ -748,23 +896,23 @@ impl TcpEngine {
         let (delivered, transfer) = self.transfer(link, established, data);
 
         // --- Orderly teardown (a closes first) -----------------------
-        step(&mut a, ConnEvent::Close);
+        step(&mut a, &mut trace_a, ConnEvent::Close);
         let fin_sent = transfer.delivered.max(established) + ctl_tx;
         let fin_rcvd = link.send_a_to_b(fin_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_rx;
-        step(&mut b, ConnEvent::FinRcvd);
+        step(&mut b, &mut trace_b, ConnEvent::FinRcvd);
         let finack_sent = fin_rcvd + ctl_rx;
         let finack_rcvd = link.send_b_to_a(finack_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_tx;
-        step(&mut a, ConnEvent::AckRcvd);
-        step(&mut b, ConnEvent::Close);
+        step(&mut a, &mut trace_a, ConnEvent::AckRcvd);
+        step(&mut b, &mut trace_b, ConnEvent::Close);
         let fin2_sent = finack_rcvd.max(fin_rcvd + ctl_rx) + ctl_rx;
         let fin2_rcvd = link.send_b_to_a(fin2_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_tx;
-        step(&mut a, ConnEvent::FinRcvd);
+        step(&mut a, &mut trace_a, ConnEvent::FinRcvd);
         let lastack_sent = fin2_rcvd + ctl_tx;
         let lastack_rcvd = link.send_a_to_b(lastack_sent, CONTROL_SEGMENT_BYTES) + hop + ctl_rx;
-        step(&mut b, ConnEvent::AckRcvd);
+        step(&mut b, &mut trace_b, ConnEvent::AckRcvd);
         assert_eq!(b.state(), ConnState::Closed);
         let closed = lastack_rcvd + self.tx.rto * 2;
-        step(&mut a, ConnEvent::TimeWaitExpired);
+        step(&mut a, &mut trace_a, ConnEvent::TimeWaitExpired);
         assert_eq!(a.state(), ConnState::Closed);
         self.telemetry.module.teardowns += 1;
         self.telemetry.module.control_segments += 4;
@@ -777,6 +925,7 @@ impl TcpEngine {
                 closed,
                 control_segments: 7,
             },
+            (trace_a, trace_b),
         )
     }
 
@@ -1245,9 +1394,111 @@ mod tests {
 
     #[test]
     fn lossless_patterns_allow_interleaved_transfers() {
+        use enzian_sim::{FaultPlan, FaultSpec};
         assert!(LossPattern::none().is_lossless());
         assert!(LossPattern::drop_every(0).is_lossless());
         assert!(!LossPattern::drop_every(5).is_lossless());
+        // Every per-module fault target disqualifies a plan.
+        for target in [ACK_LOSS_TARGET, SEGMENT_CORRUPT_TARGET, RWND_SHRINK_TARGET] {
+            let plan = FaultPlan::new(0).with(FaultSpec::every_nth(target, 2));
+            assert!(
+                !LossPattern::from_plan(plan).is_lossless(),
+                "{target} must count as lossy"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_segment_is_checksum_rejected_then_recovered_exactly_once() {
+        use enzian_sim::{FaultPlan, FaultSpec};
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        let data = payload(64 * 1024);
+        let plan = FaultPlan::new(0).with(FaultSpec::once(SEGMENT_CORRUPT_TARGET, Time::ZERO));
+        let mut engine = fpga_engine().with_loss(LossPattern::from_plan(plan));
+        let (out, r) = engine.transfer(&mut link, Time::ZERO, &data);
+        assert_eq!(out, data, "corruption recovery must deliver the stream");
+        // The reliability module saw the damage, rejected the copy, and
+        // recovered it through exactly one rewind of the single ledger.
+        assert_eq!(engine.telemetry().module().checksum_rejects, 1);
+        assert_eq!(r.retransmissions, 1);
+        assert_eq!(engine.telemetry().rto_fires(), 1);
+        let ledger = engine.loss.plan();
+        assert_eq!(ledger.injected(SEGMENT_CORRUPT_TARGET), 1);
+        assert_eq!(ledger.recovered(SEGMENT_CORRUPT_TARGET), 1);
+        assert_eq!(ledger.injected(SEGMENT_LOSS_TARGET), 0);
+    }
+
+    #[test]
+    fn ack_only_loss_is_covered_by_a_later_ack_without_retransmission() {
+        use enzian_sim::{FaultPlan, FaultSpec};
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        // Many segments follow the one whose ack is dropped, so a later
+        // cumulative ack covers the armed timer before it can fire.
+        let data = payload(256 * 1024);
+        let plan = FaultPlan::new(0).with(FaultSpec::once(ACK_LOSS_TARGET, Time::ZERO));
+        let mut engine = fpga_engine().with_loss(LossPattern::from_plan(plan));
+        let (out, r) = engine.transfer(&mut link, Time::ZERO, &data);
+        assert_eq!(out, data);
+        // No data was retransmitted: cumulative acknowledgement did the
+        // recovery, and the single ledger never moved.
+        assert_eq!(r.retransmissions, 0, "ack loss must not retransmit data");
+        assert_eq!(engine.telemetry().rto_fires(), 0);
+        let ledger = engine.loss.plan();
+        assert_eq!(ledger.injected(ACK_LOSS_TARGET), 1);
+        assert_eq!(ledger.recovered(ACK_LOSS_TARGET), 1);
+    }
+
+    #[test]
+    fn losing_the_only_ack_falls_back_to_one_accounted_rto() {
+        use enzian_sim::{FaultPlan, FaultSpec};
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        // A single-segment transfer: no later ack can cover, so the RTO
+        // fires once and the retransmitted copy's ack completes it.
+        let data = payload(1024);
+        let plan = FaultPlan::new(0).with(FaultSpec::once(ACK_LOSS_TARGET, Time::ZERO));
+        let mut engine = fpga_engine().with_loss(LossPattern::from_plan(plan));
+        let (out, r) = engine.transfer(&mut link, Time::ZERO, &data);
+        assert_eq!(out, data);
+        // The retransmission exists and is fully accounted: outcome,
+        // flow stats, rto_fires, and the plan's recovery all agree.
+        assert_eq!(r.retransmissions, 1);
+        assert_eq!(engine.telemetry().rto_fires(), 1);
+        assert_eq!(engine.telemetry().retransmissions(), 1);
+        assert_eq!(engine.loss.plan().recovered(ACK_LOSS_TARGET), 1);
+    }
+
+    #[test]
+    fn rwnd_shrink_stalls_flow_control_and_drains_on_reopen() {
+        use enzian_sim::{FaultPlan, FaultSpec};
+        let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+        // A small window forces ack-paced sending, so the zero-window
+        // advertisement lands while data is still queued.
+        let data = payload(128 * 1024);
+        let cfg = TcpStackConfig::fpga_coyote().with_window(8 * 1024);
+        let plan = FaultPlan::new(0).with(FaultSpec::once(RWND_SHRINK_TARGET, Time::ZERO));
+        let mut engine =
+            TcpEngine::new(cfg, cfg, Switch::tor()).with_loss(LossPattern::from_plan(plan));
+        let (out, r) = engine.transfer(&mut link, Time::ZERO, &data);
+        assert_eq!(out, data, "the stream drains intact after reopening");
+        let m = engine.telemetry().module();
+        assert_eq!(m.rwnd_shrinks, 1, "exactly one zero-window event");
+        assert!(
+            m.rwnd_stalls > 0,
+            "the stall must be attributed to flow control"
+        );
+        assert_eq!(m.cwnd_stalls, 0, "fixed-window cc is never the culprit");
+        // The stall is pure flow control: nothing is lost, nothing is
+        // retransmitted, and the fault ledger shows a full recovery.
+        assert_eq!(r.retransmissions, 0);
+        let ledger = engine.loss.plan();
+        assert_eq!(ledger.injected(RWND_SHRINK_TARGET), 1);
+        assert_eq!(ledger.recovered(RWND_SHRINK_TARGET), 1);
+
+        // And a clean run under the same window never shrinks.
+        let mut link2 = EthLink::new(EthLinkConfig::hundred_gig());
+        let mut clean = TcpEngine::new(cfg, cfg, Switch::tor());
+        let _ = clean.transfer(&mut link2, Time::ZERO, &data);
+        assert_eq!(clean.telemetry().module().rwnd_shrinks, 0);
     }
 
     #[test]

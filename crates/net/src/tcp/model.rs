@@ -1,0 +1,1365 @@
+//! Bounded model checking of the TCP connection FSM.
+//!
+//! The MOESI coherence protocol gets an exhaustive explorer in
+//! `enzian-eci`; this module gives the TCP handshake/teardown state
+//! machine the same treatment through the generic
+//! [`enzian_sim::explore`] core. Golden traces exercise one schedule;
+//! the races that bend connection state machines — a handshake ACK
+//! lost under a crossing FIN, simultaneous close, a retransmitted FIN
+//! arriving after TimeWait — need every interleaving of a bounded
+//! configuration.
+//!
+//! The model is two asymmetric endpoints: `a` opens actively and `b`
+//! listens. Each endpoint's connection state is a bare
+//! [`ConnState`], and **every** state change goes through the real
+//! transition relation ([`Connection::on`]) — the model adds only the
+//! segment-to-event policy (which [`ConnEvent`] a segment triggers in
+//! which state), so an FSM bug in `conn.rs` is visible to the checker,
+//! not masked by a re-implementation. The two directional channels are
+//! sorted bags: delivery may pick any in-flight segment, so reordering
+//! is inherent; explicit budgeted actions add loss and duplication;
+//! per-segment-kind retransmission budgets keep the space finite while
+//! modelling an eventually-fair channel (every loss is healable, and a
+//! peer that *stops* acknowledging converts the retransmission budget
+//! into a detectable deadlock instead of an infinite retry cycle).
+//!
+//! Checked on every reachable state:
+//!
+//! 1. **protocol legality** — no segment is ever delivered in a state
+//!    with no legal response (data or FIN before the connection is
+//!    established, a FIN-ACK towards an endpoint that never sent a
+//!    FIN); an illegal [`Connection::on`] step surfaces the same way;
+//! 2. **no deadlock short of CLOSED** — a state with no enabled
+//!    transition where the endpoints are not both `Closed` with empty
+//!    channels;
+//! 3. **convergence** — both sides reach `Closed` after the FIN
+//!    exchange: the model is finite and acyclic (every action consumes
+//!    a budget or drains a channel), so deadlock-freedom of the
+//!    exhaustive search *is* the convergence proof;
+//! 4. **data delivery** — when both endpoints are `Closed`, every data
+//!    segment each side sent was received in order by the other
+//!    ([`TcpViolationKind::DataLoss`]);
+//! 5. **TimeWait lingers** — the 2·MSL linger is modelled as a guard:
+//!    TimeWait may only expire once the incoming channel is empty and
+//!    the peer no longer owes or awaits a FIN-ACK. The
+//!    [`TcpMutation::SkipTimeWait`] mutation removes the linger and
+//!    the checker finds the classic bug: the FIN-ACK is lost, the
+//!    peer's retransmitted FIN meets a closed endpoint, and the peer
+//!    deadlocks in `LastAck`.
+//!
+//! Counterexample paths are rendered through the real 28-byte segment
+//! codec ([`encode_segment`]/[`decode_segment`]): every message of the
+//! replayed path is built as a [`Segment`], round-tripped through the
+//! wire format, and printed from the decoded header.
+
+use enzian_sim::explore::{self, ProtocolModel, SearchOutcome, StateLimit};
+
+use crate::traffic::{decode_segment, encode_segment, flags, Segment};
+
+use super::conn::{ConnEvent, ConnState, Connection};
+
+/// A known protocol bug, injected on request so the checker can prove
+/// it would catch it (the mutation self-test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpMutation {
+    /// TimeWait does not linger: the endpoint closes the moment it
+    /// acknowledges the peer's FIN, so a retransmitted FIN (its ACK
+    /// was lost) meets a closed endpoint and the peer sticks in
+    /// `LastAck` forever.
+    SkipTimeWait,
+    /// The passive side transmits data before the handshake completes,
+    /// so a reordered segment can reach the active opener while it is
+    /// still in `SynSent`.
+    DataInSynSent,
+    /// Endpoints never acknowledge a FIN, so every closer waits
+    /// forever for an ACK that cannot arrive.
+    SkipFinAck,
+    /// Closing from `CloseWait` takes the active-close branch
+    /// (`FinWait1`) instead of `LastAck`, leaving the endpoint waiting
+    /// for a second FIN the peer will never send.
+    SwapCloseOrder,
+}
+
+/// All mutations, for exhaustive self-tests.
+pub const ALL_TCP_MUTATIONS: [TcpMutation; 4] = [
+    TcpMutation::SkipTimeWait,
+    TcpMutation::DataInSynSent,
+    TcpMutation::SkipFinAck,
+    TcpMutation::SwapCloseOrder,
+];
+
+/// Static configuration of a TCP model exploration.
+///
+/// `#[non_exhaustive]`: construct from a named preset
+/// ([`TcpModelConfig::duplex`] / [`TcpModelConfig::deep`]) and adjust
+/// fields with the `with_*` setters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct TcpModelConfig {
+    /// Data segments the active opener transmits.
+    pub data_a: u8,
+    /// Data segments the passive side transmits.
+    pub data_b: u8,
+    /// Total segment drops the adversary may spend.
+    pub loss_budget: u8,
+    /// Total segment duplications the adversary may spend.
+    pub dup_budget: u8,
+    /// Retransmissions allowed **per segment kind** (SYN, SYN-ACK,
+    /// each data segment, each side's FIN). Keeping this at least
+    /// [`TcpModelConfig::loss_budget`] makes the channel eventually
+    /// fair: to permanently lose a segment kind the adversary would
+    /// need `retransmit_budget + 1` drops of it.
+    pub retransmit_budget: u8,
+    /// Abort with [`StateLimit`] beyond this many states.
+    pub max_states: u64,
+    /// Protocol bug to inject, if any.
+    pub mutation: Option<TcpMutation>,
+}
+
+impl TcpModelConfig {
+    /// One data segment from the active opener, one loss and one
+    /// retransmission per kind: ~1.3*10^5 reachable states covering
+    /// every handshake/teardown race under loss and reordering, in
+    /// well under a second. The in-tree clean-exhaustion bar.
+    pub fn one_way() -> Self {
+        TcpModelConfig {
+            data_a: 1,
+            data_b: 0,
+            loss_budget: 1,
+            dup_budget: 0,
+            retransmit_budget: 1,
+            max_states: 500_000,
+            mutation: None,
+        }
+    }
+
+    /// One data segment each way: ~1.2*10^6 reachable states adding
+    /// bidirectional data (and with it data crossing FINs in both
+    /// directions). The mutation battery runs here — the passive side
+    /// must have data to send for [`TcpMutation::DataInSynSent`].
+    pub fn duplex() -> Self {
+        TcpModelConfig {
+            data_b: 1,
+            max_states: 2_000_000,
+            ..TcpModelConfig::one_way()
+        }
+    }
+
+    /// The one-way space plus a duplication budget (~9.3*10^5 states):
+    /// stale copies of every segment kind arriving arbitrarily late,
+    /// including the retransmitted-FIN-into-TimeWait races.
+    pub fn deep() -> Self {
+        TcpModelConfig {
+            dup_budget: 1,
+            max_states: 2_000_000,
+            ..TcpModelConfig::one_way()
+        }
+    }
+
+    /// Returns the config with `data_a` replaced.
+    pub fn with_data_a(mut self, data_a: u8) -> Self {
+        self.data_a = data_a;
+        self
+    }
+
+    /// Returns the config with `data_b` replaced.
+    pub fn with_data_b(mut self, data_b: u8) -> Self {
+        self.data_b = data_b;
+        self
+    }
+
+    /// Returns the config with `loss_budget` replaced.
+    pub fn with_loss_budget(mut self, loss_budget: u8) -> Self {
+        self.loss_budget = loss_budget;
+        self
+    }
+
+    /// Returns the config with `dup_budget` replaced.
+    pub fn with_dup_budget(mut self, dup_budget: u8) -> Self {
+        self.dup_budget = dup_budget;
+        self
+    }
+
+    /// Returns the config with `retransmit_budget` replaced.
+    pub fn with_retransmit_budget(mut self, retransmit_budget: u8) -> Self {
+        self.retransmit_budget = retransmit_budget;
+        self
+    }
+
+    /// Returns the config with `max_states` replaced.
+    pub fn with_max_states(mut self, max_states: u64) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Returns the config with `mutation` replaced.
+    pub fn with_mutation(mut self, mutation: Option<TcpMutation>) -> Self {
+        self.mutation = mutation;
+        self
+    }
+}
+
+/// The invariant a violating state breaks (beyond the generic core's
+/// deadlock and illegal-step classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpViolationKind {
+    /// Both endpoints closed but some transmitted data never arrived.
+    DataLoss,
+}
+
+impl std::fmt::Display for TcpViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpViolationKind::DataLoss => f.write_str("data-delivery invariant"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Segments and the model state
+// ---------------------------------------------------------------------
+
+/// A model segment. Data indices and cumulative acks are small
+/// integers; the mapping to the real wire format is in the private
+/// `wire_segment` helper. `Ord` gives the channel bags a canonical
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Seg {
+    /// Connection request.
+    Syn,
+    /// The listener's handshake reply.
+    SynAck,
+    /// The third handshake segment.
+    AckSyn,
+    /// Data segment `i` (one virtual payload byte each).
+    Data(u8),
+    /// Cumulative data acknowledgement: `n` segments received.
+    DataAck(u8),
+    /// Sender is done after `total` data segments. Like every real TCP
+    /// segment the FIN carries a cumulative ack: `acks_fin` is set when
+    /// the sender has already processed the *peer's* FIN (it closes
+    /// from `CloseWait`, or retransmits from `Closing`/`LastAck`), so
+    /// one lost FIN-ACK cannot strand the peer — the FIN itself
+    /// re-delivers the acknowledgement.
+    Fin(u8, bool),
+    /// Acknowledgement of a FIN.
+    FinAck,
+}
+
+impl Seg {
+    fn encode(self) -> [u8; 2] {
+        match self {
+            Seg::Syn => [0, 0],
+            Seg::SynAck => [1, 0],
+            Seg::AckSyn => [2, 0],
+            Seg::Data(i) => [3, i],
+            Seg::DataAck(n) => [4, n],
+            Seg::Fin(t, a) => [5, ((a as u8) << 7) | t],
+            Seg::FinAck => [6, 0],
+        }
+    }
+}
+
+impl std::fmt::Display for Seg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Seg::Syn => write!(f, "SYN"),
+            Seg::SynAck => write!(f, "SYN-ACK"),
+            Seg::AckSyn => write!(f, "ACK-of-SYN"),
+            Seg::Data(i) => write!(f, "DATA({i})"),
+            Seg::DataAck(n) => write!(f, "ACK({n})"),
+            Seg::Fin(t, false) => write!(f, "FIN(total={t})"),
+            Seg::Fin(t, true) => write!(f, "FIN(total={t},acks-fin)"),
+            Seg::FinAck => write!(f, "FIN-ACK"),
+        }
+    }
+}
+
+fn enc_conn(c: ConnState) -> u8 {
+    match c {
+        ConnState::Closed => 0,
+        ConnState::Listen => 1,
+        ConnState::SynSent => 2,
+        ConnState::SynReceived => 3,
+        ConnState::Established => 4,
+        ConnState::FinWait1 => 5,
+        ConnState::FinWait2 => 6,
+        ConnState::Closing => 7,
+        ConnState::CloseWait => 8,
+        ConnState::LastAck => 9,
+        ConnState::TimeWait => 10,
+    }
+}
+
+/// Drives one event through the real transition relation.
+fn fsm(state: ConnState, event: ConnEvent) -> Result<ConnState, String> {
+    Connection::at(state).on(event).map_err(|e| e.to_string())
+}
+
+/// The complete model state. Channels are sorted bags, so equality and
+/// the canonical encoding are order-insensitive (reordering costs the
+/// adversary nothing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpState {
+    /// Active opener's connection state.
+    a: ConnState,
+    /// Passive side's connection state.
+    b: ConnState,
+    /// Data segments sent / received-in-order / acknowledged, per side.
+    a_snd: u8,
+    a_rcv: u8,
+    a_acked: u8,
+    b_snd: u8,
+    b_rcv: u8,
+    b_acked: u8,
+    /// Out-of-order data held in each receiver's reassembly buffer
+    /// (bit `i` = segment `i` arrived ahead of the in-order edge).
+    /// Buffering keeps every delivered copy durable, so stranding a
+    /// segment costs the adversary a drop of *every* copy — free
+    /// reordering alone can never exceed the retransmission budget.
+    a_rbuf: u8,
+    b_rbuf: u8,
+    /// In-flight segments a→b and b→a.
+    ab: Vec<Seg>,
+    ba: Vec<Seg>,
+    /// Remaining adversary budgets.
+    loss: u8,
+    dup: u8,
+    /// Remaining retransmissions per kind.
+    rt_syn: u8,
+    rt_syn_ack: u8,
+    rt_fin_a: u8,
+    rt_fin_b: u8,
+    rt_data_a: Vec<u8>,
+    rt_data_b: Vec<u8>,
+}
+
+/// One transition of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpAction {
+    /// Transmit the next data segment.
+    SendData { from_a: bool },
+    /// The application closes this endpoint (emit FIN).
+    Close { a: bool },
+    /// Deliver one in-flight segment (any — the bag reorders freely).
+    Deliver { to_a: bool, seg: Seg },
+    /// The adversary drops one in-flight segment.
+    Drop { to_a: bool, seg: Seg },
+    /// The adversary duplicates one in-flight segment.
+    Duplicate { to_a: bool, seg: Seg },
+    /// The sender's retransmission timer fires for `seg`.
+    Retransmit { from_a: bool, seg: Seg },
+    /// The 2·MSL linger expires.
+    TimeWaitExpire { a: bool },
+}
+
+impl std::fmt::Display for TcpAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let end = |a: bool| if a { "a" } else { "b" };
+        match self {
+            TcpAction::SendData { from_a } => write!(f, "{}: send next data segment", end(*from_a)),
+            TcpAction::Close { a } => write!(f, "{}: application close", end(*a)),
+            TcpAction::Deliver { to_a, seg } => write!(f, "deliver {seg} to {}", end(*to_a)),
+            TcpAction::Drop { to_a, seg } => {
+                write!(f, "channel to {}: drop {seg}", end(*to_a))
+            }
+            TcpAction::Duplicate { to_a, seg } => {
+                write!(f, "channel to {}: duplicate {seg}", end(*to_a))
+            }
+            TcpAction::Retransmit { from_a, seg } => {
+                write!(f, "{}: retransmit {seg}", end(*from_a))
+            }
+            TcpAction::TimeWaitExpire { a } => write!(f, "{}: time-wait expires", end(*a)),
+        }
+    }
+}
+
+/// A segment put on the wire while applying an action (`from_a` gives
+/// the direction), for trace rendering.
+type SentSeg = (bool, Seg);
+
+/// A successor: the generic core's [`explore::Succ`] with the state
+/// paired with its sent-segment log (stripped before the core).
+type Succ = explore::Succ<(TcpState, Vec<SentSeg>), TcpAction>;
+
+impl TcpState {
+    fn init(cfg: &TcpModelConfig) -> Self {
+        // Both opens happen before the first interleaving choice: the
+        // active opener's SYN is already in flight, the listener
+        // listens.
+        let a = fsm(ConnState::Closed, ConnEvent::ActiveOpen).expect("active open is legal");
+        let b = fsm(ConnState::Closed, ConnEvent::PassiveOpen).expect("passive open is legal");
+        TcpState {
+            a,
+            b,
+            a_snd: 0,
+            a_rcv: 0,
+            a_acked: 0,
+            b_snd: 0,
+            b_rcv: 0,
+            b_acked: 0,
+            a_rbuf: 0,
+            b_rbuf: 0,
+            ab: vec![Seg::Syn],
+            ba: Vec::new(),
+            loss: cfg.loss_budget,
+            dup: cfg.dup_budget,
+            rt_syn: cfg.retransmit_budget,
+            rt_syn_ack: cfg.retransmit_budget,
+            rt_fin_a: cfg.retransmit_budget,
+            rt_fin_b: cfg.retransmit_budget,
+            rt_data_a: vec![cfg.retransmit_budget; cfg.data_a as usize],
+            rt_data_b: vec![cfg.retransmit_budget; cfg.data_b as usize],
+        }
+    }
+
+    fn conn(&self, a: bool) -> ConnState {
+        if a {
+            self.a
+        } else {
+            self.b
+        }
+    }
+
+    fn set_conn(&mut self, a: bool, c: ConnState) {
+        if a {
+            self.a = c;
+        } else {
+            self.b = c;
+        }
+    }
+
+    fn snd(&self, a: bool) -> u8 {
+        if a {
+            self.a_snd
+        } else {
+            self.b_snd
+        }
+    }
+
+    fn rcv(&self, a: bool) -> u8 {
+        if a {
+            self.a_rcv
+        } else {
+            self.b_rcv
+        }
+    }
+
+    fn acked(&self, a: bool) -> u8 {
+        if a {
+            self.a_acked
+        } else {
+            self.b_acked
+        }
+    }
+
+    /// The channel delivering **to** the given endpoint.
+    fn chan_to(&mut self, to_a: bool) -> &mut Vec<Seg> {
+        if to_a {
+            &mut self.ba
+        } else {
+            &mut self.ab
+        }
+    }
+
+    /// Puts `seg` on the wire from the given endpoint.
+    fn send(&mut self, from_a: bool, seg: Seg, sent: &mut Vec<SentSeg>) {
+        let chan = self.chan_to(!from_a);
+        chan.push(seg);
+        chan.sort_unstable();
+        sent.push((from_a, seg));
+    }
+
+    fn remove(&mut self, to_a: bool, seg: Seg) {
+        let chan = self.chan_to(to_a);
+        let pos = chan
+            .iter()
+            .position(|s| *s == seg)
+            .expect("segment enumerated from this channel");
+        chan.remove(pos);
+    }
+
+    fn quiescent(&self) -> bool {
+        self.a == ConnState::Closed
+            && self.b == ConnState::Closed
+            && self.ab.is_empty()
+            && self.ba.is_empty()
+    }
+
+    fn canonical(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.push(enc_conn(self.a));
+        out.push(enc_conn(self.b));
+        out.extend_from_slice(&[
+            self.a_snd,
+            self.a_rcv,
+            self.a_acked,
+            self.b_snd,
+            self.b_rcv,
+            self.b_acked,
+            self.a_rbuf,
+            self.b_rbuf,
+            self.loss,
+            self.dup,
+            self.rt_syn,
+            self.rt_syn_ack,
+            self.rt_fin_a,
+            self.rt_fin_b,
+        ]);
+        out.extend_from_slice(&self.rt_data_a);
+        out.extend_from_slice(&self.rt_data_b);
+        for chan in [&self.ab, &self.ba] {
+            out.push(chan.len() as u8);
+            for s in chan {
+                out.extend_from_slice(&s.encode());
+            }
+        }
+        out
+    }
+
+    /// Checks the state invariants; `None` means clean.
+    fn check(&self) -> Option<(TcpViolationKind, String)> {
+        if self.a == ConnState::Closed && self.b == ConnState::Closed {
+            if self.b_rcv != self.a_snd {
+                return Some((
+                    TcpViolationKind::DataLoss,
+                    format!(
+                        "both endpoints closed but b received {} of a's {} data segments",
+                        self.b_rcv, self.a_snd
+                    ),
+                ));
+            }
+            if self.a_rcv != self.b_snd {
+                return Some((
+                    TcpViolationKind::DataLoss,
+                    format!(
+                        "both endpoints closed but a received {} of b's {} data segments",
+                        self.a_rcv, self.b_snd
+                    ),
+                ));
+            }
+        }
+        None
+    }
+
+    /// Delivery policy: which [`ConnEvent`] (and reply segments) a
+    /// segment triggers at the receiving endpoint. `Ok(None)` means the
+    /// delivery is blocked (a FIN ahead of missing data stays queued,
+    /// modelling in-sequence processing); `Err` is a protocol-legality
+    /// violation.
+    fn receive(
+        &mut self,
+        cfg: &TcpModelConfig,
+        to_a: bool,
+        seg: Seg,
+        sent: &mut Vec<SentSeg>,
+    ) -> Result<Option<()>, String> {
+        use ConnState::*;
+        let r = self.conn(to_a);
+        match seg {
+            // Duplicate SYNs are benign outside Listen; the listener's
+            // SYN-ACK retransmission heals losses.
+            Seg::Syn => {
+                if r == Listen {
+                    self.set_conn(to_a, fsm(r, ConnEvent::SynRcvd)?);
+                    self.send(to_a, Seg::SynAck, sent);
+                }
+            }
+            Seg::SynAck => match r {
+                SynSent => {
+                    self.set_conn(to_a, fsm(r, ConnEvent::SynAckRcvd)?);
+                    self.send(to_a, Seg::AckSyn, sent);
+                }
+                Closed => {}
+                // A duplicate SYN-ACK means the listener has not seen
+                // our handshake ACK yet (lost or still in flight):
+                // acknowledge again.
+                _ => self.send(to_a, Seg::AckSyn, sent),
+            },
+            // Outside SynReceived a handshake ACK is a benign
+            // duplicate once established (or long gone).
+            Seg::AckSyn => {
+                if r == SynReceived {
+                    self.set_conn(to_a, fsm(r, ConnEvent::AckRcvd)?);
+                }
+            }
+            Seg::Data(i) => match r {
+                Listen | SynSent => {
+                    return Err(format!(
+                        "data segment {i} delivered in {r:?}, before the connection is established"
+                    ));
+                }
+                Closed => {} // stale duplicate after teardown
+                _ => {
+                    if r == SynReceived {
+                        // A data segment carries the handshake ACK
+                        // implicitly (RFC 793's third segment may be
+                        // piggybacked).
+                        self.set_conn(to_a, fsm(r, ConnEvent::AckRcvd)?);
+                    }
+                    {
+                        let (rcv, rbuf) = if to_a {
+                            (&mut self.a_rcv, &mut self.a_rbuf)
+                        } else {
+                            (&mut self.b_rcv, &mut self.b_rbuf)
+                        };
+                        // Buffer out-of-order data and advance the
+                        // in-order edge through whatever is contiguous;
+                        // duplicates below the edge are no-ops. Either
+                        // way a cumulative ack rides back.
+                        if i >= *rcv {
+                            *rbuf |= 1 << i;
+                        }
+                        while *rbuf & (1 << *rcv) != 0 {
+                            *rbuf &= !(1 << *rcv);
+                            *rcv += 1;
+                        }
+                    }
+                    let ack = Seg::DataAck(self.rcv(to_a));
+                    self.send(to_a, ack, sent);
+                }
+            },
+            Seg::DataAck(n) => match r {
+                Listen | SynSent => {
+                    return Err(format!(
+                        "cumulative ack {n} delivered in {r:?}, before the connection is \
+                         established"
+                    ));
+                }
+                Closed => {}
+                _ => {
+                    let acked = if to_a {
+                        &mut self.a_acked
+                    } else {
+                        &mut self.b_acked
+                    };
+                    *acked = (*acked).max(n);
+                }
+            },
+            Seg::Fin(total, acks_fin) => match r {
+                Listen | SynSent => {
+                    return Err(format!(
+                        "FIN delivered in {r:?}, before the connection is established"
+                    ));
+                }
+                Closed => {} // stale duplicate; a live peer deadlocks instead
+                _ => {
+                    if self.rcv(to_a) < total {
+                        // In-sequence processing: the FIN waits for the
+                        // data in front of it.
+                        return Ok(None);
+                    }
+                    let mut r = r;
+                    if acks_fin && matches!(r, FinWait1 | Closing) {
+                        // The FIN's cumulative ack covers our own FIN.
+                        r = fsm(r, ConnEvent::AckRcvd)?;
+                        if r == TimeWait && cfg.mutation == Some(TcpMutation::SkipTimeWait) {
+                            r = fsm(r, ConnEvent::TimeWaitExpired)?;
+                        }
+                        self.set_conn(to_a, r);
+                    }
+                    match r {
+                        // First FIN: drive the real transition.
+                        SynReceived | Established | FinWait1 | FinWait2 | TimeWait => {
+                            let mut next = fsm(r, ConnEvent::FinRcvd)?;
+                            if next == TimeWait && cfg.mutation == Some(TcpMutation::SkipTimeWait) {
+                                // The injected bug: no 2·MSL linger.
+                                next = fsm(next, ConnEvent::TimeWaitExpired)?;
+                            }
+                            self.set_conn(to_a, next);
+                        }
+                        // Retransmitted FIN after we already processed
+                        // it: re-acknowledge, no state change.
+                        CloseWait | Closing | LastAck => {}
+                        // Only reachable when the SkipTimeWait collapse
+                        // above closed us mid-delivery: a closed
+                        // endpoint acknowledges nothing.
+                        Closed => return Ok(Some(())),
+                        Listen | SynSent => unreachable!("handled above"),
+                    }
+                    if cfg.mutation != Some(TcpMutation::SkipFinAck) {
+                        self.send(to_a, Seg::FinAck, sent);
+                    }
+                }
+            },
+            Seg::FinAck => match r {
+                FinWait1 | Closing | LastAck => {
+                    let mut next = fsm(r, ConnEvent::AckRcvd)?;
+                    if next == TimeWait && cfg.mutation == Some(TcpMutation::SkipTimeWait) {
+                        next = fsm(next, ConnEvent::TimeWaitExpired)?;
+                    }
+                    self.set_conn(to_a, next);
+                }
+                FinWait2 | TimeWait | Closed => {} // benign duplicate
+                Listen | SynSent | SynReceived | Established | CloseWait => {
+                    return Err(format!(
+                        "FIN-ACK delivered in {r:?}, to an endpoint that never sent a FIN"
+                    ));
+                }
+            },
+        }
+        Ok(Some(()))
+    }
+
+    /// All enabled transitions, in a fixed deterministic order.
+    fn successors(&self, cfg: &TcpModelConfig) -> Vec<Succ> {
+        use ConnState::*;
+        let mut out = Vec::new();
+
+        // Data transmission: only while the send side of the stream is
+        // open (a FIN seals it).
+        for from_a in [true, false] {
+            let conn = self.conn(from_a);
+            let budget = if from_a { cfg.data_a } else { cfg.data_b };
+            let open = matches!(conn, Established | CloseWait)
+                || (cfg.mutation == Some(TcpMutation::DataInSynSent)
+                    && !from_a
+                    && conn == SynReceived);
+            if open && self.snd(from_a) < budget {
+                let mut s = self.clone();
+                let mut sent = Vec::new();
+                let seg = Seg::Data(s.snd(from_a));
+                if from_a {
+                    s.a_snd += 1;
+                } else {
+                    s.b_snd += 1;
+                }
+                s.send(from_a, seg, &mut sent);
+                out.push(Succ {
+                    action: TcpAction::SendData { from_a },
+                    result: Ok((s, sent)),
+                });
+            }
+        }
+
+        // Application close.
+        for a in [true, false] {
+            let conn = self.conn(a);
+            if matches!(conn, Established | CloseWait) {
+                let mut s = self.clone();
+                let mut sent = Vec::new();
+                let action = TcpAction::Close { a };
+                match fsm(conn, ConnEvent::Close) {
+                    Ok(mut next) => {
+                        if conn == CloseWait && cfg.mutation == Some(TcpMutation::SwapCloseOrder) {
+                            // The injected bug: the passive closer takes
+                            // the active-close branch.
+                            next = FinWait1;
+                        }
+                        s.set_conn(a, next);
+                        // Closing from CloseWait means the peer's FIN is
+                        // already processed: the FIN's cumulative ack
+                        // covers it.
+                        let fin = Seg::Fin(s.snd(a), conn == CloseWait);
+                        s.send(a, fin, &mut sent);
+                        out.push(Succ {
+                            action,
+                            result: Ok((s, sent)),
+                        });
+                    }
+                    Err(e) => out.push(Succ {
+                        action,
+                        result: Err(e),
+                    }),
+                }
+            }
+        }
+
+        // Deliveries: any distinct in-flight segment, either direction.
+        for to_a in [false, true] {
+            let chan = if to_a { &self.ba } else { &self.ab };
+            let mut last = None;
+            for &seg in chan {
+                if last == Some(seg) {
+                    continue; // the bag is sorted; duplicates collapse
+                }
+                last = Some(seg);
+                let mut s = self.clone();
+                s.remove(to_a, seg);
+                let mut sent = Vec::new();
+                let action = TcpAction::Deliver { to_a, seg };
+                match s.receive(cfg, to_a, seg, &mut sent) {
+                    Ok(Some(())) => out.push(Succ {
+                        action,
+                        result: Ok((s, sent)),
+                    }),
+                    Ok(None) => {} // blocked; stays queued
+                    Err(e) => out.push(Succ {
+                        action,
+                        result: Err(e),
+                    }),
+                }
+            }
+        }
+
+        // Retransmissions: enabled while the sender still waits for the
+        // acknowledgement and no copy is in flight, each consuming the
+        // per-kind budget.
+        for from_a in [true, false] {
+            let conn = self.conn(from_a);
+            let chan = if from_a { &self.ab } else { &self.ba };
+            let mut candidates: Vec<(Seg, bool)> = Vec::new();
+            if from_a {
+                candidates.push((Seg::Syn, conn == SynSent && self.rt_syn > 0));
+            } else {
+                candidates.push((Seg::SynAck, conn == SynReceived && self.rt_syn_ack > 0));
+            }
+            let rt_data = if from_a {
+                &self.rt_data_a
+            } else {
+                &self.rt_data_b
+            };
+            let data_live = !matches!(conn, Closed | Listen | SynSent | SynReceived);
+            for i in self.acked(from_a)..self.snd(from_a) {
+                candidates.push((Seg::Data(i), data_live && rt_data[i as usize] > 0));
+            }
+            let rt_fin = if from_a { self.rt_fin_a } else { self.rt_fin_b };
+            // A retransmitted FIN recomputes its cumulative ack: by
+            // Closing/LastAck the peer's FIN has been processed.
+            candidates.push((
+                Seg::Fin(self.snd(from_a), matches!(conn, Closing | LastAck)),
+                matches!(conn, FinWait1 | Closing | LastAck)
+                    && rt_fin > 0
+                    && !chan.iter().any(|s| matches!(s, Seg::Fin(..))),
+            ));
+            for (seg, enabled) in candidates {
+                if !enabled || chan.contains(&seg) {
+                    continue;
+                }
+                let mut s = self.clone();
+                match seg {
+                    Seg::Syn => s.rt_syn -= 1,
+                    Seg::SynAck => s.rt_syn_ack -= 1,
+                    Seg::Data(i) => {
+                        if from_a {
+                            s.rt_data_a[i as usize] -= 1;
+                        } else {
+                            s.rt_data_b[i as usize] -= 1;
+                        }
+                    }
+                    Seg::Fin(..) => {
+                        if from_a {
+                            s.rt_fin_a -= 1;
+                        } else {
+                            s.rt_fin_b -= 1;
+                        }
+                    }
+                    _ => unreachable!("only timer-backed segments are candidates"),
+                }
+                let mut sent = Vec::new();
+                s.send(from_a, seg, &mut sent);
+                out.push(Succ {
+                    action: TcpAction::Retransmit { from_a, seg },
+                    result: Ok((s, sent)),
+                });
+            }
+        }
+
+        // TimeWait expiry: the 2·MSL linger outlasts every in-flight or
+        // retransmittable FIN, modelled as a guard — nothing inbound,
+        // and the peer neither owes nor awaits a FIN-ACK.
+        for a in [true, false] {
+            let inbound_empty = if a {
+                self.ba.is_empty()
+            } else {
+                self.ab.is_empty()
+            };
+            let peer = self.conn(!a);
+            if self.conn(a) == TimeWait
+                && inbound_empty
+                && !matches!(peer, FinWait1 | Closing | LastAck)
+            {
+                let mut s = self.clone();
+                let action = TcpAction::TimeWaitExpire { a };
+                match fsm(TimeWait, ConnEvent::TimeWaitExpired) {
+                    Ok(next) => {
+                        s.set_conn(a, next);
+                        out.push(Succ {
+                            action,
+                            result: Ok((s, Vec::new())),
+                        });
+                    }
+                    Err(e) => out.push(Succ {
+                        action,
+                        result: Err(e),
+                    }),
+                }
+            }
+        }
+
+        // Adversary: drop or duplicate any distinct in-flight segment.
+        for (budgeted, is_drop) in [(self.loss > 0, true), (self.dup > 0, false)] {
+            if !budgeted {
+                continue;
+            }
+            for to_a in [false, true] {
+                let chan = if to_a { &self.ba } else { &self.ab };
+                let mut last = None;
+                for &seg in chan {
+                    if last == Some(seg) {
+                        continue;
+                    }
+                    last = Some(seg);
+                    let mut s = self.clone();
+                    let action = if is_drop {
+                        s.remove(to_a, seg);
+                        s.loss -= 1;
+                        TcpAction::Drop { to_a, seg }
+                    } else {
+                        s.dup -= 1;
+                        let c = s.chan_to(to_a);
+                        c.push(seg);
+                        c.sort_unstable();
+                        TcpAction::Duplicate { to_a, seg }
+                    };
+                    out.push(Succ {
+                        action,
+                        result: Ok((s, Vec::new())),
+                    });
+                }
+            }
+        }
+
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire rendering
+// ---------------------------------------------------------------------
+
+/// Simulated ports of the two endpoints (a connects to b's listener).
+const PORT_A: u32 = 40_000;
+const PORT_B: u32 = 80;
+
+/// Maps a model segment onto the real traffic-plane wire format.
+fn wire_segment(from_a: bool, seg: Seg) -> Segment {
+    let (flags, seq, ack, len) = match seg {
+        Seg::Syn => (flags::SYN, 0, 0, 0),
+        Seg::SynAck => (flags::SYN | flags::ACK, 0, 0, 0),
+        Seg::AckSyn => (flags::ACK | flags::CTL, 0, 0, 0),
+        Seg::Data(i) => (flags::ACK, u32::from(i), 0, 1),
+        Seg::DataAck(n) => (flags::ACK, 0, u32::from(n), 0),
+        Seg::Fin(t, acks_fin) => (flags::FIN | flags::ACK, u32::from(t), acks_fin as u32, 0),
+        Seg::FinAck => (flags::ACK | flags::CTL, 0, 0, 0),
+    };
+    Segment {
+        flags,
+        src_board: if from_a { 0 } else { 1 },
+        dst_board: if from_a { 1 } else { 0 },
+        src_port: if from_a { PORT_A } else { PORT_B },
+        dst_port: if from_a { PORT_B } else { PORT_A },
+        seq,
+        ack,
+        len,
+    }
+}
+
+/// Renders one on-the-wire segment by round-tripping it through the
+/// real 28-byte codec and printing the decoded header.
+fn render_wire(idx: usize, from_a: bool, seg: Seg) -> String {
+    let bytes = encode_segment(&wire_segment(from_a, seg));
+    let d = decode_segment(&bytes).expect("model segments round-trip the segment codec");
+    let dir = if from_a { "a->b" } else { "b->a" };
+    let mut fl = Vec::new();
+    for (bit, name) in [
+        (flags::SYN, "SYN"),
+        (flags::ACK, "ACK"),
+        (flags::FIN, "FIN"),
+        (flags::CTL, "CTL"),
+    ] {
+        if d.flags & bit != 0 {
+            fl.push(name);
+        }
+    }
+    format!(
+        "[{idx:03}] {dir} {:<11} {:05}->{:05} seq={} ack={} len={} ({} wire bytes)",
+        fl.join("|"),
+        d.src_port,
+        d.dst_port,
+        d.seq,
+        d.ack,
+        d.len,
+        bytes.len() as u64 + u64::from(d.len),
+    )
+}
+
+// ---------------------------------------------------------------------
+// The model
+// ---------------------------------------------------------------------
+
+/// The TCP instance of the generic [`ProtocolModel`]. See the module
+/// docs for the model and the invariants it checks.
+#[derive(Debug, Clone)]
+pub struct TcpModel {
+    cfg: TcpModelConfig,
+}
+
+impl TcpModel {
+    /// Creates a model for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is outside the tractable envelope
+    /// (at most 4 data segments per side, budgets at most 4) or is not
+    /// eventually fair (`retransmit_budget < loss_budget` would let
+    /// the adversary starve a retransmission and fail the clean model
+    /// with a spurious deadlock).
+    pub fn new(cfg: TcpModelConfig) -> Self {
+        assert!(
+            cfg.data_a <= 4,
+            "data_a must be at most 4, got {}",
+            cfg.data_a
+        );
+        assert!(
+            cfg.data_b <= 4,
+            "data_b must be at most 4, got {}",
+            cfg.data_b
+        );
+        assert!(cfg.loss_budget <= 4, "loss_budget must be at most 4");
+        assert!(cfg.dup_budget <= 4, "dup_budget must be at most 4");
+        assert!(
+            cfg.retransmit_budget <= 4,
+            "retransmit_budget must be at most 4"
+        );
+        assert!(
+            cfg.retransmit_budget >= cfg.loss_budget,
+            "retransmit_budget {} < loss_budget {}: the channel would not be eventually fair",
+            cfg.retransmit_budget,
+            cfg.loss_budget
+        );
+        TcpModel { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TcpModelConfig {
+        &self.cfg
+    }
+
+    /// Exhaustive canonicalized BFS from the initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateLimit`] if the state budget runs out before the
+    /// frontier drains.
+    pub fn run_exhaustive(&self) -> Result<SearchOutcome<TcpViolationKind>, StateLimit> {
+        explore::explore(self, self.cfg.max_states)
+    }
+
+    /// Seeded random walk, checking the same invariants as the
+    /// exhaustive search. Deterministic for a given seed.
+    pub fn random_walk(&self, seed: u64, max_steps: u64) -> SearchOutcome<TcpViolationKind> {
+        explore::random_walk(self, seed, max_steps)
+    }
+
+    /// Replays the canonical orderly schedule — handshake, full data
+    /// exchange, active close by `a` — through the model and returns
+    /// each endpoint's [`ConnState`] sequence (starting from `Closed`).
+    /// [`TcpEngine::session_traced`](super::TcpEngine::session_traced)
+    /// walks the same schedule on the real engine; the conformance test
+    /// asserts the sequences match byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a schedule step is not an enabled action of the model
+    /// (the model and the engine have diverged).
+    pub fn orderly_trace(&self) -> (Vec<ConnState>, Vec<ConnState>) {
+        let cfg = &self.cfg;
+        let mut plan: Vec<TcpAction> = vec![
+            TcpAction::Deliver {
+                to_a: false,
+                seg: Seg::Syn,
+            },
+            TcpAction::Deliver {
+                to_a: true,
+                seg: Seg::SynAck,
+            },
+            TcpAction::Deliver {
+                to_a: false,
+                seg: Seg::AckSyn,
+            },
+        ];
+        for i in 0..cfg.data_a {
+            plan.push(TcpAction::SendData { from_a: true });
+            plan.push(TcpAction::Deliver {
+                to_a: false,
+                seg: Seg::Data(i),
+            });
+            plan.push(TcpAction::Deliver {
+                to_a: true,
+                seg: Seg::DataAck(i + 1),
+            });
+        }
+        for i in 0..cfg.data_b {
+            plan.push(TcpAction::SendData { from_a: false });
+            plan.push(TcpAction::Deliver {
+                to_a: true,
+                seg: Seg::Data(i),
+            });
+            plan.push(TcpAction::Deliver {
+                to_a: false,
+                seg: Seg::DataAck(i + 1),
+            });
+        }
+        plan.extend([
+            TcpAction::Close { a: true },
+            TcpAction::Deliver {
+                to_a: false,
+                seg: Seg::Fin(cfg.data_a, false),
+            },
+            TcpAction::Deliver {
+                to_a: true,
+                seg: Seg::FinAck,
+            },
+            TcpAction::Close { a: false },
+            TcpAction::Deliver {
+                to_a: true,
+                seg: Seg::Fin(cfg.data_b, true),
+            },
+            TcpAction::Deliver {
+                to_a: false,
+                seg: Seg::FinAck,
+            },
+            TcpAction::TimeWaitExpire { a: true },
+        ]);
+
+        let mut state = TcpState::init(cfg);
+        let mut trace_a = vec![ConnState::Closed, state.a];
+        let mut trace_b = vec![ConnState::Closed, state.b];
+        for action in plan {
+            let succs = state.successors(cfg);
+            let succ = succs
+                .into_iter()
+                .find(|s| s.action == action)
+                .unwrap_or_else(|| panic!("orderly schedule step not enabled: {action}"));
+            let (next, _) = succ
+                .result
+                .unwrap_or_else(|e| panic!("orderly schedule step {action} illegal: {e}"));
+            if next.a != state.a {
+                trace_a.push(next.a);
+            }
+            if next.b != state.b {
+                trace_b.push(next.b);
+            }
+            state = next;
+        }
+        assert!(state.quiescent(), "orderly schedule must end quiescent");
+        (trace_a, trace_b)
+    }
+}
+
+impl ProtocolModel for TcpModel {
+    type State = TcpState;
+    type Action = TcpAction;
+    type Kind = TcpViolationKind;
+
+    fn initial(&self) -> TcpState {
+        TcpState::init(&self.cfg)
+    }
+
+    fn successors(&self, state: &TcpState) -> Vec<explore::Succ<TcpState, TcpAction>> {
+        state
+            .successors(&self.cfg)
+            .into_iter()
+            .map(|s| explore::Succ {
+                action: s.action,
+                result: s.result.map(|(state, _sent)| state),
+            })
+            .collect()
+    }
+
+    fn quiescent(&self, state: &TcpState) -> bool {
+        state.quiescent()
+    }
+
+    fn canonical(&self, state: &TcpState) -> Vec<u8> {
+        state.canonical()
+    }
+
+    fn check(&self, state: &TcpState) -> Option<(TcpViolationKind, String)> {
+        state.check()
+    }
+
+    /// Replays `path` from the initial state and renders every segment
+    /// the replay puts on the wire through the real 28-byte codec
+    /// (the initial SYN is shown first: it is in flight from step
+    /// zero).
+    fn render_path(&self, path: &[TcpAction]) -> String {
+        let mut state = TcpState::init(&self.cfg);
+        let mut lines = vec![render_wire(0, true, Seg::Syn)];
+        for action in path {
+            let succs = state.successors(&self.cfg);
+            let Some(succ) = succs.into_iter().find(|s| s.action == *action) else {
+                break; // the final action errored; nothing more to replay
+            };
+            if let Ok((next, sent)) = succ.result {
+                for (from_a, seg) in sent {
+                    lines.push(render_wire(lines.len(), from_a, seg));
+                }
+                state = next;
+            }
+        }
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use enzian_sim::explore::{expect_clean, expect_violation, Violation};
+
+    use super::*;
+
+    #[test]
+    fn one_way_exhausts_ten_thousand_states_clean() {
+        // The acceptance bar: a >= 10^4-state bounded space, exhausted
+        // with zero violations.
+        let stats = expect_clean(
+            &TcpModel::new(TcpModelConfig::one_way()),
+            500_000,
+            "one_way",
+        );
+        assert!(
+            stats.states >= 10_000,
+            "the one-way space must clear 10^4 states, got {}",
+            stats.states
+        );
+        assert!(stats.transitions > stats.states);
+    }
+
+    #[test]
+    fn duplication_budget_is_clean_on_the_control_plane() {
+        // No data, but one duplication on top of loss: stale handshake
+        // and teardown segments arriving arbitrarily late.
+        let cfg = TcpModelConfig::deep().with_data_a(0);
+        let stats = expect_clean(&TcpModel::new(cfg), 500_000, "dup control plane");
+        assert!(stats.states > 10_000, "got {}", stats.states);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let run = || {
+            TcpModel::new(TcpModelConfig::one_way())
+                .run_exhaustive()
+                .unwrap()
+                .stats
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lossless_configuration_is_clean_too() {
+        let cfg = TcpModelConfig::duplex()
+            .with_loss_budget(0)
+            .with_retransmit_budget(0);
+        expect_clean(&TcpModel::new(cfg), 1_000_000, "lossless");
+    }
+
+    #[test]
+    fn every_mutation_is_caught_with_a_rendered_counterexample() {
+        for m in ALL_TCP_MUTATIONS {
+            let cfg = TcpModelConfig::duplex().with_mutation(Some(m));
+            let cx = expect_violation(&TcpModel::new(cfg), 2_000_000, &format!("{m:?}"));
+            match m {
+                TcpMutation::DataInSynSent => {
+                    assert_eq!(cx.violation, Violation::IllegalStep, "{m:?}: {cx}");
+                    assert!(
+                        cx.description.contains("SynSent"),
+                        "{m:?}: wrong description: {}",
+                        cx.description
+                    );
+                }
+                TcpMutation::SkipTimeWait
+                | TcpMutation::SkipFinAck
+                | TcpMutation::SwapCloseOrder => {
+                    assert_eq!(cx.violation, Violation::Deadlock, "{m:?}: {cx}");
+                }
+            }
+            assert!(!cx.actions.is_empty(), "{m:?}: empty action path");
+            // The counterexample went through the real wire codec.
+            assert!(
+                cx.trace.contains("a->b") && cx.trace.contains("wire bytes"),
+                "{m:?}: trace not rendered through the codec:\n{}",
+                cx.trace
+            );
+        }
+    }
+
+    #[test]
+    fn state_limit_is_a_checked_error() {
+        let cfg = TcpModelConfig::duplex().with_max_states(10);
+        let err = TcpModel::new(cfg).run_exhaustive().unwrap_err();
+        assert_eq!(err, StateLimit { limit: 10 });
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_and_clean() {
+        let model = TcpModel::new(TcpModelConfig::deep());
+        let a = model.random_walk(7, 4_000);
+        let b = model.random_walk(7, 4_000);
+        assert!(a.stats.max_depth > 0);
+        assert_eq!(a.stats, b.stats);
+        assert!(a.violation.is_none(), "{}", a.violation.unwrap());
+        assert!(a.stats.transitions > 0);
+    }
+
+    #[test]
+    fn random_walk_finds_an_injected_bug() {
+        let cfg = TcpModelConfig::duplex().with_mutation(Some(TcpMutation::SkipFinAck));
+        let model = TcpModel::new(cfg);
+        let found = (0..16).any(|seed| model.random_walk(seed, 10_000).violation.is_some());
+        assert!(found, "no seed found the skipped FIN-ACK");
+    }
+
+    #[test]
+    fn eventual_fairness_guard_rejects_starvable_budgets() {
+        let cfg = TcpModelConfig::duplex()
+            .with_loss_budget(2)
+            .with_retransmit_budget(1);
+        assert!(std::panic::catch_unwind(|| TcpModel::new(cfg)).is_err());
+    }
+
+    #[test]
+    fn orderly_trace_matches_the_rfc_state_sequences() {
+        use ConnState::*;
+        let (a, b) = TcpModel::new(TcpModelConfig::duplex()).orderly_trace();
+        assert_eq!(
+            a,
+            vec![
+                Closed,
+                SynSent,
+                Established,
+                FinWait1,
+                FinWait2,
+                TimeWait,
+                Closed
+            ]
+        );
+        assert_eq!(
+            b,
+            vec![
+                Closed,
+                Listen,
+                SynReceived,
+                Established,
+                CloseWait,
+                LastAck,
+                Closed
+            ]
+        );
+    }
+
+    #[test]
+    fn counterexample_renders_decoded_segments() {
+        let cfg = TcpModelConfig::duplex().with_mutation(Some(TcpMutation::DataInSynSent));
+        let cx = TcpModel::new(cfg)
+            .run_exhaustive()
+            .unwrap()
+            .violation
+            .expect("must be caught");
+        let rendered = cx.to_string();
+        assert!(rendered.contains("violated"));
+        assert!(rendered.contains("path ("));
+        assert!(rendered.contains("decoded message trace"));
+        assert!(rendered.contains("SYN"), "handshake rendered: {rendered}");
+    }
+}

@@ -42,7 +42,10 @@ use enzian_sim::{Duration, Time};
 
 use crate::traffic::{flags, FlowKey, FlowTable, PortMask, Segment};
 
-use super::{CongestionController, ConnEvent, ConnState, Connection, LossPattern, TcpStackConfig};
+use super::{
+    CongestionController, ConnEvent, ConnState, Connection, LossPattern, TcpStackConfig,
+    SEGMENT_LOSS_TARGET,
+};
 
 /// A segment leaving the mux: `at` is when the last byte clears the
 /// stack's transmit pipeline; the transport layers serialization and
@@ -459,7 +462,7 @@ impl SessionMux {
                 f.sent = f.acked;
                 self.stats.rto_fires += 1;
                 let rto = self.cfg.rto;
-                self.loss.note_recovered(t.at, rto);
+                self.loss.note_recovered_on(SEGMENT_LOSS_TARGET, t.at, rto);
                 self.pump(t.key, t.at, out);
             }
             TimerKind::TimeWait => {

@@ -100,6 +100,21 @@ impl GoBackN {
         self.pending
     }
 
+    /// Cancels the pending rewind if a cumulative acknowledgement has
+    /// covered its offset (`seq < acked`): the timer's data is known
+    /// delivered, so firing it would only retransmit acknowledged bytes.
+    /// Returns the cancelled entry, or `None` if nothing was pending or
+    /// the pending offset is still unacknowledged. A rewind scheduled
+    /// for a *dropped* segment can never be cancelled this way — the
+    /// receiver's in-order edge (and therefore every cumulative ack)
+    /// stops at the dropped offset until the retransmission lands.
+    pub fn cancel_covered(&mut self, acked: u64) -> Option<(Time, u64)> {
+        match self.pending {
+            Some((_, seq)) if seq < acked => self.pending.take(),
+            _ => None,
+        }
+    }
+
     /// Fires the pending rewind, counting one retransmission event.
     ///
     /// # Panics
@@ -305,6 +320,20 @@ mod tests {
         assert_eq!(gbn.fire(), (Time::from_us(30), 5000));
         assert_eq!(gbn.pending(), None);
         assert_eq!(gbn.retransmissions(), 1);
+    }
+
+    #[test]
+    fn ack_coverage_cancels_a_pending_rewind_without_counting() {
+        let mut gbn = GoBackN::new();
+        gbn.schedule_rewind(Time::from_us(10), 4000);
+        // Acks up to (but not past) the offset leave the timer armed.
+        assert_eq!(gbn.cancel_covered(4000), None);
+        assert!(gbn.pending().is_some());
+        // A cumulative ack past the offset voids the timer, and the
+        // cancellation is not a retransmission event.
+        assert_eq!(gbn.cancel_covered(4001), Some((Time::from_us(10), 4000)));
+        assert_eq!(gbn.pending(), None);
+        assert_eq!(gbn.retransmissions(), 0);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Conformance between the TCP model checker and the real engine.
+//!
+//! The bounded model ([`TcpModel`]) and the timed engine
+//! ([`TcpEngine::session_traced`]) drive the *same* transition relation
+//! — [`Connection::on`] — from two different harnesses. These tests pin
+//! them together: the model's canonical fault-free schedule
+//! ([`TcpModel::orderly_trace`]) must walk each endpoint through exactly
+//! the [`ConnState`] sequence a real session walks, for every stack
+//! preset. A divergence means one of the harnesses drives the FSM
+//! through a path the other considers canonical — precisely the class
+//! of bug a model checker that "checks a copy of the protocol" would
+//! miss.
+
+use enzian_net::eth::{EthLink, EthLinkConfig, Switch};
+use enzian_net::tcp::{ConnState, TcpEngine, TcpModel, TcpModelConfig, TcpStackConfig};
+use enzian_sim::{SimRng, Time};
+
+fn payload(n: usize) -> Vec<u8> {
+    let mut rng = SimRng::seed_from(42);
+    let mut v = vec![0u8; n];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn session_walk(cfg: TcpStackConfig) -> (Vec<ConnState>, Vec<ConnState>) {
+    let mut link = EthLink::new(EthLinkConfig::hundred_gig());
+    let mut engine = TcpEngine::new(cfg, cfg, Switch::tor());
+    let data = payload(32 * 1024);
+    let (out, _, traces) = engine.session_traced(&mut link, Time::ZERO, &data);
+    assert_eq!(out, data, "session must deliver the stream intact");
+    traces
+}
+
+#[test]
+fn model_orderly_trace_matches_the_real_engine_walk() {
+    let (model_a, model_b) = TcpModel::new(TcpModelConfig::one_way()).orderly_trace();
+    let (engine_a, engine_b) = session_walk(TcpStackConfig::fpga_coyote());
+    assert_eq!(
+        model_a, engine_a,
+        "active closer: model and engine walked different state sequences"
+    );
+    assert_eq!(
+        model_b, engine_b,
+        "passive side: model and engine walked different state sequences"
+    );
+    // And both walks are the RFC 793 orderly-close sequences.
+    use ConnState::*;
+    assert_eq!(
+        engine_a,
+        [
+            Closed,
+            SynSent,
+            Established,
+            FinWait1,
+            FinWait2,
+            TimeWait,
+            Closed
+        ]
+    );
+    assert_eq!(
+        engine_b,
+        [
+            Closed,
+            Listen,
+            SynReceived,
+            Established,
+            CloseWait,
+            LastAck,
+            Closed
+        ]
+    );
+}
+
+#[test]
+fn conformance_holds_across_stack_presets_and_model_budgets() {
+    // The connection walk is protocol, not timing: every preset (each a
+    // different placement of the modules across the CPU/FPGA boundary)
+    // and every model budget produces the same canonical sequences.
+    let reference = session_walk(TcpStackConfig::fpga_coyote());
+    for cfg in [
+        TcpStackConfig::linux_kernel(),
+        TcpStackConfig::hybrid_offload(),
+    ] {
+        assert_eq!(session_walk(cfg), reference, "preset diverged: {cfg:?}");
+    }
+    for model in [
+        TcpModelConfig::one_way(),
+        TcpModelConfig::duplex(),
+        TcpModelConfig::deep(),
+    ] {
+        assert_eq!(
+            TcpModel::new(model).orderly_trace(),
+            reference,
+            "model budget changed the canonical walk"
+        );
+    }
+}

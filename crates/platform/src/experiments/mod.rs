@@ -26,6 +26,7 @@ pub mod modelcheck;
 pub mod pipelining;
 pub mod sched_hotpath;
 pub mod service;
+pub mod tcp_explore;
 pub mod traffic;
 
 use enzian_sim::MetricsRegistry;
@@ -116,7 +117,7 @@ pub trait Experiment: Sync {
 
 /// Every experiment, in the order `reproduce all` executes them.
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 15] = [
+    static REGISTRY: [&dyn Experiment; 16] = [
         &fig3::Driver,
         &fig6::Driver,
         &fig7::Driver,
@@ -128,6 +129,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &cc_sweep::Driver,
         &pipelining::Driver,
         &modelcheck::Driver,
+        &tcp_explore::Driver,
         &cluster_scale::Driver,
         &sched_hotpath::Driver,
         &service::Driver,

@@ -92,23 +92,29 @@ pub fn legs() -> Vec<(&'static str, TrafficWorkload)> {
             .with_hold(Duration::from_ms(32))
             .with_seed(0x7AF1_F10C),
     ));
-    // Loss: same churn twice, lossless then with a 1 % per-segment
-    // fault plan, so the figure can show the goodput cost of recovery.
-    // The open gap leaves the 100G link under 50 % utilized (64 KiB is
-    // ~5.5 µs of wire time), so the lossless baseline sees no spurious
-    // queueing-delay RTOs and every retransmission in the lossy row is
-    // attributable to the fault plan.
-    for loss_bp in [0u32, 100] {
-        legs.push((
-            "loss",
-            TrafficWorkload::small()
-                .with_sessions_per_board(600)
-                .with_open_gap(Duration::from_us(12))
-                .with_bytes_per_session(64 * 1024)
-                .with_hold(Duration::from_us(200))
-                .with_loss_bp(loss_bp)
-                .with_seed(0x7AF1_7055),
-        ));
+    // Loss: the same churn twice per stack, lossless then with a 1 %
+    // per-segment fault plan, so the figure can show the goodput cost
+    // of recovery — on the all-FPGA stack *and* on the hybrid offload
+    // point, whose CPU-side Reno policy reacts to each RTO where the
+    // fixed hardware window does not. The open gap leaves the 100G link
+    // under 50 % utilized (64 KiB is ~5.5 µs of wire time), so the
+    // lossless baselines see no spurious queueing-delay RTOs and every
+    // retransmission in the lossy rows is attributable to the fault
+    // plan.
+    for stack in [TrafficStack::Fpga, TrafficStack::Hybrid] {
+        for loss_bp in [0u32, 100] {
+            legs.push((
+                "loss",
+                TrafficWorkload::small()
+                    .with_stack(stack)
+                    .with_sessions_per_board(600)
+                    .with_open_gap(Duration::from_us(12))
+                    .with_bytes_per_session(64 * 1024)
+                    .with_hold(Duration::from_us(200))
+                    .with_loss_bp(loss_bp)
+                    .with_seed(0x7AF1_7055),
+            ));
+        }
     }
     // Proxy: the three-board client → proxy → server chain.
     legs.push((
@@ -347,9 +353,23 @@ mod tests {
         assert!(storm.open_gap * storm.sessions_per_board <= storm.hold);
         assert!(2 * storm.total_sessions() >= 100_000);
         let loss: Vec<_> = legs.iter().filter(|(l, _)| *l == "loss").collect();
-        assert_eq!(loss.len(), 2, "loss leg needs a lossless baseline");
-        assert!(loss.iter().any(|(_, w)| w.loss_bp == 0));
-        assert!(loss.iter().any(|(_, w)| w.loss_bp > 0));
+        assert_eq!(
+            loss.len(),
+            4,
+            "loss leg needs a lossless baseline and a lossy run per stack"
+        );
+        for stack in [TrafficStack::Fpga, TrafficStack::Hybrid] {
+            assert!(
+                loss.iter().any(|(_, w)| w.stack == stack && w.loss_bp == 0),
+                "{} missing its lossless baseline",
+                stack.label()
+            );
+            assert!(
+                loss.iter().any(|(_, w)| w.stack == stack && w.loss_bp > 0),
+                "{} missing its lossy run",
+                stack.label()
+            );
+        }
         assert!(legs.iter().any(|(l, w)| *l == "proxy" && w.proxy));
     }
 }

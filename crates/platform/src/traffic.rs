@@ -892,6 +892,26 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_stack_recovers_injected_loss_too() {
+        // The experiment's loss leg now runs on the hybrid offload
+        // point as well as the all-FPGA stack; pin the combination in
+        // debug so the release-only leg cannot be its first exercise.
+        let clean = TrafficWorkload::small()
+            .with_stack(TrafficStack::Hybrid)
+            .with_bytes_per_session(64 * 1024)
+            .with_sessions_per_board(12)
+            .with_open_gap(Duration::from_us(60));
+        let lossy = clean.with_loss_bp(200);
+        let a = clean.run_reference();
+        let b = lossy.run_reference();
+        assert_eq!(a.payload_delivered, b.payload_delivered);
+        assert_eq!(a.retransmissions, 0);
+        assert!(b.losses_injected > 0, "2% loss must bite");
+        assert_eq!(b.losses_recovered, b.rto_fires);
+        assert!(b.sim_end > a.sim_end, "recovery costs time");
+    }
+
+    #[test]
     fn different_seeds_diverge_only_under_loss() {
         let w = TrafficWorkload::small().with_loss_bp(300);
         let a = w.run_reference();

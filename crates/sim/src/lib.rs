@@ -16,6 +16,10 @@
 //! * [`fault`] — a seeded, deterministic [`FaultPlan`] of composable
 //!   fault specs (one-shot, periodic, windowed, probabilistic) with an
 //!   injected/recovered ledger, used by every layer's chaos machinery,
+//! * [`explore`] — a generic bounded model checker: canonicalized BFS
+//!   with shortest-path counterexamples and seeded random walks over
+//!   any [`ProtocolModel`] (the ECI coherence protocol and the TCP
+//!   connection FSM are the two in-tree instances),
 //! * [`par`] — a conservative parallel execution layer: [`Shard`]s
 //!   advance in lock-step epochs of one lookahead, exchanging
 //!   timestamped [`Envelope`]s over bounded channels, with results that
@@ -39,6 +43,7 @@ pub mod alloc_count;
 pub mod calq;
 pub mod channel;
 pub mod engine;
+pub mod explore;
 pub mod fault;
 pub mod par;
 #[cfg(feature = "reference-core")]
@@ -51,6 +56,10 @@ pub mod time;
 pub use calq::{CalEntry, CalendarQueue};
 pub use channel::{Channel, ChannelConfig};
 pub use engine::{EventId, LivelockError, Pod, PodFn, Scheduler, Simulator};
+pub use explore::{
+    Counterexample, ProtocolModel, SearchOutcome, SearchStats, SplitMix64, StateLimit, Succ,
+    Violation,
+};
 pub use fault::{cluster_targets, FaultPlan, FaultSpec, FaultTrigger};
 pub use par::{run_conservative, Envelope, EpochBarrier, EpochWindow, ParConfig, ParReport, Shard};
 pub use rng::SimRng;
